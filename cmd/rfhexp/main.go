@@ -1,0 +1,159 @@
+// Command rfhexp reproduces the paper's evaluation: every figure from
+// Fig. 3 through Fig. 10 plus the Table I parameter echo, with the
+// paper's qualitative claims checked against the simulated data.
+//
+// Examples:
+//
+//	rfhexp -all                 # summarise every figure
+//	rfhexp -fig 3b              # one figure's curves (summary form)
+//	rfhexp -fig 4a -csv         # one figure as CSV on stdout
+//	rfhexp -fig 3b -plot        # ASCII chart in the terminal
+//	rfhexp -check               # evaluate every paper claim, exit 1 on failure
+//	rfhexp -table               # Table I
+//	rfhexp -ablate beta         # sweep a decision threshold
+//	rfhexp -report > report.md  # full Markdown reproduction report
+//	rfhexp -quick -all          # shortened runs for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rfh "repro"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure id to reproduce (e.g. 3a, 4c, 10)")
+		all    = flag.Bool("all", false, "summarise every figure")
+		check  = flag.Bool("check", false, "evaluate the paper's qualitative claims; exit 1 if any fails")
+		table  = flag.Bool("table", false, "print the Table I configuration")
+		csvOut = flag.Bool("csv", false, "emit -fig output as CSV instead of a summary")
+		plotIt = flag.Bool("plot", false, "render -fig output as an ASCII chart")
+		ablate = flag.String("ablate", "", "sweep one RFH parameter (alpha, beta, gamma, delta, mu, hubK, serving)")
+		report = flag.Bool("report", false, "write the full reproduction report as Markdown to stdout")
+		quick  = flag.Bool("quick", false, "shorten runs for a fast qualitative look")
+		seed   = flag.Uint64("seed", 0, "random seed override (0 = paper default)")
+		seeds  = flag.Int("seeds", 0, "with -fig: rerun over N seeds and report mean/stddev per policy")
+	)
+	flag.Parse()
+
+	opts := rfh.ExperimentOptions{Seed: *seed}
+	if *quick {
+		opts.EpochsRandom, opts.EpochsFlash, opts.EpochsFailure = 120, 200, 200
+		opts.FailEpoch = 120
+	}
+	exp, err := rfh.NewExperiments(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	did := false
+	if *table {
+		did = true
+		for _, row := range exp.TableI() {
+			fmt.Printf("  %-30s %s\n", row[0], row[1])
+		}
+	}
+	if *fig != "" && *seeds > 1 {
+		did = true
+		_, summary, err := exp.MultiSeed(*fig, *seeds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(summary)
+	} else if *fig != "" {
+		did = true
+		switch {
+		case *csvOut:
+			if err := exp.WriteFigureCSV(os.Stdout, *fig); err != nil {
+				fail(err)
+			}
+		case *plotIt:
+			chart, err := exp.PlotFigure(*fig, 76, 18)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(chart)
+		default:
+			if err := summariseFigure(exp, *fig); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *all {
+		did = true
+		for _, id := range rfh.FigureIDs() {
+			if err := summariseFigure(exp, id); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+	}
+	if *ablate != "" {
+		did = true
+		_, summary, err := exp.Ablation(*ablate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(summary)
+	}
+	if *report {
+		did = true
+		if err := exp.WriteReport(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *check {
+		did = true
+		claims, err := exp.CheckAll()
+		if err != nil {
+			fail(err)
+		}
+		failed := 0
+		for _, c := range claims {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] fig %-3s %-62s %s\n", status, c.Figure, c.Description, c.Detail)
+		}
+		fmt.Printf("%d/%d claims hold\n", len(claims)-failed, len(claims))
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summariseFigure(exp *rfh.Experiments, id string) error {
+	f, err := exp.Figure(id)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f.Title)
+	fmt.Printf("  %-16s %12s %12s %12s\n", "series", "first", "late-mean", "last")
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		late := s.Points[len(s.Points)*3/4:]
+		sum := 0.0
+		for _, v := range late {
+			sum += v
+		}
+		fmt.Printf("  %-16s %12.4g %12.4g %12.4g\n",
+			s.Name, s.Points[0], sum/float64(len(late)), s.Points[len(s.Points)-1])
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rfhexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Consistency maintenance: the RFH paper's named future work. This
+// example enables the write/anti-entropy extension and contrasts a
+// well-provisioned synchronisation budget against a starved one: the
+// same placement policy, the same write load, but very different
+// replica staleness — and, when a primary dies before its replicas
+// caught up, genuinely lost writes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rfh "repro"
+)
+
+func run(syncBW int64, failPrimaries bool) *rfh.Result {
+	cfg := rfh.DefaultConfig()
+	cfg.Policy = "rfh"
+	cfg.Epochs = 120
+	cfg.WriteLambda = 40      // 40 writes/partition/epoch
+	cfg.WriteDeltaSize = 4096 // 4 KB per version
+	cfg.SyncBandwidth = syncBW
+	cfg.Seed = 11
+
+	var events []rfh.FailureEvent
+	if failPrimaries {
+		ev := rfh.FailureEvent{Epoch: 60}
+		for s := 0; s < 40; s++ {
+			ev.Fail = append(ev.Fail, s)
+		}
+		events = append(events, ev)
+	}
+	res, err := rfh.RunWithFailures(cfg, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("write load: Poisson(40)/partition/epoch, 4 KB per version")
+	fmt.Printf("\n%-28s %14s %12s %12s %14s\n",
+		"scenario", "mean staleness", "stale frac", "lost writes", "sync traffic")
+
+	for _, sc := range []struct {
+		name string
+		bw   int64
+		fail bool
+	}{
+		{"ample sync (32 MB/epoch)", 32 << 20, false},
+		{"hub-bound sync (4 MB/epoch)", 4 << 20, false},
+		{"starved sync (64 KB/epoch)", 64 << 10, false},
+		{"starved + mass failure", 64 << 10, true},
+	} {
+		res := run(sc.bw, sc.fail)
+		fmt.Printf("%-28s %14.2f %12.3f %12.0f %11.1f MB\n",
+			sc.name,
+			res.Final(rfh.SeriesStalenessMean),
+			res.Final(rfh.SeriesStaleFrac),
+			res.Final(rfh.SeriesLostWrites),
+			res.Final(rfh.SeriesSyncBytes)/(1<<20))
+	}
+
+	fmt.Println("\nreading: with ample bandwidth replicas track their primaries and a")
+	fmt.Println("failure promotes an up-to-date copy. At 4 MB/epoch the fleet as a")
+	fmt.Println("whole has enough bandwidth, but RFH concentrates replicas on traffic")
+	fmt.Println("hubs — those servers sync replicas of dozens of partitions and become")
+	fmt.Println("anti-entropy hotspots, so staleness persists. Starved sync leaves")
+	fmt.Println("replicas far behind, and a mass failure then silently drops the")
+	fmt.Println("writes dead primaries had not pushed — the consistency cost the paper")
+	fmt.Println("defers to future work, made measurable.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate the RFH replication algorithm over the paper's
+// 10-datacenter world for 100 epochs of uniform Poisson load, and print
+// how the replica fleet and its utilization evolve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rfh "repro"
+)
+
+func main() {
+	cfg := rfh.DefaultConfig()
+	cfg.Policy = "rfh"
+	cfg.Workload = "uniform"
+	cfg.Epochs = 100
+	cfg.Seed = 42
+
+	res, err := rfh.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	util := res.Series(rfh.SeriesUtilization)
+	reps := res.Series(rfh.SeriesTotalReplicas)
+	path := res.Series(rfh.SeriesPathLength)
+
+	fmt.Println("epoch  replicas  utilization  lookup-hops")
+	for e := 0; e < cfg.Epochs; e += 10 {
+		fmt.Printf("%5d  %8.0f  %11.3f  %11.2f\n", e, reps[e], util[e], path[e])
+	}
+	fmt.Printf("\nsteady state: %.0f replicas across %d servers, %.1f%% average replica utilization\n",
+		res.Final(rfh.SeriesTotalReplicas), rfh.NumServers(), 100*res.Final(rfh.SeriesUtilization))
+	fmt.Printf("cumulative replication cost (eq. 1 units): %.3f\n", res.Final(rfh.SeriesReplCost))
+}

@@ -1,0 +1,212 @@
+package rfh
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Figure is one reproduced paper figure: per-epoch curves, one per
+// policy (Fig. 10 instead carries replica/alive-server curves for the
+// RFH failure run).
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []FigureSeries
+}
+
+// FigureSeries is one labelled curve of a Figure.
+type FigureSeries struct {
+	Name   string
+	Points []float64
+}
+
+// Claim is one qualitative assertion the paper makes about a figure,
+// evaluated against this reproduction's data.
+type Claim struct {
+	Figure      string
+	Description string
+	Pass        bool
+	Detail      string
+}
+
+// ExperimentOptions sizes a reproduction campaign. The zero value
+// selects the paper's dimensions (250/400/500-epoch runs, λ=300,
+// failure of 30 servers at epoch 290).
+type ExperimentOptions struct {
+	Seed          uint64
+	EpochsRandom  int
+	EpochsFlash   int
+	EpochsFailure int
+	FailEpoch     int
+	FailServers   int
+	Lambda        float64
+	Workers       int
+}
+
+func (o ExperimentOptions) toInternal() experiments.Options {
+	opts := experiments.DefaultOptions()
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	if o.EpochsRandom > 0 {
+		opts.EpochsRandom = o.EpochsRandom
+	}
+	if o.EpochsFlash > 0 {
+		opts.EpochsFlash = o.EpochsFlash
+	}
+	if o.EpochsFailure > 0 {
+		opts.EpochsFailure = o.EpochsFailure
+	}
+	if o.FailEpoch > 0 {
+		opts.FailEpoch = o.FailEpoch
+	}
+	if o.FailServers > 0 {
+		opts.FailServers = o.FailServers
+	}
+	if o.Lambda > 0 {
+		opts.Lambda = o.Lambda
+	}
+	if o.Workers > 0 {
+		opts.Workers = o.Workers
+	}
+	return opts
+}
+
+// Experiments drives full reproduction campaigns: one simulation per
+// policy per workload setting, cached across figure requests. Create
+// with NewExperiments, then pull figures or claim checks.
+type Experiments struct {
+	suite *experiments.Suite
+}
+
+// NewExperiments prepares a (lazy) reproduction campaign.
+func NewExperiments(opts ExperimentOptions) (*Experiments, error) {
+	s, err := experiments.NewSuite(opts.toInternal())
+	if err != nil {
+		return nil, err
+	}
+	return &Experiments{suite: s}, nil
+}
+
+// FigureIDs lists every reproducible figure of the paper: 3a..9b plus
+// 10.
+func FigureIDs() []string { return experiments.FigureIDs() }
+
+// Figure reproduces one paper figure by id (e.g. "3a", "4c", "10").
+func (e *Experiments) Figure(id string) (*Figure, error) {
+	fig, err := e.suite.Figure(id)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure{ID: fig.ID, Title: fig.Title, YLabel: fig.YLabel}
+	for _, s := range fig.Series {
+		out.Series = append(out.Series, FigureSeries{Name: s.Name, Points: s.Points})
+	}
+	return out, nil
+}
+
+// Check evaluates the paper's qualitative claims for one figure.
+func (e *Experiments) Check(id string) ([]Claim, error) {
+	rep, err := e.suite.CheckFigure(id)
+	if err != nil {
+		return nil, err
+	}
+	return convertClaims(rep), nil
+}
+
+// CheckAll evaluates the claims of every figure.
+func (e *Experiments) CheckAll() ([]Claim, error) {
+	reps, err := e.suite.CheckAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Claim
+	for _, rep := range reps {
+		out = append(out, convertClaims(rep)...)
+	}
+	return out, nil
+}
+
+func convertClaims(rep *experiments.ShapeReport) []Claim {
+	out := make([]Claim, 0, len(rep.Claims))
+	for _, c := range rep.Claims {
+		out = append(out, Claim{Figure: rep.Figure, Description: c.Description, Pass: c.Pass, Detail: c.Detail})
+	}
+	return out
+}
+
+// TableI returns the experiment parameters in force, mirroring the
+// paper's Table I.
+func (e *Experiments) TableI() [][2]string { return e.suite.TableI() }
+
+// WriteFigureCSV writes a reproduced figure as CSV (epoch column plus
+// one column per curve).
+func (e *Experiments) WriteFigureCSV(w io.Writer, id string) error {
+	fig, err := e.suite.Figure(id)
+	if err != nil {
+		return err
+	}
+	return trace.WriteFigureCSV(w, fig)
+}
+
+// PlotFigure renders a reproduced figure as an ASCII line chart.
+func (e *Experiments) PlotFigure(id string, width, height int) (string, error) {
+	fig, err := e.Figure(id)
+	if err != nil {
+		return "", err
+	}
+	series := make([]plot.Series, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		series = append(series, plot.Series{Name: s.Name, Points: s.Points})
+	}
+	return plot.Render(series, plot.Options{
+		Width: width, Height: height, Title: fig.Title, YLabel: fig.YLabel,
+	}), nil
+}
+
+// WriteReport renders the full reproduction report (Table I, every
+// figure's steady-state numbers, all machine-checked claims) as
+// Markdown, running any campaign that has not run yet.
+func (e *Experiments) WriteReport(w io.Writer) error {
+	return report.Write(w, e.suite)
+}
+
+// MultiSeedStat is one policy's steady-state statistic across seeds.
+type MultiSeedStat = experiments.SeedStat
+
+// MultiSeed reruns the campaign behind one figure across n seeds
+// (1..n) and returns per-policy steady-state statistics plus a text
+// summary — the robustness check a single-seed plot cannot give.
+func (e *Experiments) MultiSeed(figureID string, n int) ([]MultiSeedStat, string, error) {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = e.suite.Options().Seed + uint64(i)
+	}
+	res, err := experiments.MultiSeed(e.suite.Options(), figureID, seeds)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Stats, res.Summary(), nil
+}
+
+// AblationPoint mirrors one row of a parameter sweep.
+type AblationPoint = experiments.AblationPoint
+
+// AblationNames lists the parameters that can be swept.
+func AblationNames() []string { return experiments.AblationNames() }
+
+// Ablation sweeps one RFH decision parameter (alpha, beta, gamma,
+// delta, mu, hubK or serving) under the random-query setting and
+// returns one outcome row per grid point.
+func (e *Experiments) Ablation(param string) ([]AblationPoint, string, error) {
+	ab, err := e.suite.RunAblation(param)
+	if err != nil {
+		return nil, "", err
+	}
+	return ab.Points, ab.Summary(), nil
+}

@@ -1,0 +1,89 @@
+// Package availability implements the availability lower limit of
+// §II-D, eq. (14): given a per-replica failure probability f and an
+// expected availability target, compute the minimum number of replicas
+// a partition must keep.
+//
+// With r independent copies, each unavailable with probability f, the
+// partition is reachable as long as at least one copy survives:
+//
+//	A(r) = 1 − f^r
+//
+// The paper's worked example ("if the system requires a minimum
+// availability of 0.8 and the failure probability is 0.1, then the
+// minimum replica number is 2") requires one more copy than the bare
+// at-least-one-alive bound (1 − 0.1¹ = 0.9 ≥ 0.8 already holds with a
+// single copy). We reproduce the example by reading eq. (14) as a
+// fault-tolerance requirement: the availability target must still hold
+// after the loss of any single copy, i.e. 1 − f^(r−1) ≥ A_expect.
+// This reading also recovers the industry default of 3-way replication
+// at A_expect = 0.99, f = 0.1.
+package availability
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxReplicas bounds MinReplicas' search. No realistic (f, target) pair
+// needs more copies than this; hitting the bound signals nonsensical
+// inputs (f ≈ 1 or target ≈ 1).
+const MaxReplicas = 64
+
+// Availability returns A(copies) = 1 − f^copies, the probability that at
+// least one of `copies` independent replicas (each failing with
+// probability f) is alive. Zero copies yield availability 0.
+func Availability(copies int, f float64) float64 {
+	if copies <= 0 {
+		return 0
+	}
+	if f <= 0 {
+		return 1
+	}
+	if f >= 1 {
+		return 0
+	}
+	return 1 - math.Pow(f, float64(copies))
+}
+
+// Meets reports whether `copies` replicas satisfy eq. (14)'s
+// fault-tolerant availability bound: the target must hold even after
+// one copy is lost.
+func Meets(copies int, f, target float64) bool {
+	return Availability(copies-1, f) >= target
+}
+
+// MinReplicas returns the smallest total copy count r ≥ 1 satisfying
+// Meets(r, f, target). It returns an error for unsatisfiable inputs
+// (target ≥ 1 with f > 0, target > 0 with f ≥ 1, or target outside
+// [0, 1)).
+func MinReplicas(f, target float64) (int, error) {
+	if target < 0 || target >= 1 {
+		if target >= 1 && f <= 0 {
+			return 2, nil // perfect replicas: one survivor suffices
+		}
+		return 0, fmt.Errorf("availability: target %g outside [0,1)", target)
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("availability: failure probability %g outside [0,1]", f)
+	}
+	if target == 0 {
+		return 1, nil
+	}
+	if f >= 1 {
+		return 0, fmt.Errorf("availability: target %g unreachable with failure probability 1", target)
+	}
+	for r := 1; r <= MaxReplicas; r++ {
+		if Meets(r, f, target) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("availability: target %g with f=%g needs more than %d replicas", target, f, MaxReplicas)
+}
+
+// MeetsWithout reports whether removing one copy from the current count
+// still satisfies the bound — the suicide precondition of §II-E ("it
+// will calculate the availability without itself; if the minimum
+// availability is still satisfied without it, it will commit suicide").
+func MeetsWithout(copies int, f, target float64) bool {
+	return Meets(copies-1, f, target)
+}

@@ -1,0 +1,171 @@
+package availability
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestAvailabilityBasics(t *testing.T) {
+	if got := Availability(0, 0.1); got != 0 {
+		t.Fatalf("A(0) = %g", got)
+	}
+	if got := Availability(1, 0.1); got != 0.9 {
+		t.Fatalf("A(1) = %g", got)
+	}
+	if got := Availability(2, 0.1); got != 0.99 {
+		t.Fatalf("A(2) = %g", got)
+	}
+	if got := Availability(3, 0); got != 1 {
+		t.Fatalf("A with f=0 = %g", got)
+	}
+	if got := Availability(3, 1); got != 0 {
+		t.Fatalf("A with f=1 = %g", got)
+	}
+}
+
+func TestAvailabilityMonotoneInCopies(t *testing.T) {
+	check := func(f8 uint8, c8 uint8) bool {
+		f := float64(f8%100)/100 + 0.001
+		c := int(c8)%20 + 1
+		return Availability(c+1, f) >= Availability(c, f)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §II-D: "if the system requires a minimum availability of 0.8 and
+	// the failure probability is 0.1, then the minimum replica number
+	// is 2".
+	r, err := MinReplicas(0.1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 {
+		t.Fatalf("MinReplicas(0.1, 0.8) = %d, want 2 (paper example)", r)
+	}
+}
+
+func TestIndustryThreeWayReplication(t *testing.T) {
+	// f = 0.1, target 0.99 should recover standard 3-way replication.
+	r, err := MinReplicas(0.1, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Fatalf("MinReplicas(0.1, 0.99) = %d, want 3", r)
+	}
+}
+
+func TestMinReplicasEdgeCases(t *testing.T) {
+	if r, err := MinReplicas(0.5, 0); err != nil || r != 1 {
+		t.Fatalf("target 0: r=%d err=%v", r, err)
+	}
+	if r, err := MinReplicas(0, 0.999); err != nil || r != 2 {
+		t.Fatalf("f=0 high target: r=%d err=%v", r, err)
+	}
+	if _, err := MinReplicas(1, 0.5); err == nil {
+		t.Fatal("f=1 with positive target accepted")
+	}
+	if _, err := MinReplicas(0.5, -0.1); err == nil {
+		t.Fatal("negative target accepted")
+	}
+	if _, err := MinReplicas(0.5, 1.0); err == nil {
+		t.Fatal("target 1.0 with lossy replicas accepted")
+	}
+	if _, err := MinReplicas(-0.1, 0.5); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := MinReplicas(2, 0.5); err == nil {
+		t.Fatal("f > 1 accepted")
+	}
+}
+
+func TestMinReplicasSatisfiesMeets(t *testing.T) {
+	check := func(f8, t8 uint8) bool {
+		f := float64(f8%90)/100 + 0.01   // 0.01..0.90
+		target := float64(t8%99) / 100.0 // 0.00..0.98
+		r, err := MinReplicas(f, target)
+		if err != nil {
+			return false
+		}
+		// r satisfies the bound; r-1 must not (minimality), except at the
+		// floor r = 1.
+		if !Meets(r, f, target) {
+			return false
+		}
+		if r > 1 && Meets(r-1, f, target) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeetsWithoutIsSuicideCheck(t *testing.T) {
+	// With f=0.1, target=0.8: 3 copies can lose one (2 copies still meet),
+	// 2 copies cannot.
+	if !MeetsWithout(3, 0.1, 0.8) {
+		t.Fatal("3 copies should tolerate a suicide")
+	}
+	if MeetsWithout(2, 0.1, 0.8) {
+		t.Fatal("2 copies must not allow suicide at the minimum")
+	}
+}
+
+func TestMinReplicasUnreachableTarget(t *testing.T) {
+	// f close to 1 with a high target requires absurd replica counts.
+	if _, err := MinReplicas(0.999999, 0.999999); err == nil {
+		t.Fatal("absurd requirement accepted")
+	}
+}
+
+func TestAvailabilityNeverOutsideUnit(t *testing.T) {
+	check := func(c int8, f8 uint8) bool {
+		f := float64(f8) / 255
+		a := Availability(int(c), f)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmpiricalAvailabilityMatchesAnalytic simulates independent copy
+// failures and compares the measured at-least-one-alive frequency with
+// the closed-form Availability(r, f) — the Monte Carlo check that the
+// eq. (14) math describes the process it claims to.
+func TestEmpiricalAvailabilityMatchesAnalytic(t *testing.T) {
+	rng := stats.NewRNG(424242)
+	const trials = 200000
+	for _, tc := range []struct {
+		copies int
+		f      float64
+	}{
+		{1, 0.1}, {2, 0.1}, {3, 0.1}, {2, 0.3}, {4, 0.5},
+	} {
+		alive := 0
+		for i := 0; i < trials; i++ {
+			ok := false
+			for c := 0; c < tc.copies; c++ {
+				if !rng.Bool(tc.f) {
+					ok = true
+				}
+			}
+			if ok {
+				alive++
+			}
+		}
+		got := float64(alive) / trials
+		want := Availability(tc.copies, tc.f)
+		if diff := got - want; diff > 0.004 || diff < -0.004 {
+			t.Errorf("copies=%d f=%g: empirical %.4f vs analytic %.4f",
+				tc.copies, tc.f, got, want)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/queueing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Spec configures the physical resources of a cluster, defaulting to
+// Table I of the paper.
+type Spec struct {
+	RoomsPerDC     int
+	RacksPerRoom   int
+	ServersPerRack int
+
+	StorageCapacity int64   // nominal bytes per server (Table I: 10 GB)
+	StorageJitter   float64 // ± fractional heterogeneity on capacities
+	StorageLimit    float64 // φ of condition (19), Table I: 0.70
+
+	ReplicationBW int64 // bytes/epoch a server may send for replication
+	MigrationBW   int64 // bytes/epoch a server may send for migration
+
+	ReplicaCapacityMin int // C_ikl lower bound (queries/epoch/replica)
+	ReplicaCapacityMax int // C_ikl upper bound
+	ProcessLimit       int // c_i of eq. (18): concurrent slots per server
+	MeanServiceTime    float64
+
+	Partitions    int
+	PartitionSize int64 // bytes (Table I: 512 KB)
+
+	Seed uint64
+}
+
+// DefaultSpec returns the Table I environment: 1 room × 2 racks × 5
+// servers per datacenter, 10 GB disks at a 70% limit, 300/100 MB/epoch
+// replication/migration bandwidth, 64 partitions of 512 KB.
+func DefaultSpec() Spec {
+	return Spec{
+		RoomsPerDC:         1,
+		RacksPerRoom:       2,
+		ServersPerRack:     5,
+		StorageCapacity:    10 << 30, // 10 GB
+		StorageJitter:      0.2,
+		StorageLimit:       0.70,
+		ReplicationBW:      300 << 20, // 300 MB/epoch
+		MigrationBW:        100 << 20, // 100 MB/epoch
+		ReplicaCapacityMin: 40,
+		ReplicaCapacityMax: 100,
+		ProcessLimit:       64,
+		MeanServiceTime:    0.01,
+		Partitions:         64,
+		PartitionSize:      512 << 10, // 512 KB
+		Seed:               1,
+	}
+}
+
+// Validate checks the spec for structural sanity.
+func (sp Spec) Validate() error {
+	switch {
+	case sp.RoomsPerDC < 1 || sp.RacksPerRoom < 1 || sp.ServersPerRack < 1:
+		return fmt.Errorf("cluster: rooms/racks/servers must be >= 1")
+	case sp.StorageCapacity <= 0:
+		return fmt.Errorf("cluster: storage capacity must be positive")
+	case sp.StorageJitter < 0 || sp.StorageJitter >= 1:
+		return fmt.Errorf("cluster: storage jitter %g outside [0,1)", sp.StorageJitter)
+	case sp.StorageLimit <= 0 || sp.StorageLimit > 1:
+		return fmt.Errorf("cluster: storage limit %g outside (0,1]", sp.StorageLimit)
+	case sp.ReplicationBW <= 0 || sp.MigrationBW <= 0:
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	case sp.ReplicaCapacityMin <= 0 || sp.ReplicaCapacityMax < sp.ReplicaCapacityMin:
+		return fmt.Errorf("cluster: replica capacity range [%d,%d] invalid", sp.ReplicaCapacityMin, sp.ReplicaCapacityMax)
+	case sp.ProcessLimit <= 0:
+		return fmt.Errorf("cluster: process limit must be positive")
+	case sp.MeanServiceTime <= 0:
+		return fmt.Errorf("cluster: mean service time must be positive")
+	case sp.Partitions <= 0:
+		return fmt.Errorf("cluster: need at least one partition")
+	case sp.PartitionSize <= 0:
+		return fmt.Errorf("cluster: partition size must be positive")
+	}
+	return nil
+}
+
+// Cluster is the collection of physical servers plus the current
+// replica placement of every partition. A server hosts at most one copy
+// of a given partition (all four policies place on distinct servers).
+//
+// Cluster is not safe for concurrent mutation. The simulation engine
+// serialises placement changes; read-only accessors may be used from
+// multiple goroutines between mutations.
+type Cluster struct {
+	world   *topology.World
+	spec    Spec
+	servers []*Server
+	byDC    [][]ServerID
+
+	replicas []map[ServerID]bool // partition -> servers hosting a copy
+	primary  []ServerID          // partition -> primary holder (-1 = lost)
+
+	lostPartitions int        // partitions that lost their last copy at a failure
+	joinRNG        *stats.RNG // draws capacities for servers joining later
+	joined         int        // servers added after construction
+}
+
+// New builds a cluster over the world per the spec. Server capacities
+// are heterogeneous, drawn deterministically from the spec seed.
+func New(world *topology.World, sp Spec) (*Cluster, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := world.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	rng := stats.NewRNG(sp.Seed ^ 0xC1057E2)
+	c := &Cluster{
+		world:    world,
+		spec:     sp,
+		byDC:     make([][]ServerID, world.NumDCs()),
+		replicas: make([]map[ServerID]bool, sp.Partitions),
+		primary:  make([]ServerID, sp.Partitions),
+		joinRNG:  stats.NewRNG(sp.Seed ^ 0x101ED),
+	}
+	for p := range c.replicas {
+		c.replicas[p] = make(map[ServerID]bool)
+		c.primary[p] = -1
+	}
+	for dc := 0; dc < world.NumDCs(); dc++ {
+		dcInfo := world.DC(topology.DCID(dc))
+		for room := 0; room < sp.RoomsPerDC; room++ {
+			for rack := 0; rack < sp.RacksPerRoom; rack++ {
+				for srv := 0; srv < sp.ServersPerRack; srv++ {
+					id := ServerID(len(c.servers))
+					jitter := 1 + sp.StorageJitter*(2*rng.Float64()-1)
+					capRange := sp.ReplicaCapacityMax - sp.ReplicaCapacityMin + 1
+					s := &Server{
+						ID: id,
+						DC: topology.DCID(dc),
+						Label: topology.Label{
+							Continent:  dcInfo.Continent,
+							Country:    dcInfo.Country,
+							Datacenter: dcInfo.Name,
+							Room:       fmt.Sprintf("C%02d", room+1),
+							Rack:       fmt.Sprintf("R%02d", rack+1),
+							Server:     fmt.Sprintf("S%d", srv+1),
+						},
+						StorageCapacity: int64(float64(sp.StorageCapacity) * jitter),
+						ReplicationBW:   sp.ReplicationBW,
+						MigrationBW:     sp.MigrationBW,
+						ReplicaCapacity: sp.ReplicaCapacityMin + rng.Intn(capRange),
+						ProcessLimit:    sp.ProcessLimit,
+						alive:           true,
+						observer:        queueing.NewObserver(sp.ProcessLimit, sp.MeanServiceTime),
+					}
+					s.replBWLeft = s.ReplicationBW
+					s.migrBWLeft = s.MigrationBW
+					c.servers = append(c.servers, s)
+					c.byDC[dc] = append(c.byDC[dc], id)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Spec returns the cluster's construction parameters.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// World returns the topology the cluster is deployed over.
+func (c *Cluster) World() *topology.World { return c.world }
+
+// NumServers returns the number of physical servers (alive or not).
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// NumPartitions returns the number of data partitions.
+func (c *Cluster) NumPartitions() int { return c.spec.Partitions }
+
+// Server returns the server with the given id.
+func (c *Cluster) Server(id ServerID) *Server { return c.servers[id] }
+
+// ServersInDC returns the ids of all servers (alive or not) in a
+// datacenter, in ascending id order.
+func (c *Cluster) ServersInDC(dc topology.DCID) []ServerID {
+	out := make([]ServerID, len(c.byDC[dc]))
+	copy(out, c.byDC[dc])
+	return out
+}
+
+// AliveServers returns the ids of all alive servers in ascending order.
+func (c *Cluster) AliveServers() []ServerID {
+	var out []ServerID
+	for _, s := range c.servers {
+		if s.alive {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// DCOf returns the datacenter hosting the server.
+func (c *Cluster) DCOf(id ServerID) topology.DCID { return c.servers[id].DC }
+
+// CanHost reports whether server s can accept one more copy of a
+// partition: it must be alive, not already hold one, and stay under the
+// φ storage limit of condition (19).
+func (c *Cluster) CanHost(partition int, s ServerID) bool {
+	srv := c.servers[s]
+	if !srv.alive || c.replicas[partition][s] {
+		return false
+	}
+	after := float64(srv.storageUsed+c.spec.PartitionSize) / float64(srv.StorageCapacity)
+	return after <= c.spec.StorageLimit
+}
+
+// AddReplica places one copy of the partition on server s.
+func (c *Cluster) AddReplica(partition int, s ServerID) error {
+	if partition < 0 || partition >= c.spec.Partitions {
+		return fmt.Errorf("cluster: partition %d out of range", partition)
+	}
+	srv := c.servers[s]
+	if !srv.alive {
+		return fmt.Errorf("cluster: server %d is down", s)
+	}
+	if c.replicas[partition][s] {
+		return fmt.Errorf("cluster: server %d already hosts partition %d", s, partition)
+	}
+	if !c.CanHost(partition, s) {
+		return fmt.Errorf("cluster: server %d over the %g storage limit", s, c.spec.StorageLimit)
+	}
+	c.replicas[partition][s] = true
+	srv.storageUsed += c.spec.PartitionSize
+	if c.primary[partition] < 0 {
+		c.primary[partition] = s
+	}
+	return nil
+}
+
+// RemoveReplica drops the copy of the partition on server s. The last
+// remaining copy of a partition cannot be removed (a suicide that loses
+// data is a policy bug, not a legal action).
+func (c *Cluster) RemoveReplica(partition int, s ServerID) error {
+	if !c.replicas[partition][s] {
+		return fmt.Errorf("cluster: server %d does not host partition %d", s, partition)
+	}
+	if len(c.replicas[partition]) == 1 {
+		return fmt.Errorf("cluster: refusing to remove the last copy of partition %d", partition)
+	}
+	delete(c.replicas[partition], s)
+	c.servers[s].storageUsed -= c.spec.PartitionSize
+	if c.primary[partition] == s {
+		c.primary[partition] = c.lowestReplica(partition)
+	}
+	return nil
+}
+
+// lowestReplica returns the lowest-id server hosting the partition, or
+// -1 when none does. Deterministic promotion keeps runs reproducible.
+func (c *Cluster) lowestReplica(partition int) ServerID {
+	best := ServerID(-1)
+	for s := range c.replicas[partition] {
+		if best < 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// HasReplica reports whether server s hosts a copy of the partition.
+func (c *Cluster) HasReplica(partition int, s ServerID) bool {
+	return c.replicas[partition][s]
+}
+
+// ReplicaServers returns the servers hosting the partition, ascending.
+func (c *Cluster) ReplicaServers(partition int) []ServerID {
+	out := make([]ServerID, 0, len(c.replicas[partition]))
+	for s := range c.replicas[partition] {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReplicaCount returns the number of copies of the partition.
+func (c *Cluster) ReplicaCount(partition int) int {
+	return len(c.replicas[partition])
+}
+
+// TotalReplicas returns the number of copies across all partitions.
+func (c *Cluster) TotalReplicas() int {
+	total := 0
+	for _, m := range c.replicas {
+		total += len(m)
+	}
+	return total
+}
+
+// Primary returns the partition's primary holder, or -1 if the
+// partition lost all copies.
+func (c *Cluster) Primary(partition int) ServerID { return c.primary[partition] }
+
+// SetPrimary designates server s (which must hold a copy) as primary.
+func (c *Cluster) SetPrimary(partition int, s ServerID) error {
+	if !c.replicas[partition][s] {
+		return fmt.Errorf("cluster: server %d does not host partition %d", s, partition)
+	}
+	c.primary[partition] = s
+	return nil
+}
+
+// LostPartitions returns how many partitions have lost their last copy
+// to failures over the cluster's lifetime.
+func (c *Cluster) LostPartitions() int { return c.lostPartitions }
+
+// BeginEpoch resets per-epoch bandwidth budgets and arrival counters.
+func (c *Cluster) BeginEpoch() {
+	for _, s := range c.servers {
+		s.replBWLeft = s.ReplicationBW
+		s.migrBWLeft = s.MigrationBW
+		s.epochArrivals = 0
+		s.epochServed = 0
+	}
+}
+
+// EndEpoch folds the epoch's arrival observations into each server's
+// blocking-probability model (§II-E: "In each epoch, each physical node
+// i leverages its computational ability and also records query
+// information").
+func (c *Cluster) EndEpoch() {
+	for _, s := range c.servers {
+		if !s.alive {
+			continue
+		}
+		busy := float64(s.epochServed) * c.spec.MeanServiceTime
+		s.observer.RecordEpoch(s.epochArrivals, busy, s.epochServed)
+	}
+}
+
+// ConsumeReplicationBW tries to reserve n bytes of the sender's
+// replication bandwidth for this epoch, reporting success.
+func (c *Cluster) ConsumeReplicationBW(sender ServerID, n int64) bool {
+	s := c.servers[sender]
+	if !s.alive || s.replBWLeft < n {
+		return false
+	}
+	s.replBWLeft -= n
+	return true
+}
+
+// ConsumeMigrationBW tries to reserve n bytes of the sender's migration
+// bandwidth for this epoch, reporting success.
+func (c *Cluster) ConsumeMigrationBW(sender ServerID, n int64) bool {
+	s := c.servers[sender]
+	if !s.alive || s.migrBWLeft < n {
+		return false
+	}
+	s.migrBWLeft -= n
+	return true
+}
+
+// FailServer takes a server down: all its replicas vanish, and for
+// partitions where it was primary, the lowest-id surviving replica is
+// promoted. It returns the number of partition copies lost. Failing a
+// dead server is a no-op.
+func (c *Cluster) FailServer(id ServerID) int {
+	srv := c.servers[id]
+	if !srv.alive {
+		return 0
+	}
+	srv.alive = false
+	lost := 0
+	for p := range c.replicas {
+		if !c.replicas[p][id] {
+			continue
+		}
+		delete(c.replicas[p], id)
+		srv.storageUsed -= c.spec.PartitionSize
+		lost++
+		if c.primary[p] == id {
+			c.primary[p] = c.lowestReplica(p)
+			if c.primary[p] < 0 {
+				c.lostPartitions++
+			}
+		}
+	}
+	srv.observer.Reset()
+	return lost
+}
+
+// RecoverServer brings a failed server back up, empty of data. Its load
+// history is cleared so stale observations do not bias placement.
+func (c *Cluster) RecoverServer(id ServerID) {
+	srv := c.servers[id]
+	if srv.alive {
+		return
+	}
+	srv.alive = true
+	srv.storageUsed = 0
+	srv.replBWLeft = srv.ReplicationBW
+	srv.migrBWLeft = srv.MigrationBW
+	srv.observer.Reset()
+}
+
+// JoinServer adds a brand-new physical server to the given datacenter
+// at run time (§II-B: "node join or departure ... only affects its
+// immediate neighbors"). The server starts alive and empty, with
+// heterogeneous capacities drawn from the cluster's join stream.
+func (c *Cluster) JoinServer(dc topology.DCID) (ServerID, error) {
+	if int(dc) < 0 || int(dc) >= c.world.NumDCs() {
+		return 0, fmt.Errorf("cluster: join into unknown DC %d", dc)
+	}
+	c.joined++
+	dcInfo := c.world.DC(dc)
+	id := ServerID(len(c.servers))
+	jitter := 1 + c.spec.StorageJitter*(2*c.joinRNG.Float64()-1)
+	capRange := c.spec.ReplicaCapacityMax - c.spec.ReplicaCapacityMin + 1
+	s := &Server{
+		ID: id,
+		DC: dc,
+		Label: topology.Label{
+			Continent:  dcInfo.Continent,
+			Country:    dcInfo.Country,
+			Datacenter: dcInfo.Name,
+			Room:       "C01",
+			Rack:       fmt.Sprintf("RJ%02d", c.joined),
+			Server:     "S1",
+		},
+		StorageCapacity: int64(float64(c.spec.StorageCapacity) * jitter),
+		ReplicationBW:   c.spec.ReplicationBW,
+		MigrationBW:     c.spec.MigrationBW,
+		ReplicaCapacity: c.spec.ReplicaCapacityMin + c.joinRNG.Intn(capRange),
+		ProcessLimit:    c.spec.ProcessLimit,
+		alive:           true,
+		observer:        queueing.NewObserver(c.spec.ProcessLimit, c.spec.MeanServiceTime),
+	}
+	s.replBWLeft = s.ReplicationBW
+	s.migrBWLeft = s.MigrationBW
+	c.servers = append(c.servers, s)
+	c.byDC[dc] = append(c.byDC[dc], id)
+	return id, nil
+}
+
+// ReplicaDistance returns the eq. (1) distance between two servers.
+func (c *Cluster) ReplicaDistance(a, b ServerID) float64 {
+	sa, sb := c.servers[a], c.servers[b]
+	return c.world.ServerDistance(sa.DC, sb.DC, sa.Label, sb.Label)
+}

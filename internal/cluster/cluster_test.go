@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(topology.PaperWorld(), DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultSpecMatchesTableI(t *testing.T) {
+	sp := DefaultSpec()
+	if sp.StorageCapacity != 10<<30 {
+		t.Errorf("storage = %d, want 10GB", sp.StorageCapacity)
+	}
+	if sp.StorageLimit != 0.70 {
+		t.Errorf("storage limit = %g, want 0.70", sp.StorageLimit)
+	}
+	if sp.ReplicationBW != 300<<20 || sp.MigrationBW != 100<<20 {
+		t.Errorf("bandwidths = %d/%d", sp.ReplicationBW, sp.MigrationBW)
+	}
+	if sp.Partitions != 64 || sp.PartitionSize != 512<<10 {
+		t.Errorf("partitions = %d×%d", sp.Partitions, sp.PartitionSize)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.RoomsPerDC = 0 },
+		func(s *Spec) { s.StorageCapacity = 0 },
+		func(s *Spec) { s.StorageJitter = 1 },
+		func(s *Spec) { s.StorageLimit = 0 },
+		func(s *Spec) { s.StorageLimit = 1.5 },
+		func(s *Spec) { s.ReplicationBW = 0 },
+		func(s *Spec) { s.MigrationBW = -1 },
+		func(s *Spec) { s.ReplicaCapacityMin = 0 },
+		func(s *Spec) { s.ReplicaCapacityMax = 10; s.ReplicaCapacityMin = 20 },
+		func(s *Spec) { s.ProcessLimit = 0 },
+		func(s *Spec) { s.MeanServiceTime = 0 },
+		func(s *Spec) { s.Partitions = 0 },
+		func(s *Spec) { s.PartitionSize = 0 },
+	}
+	for i, mut := range mutations {
+		sp := DefaultSpec()
+		mut(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	c := newTestCluster(t)
+	// 10 DCs × 1 room × 2 racks × 5 servers = 100 servers (§III-A).
+	if c.NumServers() != 100 {
+		t.Fatalf("servers = %d, want 100", c.NumServers())
+	}
+	for dc := 0; dc < c.World().NumDCs(); dc++ {
+		if got := len(c.ServersInDC(topology.DCID(dc))); got != 10 {
+			t.Fatalf("DC %d has %d servers, want 10", dc, got)
+		}
+	}
+	if got := len(c.AliveServers()); got != 100 {
+		t.Fatalf("alive = %d", got)
+	}
+}
+
+func TestServerLabelsWellFormed(t *testing.T) {
+	c := newTestCluster(t)
+	seen := make(map[string]bool)
+	for i := 0; i < c.NumServers(); i++ {
+		s := c.Server(ServerID(i))
+		lbl := s.Label.String()
+		if seen[lbl] {
+			t.Fatalf("duplicate label %s", lbl)
+		}
+		seen[lbl] = true
+		parsed, err := topology.ParseLabel(lbl)
+		if err != nil {
+			t.Fatalf("server %d label %q: %v", i, lbl, err)
+		}
+		if parsed.Datacenter != c.World().DC(s.DC).Name {
+			t.Fatalf("server %d label DC %q != world DC %q", i, parsed.Datacenter, c.World().DC(s.DC).Name)
+		}
+	}
+}
+
+func TestHeterogeneousCapacities(t *testing.T) {
+	c := newTestCluster(t)
+	sp := c.Spec()
+	distinct := make(map[int]bool)
+	for i := 0; i < c.NumServers(); i++ {
+		s := c.Server(ServerID(i))
+		if s.ReplicaCapacity < sp.ReplicaCapacityMin || s.ReplicaCapacity > sp.ReplicaCapacityMax {
+			t.Fatalf("server %d capacity %d outside [%d,%d]", i, s.ReplicaCapacity, sp.ReplicaCapacityMin, sp.ReplicaCapacityMax)
+		}
+		distinct[s.ReplicaCapacity] = true
+		lo := float64(sp.StorageCapacity) * (1 - sp.StorageJitter)
+		hi := float64(sp.StorageCapacity) * (1 + sp.StorageJitter)
+		if fs := float64(s.StorageCapacity); fs < lo || fs > hi {
+			t.Fatalf("server %d storage %d outside jitter band", i, s.StorageCapacity)
+		}
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("capacities not heterogeneous: %d distinct values", len(distinct))
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	a := newTestCluster(t)
+	b := newTestCluster(t)
+	for i := 0; i < a.NumServers(); i++ {
+		sa, sb := a.Server(ServerID(i)), b.Server(ServerID(i))
+		if sa.ReplicaCapacity != sb.ReplicaCapacity || sa.StorageCapacity != sb.StorageCapacity {
+			t.Fatalf("server %d differs between same-seed clusters", i)
+		}
+	}
+}
+
+func TestAddRemoveReplica(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.AddReplica(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasReplica(0, 5) || c.ReplicaCount(0) != 1 {
+		t.Fatal("replica not recorded")
+	}
+	if c.Primary(0) != 5 {
+		t.Fatalf("first replica did not become primary: %d", c.Primary(0))
+	}
+	if err := c.AddReplica(0, 5); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+	if err := c.AddReplica(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveReplica(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Primary(0) != 7 {
+		t.Fatalf("primary not promoted: %d", c.Primary(0))
+	}
+	if err := c.RemoveReplica(0, 7); err == nil {
+		t.Fatal("last copy removal accepted")
+	}
+	if err := c.RemoveReplica(0, 5); err == nil {
+		t.Fatal("removing absent replica accepted")
+	}
+}
+
+func TestAddReplicaOutOfRange(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.AddReplica(-1, 0); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+	if err := c.AddReplica(c.NumPartitions(), 0); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	c := newTestCluster(t)
+	s := c.Server(3)
+	before := s.StorageUsed()
+	_ = c.AddReplica(1, 3)
+	if s.StorageUsed() != before+c.Spec().PartitionSize {
+		t.Fatal("storage not charged on add")
+	}
+	_ = c.AddReplica(1, 4)
+	_ = c.RemoveReplica(1, 3)
+	if s.StorageUsed() != before {
+		t.Fatal("storage not refunded on remove")
+	}
+}
+
+func TestStorageLimitEnforced(t *testing.T) {
+	sp := DefaultSpec()
+	// Tiny disks: each server fits exactly 2 partitions under the 70% cap.
+	sp.StorageCapacity = 3 * sp.PartitionSize
+	sp.StorageJitter = 0
+	w := topology.PaperWorld()
+	c, err := New(w, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Third copy would be 3/3 = 100% > 70%.
+	if c.CanHost(2, 0) {
+		t.Fatal("CanHost over the limit")
+	}
+	if err := c.AddReplica(2, 0); err == nil {
+		t.Fatal("storage limit not enforced")
+	}
+}
+
+func TestBandwidthBudgets(t *testing.T) {
+	c := newTestCluster(t)
+	c.BeginEpoch()
+	sp := c.Spec()
+	if !c.ConsumeReplicationBW(0, sp.ReplicationBW) {
+		t.Fatal("full replication budget refused")
+	}
+	if c.ConsumeReplicationBW(0, 1) {
+		t.Fatal("exhausted budget granted")
+	}
+	if !c.ConsumeMigrationBW(0, sp.MigrationBW) {
+		t.Fatal("full migration budget refused")
+	}
+	if c.ConsumeMigrationBW(0, 1) {
+		t.Fatal("exhausted migration budget granted")
+	}
+	c.BeginEpoch()
+	if !c.ConsumeReplicationBW(0, 1) {
+		t.Fatal("budget not reset by BeginEpoch")
+	}
+}
+
+func TestFailServerDropsReplicasAndPromotes(t *testing.T) {
+	c := newTestCluster(t)
+	_ = c.AddReplica(0, 2)
+	_ = c.AddReplica(0, 9)
+	_ = c.AddReplica(1, 2)
+	lost := c.FailServer(2)
+	if lost != 2 {
+		t.Fatalf("lost = %d, want 2", lost)
+	}
+	if c.Server(2).Alive() {
+		t.Fatal("server still alive")
+	}
+	if c.HasReplica(0, 2) || c.HasReplica(1, 2) {
+		t.Fatal("dead server still hosts replicas")
+	}
+	if c.Primary(0) != 9 {
+		t.Fatalf("partition 0 primary = %d, want 9", c.Primary(0))
+	}
+	if c.Primary(1) != -1 {
+		t.Fatalf("partition 1 primary = %d, want -1 (lost)", c.Primary(1))
+	}
+	if c.LostPartitions() != 1 {
+		t.Fatalf("lost partitions = %d", c.LostPartitions())
+	}
+	if c.FailServer(2) != 0 {
+		t.Fatal("double failure lost replicas")
+	}
+}
+
+func TestFailedServerRejectsWork(t *testing.T) {
+	c := newTestCluster(t)
+	c.FailServer(4)
+	if err := c.AddReplica(0, 4); err == nil {
+		t.Fatal("placement on dead server accepted")
+	}
+	c.BeginEpoch()
+	if c.ConsumeReplicationBW(4, 1) || c.ConsumeMigrationBW(4, 1) {
+		t.Fatal("dead server granted bandwidth")
+	}
+	if c.CanHost(0, 4) {
+		t.Fatal("CanHost true for dead server")
+	}
+}
+
+func TestRecoverServer(t *testing.T) {
+	c := newTestCluster(t)
+	_ = c.AddReplica(0, 6)
+	_ = c.AddReplica(0, 7)
+	c.FailServer(6)
+	c.RecoverServer(6)
+	s := c.Server(6)
+	if !s.Alive() || s.StorageUsed() != 0 {
+		t.Fatalf("recovered server state: alive=%v used=%d", s.Alive(), s.StorageUsed())
+	}
+	if c.HasReplica(0, 6) {
+		t.Fatal("recovered server kept pre-failure replica")
+	}
+	if err := c.AddReplica(2, 6); err != nil {
+		t.Fatalf("recovered server refuses placement: %v", err)
+	}
+	c.RecoverServer(6) // recovering an alive server is a no-op
+	if !c.HasReplica(2, 6) {
+		t.Fatal("no-op recovery dropped data")
+	}
+}
+
+func TestSetPrimary(t *testing.T) {
+	c := newTestCluster(t)
+	_ = c.AddReplica(0, 1)
+	_ = c.AddReplica(0, 2)
+	if err := c.SetPrimary(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Primary(0) != 2 {
+		t.Fatal("primary not set")
+	}
+	if err := c.SetPrimary(0, 50); err == nil {
+		t.Fatal("primary on non-replica accepted")
+	}
+}
+
+func TestTotalReplicasInvariant(t *testing.T) {
+	// Property: TotalReplicas always equals the sum of per-partition
+	// counts and the sum of per-server storage charges.
+	check := func(ops []uint16) bool {
+		c, err := New(topology.PaperWorld(), DefaultSpec())
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			p := int(op) % c.NumPartitions()
+			s := ServerID(int(op/64) % c.NumServers())
+			if op%2 == 0 {
+				_ = c.AddReplica(p, s)
+			} else if c.HasReplica(p, s) {
+				_ = c.RemoveReplica(p, s)
+			}
+		}
+		sum := 0
+		for p := 0; p < c.NumPartitions(); p++ {
+			sum += c.ReplicaCount(p)
+		}
+		var stored int64
+		for i := 0; i < c.NumServers(); i++ {
+			stored += c.Server(ServerID(i)).StorageUsed()
+		}
+		return sum == c.TotalReplicas() && stored == int64(sum)*c.Spec().PartitionSize
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochObserverFlow(t *testing.T) {
+	c := newTestCluster(t)
+	c.BeginEpoch()
+	s := c.Server(0)
+	s.RecordArrivals(100, 90)
+	c.EndEpoch()
+	if s.Blocking() <= 0 {
+		t.Fatalf("heavy arrivals produced blocking %g", s.Blocking())
+	}
+	idle := c.Server(1)
+	if idle.Blocking() != 0 {
+		t.Fatalf("idle server blocking = %g", idle.Blocking())
+	}
+}
+
+func TestReplicaDistanceOrdering(t *testing.T) {
+	c := newTestCluster(t)
+	// Servers 0 and 1 share a rack; 0 and 5 share a DC (different rack);
+	// 0 and 10 are in different DCs.
+	sameRack := c.ReplicaDistance(0, 1)
+	sameDC := c.ReplicaDistance(0, 5)
+	crossDC := c.ReplicaDistance(0, 10)
+	if !(sameRack < sameDC && sameDC < crossDC) {
+		t.Fatalf("distance ordering: rack=%g dc=%g cross=%g", sameRack, sameDC, crossDC)
+	}
+	if c.ReplicaDistance(0, 0) != 0 {
+		t.Fatal("self distance non-zero")
+	}
+}
+
+func TestJoinServer(t *testing.T) {
+	c := newTestCluster(t)
+	before := c.NumServers()
+	id, err := c.JoinServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumServers() != before+1 || int(id) != before {
+		t.Fatalf("join produced id %d, servers %d", id, c.NumServers())
+	}
+	s := c.Server(id)
+	if !s.Alive() || s.DC != 3 || s.StorageUsed() != 0 {
+		t.Fatalf("joined server state: %+v", s)
+	}
+	if _, err := topology.ParseLabel(s.Label.String()); err != nil {
+		t.Fatalf("joined server label %q invalid: %v", s.Label, err)
+	}
+	found := false
+	for _, sid := range c.ServersInDC(3) {
+		if sid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("joined server not indexed in its DC")
+	}
+	if err := c.AddReplica(0, id); err != nil {
+		t.Fatalf("joined server refuses replicas: %v", err)
+	}
+	c.BeginEpoch()
+	if !c.ConsumeReplicationBW(id, 1) {
+		t.Fatal("joined server has no bandwidth budget")
+	}
+}
+
+func TestJoinServerUnknownDC(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.JoinServer(99); err == nil {
+		t.Fatal("join into unknown DC accepted")
+	}
+	if _, err := c.JoinServer(-1); err == nil {
+		t.Fatal("join into negative DC accepted")
+	}
+}
+
+func TestJoinServersGetUniqueLabels(t *testing.T) {
+	c := newTestCluster(t)
+	seen := map[string]bool{}
+	for i := 0; i < c.NumServers(); i++ {
+		seen[c.Server(ServerID(i)).Label.String()] = true
+	}
+	for i := 0; i < 5; i++ {
+		id, err := c.JoinServer(topology.DCID(i % 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbl := c.Server(id).Label.String()
+		if seen[lbl] {
+			t.Fatalf("duplicate label %s", lbl)
+		}
+		seen[lbl] = true
+	}
+}

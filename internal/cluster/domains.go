@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// FailureDomain selects the blast radius of a scoped failure, matching
+// the §II-A availability hierarchy ("a server failure, a rack failure
+// or even a whole datacenter's out of work").
+type FailureDomain int
+
+// Failure domains, smallest to largest.
+const (
+	DomainServer FailureDomain = iota
+	DomainRack
+	DomainRoom
+	DomainDatacenter
+)
+
+// String implements fmt.Stringer.
+func (d FailureDomain) String() string {
+	switch d {
+	case DomainServer:
+		return "server"
+	case DomainRack:
+		return "rack"
+	case DomainRoom:
+		return "room"
+	case DomainDatacenter:
+		return "datacenter"
+	default:
+		return fmt.Sprintf("FailureDomain(%d)", int(d))
+	}
+}
+
+// ServersInDomain returns every server sharing the anchor server's
+// failure domain: itself, its rack, its room, or its whole datacenter.
+func (c *Cluster) ServersInDomain(anchor ServerID, domain FailureDomain) ([]ServerID, error) {
+	if int(anchor) < 0 || int(anchor) >= len(c.servers) {
+		return nil, fmt.Errorf("cluster: anchor server %d out of range", anchor)
+	}
+	a := c.servers[anchor]
+	if domain == DomainServer {
+		return []ServerID{anchor}, nil
+	}
+	var out []ServerID
+	for _, s := range c.byDC[a.DC] {
+		lbl := c.servers[s].Label
+		switch domain {
+		case DomainRack:
+			if lbl.Room == a.Label.Room && lbl.Rack == a.Label.Rack {
+				out = append(out, s)
+			}
+		case DomainRoom:
+			if lbl.Room == a.Label.Room {
+				out = append(out, s)
+			}
+		case DomainDatacenter:
+			out = append(out, s)
+		default:
+			return nil, fmt.Errorf("cluster: unknown failure domain %d", domain)
+		}
+	}
+	return out, nil
+}
+
+// FailDomain takes down the anchor server's entire failure domain and
+// returns the affected servers plus the partition copies lost.
+func (c *Cluster) FailDomain(anchor ServerID, domain FailureDomain) ([]ServerID, int, error) {
+	servers, err := c.ServersInDomain(anchor, domain)
+	if err != nil {
+		return nil, 0, err
+	}
+	lost := 0
+	for _, s := range servers {
+		lost += c.FailServer(s)
+	}
+	return servers, lost, nil
+}
+
+// SurvivesDomainFailure reports whether the partition would keep at
+// least one copy if the anchor's failure domain went down — the
+// geographic-diversity property the §II-A availability levels encode.
+func (c *Cluster) SurvivesDomainFailure(partition int, anchor ServerID, domain FailureDomain) (bool, error) {
+	servers, err := c.ServersInDomain(anchor, domain)
+	if err != nil {
+		return false, err
+	}
+	doomed := make(map[ServerID]bool, len(servers))
+	for _, s := range servers {
+		doomed[s] = true
+	}
+	for _, s := range c.ReplicaServers(partition) {
+		if !doomed[s] && c.servers[s].alive {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MinAvailabilityLevel returns the §II-A availability level of the
+// partition's placement: the highest level L such that every pair of
+// copies is separated at level ≥ L... more precisely, the level of the
+// *best-separated pair*, which is what determines the failures the
+// partition can survive. A single-copy partition is Level 1 (no
+// protection).
+func (c *Cluster) MinAvailabilityLevel(partition int) topology.Level {
+	replicas := c.ReplicaServers(partition)
+	if len(replicas) < 2 {
+		return topology.LevelSameServer
+	}
+	best := topology.LevelSameServer
+	for i := 0; i < len(replicas); i++ {
+		for j := i + 1; j < len(replicas); j++ {
+			lv := topology.AvailabilityLevel(c.servers[replicas[i]].Label, c.servers[replicas[j]].Label)
+			if lv > best {
+				best = lv
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDomainString(t *testing.T) {
+	for _, d := range []FailureDomain{DomainServer, DomainRack, DomainRoom, DomainDatacenter} {
+		if d.String() == "" {
+			t.Fatalf("domain %d has empty string", d)
+		}
+	}
+	if FailureDomain(9).String() != "FailureDomain(9)" {
+		t.Fatal("unknown domain format")
+	}
+}
+
+func TestServersInDomainSizes(t *testing.T) {
+	c := newTestCluster(t)
+	// Paper layout: 1 room × 2 racks × 5 servers per DC.
+	srv, err := c.ServersInDomain(0, DomainServer)
+	if err != nil || len(srv) != 1 {
+		t.Fatalf("server domain = %v, %v", srv, err)
+	}
+	rack, err := c.ServersInDomain(0, DomainRack)
+	if err != nil || len(rack) != 5 {
+		t.Fatalf("rack domain = %d servers, %v", len(rack), err)
+	}
+	room, err := c.ServersInDomain(0, DomainRoom)
+	if err != nil || len(room) != 10 {
+		t.Fatalf("room domain = %d servers, %v", len(room), err)
+	}
+	dc, err := c.ServersInDomain(0, DomainDatacenter)
+	if err != nil || len(dc) != 10 {
+		t.Fatalf("dc domain = %d servers, %v", len(dc), err)
+	}
+	// All rack members share the anchor's DC.
+	for _, s := range rack {
+		if c.DCOf(s) != c.DCOf(0) {
+			t.Fatal("rack domain crossed DCs")
+		}
+	}
+	if _, err := c.ServersInDomain(ServerID(c.NumServers()), DomainRack); err == nil {
+		t.Fatal("out-of-range anchor accepted")
+	}
+	if _, err := c.ServersInDomain(0, FailureDomain(9)); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+}
+
+func TestFailDomainRack(t *testing.T) {
+	c := newTestCluster(t)
+	_ = c.AddReplica(0, 0) // in rack 1 of DC 0
+	_ = c.AddReplica(0, 7) // rack 2 of DC 0
+	failed, lost, err := c.FailDomain(0, DomainRack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 5 || lost != 1 {
+		t.Fatalf("failed %d servers, lost %d copies", len(failed), lost)
+	}
+	for _, s := range failed {
+		if c.Server(s).Alive() {
+			t.Fatalf("server %d survived its rack failure", s)
+		}
+	}
+	if !c.HasReplica(0, 7) {
+		t.Fatal("other rack's replica vanished")
+	}
+}
+
+func TestSurvivesDomainFailure(t *testing.T) {
+	c := newTestCluster(t)
+	// Copies on servers 0 and 1: same rack.
+	_ = c.AddReplica(0, 0)
+	_ = c.AddReplica(0, 1)
+	ok, err := c.SurvivesDomainFailure(0, 0, DomainServer)
+	if err != nil || !ok {
+		t.Fatalf("same-rack pair should survive a single-server failure: %v %v", ok, err)
+	}
+	ok, _ = c.SurvivesDomainFailure(0, 0, DomainRack)
+	if ok {
+		t.Fatal("same-rack pair cannot survive a rack failure")
+	}
+	// Add a cross-DC copy: survives even a datacenter loss.
+	_ = c.AddReplica(0, 50)
+	ok, _ = c.SurvivesDomainFailure(0, 0, DomainDatacenter)
+	if !ok {
+		t.Fatal("cross-DC copy should survive the anchor DC failure")
+	}
+}
+
+func TestMinAvailabilityLevel(t *testing.T) {
+	c := newTestCluster(t)
+	_ = c.AddReplica(0, 0)
+	if got := c.MinAvailabilityLevel(0); got != topology.LevelSameServer {
+		t.Fatalf("single copy level = %v", got)
+	}
+	_ = c.AddReplica(0, 1) // same rack
+	if got := c.MinAvailabilityLevel(0); got != topology.LevelSameRack {
+		t.Fatalf("same-rack pair level = %v", got)
+	}
+	_ = c.AddReplica(0, 7) // other rack, same room/DC (paper layout: 1 room)
+	if got := c.MinAvailabilityLevel(0); got != topology.LevelSameRoom {
+		t.Fatalf("cross-rack level = %v", got)
+	}
+	_ = c.AddReplica(0, 50) // other DC
+	if got := c.MinAvailabilityLevel(0); got != topology.LevelCrossDatacenter {
+		t.Fatalf("cross-DC level = %v", got)
+	}
+}

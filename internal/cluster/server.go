@@ -1,0 +1,78 @@
+// Package cluster models the physical resources of the simulated cloud:
+// servers organised into datacenters/rooms/racks with the storage,
+// bandwidth and processing capacities of Table I, the placement of
+// partition replicas onto those servers, per-epoch bandwidth budgets for
+// replication and migration, and server failure/recovery (§III-G).
+package cluster
+
+import (
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+// ServerID identifies a physical server within a Cluster. IDs are
+// dense: 0..NumServers-1.
+type ServerID int
+
+// Server is one physical storage host. Fields are set at construction;
+// mutable state (storage used, liveness, bandwidth budgets) is managed
+// through Cluster methods.
+type Server struct {
+	ID    ServerID
+	DC    topology.DCID
+	Label topology.Label
+
+	// StorageCapacity is the server's disk size in bytes (Table I:
+	// 10 GB nominal, ±20% heterogeneity).
+	StorageCapacity int64
+	// ReplicationBW and MigrationBW are the bytes the server may send
+	// per epoch for replication (300 MB) and migration (100 MB).
+	ReplicationBW int64
+	MigrationBW   int64
+	// ReplicaCapacity is C_ikl of §II-C: the queries one replica hosted
+	// on this server can serve per epoch. Heterogeneous across servers
+	// ("for every server, their capacities are different from each
+	// other").
+	ReplicaCapacity int
+	// ProcessLimit is c_i of eq. (18): the server's total concurrent
+	// processing slots, used for the blocking-probability model.
+	ProcessLimit int
+
+	storageUsed   int64
+	alive         bool
+	replBWLeft    int64
+	migrBWLeft    int64
+	observer      *queueing.Observer
+	epochArrivals int
+	epochServed   int
+}
+
+// Alive reports whether the server is currently up.
+func (s *Server) Alive() bool { return s.alive }
+
+// StorageUsed returns the bytes currently stored on the server.
+func (s *Server) StorageUsed() int64 { return s.storageUsed }
+
+// StorageFrac returns the fraction of the server's disk in use — the
+// S_i of condition (19).
+func (s *Server) StorageFrac() float64 {
+	if s.StorageCapacity == 0 {
+		return 1
+	}
+	return float64(s.storageUsed) / float64(s.StorageCapacity)
+}
+
+// Blocking returns the server's current eq. (18) blocking probability
+// based on its observed arrival rate and service time.
+func (s *Server) Blocking() float64 { return s.observer.Blocking() }
+
+// RecordArrivals notes queries that arrived at (were served or offered
+// to) this server during the current epoch; folded into the blocking
+// model at EndEpoch.
+func (s *Server) RecordArrivals(arrived, served int) {
+	if arrived < 0 || served < 0 {
+		panic("cluster: negative arrival record")
+	}
+	s.epochArrivals += arrived
+	s.epochServed += served
+}

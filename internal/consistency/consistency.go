@@ -1,0 +1,234 @@
+// Package consistency implements the paper's named future work
+// ("plan to focus on the research of consistency maintenance"): an
+// asynchronous primary-push replication model layered over the
+// placement the RFH (or any other) policy maintains.
+//
+// Every partition carries a monotonically increasing version at its
+// primary; client writes bump it. Replicas lag behind and catch up via
+// per-epoch anti-entropy transfers bounded by a per-server
+// synchronisation bandwidth, most-stale-first. The model surfaces the
+// costs the paper defers: replica staleness, sync traffic, and writes
+// lost when a failure promotes a stale replica to primary.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Tracker maintains per-replica versions for every partition. It is
+// not safe for concurrent use; the simulation engine drives it between
+// epochs.
+type Tracker struct {
+	deltaSize int64 // bytes transferred per version caught up
+	syncBW    int64 // per-server sync budget, bytes/epoch
+
+	primaryVer []uint64
+	primaryOf  []cluster.ServerID // primary observed at last reconcile
+	replicaVer []map[cluster.ServerID]uint64
+
+	cumSyncBytes int64
+	cumLostWrite uint64
+}
+
+// New creates a tracker for the given partition count. deltaSize is
+// the bytes one version transfer costs; syncBW the per-server
+// anti-entropy budget per epoch.
+func New(partitions int, deltaSize, syncBW int64) (*Tracker, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("consistency: partitions must be positive")
+	}
+	if deltaSize <= 0 || syncBW <= 0 {
+		return nil, fmt.Errorf("consistency: deltaSize and syncBW must be positive")
+	}
+	t := &Tracker{
+		deltaSize:  deltaSize,
+		syncBW:     syncBW,
+		primaryVer: make([]uint64, partitions),
+		primaryOf:  make([]cluster.ServerID, partitions),
+		replicaVer: make([]map[cluster.ServerID]uint64, partitions),
+	}
+	for p := range t.replicaVer {
+		t.replicaVer[p] = make(map[cluster.ServerID]uint64)
+		t.primaryOf[p] = -1
+	}
+	return t, nil
+}
+
+// ApplyWrites applies client writes at the partition's primary,
+// bumping its version.
+func (t *Tracker) ApplyWrites(p int, writes int) {
+	if writes < 0 {
+		panic("consistency: negative writes")
+	}
+	t.primaryVer[p] += uint64(writes)
+}
+
+// PrimaryVersion returns the authoritative version of the partition.
+func (t *Tracker) PrimaryVersion(p int) uint64 { return t.primaryVer[p] }
+
+// Staleness returns how many versions the copy on server s lags, or
+// the full primary version if s holds no tracked copy.
+func (t *Tracker) Staleness(p int, s cluster.ServerID) uint64 {
+	v, ok := t.replicaVer[p][s]
+	if !ok {
+		return t.primaryVer[p]
+	}
+	return t.primaryVer[p] - v
+}
+
+// LostWrites returns the cumulative number of versions lost to stale
+// primary promotions.
+func (t *Tracker) LostWrites() uint64 { return t.cumLostWrite }
+
+// SyncBytes returns the cumulative anti-entropy traffic in bytes.
+func (t *Tracker) SyncBytes() int64 { return t.cumSyncBytes }
+
+// Reconcile aligns the tracker with the cluster's current placement:
+//
+//   - copies that appeared since the last reconcile enter at the
+//     primary's current version (a replication/migration physically
+//     transfers the partition as-is);
+//   - copies that vanished are dropped;
+//   - if the primary changed, the new primary's replica version becomes
+//     authoritative — any versions the old primary had not yet pushed
+//     are lost and counted (the realistic price of asynchronous
+//     replication under failure).
+//
+// Call once per epoch after the policy's decision has been applied.
+func (t *Tracker) Reconcile(cl *cluster.Cluster) {
+	for p := 0; p < len(t.replicaVer); p++ {
+		primary := cl.Primary(p)
+		if primary < 0 {
+			// Partition currently lost; versions reset when re-seeded.
+			t.replicaVer[p] = make(map[cluster.ServerID]uint64)
+			t.primaryOf[p] = -1
+			continue
+		}
+		if t.primaryOf[p] >= 0 && t.primaryOf[p] != primary {
+			if _, stillHosted := t.replicaVer[p][t.primaryOf[p]]; !stillHosted || !cl.HasReplica(p, t.primaryOf[p]) {
+				// Promotion after the old primary vanished: roll back to
+				// the survivor's version.
+				if v, ok := t.replicaVer[p][primary]; ok && v < t.primaryVer[p] {
+					t.cumLostWrite += t.primaryVer[p] - v
+					t.primaryVer[p] = v
+				}
+			}
+		}
+		t.primaryOf[p] = primary
+
+		current := make(map[cluster.ServerID]bool)
+		for _, s := range cl.ReplicaServers(p) {
+			current[s] = true
+			if _, ok := t.replicaVer[p][s]; !ok {
+				// Fresh copy: transferred at the primary's current state.
+				t.replicaVer[p][s] = t.primaryVer[p]
+			}
+		}
+		for s := range t.replicaVer[p] {
+			if !current[s] {
+				delete(t.replicaVer[p], s)
+			}
+		}
+		// The primary is always current by definition.
+		t.replicaVer[p][primary] = t.primaryVer[p]
+	}
+}
+
+// SyncStats summarises one anti-entropy epoch.
+type SyncStats struct {
+	// BytesTransferred is the sync traffic this epoch.
+	BytesTransferred int64
+	// MeanStaleness and MaxStaleness describe post-sync replica lag in
+	// versions (over non-primary copies; 0 when none exist).
+	MeanStaleness float64
+	MaxStaleness  uint64
+	// StaleReplicaFrac is the fraction of non-primary copies lagging at
+	// least one version after sync.
+	StaleReplicaFrac float64
+}
+
+// SyncEpoch runs one round of anti-entropy: every server spends up to
+// its sync budget pulling the most-stale partitions it hosts first
+// (deterministic tie-break by partition id). Returns post-sync
+// statistics.
+func (t *Tracker) SyncEpoch(cl *cluster.Cluster) SyncStats {
+	// Gather per-server work lists.
+	type lagging struct {
+		p   int
+		lag uint64
+	}
+	perServer := make(map[cluster.ServerID][]lagging)
+	for p := 0; p < len(t.replicaVer); p++ {
+		for s, v := range t.replicaVer[p] {
+			if s == t.primaryOf[p] {
+				// The primary applies writes locally; it never pulls.
+				continue
+			}
+			if lag := t.primaryVer[p] - v; lag > 0 {
+				perServer[s] = append(perServer[s], lagging{p, lag})
+			}
+		}
+	}
+	servers := make([]cluster.ServerID, 0, len(perServer))
+	for s := range perServer {
+		servers = append(servers, s)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+
+	var stats SyncStats
+	for _, s := range servers {
+		if !cl.Server(s).Alive() {
+			continue
+		}
+		work := perServer[s]
+		sort.Slice(work, func(i, j int) bool {
+			if work[i].lag != work[j].lag {
+				return work[i].lag > work[j].lag
+			}
+			return work[i].p < work[j].p
+		})
+		budget := t.syncBW / t.deltaSize // versions this server may pull
+		for _, w := range work {
+			if budget == 0 {
+				break
+			}
+			pull := w.lag
+			if uint64(budget) < pull {
+				pull = uint64(budget)
+			}
+			t.replicaVer[w.p][s] += pull
+			budget -= int64(pull)
+			bytes := int64(pull) * t.deltaSize
+			stats.BytesTransferred += bytes
+			t.cumSyncBytes += bytes
+		}
+	}
+
+	// Post-sync staleness over non-primary copies.
+	var sum float64
+	var count, stale int
+	for p := 0; p < len(t.replicaVer); p++ {
+		for s, v := range t.replicaVer[p] {
+			if s == t.primaryOf[p] {
+				continue
+			}
+			lag := t.primaryVer[p] - v
+			sum += float64(lag)
+			count++
+			if lag > 0 {
+				stale++
+			}
+			if lag > stats.MaxStaleness {
+				stats.MaxStaleness = lag
+			}
+		}
+	}
+	if count > 0 {
+		stats.MeanStaleness = sum / float64(count)
+		stats.StaleReplicaFrac = float64(stale) / float64(count)
+	}
+	return stats
+}

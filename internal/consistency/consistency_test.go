@@ -1,0 +1,254 @@
+package consistency
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+func newCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	spec := cluster.DefaultSpec()
+	spec.Partitions = 4
+	cl, err := cluster.New(topology.PaperWorld(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := New(4, 1<<10, 8<<10) // 1 KB per version, 8 versions/epoch budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := New(4, 0, 1); err == nil {
+		t.Fatal("zero delta size accepted")
+	}
+	if _, err := New(4, 1, 0); err == nil {
+		t.Fatal("zero sync bandwidth accepted")
+	}
+}
+
+func TestWritesBumpPrimaryVersion(t *testing.T) {
+	tr := newTracker(t)
+	tr.ApplyWrites(0, 5)
+	tr.ApplyWrites(0, 3)
+	if got := tr.PrimaryVersion(0); got != 8 {
+		t.Fatalf("version = %d", got)
+	}
+	if tr.PrimaryVersion(1) != 0 {
+		t.Fatal("writes leaked across partitions")
+	}
+}
+
+func TestApplyWritesPanicsOnNegative(t *testing.T) {
+	tr := newTracker(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative writes accepted")
+		}
+	}()
+	tr.ApplyWrites(0, -1)
+}
+
+func TestReconcileFreshCopiesEnterCurrent(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	_ = cl.AddReplica(0, 1)
+	tr.ApplyWrites(0, 10)
+	tr.Reconcile(cl)
+	if got := tr.Staleness(0, 1); got != 0 {
+		t.Fatalf("fresh primary staleness = %d", got)
+	}
+	// A replica added later also enters at the current version.
+	_ = cl.AddReplica(0, 50)
+	tr.Reconcile(cl)
+	if got := tr.Staleness(0, 50); got != 0 {
+		t.Fatalf("fresh replica staleness = %d", got)
+	}
+	// Subsequent writes open a lag for the replica but not the primary.
+	tr.ApplyWrites(0, 4)
+	tr.Reconcile(cl)
+	if got := tr.Staleness(0, 50); got != 4 {
+		t.Fatalf("replica staleness = %d, want 4", got)
+	}
+	if got := tr.Staleness(0, 1); got != 0 {
+		t.Fatalf("primary staleness = %d", got)
+	}
+}
+
+func TestStalenessOfUntrackedServer(t *testing.T) {
+	tr := newTracker(t)
+	tr.ApplyWrites(0, 7)
+	if got := tr.Staleness(0, 99); got != 7 {
+		t.Fatalf("untracked staleness = %d, want full version", got)
+	}
+}
+
+func TestSyncCatchesUpWithinBudget(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t) // 8 versions per server per epoch
+	_ = cl.AddReplica(0, 1)
+	_ = cl.AddReplica(0, 50)
+	tr.Reconcile(cl)
+	tr.ApplyWrites(0, 20)
+	tr.Reconcile(cl)
+	stats := tr.SyncEpoch(cl)
+	if got := tr.Staleness(0, 50); got != 12 {
+		t.Fatalf("post-sync staleness = %d, want 20-8", got)
+	}
+	if stats.BytesTransferred != 8<<10 {
+		t.Fatalf("bytes = %d", stats.BytesTransferred)
+	}
+	if stats.MaxStaleness != 12 || stats.StaleReplicaFrac != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Two more epochs drain the lag.
+	tr.SyncEpoch(cl)
+	stats = tr.SyncEpoch(cl)
+	if got := tr.Staleness(0, 50); got != 0 {
+		t.Fatalf("staleness after 3 syncs = %d", got)
+	}
+	if stats.MeanStaleness != 0 || stats.StaleReplicaFrac != 0 {
+		t.Fatalf("final stats = %+v", stats)
+	}
+}
+
+func TestSyncBudgetSharedMostStaleFirst(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	// Server 50 hosts replicas of two partitions with different lags.
+	_ = cl.AddReplica(0, 1)
+	_ = cl.AddReplica(1, 2)
+	_ = cl.AddReplica(0, 50)
+	_ = cl.AddReplica(1, 50)
+	tr.Reconcile(cl)
+	tr.ApplyWrites(0, 6) // partition 0 lags 6
+	tr.ApplyWrites(1, 4) // partition 1 lags 4
+	tr.Reconcile(cl)
+	tr.SyncEpoch(cl) // budget 8: pulls 6 for p0, then 2 of p1's 4
+	if got := tr.Staleness(0, 50); got != 0 {
+		t.Fatalf("most-stale partition not drained first: %d", got)
+	}
+	if got := tr.Staleness(1, 50); got != 2 {
+		t.Fatalf("second partition staleness = %d, want 2", got)
+	}
+}
+
+func TestPromotionLosesUnsyncedWrites(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	_ = cl.AddReplica(0, 1)  // primary
+	_ = cl.AddReplica(0, 50) // replica
+	tr.Reconcile(cl)
+	tr.ApplyWrites(0, 30) // replica never catches up before the crash
+	tr.Reconcile(cl)
+	cl.FailServer(1) // promotion: server 50 takes over at version 0
+	tr.Reconcile(cl)
+	if got := tr.PrimaryVersion(0); got != 0 {
+		t.Fatalf("promoted version = %d, want rollback to 0", got)
+	}
+	if got := tr.LostWrites(); got != 30 {
+		t.Fatalf("lost writes = %d, want 30", got)
+	}
+}
+
+func TestPromotionAfterSyncLosesNothing(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	_ = cl.AddReplica(0, 1)
+	_ = cl.AddReplica(0, 50)
+	tr.Reconcile(cl)
+	tr.ApplyWrites(0, 5)
+	tr.Reconcile(cl)
+	tr.SyncEpoch(cl) // 5 ≤ budget 8: replica fully caught up
+	cl.FailServer(1)
+	tr.Reconcile(cl)
+	if got := tr.LostWrites(); got != 0 {
+		t.Fatalf("lost writes = %d after full sync", got)
+	}
+	if got := tr.PrimaryVersion(0); got != 5 {
+		t.Fatalf("version after clean promotion = %d", got)
+	}
+}
+
+func TestReconcileDropsVanishedCopies(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	_ = cl.AddReplica(0, 1)
+	_ = cl.AddReplica(0, 50)
+	tr.Reconcile(cl)
+	_ = cl.RemoveReplica(0, 50)
+	tr.ApplyWrites(0, 3)
+	tr.Reconcile(cl)
+	stats := tr.SyncEpoch(cl)
+	if stats.BytesTransferred != 0 {
+		t.Fatalf("synced a removed replica: %+v", stats)
+	}
+}
+
+func TestDeadServerDoesNotSync(t *testing.T) {
+	cl := newCluster(t)
+	tr := newTracker(t)
+	_ = cl.AddReplica(0, 1)
+	_ = cl.AddReplica(0, 50)
+	tr.Reconcile(cl)
+	tr.ApplyWrites(0, 10)
+	// No reconcile after the failure: the tracker still carries server
+	// 50, but SyncEpoch must skip it because it is down.
+	cl.FailServer(50)
+	stats := tr.SyncEpoch(cl)
+	if stats.BytesTransferred != 0 {
+		t.Fatalf("dead server pulled %d bytes", stats.BytesTransferred)
+	}
+}
+
+func TestVersionsNeverExceedPrimary(t *testing.T) {
+	check := func(writes [6]uint8) bool {
+		cl, err := cluster.New(topology.PaperWorld(), func() cluster.Spec {
+			s := cluster.DefaultSpec()
+			s.Partitions = 2
+			return s
+		}())
+		if err != nil {
+			return false
+		}
+		tr, err := New(2, 1<<10, 4<<10)
+		if err != nil {
+			return false
+		}
+		_ = cl.AddReplica(0, 1)
+		_ = cl.AddReplica(0, 30)
+		_ = cl.AddReplica(1, 2)
+		_ = cl.AddReplica(1, 60)
+		tr.Reconcile(cl)
+		for _, w := range writes {
+			tr.ApplyWrites(0, int(w)%16)
+			tr.ApplyWrites(1, int(w)%7)
+			tr.Reconcile(cl)
+			tr.SyncEpoch(cl)
+			for p := 0; p < 2; p++ {
+				for _, s := range cl.ReplicaServers(p) {
+					if tr.Staleness(p, s) > tr.PrimaryVersion(p) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

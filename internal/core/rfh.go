@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: the RFH
+// (Resilient, Fault-tolerant, High-efficient) replication policy — the
+// traffic-oriented decision tree of Fig. 2 that drives per-virtual-node
+// replicate / migrate / suicide decisions. The comparison baselines
+// live in internal/policy; the shared policy.Policy contract and policy.Context come
+// from there too.
+package core
+
+import (
+	"repro/internal/availability"
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// RFH is the paper's contribution: the traffic-oriented decision tree
+// of Fig. 2. Each epoch, for every partition:
+//
+//  1. If the eq. (14) availability lower limit is not met, replicate to
+//     the most-forwarding datacenter "even if all the nodes are not
+//     overloaded".
+//  2. Otherwise, if the holder is overloaded (eq. 12), take the top
+//     traffic hubs (eq. 13, paper fixes 3). If the best hub without a
+//     replica can be fed by migrating a replica stranded outside the
+//     hub set — and the eq. (16) benefit threshold holds — migrate;
+//     otherwise replicate a fresh copy onto the hub.
+//  3. A non-primary replica whose datacenter traffic fell below the
+//     eq. (15) δ threshold commits suicide, provided availability still
+//     holds without it.
+//
+// Within the chosen datacenter, the physical server with the lowest
+// eq. (18) blocking probability that satisfies the φ storage condition
+// (19) is selected.
+type RFH struct{}
+
+var _ policy.Policy = (*RFH)(nil)
+
+// NewRFH returns the RFH policy.
+func NewRFH() *RFH { return &RFH{} }
+
+// Name implements policy.Policy.
+func (*RFH) Name() string { return "rfh" }
+
+// Decide implements policy.Policy.
+func (r *RFH) Decide(ctx *policy.Context) policy.Decision {
+	var d policy.Decision
+	for p := 0; p < ctx.Cluster.NumPartitions(); p++ {
+		primary := ctx.Cluster.Primary(p)
+		if primary < 0 {
+			continue
+		}
+		hosted := policy.ReplicaDCs(ctx, p)
+
+		// Branch 1 of Fig. 2: availability below the lower limit forces
+		// replication onto the most-forwarding datacenter.
+		if ctx.Cluster.ReplicaCount(p) < ctx.MinReplicas {
+			if rep, ok := r.replicateToMostForwarding(ctx, p, primary, hosted); ok {
+				d.Replications = append(d.Replications, rep)
+			}
+			continue
+		}
+
+		structural := false
+		// Branch 2: holder overloaded → replicate or migrate to a hub.
+		if policy.HolderIsOverloaded(ctx, p, primary) || policy.CapacityShort(ctx, p) {
+			if rep, mig, ok := r.hubAction(ctx, p, primary, hosted); ok {
+				if mig != nil {
+					d.Migrations = append(d.Migrations, *mig)
+				} else {
+					d.Replications = append(d.Replications, *rep)
+				}
+				structural = true
+			} else if policy.CapacityShort(ctx, p) {
+				// Fig. 2: "If the minimum availability is reached, but
+				// there's still too much traffic, it will force the
+				// scheme to start relieving load" — when no hub action
+				// is available and queries are genuinely going unserved
+				// (aggregate capacity short of demand), fall back to the
+				// most-forwarding datacenter regardless of the γ
+				// threshold.
+				if rep, ok := r.replicateToMostForwarding(ctx, p, primary, hosted); ok {
+					d.Replications = append(d.Replications, rep)
+					structural = true
+				}
+			}
+		}
+
+		// Branch 3: cold replicas suicide (at most one per partition per
+		// epoch, never alongside a structural action on the same
+		// partition — the decision tree picks one branch per epoch).
+		if !structural {
+			if sui, ok := r.suicideFor(ctx, p, primary); ok {
+				d.Suicides = append(d.Suicides, sui)
+			}
+		}
+	}
+	return d
+}
+
+// replicateToMostForwarding places a copy on the datacenter with the
+// highest smoothed traffic that has a hostable server, regardless of
+// hub thresholds. Datacenters that already host a copy stay in the
+// ranking — when the holder's own region generates the overflow, a
+// second server in the same datacenter (chosen by lowest blocking
+// probability, eq. 18) is exactly what relieves it.
+func (r *RFH) replicateToMostForwarding(ctx *policy.Context, p int, primary cluster.ServerID, hosted map[topology.DCID]bool) (policy.Replication, bool) {
+	_ = hosted
+	n := ctx.Router.World().NumDCs()
+	type cand struct {
+		dc topology.DCID
+		tr float64
+	}
+	cands := make([]cand, 0, n)
+	for dc := 0; dc < n; dc++ {
+		cands = append(cands, cand{topology.DCID(dc), ctx.Tracker.Traffic(p, topology.DCID(dc))})
+	}
+	// Selection sort over at most NumDCs entries: descending traffic,
+	// ascending id on ties.
+	for i := 0; i < len(cands); i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].tr > cands[best].tr || (cands[j].tr == cands[best].tr && cands[j].dc < cands[best].dc) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+		if s, ok := policy.PickLowestBlocking(ctx, p, cands[i].dc); ok {
+			return policy.Replication{Partition: p, Source: primary, Target: s}, true
+		}
+	}
+	return policy.Replication{}, false
+}
+
+// hubAction implements the overloaded-holder branch: pick the best
+// top-K hub lacking a replica; prefer migrating a stranded replica when
+// eq. (16) says the benefit is large enough, else replicate.
+func (r *RFH) hubAction(ctx *policy.Context, p int, primary cluster.ServerID, hosted map[topology.DCID]bool) (*policy.Replication, *policy.Migration, bool) {
+	holderDC := ctx.Cluster.DCOf(primary)
+	exclude := map[topology.DCID]bool{holderDC: true}
+	hubs := ctx.Tracker.TopHubs(p, ctx.HubCandidates, exclude)
+	if len(hubs) == 0 {
+		return nil, nil, false
+	}
+	hubSet := make(map[topology.DCID]bool, len(hubs))
+	for _, h := range hubs {
+		hubSet[h.DC] = true
+	}
+	var chosen topology.DCID = -1
+	for _, h := range hubs {
+		if !hosted[h.DC] {
+			chosen = h.DC
+			break
+		}
+	}
+	if chosen < 0 {
+		// All top hubs already replicated: nothing to do this epoch.
+		return nil, nil, false
+	}
+	target, ok := policy.PickLowestBlocking(ctx, p, chosen)
+	if !ok {
+		return nil, nil, false
+	}
+	// policy.Migration check (eq. 16): a non-primary replica outside the hub
+	// set whose traffic lags the hub by at least μ·t̄r moves instead of
+	// paying for a fresh copy.
+	for _, s := range ctx.Cluster.ReplicaServers(p) {
+		if s == primary {
+			continue
+		}
+		dc := ctx.Cluster.DCOf(s)
+		if hubSet[dc] || dc == holderDC {
+			continue
+		}
+		if ctx.Tracker.MigrationBeneficial(p, dc, chosen) {
+			return nil, &policy.Migration{Partition: p, From: s, To: target}, true
+		}
+	}
+	return &policy.Replication{Partition: p, Source: primary, Target: target}, nil, true
+}
+
+// suicideFor returns the first cold, safely removable replica of the
+// partition, if any.
+func (r *RFH) suicideFor(ctx *policy.Context, p int, primary cluster.ServerID) (policy.Suicide, bool) {
+	count := ctx.Cluster.ReplicaCount(p)
+	if count <= ctx.MinReplicas {
+		return policy.Suicide{}, false
+	}
+	// Guard against suicide/replicate oscillation: removing a copy must
+	// not push the survivors straight back over the β threshold.
+	if ctx.Tracker.PressureAfterRemoval(p, count) >= ctx.Tracker.OverloadThreshold(p) {
+		return policy.Suicide{}, false
+	}
+	for _, s := range ctx.Cluster.ReplicaServers(p) {
+		if s == primary {
+			continue
+		}
+		if !ctx.Tracker.IsCold(p, ctx.Cluster.DCOf(s)) {
+			continue
+		}
+		// §II-E: "It will calculate the availability without itself. If
+		// the minimum availability is still satisfied without it, it
+		// will commit suicide."
+		if availability.MeetsWithout(count, ctx.FailureRate, ctx.MinAvailability) {
+			return policy.Suicide{Partition: p, Server: s}, true
+		}
+	}
+	return policy.Suicide{}, false
+}

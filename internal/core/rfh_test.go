@@ -1,0 +1,359 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// fixture mirrors the policy package's test fixture (kept local: the
+// helpers there are test-only and unexported).
+type fixture struct {
+	t       *testing.T
+	cluster *cluster.Cluster
+	tracker *traffic.Tracker
+	router  *network.Router
+	ring    *ring.Ring
+	world   *topology.World
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = 4
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.NewTracker(spec.Partitions, w.NumDCs(), traffic.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := ring.New()
+	for i := 0; i < cl.NumServers(); i++ {
+		if err := rg.AddServer(i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{t: t, cluster: cl, tracker: tr, router: rt, ring: rg, world: w}
+}
+
+func (f *fixture) ctx(epoch int) *policy.Context {
+	return &policy.Context{
+		Epoch:           epoch,
+		Cluster:         f.cluster,
+		Tracker:         f.tracker,
+		Router:          f.router,
+		Ring:            f.ring,
+		Demand:          workload.NewMatrix(f.cluster.NumPartitions(), f.world.NumDCs()),
+		FailureRate:     0.1,
+		MinAvailability: 0.8,
+		MinReplicas:     2,
+		HubCandidates:   3,
+		RNG:             stats.NewRNG(uint64(epoch) + 7),
+	}
+}
+
+func (f *fixture) dc(name string) topology.DCID {
+	f.t.Helper()
+	d, ok := f.world.DCByName(name)
+	if !ok {
+		f.t.Fatalf("no DC %s", name)
+	}
+	return d.ID
+}
+
+func (f *fixture) place(p int, dcName string, i int) cluster.ServerID {
+	f.t.Helper()
+	s := f.cluster.ServersInDC(f.dc(dcName))[i]
+	if err := f.cluster.AddReplica(p, s); err != nil {
+		f.t.Fatal(err)
+	}
+	return s
+}
+
+// observe injects one epoch of observations for partition p.
+func (f *fixture) observe(p int, holderDC string, trafficByName, servedByName map[string]int, unserved, total int) {
+	f.t.Helper()
+	n := f.world.NumDCs()
+	res := &traffic.ServeResult{
+		TrafficByDC:  make([]int, n),
+		ServedByDC:   make([]int, n),
+		Unserved:     unserved,
+		TotalQueries: total,
+	}
+	for name, v := range trafficByName {
+		res.TrafficByDC[f.dc(name)] = v
+	}
+	for name, v := range servedByName {
+		res.ServedByDC[f.dc(name)] = v
+	}
+	f.tracker.BeginEpoch()
+	f.tracker.Observe(p, f.dc(holderDC), res)
+	f.tracker.EndEpoch()
+}
+
+func TestRFHName(t *testing.T) {
+	if NewRFH().Name() != "rfh" {
+		t.Fatalf("name = %s", NewRFH().Name())
+	}
+}
+
+func TestRFHAvailabilityBranchReplicatesToMostForwarding(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0) // one copy < MinReplicas 2
+	// No overload at all, but heavy forwarding traffic at D: the
+	// availability branch must replicate there "even if all the nodes
+	// are not overloaded".
+	f.observe(0, "A", map[string]int{"A": 10, "D": 40}, map[string]int{"A": 10}, 0, 10)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 {
+		t.Fatalf("replications = %v", dec.Replications)
+	}
+	if got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name; got != "D" {
+		t.Fatalf("availability replica placed in %s, want most-forwarding D", got)
+	}
+}
+
+func TestRFHReplicatesToTopHubWhenOverloaded(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0) // availability satisfied
+	// Holder pipeline saturated: total load 300 over 2 copies = 150 ≥ 60.
+	// D and F are loud hubs (traffic ≥ γ·q̄ = 45). B carries enough
+	// traffic itself (150) that the eq. (16) migration benefit against
+	// hub D (200−150=50 < μ·t̄r=67) fails, forcing a fresh replication.
+	f.observe(0, "A",
+		map[string]int{"A": 300, "B": 150, "D": 200, "F": 120},
+		map[string]int{"A": 250, "B": 50}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 || len(dec.Migrations) != 0 {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name; got != "D" {
+		t.Fatalf("hub replica placed in %s, want top hub D", got)
+	}
+}
+
+func TestRFHSkipsHostedHubs(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "D", 0) // top hub already hosted
+	f.observe(0, "A",
+		map[string]int{"A": 300, "D": 200, "F": 120},
+		map[string]int{"A": 230, "D": 70}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name; got != "F" {
+		t.Fatalf("replica placed in %s, want next hub F", got)
+	}
+}
+
+func TestRFHMigratesStrandedReplicaToHub(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	stranded := f.place(0, "G", 0) // far replica off every hub
+	// Holder overloaded; D is a loud hub; G's traffic is negligible so
+	// eq. (16)'s benefit threshold holds (200 - 2 ≥ mean).
+	f.observe(0, "A",
+		map[string]int{"A": 300, "D": 200, "G": 2},
+		map[string]int{"A": 280, "G": 20}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Migrations) != 1 {
+		t.Fatalf("decision = %+v, want one migration", dec)
+	}
+	m := dec.Migrations[0]
+	if m.From != stranded {
+		t.Fatalf("migrated %d, want stranded %d", m.From, stranded)
+	}
+	if got := f.world.DC(f.cluster.DCOf(m.To)).Name; got != "D" {
+		t.Fatalf("migrated to %s, want hub D", got)
+	}
+	if len(dec.Replications) != 0 {
+		t.Fatal("migration and replication for the same partition")
+	}
+}
+
+func TestRFHMigrationRequiresBenefitThreshold(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "G", 0)
+	// G itself carries substantial traffic: eq. (16) benefit too small,
+	// so RFH must replicate instead of migrating.
+	f.observe(0, "A",
+		map[string]int{"A": 300, "D": 200, "G": 190},
+		map[string]int{"A": 250, "G": 50}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Migrations) != 0 {
+		t.Fatalf("migrated despite insufficient benefit: %+v", dec.Migrations)
+	}
+	if len(dec.Replications) != 1 {
+		t.Fatalf("expected a replication instead, got %+v", dec)
+	}
+}
+
+func TestRFHSuicideOfColdReplica(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	cold := f.place(0, "G", 0)
+	// Light, well-served load; G serves almost nothing (1 ≤ δ·q̄ = 6).
+	// Three copies > MinReplicas 2, the partition is far from the β
+	// threshold, and removal keeps per-copy pressure low.
+	f.observe(0, "A",
+		map[string]int{"A": 30, "B": 20, "G": 1},
+		map[string]int{"A": 30, "B": 20, "G": 1}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Suicides) != 1 {
+		t.Fatalf("decision = %+v, want one suicide", dec)
+	}
+	if dec.Suicides[0].Server != cold {
+		t.Fatalf("suicided %d, want cold replica %d", dec.Suicides[0].Server, cold)
+	}
+}
+
+func TestRFHNoSuicideAtAvailabilityFloor(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "G", 0) // exactly MinReplicas copies
+	f.observe(0, "A",
+		map[string]int{"A": 30, "G": 0},
+		map[string]int{"A": 30}, 0, 50)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Suicides) != 0 {
+		t.Fatalf("suicided at the availability floor: %+v", dec.Suicides)
+	}
+}
+
+func TestRFHSuicideGuardAgainstOscillation(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.place(0, "G", 0)
+	// G is cold, but total load 170 over 2 remaining copies would be 85
+	// ≥ β·q̄ = 68: removing it would re-trigger replication, so hold.
+	f.observe(0, "A",
+		map[string]int{"A": 100, "B": 69, "G": 1},
+		map[string]int{"A": 100, "B": 69, "G": 1}, 0, 340)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Suicides) != 0 {
+		t.Fatalf("suicide would oscillate: %+v", dec.Suicides)
+	}
+}
+
+func TestRFHNeverSuicidesPrimary(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	primary := f.place(0, "G", 0) // primary in a cold spot
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.observe(0, "G",
+		map[string]int{"A": 30, "B": 20, "G": 0},
+		map[string]int{"A": 30, "B": 20}, 0, 50)
+	dec := pol.Decide(f.ctx(0))
+	for _, s := range dec.Suicides {
+		if s.Server == primary {
+			t.Fatal("RFH suicided the primary")
+		}
+	}
+}
+
+func TestRFHFallbackOnCapacityShortage(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "A", 1) // availability met, all copies in A
+	// Overloaded with persistent unserved but NO datacenter above the γ
+	// hub threshold (traffic diffuse): the Fig. 2 "force relieving
+	// load" fallback must still replicate at the loudest DC.
+	f.observe(0, "A",
+		map[string]int{"A": 300, "B": 20, "C": 18},
+		map[string]int{"A": 140}, 160, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 {
+		t.Fatalf("fallback did not fire: %+v", dec)
+	}
+	// Loudest DC is A itself (traffic 300) — a third server there.
+	if got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name; got != "A" {
+		t.Fatalf("fallback placed in %s, want A", got)
+	}
+}
+
+func TestRFHIdleWhenHealthy(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "D", 0)
+	// Light load, everything served, nothing cold enough to die given
+	// both copies carry weight.
+	f.observe(0, "A",
+		map[string]int{"A": 30, "D": 25},
+		map[string]int{"A": 30, "D": 25}, 0, 100)
+	dec := pol.Decide(f.ctx(0))
+	if !dec.Empty() {
+		t.Fatalf("healthy partition got actions: %+v", dec)
+	}
+}
+
+func TestRFHSkipsLostPartition(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	// Partition 1 never seeded (primary -1); heavy phantom traffic.
+	f.observe(1, "A", map[string]int{"A": 300}, nil, 300, 300)
+	dec := pol.Decide(f.ctx(0))
+	for _, r := range dec.Replications {
+		if r.Partition == 1 {
+			t.Fatal("acted on a lost partition")
+		}
+	}
+}
+
+func TestRFHChoosesLowestBlockingServerInHubDC(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRFH()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	// Make the first two servers of D look saturated so the policy must
+	// pick a quieter one.
+	dServers := f.cluster.ServersInDC(f.dc("D"))
+	f.cluster.BeginEpoch()
+	f.cluster.Server(dServers[0]).RecordArrivals(500, 500)
+	f.cluster.Server(dServers[1]).RecordArrivals(500, 500)
+	f.cluster.EndEpoch()
+	f.observe(0, "A",
+		map[string]int{"A": 300, "B": 150, "D": 200},
+		map[string]int{"A": 250, "B": 50}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 {
+		t.Fatalf("decision = %+v", dec)
+	}
+	target := dec.Replications[0].Target
+	if target == dServers[0] || target == dServers[1] {
+		t.Fatalf("picked saturated server %d", target)
+	}
+	if f.cluster.DCOf(target) != f.dc("D") {
+		t.Fatal("not in hub DC at all")
+	}
+}

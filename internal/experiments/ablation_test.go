@@ -1,0 +1,115 @@
+package experiments
+
+import "testing"
+
+func ablationSuite(t *testing.T) *Suite {
+	t.Helper()
+	opts := quickOpts()
+	opts.EpochsRandom = 60 // ablation sweeps run many simulations
+	s, err := NewSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAblationUnknownParameter(t *testing.T) {
+	s := ablationSuite(t)
+	if _, err := s.RunAblation("zeta"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}
+
+func TestAblationNamesAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	s := ablationSuite(t)
+	for _, name := range AblationNames() {
+		ab, err := s.RunAblation(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ab.Points) < 2 {
+			t.Fatalf("%s: only %d grid points", name, len(ab.Points))
+		}
+		for _, p := range ab.Points {
+			if p.Utilization < 0 || p.Utilization > 1 {
+				t.Fatalf("%s value %g: utilization %g outside [0,1]", name, p.Value, p.Utilization)
+			}
+			if p.Replicas < 16 { // at least one copy per partition (16 in quick suite? full 64 here)
+				t.Fatalf("%s value %g: replicas %g below partition count", name, p.Value, p.Replicas)
+			}
+		}
+		if ab.Summary() == "" {
+			t.Fatalf("%s: empty summary", name)
+		}
+	}
+}
+
+func TestAblationBetaControlsReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := ablationSuite(t)
+	ab, err := s.RunAblation("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A laxer overload threshold (higher β) must not increase the
+	// steady replica count: β is the principal replication brake.
+	first := ab.Points[0]
+	last := ab.Points[len(ab.Points)-1]
+	if last.Replicas > first.Replicas {
+		t.Fatalf("replicas grew with beta: β=%g→%.0f, β=%g→%.0f",
+			first.Value, first.Replicas, last.Value, last.Replicas)
+	}
+	if ab.Spread(func(p AblationPoint) float64 { return p.Replicas }) == 0 {
+		t.Fatal("beta sweep had no effect at all")
+	}
+}
+
+func TestAblationServingModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := ablationSuite(t)
+	ab, err := s.RunAblation("serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Points) != 2 {
+		t.Fatalf("serving ablation points = %d", len(ab.Points))
+	}
+	// The two serving models must actually differ in outcome.
+	if ab.Points[0].PathLength == ab.Points[1].PathLength &&
+		ab.Points[0].Utilization == ab.Points[1].Utilization {
+		t.Fatal("serving models produced identical outcomes")
+	}
+}
+
+func TestAblationMonotoneHelper(t *testing.T) {
+	ab := &Ablation{Parameter: "x", Points: []AblationPoint{
+		{Value: 1, Replicas: 10}, {Value: 2, Replicas: 8}, {Value: 3, Replicas: 7},
+	}}
+	if !ab.Monotone(func(p AblationPoint) float64 { return p.Replicas }, 0) {
+		t.Fatal("decreasing sequence not monotone")
+	}
+	ab.Points[1].Replicas = 20
+	if ab.Monotone(func(p AblationPoint) float64 { return p.Replicas }, 0) {
+		t.Fatal("zigzag reported monotone")
+	}
+	if !ab.Monotone(func(p AblationPoint) float64 { return p.Replicas }, 100) {
+		t.Fatal("tolerance not applied")
+	}
+	if got := ab.Spread(func(p AblationPoint) float64 { return p.Replicas }); got != 13 {
+		t.Fatalf("spread = %g", got)
+	}
+	empty := &Ablation{}
+	if empty.Spread(func(p AblationPoint) float64 { return p.Replicas }) != 0 {
+		t.Fatal("empty spread not 0")
+	}
+	if !empty.Monotone(func(p AblationPoint) float64 { return 0 }, 0) {
+		t.Fatal("empty not monotone")
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Claim is one qualitative assertion about a figure's shape — the kind
+// of statement the paper's prose makes ("the RFH algorithm has the
+// highest rate", "the cost of random algorithm is zero").
+type Claim struct {
+	Description string
+	Pass        bool
+	Detail      string
+}
+
+// ShapeReport collects the claims checked for one figure.
+type ShapeReport struct {
+	Figure string
+	Claims []Claim
+}
+
+// Failed returns the number of failed claims.
+func (r *ShapeReport) Failed() int {
+	n := 0
+	for _, c := range r.Claims {
+		if !c.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// tail returns the mean of the last quarter of a series.
+func tail(points []float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	return stats.Mean(points[len(points)*3/4:])
+}
+
+// head returns the mean of the first few points of a series.
+func head(points []float64) float64 {
+	n := 5
+	if len(points) < n {
+		n = len(points)
+	}
+	return stats.Mean(points[:n])
+}
+
+// byName indexes a figure's curves.
+func byName(fig *Figure) map[string][]float64 {
+	out := make(map[string][]float64, len(fig.Series))
+	for _, s := range fig.Series {
+		out[s.Name] = s.Points
+	}
+	return out
+}
+
+func claim(desc string, pass bool, format string, args ...interface{}) Claim {
+	return Claim{Description: desc, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckFigure evaluates the qualitative claims the paper makes about
+// the given figure against this reproduction's data.
+func (s *Suite) CheckFigure(id string) (*ShapeReport, error) {
+	fig, err := s.Figure(id)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ShapeReport{Figure: id}
+	c := byName(fig)
+	switch id {
+	case "3a":
+		rep.Claims = append(rep.Claims,
+			claim("RFH has the highest utilization", tail(c["rfh"]) > tail(c["owner"]) && tail(c["rfh"]) > tail(c["request"]) && tail(c["rfh"]) > tail(c["random"]),
+				"rfh=%.3f owner=%.3f request=%.3f random=%.3f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])),
+			claim("random has the lowest utilization", tail(c["random"]) < tail(c["rfh"]) && tail(c["random"]) < tail(c["owner"]) && tail(c["random"]) < tail(c["request"]),
+				"random=%.3f", tail(c["random"])))
+	case "3b":
+		shift := s.opts.EpochsFlash / 4
+		s1 := func(pts []float64) float64 { return stats.Mean(pts[shift/2 : shift]) }
+		postMin := func(pts []float64) float64 {
+			w := pts[shift:min(shift+40, len(pts))]
+			return stats.Min(w)
+		}
+		rep.Claims = append(rep.Claims,
+			claim("request-oriented collapses after the epoch-"+fmt.Sprint(shift)+" shift",
+				postMin(c["request"]) < 0.8*s1(c["request"]),
+				"stage1=%.3f post-shift min=%.3f", s1(c["request"]), postMin(c["request"])),
+			claim("RFH ends with the highest utilization",
+				tail(c["rfh"]) > tail(c["owner"]) && tail(c["rfh"]) > tail(c["request"]) && tail(c["rfh"]) > tail(c["random"]),
+				"rfh=%.3f owner=%.3f request=%.3f random=%.3f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])),
+			claim("RFH recovers after each shift (late ≥ 80% of stage 1)",
+				tail(c["rfh"]) >= 0.8*s1(c["rfh"]),
+				"stage1=%.3f late=%.3f", s1(c["rfh"]), tail(c["rfh"])))
+	case "4a", "4b":
+		rep.Claims = append(rep.Claims,
+			claim("random keeps the most replicas", tail(c["random"]) > tail(c["rfh"]) && tail(c["random"]) > tail(c["owner"]) && tail(c["random"]) > tail(c["request"]),
+				"random=%.1f rfh=%.1f owner=%.1f request=%.1f", tail(c["random"]), tail(c["rfh"]), tail(c["owner"]), tail(c["request"])),
+			claim("RFH keeps fewer replicas than owner-oriented", tail(c["rfh"]) < tail(c["owner"]),
+				"rfh=%.1f owner=%.1f", tail(c["rfh"]), tail(c["owner"])))
+	case "4c", "4d":
+		rep.Claims = append(rep.Claims,
+			claim("RFH keeps the fewest replicas under flash crowd",
+				tail(c["rfh"]) < tail(c["owner"]) && tail(c["rfh"]) < tail(c["request"]) && tail(c["rfh"]) < tail(c["random"]),
+				"rfh=%.1f owner=%.1f request=%.1f random=%.1f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])))
+	case "5a", "5c":
+		rep.Claims = append(rep.Claims,
+			claim("RFH has the lowest total replication cost",
+				tail(c["rfh"]) < tail(c["owner"]) && tail(c["rfh"]) < tail(c["request"]) && tail(c["rfh"]) < tail(c["random"]),
+				"rfh=%.2f owner=%.2f request=%.2f random=%.2f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])),
+			claim("random has the highest total replication cost",
+				tail(c["random"]) > tail(c["rfh"]) && tail(c["random"]) > tail(c["owner"]) && tail(c["random"]) > tail(c["request"]),
+				"random=%.2f", tail(c["random"])))
+	case "5b", "5d":
+		rep.Claims = append(rep.Claims,
+			claim("owner-oriented has a low average replication cost (replicates nearby)",
+				tail(c["owner"]) < tail(c["random"]),
+				"owner=%.4f random=%.4f", tail(c["owner"]), tail(c["random"])))
+	case "6a", "6c", "7a", "7c":
+		kind := "migration times"
+		if id[0] == '7' {
+			kind = "migration cost"
+		}
+		rep.Claims = append(rep.Claims,
+			claim("request-oriented has the most "+kind,
+				tail(c["request"]) > tail(c["rfh"]) && tail(c["request"]) >= tail(c["owner"]) && tail(c["request"]) >= tail(c["random"]),
+				"request=%.2f rfh=%.2f owner=%.2f random=%.2f", tail(c["request"]), tail(c["rfh"]), tail(c["owner"]), tail(c["random"])),
+			claim("random never migrates (no migration function)", tail(c["random"]) == 0, "random=%.2f", tail(c["random"])),
+			claim("owner-oriented does not migrate in a static topology", tail(c["owner"]) == 0, "owner=%.2f", tail(c["owner"])))
+	case "6b", "6d", "7b", "7d":
+		rep.Claims = append(rep.Claims,
+			claim("random never migrates", tail(c["random"]) == 0, "random=%.3f", tail(c["random"])))
+	case "8a", "8b":
+		rep.Claims = append(rep.Claims,
+			claim("RFH has the best (lowest) load imbalance",
+				tail(c["rfh"]) <= tail(c["owner"]) && tail(c["rfh"]) <= tail(c["request"]) && tail(c["rfh"]) <= tail(c["random"]),
+				"rfh=%.2f owner=%.2f request=%.2f random=%.2f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])))
+	case "9a", "9b":
+		for _, name := range PolicyNames {
+			rep.Claims = append(rep.Claims,
+				claim(name+" path length drops sharply from the initial value",
+					tail(c[name]) < head(c[name]),
+					"initial=%.2f late=%.2f", head(c[name]), tail(c[name])))
+		}
+	case "e1":
+		rep.Claims = append(rep.Claims,
+			claim("RFH keeps the highest SLA satisfaction under flash crowd",
+				tail(c["rfh"]) >= tail(c["owner"])-1e-3 && tail(c["rfh"]) >= tail(c["request"])-1e-3 && tail(c["rfh"]) >= tail(c["random"])-1e-3,
+				"rfh=%.3f owner=%.3f request=%.3f random=%.3f", tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"])),
+			claim("every policy eventually meets the SLA for most queries",
+				tail(c["rfh"]) > 0.8 && tail(c["owner"]) > 0.8 && tail(c["request"]) > 0.8 && tail(c["random"]) > 0.8,
+				"min=%.3f", min4(tail(c["rfh"]), tail(c["owner"]), tail(c["request"]), tail(c["random"]))))
+	case "e2":
+		rep.Claims = append(rep.Claims,
+			claim("RFH keeps served fraction above 95% under continuous churn",
+				tail(c["rfh"]) >= 0.95,
+				"rfh=%.3f", tail(c["rfh"])),
+			claim("all policies keep serving through churn (no collapse)",
+				tail(c["owner"]) > 0.8 && tail(c["request"]) > 0.8 && tail(c["random"]) > 0.8,
+				"owner=%.3f request=%.3f random=%.3f", tail(c["owner"]), tail(c["request"]), tail(c["random"])))
+	case "10":
+		reps := c[metrics.SeriesTotalReplicas]
+		fe := s.failureMeta.failEpoch
+		pre := stats.Mean(reps[fe-20 : fe])
+		at := reps[fe]
+		post := tail(reps)
+		rep.Claims = append(rep.Claims,
+			claim("replica count grows to a plateau before the failure", pre > reps[0], "start=%.0f plateau=%.0f", reps[0], pre),
+			claim("mass failure causes a sharp replica drop", at < 0.95*pre, "pre=%.0f at-failure=%.0f", pre, at),
+			claim("RFH rebuilds replicas back to the pre-failure level", post >= 0.9*pre, "pre=%.0f recovered=%.0f", pre, post))
+	default:
+		return nil, fmt.Errorf("experiments: no shape checks for figure %q", id)
+	}
+	return rep, nil
+}
+
+// CheckAll evaluates every figure's shape claims.
+func (s *Suite) CheckAll() ([]*ShapeReport, error) {
+	var out []*ShapeReport
+	for _, id := range FigureIDs() {
+		rep, err := s.CheckFigure(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func min4(a, b, c, d float64) float64 {
+	m := a
+	for _, v := range []float64{b, c, d} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/traffic"
+)
+
+// Labeled is one curve of a figure.
+type Labeled struct {
+	Name   string
+	Points []float64
+}
+
+// Figure is the data behind one paper figure: an x-axis of epochs and
+// one curve per policy (or a single curve for Fig. 10).
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []Labeled
+}
+
+// figureSpec maps a figure id to the campaign and metric series it is
+// extracted from.
+type figureSpec struct {
+	title  string
+	ylabel string
+	flash  bool
+	series string
+}
+
+var figureSpecs = map[string]figureSpec{
+	"3a": {"Replica utilization rate under random query", "utilization", false, metrics.SeriesUtilization},
+	"3b": {"Replica utilization rate under flash crowd", "utilization", true, metrics.SeriesUtilization},
+	"4a": {"Total replica number under random query", "replicas", false, metrics.SeriesTotalReplicas},
+	"4b": {"Average replica number per partition under random query", "replicas/partition", false, metrics.SeriesAvgReplicas},
+	"4c": {"Total replica number under flash crowd", "replicas", true, metrics.SeriesTotalReplicas},
+	"4d": {"Average replica number per partition under flash crowd", "replicas/partition", true, metrics.SeriesAvgReplicas},
+	"5a": {"Total replication cost under random query", "cost (eq. 1, cumulative)", false, metrics.SeriesReplCost},
+	"5b": {"Average replication cost per replica under random query", "cost/replication", false, metrics.SeriesReplCostAvg},
+	"5c": {"Total replication cost under flash crowd", "cost (eq. 1, cumulative)", true, metrics.SeriesReplCost},
+	"5d": {"Average replication cost per replica under flash crowd", "cost/replication", true, metrics.SeriesReplCostAvg},
+	"6a": {"Total migration times under random query", "migrations (cumulative)", false, metrics.SeriesMigrTimes},
+	"6b": {"Average migration times per replica under random query", "migrations/replica", false, metrics.SeriesMigrTimesAvg},
+	"6c": {"Total migration times under flash crowd", "migrations (cumulative)", true, metrics.SeriesMigrTimes},
+	"6d": {"Average migration times per replica under flash crowd", "migrations/replica", true, metrics.SeriesMigrTimesAvg},
+	"7a": {"Total migration cost under random query", "cost (eq. 1, cumulative)", false, metrics.SeriesMigrCost},
+	"7b": {"Average migration cost per replica under random query", "cost/migration", false, metrics.SeriesMigrCostAvg},
+	"7c": {"Total migration cost under flash crowd", "cost (eq. 1, cumulative)", true, metrics.SeriesMigrCost},
+	"7d": {"Average migration cost per replica under flash crowd", "cost/migration", true, metrics.SeriesMigrCostAvg},
+	"8a": {"Load imbalance under random query", "L_b (eq. 25)", false, metrics.SeriesLoadImbalance},
+	"8b": {"Load imbalance under flash crowd", "L_b (eq. 25)", true, metrics.SeriesLoadImbalance},
+	"9a": {"Lookup path length under random query", "hops", false, metrics.SeriesPathLength},
+	"9b": {"Lookup path length under flash crowd", "hops", true, metrics.SeriesPathLength},
+}
+
+// FigureIDs returns every reproducible figure id in presentation
+// order: the paper's Figs. 3–10 plus two extension figures — E1 (SLA
+// satisfaction under flash crowd, after the paper's §I motivation) and
+// E2 (empirical availability under continuous churn).
+func FigureIDs() []string {
+	return []string{
+		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d",
+		"6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d",
+		"8a", "8b", "9a", "9b", "10", "e1", "e2",
+	}
+}
+
+// Figure extracts the named figure, running the underlying campaign if
+// necessary. Valid ids are FigureIDs().
+func (s *Suite) Figure(id string) (*Figure, error) {
+	switch id {
+	case "10":
+		return s.figure10()
+	case "e1":
+		runs, err := s.FlashRuns()
+		if err != nil {
+			return nil, err
+		}
+		return extensionFigure("e1",
+			"Ext. E1: SLA satisfaction under flash crowd (300 ms, §I)",
+			"fraction within SLA", runs, metrics.SeriesSLAFrac)
+	case "e2":
+		runs, err := s.ChurnRuns()
+		if err != nil {
+			return nil, err
+		}
+		return extensionFigure("e2",
+			"Ext. E2: served fraction under continuous churn (p=0.01, MTTR=15)",
+			"served fraction", runs, metrics.SeriesUnservedFrac)
+	}
+	spec, ok := figureSpecs[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+	var runs []PolicyRun
+	var err error
+	if spec.flash {
+		runs, err = s.FlashRuns()
+	} else {
+		runs, err = s.RandomRuns()
+	}
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: "Fig. " + id + ": " + spec.title, YLabel: spec.ylabel}
+	for _, run := range runs {
+		ser := run.Recorder.Series(spec.series)
+		if ser == nil {
+			return nil, fmt.Errorf("experiments: run %s missing series %s", run.Policy, spec.series)
+		}
+		pts := make([]float64, len(ser.Points))
+		copy(pts, ser.Points)
+		fig.Series = append(fig.Series, Labeled{Name: run.Policy, Points: pts})
+	}
+	return fig, nil
+}
+
+// extensionFigure assembles one extension figure from a campaign. For
+// e2 the unserved fraction is inverted into a served (availability)
+// fraction.
+func extensionFigure(id, title, ylabel string, runs []PolicyRun, series string) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, YLabel: ylabel}
+	for _, run := range runs {
+		ser := run.Recorder.Series(series)
+		if ser == nil {
+			return nil, fmt.Errorf("experiments: run %s missing series %s", run.Policy, series)
+		}
+		pts := make([]float64, len(ser.Points))
+		copy(pts, ser.Points)
+		if id == "e2" {
+			for i, v := range pts {
+				pts[i] = 1 - v
+			}
+		}
+		fig.Series = append(fig.Series, Labeled{Name: run.Policy, Points: pts})
+	}
+	return fig, nil
+}
+
+// figure10 builds the node failure and recovery figure: RFH's total
+// replica count across the mass failure at FailEpoch, plus the alive-
+// server count for context.
+func (s *Suite) figure10() (*Figure, error) {
+	run, err := s.FailureRun()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "10",
+		Title:  fmt.Sprintf("Fig. 10: Node failure and recovery (%d servers fail at epoch %d)", s.failureMeta.failed, s.failureMeta.failEpoch),
+		YLabel: "replicas / servers",
+	}
+	for _, name := range []string{metrics.SeriesTotalReplicas, metrics.SeriesAliveServers, metrics.SeriesLostPartitions} {
+		ser := run.Recorder.Series(name)
+		pts := make([]float64, len(ser.Points))
+		copy(pts, ser.Points)
+		fig.Series = append(fig.Series, Labeled{Name: name, Points: pts})
+	}
+	return fig, nil
+}
+
+// TableI returns the Table I environment and parameter setting actually
+// in force, as (name, value) rows.
+func (s *Suite) TableI() [][2]string {
+	spec := cluster.DefaultSpec()
+	th := traffic.DefaultThresholds()
+	return [][2]string{
+		{"Max server storage capacity", fmt.Sprintf("%d GB", spec.StorageCapacity>>30)},
+		{"Server storage rate limit", fmt.Sprintf("%.0f%%", spec.StorageLimit*100)},
+		{"Replication bandwidth", fmt.Sprintf("%d MB/epoch", spec.ReplicationBW>>20)},
+		{"Migration bandwidth", fmt.Sprintf("%d MB/epoch", spec.MigrationBW>>20)},
+		{"Epoch", "10 seconds"},
+		{"Queries per epoch", fmt.Sprintf("Poisson(lambda=%.0f)", s.opts.Lambda)},
+		{"Partitions", fmt.Sprintf("%d", spec.Partitions)},
+		{"Partition size", fmt.Sprintf("%d KB", spec.PartitionSize>>10)},
+		{"Failure rate", "0.1"},
+		{"Minimum availability", "0.8"},
+		{"alpha", fmt.Sprintf("%g", th.Alpha)},
+		{"beta", fmt.Sprintf("%g", th.Beta)},
+		{"gamma", fmt.Sprintf("%g", th.Gamma)},
+		{"delta", fmt.Sprintf("%g", th.Delta)},
+		{"mu", fmt.Sprintf("%g", th.Mu)},
+	}
+}

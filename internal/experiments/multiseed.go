@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SeedStat is one policy's steady-state statistic across seeds.
+type SeedStat struct {
+	Policy string
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// MultiSeedResult aggregates one figure's steady-state value over
+// several independent seeds — the statistical robustness check the
+// paper (single-run plots) never provides.
+type MultiSeedResult struct {
+	FigureID string
+	Seeds    []uint64
+	Stats    []SeedStat
+}
+
+// MultiSeed reruns the campaign behind one figure across the given
+// seeds and aggregates each curve's steady-state (tail-mean) value.
+// The base options are reused with only the seed changing.
+func MultiSeed(base Options, figureID string, seeds []uint64) (*MultiSeedResult, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("experiments: multi-seed needs at least 2 seeds, got %d", len(seeds))
+	}
+	perPolicy := make(map[string][]float64)
+	var order []string
+	for _, seed := range seeds {
+		opts := base
+		opts.Seed = seed
+		s, err := NewSuite(opts)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := s.Figure(figureID)
+		if err != nil {
+			return nil, err
+		}
+		for _, ser := range fig.Series {
+			if _, seen := perPolicy[ser.Name]; !seen {
+				order = append(order, ser.Name)
+			}
+			perPolicy[ser.Name] = append(perPolicy[ser.Name], tail(ser.Points))
+		}
+	}
+	out := &MultiSeedResult{FigureID: figureID, Seeds: append([]uint64(nil), seeds...)}
+	for _, name := range order {
+		vals := perPolicy[name]
+		out.Stats = append(out.Stats, SeedStat{
+			Policy: name,
+			Mean:   stats.Mean(vals),
+			StdDev: stats.StdDev(vals),
+			Min:    stats.Min(vals),
+			Max:    stats.Max(vals),
+		})
+	}
+	return out, nil
+}
+
+// Summary renders the aggregation as aligned text.
+func (m *MultiSeedResult) Summary() string {
+	out := fmt.Sprintf("figure %s over %d seeds (steady-state tail means)\n", m.FigureID, len(m.Seeds))
+	out += fmt.Sprintf("  %-10s %12s %12s %12s %12s\n", "series", "mean", "stddev", "min", "max")
+	for _, st := range m.Stats {
+		out += fmt.Sprintf("  %-10s %12.4g %12.3g %12.4g %12.4g\n", st.Policy, st.Mean, st.StdDev, st.Min, st.Max)
+	}
+	return out
+}
+
+// OrderingHolds reports whether the policy ordering by mean steady
+// value is *separated*: for every adjacent pair in the mean-sorted
+// order, the gap exceeds k times the pooled standard deviation. A
+// robust paper claim should survive k = 1.
+func (m *MultiSeedResult) OrderingHolds(k float64) bool {
+	for i := 0; i < len(m.Stats); i++ {
+		for j := i + 1; j < len(m.Stats); j++ {
+			a, b := m.Stats[i], m.Stats[j]
+			gap := a.Mean - b.Mean
+			if gap < 0 {
+				gap = -gap
+			}
+			pooled := (a.StdDev + b.StdDev) / 2
+			if gap < k*pooled {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiSeedValidation(t *testing.T) {
+	if _, err := MultiSeed(quickOpts(), "3a", []uint64{1}); err == nil {
+		t.Fatal("single seed accepted")
+	}
+	if _, err := MultiSeed(quickOpts(), "zz", []uint64{1, 2}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestMultiSeedUtilizationOrderingRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	opts := quickOpts()
+	opts.EpochsRandom = 80
+	res, err := MultiSeed(opts, "3a", []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d policies", len(res.Stats))
+	}
+	byName := map[string]SeedStat{}
+	for _, st := range res.Stats {
+		byName[st.Policy] = st
+		if st.StdDev < 0 || st.Min > st.Max || st.Mean < st.Min || st.Mean > st.Max {
+			t.Fatalf("inconsistent stat %+v", st)
+		}
+	}
+	// The headline ordering must hold in the mean across seeds.
+	if !(byName["rfh"].Mean > byName["owner"].Mean && byName["random"].Mean < byName["owner"].Mean) {
+		t.Fatalf("utilization ordering unstable across seeds: %+v", byName)
+	}
+	// RFH's lead over random must be separated by well over one pooled
+	// standard deviation.
+	gap := byName["rfh"].Mean - byName["random"].Mean
+	pooled := (byName["rfh"].StdDev + byName["random"].StdDev) / 2
+	if gap < pooled {
+		t.Fatalf("rfh-vs-random separation weak: gap=%.3f pooled sd=%.3f", gap, pooled)
+	}
+	if !strings.Contains(res.Summary(), "rfh") {
+		t.Fatal("summary missing policy rows")
+	}
+}
+
+func TestOrderingHoldsHelper(t *testing.T) {
+	m := &MultiSeedResult{Stats: []SeedStat{
+		{Policy: "a", Mean: 10, StdDev: 1},
+		{Policy: "b", Mean: 5, StdDev: 1},
+	}}
+	if !m.OrderingHolds(1) {
+		t.Fatal("well-separated ordering rejected")
+	}
+	if m.OrderingHolds(10) {
+		t.Fatal("impossible separation accepted")
+	}
+}

@@ -1,0 +1,275 @@
+// Package experiments reproduces the paper's evaluation (§III): every
+// figure from Fig. 3 through Fig. 10 plus the Table I configuration
+// echo. A Suite lazily runs the three underlying simulations — the
+// random-query setting, the four-stage flash-crowd setting (both with
+// all four policies), and the Fig. 10 failure/recovery run (RFH only) —
+// and extracts per-figure series from the recorded metrics. Results are
+// cached, so requesting all figures costs three simulation campaigns.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Options configures a reproduction campaign. Defaults mirror §III-A.
+type Options struct {
+	Seed          uint64
+	EpochsRandom  int     // random-query run length (paper plots ~250)
+	EpochsFlash   int     // flash-crowd run length (paper plots ~400)
+	EpochsFailure int     // Fig. 10 run length (paper plots ~500)
+	FailEpoch     int     // Fig. 10 mass-failure epoch (paper: 290)
+	FailServers   int     // Fig. 10 servers removed (paper: 30)
+	Lambda        float64 // queries per partition per epoch (Table I: 300)
+	Workers       int     // simulation worker bound; 0 = GOMAXPROCS
+	Serving       sim.ServingModel
+}
+
+// DefaultOptions returns the paper's experiment dimensions.
+func DefaultOptions() Options {
+	return Options{
+		Seed:          1,
+		EpochsRandom:  250,
+		EpochsFlash:   400,
+		EpochsFailure: 500,
+		FailEpoch:     290,
+		FailServers:   30,
+		Lambda:        300,
+		Serving:       sim.ServePath,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	switch {
+	case o.EpochsRandom < 10 || o.EpochsFlash < 10 || o.EpochsFailure < 10:
+		return fmt.Errorf("experiments: runs need at least 10 epochs")
+	case o.FailEpoch <= 0 || o.FailEpoch >= o.EpochsFailure:
+		return fmt.Errorf("experiments: fail epoch %d outside run (0, %d)", o.FailEpoch, o.EpochsFailure)
+	case o.FailServers <= 0:
+		return fmt.Errorf("experiments: must fail at least one server")
+	case o.Lambda <= 0:
+		return fmt.Errorf("experiments: lambda must be positive")
+	}
+	return nil
+}
+
+// PolicyRun pairs a policy name with the metric series its simulation
+// produced.
+type PolicyRun struct {
+	Policy   string
+	Recorder *metrics.Recorder
+}
+
+// PolicyNames lists the four §III algorithms in the paper's legend
+// order.
+var PolicyNames = []string{"request", "owner", "random", "rfh"}
+
+// newPolicy constructs a fresh policy instance by name (policies are
+// stateful, so every run needs its own).
+func newPolicy(name string) (policy.Policy, error) {
+	switch name {
+	case "rfh":
+		return core.NewRFH(), nil
+	case "random":
+		return policy.NewRandom(), nil
+	case "owner":
+		return policy.NewOwnerOriented(), nil
+	case "request":
+		return policy.NewRequestOriented(0.2), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// Suite runs and caches the simulation campaigns behind the figures.
+// It is not safe for concurrent use.
+type Suite struct {
+	opts Options
+
+	randomRuns  []PolicyRun
+	flashRuns   []PolicyRun
+	churnRuns   []PolicyRun
+	failureRun  *PolicyRun
+	failureMeta failureMeta
+}
+
+type failureMeta struct {
+	failEpoch int
+	failed    int
+}
+
+// NewSuite creates a suite; it runs nothing until a figure is
+// requested.
+func NewSuite(opts Options) (*Suite, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Suite{opts: opts}, nil
+}
+
+// Options returns the suite's configuration.
+func (s *Suite) Options() Options { return s.opts }
+
+// components wires the shared pieces of one simulation: paper world,
+// Table I cluster, and the requested workload and policy.
+func (s *Suite) components(polName string, flash bool, epochs int) (*cluster.Cluster, *network.Router, workload.Generator, policy.Policy, error) {
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	spec := cluster.DefaultSpec()
+	spec.Seed = s.opts.Seed
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	wcfg := workload.Config{
+		Partitions: cl.NumPartitions(),
+		DCs:        w.NumDCs(),
+		Lambda:     s.opts.Lambda,
+		Seed:       s.opts.Seed ^ 0xA11CE,
+	}
+	var gen workload.Generator
+	if flash {
+		gen, err = workload.NewPaperFlashCrowd(wcfg, w, epochs)
+	} else {
+		gen, err = workload.NewUniform(wcfg)
+	}
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pol, err := newPolicy(polName)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return cl, rt, gen, pol, nil
+}
+
+// buildEngine wires one simulation with the suite's default config.
+func (s *Suite) buildEngine(polName string, flash bool, epochs int) (*sim.Engine, error) {
+	cl, rt, gen, pol, err := s.components(polName, flash, epochs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = s.opts.Seed
+	cfg.Workers = s.opts.Workers
+	cfg.Serving = s.opts.Serving
+	return sim.New(cl, rt, gen, pol, cfg)
+}
+
+// runCampaign simulates every policy over one workload setting.
+func (s *Suite) runCampaign(flash bool, epochs int) ([]PolicyRun, error) {
+	runs := make([]PolicyRun, 0, len(PolicyNames))
+	for _, name := range PolicyNames {
+		eng, err := s.buildEngine(name, flash, epochs)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%v: %w", name, flash, err)
+		}
+		runs = append(runs, PolicyRun{Policy: name, Recorder: rec})
+	}
+	return runs, nil
+}
+
+// RandomRuns returns (running on first use) the §III random-query
+// campaign for all four policies.
+func (s *Suite) RandomRuns() ([]PolicyRun, error) {
+	if s.randomRuns == nil {
+		runs, err := s.runCampaign(false, s.opts.EpochsRandom)
+		if err != nil {
+			return nil, err
+		}
+		s.randomRuns = runs
+	}
+	return s.randomRuns, nil
+}
+
+// FlashRuns returns (running on first use) the flash-crowd campaign.
+func (s *Suite) FlashRuns() ([]PolicyRun, error) {
+	if s.flashRuns == nil {
+		runs, err := s.runCampaign(true, s.opts.EpochsFlash)
+		if err != nil {
+			return nil, err
+		}
+		s.flashRuns = runs
+	}
+	return s.flashRuns, nil
+}
+
+// ChurnRuns returns (running on first use) the churn extension
+// campaign: every policy under uniform load with each server failing
+// independently per epoch (p = 0.01, MTTR 15) — the empirical
+// availability experiment behind extension figure E2.
+func (s *Suite) ChurnRuns() ([]PolicyRun, error) {
+	if s.churnRuns == nil {
+		runs := make([]PolicyRun, 0, len(PolicyNames))
+		for _, name := range PolicyNames {
+			cl, rt, gen, pol, err := s.components(name, false, s.opts.EpochsRandom)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Epochs = s.opts.EpochsRandom
+			cfg.Seed = s.opts.Seed
+			cfg.Workers = s.opts.Workers
+			cfg.Serving = s.opts.Serving
+			cfg.ChurnFailProb = 0.01
+			cfg.ChurnMTTR = 15
+			eng, err := sim.New(cl, rt, gen, pol, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rec, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, PolicyRun{Policy: name, Recorder: rec})
+		}
+		s.churnRuns = runs
+	}
+	return s.churnRuns, nil
+}
+
+// FailureRun returns (running on first use) the Fig. 10 experiment:
+// RFH under random query with FailServers random servers removed at
+// FailEpoch.
+func (s *Suite) FailureRun() (*PolicyRun, error) {
+	if s.failureRun == nil {
+		eng, err := s.buildEngine("rfh", false, s.opts.EpochsFailure)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRNG(s.opts.Seed ^ 0xFA11)
+		perm := rng.Perm(eng.Cluster().NumServers())
+		fail := make([]cluster.ServerID, 0, s.opts.FailServers)
+		for _, idx := range perm[:s.opts.FailServers] {
+			fail = append(fail, cluster.ServerID(idx))
+		}
+		sort.Slice(fail, func(i, j int) bool { return fail[i] < fail[j] })
+		eng.ScheduleFailure(sim.FailureEvent{Epoch: s.opts.FailEpoch, Fail: fail})
+		rec, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		s.failureRun = &PolicyRun{Policy: "rfh", Recorder: rec}
+		s.failureMeta = failureMeta{failEpoch: s.opts.FailEpoch, failed: len(fail)}
+	}
+	return s.failureRun, nil
+}

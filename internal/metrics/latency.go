@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// LatencyModel maps lookup hop counts to response latency, after the
+// paper's motivating SLA ("a response within 300ms for 99.9% of its
+// requests", §I). A lookup that travels h inter-datacenter hops costs
+// h·HopLatencyMs plus the serving replica's ServiceMs; queries that
+// found no capacity miss the SLA outright.
+type LatencyModel struct {
+	HopLatencyMs   float64 // one inter-datacenter hop (default 50 ms)
+	ServiceMs      float64 // service time at the replica (default 10 ms)
+	SLAThresholdMs float64 // the SLA bound (default 300 ms)
+}
+
+// DefaultLatencyModel returns the §I-inspired model: 50 ms per
+// inter-datacenter hop, 10 ms service time, 300 ms SLA.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{HopLatencyMs: 50, ServiceMs: 10, SLAThresholdMs: 300}
+}
+
+// Validate checks the model.
+func (m LatencyModel) Validate() error {
+	if m.HopLatencyMs < 0 || m.ServiceMs < 0 || m.SLAThresholdMs <= 0 {
+		return fmt.Errorf("metrics: invalid latency model %+v", m)
+	}
+	return nil
+}
+
+// LatencyMs returns the modelled response latency of a lookup served
+// after h hops.
+func (m LatencyModel) LatencyMs(hops int) float64 {
+	return float64(hops)*m.HopLatencyMs + m.ServiceMs
+}
+
+// SLA summarises one epoch's latency distribution.
+type SLA struct {
+	// WithinSLA is the fraction of all queries answered under the
+	// threshold (unserved queries always violate).
+	WithinSLA float64
+	// MeanMs is the mean latency over served queries (0 when none).
+	MeanMs float64
+	// P99Ms and P999Ms are latency percentiles over all queries;
+	// +Inf when the percentile falls into the unserved mass.
+	P99Ms  float64
+	P999Ms float64
+}
+
+// Stats computes SLA statistics from a served-hop histogram
+// (hopHist[h] = queries served after h hops) plus the unserved count.
+func (m LatencyModel) Stats(hopHist []int, unserved int) SLA {
+	served := 0
+	weighted := 0.0
+	within := 0
+	for h, n := range hopHist {
+		if n == 0 {
+			continue
+		}
+		served += n
+		lat := m.LatencyMs(h)
+		weighted += lat * float64(n)
+		if lat <= m.SLAThresholdMs {
+			within += n
+		}
+	}
+	total := served + unserved
+	var out SLA
+	if total == 0 {
+		out.WithinSLA = 1
+		return out
+	}
+	out.WithinSLA = float64(within) / float64(total)
+	if served > 0 {
+		out.MeanMs = weighted / float64(served)
+	}
+	out.P99Ms = m.percentile(hopHist, served, unserved, 0.99)
+	out.P999Ms = m.percentile(hopHist, served, unserved, 0.999)
+	return out
+}
+
+// percentile walks the hop histogram in latency order; if the rank
+// falls into the unserved tail, the percentile is +Inf.
+func (m LatencyModel) percentile(hopHist []int, served, unserved int, q float64) float64 {
+	total := served + unserved
+	rank := int(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for h, n := range hopHist {
+		seen += n
+		if seen >= rank {
+			return m.LatencyMs(h)
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyModelDefaults(t *testing.T) {
+	m := DefaultLatencyModel()
+	if m.SLAThresholdMs != 300 {
+		t.Fatalf("SLA threshold = %g", m.SLAThresholdMs)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LatencyMs(0); got != 10 {
+		t.Fatalf("0-hop latency = %g", got)
+	}
+	if got := m.LatencyMs(4); got != 210 {
+		t.Fatalf("4-hop latency = %g", got)
+	}
+}
+
+func TestLatencyModelValidation(t *testing.T) {
+	for _, m := range []LatencyModel{
+		{HopLatencyMs: -1, ServiceMs: 1, SLAThresholdMs: 300},
+		{HopLatencyMs: 1, ServiceMs: -1, SLAThresholdMs: 300},
+		{HopLatencyMs: 1, ServiceMs: 1, SLAThresholdMs: 0},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v validated", m)
+		}
+	}
+}
+
+func TestSLAStatsAllLocal(t *testing.T) {
+	m := DefaultLatencyModel()
+	// 100 queries at 0 hops: 10 ms each, all within SLA.
+	s := m.Stats([]int{100}, 0)
+	if s.WithinSLA != 1 || s.MeanMs != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P99Ms != 10 || s.P999Ms != 10 {
+		t.Fatalf("percentiles = %+v", s)
+	}
+}
+
+func TestSLAStatsViolations(t *testing.T) {
+	m := DefaultLatencyModel()
+	// 50 queries at 2 hops (110 ms ok), 50 at 7 hops (360 ms violation).
+	hist := make([]int, 10)
+	hist[2], hist[7] = 50, 50
+	s := m.Stats(hist, 0)
+	if s.WithinSLA != 0.5 {
+		t.Fatalf("within = %g", s.WithinSLA)
+	}
+	if s.MeanMs != (110*50+360*50)/100.0 {
+		t.Fatalf("mean = %g", s.MeanMs)
+	}
+	if s.P99Ms != 360 {
+		t.Fatalf("p99 = %g", s.P99Ms)
+	}
+}
+
+func TestSLAStatsUnservedAreViolations(t *testing.T) {
+	m := DefaultLatencyModel()
+	// 990 served locally, 10 unserved: SLA fraction 0.99; the P99 rank
+	// (990 of 1000) still lands in the served mass but P999 (rank 1000)
+	// falls into the unserved tail.
+	s := m.Stats([]int{990}, 10)
+	if s.WithinSLA != 0.99 {
+		t.Fatalf("within = %g", s.WithinSLA)
+	}
+	if !math.IsInf(s.P999Ms, 1) {
+		t.Fatalf("p999 = %g, want +Inf", s.P999Ms)
+	}
+	if s.P99Ms != m.LatencyMs(0) {
+		t.Fatalf("p99 = %g, want served latency", s.P99Ms)
+	}
+}
+
+func TestSLAStatsEmpty(t *testing.T) {
+	m := DefaultLatencyModel()
+	s := m.Stats(nil, 0)
+	if s.WithinSLA != 1 || s.MeanMs != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestSLAPercentileMonotone(t *testing.T) {
+	m := DefaultLatencyModel()
+	check := func(h0, h1, h2, h3 uint8, u uint8) bool {
+		hist := []int{int(h0), int(h1), int(h2), int(h3)}
+		s := m.Stats(hist, int(u))
+		// P999 dominates P99; both dominate the mean's floor.
+		if !math.IsInf(s.P999Ms, 1) && s.P999Ms < s.P99Ms {
+			return false
+		}
+		return s.WithinSLA >= 0 && s.WithinSLA <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

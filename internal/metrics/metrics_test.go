@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplicaUtilizationBasic(t *testing.T) {
+	u, err := ReplicaUtilization([]int{50, 100, 0}, []int{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 + 1.0 + 0.0) / 3
+	if math.Abs(u-want) > 1e-12 {
+		t.Fatalf("utilization = %g, want %g", u, want)
+	}
+}
+
+func TestReplicaUtilizationClamps(t *testing.T) {
+	// Over-capacity serving clamps to 1 (eq. 20's min(1, ...)).
+	u, err := ReplicaUtilization([]int{500}, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Fatalf("overdriven utilization = %g, want 1", u)
+	}
+	u, err = ReplicaUtilization([]int{-5}, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Fatalf("negative served utilization = %g, want 0", u)
+	}
+}
+
+func TestReplicaUtilizationErrors(t *testing.T) {
+	if _, err := ReplicaUtilization([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ReplicaUtilization([]int{1}, []int{0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestReplicaUtilizationEmpty(t *testing.T) {
+	u, err := ReplicaUtilization(nil, nil)
+	if err != nil || u != 0 {
+		t.Fatalf("empty utilization = %g, %v", u, err)
+	}
+}
+
+func TestReplicaUtilizationInUnit(t *testing.T) {
+	check := func(served [8]uint8, caps [8]uint8) bool {
+		s := make([]int, 8)
+		c := make([]int, 8)
+		for i := range s {
+			s[i] = int(served[i])
+			c[i] = int(caps[i]) + 1
+		}
+		u, err := ReplicaUtilization(s, c)
+		return err == nil && u >= 0 && u <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadImbalanceEq25(t *testing.T) {
+	if got := LoadImbalance([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("balanced imbalance = %g", got)
+	}
+	// {0, 10}: mean 5, variance 25, stddev 5.
+	if got := LoadImbalance([]float64{0, 10}); got != 5 {
+		t.Fatalf("imbalance = %g, want 5", got)
+	}
+}
+
+func TestReplicationCostEq1(t *testing.T) {
+	// c = d·f·s/b.
+	c, err := ReplicationCost(10, 0.1, 512<<10, 300<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * 0.1 * float64(512<<10) / float64(300<<20)
+	if math.Abs(c-want) > 1e-15 {
+		t.Fatalf("cost = %g, want %g", c, want)
+	}
+}
+
+func TestReplicationCostErrors(t *testing.T) {
+	if _, err := ReplicationCost(1, 0.1, 100, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := ReplicationCost(-1, 0.1, 100, 10); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	if _, err := ReplicationCost(1, -0.1, 100, 10); err == nil {
+		t.Fatal("negative failure rate accepted")
+	}
+	if _, err := ReplicationCost(1, 0.1, -100, 10); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestReplicationCostScalesWithDistance(t *testing.T) {
+	near, _ := ReplicationCost(1, 0.1, 1000, 100)
+	far, _ := ReplicationCost(10, 0.1, 1000, 100)
+	if far <= near {
+		t.Fatal("cost does not grow with distance")
+	}
+}
+
+func TestRecorderAppendAndSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Append("a", 1)
+	r.Append("a", 2)
+	r.Append("b", 3)
+	if s := r.Series("a"); s == nil || len(s.Points) != 2 || s.Last() != 2 {
+		t.Fatalf("series a = %+v", r.Series("a"))
+	}
+	if s := r.Series("missing"); s != nil {
+		t.Fatal("missing series not nil")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if r.Epochs() != 2 {
+		t.Fatalf("epochs = %d", r.Epochs())
+	}
+}
+
+func TestRecorderValidate(t *testing.T) {
+	r := NewRecorder()
+	r.Append("a", 1)
+	r.Append("b", 1)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r.Append("a", 2)
+	if err := r.Validate(); err == nil {
+		t.Fatal("ragged recorder validated")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := &Series{Name: "x", Points: []float64{1, 2, 3, 4}}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+	if got := s.Window(1, 3); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("window = %v", got)
+	}
+	if got := s.Window(-5, 100); len(got) != 4 {
+		t.Fatalf("clipped window = %v", got)
+	}
+	if got := s.Window(3, 1); got != nil {
+		t.Fatalf("inverted window = %v", got)
+	}
+	empty := &Series{Name: "e"}
+	if empty.Last() != 0 {
+		t.Fatal("empty last != 0")
+	}
+}

@@ -1,0 +1,41 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func BenchmarkNewRouterPaperWorld(b *testing.B) {
+	w := topology.PaperWorld()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRouter(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewRouter100DC(b *testing.B) {
+	w, err := topology.RandomGeometricWorld(100, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRouter(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPath(b *testing.B) {
+	r, err := NewRouter(topology.PaperWorld())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Path(topology.DCID(i%10), topology.DCID((i*7)%10))
+	}
+}

@@ -1,0 +1,204 @@
+// Package network implements the overlay routing layer of §II-B: queries
+// travel from a requester datacenter toward the partition holder along a
+// fixed shortest path over the datacenter link graph. The sequence of
+// intermediate datacenters on those paths is what the RFH algorithm
+// observes as forwarding traffic; datacenters that sit on many paths
+// ("conjunction nodes of many necessary routing paths") become traffic
+// hubs.
+//
+// Paths are precomputed for all pairs with Dijkstra's algorithm and a
+// deterministic tie-break (lexicographically smallest hop sequence among
+// equal-cost paths), so simulation runs are reproducible.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Path is a routed path between two datacenters, endpoints inclusive.
+type Path struct {
+	Hops []topology.DCID // Hops[0] = source, Hops[len-1] = destination
+	Cost float64         // sum of link weights along the path
+}
+
+// Len returns the hop count of the path: the number of links traversed.
+// A path from a DC to itself has length 0.
+func (p Path) Len() int {
+	if len(p.Hops) == 0 {
+		return 0
+	}
+	return len(p.Hops) - 1
+}
+
+// Intermediates returns the datacenters strictly between source and
+// destination — the forwarding nodes that accumulate traffic.
+func (p Path) Intermediates() []topology.DCID {
+	if len(p.Hops) <= 2 {
+		return nil
+	}
+	out := make([]topology.DCID, len(p.Hops)-2)
+	copy(out, p.Hops[1:len(p.Hops)-1])
+	return out
+}
+
+// Router precomputes all-pairs shortest paths over a World's link graph.
+// It is immutable after construction and safe for concurrent use.
+type Router struct {
+	world *topology.World
+	dist  [][]float64       // dist[s][d] = shortest cost
+	next  [][]topology.DCID // next[s][d] = first hop from s toward d
+}
+
+// NewRouter builds a router for the world. It returns an error if the
+// world fails validation (disconnected graphs cannot route).
+func NewRouter(w *topology.World) (*Router, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	n := w.NumDCs()
+	r := &Router{
+		world: w,
+		dist:  make([][]float64, n),
+		next:  make([][]topology.DCID, n),
+	}
+	for s := 0; s < n; s++ {
+		r.dist[s], r.next[s] = dijkstra(w, topology.DCID(s))
+	}
+	return r, nil
+}
+
+// World returns the topology this router routes over.
+func (r *Router) World() *topology.World { return r.world }
+
+// Cost returns the total link cost of the routed path from src to dst.
+func (r *Router) Cost(src, dst topology.DCID) float64 {
+	return r.dist[src][dst]
+}
+
+// NextHop returns the first hop on the path from src toward dst. For
+// src == dst it returns src.
+func (r *Router) NextHop(src, dst topology.DCID) topology.DCID {
+	if src == dst {
+		return src
+	}
+	return r.next[src][dst]
+}
+
+// Path materialises the full routed path from src to dst. The result is
+// freshly allocated; callers may keep or mutate it.
+func (r *Router) Path(src, dst topology.DCID) Path {
+	if src == dst {
+		return Path{Hops: []topology.DCID{src}, Cost: 0}
+	}
+	hops := []topology.DCID{src}
+	cur := src
+	for cur != dst {
+		nxt := r.next[cur][dst]
+		hops = append(hops, nxt)
+		cur = nxt
+		if len(hops) > r.world.NumDCs() {
+			// Cannot happen on a validated world; guard against silent
+			// corruption rather than looping forever.
+			panic(fmt.Sprintf("network: routing loop from %d to %d", src, dst))
+		}
+	}
+	return Path{Hops: hops, Cost: r.dist[src][dst]}
+}
+
+// OnPath reports whether datacenter k lies on the routed path from src
+// to dst (endpoints included). This is the paper's p_ijk indicator
+// (eq. 7): 1 when node k is on the path from requester j to holder i.
+func (r *Router) OnPath(src, dst, k topology.DCID) bool {
+	cur := src
+	for {
+		if cur == k {
+			return true
+		}
+		if cur == dst {
+			return false
+		}
+		cur = r.next[cur][dst]
+	}
+}
+
+// dijkstra runs a deterministic Dijkstra from src, returning the
+// distance vector and, for every destination, the first hop from src.
+// Ties between equal-cost paths are broken toward the path whose hop
+// sequence is lexicographically smallest, which both makes runs
+// reproducible and keeps paths stable as unrelated links change.
+func dijkstra(w *topology.World, src topology.DCID) ([]float64, []topology.DCID) {
+	n := w.NumDCs()
+	dist := make([]float64, n)
+	prev := make([]topology.DCID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: src, cost: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.id
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, v := range w.Neighbors(u) {
+			wt, _ := w.Link(u, v)
+			alt := dist[u] + wt
+			const eps = 1e-12
+			switch {
+			case alt < dist[v]-eps:
+				dist[v] = alt
+				prev[v] = u
+				heap.Push(pq, heapItem{id: v, cost: alt})
+			case math.Abs(alt-dist[v]) <= eps && prev[v] >= 0 && u < prev[v]:
+				// Equal cost: prefer the predecessor with the smaller id.
+				prev[v] = u
+			}
+		}
+	}
+	// Convert predecessor tree into first-hop table.
+	next := make([]topology.DCID, n)
+	for d := 0; d < n; d++ {
+		if topology.DCID(d) == src || prev[d] < 0 {
+			next[d] = src
+			continue
+		}
+		cur := topology.DCID(d)
+		for prev[cur] != src {
+			cur = prev[cur]
+		}
+		next[d] = cur
+	}
+	return dist, next
+}
+
+type heapItem struct {
+	id   topology.DCID
+	cost float64
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].id < h[j].id
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,285 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func paperRouter(t *testing.T) *Router {
+	t.Helper()
+	r, err := NewRouter(topology.PaperWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func dcID(t *testing.T, r *Router, name string) topology.DCID {
+	t.Helper()
+	dc, ok := r.World().DCByName(name)
+	if !ok {
+		t.Fatalf("no DC named %s", name)
+	}
+	return dc.ID
+}
+
+func pathNames(r *Router, p Path) []string {
+	out := make([]string, len(p.Hops))
+	for i, h := range p.Hops {
+		out[i] = r.World().DC(h).Name
+	}
+	return out
+}
+
+func TestNewRouterRejectsDisconnected(t *testing.T) {
+	w := topology.NewWorld([]topology.Datacenter{{}, {}, {}})
+	_ = w.AddLink(0, 1, 1)
+	if _, err := NewRouter(w); err == nil {
+		t.Fatal("router built over disconnected world")
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	r := paperRouter(t)
+	p := r.Path(0, 0)
+	if p.Len() != 0 || p.Cost != 0 || len(p.Hops) != 1 {
+		t.Fatalf("self path = %+v", p)
+	}
+	if len(p.Intermediates()) != 0 {
+		t.Fatal("self path has intermediates")
+	}
+}
+
+// TestPaperHubPaths pins the routes that create the paper's Fig. 1
+// narrative: Asia → A flows through hub datacenters D and F.
+func TestPaperHubPaths(t *testing.T) {
+	r := paperRouter(t)
+	cases := []struct {
+		src, dst string
+		want     []string
+	}{
+		{"I", "A", []string{"I", "D", "A"}},
+		{"H", "A", []string{"H", "F", "D", "A"}},
+		{"J", "A", []string{"J", "F", "D", "A"}},
+	}
+	for _, c := range cases {
+		p := r.Path(dcID(t, r, c.src), dcID(t, r, c.dst))
+		got := pathNames(r, p)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s->%s path = %v, want %v", c.src, c.dst, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s->%s path = %v, want %v", c.src, c.dst, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	r := paperRouter(t)
+	n := r.World().NumDCs()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.Path(topology.DCID(s), topology.DCID(d))
+			if p.Hops[0] != topology.DCID(s) || p.Hops[len(p.Hops)-1] != topology.DCID(d) {
+				t.Fatalf("path %d->%d endpoints wrong: %v", s, d, p.Hops)
+			}
+		}
+	}
+}
+
+func TestPathCostMatchesLinkSum(t *testing.T) {
+	r := paperRouter(t)
+	n := r.World().NumDCs()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.Path(topology.DCID(s), topology.DCID(d))
+			sum := 0.0
+			for i := 0; i+1 < len(p.Hops); i++ {
+				wt, ok := r.World().Link(p.Hops[i], p.Hops[i+1])
+				if !ok {
+					t.Fatalf("path %d->%d uses nonexistent link %d-%d", s, d, p.Hops[i], p.Hops[i+1])
+				}
+				sum += wt
+			}
+			if diff := sum - p.Cost; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("path %d->%d cost %g != link sum %g", s, d, p.Cost, sum)
+			}
+			if r.Cost(topology.DCID(s), topology.DCID(d)) != p.Cost {
+				t.Fatalf("Cost and Path disagree for %d->%d", s, d)
+			}
+		}
+	}
+}
+
+func TestPathCostSymmetric(t *testing.T) {
+	r := paperRouter(t)
+	n := r.World().NumDCs()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			cs := r.Cost(topology.DCID(s), topology.DCID(d))
+			cd := r.Cost(topology.DCID(d), topology.DCID(s))
+			if diff := cs - cd; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("cost asymmetric %d<->%d: %g vs %g", s, d, cs, cd)
+			}
+		}
+	}
+}
+
+func TestPathIsShortest(t *testing.T) {
+	// Brute-force check on the small ring: shortest path between i and j
+	// is min(|i-j|, n-|i-j|) hops of weight 1.
+	w := topology.RingWorld(8)
+	r, err := NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if 8-d < d {
+				d = 8 - d
+			}
+			if got := r.Cost(topology.DCID(i), topology.DCID(j)); got != float64(d) {
+				t.Fatalf("ring cost %d->%d = %g, want %d", i, j, got, d)
+			}
+		}
+	}
+}
+
+func TestGridDeterministicTieBreak(t *testing.T) {
+	// On a grid many equal-cost paths exist; two routers over the same
+	// world must pick identical paths.
+	w := topology.GridWorld(4, 4)
+	r1, err := NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			p1 := r1.Path(topology.DCID(s), topology.DCID(d))
+			p2 := r2.Path(topology.DCID(s), topology.DCID(d))
+			if len(p1.Hops) != len(p2.Hops) {
+				t.Fatalf("nondeterministic path %d->%d", s, d)
+			}
+			for i := range p1.Hops {
+				if p1.Hops[i] != p2.Hops[i] {
+					t.Fatalf("nondeterministic path %d->%d: %v vs %v", s, d, p1.Hops, p2.Hops)
+				}
+			}
+		}
+	}
+}
+
+func TestOnPathMatchesPathMembership(t *testing.T) {
+	r := paperRouter(t)
+	n := r.World().NumDCs()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.Path(topology.DCID(s), topology.DCID(d))
+			member := make(map[topology.DCID]bool)
+			for _, h := range p.Hops {
+				member[h] = true
+			}
+			for k := 0; k < n; k++ {
+				if got := r.OnPath(topology.DCID(s), topology.DCID(d), topology.DCID(k)); got != member[topology.DCID(k)] {
+					t.Fatalf("OnPath(%d,%d,%d) = %v, path %v", s, d, k, got, p.Hops)
+				}
+			}
+		}
+	}
+}
+
+func TestIntermediatesExcludeEndpoints(t *testing.T) {
+	r := paperRouter(t)
+	h := dcID(t, r, "H")
+	a := dcID(t, r, "A")
+	p := r.Path(h, a)
+	for _, m := range p.Intermediates() {
+		if m == h || m == a {
+			t.Fatalf("intermediate %d is an endpoint", m)
+		}
+	}
+	if got := len(p.Intermediates()); got != p.Len()-1 {
+		t.Fatalf("intermediates = %d, want %d", got, p.Len()-1)
+	}
+}
+
+func TestNextHopConsistentWithPath(t *testing.T) {
+	r := paperRouter(t)
+	n := r.World().NumDCs()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.Path(topology.DCID(s), topology.DCID(d))
+			if s == d {
+				if r.NextHop(topology.DCID(s), topology.DCID(d)) != topology.DCID(s) {
+					t.Fatalf("NextHop self %d", s)
+				}
+				continue
+			}
+			if r.NextHop(topology.DCID(s), topology.DCID(d)) != p.Hops[1] {
+				t.Fatalf("NextHop(%d,%d) != second hop of path", s, d)
+			}
+		}
+	}
+}
+
+func TestPathSuffixOptimality(t *testing.T) {
+	// Property: every suffix of a shortest path is itself a shortest
+	// path (Bellman's optimality principle).
+	r := paperRouter(t)
+	check := func(sRaw, dRaw uint8) bool {
+		n := r.World().NumDCs()
+		s := topology.DCID(int(sRaw) % n)
+		d := topology.DCID(int(dRaw) % n)
+		p := r.Path(s, d)
+		cost := p.Cost
+		for i := 0; i+1 < len(p.Hops); i++ {
+			wt, _ := r.World().Link(p.Hops[i], p.Hops[i+1])
+			cost -= wt
+			if diff := r.Cost(p.Hops[i+1], d) - cost; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubCentrality(t *testing.T) {
+	// D and F must be the most frequent intermediates over all-pairs
+	// paths from Asian DCs to American DCs — the premise of the paper's
+	// traffic-hub story.
+	r := paperRouter(t)
+	asia := []string{"H", "I", "J"}
+	america := []string{"A", "B", "C"}
+	counts := map[string]int{}
+	for _, s := range asia {
+		for _, d := range america {
+			p := r.Path(dcID(t, r, s), dcID(t, r, d))
+			for _, m := range p.Intermediates() {
+				counts[r.World().DC(m).Name]++
+			}
+		}
+	}
+	for name, c := range counts {
+		if name != "D" && name != "F" && c >= counts["D"] {
+			t.Fatalf("DC %s (%d) rivals hub D (%d): %v", name, c, counts["D"], counts)
+		}
+	}
+	if counts["D"] == 0 || counts["F"] == 0 {
+		t.Fatalf("hubs not on Asia→America paths: %v", counts)
+	}
+}

@@ -1,0 +1,32 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	ids := randomIDs(1000, 1)
+	n, err := New(ids, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Route(ids[i%len(ids)], rng.Uint64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	ids := randomIDs(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ids, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func randomIDs(n int, seed uint64) []uint64 {
+	rng := stats.NewRNG(seed)
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		id := rng.Uint64()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 4); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := New([]uint64{1, 1}, 4); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	if _, err := New([]uint64{1}, 0); err == nil {
+		t.Fatal("zero leaf size accepted")
+	}
+}
+
+func TestDigitHelpers(t *testing.T) {
+	id := uint64(0xF123456789ABCDE0)
+	if digitAt(id, 0) != 0xF || digitAt(id, 1) != 0x1 || digitAt(id, 15) != 0x0 {
+		t.Fatal("digitAt wrong")
+	}
+	if sharedPrefix(0xFF00000000000000, 0xFF10000000000000) != 2 {
+		t.Fatalf("sharedPrefix = %d", sharedPrefix(0xFF00000000000000, 0xFF10000000000000))
+	}
+	if sharedPrefix(5, 5) != digits {
+		t.Fatal("identical ids should share all digits")
+	}
+	if distance(3, 10) != 7 || distance(10, 3) != 7 {
+		t.Fatal("distance wrong")
+	}
+}
+
+func TestOwnerIsNumericallyClosest(t *testing.T) {
+	ids := []uint64{100, 200, 300}
+	n, err := New(ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[uint64]uint64{
+		100: 100, 149: 100, 151: 200, 250: 200, 251: 300, 1000: 300, 0: 100,
+	}
+	for key, want := range cases {
+		if got := n.Owner(key); got != want {
+			t.Fatalf("Owner(%d) = %d, want %d", key, got, want)
+		}
+	}
+	// Exact midpoint ties toward the lower id.
+	if got := n.Owner(150); got != 100 {
+		t.Fatalf("Owner(150) = %d, want 100 (tie to lower)", got)
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	ids := randomIDs(200, 7)
+	n, err := New(ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 300; trial++ {
+		from := ids[rng.Intn(len(ids))]
+		key := rng.Uint64()
+		path, err := n.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0] != from {
+			t.Fatal("path does not start at the source")
+		}
+		if path[len(path)-1] != n.Owner(key) {
+			t.Fatalf("trial %d: route ended at %x, owner %x", trial, path[len(path)-1], n.Owner(key))
+		}
+		// No node repeats (loop freedom).
+		seen := make(map[uint64]bool, len(path))
+		for _, h := range path {
+			if seen[h] {
+				t.Fatal("routing loop")
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestRouteHopsLogarithmic(t *testing.T) {
+	// §II-B: "The cost of routing is O(log n)". With base-16 digits the
+	// expected hop count is ~log16(n); assert a generous multiple.
+	for _, size := range []int{50, 200, 800} {
+		ids := randomIDs(size, uint64(size))
+		n, err := New(ids, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(uint64(size) + 1)
+		maxHops := 0
+		total := 0
+		const trials = 200
+		for trial := 0; trial < trials; trial++ {
+			from := ids[rng.Intn(len(ids))]
+			path, err := n.Route(from, rng.Uint64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops := len(path) - 1
+			total += hops
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		bound := 3*math.Log2(float64(size))/4 + 4 // ~3·log16(n) + slack
+		if float64(maxHops) > bound {
+			t.Fatalf("n=%d: max hops %d exceeds O(log n) bound %.1f", size, maxHops, bound)
+		}
+		t.Logf("n=%d: mean hops %.2f, max %d (bound %.1f)", size, float64(total)/trials, maxHops, bound)
+	}
+}
+
+func TestRouteFromOwnerIsZeroHops(t *testing.T) {
+	ids := randomIDs(50, 3)
+	n, _ := New(ids, 4)
+	key := ids[10] // key exactly at a node
+	path, err := n.Route(ids[10], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Fatalf("self-route path = %v", path)
+	}
+}
+
+func TestRouteUnknownStart(t *testing.T) {
+	n, _ := New([]uint64{1, 2, 3}, 2)
+	if _, err := n.Route(99, 1); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	n, err := New([]uint64{42}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := n.Route(42, 7)
+	if err != nil || len(path) != 1 {
+		t.Fatalf("single-node route = %v, %v", path, err)
+	}
+	if n.Owner(999) != 42 {
+		t.Fatal("single node owns everything")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	ids := randomIDs(100, 11)
+	a, _ := New(ids, 4)
+	b, _ := New(ids, 4)
+	rng := stats.NewRNG(13)
+	for trial := 0; trial < 50; trial++ {
+		from := ids[rng.Intn(len(ids))]
+		key := rng.Uint64()
+		pa, err := a.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Route(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pa) != len(pb) {
+			t.Fatal("nondeterministic path length")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("nondeterministic path")
+			}
+		}
+	}
+}
+
+func TestOwnerPropertyRandomised(t *testing.T) {
+	check := func(seed uint64, key uint64) bool {
+		ids := randomIDs(20, seed|1)
+		n, err := New(ids, 3)
+		if err != nil {
+			return false
+		}
+		owner := n.Owner(key)
+		// No other node is strictly closer.
+		for _, id := range ids {
+			if distance(id, key) < distance(owner, key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

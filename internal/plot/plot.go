@@ -1,0 +1,163 @@
+// Package plot renders metric time series as ASCII line charts for the
+// terminal, so the paper's figures can be eyeballed straight from
+// rfhexp without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// markers assigns one glyph per curve, in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options sizes and labels a chart.
+type Options struct {
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 16)
+	Title  string
+	YLabel string
+}
+
+// Render draws the series into one string. Curves are downsampled by
+// bucket averaging to the plot width; the y-axis is shared and linear.
+// NaN and ±Inf points are skipped.
+func Render(series []Series, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	lo, hi := bounds(series)
+	if math.IsInf(lo, 0) {
+		// No finite data at all.
+		return opts.Title + "\n(no data)\n"
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		cols := resample(s.Points, opts.Width)
+		for c, v := range cols {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			frac := (v - lo) / (hi - lo)
+			row := opts.Height - 1 - int(frac*float64(opts.Height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= opts.Height {
+				row = opts.Height - 1
+			}
+			grid[row][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		b.WriteString(opts.Title)
+		b.WriteByte('\n')
+	}
+	yTop := fmt.Sprintf("%.4g", hi)
+	yBot := fmt.Sprintf("%.4g", lo)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", pad))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", opts.Width))
+	b.WriteByte('\n')
+	// Legend.
+	b.WriteString(strings.Repeat(" ", pad+2))
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", markers[si%len(markers)], s.Name)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "   [y: %s]", opts.YLabel)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// bounds finds the finite min/max across all series.
+func bounds(series []Series) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	return lo, hi
+}
+
+// resample reduces (or stretches) a series to exactly width columns by
+// averaging each column's bucket. Empty buckets become NaN.
+func resample(pts []float64, width int) []float64 {
+	out := make([]float64, width)
+	if len(pts) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for c := 0; c < width; c++ {
+		start := c * len(pts) / width
+		end := (c + 1) * len(pts) / width
+		if end <= start {
+			end = start + 1
+		}
+		if end > len(pts) {
+			end = len(pts)
+		}
+		sum, n := 0.0, 0
+		for _, v := range pts[start:end] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			out[c] = math.NaN()
+		} else {
+			out[c] = sum / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", Points: []float64{0, 1, 2, 3, 4}},
+		{Name: "down", Points: []float64{4, 3, 2, 1, 0}},
+	}, Options{Width: 20, Height: 8, Title: "test chart", YLabel: "units"})
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[y: units]") {
+		t.Fatal("y label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + legend = 11.
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	// Axis labels carry the data range.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Fatalf("bounds missing:\n%s", out)
+	}
+}
+
+func TestRenderRisingCurveOrientation(t *testing.T) {
+	out := Render([]Series{{Name: "s", Points: []float64{0, 10}}}, Options{Width: 10, Height: 5})
+	lines := strings.Split(out, "\n")
+	// First plot row (top) must contain the marker toward the right,
+	// last plot row toward the left.
+	top, bottom := lines[0], lines[4]
+	if strings.LastIndex(top, "*") < strings.LastIndex(bottom, "*") {
+		t.Fatalf("curve not rising:\n%s", out)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	out := Render(nil, Options{Title: "t"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty render:\n%s", out)
+	}
+	out = Render([]Series{{Name: "nan", Points: []float64{math.NaN(), math.Inf(1)}}}, Options{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("non-finite-only render:\n%s", out)
+	}
+	// A constant series must not divide by zero.
+	out = Render([]Series{{Name: "c", Points: []float64{5, 5, 5}}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "c") {
+		t.Fatalf("constant render:\n%s", out)
+	}
+}
+
+func TestResample(t *testing.T) {
+	// 6 points into 3 columns: bucket means.
+	got := resample([]float64{1, 3, 5, 7, 9, 11}, 3)
+	want := []float64{2, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resample = %v", got)
+		}
+	}
+	// Stretching 2 points into 4 columns repeats values.
+	got = resample([]float64{1, 9}, 4)
+	if got[0] != 1 || got[3] != 9 {
+		t.Fatalf("stretched = %v", got)
+	}
+	// Empty input yields NaN columns.
+	got = resample(nil, 2)
+	if !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Fatalf("empty resample = %v", got)
+	}
+	// Infinite values are skipped, leaving the finite mean.
+	got = resample([]float64{math.Inf(1), 4}, 1)
+	if got[0] != 4 {
+		t.Fatalf("inf-skip resample = %v", got)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), Points: []float64{float64(i)}})
+	}
+	out := Render(series, Options{Width: 12, Height: 4})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "* i") {
+		t.Fatalf("marker cycling broken:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// EAD approximates the "Efficient and Adaptive Decentralized file
+// replication" algorithm of Shen [17], which the paper credits with the
+// traffic-hub concept RFH builds on. Differences from RFH, per the
+// cited design:
+//
+//   - replication targets the single most-loaded forwarding node on the
+//     query path (no top-K hub set, no blocking-probability server
+//     selection — a random server in the chosen datacenter);
+//   - replicas carry a *lifetime*: each replica lives for TTL epochs,
+//     extended whenever its datacenter stays busy; expired replicas are
+//     removed regardless of the availability budget beyond the floor
+//     (EAD's adaptive decay, in place of RFH's δ-threshold suicide).
+//
+// EAD is not part of the paper's comparison set; it is provided as an
+// extension baseline for studying how much RFH's top-K hub set and
+// eq. (18) server selection add over plain hub replication.
+type EAD struct {
+	// TTL is the replica lifetime in epochs (default 30).
+	TTL int
+	// expiry[partition][server] is the epoch at which the copy lapses.
+	expiry map[int]map[cluster.ServerID]int
+}
+
+var _ Policy = (*EAD)(nil)
+
+// NewEAD returns the EAD extension baseline with the given replica
+// lifetime (epochs); ttl <= 0 selects the default of 30.
+func NewEAD(ttl int) *EAD {
+	if ttl <= 0 {
+		ttl = 30
+	}
+	return &EAD{TTL: ttl, expiry: make(map[int]map[cluster.ServerID]int)}
+}
+
+// Name implements Policy.
+func (*EAD) Name() string { return "ead" }
+
+// Decide implements Policy.
+func (e *EAD) Decide(ctx *Context) Decision {
+	var d Decision
+	for p := 0; p < ctx.Cluster.NumPartitions(); p++ {
+		primary := ctx.Cluster.Primary(p)
+		if primary < 0 {
+			continue
+		}
+		e.renewBusyReplicas(ctx, p, primary)
+
+		needAvail := ctx.Cluster.ReplicaCount(p) < ctx.MinReplicas
+		if needAvail || HolderIsOverloaded(ctx, p, primary) || CapacityShort(ctx, p) {
+			if rep, ok := e.replicateToHottest(ctx, p, primary); ok {
+				d.Replications = append(d.Replications, rep)
+				continue
+			}
+		}
+		// Lifetime decay: expired replicas die, floor permitting.
+		if sui, ok := e.expiredReplica(ctx, p, primary); ok {
+			d.Suicides = append(d.Suicides, sui)
+		}
+	}
+	return d
+}
+
+// renewBusyReplicas extends the lease of replicas whose datacenter is
+// still seeing meaningful traffic; everything else keeps its old
+// expiry. New (untracked) replicas get a fresh lease.
+func (e *EAD) renewBusyReplicas(ctx *Context, p int, primary cluster.ServerID) {
+	leases := e.expiry[p]
+	if leases == nil {
+		leases = make(map[cluster.ServerID]int)
+		e.expiry[p] = leases
+	}
+	current := make(map[cluster.ServerID]bool)
+	for _, s := range ctx.Cluster.ReplicaServers(p) {
+		current[s] = true
+		dc := ctx.Cluster.DCOf(s)
+		_, tracked := leases[s]
+		busy := ctx.Tracker.Load(p, dc) > ctx.Tracker.AvgQuery(p)
+		if !tracked || busy || s == primary {
+			leases[s] = ctx.Epoch + e.TTL
+		}
+	}
+	for s := range leases {
+		if !current[s] {
+			delete(leases, s)
+		}
+	}
+}
+
+// replicateToHottest places a copy on the datacenter with the highest
+// forwarding traffic that lacks one, choosing a random server there.
+func (e *EAD) replicateToHottest(ctx *Context, p int, primary cluster.ServerID) (Replication, bool) {
+	hosted := ReplicaDCs(ctx, p)
+	n := ctx.Router.World().NumDCs()
+	type cand struct {
+		dc topology.DCID
+		tr float64
+	}
+	cands := make([]cand, 0, n)
+	for dc := 0; dc < n; dc++ {
+		cands = append(cands, cand{topology.DCID(dc), ctx.Tracker.Traffic(p, topology.DCID(dc))})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].tr != cands[b].tr {
+			return cands[a].tr > cands[b].tr
+		}
+		return cands[a].dc < cands[b].dc
+	})
+	for _, cd := range cands {
+		if hosted[cd.dc] {
+			continue
+		}
+		if s, ok := PickRandomHostable(ctx, p, cd.dc); ok {
+			return Replication{Partition: p, Source: primary, Target: s}, true
+		}
+	}
+	// All datacenters covered or full: second servers in the hottest.
+	for _, cd := range cands {
+		if s, ok := PickRandomHostable(ctx, p, cd.dc); ok {
+			return Replication{Partition: p, Source: primary, Target: s}, true
+		}
+	}
+	return Replication{}, false
+}
+
+// expiredReplica returns one lapsed, safely removable replica.
+func (e *EAD) expiredReplica(ctx *Context, p int, primary cluster.ServerID) (Suicide, bool) {
+	if ctx.Cluster.ReplicaCount(p) <= ctx.MinReplicas {
+		return Suicide{}, false
+	}
+	leases := e.expiry[p]
+	for _, s := range ctx.Cluster.ReplicaServers(p) {
+		if s == primary {
+			continue
+		}
+		if until, ok := leases[s]; ok && ctx.Epoch >= until {
+			return Suicide{Partition: p, Server: s}, true
+		}
+	}
+	return Suicide{}, false
+}

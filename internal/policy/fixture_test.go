@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// fixture bundles a small paper-world environment for policy unit
+// tests: cluster, tracker, router and ring, with helpers to inject
+// traffic observations directly.
+type fixture struct {
+	t       *testing.T
+	cluster *cluster.Cluster
+	tracker *traffic.Tracker
+	router  *network.Router
+	ring    *ring.Ring
+	world   *topology.World
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = 4
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.NewTracker(spec.Partitions, w.NumDCs(), traffic.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := ring.New()
+	for i := 0; i < cl.NumServers(); i++ {
+		if err := rg.AddServer(i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{t: t, cluster: cl, tracker: tr, router: rt, ring: rg, world: w}
+}
+
+// ctx builds a policy Context with the paper's decision parameters.
+func (f *fixture) ctx(epoch int) *Context {
+	demand := workload.NewMatrix(f.cluster.NumPartitions(), f.world.NumDCs())
+	return &Context{
+		Epoch:           epoch,
+		Cluster:         f.cluster,
+		Tracker:         f.tracker,
+		Router:          f.router,
+		Ring:            f.ring,
+		Demand:          demand,
+		FailureRate:     0.1,
+		MinAvailability: 0.8,
+		MinReplicas:     2,
+		HubCandidates:   3,
+		RNG:             stats.NewRNG(uint64(epoch) + 99),
+	}
+}
+
+// dc resolves a datacenter name.
+func (f *fixture) dc(name string) topology.DCID {
+	f.t.Helper()
+	d, ok := f.world.DCByName(name)
+	if !ok {
+		f.t.Fatalf("no DC %s", name)
+	}
+	return d.ID
+}
+
+// serverIn returns the i-th server of a datacenter.
+func (f *fixture) serverIn(name string, i int) cluster.ServerID {
+	f.t.Helper()
+	servers := f.cluster.ServersInDC(f.dc(name))
+	if i >= len(servers) {
+		f.t.Fatalf("DC %s has only %d servers", name, len(servers))
+	}
+	return servers[i]
+}
+
+// place puts a copy of partition p on the i-th server of the named DC.
+func (f *fixture) place(p int, dcName string, i int) cluster.ServerID {
+	f.t.Helper()
+	s := f.serverIn(dcName, i)
+	if err := f.cluster.AddReplica(p, s); err != nil {
+		f.t.Fatal(err)
+	}
+	return s
+}
+
+// observe injects one epoch of per-DC traffic/load for a partition.
+// traffic and served are maps from DC name to amount; unserved lands at
+// the holder.
+func (f *fixture) observe(p int, holderDC string, trafficByName, servedByName map[string]int, unserved, total int) {
+	f.t.Helper()
+	n := f.world.NumDCs()
+	res := &traffic.ServeResult{
+		TrafficByDC:  make([]int, n),
+		ServedByDC:   make([]int, n),
+		Unserved:     unserved,
+		TotalQueries: total,
+	}
+	for name, v := range trafficByName {
+		res.TrafficByDC[f.dc(name)] = v
+	}
+	for name, v := range servedByName {
+		res.ServedByDC[f.dc(name)] = v
+	}
+	f.tracker.BeginEpoch()
+	f.tracker.Observe(p, f.dc(holderDC), res)
+	f.tracker.EndEpoch()
+}

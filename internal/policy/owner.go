@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// OwnerOriented is the baseline of [7][11][12][13]: the coordinator
+// maximises availability while minimising replication cost (eq. 1). A
+// new copy goes to the nearest server that still raises geographic
+// availability — preferring a different datacenter close to the primary
+// owner ("it is better to choose a different datacenter close to the
+// primary partition owner to replicate on"). Migration only triggers
+// when a strictly better availability-versus-cost position appears,
+// which in a static topology "actually happens only when physical nodes
+// are added into or removed from the system." It has no suicide
+// function.
+type OwnerOriented struct{}
+
+var _ Policy = (*OwnerOriented)(nil)
+
+// NewOwnerOriented returns the owner-oriented baseline.
+func NewOwnerOriented() *OwnerOriented { return &OwnerOriented{} }
+
+// Name implements Policy.
+func (*OwnerOriented) Name() string { return "owner" }
+
+// Decide implements Policy.
+func (o *OwnerOriented) Decide(ctx *Context) Decision {
+	var d Decision
+	for p := 0; p < ctx.Cluster.NumPartitions(); p++ {
+		primary := ctx.Cluster.Primary(p)
+		if primary < 0 {
+			continue
+		}
+		needAvail := ctx.Cluster.ReplicaCount(p) < ctx.MinReplicas
+		if !needAvail && !HolderIsOverloaded(ctx, p, primary) && !CapacityShort(ctx, p) {
+			continue
+		}
+		if target, ok := o.bestTarget(ctx, p, primary); ok {
+			d.Replications = append(d.Replications, Replication{Partition: p, Source: primary, Target: target})
+		}
+	}
+	return d
+}
+
+// bestTarget scores every hostable server by (availability level gained
+// over the closest existing copy, then eq. (1) distance from the
+// primary) and returns the best: highest level first, smallest distance
+// second, lowest id third.
+func (o *OwnerOriented) bestTarget(ctx *Context, partition int, primary cluster.ServerID) (cluster.ServerID, bool) {
+	replicas := ctx.Cluster.ReplicaServers(partition)
+	best := cluster.ServerID(-1)
+	bestLevel := topology.Level(0)
+	bestDist := 0.0
+	for i := 0; i < ctx.Cluster.NumServers(); i++ {
+		s := cluster.ServerID(i)
+		if !ctx.Cluster.CanHost(partition, s) {
+			continue
+		}
+		// The availability a candidate adds is limited by its closest
+		// existing copy: placing next to any replica adds little.
+		level := topology.LevelCrossDatacenter
+		for _, r := range replicas {
+			if lv := topology.AvailabilityLevel(ctx.Cluster.Server(s).Label, ctx.Cluster.Server(r).Label); lv < level {
+				level = lv
+			}
+		}
+		dist := ctx.Cluster.ReplicaDistance(primary, s)
+		if best < 0 || level > bestLevel || (level == bestLevel && dist < bestDist) {
+			best, bestLevel, bestDist = s, level, dist
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,160 @@
+// Package policy implements the four replication algorithms compared in
+// the paper: the RFH decision tree of Fig. 2 (traffic-oriented), plus
+// the three baselines it is evaluated against — the random algorithm
+// (Dynamo-style clockwise successors), the owner-oriented algorithm
+// (max availability at min cost near the partition owner), and the
+// request-oriented algorithm (replicate near the heaviest requesters,
+// Gnutella-style).
+//
+// A policy observes the world through a read-only Context each epoch
+// and returns a Decision — the replications, migrations and suicides it
+// wants. The simulation engine applies the decision subject to physical
+// constraints (bandwidth budgets, storage limits, liveness) and charges
+// the eq. (1) costs.
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// Context is the per-epoch view a policy decides from. All fields are
+// read-only for policies; mutating through them is a bug.
+type Context struct {
+	Epoch   int
+	Cluster *cluster.Cluster
+	Tracker *traffic.Tracker
+	Router  *network.Router
+	Ring    *ring.Ring
+	// Demand is the current epoch's query matrix (q_ijt).
+	Demand *workload.Matrix
+	// FailureRate and MinAvailability parameterise eq. (14).
+	FailureRate     float64
+	MinAvailability float64
+	// MinReplicas is the eq. (14) lower limit precomputed by the engine
+	// from FailureRate and MinAvailability.
+	MinReplicas int
+	// HubCandidates is how many top traffic hubs are considered (the
+	// paper fixes 3).
+	HubCandidates int
+	// RNG is a per-epoch, per-policy random stream.
+	RNG *stats.RNG
+}
+
+// Replication asks for a new copy of Partition on Target, sourced from
+// the copy on Source.
+type Replication struct {
+	Partition int
+	Source    cluster.ServerID
+	Target    cluster.ServerID
+}
+
+// Migration asks to move the copy of Partition on From to To.
+type Migration struct {
+	Partition int
+	From      cluster.ServerID
+	To        cluster.ServerID
+}
+
+// Suicide asks to delete the copy of Partition on Server.
+type Suicide struct {
+	Partition int
+	Server    cluster.ServerID
+}
+
+// Decision is everything a policy wants done this epoch.
+type Decision struct {
+	Replications []Replication
+	Migrations   []Migration
+	Suicides     []Suicide
+}
+
+// Empty reports whether the decision contains no actions.
+func (d Decision) Empty() bool {
+	return len(d.Replications) == 0 && len(d.Migrations) == 0 && len(d.Suicides) == 0
+}
+
+// Policy is one replication algorithm. Decide is called once per epoch
+// after traffic accounting; implementations may keep internal state
+// across epochs but must be deterministic given the Context stream.
+type Policy interface {
+	Name() string
+	Decide(ctx *Context) Decision
+}
+
+// PickLowestBlocking returns the alive server in dc that can host the
+// partition and has the lowest eq. (18) blocking probability, honouring
+// the storage condition (19). Ties break toward the lower server id.
+// ok is false when no server in the datacenter qualifies.
+func PickLowestBlocking(ctx *Context, partition int, dc topology.DCID) (cluster.ServerID, bool) {
+	best := cluster.ServerID(-1)
+	bestBP := 0.0
+	for _, s := range ctx.Cluster.ServersInDC(dc) {
+		if !ctx.Cluster.CanHost(partition, s) {
+			continue
+		}
+		bp := ctx.Cluster.Server(s).Blocking()
+		if best < 0 || bp < bestBP {
+			best, bestBP = s, bp
+		}
+	}
+	return best, best >= 0
+}
+
+// PickRandomHostable returns a uniformly random alive server in dc that
+// can host the partition. ok is false when none qualifies.
+func PickRandomHostable(ctx *Context, partition int, dc topology.DCID) (cluster.ServerID, bool) {
+	var candidates []cluster.ServerID
+	for _, s := range ctx.Cluster.ServersInDC(dc) {
+		if ctx.Cluster.CanHost(partition, s) {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[ctx.RNG.Intn(len(candidates))], true
+}
+
+// HolderIsOverloaded evaluates the eq. (12) β condition for the
+// partition: its total load shared across its current copies.
+func HolderIsOverloaded(ctx *Context, partition int, primary cluster.ServerID) bool {
+	_ = primary // the signal is partition-wide; kept for call-site symmetry
+	return ctx.Tracker.HolderOverloaded(partition, ctx.Cluster.ReplicaCount(partition))
+}
+
+// CapacityShort reports whether the partition's aggregate replica
+// capacity genuinely falls short of demand: at least one query per
+// epoch overflowed both in the smoothed view (not a one-off spike) and
+// in the current epoch (the shortage is not already fixed).
+func CapacityShort(ctx *Context, partition int) bool {
+	return ctx.Tracker.Unserved(partition) >= 1 && ctx.Tracker.LastUnserved(partition) >= 1
+}
+
+// ReplicaDCs returns the set of datacenters currently hosting a copy of
+// the partition.
+func ReplicaDCs(ctx *Context, partition int) map[topology.DCID]bool {
+	out := make(map[topology.DCID]bool)
+	for _, s := range ctx.Cluster.ReplicaServers(partition) {
+		out[ctx.Cluster.DCOf(s)] = true
+	}
+	return out
+}
+
+// SortedDCList returns the map's keys ascending, for deterministic
+// iteration.
+func SortedDCList(m map[topology.DCID]bool) []topology.DCID {
+	out := make([]topology.DCID, 0, len(m))
+	for dc := range m {
+		out = append(out, dc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

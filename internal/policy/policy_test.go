@@ -1,0 +1,492 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDecisionEmpty(t *testing.T) {
+	var d Decision
+	if !d.Empty() {
+		t.Fatal("zero decision not empty")
+	}
+	d.Suicides = append(d.Suicides, Suicide{})
+	if d.Empty() {
+		t.Fatal("decision with suicide reported empty")
+	}
+}
+
+func TestPickLowestBlockingPrefersIdleServer(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.ctx(0)
+	dcA := f.dc("A")
+	servers := f.cluster.ServersInDC(dcA)
+	// Make server 0 of A look busy so its blocking probability rises.
+	f.cluster.BeginEpoch()
+	f.cluster.Server(servers[0]).RecordArrivals(500, 500)
+	f.cluster.EndEpoch()
+	picked, ok := PickLowestBlocking(ctx, 0, dcA)
+	if !ok {
+		t.Fatal("no server picked")
+	}
+	if picked == servers[0] {
+		t.Fatalf("picked the busiest server %d", picked)
+	}
+}
+
+func TestPickLowestBlockingSkipsHostsAndDead(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.ctx(0)
+	dcA := f.dc("A")
+	servers := f.cluster.ServersInDC(dcA)
+	// Partition 0 already on all but one server; that one must be picked.
+	for _, s := range servers[:len(servers)-1] {
+		if err := f.cluster.AddReplica(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picked, ok := PickLowestBlocking(ctx, 0, dcA)
+	if !ok || picked != servers[len(servers)-1] {
+		t.Fatalf("picked %d,%v; want the only free server %d", picked, ok, servers[len(servers)-1])
+	}
+	// Kill it: now nothing qualifies.
+	f.cluster.FailServer(picked)
+	if _, ok := PickLowestBlocking(ctx, 0, dcA); ok {
+		t.Fatal("picked a server in a fully occupied/dead DC")
+	}
+}
+
+func TestPickRandomHostableOnlyValid(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.ctx(0)
+	dcB := f.dc("B")
+	servers := f.cluster.ServersInDC(dcB)
+	for _, s := range servers[:5] {
+		_ = f.cluster.AddReplica(0, s)
+	}
+	for i := 0; i < 50; i++ {
+		s, ok := PickRandomHostable(ctx, 0, dcB)
+		if !ok {
+			t.Fatal("no candidate found")
+		}
+		if f.cluster.HasReplica(0, s) {
+			t.Fatalf("picked occupied server %d", s)
+		}
+	}
+}
+
+func TestHolderIsOverloadedUsesPerCopyShare(t *testing.T) {
+	f := newFixture(t)
+	s := f.place(0, "A", 0)
+	// Total load 300, one copy, avg query 30 → 300 ≥ 60: overloaded.
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 300}, 0, 300)
+	if !HolderIsOverloaded(f.ctx(0), 0, s) {
+		t.Fatal("single saturated copy not overloaded")
+	}
+	// Six copies sharing the same load: 50 < 60 per copy.
+	for i := 1; i < 6; i++ {
+		f.place(0, "A", i)
+	}
+	if HolderIsOverloaded(f.ctx(0), 0, s) {
+		t.Fatal("six copies sharing 300 load reported overloaded")
+	}
+}
+
+func TestCapacityShortRequiresBothSignals(t *testing.T) {
+	f := newFixture(t)
+	f.place(0, "A", 0)
+	// Persistent overflow: both smoothed and raw positive.
+	f.observe(0, "A", map[string]int{"A": 300}, nil, 100, 300)
+	if !CapacityShort(f.ctx(0), 0) {
+		t.Fatal("persistent overflow not detected")
+	}
+	// Overflow fixed this epoch: raw 0 even though smoothed still high.
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 300}, 0, 300)
+	if CapacityShort(f.ctx(0), 0) {
+		t.Fatal("fixed shortage still reported")
+	}
+}
+
+func TestReplicaDCsAndSorted(t *testing.T) {
+	f := newFixture(t)
+	f.place(0, "H", 0)
+	f.place(0, "A", 0)
+	f.place(0, "A", 1)
+	dcs := ReplicaDCs(f.ctx(0), 0)
+	if len(dcs) != 2 || !dcs[f.dc("A")] || !dcs[f.dc("H")] {
+		t.Fatalf("replica DCs = %v", dcs)
+	}
+	sorted := SortedDCList(dcs)
+	if len(sorted) != 2 || sorted[0] > sorted[1] {
+		t.Fatalf("sorted DCs = %v", sorted)
+	}
+}
+
+func TestRandomPolicyMaintainsStaticTarget(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRandomN(4)
+	f.place(0, "A", 0)
+	f.observe(0, "A", map[string]int{"A": 10}, map[string]int{"A": 10}, 0, 10)
+	// Below target: must ask for replication regardless of load.
+	dec := pol.Decide(f.ctx(0))
+	found := false
+	for _, r := range dec.Replications {
+		if r.Partition == 0 {
+			found = true
+			if f.cluster.HasReplica(0, r.Target) {
+				t.Fatal("random picked an occupied target")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("random did not replicate below its static target")
+	}
+}
+
+func TestRandomPolicyStopsAtTarget(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRandomN(3)
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.place(0, "C", 0)
+	f.observe(0, "A", map[string]int{"A": 10}, map[string]int{"A": 10}, 0, 10)
+	dec := pol.Decide(f.ctx(0))
+	for _, r := range dec.Replications {
+		if r.Partition == 0 {
+			t.Fatal("random replicated beyond its static target")
+		}
+	}
+}
+
+func TestRandomPolicyReactsToShortage(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRandomN(2)
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	// At target but persistent overflow → still replicates.
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 100}, 200, 300)
+	dec := pol.Decide(f.ctx(0))
+	found := false
+	for _, r := range dec.Replications {
+		if r.Partition == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("random ignored a capacity shortage")
+	}
+}
+
+func TestRandomNeverMigratesOrSuicides(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRandom()
+	f.place(0, "A", 0)
+	f.observe(0, "A", map[string]int{"A": 300}, nil, 300, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Migrations) != 0 || len(dec.Suicides) != 0 {
+		t.Fatal("random produced migrations or suicides")
+	}
+}
+
+func TestNewRandomNValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRandomN(0) did not panic")
+		}
+	}()
+	NewRandomN(0)
+}
+
+func TestRandomFollowsRingSuccessors(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRandom()
+	f.place(0, "A", 0)
+	f.observe(0, "A", map[string]int{"A": 10}, map[string]int{"A": 10}, 0, 10)
+	dec1 := pol.Decide(f.ctx(0))
+	dec2 := pol.Decide(f.ctx(1))
+	if len(dec1.Replications) == 0 || len(dec2.Replications) == 0 {
+		t.Fatal("no replication proposed")
+	}
+	// The successor walk is deterministic: same state, same target.
+	if dec1.Replications[0].Target != dec2.Replications[0].Target {
+		t.Fatal("successor choice not deterministic")
+	}
+}
+
+func TestOwnerPrefersCrossDCNearPrimary(t *testing.T) {
+	f := newFixture(t)
+	pol := NewOwnerOriented()
+	primary := f.place(0, "A", 0)
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 300}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) == 0 {
+		t.Fatal("owner did not replicate for an overloaded holder")
+	}
+	target := dec.Replications[0].Target
+	targetDC := f.cluster.DCOf(target)
+	if targetDC == f.dc("A") {
+		t.Fatal("owner placed in the same DC though cross-DC candidates exist")
+	}
+	// Must be the geographically nearest different DC: B (distance ~1.41).
+	if got := f.world.DC(targetDC).Name; got != "B" {
+		t.Fatalf("owner picked DC %s, want nearest neighbour B", got)
+	}
+	_ = primary
+}
+
+func TestOwnerIdleWhenHealthy(t *testing.T) {
+	f := newFixture(t)
+	pol := NewOwnerOriented()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.observe(0, "A", map[string]int{"A": 40}, map[string]int{"A": 40}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	for _, r := range dec.Replications {
+		if r.Partition == 0 {
+			t.Fatal("owner replicated a healthy partition")
+		}
+	}
+	if len(dec.Migrations) != 0 || len(dec.Suicides) != 0 {
+		t.Fatal("owner migrated or suicided")
+	}
+}
+
+func TestOwnerReplicatesForAvailability(t *testing.T) {
+	f := newFixture(t)
+	pol := NewOwnerOriented()
+	f.place(0, "A", 0) // 1 copy < MinReplicas 2
+	f.observe(0, "A", map[string]int{"A": 10}, map[string]int{"A": 10}, 0, 10)
+	dec := pol.Decide(f.ctx(0))
+	found := false
+	for _, r := range dec.Replications {
+		if r.Partition == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("owner ignored the availability lower limit")
+	}
+}
+
+func TestOwnerSpreadsAcrossDCs(t *testing.T) {
+	// With copies at A and B, the next target must still raise
+	// availability: a third DC, not another server next to an existing
+	// copy.
+	f := newFixture(t)
+	pol := NewOwnerOriented()
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 300}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) == 0 {
+		t.Fatal("no replication")
+	}
+	dc := f.cluster.DCOf(dec.Replications[0].Target)
+	if dc == f.dc("A") || dc == f.dc("B") {
+		t.Fatalf("owner stacked a copy in already-covered DC %s", f.world.DC(dc).Name)
+	}
+}
+
+func TestRequestReplicatesTowardTopRequesters(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRequestOriented(0.2)
+	f.place(0, "A", 0)
+	ctx := f.ctx(0)
+	// Demand concentrated near H, I, J.
+	for _, name := range []string{"H", "I", "J"} {
+		ctx.Demand.Q[0][f.dc(name)] = 100
+	}
+	f.observe(0, "A", map[string]int{"A": 300}, map[string]int{"A": 100}, 200, 300)
+	dec := pol.Decide(ctx)
+	if len(dec.Replications) == 0 {
+		t.Fatal("request did not replicate under overload")
+	}
+	targetDC := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name
+	if targetDC != "H" && targetDC != "I" && targetDC != "J" {
+		t.Fatalf("request placed in %s, want a top requester DC", targetDC)
+	}
+}
+
+func TestRequestMigratesStrandedReplica(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRequestOriented(0.2)
+	f.place(0, "A", 0)        // primary
+	low := f.place(0, "G", 0) // stranded in a cold region
+	// Feed several epochs so the smoothed demand view stabilises: hot
+	// demand at H, nothing at G.
+	ctx := f.ctx(0)
+	for e := 0; e < 10; e++ {
+		ctx = f.ctx(e)
+		for p := 0; p < f.cluster.NumPartitions(); p++ {
+			ctx.Demand.Q[p][f.dc("H")] = 200
+			ctx.Demand.Q[p][f.dc("I")] = 150
+			ctx.Demand.Q[p][f.dc("J")] = 120
+		}
+		f.observe(0, "A", map[string]int{"A": 100}, map[string]int{"A": 100}, 0, 470)
+		dec := pol.Decide(ctx)
+		for _, m := range dec.Migrations {
+			if m.Partition == 0 {
+				if m.From != low {
+					t.Fatalf("migrated %d, want stranded replica %d", m.From, low)
+				}
+				gotDC := f.world.DC(f.cluster.DCOf(m.To)).Name
+				if gotDC != "H" && gotDC != "I" && gotDC != "J" {
+					t.Fatalf("migrated to %s, want a top requester DC", gotDC)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("request never migrated the stranded replica")
+}
+
+func TestRequestNeverMovesPrimary(t *testing.T) {
+	f := newFixture(t)
+	pol := NewRequestOriented(0.2)
+	primary := f.place(0, "G", 0) // primary itself in a cold region
+	f.place(0, "H", 0)
+	ctx := f.ctx(0)
+	for e := 0; e < 10; e++ {
+		ctx = f.ctx(e)
+		ctx.Demand.Q[0][f.dc("H")] = 200
+		ctx.Demand.Q[0][f.dc("I")] = 150
+		ctx.Demand.Q[0][f.dc("J")] = 120
+		f.observe(0, "G", map[string]int{"G": 100}, map[string]int{"G": 100}, 0, 470)
+		dec := pol.Decide(ctx)
+		for _, m := range dec.Migrations {
+			if m.Partition == 0 && m.From == primary {
+				t.Fatal("request migrated the primary copy")
+			}
+		}
+	}
+}
+
+func TestRequestAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRequestOriented(%g) did not panic", a)
+				}
+			}()
+			NewRequestOriented(a)
+		}()
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewRandom().Name() != "random" {
+		t.Fatal("random name")
+	}
+	if NewOwnerOriented().Name() != "owner" {
+		t.Fatal("owner name")
+	}
+	if NewRequestOriented(0.2).Name() != "request" {
+		t.Fatal("request name")
+	}
+}
+
+func TestPoliciesSkipLostPartitions(t *testing.T) {
+	f := newFixture(t)
+	// Partition 0 has no copies at all (never seeded): primary is -1.
+	f.observe(0, "A", map[string]int{"A": 300}, nil, 300, 300)
+	ctx := f.ctx(0)
+	for _, pol := range []Policy{NewRandom(), NewOwnerOriented(), NewRequestOriented(0.2)} {
+		dec := pol.Decide(ctx)
+		for _, r := range dec.Replications {
+			if r.Partition == 0 {
+				t.Fatalf("%s acted on a lost partition", pol.Name())
+			}
+		}
+	}
+}
+
+var _ = topology.DCID(0) // keep the topology import referenced when tests shrink
+
+func TestEADReplicatesToHottestDC(t *testing.T) {
+	f := newFixture(t)
+	pol := NewEAD(30)
+	f.place(0, "A", 0)
+	// Overloaded holder, D carries the most forwarding traffic.
+	f.observe(0, "A", map[string]int{"A": 300, "D": 200, "F": 100},
+		map[string]int{"A": 300}, 0, 300)
+	dec := pol.Decide(f.ctx(0))
+	if len(dec.Replications) != 1 {
+		t.Fatalf("decision = %+v", dec)
+	}
+	// Hottest DC is A itself (traffic 300) but it already hosts a copy,
+	// so D (200) is next.
+	got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name
+	if got != "D" {
+		t.Fatalf("EAD placed in %s, want D", got)
+	}
+}
+
+func TestEADLifetimeExpiry(t *testing.T) {
+	f := newFixture(t)
+	pol := NewEAD(5)
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	idle := f.place(0, "G", 0) // 3 copies > MinReplicas 2
+	// Healthy partition with an idle replica in G: no load there, so
+	// its lease never renews and lapses after TTL epochs. A and B stay
+	// busy (load above the average query) so their leases renew.
+	for e := 0; e <= 6; e++ {
+		f.observe(0, "A", map[string]int{"A": 70, "B": 50},
+			map[string]int{"A": 70, "B": 50}, 0, 300)
+		dec := pol.Decide(f.ctx(e))
+		if e < 5 && len(dec.Suicides) != 0 {
+			t.Fatalf("epoch %d: premature expiry %+v", e, dec.Suicides)
+		}
+		if e >= 5 {
+			if len(dec.Suicides) != 1 || dec.Suicides[0].Server != idle {
+				t.Fatalf("epoch %d: expiry decision = %+v, want suicide of %d", e, dec, idle)
+			}
+			return
+		}
+	}
+	t.Fatal("idle replica never expired")
+}
+
+func TestEADBusyReplicaLeaseRenews(t *testing.T) {
+	f := newFixture(t)
+	pol := NewEAD(3)
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	busy := f.place(0, "D", 0)
+	for e := 0; e < 10; e++ {
+		// D serves heavily every epoch: its lease keeps renewing.
+		f.observe(0, "A", map[string]int{"A": 30, "B": 20, "D": 100},
+			map[string]int{"A": 30, "B": 20, "D": 100}, 0, 300)
+		dec := pol.Decide(f.ctx(e))
+		for _, s := range dec.Suicides {
+			if s.Server == busy {
+				t.Fatalf("epoch %d: busy replica expired", e)
+			}
+		}
+	}
+}
+
+func TestEADRespectsAvailabilityFloor(t *testing.T) {
+	f := newFixture(t)
+	pol := NewEAD(1)
+	f.place(0, "A", 0)
+	f.place(0, "G", 0) // exactly MinReplicas
+	for e := 0; e < 4; e++ {
+		f.observe(0, "A", map[string]int{"A": 30}, map[string]int{"A": 30}, 0, 300)
+		dec := pol.Decide(f.ctx(e))
+		if len(dec.Suicides) != 0 {
+			t.Fatalf("EAD suicided at the availability floor: %+v", dec.Suicides)
+		}
+	}
+}
+
+func TestEADName(t *testing.T) {
+	if NewEAD(0).Name() != "ead" {
+		t.Fatal("name")
+	}
+	if NewEAD(0).TTL != 30 {
+		t.Fatal("default TTL")
+	}
+}

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ring"
+)
+
+// DefaultRandomN is the default total copy count the random baseline
+// maintains per partition, calibrated to the paper's Fig. 4(a)/(b)
+// where the random algorithm settles around 8 replicas per partition.
+const DefaultRandomN = 8
+
+// Random is the Dynamo-style baseline [4][21][22]: each partition is
+// replicated "at a fixed number of physically distinct nodes in a
+// static way" — the N−1 clockwise successor virtual nodes of the
+// partition's ring position. Successors are adjacent in ID space but
+// geographically random. On top of the static target, the baseline
+// still reacts to genuine capacity shortage (unserved queries) and the
+// eq. (14) availability floor by adding further successors; it has no
+// migration and no suicide function (§III-D: "The cost of random
+// algorithm is zero, because no migration function is employed").
+type Random struct {
+	// N is the static total copy target per partition.
+	N int
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns the random baseline with the default copy target.
+func NewRandom() *Random { return &Random{N: DefaultRandomN} }
+
+// NewRandomN returns the random baseline with an explicit copy target.
+func NewRandomN(n int) *Random {
+	if n < 1 {
+		panic("policy: random copy target must be at least 1")
+	}
+	return &Random{N: n}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Decide implements Policy.
+func (r *Random) Decide(ctx *Context) Decision {
+	var d Decision
+	target := r.N
+	if ctx.MinReplicas > target {
+		target = ctx.MinReplicas
+	}
+	for p := 0; p < ctx.Cluster.NumPartitions(); p++ {
+		primary := ctx.Cluster.Primary(p)
+		if primary < 0 {
+			continue
+		}
+		if ctx.Cluster.ReplicaCount(p) >= target && !CapacityShort(ctx, p) {
+			continue
+		}
+		if t, ok := r.nextSuccessor(ctx, p); ok {
+			d.Replications = append(d.Replications, Replication{Partition: p, Source: primary, Target: t})
+		}
+	}
+	return d
+}
+
+// nextSuccessor walks the partition's Dynamo preference list and
+// returns the first server that does not yet hold a copy and can host
+// one.
+func (r *Random) nextSuccessor(ctx *Context, partition int) (cluster.ServerID, bool) {
+	pos := ring.HashUint64(uint64(partition))
+	// Ask for the full preference list; the ring deduplicates physical
+	// servers, so NumServers is a safe upper bound.
+	for _, vn := range ctx.Ring.Successors(pos, ctx.Cluster.NumServers()) {
+		s := cluster.ServerID(vn.Server)
+		if ctx.Cluster.CanHost(partition, s) {
+			return s, true
+		}
+	}
+	return 0, false
+}

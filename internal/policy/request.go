@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// RequestOriented is the Gnutella-style baseline [16][5]: it replicates
+// onto datacenters closest to the requesters with the highest query
+// rate — "It will randomly choose a node among the top 3 ones to
+// replicate on. The migration process is started when another node
+// without any replica joins in the list of the top 3." It has no
+// suicide function, which is why its replicas strand on stale hot
+// regions after a flash crowd moves (§III-B).
+type RequestOriented struct {
+	alpha  float64
+	demand [][]float64 // smoothed q_ijt per (partition, requester DC)
+}
+
+var _ Policy = (*RequestOriented)(nil)
+
+// NewRequestOriented returns the request-oriented baseline. alpha is
+// the demand-smoothing factor; the paper's Table I value (0.2) is used
+// by the engine.
+func NewRequestOriented(alpha float64) *RequestOriented {
+	if alpha <= 0 || alpha >= 1 {
+		panic("policy: request-oriented alpha must be in (0,1)")
+	}
+	return &RequestOriented{alpha: alpha}
+}
+
+// Name implements Policy.
+func (*RequestOriented) Name() string { return "request" }
+
+// Decide implements Policy.
+func (r *RequestOriented) Decide(ctx *Context) Decision {
+	r.observeDemand(ctx)
+	var d Decision
+	for p := 0; p < ctx.Cluster.NumPartitions(); p++ {
+		primary := ctx.Cluster.Primary(p)
+		if primary < 0 {
+			continue
+		}
+		top := r.topRequesters(p, ctx.HubCandidates)
+		hosted := ReplicaDCs(ctx, p)
+
+		// Migration first (§II-A: "The migration process is started when
+		// another node without any replica joins in the list of the top
+		// 3"): repositioning a stranded replica is the algorithm's
+		// primary response to requester movement.
+		if mig, ok := r.migrationFor(ctx, p, primary, top, hosted); ok {
+			d.Migrations = append(d.Migrations, mig)
+			continue // one structural action per partition per epoch
+		}
+		needAvail := ctx.Cluster.ReplicaCount(p) < ctx.MinReplicas
+		if needAvail || HolderIsOverloaded(ctx, p, primary) || CapacityShort(ctx, p) {
+			if target, ok := r.pickAmongTop(ctx, p, top, hosted); ok {
+				d.Replications = append(d.Replications, Replication{Partition: p, Source: primary, Target: target})
+			}
+		}
+	}
+	return d
+}
+
+// observeDemand folds this epoch's query matrix into the smoothed
+// per-partition demand (the policy's own view of requester heat).
+func (r *RequestOriented) observeDemand(ctx *Context) {
+	parts := ctx.Demand.Partitions()
+	dcs := ctx.Demand.DCs()
+	if r.demand == nil {
+		r.demand = make([][]float64, parts)
+		for p := range r.demand {
+			r.demand[p] = make([]float64, dcs)
+		}
+		for p := 0; p < parts; p++ {
+			for dc := 0; dc < dcs; dc++ {
+				r.demand[p][dc] = float64(ctx.Demand.Q[p][dc])
+			}
+		}
+		return
+	}
+	for p := 0; p < parts; p++ {
+		for dc := 0; dc < dcs; dc++ {
+			r.demand[p][dc] = stats.Smooth(1-r.alpha, r.demand[p][dc], float64(ctx.Demand.Q[p][dc]))
+		}
+	}
+}
+
+// topRequesters returns the k datacenters with the highest smoothed
+// demand for partition p, descending, ties toward lower ids.
+func (r *RequestOriented) topRequesters(p, k int) []topology.DCID {
+	type hot struct {
+		dc topology.DCID
+		q  float64
+	}
+	hots := make([]hot, 0, len(r.demand[p]))
+	for dc, q := range r.demand[p] {
+		hots = append(hots, hot{topology.DCID(dc), q})
+	}
+	sort.Slice(hots, func(a, b int) bool {
+		if hots[a].q != hots[b].q {
+			return hots[a].q > hots[b].q
+		}
+		return hots[a].dc < hots[b].dc
+	})
+	if k > len(hots) {
+		k = len(hots)
+	}
+	out := make([]topology.DCID, k)
+	for i := 0; i < k; i++ {
+		out[i] = hots[i].dc
+	}
+	return out
+}
+
+// pickAmongTop chooses a random hostable server within a random
+// top-requester datacenter that does not already hold a copy (paper:
+// "randomly choose a node among the top 3 ones"; in a Gnutella-style
+// system a second copy in an already-covered requester region serves
+// nobody new, so covered top DCs are skipped).
+func (r *RequestOriented) pickAmongTop(ctx *Context, partition int, top []topology.DCID, hosted map[topology.DCID]bool) (cluster.ServerID, bool) {
+	if len(top) == 0 {
+		return 0, false
+	}
+	// Try the top DCs in a random rotation so full ones do not block.
+	start := ctx.RNG.Intn(len(top))
+	for off := 0; off < len(top); off++ {
+		dc := top[(start+off)%len(top)]
+		if hosted[dc] {
+			continue
+		}
+		if s, ok := PickRandomHostable(ctx, partition, dc); ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// migrationFor moves a replica stranded outside the top requester set
+// into a top DC that lacks one.
+func (r *RequestOriented) migrationFor(ctx *Context, partition int, primary cluster.ServerID, top []topology.DCID, hosted map[topology.DCID]bool) (Migration, bool) {
+	topSet := make(map[topology.DCID]bool, len(top))
+	for _, dc := range top {
+		topSet[dc] = true
+	}
+	var destDC topology.DCID = -1
+	for _, dc := range top {
+		if !hosted[dc] {
+			destDC = dc
+			break
+		}
+	}
+	if destDC < 0 {
+		return Migration{}, false
+	}
+	// Find a replica outside the top set to move (never the primary).
+	// Hysteresis: only move when the destination's demand clearly
+	// dominates the stranded replica's, so Poisson noise in a flat
+	// demand profile does not churn replicas back and forth.
+	const hysteresis = 1.25
+	for _, s := range ctx.Cluster.ReplicaServers(partition) {
+		fromDC := ctx.Cluster.DCOf(s)
+		if s == primary || topSet[fromDC] {
+			continue
+		}
+		if r.demand[partition][destDC] < hysteresis*r.demand[partition][fromDC] {
+			continue
+		}
+		if target, ok := PickRandomHostable(ctx, partition, destDC); ok {
+			return Migration{Partition: partition, From: s, To: target}, true
+		}
+		return Migration{}, false
+	}
+	return Migration{}, false
+}

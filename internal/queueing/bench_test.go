@@ -1,0 +1,11 @@
+package queueing
+
+import "testing"
+
+func BenchmarkErlangB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ErlangB(48, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

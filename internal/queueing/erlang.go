@@ -1,0 +1,121 @@
+// Package queueing implements the M/G/c blocking-probability model of
+// §II-E, eq. (18): when the RFH algorithm has picked a datacenter to
+// replicate or migrate into, it chooses the physical server with the
+// lowest Erlang-B blocking probability
+//
+//	BP = (a^c / c!) / Σ_{k=0}^{c} a^k / k!,   a = λ·τ
+//
+// where λ is the Poisson arrival rate observed at the server, τ the mean
+// service time, and c the server's processing limit. The Erlang-B
+// formula is insensitive to the service-time distribution, which is why
+// the paper can call the model M/G/c.
+package queueing
+
+import "fmt"
+
+// ErlangB returns the blocking probability for offered load a = λ·τ and
+// c servers/processing slots, evaluated with the numerically stable
+// recurrence B(0)=1, B(k) = a·B(k−1) / (k + a·B(k−1)). Direct evaluation
+// of eq. (18) overflows factorials near c ≈ 170; the recurrence is exact
+// and works for any c.
+func ErlangB(a float64, c int) (float64, error) {
+	if a < 0 {
+		return 0, fmt.Errorf("queueing: offered load must be non-negative, got %g", a)
+	}
+	if c < 0 {
+		return 0, fmt.Errorf("queueing: processing limit must be non-negative, got %d", c)
+	}
+	if c == 0 {
+		// No servers: every arrival blocks (unless there is no load).
+		if a == 0 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b, nil
+}
+
+// BlockingProbability computes eq. (18) from its raw inputs: arrival
+// rate lambda, mean service time tau, and processing limit c.
+func BlockingProbability(lambda, tau float64, c int) (float64, error) {
+	if lambda < 0 || tau < 0 {
+		return 0, fmt.Errorf("queueing: lambda and tau must be non-negative (%g, %g)", lambda, tau)
+	}
+	return ErlangB(lambda*tau, c)
+}
+
+// Observer accumulates per-epoch arrival and service observations for
+// one physical server so the simulator can "calculate the average value
+// of λ and τ and then get blocking probability BP periodically" (§II-E).
+// The zero value is ready to use.
+type Observer struct {
+	arrivals     float64 // total arrivals observed
+	busyTime     float64 // total service time consumed
+	served       float64 // completed services
+	epochs       int     // epochs observed
+	defaultTau   float64 // fallback service time before any completions
+	processLimit int
+}
+
+// NewObserver creates an observer for a server with the given processing
+// limit c and a fallback mean service time used until real completions
+// are recorded.
+func NewObserver(processLimit int, defaultTau float64) *Observer {
+	if processLimit < 0 {
+		panic("queueing: negative processing limit")
+	}
+	if defaultTau <= 0 {
+		panic("queueing: defaultTau must be positive")
+	}
+	return &Observer{defaultTau: defaultTau, processLimit: processLimit}
+}
+
+// RecordEpoch folds one epoch of observations: the number of arrivals
+// and the total busy time spent serving completed requests.
+func (o *Observer) RecordEpoch(arrivals int, busyTime float64, served int) {
+	if arrivals < 0 || served < 0 || busyTime < 0 {
+		panic("queueing: negative observation")
+	}
+	o.arrivals += float64(arrivals)
+	o.busyTime += busyTime
+	o.served += float64(served)
+	o.epochs++
+}
+
+// Lambda returns the average arrival rate per epoch observed so far.
+func (o *Observer) Lambda() float64 {
+	if o.epochs == 0 {
+		return 0
+	}
+	return o.arrivals / float64(o.epochs)
+}
+
+// Tau returns the mean service time per completed request, or the
+// configured default before any completions.
+func (o *Observer) Tau() float64 {
+	if o.served == 0 {
+		return o.defaultTau
+	}
+	return o.busyTime / o.served
+}
+
+// Blocking returns the server's current eq. (18) blocking probability.
+func (o *Observer) Blocking() float64 {
+	bp, err := BlockingProbability(o.Lambda(), o.Tau(), o.processLimit)
+	if err != nil {
+		// Inputs are guarded non-negative above; reaching here is a bug.
+		panic("queueing: " + err.Error())
+	}
+	return bp
+}
+
+// Reset clears accumulated observations (e.g. after a server recovers
+// from failure, stale load history should not bias placement).
+func (o *Observer) Reset() {
+	o.arrivals, o.busyTime, o.served = 0, 0, 0
+	o.epochs = 0
+}

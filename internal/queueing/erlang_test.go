@@ -1,0 +1,177 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic Erlang-B table values.
+	cases := []struct {
+		a    float64
+		c    int
+		want float64
+	}{
+		{0, 1, 0},
+		{1, 1, 0.5},       // a/(1+a)
+		{2, 2, 0.4},       // (4/2)/(1+2+2) = 2/5
+		{10, 10, 0.21458}, // standard table entry ~0.2146
+		{5, 10, 0.018385}, // ~0.0184
+	}
+	for _, c := range cases {
+		got, err := ErlangB(c.a, c.c)
+		if err != nil {
+			t.Fatalf("ErlangB(%g,%d): %v", c.a, c.c, err)
+		}
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("ErlangB(%g,%d) = %g, want %g", c.a, c.c, got, c.want)
+		}
+	}
+}
+
+func TestErlangBZeroServers(t *testing.T) {
+	got, err := ErlangB(3, 0)
+	if err != nil || got != 1 {
+		t.Fatalf("ErlangB(3,0) = %g,%v; want 1", got, err)
+	}
+	got, err = ErlangB(0, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("ErlangB(0,0) = %g,%v; want 0", got, err)
+	}
+}
+
+func TestErlangBErrors(t *testing.T) {
+	if _, err := ErlangB(-1, 5); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := ErlangB(1, -1); err == nil {
+		t.Fatal("negative servers accepted")
+	}
+}
+
+func TestErlangBInUnitInterval(t *testing.T) {
+	check := func(aRaw uint16, c8 uint8) bool {
+		a := float64(aRaw) / 100
+		c := int(c8) % 200
+		bp, err := ErlangB(a, c)
+		return err == nil && bp >= 0 && bp <= 1 && !math.IsNaN(bp)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErlangBMonotoneInServers(t *testing.T) {
+	// More capacity never increases blocking.
+	for c := 1; c < 50; c++ {
+		b1, _ := ErlangB(20, c)
+		b2, _ := ErlangB(20, c+1)
+		if b2 > b1+1e-12 {
+			t.Fatalf("blocking increased with capacity: B(20,%d)=%g > B(20,%d)=%g", c+1, b2, c, b1)
+		}
+	}
+}
+
+func TestErlangBMonotoneInLoad(t *testing.T) {
+	// More offered load never decreases blocking.
+	prev := -1.0
+	for a := 0.0; a <= 50; a += 0.5 {
+		b, _ := ErlangB(a, 10)
+		if b < prev-1e-12 {
+			t.Fatalf("blocking decreased with load at a=%g", a)
+		}
+		prev = b
+	}
+}
+
+func TestErlangBLargeCNoOverflow(t *testing.T) {
+	bp, err := ErlangB(500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(bp) || bp <= 0 || bp >= 1 {
+		t.Fatalf("ErlangB(500,400) = %g, want a proper probability", bp)
+	}
+}
+
+func TestBlockingProbabilityComposition(t *testing.T) {
+	direct, _ := ErlangB(6, 4)
+	viaRates, err := BlockingProbability(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct-viaRates) > 1e-15 {
+		t.Fatalf("BlockingProbability(3,2,4)=%g != ErlangB(6,4)=%g", viaRates, direct)
+	}
+	if _, err := BlockingProbability(-1, 1, 4); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestObserverAverages(t *testing.T) {
+	o := NewObserver(10, 1.0)
+	o.RecordEpoch(100, 50, 100) // tau 0.5
+	o.RecordEpoch(200, 150, 100)
+	if got := o.Lambda(); got != 150 {
+		t.Fatalf("Lambda = %g, want 150", got)
+	}
+	if got := o.Tau(); got != 1.0 {
+		t.Fatalf("Tau = %g, want 1.0 (200 busy / 200 served)", got)
+	}
+}
+
+func TestObserverDefaultTau(t *testing.T) {
+	o := NewObserver(10, 0.7)
+	if got := o.Tau(); got != 0.7 {
+		t.Fatalf("pre-observation Tau = %g", got)
+	}
+	if got := o.Blocking(); got != 0 {
+		t.Fatalf("pre-observation Blocking = %g (no load should not block)", got)
+	}
+}
+
+func TestObserverBlockingRisesWithLoad(t *testing.T) {
+	light := NewObserver(5, 1)
+	heavy := NewObserver(5, 1)
+	light.RecordEpoch(1, 1, 1)
+	heavy.RecordEpoch(50, 50, 50)
+	if light.Blocking() >= heavy.Blocking() {
+		t.Fatalf("light server blocks (%g) as much as heavy (%g)", light.Blocking(), heavy.Blocking())
+	}
+}
+
+func TestObserverReset(t *testing.T) {
+	o := NewObserver(5, 1)
+	o.RecordEpoch(100, 100, 100)
+	o.Reset()
+	if o.Lambda() != 0 || o.Tau() != 1 || o.Blocking() != 0 {
+		t.Fatal("Reset did not clear observer")
+	}
+}
+
+func TestObserverPanicsOnNegative(t *testing.T) {
+	o := NewObserver(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative observation accepted")
+		}
+	}()
+	o.RecordEpoch(-1, 0, 0)
+}
+
+func TestNewObserverValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewObserver(-1, 1) },
+		func() { NewObserver(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid NewObserver accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+// Package report renders a complete reproduction report — Table I,
+// every figure's steady-state numbers, and the machine-checked claims —
+// as Markdown, from live simulation data. It regenerates the
+// quantitative core of EXPERIMENTS.md on demand, so the document can
+// never drift from the code.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// Write renders the full report for the suite into w, running any
+// campaigns that have not run yet.
+func Write(w io.Writer, s *experiments.Suite) error {
+	opts := s.Options()
+	fmt.Fprintf(w, "# RFH reproduction report\n\n")
+	fmt.Fprintf(w, "Seed %d; %d/%d/%d-epoch runs; lambda=%.0f; %d servers fail at epoch %d.\n\n",
+		opts.Seed, opts.EpochsRandom, opts.EpochsFlash, opts.EpochsFailure,
+		opts.Lambda, opts.FailServers, opts.FailEpoch)
+
+	fmt.Fprintf(w, "## Table I — parameters in force\n\n")
+	fmt.Fprintf(w, "| Parameter | Value |\n|---|---|\n")
+	for _, row := range s.TableI() {
+		fmt.Fprintf(w, "| %s | %s |\n", row[0], row[1])
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "## Figures — steady-state values (mean of the last quarter)\n\n")
+	for _, id := range experiments.FigureIDs() {
+		fig, err := s.Figure(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "### %s\n\n", fig.Title)
+		fmt.Fprintf(w, "| Series | First | Late mean | Last |\n|---|---|---|---|\n")
+		for _, ser := range fig.Series {
+			if len(ser.Points) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+				ser.Name,
+				fmtNum(ser.Points[0]),
+				fmtNum(stats.Mean(ser.Points[len(ser.Points)*3/4:])),
+				fmtNum(ser.Points[len(ser.Points)-1]))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "## Machine-checked claims\n\n")
+	reports, err := s.CheckAll()
+	if err != nil {
+		return err
+	}
+	total, failed := 0, 0
+	fmt.Fprintf(w, "| Figure | Claim | Status | Detail |\n|---|---|---|---|\n")
+	for _, rep := range reports {
+		for _, c := range rep.Claims {
+			total++
+			status := "PASS"
+			if !c.Pass {
+				status = "**FAIL**"
+				failed++
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", rep.Figure, c.Description, status, c.Detail)
+		}
+	}
+	fmt.Fprintf(w, "\n**%d/%d claims hold.**\n", total-failed, total)
+	return nil
+}
+
+// fmtNum renders a value compactly, tolerating infinities from the
+// latency percentile series.
+func fmtNum(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

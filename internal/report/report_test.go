@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestWriteReport(t *testing.T) {
+	opts := experiments.DefaultOptions()
+	opts.EpochsRandom = 60
+	opts.EpochsFlash = 80
+	opts.EpochsFailure = 80
+	opts.FailEpoch = 40
+	s, err := experiments.NewSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# RFH reproduction report",
+		"## Table I",
+		"Fig. 3a",
+		"Fig. 10",
+		"Ext. E1",
+		"Ext. E2",
+		"## Machine-checked claims",
+		"claims hold",
+		"| rfh |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("report contains NaN")
+	}
+	// Every figure section has a table header.
+	if got := strings.Count(out, "| Series | First | Late mean | Last |"); got != len(experiments.FigureIDs()) {
+		t.Errorf("figure tables = %d, want %d", got, len(experiments.FigureIDs()))
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	if fmtNum(1.23456) != "1.235" {
+		t.Fatalf("fmtNum = %s", fmtNum(1.23456))
+	}
+	if fmtNum(math.Inf(1)) != "inf" || fmtNum(math.Inf(-1)) != "-inf" {
+		t.Fatal("infinity formatting")
+	}
+}

@@ -1,0 +1,48 @@
+package ring
+
+import "testing"
+
+func benchRing(b *testing.B, servers, tokens int) *Ring {
+	b.Helper()
+	r := New()
+	for s := 0; s < servers; s++ {
+		if err := r.AddServer(s, tokens); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := benchRing(b, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(HashUint64(uint64(i)))
+	}
+}
+
+func BenchmarkSuccessors3(b *testing.B) {
+	r := benchRing(b, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Successors(HashUint64(uint64(i)), 3)
+	}
+}
+
+func BenchmarkAddRemoveServer(b *testing.B) {
+	r := benchRing(b, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1000 + i
+		if err := r.AddServer(id, 8); err != nil {
+			b.Fatal(err)
+		}
+		r.RemoveServer(id)
+	}
+}
+
+func BenchmarkHashUint64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HashUint64(uint64(i))
+	}
+}

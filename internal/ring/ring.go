@@ -1,0 +1,190 @@
+// Package ring implements the consistent-hashing substrate of §II-B:
+// data is partitioned over a fixed circular 64-bit hash space populated
+// by virtual nodes, each hosted by a physical server. A partition is
+// owned by the first virtual node clockwise from the partition's hash
+// position (its successor). The Dynamo-style random baseline replicates
+// a partition onto the N−1 clockwise successor virtual nodes that live
+// on distinct physical servers — "although adjacent in node ID space,
+// these replicas are actually randomly chosen considering geographical
+// location."
+//
+// Server join and departure only move the keys between a vanishing or
+// appearing virtual node and its immediate neighbours, which is the
+// independence property §II-B highlights.
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Position is a location on the 64-bit hash ring.
+type Position uint64
+
+// VirtualNode is one token on the ring, owned by a physical server.
+type VirtualNode struct {
+	Pos    Position
+	Server int // physical server id (index into the cluster)
+	Index  int // which of the server's tokens this is (0..tokens-1)
+}
+
+// Ring is a consistent-hashing ring. The zero value is an empty ring
+// ready for AddServer. Ring is not safe for concurrent mutation;
+// lookups are safe concurrently with each other.
+type Ring struct {
+	vnodes []VirtualNode // sorted by Pos
+	tokens map[int]int   // server -> token count (for bookkeeping)
+}
+
+// New returns an empty ring.
+func New() *Ring {
+	return &Ring{tokens: make(map[int]int)}
+}
+
+// HashBytes maps arbitrary bytes onto the ring: 64-bit FNV-1a followed
+// by a splitmix64 finalizer. Raw FNV clusters badly on low-entropy
+// inputs (sequential integers differ only in their last bytes); the
+// finalizer restores avalanche so ring positions scatter uniformly.
+func HashBytes(b []byte) Position {
+	h := fnv.New64a()
+	h.Write(b)
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return Position(z ^ (z >> 31))
+}
+
+// HashString maps a string key onto the ring.
+func HashString(s string) Position { return HashBytes([]byte(s)) }
+
+// HashUint64 maps an integer key (e.g. a partition id) onto the ring.
+func HashUint64(v uint64) Position {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return HashBytes(buf[:])
+}
+
+// tokenPosition derives the deterministic ring position of a server's
+// i-th token.
+func tokenPosition(server, index int) Position {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(server))
+	binary.BigEndian.PutUint64(buf[8:], uint64(index))
+	return HashBytes(buf[:])
+}
+
+// AddServer inserts `tokens` virtual nodes for the given physical
+// server at deterministic pseudo-random positions. Adding a server that
+// is already present is an error.
+func (r *Ring) AddServer(server, tokens int) error {
+	if tokens <= 0 {
+		return fmt.Errorf("ring: server %d needs at least 1 token, got %d", server, tokens)
+	}
+	if _, exists := r.tokens[server]; exists {
+		return fmt.Errorf("ring: server %d already on the ring", server)
+	}
+	for i := 0; i < tokens; i++ {
+		r.vnodes = append(r.vnodes, VirtualNode{Pos: tokenPosition(server, i), Server: server, Index: i})
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].Pos != r.vnodes[b].Pos {
+			return r.vnodes[a].Pos < r.vnodes[b].Pos
+		}
+		// FNV collisions are astronomically unlikely but keep ordering
+		// total for determinism.
+		if r.vnodes[a].Server != r.vnodes[b].Server {
+			return r.vnodes[a].Server < r.vnodes[b].Server
+		}
+		return r.vnodes[a].Index < r.vnodes[b].Index
+	})
+	r.tokens[server] = tokens
+	return nil
+}
+
+// RemoveServer removes all of a server's virtual nodes (departure or
+// failure). Removing an absent server is a no-op.
+func (r *Ring) RemoveServer(server int) {
+	if _, exists := r.tokens[server]; !exists {
+		return
+	}
+	kept := r.vnodes[:0]
+	for _, vn := range r.vnodes {
+		if vn.Server != server {
+			kept = append(kept, vn)
+		}
+	}
+	r.vnodes = kept
+	delete(r.tokens, server)
+}
+
+// HasServer reports whether the server currently owns tokens on the
+// ring.
+func (r *Ring) HasServer(server int) bool {
+	_, ok := r.tokens[server]
+	return ok
+}
+
+// Servers returns the ids of all servers on the ring in ascending order.
+func (r *Ring) Servers() []int {
+	out := make([]int, 0, len(r.tokens))
+	for s := range r.tokens {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the total number of virtual nodes on the ring.
+func (r *Ring) Len() int { return len(r.vnodes) }
+
+// successorIndex returns the index of the first virtual node clockwise
+// from pos (inclusive), wrapping around.
+func (r *Ring) successorIndex(pos Position) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].Pos >= pos })
+	if i == len(r.vnodes) {
+		return 0
+	}
+	return i
+}
+
+// Lookup returns the virtual node owning pos: its clockwise successor.
+// ok is false on an empty ring.
+func (r *Ring) Lookup(pos Position) (VirtualNode, bool) {
+	if len(r.vnodes) == 0 {
+		return VirtualNode{}, false
+	}
+	return r.vnodes[r.successorIndex(pos)], true
+}
+
+// Owner returns the physical server owning the given key position.
+func (r *Ring) Owner(pos Position) (int, bool) {
+	vn, ok := r.Lookup(pos)
+	if !ok {
+		return 0, false
+	}
+	return vn.Server, true
+}
+
+// Successors walks clockwise from pos and returns up to n virtual nodes
+// on *distinct physical servers*, starting with the owner. This is the
+// Dynamo preference list used by the random replication baseline
+// ("replicate data at the N−1 clockwise successor nodes").
+func (r *Ring) Successors(pos Position, n int) []VirtualNode {
+	if n <= 0 || len(r.vnodes) == 0 {
+		return nil
+	}
+	out := make([]VirtualNode, 0, n)
+	seen := make(map[int]bool, n)
+	start := r.successorIndex(pos)
+	for off := 0; off < len(r.vnodes) && len(out) < n; off++ {
+		vn := r.vnodes[(start+off)%len(r.vnodes)]
+		if seen[vn.Server] {
+			continue
+		}
+		seen[vn.Server] = true
+		out = append(out, vn)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildRing(t *testing.T, servers, tokens int) *Ring {
+	t.Helper()
+	r := New()
+	for s := 0; s < servers; s++ {
+		if err := r.AddServer(s, tokens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New()
+	if _, ok := r.Lookup(123); ok {
+		t.Fatal("lookup on empty ring succeeded")
+	}
+	if _, ok := r.Owner(123); ok {
+		t.Fatal("owner on empty ring succeeded")
+	}
+	if got := r.Successors(123, 3); got != nil {
+		t.Fatalf("successors on empty ring = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Fatal("empty ring has vnodes")
+	}
+}
+
+func TestAddServerValidation(t *testing.T) {
+	r := New()
+	if err := r.AddServer(0, 0); err == nil {
+		t.Fatal("zero tokens accepted")
+	}
+	if err := r.AddServer(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddServer(0, 4); err == nil {
+		t.Fatal("duplicate server accepted")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring has %d vnodes, want 4", r.Len())
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r1 := buildRing(t, 10, 8)
+	r2 := buildRing(t, 10, 8)
+	for k := uint64(0); k < 500; k++ {
+		a, _ := r1.Lookup(HashUint64(k))
+		b, _ := r2.Lookup(HashUint64(k))
+		if a != b {
+			t.Fatalf("lookup of key %d differs between identical rings", k)
+		}
+	}
+}
+
+func TestLookupReturnsSuccessor(t *testing.T) {
+	r := buildRing(t, 5, 4)
+	// For every vnode position, lookup at exactly that position must
+	// return that vnode (successor is inclusive).
+	for _, vn := range r.vnodes {
+		got, ok := r.Lookup(vn.Pos)
+		if !ok || got.Pos != vn.Pos {
+			t.Fatalf("lookup at vnode position %d returned %+v", vn.Pos, got)
+		}
+	}
+}
+
+func TestLookupWrapsAround(t *testing.T) {
+	r := buildRing(t, 3, 2)
+	// A position after the last vnode must wrap to the first.
+	last := r.vnodes[len(r.vnodes)-1].Pos
+	if last == ^Position(0) {
+		t.Skip("last vnode at ring max; wrap untestable with this seed")
+	}
+	got, ok := r.Lookup(last + 1)
+	if !ok || got != r.vnodes[0] {
+		t.Fatalf("lookup past ring end = %+v, want first vnode %+v", got, r.vnodes[0])
+	}
+}
+
+func TestSuccessorsDistinctServers(t *testing.T) {
+	check := func(key uint64, n8 uint8) bool {
+		r := New()
+		for s := 0; s < 10; s++ {
+			if err := r.AddServer(s, 8); err != nil {
+				return false
+			}
+		}
+		n := int(n8)%12 + 1
+		succ := r.Successors(HashUint64(key), n)
+		want := n
+		if want > 10 {
+			want = 10 // only 10 distinct servers exist
+		}
+		if len(succ) != want {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, vn := range succ {
+			if seen[vn.Server] {
+				return false
+			}
+			seen[vn.Server] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorsFirstIsOwner(t *testing.T) {
+	r := buildRing(t, 10, 8)
+	for k := uint64(0); k < 200; k++ {
+		pos := HashUint64(k)
+		owner, _ := r.Owner(pos)
+		succ := r.Successors(pos, 3)
+		if succ[0].Server != owner {
+			t.Fatalf("key %d: first successor %d != owner %d", k, succ[0].Server, owner)
+		}
+	}
+}
+
+func TestRemoveServerOnlyMovesItsKeys(t *testing.T) {
+	// The §II-B independence property: removing a server must not change
+	// ownership of keys it did not own.
+	r := buildRing(t, 10, 8)
+	ownersBefore := make(map[uint64]int)
+	for k := uint64(0); k < 2000; k++ {
+		o, _ := r.Owner(HashUint64(k))
+		ownersBefore[k] = o
+	}
+	const victim = 4
+	r.RemoveServer(victim)
+	for k, before := range ownersBefore {
+		after, ok := r.Owner(HashUint64(k))
+		if !ok {
+			t.Fatal("ring emptied unexpectedly")
+		}
+		if before != victim && after != before {
+			t.Fatalf("key %d moved from %d to %d though %d was removed", k, before, after, victim)
+		}
+		if before == victim && after == victim {
+			t.Fatalf("key %d still owned by removed server", k)
+		}
+	}
+}
+
+func TestRemoveAbsentServerNoop(t *testing.T) {
+	r := buildRing(t, 3, 4)
+	before := r.Len()
+	r.RemoveServer(99)
+	if r.Len() != before {
+		t.Fatal("removing absent server changed ring")
+	}
+}
+
+func TestAddThenRemoveRestoresOwnership(t *testing.T) {
+	r := buildRing(t, 8, 8)
+	owners := make([]int, 500)
+	for k := range owners {
+		owners[k], _ = r.Owner(HashUint64(uint64(k)))
+	}
+	if err := r.AddServer(100, 8); err != nil {
+		t.Fatal(err)
+	}
+	r.RemoveServer(100)
+	for k := range owners {
+		got, _ := r.Owner(HashUint64(uint64(k)))
+		if got != owners[k] {
+			t.Fatalf("key %d owner changed after add+remove round trip", k)
+		}
+	}
+}
+
+func TestServersListing(t *testing.T) {
+	r := buildRing(t, 5, 2)
+	got := r.Servers()
+	if len(got) != 5 {
+		t.Fatalf("Servers() = %v", got)
+	}
+	for i, s := range got {
+		if s != i {
+			t.Fatalf("Servers() = %v, want ascending 0..4", got)
+		}
+	}
+	if !r.HasServer(3) || r.HasServer(9) {
+		t.Fatal("HasServer wrong")
+	}
+}
+
+func TestBalanceAcrossServers(t *testing.T) {
+	// With enough tokens, key ownership should be roughly balanced:
+	// no server should own more than 3x its fair share.
+	const servers, tokens, keys = 10, 32, 20000
+	r := buildRing(t, servers, tokens)
+	counts := make([]int, servers)
+	for k := 0; k < keys; k++ {
+		o, _ := r.Owner(HashUint64(uint64(k)))
+		counts[o]++
+	}
+	fair := keys / servers
+	for s, c := range counts {
+		if c > 3*fair || c < fair/3 {
+			t.Fatalf("server %d owns %d keys (fair share %d): imbalance too high", s, c, fair)
+		}
+	}
+}
+
+func TestHashFunctionsDiffer(t *testing.T) {
+	if HashUint64(1) == HashUint64(2) {
+		t.Fatal("hash collision on trivial keys")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("hash collision on trivial strings")
+	}
+}
+
+func TestSuccessorsZeroOrNegativeN(t *testing.T) {
+	r := buildRing(t, 3, 2)
+	if got := r.Successors(0, 0); got != nil {
+		t.Fatalf("Successors(0) = %v", got)
+	}
+	if got := r.Successors(0, -1); got != nil {
+		t.Fatalf("Successors(-1) = %v", got)
+	}
+}
+
+// TestJoinMovesProportionalShare verifies consistent hashing's core
+// economy: a joining server takes over roughly its fair share of the
+// key space (1/(n+1)), not a wholesale reshuffle.
+func TestJoinMovesProportionalShare(t *testing.T) {
+	const servers, tokens, keys = 20, 32, 30000
+	r := buildRing(t, servers, tokens)
+	before := make([]int, keys)
+	for k := range before {
+		before[k], _ = r.Owner(HashUint64(uint64(k)))
+	}
+	if err := r.AddServer(servers, tokens); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k := range before {
+		after, _ := r.Owner(HashUint64(uint64(k)))
+		if after != before[k] {
+			moved++
+			// Every moved key must now belong to the newcomer.
+			if after != servers {
+				t.Fatalf("key %d moved to incumbent %d on join", k, after)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	fair := 1.0 / float64(servers+1)
+	if frac > 3*fair || frac < fair/3 {
+		t.Fatalf("join moved %.3f of keys, fair share %.3f", frac, fair)
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func TestConsistencyDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Series(metrics.SeriesStalenessMean) != nil {
+		t.Fatal("staleness series recorded without writes enabled")
+	}
+}
+
+func TestConsistencySeriesRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	cfg.WriteLambda = 20
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		metrics.SeriesStalenessMean, metrics.SeriesStalenessMax,
+		metrics.SeriesStaleFrac, metrics.SeriesSyncBytes, metrics.SeriesLostWrites,
+	} {
+		s := rec.Series(name)
+		if s == nil || len(s.Points) != 30 {
+			t.Fatalf("series %s missing or wrong length", name)
+		}
+	}
+	// With the default 1 MB/epoch sync budget (256 versions) against 20
+	// writes/partition/epoch spread over a few replicas per server,
+	// replicas keep up: steady staleness should be small.
+	if got := rec.Series(metrics.SeriesStalenessMean).Last(); got > 5 {
+		t.Fatalf("steady mean staleness = %g", got)
+	}
+	if rec.Series(metrics.SeriesSyncBytes).Last() == 0 {
+		t.Fatal("no sync traffic despite writes")
+	}
+}
+
+func TestConsistencyStarvedSyncLags(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	cfg.WriteLambda = 50
+	cfg.WriteDeltaSize = 4 << 10
+	cfg.SyncBandwidth = 8 << 10 // only 2 versions per server per epoch
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Series(metrics.SeriesStalenessMean).Last(); got < 10 {
+		t.Fatalf("starved sync shows staleness %g, expected a large lag", got)
+	}
+	if got := rec.Series(metrics.SeriesStaleFrac).Last(); got < 0.5 {
+		t.Fatalf("stale fraction = %g under starved sync", got)
+	}
+}
+
+func TestConsistencyLostWritesOnPrimaryFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	cfg.WriteLambda = 50
+	cfg.SyncBandwidth = 8 << 10 // starved: replicas always lag
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	// Kill a large slab of servers mid-run: some primaries die with
+	// unsynced writes.
+	var victims []cluster.ServerID
+	for i := 0; i < 40; i++ {
+		victims = append(victims, cluster.ServerID(i))
+	}
+	eng.ScheduleFailure(FailureEvent{Epoch: 20, Fail: victims})
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Series(metrics.SeriesLostWrites).Last(); got == 0 {
+		t.Fatal("no writes lost despite stale promotions after mass failure")
+	}
+}
+
+func TestConsistencyDeterministic(t *testing.T) {
+	run := func() float64 {
+		cfg := DefaultConfig()
+		cfg.Epochs = 15
+		cfg.WriteLambda = 30
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Series(metrics.SeriesSyncBytes).Last()
+	}
+	if run() != run() {
+		t.Fatal("consistency extension not deterministic")
+	}
+}
+
+func TestConsistencyConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteLambda = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative write lambda accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.WriteLambda = 1
+	cfg.WriteDeltaSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative delta size accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.WriteLambda = 1
+	cfg.SyncBandwidth = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative sync bandwidth accepted")
+	}
+}

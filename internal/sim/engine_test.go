@@ -1,0 +1,635 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// buildEngine constructs a small engine for unit tests.
+func buildEngine(t *testing.T, pol policy.Policy, cfg Config, flash bool) *Engine {
+	t.Helper()
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = 16
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.Config{Partitions: 16, DCs: w.NumDCs(), Lambda: 300, Seed: cfg.Seed}
+	var gen workload.Generator
+	if flash {
+		gen, err = workload.NewPaperFlashCrowd(wcfg, w, cfg.Epochs)
+	} else {
+		gen, err = workload.NewUniform(wcfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cl, rt, gen, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestConfigValidation(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.FailureRate = -0.1 },
+		func(c *Config) { c.FailureRate = 1 },
+		func(c *Config) { c.MinAvailability = 1 },
+		func(c *Config) { c.HubCandidates = 0 },
+		func(c *Config) { c.TokensPerServer = 0 },
+		func(c *Config) { c.Workers = -1 },
+		func(c *Config) { c.Serving = ServingModel(9) },
+		func(c *Config) { c.Thresholds.Beta = 0.5 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServingModelString(t *testing.T) {
+	if ServePath.String() != "path" || ServeNearest.String() != "nearest" {
+		t.Fatal("serving model names wrong")
+	}
+	if ServingModel(9).String() == "" {
+		t.Fatal("unknown model has empty string")
+	}
+}
+
+func TestEnginePrimariesSeeded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	for p := 0; p < eng.Cluster().NumPartitions(); p++ {
+		if eng.Cluster().Primary(p) < 0 {
+			t.Fatalf("partition %d has no primary", p)
+		}
+		if eng.Cluster().ReplicaCount(p) != 1 {
+			t.Fatalf("partition %d seeded with %d copies", p, eng.Cluster().ReplicaCount(p))
+		}
+	}
+	if eng.MinReplicas() != 2 {
+		t.Fatalf("MinReplicas = %d, want 2 for f=0.1, A=0.8", eng.MinReplicas())
+	}
+}
+
+func TestEngineRejectsMismatchedWorlds(t *testing.T) {
+	w1 := topology.PaperWorld()
+	w2 := topology.PaperWorld()
+	rt, _ := network.NewRouter(w2)
+	cl, _ := cluster.New(w1, cluster.DefaultSpec())
+	gen, _ := workload.NewUniform(workload.Config{Partitions: 64, DCs: 10, Lambda: 1, Seed: 1})
+	if _, err := New(cl, rt, gen, core.NewRFH(), DefaultConfig()); err == nil {
+		t.Fatal("engine accepted cluster and router over different worlds")
+	}
+}
+
+func TestEngineRejectsBadDemandDimensions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	w := topology.PaperWorld()
+	rt, _ := network.NewRouter(w)
+	cl, _ := cluster.New(w, cluster.DefaultSpec())
+	bad := &workload.Func{GenName: "bad", Fn: func(int) *workload.Matrix {
+		return workload.NewMatrix(3, 3)
+	}}
+	eng, err := New(cl, rt, bad, core.NewRFH(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err == nil {
+		t.Fatal("mismatched demand matrix accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() *metrics.Recorder {
+		cfg := DefaultConfig()
+		cfg.Epochs = 30
+		cfg.Seed = 77
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	for _, name := range a.Names() {
+		sa, sb := a.Series(name), b.Series(name)
+		for i := range sa.Points {
+			if sa.Points[i] != sb.Points[i] {
+				t.Fatalf("series %s diverges at epoch %d: %g vs %g", name, i, sa.Points[i], sb.Points[i])
+			}
+		}
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *metrics.Recorder {
+		cfg := DefaultConfig()
+		cfg.Epochs = 25
+		cfg.Seed = 5
+		cfg.Workers = workers
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b, c := run(1), run(4), run(16)
+	for _, name := range a.Names() {
+		sa, sb, sc := a.Series(name), b.Series(name), c.Series(name)
+		for i := range sa.Points {
+			if sa.Points[i] != sb.Points[i] || sa.Points[i] != sc.Points[i] {
+				t.Fatalf("series %s differs across worker counts at epoch %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	run := func(seed uint64) float64 {
+		cfg := DefaultConfig()
+		cfg.Epochs = 20
+		cfg.Seed = seed
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Series(metrics.SeriesUtilization).Last()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical utilization trajectory ends")
+	}
+}
+
+func TestRecorderSeriesComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	eng := buildEngine(t, policy.NewRandom(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		metrics.SeriesUtilization, metrics.SeriesTotalReplicas, metrics.SeriesAvgReplicas,
+		metrics.SeriesReplCost, metrics.SeriesReplCostAvg, metrics.SeriesMigrTimes,
+		metrics.SeriesMigrTimesAvg, metrics.SeriesMigrCost, metrics.SeriesMigrCostAvg,
+		metrics.SeriesLoadImbalance, metrics.SeriesPathLength, metrics.SeriesUnservedFrac,
+		metrics.SeriesAliveServers, metrics.SeriesLostPartitions,
+	}
+	for _, name := range want {
+		s := rec.Series(name)
+		if s == nil || len(s.Points) != 10 {
+			t.Fatalf("series %s missing or wrong length", name)
+		}
+	}
+}
+
+func TestReplicaCountsNeverBelowOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	eng := buildEngine(t, core.NewRFH(), cfg, true)
+	for e := 0; e < cfg.Epochs; e++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < eng.Cluster().NumPartitions(); p++ {
+			if eng.Cluster().ReplicaCount(p) < 1 {
+				t.Fatalf("epoch %d: partition %d has no copies", e, p)
+			}
+			primary := eng.Cluster().Primary(p)
+			if primary < 0 || !eng.Cluster().HasReplica(p, primary) {
+				t.Fatalf("epoch %d: partition %d primary invalid", e, p)
+			}
+		}
+	}
+}
+
+func TestScheduledFailureDropsServers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	eng.ScheduleFailure(FailureEvent{Epoch: 5, Fail: []cluster.ServerID{0, 1, 2, 3, 4}})
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := rec.Series(metrics.SeriesAliveServers)
+	if alive.Points[4] != 100 {
+		t.Fatalf("pre-failure alive = %g", alive.Points[4])
+	}
+	if alive.Points[5] != 95 {
+		t.Fatalf("post-failure alive = %g, want 95", alive.Points[5])
+	}
+	// No replicas may remain on dead servers.
+	for p := 0; p < eng.Cluster().NumPartitions(); p++ {
+		for _, s := range eng.Cluster().ReplicaServers(p) {
+			if !eng.Cluster().Server(s).Alive() {
+				t.Fatalf("replica of %d on dead server %d", p, s)
+			}
+		}
+	}
+}
+
+func TestFailureThenRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	eng.ScheduleFailure(FailureEvent{Epoch: 3, Fail: []cluster.ServerID{7}})
+	eng.ScheduleFailure(FailureEvent{Epoch: 10, Recover: []cluster.ServerID{7}})
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := rec.Series(metrics.SeriesAliveServers)
+	if alive.Points[3] != 99 || alive.Points[10] != 100 {
+		t.Fatalf("alive trajectory wrong: %g at 3, %g at 10", alive.Points[3], alive.Points[10])
+	}
+}
+
+func TestMassFailureRecoversReplicas(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 80
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	var victims []cluster.ServerID
+	for i := 0; i < 30; i++ {
+		victims = append(victims, cluster.ServerID(i*3))
+	}
+	eng.ScheduleFailure(FailureEvent{Epoch: 40, Fail: victims})
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := rec.Series(metrics.SeriesTotalReplicas).Points
+	pre := reps[39]
+	at := reps[40]
+	post := reps[79]
+	if at >= pre {
+		t.Fatalf("no replica drop at failure: pre=%g at=%g", pre, at)
+	}
+	if post < 0.85*pre {
+		t.Fatalf("replicas did not recover: pre=%g post=%g", pre, post)
+	}
+}
+
+func TestAllPartitionsServedEventually(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unserved := rec.Series(metrics.SeriesUnservedFrac)
+	if got := unserved.Points[len(unserved.Points)-1]; got > 0.02 {
+		t.Fatalf("steady-state unserved fraction = %g", got)
+	}
+}
+
+func TestServingModelsBothRun(t *testing.T) {
+	for _, m := range []ServingModel{ServePath, ServeNearest} {
+		cfg := DefaultConfig()
+		cfg.Epochs = 15
+		cfg.Serving = m
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rec.Series(metrics.SeriesUtilization).Last() <= 0 {
+			t.Fatalf("%v: zero utilization", m)
+		}
+	}
+}
+
+func TestCumulativeSeriesMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 50
+	eng := buildEngine(t, policy.NewRequestOriented(0.2), cfg, true)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metrics.SeriesReplCost, metrics.SeriesMigrCost, metrics.SeriesMigrTimes} {
+		pts := rec.Series(name).Points
+		for i := 1; i < len(pts); i++ {
+			if pts[i] < pts[i-1]-1e-9 {
+				t.Fatalf("cumulative series %s decreased at epoch %d", name, i)
+			}
+		}
+	}
+}
+
+func TestUtilizationWithinUnitInterval(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	eng := buildEngine(t, policy.NewRandom(), cfg, true)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range rec.Series(metrics.SeriesUtilization).Points {
+		if u < 0 || u > 1 || math.IsNaN(u) {
+			t.Fatalf("utilization %g outside [0,1]", u)
+		}
+	}
+}
+
+func TestStorageAccountingConsistentAfterRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	eng := buildEngine(t, core.NewRFH(), cfg, true)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cl := eng.Cluster()
+	var stored int64
+	for i := 0; i < cl.NumServers(); i++ {
+		stored += cl.Server(cluster.ServerID(i)).StorageUsed()
+	}
+	if want := int64(cl.TotalReplicas()) * cl.Spec().PartitionSize; stored != want {
+		t.Fatalf("storage ledger %d != replicas × size %d", stored, want)
+	}
+}
+
+func TestEpochCounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 7
+	eng := buildEngine(t, policy.NewRandom(), cfg, false)
+	if eng.Epoch() != 0 {
+		t.Fatal("fresh engine epoch != 0")
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 7 {
+		t.Fatalf("epoch = %d after run", eng.Epoch())
+	}
+	if eng.Recorder().Epochs() != 7 {
+		t.Fatalf("recorded %d epochs", eng.Recorder().Epochs())
+	}
+	if eng.Policy().Name() != "random" {
+		t.Fatal("policy accessor wrong")
+	}
+}
+
+func TestJoinEventGrowsCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	eng.ScheduleFailure(FailureEvent{Epoch: 5, Join: []topology.DCID{0, 3, 3}})
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := rec.Series(metrics.SeriesAliveServers)
+	if alive.Points[4] != 100 || alive.Points[5] != 103 {
+		t.Fatalf("alive trajectory: %g -> %g", alive.Points[4], alive.Points[5])
+	}
+	if eng.Cluster().NumServers() != 103 {
+		t.Fatalf("cluster has %d servers", eng.Cluster().NumServers())
+	}
+	// Join into an unknown DC is skipped, not fatal.
+	eng2 := buildEngine(t, core.NewRFH(), cfg, false)
+	eng2.ScheduleFailure(FailureEvent{Epoch: 1, Join: []topology.DCID{99}})
+	if _, err := eng2.Run(); err != nil {
+		t.Fatalf("unknown-DC join crashed the run: %v", err)
+	}
+}
+
+func TestSLASeriesRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sla := rec.Series(metrics.SeriesSLAFrac)
+	if sla == nil || len(sla.Points) != 30 {
+		t.Fatal("SLA series missing")
+	}
+	for _, v := range sla.Points {
+		if v < 0 || v > 1 {
+			t.Fatalf("SLA fraction %g outside [0,1]", v)
+		}
+	}
+	// After convergence the overwhelming majority of lookups finish
+	// within 300 ms (paths are short).
+	if got := sla.Last(); got < 0.95 {
+		t.Fatalf("steady SLA fraction = %g", got)
+	}
+	if rec.Series(metrics.SeriesLatencyMean).Last() <= 0 {
+		t.Fatal("mean latency not positive")
+	}
+}
+
+func TestSLACustomThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	// An SLA bound below the service time: nothing can meet it.
+	cfg.Latency = metrics.LatencyModel{HopLatencyMs: 50, ServiceMs: 10, SLAThresholdMs: 5}
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Series(metrics.SeriesSLAFrac).Last(); got != 0 {
+		t.Fatalf("impossible SLA met at fraction %g", got)
+	}
+}
+
+func TestSLAConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Latency = metrics.LatencyModel{HopLatencyMs: -1, ServiceMs: 1, SLAThresholdMs: 300}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative hop latency accepted")
+	}
+}
+
+func TestChurnFailsAndRecoversServers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	cfg.ChurnFailProb = 0.02
+	cfg.ChurnMTTR = 10
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := rec.Series(metrics.SeriesAliveServers).Points
+	sawDown, sawRecovery := false, false
+	for i := 1; i < len(alive); i++ {
+		if alive[i] < 100 {
+			sawDown = true
+		}
+		if alive[i] > alive[i-1] {
+			sawRecovery = true
+		}
+	}
+	if !sawDown || !sawRecovery {
+		t.Fatalf("churn trajectory: down=%v recovery=%v", sawDown, sawRecovery)
+	}
+	// RFH's availability floor keeps every partition alive through mild
+	// churn.
+	if got := rec.Series(metrics.SeriesUnservedFrac).Last(); got > 0.2 {
+		t.Fatalf("steady unserved under churn = %g", got)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() float64 {
+		cfg := DefaultConfig()
+		cfg.Epochs = 30
+		cfg.ChurnFailProb = 0.03
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range rec.Series(metrics.SeriesAliveServers).Points {
+			sum += v
+		}
+		return sum
+	}
+	if run() != run() {
+		t.Fatal("churn not deterministic")
+	}
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChurnFailProb = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("churn prob 1 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.ChurnMTTR = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative MTTR accepted")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if snap.Epoch != 30 {
+		t.Fatalf("snapshot epoch = %d", snap.Epoch)
+	}
+	totalFromDCs, totalFromParts, primaries, alive := 0, 0, 0, 0
+	for _, d := range snap.PerDC {
+		totalFromDCs += d.Replicas
+		primaries += d.Primaries
+		alive += d.AliveServers
+	}
+	for _, c := range snap.PartitionCopies {
+		totalFromParts += c
+	}
+	if totalFromDCs != totalFromParts || totalFromDCs != eng.Cluster().TotalReplicas() {
+		t.Fatalf("replica accounting: perDC=%d perPartition=%d cluster=%d",
+			totalFromDCs, totalFromParts, eng.Cluster().TotalReplicas())
+	}
+	if primaries != eng.Cluster().NumPartitions() {
+		t.Fatalf("primaries = %d, want one per partition", primaries)
+	}
+	if alive != 100 {
+		t.Fatalf("alive = %d", alive)
+	}
+}
+
+func TestSnapshotHubConcentration(t *testing.T) {
+	// The central thesis made visible: under RFH the hub datacenters D
+	// and F host more replicas than the median datacenter.
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	counts := map[string]int{}
+	total := 0
+	for _, d := range snap.PerDC {
+		counts[d.Name] = d.Replicas
+		total += d.Replicas
+	}
+	mean := total / len(snap.PerDC)
+	if counts["D"] <= mean && counts["F"] <= mean {
+		t.Fatalf("hub DCs not above the mean: D=%d F=%d mean=%d", counts["D"], counts["F"], mean)
+	}
+}
+
+func TestActionSeriesMatchCumulatives(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 50
+	eng := buildEngine(t, policy.NewRequestOriented(0.2), cfg, true)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRepl, sumMigr := 0.0, 0.0
+	for _, v := range rec.Series(metrics.SeriesReplActions).Points {
+		sumRepl += v
+	}
+	for _, v := range rec.Series(metrics.SeriesMigrActions).Points {
+		sumMigr += v
+	}
+	if sumMigr != rec.Series(metrics.SeriesMigrTimes).Last() {
+		t.Fatalf("per-epoch migrations sum %g != cumulative %g",
+			sumMigr, rec.Series(metrics.SeriesMigrTimes).Last())
+	}
+	if sumRepl == 0 {
+		t.Fatal("no replication actions recorded")
+	}
+}
+
+func TestSuicideActionsRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 120
+	eng := buildEngine(t, core.NewRFH(), cfg, true)
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range rec.Series(metrics.SeriesSuicideActions).Points {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("RFH under flash crowd never suicided a replica")
+	}
+}

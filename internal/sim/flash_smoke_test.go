@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestSmokeFlashCrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, pol := range []policy.Policy{
+		core.NewRFH(), policy.NewRandom(), policy.NewOwnerOriented(), policy.NewRequestOriented(0.2),
+	} {
+		rec := runPolicy(t, pol, true, 400)
+		u := rec.Series(metrics.SeriesUtilization)
+		s1 := stats.Mean(u.Window(60, 100))   // late stage 1
+		s2a := stats.Mean(u.Window(101, 115)) // right after shift
+		s2 := stats.Mean(u.Window(160, 200))  // late stage 2
+		s3 := stats.Mean(u.Window(260, 300))
+		t.Logf("%-8s util s1=%.2f postshift=%.2f s2=%.2f s3=%.2f | reps=%.0f migr=%.0f migrCost=%.1f path(s1)=%.2f path(end)=%.2f",
+			pol.Name(), s1, s2a, s2, s3,
+			rec.Series(metrics.SeriesTotalReplicas).Last(),
+			rec.Series(metrics.SeriesMigrTimes).Last(),
+			rec.Series(metrics.SeriesMigrCost).Last(),
+			stats.Mean(rec.Series(metrics.SeriesPathLength).Window(60, 100)),
+			stats.Mean(rec.Series(metrics.SeriesPathLength).Window(360, 400)))
+	}
+}

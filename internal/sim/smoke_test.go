@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// runPolicy is a test helper: builds the paper world, runs pol over the
+// given workload for epochs, returns the recorder.
+func runPolicy(t testing.TB, pol policy.Policy, flash bool, epochs int) *metrics.Recorder {
+	t.Helper()
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(w, cluster.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.Config{Partitions: cl.NumPartitions(), DCs: w.NumDCs(), Lambda: 300, Seed: 42}
+	var gen workload.Generator
+	if flash {
+		gen, err = workload.NewPaperFlashCrowd(wcfg, w, epochs)
+	} else {
+		gen, err = workload.NewUniform(wcfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = epochs
+	eng, err := New(cl, rt, gen, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSmokeAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test is slow")
+	}
+	for _, pol := range []policy.Policy{
+		core.NewRFH(), policy.NewRandom(), policy.NewOwnerOriented(), policy.NewRequestOriented(0.2),
+	} {
+		rec := runPolicy(t, pol, false, 60)
+		util := rec.Series(metrics.SeriesUtilization).Last()
+		reps := rec.Series(metrics.SeriesTotalReplicas).Last()
+		path := rec.Series(metrics.SeriesPathLength).Last()
+		unserved := rec.Series(metrics.SeriesUnservedFrac).Last()
+		t.Logf("%-8s util=%.3f replicas=%.0f path=%.2f unserved=%.3f replCost=%.2f migr=%.0f",
+			pol.Name(), util, reps, path, unserved,
+			rec.Series(metrics.SeriesReplCost).Last(),
+			rec.Series(metrics.SeriesMigrTimes).Last())
+		if reps < 64 {
+			t.Errorf("%s: replicas below partition count", pol.Name())
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"repro/internal/topology"
+)
+
+// DCPlacement summarises one datacenter's share of the replica fleet.
+type DCPlacement struct {
+	DC           topology.DCID
+	Name         string
+	AliveServers int
+	Replicas     int // copies hosted across all partitions
+	Primaries    int // partitions whose primary lives here
+}
+
+// Snapshot is a point-in-time view of where the data lives.
+type Snapshot struct {
+	Epoch           int
+	PerDC           []DCPlacement
+	PartitionCopies []int // copies per partition
+}
+
+// Snapshot captures the current placement. Safe to call between Steps.
+func (e *Engine) Snapshot() *Snapshot {
+	w := e.cluster.World()
+	snap := &Snapshot{
+		Epoch:           e.epoch,
+		PerDC:           make([]DCPlacement, w.NumDCs()),
+		PartitionCopies: make([]int, e.cluster.NumPartitions()),
+	}
+	for d := 0; d < w.NumDCs(); d++ {
+		snap.PerDC[d] = DCPlacement{DC: topology.DCID(d), Name: w.DC(topology.DCID(d)).Name}
+		for _, s := range e.cluster.ServersInDC(topology.DCID(d)) {
+			if e.cluster.Server(s).Alive() {
+				snap.PerDC[d].AliveServers++
+			}
+		}
+	}
+	for p := 0; p < e.cluster.NumPartitions(); p++ {
+		snap.PartitionCopies[p] = e.cluster.ReplicaCount(p)
+		for _, s := range e.cluster.ReplicaServers(p) {
+			snap.PerDC[e.cluster.DCOf(s)].Replicas++
+		}
+		if primary := e.cluster.Primary(p); primary >= 0 {
+			snap.PerDC[e.cluster.DCOf(primary)].Primaries++
+		}
+	}
+	return snap
+}

@@ -1,0 +1,24 @@
+package stats
+
+import "testing"
+
+func BenchmarkPoisson300(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(300)
+	}
+}
+
+func BenchmarkPoisson5(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(5)
+	}
+}
+
+func BenchmarkStream(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Stream(uint64(i))
+	}
+}

@@ -1,0 +1,159 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divisor n, matching
+// the paper's load-imbalance definition in eq. 25), or 0 for fewer than
+// one element.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs. This is
+// exactly eq. (25)'s L_b when xs holds per-node workloads.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// EWMA implements the paper's smoothing equations (10) and (11):
+//
+//	v̄_t = α·v̄_{t−1} + (1−α)·v_t,  0 < α < 1
+//
+// The zero value is not ready to use; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns a smoother with factor alpha in (0, 1). alpha is the
+// weight of history, as in the paper (larger alpha = smoother, slower).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: EWMA alpha must be in (0, 1)")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds the observation x into the average and returns the new
+// smoothed value. The first observation initialises the average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return x
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*x
+	return e.value
+}
+
+// Value returns the current smoothed value (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Started reports whether at least one observation has been folded in.
+func (e *EWMA) Started() bool { return e.started }
+
+// Reset clears the smoother back to its initial state.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.started = false
+}
+
+// Smooth applies one step of eq. (10)/(11) functionally: it returns
+// alpha*prev + (1-alpha)*cur.
+func Smooth(alpha, prev, cur float64) float64 {
+	return alpha*prev + (1-alpha)*cur
+}
+
+// Welford accumulates mean and variance in a single streaming pass
+// (Welford's online algorithm). Useful for long simulations where
+// retaining every sample would be wasteful.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

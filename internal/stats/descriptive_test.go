@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g", got)
+	}
+}
+
+func TestVarianceBasic(t *testing.T) {
+	// Population variance of {2,4,4,4,5,5,7,9} is 4 (classic example).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestVarianceConstantIsZero(t *testing.T) {
+	check := func(vRaw int32, n8 uint8) bool {
+		v := float64(vRaw)
+		n := int(n8)%20 + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = v
+		}
+		return Variance(xs) < 1e-9*math.Max(1, v*v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Sum(xs) != 9 {
+		t.Fatalf("Sum = %g", Sum(xs))
+	}
+	if Min(xs) != -1 {
+		t.Fatalf("Min = %g", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Fatalf("Max = %g", Max(xs))
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(empty) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestEWMAFollowsPaperEquation(t *testing.T) {
+	// eq. (10): q̄_t = α·q̄_{t−1} + (1−α)·q_t with α = 0.2.
+	e := NewEWMA(0.2)
+	e.Update(100) // initialises to 100
+	got := e.Update(200)
+	want := 0.2*100 + 0.8*200
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("EWMA second update = %g, want %g", got, want)
+	}
+	got = e.Update(50)
+	want = 0.2*want + 0.8*50
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("EWMA third update = %g, want %g", got, want)
+	}
+}
+
+func TestEWMAFirstObservationInitialises(t *testing.T) {
+	e := NewEWMA(0.9)
+	if e.Started() {
+		t.Fatal("fresh EWMA reports started")
+	}
+	if got := e.Update(42); got != 42 {
+		t.Fatalf("first update = %g, want 42", got)
+	}
+	if !e.Started() {
+		t.Fatal("EWMA not started after update")
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(10)
+	e.Reset()
+	if e.Started() || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if got := e.Update(7); got != 7 {
+		t.Fatalf("after reset first update = %g", got)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewEWMA(%g) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 100; i++ {
+		e.Update(5)
+	}
+	if !almostEq(e.Value(), 5, 1e-9) {
+		t.Fatalf("EWMA of constant 5 = %g", e.Value())
+	}
+}
+
+func TestSmoothMatchesEWMA(t *testing.T) {
+	check := func(prevRaw, curRaw int16) bool {
+		prev, cur := float64(prevRaw), float64(curRaw)
+		e := NewEWMA(0.3)
+		e.Update(prev)
+		return almostEq(e.Update(cur), Smooth(0.3, prev, cur), 1e-9)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	check := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(float64(v))
+		}
+		return almostEq(w.Mean(), Mean(xs), 1e-6*(1+math.Abs(Mean(xs)))) &&
+			almostEq(w.Variance(), Variance(xs), 1e-4*(1+Variance(xs)))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadImbalanceIdenticalWorkloadsZero(t *testing.T) {
+	// eq. (25): equal per-node workload ⇒ L_b = 0.
+	xs := []float64{10, 10, 10, 10}
+	if got := StdDev(xs); got != 0 {
+		t.Fatalf("L_b of balanced load = %g", got)
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import "math"
+
+// Poisson draws a Poisson-distributed variate with mean lambda.
+// For small lambda it uses Knuth's product method; for large lambda it
+// switches to the PTRS transformed-rejection sampler (Hörmann 1993),
+// which is exact and O(1) in expectation.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		return r.poissonKnuth(lambda)
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+func (r *RNG) poissonKnuth(lambda float64) int {
+	limit := math.Exp(-lambda)
+	p := 1.0
+	k := 0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for lambda >= 10.
+func (r *RNG) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+// logGamma is a thin wrapper so the sampler reads like the reference
+// pseudo-code.
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s using an inverse-CDF over a precomputed table. Build one
+// with NewZipf and draw with Next.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf constructs a Zipf sampler over n items with exponent s > 0.
+// s = 0 degenerates to the uniform distribution.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next Zipf-distributed index in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Exponential draws an exponentially distributed variate with rate
+// lambda (mean 1/lambda).
+func (r *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exponential with lambda <= 0")
+	}
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Binomial draws a Binomial(n, p) variate by direct simulation for
+// small n and normal approximation with continuity correction for large
+// n·p·(1−p); the simulator only needs modest accuracy here (failure
+// injection counts).
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mu := float64(n) * p
+	sigma := math.Sqrt(mu * (1 - p))
+	k := int(math.Round(mu + sigma*r.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 10, 30, 100, 300, 1000} {
+		r := NewRNG(uint64(lambda*10) + 1)
+		var w Welford
+		n := 50000
+		for i := 0; i < n; i++ {
+			w.Add(float64(r.Poisson(lambda)))
+		}
+		// Mean and variance of Poisson are both lambda.
+		tol := 4 * math.Sqrt(lambda/float64(n)) * 2 // ~4 sigma + slack
+		if math.Abs(w.Mean()-lambda) > tol+0.05*lambda {
+			t.Errorf("lambda=%g: mean=%g", lambda, w.Mean())
+		}
+		if math.Abs(w.Variance()-lambda) > 0.1*lambda+1 {
+			t.Errorf("lambda=%g: variance=%g", lambda, w.Variance())
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	check := func(seed uint64, l uint8) bool {
+		r := NewRNG(seed)
+		lambda := float64(l) // 0..255 crosses both sampler regimes
+		for i := 0; i < 100; i++ {
+			if r.Poisson(lambda) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := r.Poisson(-5); got != 0 {
+		t.Fatalf("Poisson(-5) = %d", got)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Poisson(300) != b.Poisson(300) {
+			t.Fatal("Poisson not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(r, 10, 1.2)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 9 heavily under s=1.2.
+	if counts[0] <= counts[9]*5 {
+		t.Fatalf("zipf skew too weak: first=%d last=%d", counts[0], counts[9])
+	}
+	// Monotone non-increasing up to sampling noise: check a few pairs.
+	if counts[0] < counts[3] || counts[1] < counts[5] {
+		t.Fatalf("zipf counts not decreasing: %v", counts)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(6)
+	z := NewZipf(r, 8, 0)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/8)/(n/8) > 0.05 {
+			t.Fatalf("s=0 bucket %d count %d not uniform", i, c)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	check := func(seed uint64, n8 uint8) bool {
+		n := int(n8)%50 + 1
+		z := NewZipf(NewRNG(seed), n, 1.0)
+		for i := 0; i < 50; i++ {
+			v := z.Next()
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(_, 0, 1) did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(8)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(r.Exponential(2))
+	}
+	if math.Abs(w.Mean()-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %g, want ~0.5", w.Mean())
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	r := NewRNG(12)
+	for i := 0; i < 1000; i++ {
+		if r.Exponential(1) < 0 {
+			t.Fatal("negative exponential variate")
+		}
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	check := func(seed uint64, n16 uint16, pRaw uint8) bool {
+		r := NewRNG(seed)
+		n := int(n16 % 500)
+		p := float64(pRaw) / 255
+		k := r.Binomial(n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := NewRNG(14)
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(float64(r.Binomial(100, 0.1)))
+	}
+	if math.Abs(w.Mean()-10) > 0.3 {
+		t.Fatalf("Binomial(100, 0.1) mean = %g, want ~10", w.Mean())
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := NewRNG(15)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0, p) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(n, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(n, 1) != n")
+	}
+}

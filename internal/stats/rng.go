@@ -1,0 +1,118 @@
+// Package stats provides the deterministic random-number and statistics
+// substrate used throughout the RFH simulator: a seedable splitmix64 RNG
+// with independent named streams, Poisson and Zipf samplers for workload
+// generation, exponentially weighted moving averages for the paper's
+// smoothing equations (10)–(11), and the descriptive statistics behind
+// the load-imbalance metric (eqs. 24–26).
+//
+// Everything in this package is deterministic for a fixed seed so that
+// simulation runs are exactly reproducible regardless of scheduling.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It is NOT safe for concurrent use; derive one stream per
+// goroutine with Split or Stream instead of sharing.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same
+// seed produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection-free bound is overkill here; a
+	// simple modulo over 64 bits keeps bias below 2^-52 for simulator n.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// Box–Muller method. Only one of the pair is used to keep the stream
+// easy to reason about.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Split derives a statistically independent child generator. The parent
+// stream advances by one draw.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xD1B54A32D192ED03}
+}
+
+// Stream derives a deterministic, independent generator identified by id
+// without perturbing the parent state. Calling Stream with the same id
+// always yields the same child sequence; distinct ids yield uncorrelated
+// sequences. Use it to give each (partition, epoch) pair its own stream
+// so parallel serving stays deterministic.
+func (r *RNG) Stream(id uint64) *RNG {
+	z := r.state + (id+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return &RNG{state: z ^ (z >> 31)}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,128 @@
+package topology
+
+import "fmt"
+
+// PaperWorld builds the 10-datacenter world of the paper's Fig. 1 and
+// §III-A: three datacenters in the USA (A, B, C), two in Canada (D, E),
+// two in Switzerland (F, G) and three in China/Japan (H, I, J). Link
+// weights are chosen so that shortest paths from the Asian requesters
+// (H, I, J) to the American partition holders funnel through D and F,
+// making those two the natural "traffic hubs" of the paper's narrative.
+//
+// Shortest paths in this world (verified by tests):
+//
+//	I → A:  I-D-A        (hub D)
+//	H → A:  H-F-D-A      (hubs F, D)
+//	J → A:  J-F-D-A      (hubs F, D)
+func PaperWorld() *World {
+	dcs := []Datacenter{
+		{Name: "A", Continent: "NA", Country: "USA", X: 1.0, Y: 2.0},
+		{Name: "B", Continent: "NA", Country: "USA", X: 2.0, Y: 1.0},
+		{Name: "C", Continent: "NA", Country: "USA", X: 3.0, Y: 2.5},
+		{Name: "D", Continent: "NA", Country: "CAN", X: 2.0, Y: 4.0},
+		{Name: "E", Continent: "NA", Country: "CAN", X: 4.0, Y: 4.5},
+		{Name: "F", Continent: "EU", Country: "CHE", X: 8.0, Y: 3.0},
+		{Name: "G", Continent: "EU", Country: "CHE", X: 8.5, Y: 4.0},
+		{Name: "H", Continent: "AS", Country: "CHN", X: 13.0, Y: 3.0},
+		{Name: "I", Continent: "AS", Country: "JPN", X: 15.0, Y: 2.5},
+		{Name: "J", Continent: "AS", Country: "CHN", X: 13.5, Y: 1.5},
+	}
+	w := NewWorld(dcs)
+	link := func(a, b string, wt float64) {
+		da, _ := w.DCByName(a)
+		db, _ := w.DCByName(b)
+		if err := w.AddLink(da.ID, db.ID, wt); err != nil {
+			panic(fmt.Sprintf("topology: PaperWorld link %s-%s: %v", a, b, err))
+		}
+	}
+	// Intra-US mesh.
+	link("A", "B", 1.5)
+	link("B", "C", 2.0)
+	link("A", "C", 2.2)
+	// Canada and its US attachments: D is the continental gateway.
+	link("A", "D", 2.2)
+	link("B", "D", 3.0)
+	link("C", "E", 2.3)
+	link("D", "E", 2.1)
+	// Europe.
+	link("F", "G", 1.2)
+	// Asia.
+	link("H", "I", 2.2)
+	link("H", "J", 1.6)
+	link("I", "J", 3.5)
+	// Intercontinental trunks. Weights tuned so Asia→USA shortest paths
+	// traverse F (Europe gateway) and/or D (Canada gateway).
+	link("D", "F", 6.1) // transatlantic
+	link("G", "E", 7.2) // secondary transatlantic (more expensive)
+	link("H", "F", 4.6) // China → Europe
+	link("J", "F", 6.0) // China → Europe
+	link("I", "D", 8.8) // transpacific Japan → Canada
+	if err := w.Validate(); err != nil {
+		panic("topology: PaperWorld invalid: " + err.Error())
+	}
+	return w
+}
+
+// RingWorld builds n datacenters arranged in a cycle with unit-weight
+// links; useful for protocol tests where the hub structure should be
+// symmetric.
+func RingWorld(n int) *World {
+	if n < 3 {
+		panic("topology: RingWorld needs n >= 3")
+	}
+	dcs := make([]Datacenter, n)
+	for i := range dcs {
+		dcs[i] = Datacenter{
+			Name:      fmt.Sprintf("R%02d", i),
+			Continent: "X",
+			Country:   fmt.Sprintf("C%02d", i),
+			X:         float64(i),
+			Y:         0,
+		}
+	}
+	w := NewWorld(dcs)
+	for i := 0; i < n; i++ {
+		if err := w.AddLink(DCID(i), DCID((i+1)%n), 1); err != nil {
+			panic("topology: RingWorld: " + err.Error())
+		}
+	}
+	return w
+}
+
+// GridWorld builds rows×cols datacenters on a grid with links between
+// horizontal and vertical neighbours (weight 1). Grids produce many
+// equal-cost paths, exercising deterministic tie-breaking in routing.
+func GridWorld(rows, cols int) *World {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("topology: GridWorld needs at least 2 cells")
+	}
+	dcs := make([]Datacenter, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dcs = append(dcs, Datacenter{
+				Name:      fmt.Sprintf("G%d.%d", r, c),
+				Continent: "X",
+				Country:   fmt.Sprintf("K%d", r),
+				X:         float64(c),
+				Y:         float64(r),
+			})
+		}
+	}
+	w := NewWorld(dcs)
+	id := func(r, c int) DCID { return DCID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := w.AddLink(id(r, c), id(r, c+1), 1); err != nil {
+					panic("topology: GridWorld: " + err.Error())
+				}
+			}
+			if r+1 < rows {
+				if err := w.AddLink(id(r, c), id(r+1, c), 1); err != nil {
+					panic("topology: GridWorld: " + err.Error())
+				}
+			}
+		}
+	}
+	return w
+}

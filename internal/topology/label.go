@@ -1,0 +1,109 @@
+// Package topology models the geographic organisation of a globally
+// distributed cloud storage system as described in §II-A of the RFH
+// paper: every physical server carries a label of the form
+// "continent-country-datacenter-room-rack-server", availability between
+// two servers is graded on levels 1–5 by how much of that hierarchy they
+// share, and datacenters form a weighted graph whose link structure
+// creates the "traffic hub" conjunction nodes the RFH algorithm exploits.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Label identifies the physical placement of a server:
+// continent-country-datacenter-room-rack-server (§II-A, e.g.
+// "NA-USA-GA1-C01-R02-S5").
+type Label struct {
+	Continent  string
+	Country    string
+	Datacenter string
+	Room       string
+	Rack       string
+	Server     string
+}
+
+// String renders the canonical dash-separated form used by the paper.
+func (l Label) String() string {
+	return strings.Join([]string{l.Continent, l.Country, l.Datacenter, l.Room, l.Rack, l.Server}, "-")
+}
+
+// ParseLabel parses the canonical dash-separated form. All six fields
+// must be present and non-empty.
+func ParseLabel(s string) (Label, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 6 {
+		return Label{}, fmt.Errorf("topology: label %q must have 6 dash-separated fields, got %d", s, len(parts))
+	}
+	for i, p := range parts {
+		if p == "" {
+			return Label{}, fmt.Errorf("topology: label %q has empty field %d", s, i)
+		}
+	}
+	return Label{
+		Continent:  parts[0],
+		Country:    parts[1],
+		Datacenter: parts[2],
+		Room:       parts[3],
+		Rack:       parts[4],
+		Server:     parts[5],
+	}, nil
+}
+
+// Level grades the availability gained by placing two replicas on a pair
+// of servers, per §II-A: Level 5 (different datacenters) is the highest,
+// Level 1 (same server) the lowest.
+type Level int
+
+// Availability levels from §II-A of the paper.
+const (
+	LevelSameServer      Level = 1 // both replicas on one server: no protection
+	LevelSameRack        Level = 2 // same rack, different servers
+	LevelSameRoom        Level = 3 // same room, different racks
+	LevelSameDatacenter  Level = 4 // same datacenter, different rooms
+	LevelCrossDatacenter Level = 5 // different datacenters: highest
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (lv Level) String() string {
+	switch lv {
+	case LevelSameServer:
+		return "L1(same-server)"
+	case LevelSameRack:
+		return "L2(same-rack)"
+	case LevelSameRoom:
+		return "L3(same-room)"
+	case LevelSameDatacenter:
+		return "L4(same-datacenter)"
+	case LevelCrossDatacenter:
+		return "L5(cross-datacenter)"
+	default:
+		return fmt.Sprintf("Level(%d)", int(lv))
+	}
+}
+
+// AvailabilityLevel computes the §II-A availability level for two
+// server labels. The continent/country fields do not refine the level
+// beyond "different datacenter" in the paper, so any datacenter mismatch
+// yields Level 5.
+func AvailabilityLevel(a, b Label) Level {
+	if a.Datacenter != b.Datacenter || a.Country != b.Country || a.Continent != b.Continent {
+		return LevelCrossDatacenter
+	}
+	if a.Room != b.Room {
+		return LevelSameDatacenter
+	}
+	if a.Rack != b.Rack {
+		return LevelSameRoom
+	}
+	if a.Server != b.Server {
+		return LevelSameRack
+	}
+	return LevelSameServer
+}
+
+// SameDatacenter reports whether both labels name the same datacenter.
+func SameDatacenter(a, b Label) bool {
+	return a.Continent == b.Continent && a.Country == b.Country && a.Datacenter == b.Datacenter
+}

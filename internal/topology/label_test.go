@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelRoundTrip(t *testing.T) {
+	l := Label{"NA", "USA", "GA1", "C01", "R02", "S5"}
+	s := l.String()
+	if s != "NA-USA-GA1-C01-R02-S5" {
+		t.Fatalf("String() = %q", s)
+	}
+	got, err := ParseLabel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != l {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseLabelErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"NA-USA-GA1",
+		"NA-USA-GA1-C01-R02-S5-EXTRA",
+		"NA--GA1-C01-R02-S5",
+	} {
+		if _, err := ParseLabel(bad); err == nil {
+			t.Errorf("ParseLabel(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAvailabilityLevels(t *testing.T) {
+	base := Label{"NA", "USA", "DC1", "RM1", "RK1", "S1"}
+	cases := []struct {
+		name string
+		b    Label
+		want Level
+	}{
+		{"same server", base, LevelSameServer},
+		{"same rack", Label{"NA", "USA", "DC1", "RM1", "RK1", "S2"}, LevelSameRack},
+		{"same room", Label{"NA", "USA", "DC1", "RM1", "RK2", "S1"}, LevelSameRoom},
+		{"same dc", Label{"NA", "USA", "DC1", "RM2", "RK1", "S1"}, LevelSameDatacenter},
+		{"other dc", Label{"NA", "USA", "DC2", "RM1", "RK1", "S1"}, LevelCrossDatacenter},
+		{"other country same dc name", Label{"NA", "CAN", "DC1", "RM1", "RK1", "S1"}, LevelCrossDatacenter},
+		{"other continent", Label{"EU", "USA", "DC1", "RM1", "RK1", "S1"}, LevelCrossDatacenter},
+	}
+	for _, c := range cases {
+		if got := AvailabilityLevel(base, c.b); got != c.want {
+			t.Errorf("%s: level = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAvailabilityLevelSymmetric(t *testing.T) {
+	check := func(a1, a2, b1, b2 uint8) bool {
+		mk := func(dc, rm, rk, sv uint8) Label {
+			return Label{"NA", "USA",
+				string(rune('A' + dc%3)),
+				string(rune('a' + rm%2)),
+				string(rune('x' + rk%2)),
+				string(rune('0' + sv%3))}
+		}
+		la := mk(a1, a2, b1, b2)
+		lb := mk(a2, b1, b2, a1)
+		return AvailabilityLevel(la, lb) == AvailabilityLevel(lb, la)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv := LevelSameServer; lv <= LevelCrossDatacenter; lv++ {
+		if lv.String() == "" {
+			t.Fatalf("Level(%d).String() empty", lv)
+		}
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Fatalf("unknown level format: %s", Level(99))
+	}
+}
+
+func TestSameDatacenter(t *testing.T) {
+	a := Label{"NA", "USA", "DC1", "RM1", "RK1", "S1"}
+	b := Label{"NA", "USA", "DC1", "RM2", "RK2", "S9"}
+	c := Label{"NA", "USA", "DC2", "RM1", "RK1", "S1"}
+	if !SameDatacenter(a, b) {
+		t.Fatal("a and b share a datacenter")
+	}
+	if SameDatacenter(a, c) {
+		t.Fatal("a and c do not share a datacenter")
+	}
+}

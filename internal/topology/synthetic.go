@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// RandomGeometricWorld generates a synthetic planet: n datacenters at
+// seeded-random coordinates on a sqrt(n)×sqrt(n) map, each linked to
+// its degree nearest neighbours (link weight = distance), patched to
+// connectivity with the shortest feasible extra links. Scaling
+// experiments use it to push the simulator beyond the paper's fixed
+// 10-datacenter world while preserving the geometric path structure
+// that creates traffic hubs.
+func RandomGeometricWorld(n, degree int, seed uint64) (*World, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: synthetic world needs at least 3 DCs, got %d", n)
+	}
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("topology: degree %d outside [1,%d)", degree, n)
+	}
+	rng := stats.NewRNG(seed ^ 0x6E0)
+	side := math.Sqrt(float64(n)) * 4
+	dcs := make([]Datacenter, n)
+	for i := range dcs {
+		dcs[i] = Datacenter{
+			Name:      fmt.Sprintf("S%03d", i),
+			Continent: fmt.Sprintf("X%d", i/16),
+			Country:   fmt.Sprintf("K%03d", i/4),
+			X:         rng.Float64() * side,
+			Y:         rng.Float64() * side,
+		}
+	}
+	w := NewWorld(dcs)
+
+	// k-nearest-neighbour links.
+	type neighbour struct {
+		id   DCID
+		dist float64
+	}
+	for i := 0; i < n; i++ {
+		nbs := make([]neighbour, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			nbs = append(nbs, neighbour{DCID(j), w.Distance(DCID(i), DCID(j))})
+		}
+		sort.Slice(nbs, func(a, b int) bool {
+			if nbs[a].dist != nbs[b].dist {
+				return nbs[a].dist < nbs[b].dist
+			}
+			return nbs[a].id < nbs[b].id
+		})
+		for _, nb := range nbs[:degree] {
+			if _, ok := w.Link(DCID(i), nb.id); ok {
+				continue
+			}
+			if err := w.AddLink(DCID(i), nb.id, math.Max(nb.dist, 1e-6)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Patch disconnected components together: repeatedly join the
+	// closest pair of DCs in different components.
+	for {
+		comp := components(w)
+		if comp.count == 1 {
+			break
+		}
+		bestA, bestB := DCID(-1), DCID(-1)
+		bestD := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if comp.id[i] == comp.id[j] {
+					continue
+				}
+				if d := w.Distance(DCID(i), DCID(j)); d < bestD {
+					bestD, bestA, bestB = d, DCID(i), DCID(j)
+				}
+			}
+		}
+		if err := w.AddLink(bestA, bestB, math.Max(bestD, 1e-6)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// componentSet labels each datacenter with a connected-component id.
+type componentSet struct {
+	id    []int
+	count int
+}
+
+func components(w *World) componentSet {
+	n := w.NumDCs()
+	cs := componentSet{id: make([]int, n)}
+	for i := range cs.id {
+		cs.id[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if cs.id[i] >= 0 {
+			continue
+		}
+		queue := []DCID{DCID(i)}
+		cs.id[i] = cs.count
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range w.Neighbors(cur) {
+				if cs.id[nb] < 0 {
+					cs.id[nb] = cs.count
+					queue = append(queue, nb)
+				}
+			}
+		}
+		cs.count++
+	}
+	return cs
+}

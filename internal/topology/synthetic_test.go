@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomGeometricWorldValid(t *testing.T) {
+	for _, n := range []int{4, 10, 25, 64} {
+		w, err := RandomGeometricWorld(n, 3, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if w.NumDCs() != n {
+			t.Fatalf("n=%d: got %d DCs", n, w.NumDCs())
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRandomGeometricWorldErrors(t *testing.T) {
+	if _, err := RandomGeometricWorld(2, 1, 1); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := RandomGeometricWorld(10, 0, 1); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := RandomGeometricWorld(10, 10, 1); err == nil {
+		t.Fatal("degree = n accepted")
+	}
+}
+
+func TestRandomGeometricWorldDeterministic(t *testing.T) {
+	a, err := RandomGeometricWorld(20, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomGeometricWorld(20, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a.DC(DCID(i)).X != b.DC(DCID(i)).X {
+			t.Fatal("coordinates not deterministic")
+		}
+		for j := 0; j < 20; j++ {
+			wa, oka := a.Link(DCID(i), DCID(j))
+			wb, okb := b.Link(DCID(i), DCID(j))
+			if oka != okb || wa != wb {
+				t.Fatal("links not deterministic")
+			}
+		}
+	}
+	c, err := RandomGeometricWorld(20, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 20 && same; i++ {
+		if a.DC(DCID(i)).X != c.DC(DCID(i)).X {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical coordinates")
+	}
+}
+
+func TestRandomGeometricWorldMinDegree(t *testing.T) {
+	check := func(seed uint64, n8, d8 uint8) bool {
+		n := int(n8)%30 + 4
+		degree := int(d8)%3 + 1
+		w, err := RandomGeometricWorld(n, degree, seed)
+		if err != nil {
+			return false
+		}
+		// Every DC has at least `degree` links (kNN links are mutual or
+		// added one-way, so the floor holds for the initiator side; the
+		// union gives every node at least degree links).
+		for i := 0; i < n; i++ {
+			if len(w.Neighbors(DCID(i))) < degree {
+				return false
+			}
+		}
+		return w.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// DCID indexes a datacenter within a World. IDs are dense: 0..len-1.
+type DCID int
+
+// Datacenter is one site in the global deployment. X/Y are abstract map
+// coordinates (thousands of km); Distance is Euclidean over them, which
+// is the d_i factor in the paper's replication-cost equation (1).
+type Datacenter struct {
+	ID        DCID
+	Name      string // single-letter names A..J in the paper's Fig. 1
+	Continent string
+	Country   string
+	X, Y      float64
+}
+
+// World is the set of datacenters plus the inter-datacenter link graph
+// over which queries are routed. Links are undirected and weighted
+// (abstract latency). The link structure — not raw distance — determines
+// routing paths, which is what makes some datacenters "traffic hubs".
+type World struct {
+	dcs   []Datacenter
+	links [][]float64 // links[a][b] = weight, math.Inf(1) when absent
+}
+
+// NewWorld creates a world from the given datacenters with no links.
+// Datacenter IDs are reassigned to their slice position.
+func NewWorld(dcs []Datacenter) *World {
+	w := &World{dcs: make([]Datacenter, len(dcs))}
+	copy(w.dcs, dcs)
+	for i := range w.dcs {
+		w.dcs[i].ID = DCID(i)
+	}
+	w.links = make([][]float64, len(dcs))
+	for i := range w.links {
+		w.links[i] = make([]float64, len(dcs))
+		for j := range w.links[i] {
+			if i != j {
+				w.links[i][j] = math.Inf(1)
+			}
+		}
+	}
+	return w
+}
+
+// NumDCs returns the number of datacenters.
+func (w *World) NumDCs() int { return len(w.dcs) }
+
+// DC returns the datacenter with the given id. It panics on an invalid
+// id: ids come from the world itself, so a bad one is a programming
+// error.
+func (w *World) DC(id DCID) Datacenter {
+	return w.dcs[id]
+}
+
+// DCByName returns the datacenter with the given name.
+func (w *World) DCByName(name string) (Datacenter, bool) {
+	for _, dc := range w.dcs {
+		if dc.Name == name {
+			return dc, true
+		}
+	}
+	return Datacenter{}, false
+}
+
+// AddLink installs an undirected link of the given positive weight
+// between a and b, replacing any existing link.
+func (w *World) AddLink(a, b DCID, weight float64) error {
+	if a == b {
+		return fmt.Errorf("topology: self-link on DC %d", a)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("topology: link weight must be positive, got %g", weight)
+	}
+	if int(a) < 0 || int(a) >= len(w.dcs) || int(b) < 0 || int(b) >= len(w.dcs) {
+		return fmt.Errorf("topology: link endpoints (%d,%d) out of range", a, b)
+	}
+	w.links[a][b] = weight
+	w.links[b][a] = weight
+	return nil
+}
+
+// Link returns the weight of the link between a and b and whether one
+// exists.
+func (w *World) Link(a, b DCID) (float64, bool) {
+	if a == b {
+		return 0, false
+	}
+	wt := w.links[a][b]
+	if math.IsInf(wt, 1) {
+		return 0, false
+	}
+	return wt, true
+}
+
+// Neighbors returns the ids of datacenters directly linked to id, in
+// ascending id order (deterministic).
+func (w *World) Neighbors(id DCID) []DCID {
+	var out []DCID
+	for j := range w.dcs {
+		if _, ok := w.Link(id, DCID(j)); ok {
+			out = append(out, DCID(j))
+		}
+	}
+	return out
+}
+
+// Distance returns the Euclidean map distance between two datacenters;
+// this is the d_i geographic-distance factor of eq. (1). Distance of a
+// datacenter to itself is 0.
+func (w *World) Distance(a, b DCID) float64 {
+	da, db := w.dcs[a], w.dcs[b]
+	dx, dy := da.X-db.X, da.Y-db.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// IntraDCDistance is the nominal distance charged for a replication that
+// stays inside one datacenter (different server/rack/room). It is small
+// but non-zero so intra-DC replication has non-zero, much cheaper cost —
+// the effect §III-C relies on ("the replication cost is even lower than
+// replicating on neighbors").
+const IntraDCDistance = 0.05
+
+// ServerDistance returns the eq. (1) distance between two servers given
+// their labels and home datacenters: the DC-to-DC map distance when they
+// differ, IntraDCDistance scaled by hierarchy proximity otherwise.
+func (w *World) ServerDistance(aDC, bDC DCID, a, b Label) float64 {
+	if aDC != bDC {
+		return w.Distance(aDC, bDC)
+	}
+	switch AvailabilityLevel(a, b) {
+	case LevelSameServer:
+		return 0
+	case LevelSameRack:
+		return IntraDCDistance * 0.2
+	case LevelSameRoom:
+		return IntraDCDistance * 0.5
+	default: // same datacenter, different rooms
+		return IntraDCDistance
+	}
+}
+
+// Validate checks structural invariants: symmetric links, positive
+// weights, and that the link graph is connected (every DC can route to
+// every other). The simulator requires connectivity.
+func (w *World) Validate() error {
+	n := len(w.dcs)
+	if n == 0 {
+		return fmt.Errorf("topology: world has no datacenters")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if w.links[i][j] != w.links[j][i] {
+				return fmt.Errorf("topology: asymmetric link (%d,%d)", i, j)
+			}
+			if i != j && !math.IsInf(w.links[i][j], 1) && w.links[i][j] <= 0 {
+				return fmt.Errorf("topology: non-positive link weight (%d,%d)=%g", i, j, w.links[i][j])
+			}
+		}
+	}
+	// BFS connectivity from DC 0.
+	seen := make([]bool, n)
+	queue := []DCID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range w.Neighbors(cur) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("topology: link graph is disconnected (%d of %d reachable)", count, n)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWorldAssignsDenseIDs(t *testing.T) {
+	w := NewWorld([]Datacenter{{Name: "X"}, {Name: "Y"}, {Name: "Z"}})
+	for i := 0; i < w.NumDCs(); i++ {
+		if w.DC(DCID(i)).ID != DCID(i) {
+			t.Fatalf("DC %d has ID %d", i, w.DC(DCID(i)).ID)
+		}
+	}
+}
+
+func TestAddLinkAndLookup(t *testing.T) {
+	w := NewWorld([]Datacenter{{Name: "X"}, {Name: "Y"}})
+	if err := w.AddLink(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	wt, ok := w.Link(0, 1)
+	if !ok || wt != 2.5 {
+		t.Fatalf("Link(0,1) = %g,%v", wt, ok)
+	}
+	wt, ok = w.Link(1, 0)
+	if !ok || wt != 2.5 {
+		t.Fatalf("link not symmetric: %g,%v", wt, ok)
+	}
+	if _, ok := w.Link(0, 0); ok {
+		t.Fatal("self link reported")
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	w := NewWorld([]Datacenter{{Name: "X"}, {Name: "Y"}})
+	if err := w.AddLink(0, 0, 1); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if err := w.AddLink(0, 1, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := w.AddLink(0, 1, -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := w.AddLink(0, 5, 1); err == nil {
+		t.Fatal("out of range endpoint accepted")
+	}
+}
+
+func TestNeighborsDeterministicOrder(t *testing.T) {
+	w := NewWorld([]Datacenter{{}, {}, {}, {}})
+	_ = w.AddLink(2, 0, 1)
+	_ = w.AddLink(2, 3, 1)
+	_ = w.AddLink(2, 1, 1)
+	nb := w.Neighbors(2)
+	want := []DCID{0, 1, 3}
+	if len(nb) != 3 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	w := PaperWorld()
+	n := w.NumDCs()
+	for i := 0; i < n; i++ {
+		if w.Distance(DCID(i), DCID(i)) != 0 {
+			t.Fatalf("self distance DC %d non-zero", i)
+		}
+		for j := 0; j < n; j++ {
+			dij := w.Distance(DCID(i), DCID(j))
+			if dij != w.Distance(DCID(j), DCID(i)) {
+				t.Fatalf("distance asymmetric (%d,%d)", i, j)
+			}
+			if i != j && dij <= 0 {
+				t.Fatalf("distance (%d,%d) = %g not positive", i, j, dij)
+			}
+		}
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	w := PaperWorld()
+	n := w.NumDCs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if w.Distance(DCID(i), DCID(j)) > w.Distance(DCID(i), DCID(k))+w.Distance(DCID(k), DCID(j))+1e-9 {
+					t.Fatalf("triangle inequality violated for (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestServerDistance(t *testing.T) {
+	w := PaperWorld()
+	a, _ := w.DCByName("A")
+	b, _ := w.DCByName("B")
+	l1 := Label{"NA", "USA", "A", "RM1", "RK1", "S1"}
+	l2 := Label{"NA", "USA", "A", "RM1", "RK1", "S2"} // same rack
+	l3 := Label{"NA", "USA", "A", "RM1", "RK2", "S1"} // same room
+	l4 := Label{"NA", "USA", "A", "RM2", "RK1", "S1"} // same dc
+	lb := Label{"NA", "USA", "B", "RM1", "RK1", "S1"}
+
+	if d := w.ServerDistance(a.ID, a.ID, l1, l1); d != 0 {
+		t.Fatalf("same server distance = %g", d)
+	}
+	dRack := w.ServerDistance(a.ID, a.ID, l1, l2)
+	dRoom := w.ServerDistance(a.ID, a.ID, l1, l3)
+	dDC := w.ServerDistance(a.ID, a.ID, l1, l4)
+	dCross := w.ServerDistance(a.ID, b.ID, l1, lb)
+	if !(0 < dRack && dRack < dRoom && dRoom < dDC && dDC < dCross) {
+		t.Fatalf("distance ordering broken: rack=%g room=%g dc=%g cross=%g", dRack, dRoom, dDC, dCross)
+	}
+	if dCross != w.Distance(a.ID, b.ID) {
+		t.Fatalf("cross-DC server distance %g != DC distance %g", dCross, w.Distance(a.ID, b.ID))
+	}
+}
+
+func TestValidateDetectsDisconnected(t *testing.T) {
+	w := NewWorld([]Datacenter{{}, {}, {}})
+	_ = w.AddLink(0, 1, 1)
+	if err := w.Validate(); err == nil {
+		t.Fatal("disconnected world validated")
+	}
+	_ = w.AddLink(1, 2, 1)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("connected world rejected: %v", err)
+	}
+}
+
+func TestValidateEmptyWorld(t *testing.T) {
+	w := NewWorld(nil)
+	if err := w.Validate(); err == nil {
+		t.Fatal("empty world validated")
+	}
+}
+
+func TestPaperWorldShape(t *testing.T) {
+	w := PaperWorld()
+	if w.NumDCs() != 10 {
+		t.Fatalf("PaperWorld has %d DCs, want 10", w.NumDCs())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Country composition from §III-A: 3 USA, 2 Canada, 2 Switzerland,
+	// 3 China/Japan.
+	counts := map[string]int{}
+	for i := 0; i < w.NumDCs(); i++ {
+		counts[w.DC(DCID(i)).Country]++
+	}
+	if counts["USA"] != 3 || counts["CAN"] != 2 || counts["CHE"] != 2 || counts["CHN"]+counts["JPN"] != 3 {
+		t.Fatalf("country composition wrong: %v", counts)
+	}
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J"} {
+		if _, ok := w.DCByName(name); !ok {
+			t.Fatalf("missing DC %s", name)
+		}
+	}
+	if _, ok := w.DCByName("Z"); ok {
+		t.Fatal("found nonexistent DC Z")
+	}
+}
+
+func TestRingWorld(t *testing.T) {
+	w := RingWorld(6)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got := len(w.Neighbors(DCID(i))); got != 2 {
+			t.Fatalf("ring node %d has %d neighbors", i, got)
+		}
+	}
+}
+
+func TestRingWorldPanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RingWorld(2) did not panic")
+		}
+	}()
+	RingWorld(2)
+}
+
+func TestGridWorld(t *testing.T) {
+	w := GridWorld(3, 4)
+	if w.NumDCs() != 12 {
+		t.Fatalf("grid has %d DCs", w.NumDCs())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corner has 2 neighbors, interior has 4.
+	if got := len(w.Neighbors(0)); got != 2 {
+		t.Fatalf("corner neighbors = %d", got)
+	}
+	if got := len(w.Neighbors(DCID(1*4 + 1))); got != 4 {
+		t.Fatalf("interior neighbors = %d", got)
+	}
+}
+
+func TestWorldLinkWeightsFinite(t *testing.T) {
+	check := func(n8 uint8) bool {
+		n := int(n8)%8 + 3
+		w := RingWorld(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if wt, ok := w.Link(DCID(i), DCID(j)); ok && (math.IsInf(wt, 0) || wt <= 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace renders experiment results — figures, metric
+// recorders, and tables — as CSV and aligned text, for inspection and
+// for regenerating the paper's plots with external tooling.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// WriteFigureCSV writes a figure as CSV: an epoch column followed by
+// one column per curve. Ragged curves are padded with empty cells.
+func WriteFigureCSV(w io.Writer, fig *experiments.Figure) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(fig.Series)+1)
+	header = append(header, "epoch")
+	maxLen := 0
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for e := 0; e < maxLen; e++ {
+		row[0] = strconv.Itoa(e)
+		for i, s := range fig.Series {
+			if e < len(s.Points) {
+				row[i+1] = strconv.FormatFloat(s.Points[e], 'g', 8, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRecorderCSV writes every series of a recorder as CSV columns.
+func WriteRecorderCSV(w io.Writer, rec *metrics.Recorder) error {
+	cw := csv.NewWriter(w)
+	names := rec.Names()
+	header := append([]string{"epoch"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for e := 0; e < rec.Epochs(); e++ {
+		row[0] = strconv.Itoa(e)
+		for i, n := range names {
+			s := rec.Series(n)
+			if e < len(s.Points) {
+				row[i+1] = strconv.FormatFloat(s.Points[e], 'g', 8, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FigureSummary renders one row per curve with head/tail statistics —
+// the quick textual view of a figure's shape.
+func FigureSummary(fig *experiments.Figure) string {
+	out := fig.Title + "\n"
+	out += fmt.Sprintf("  %-16s %12s %12s %12s %12s\n", "series", "first", "early(5)", "late(1/4)", "last")
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			out += fmt.Sprintf("  %-16s %12s\n", s.Name, "(empty)")
+			continue
+		}
+		out += fmt.Sprintf("  %-16s %12.4g %12.4g %12.4g %12.4g\n",
+			s.Name, s.Points[0], meanHead(s.Points, 5), meanTail(s.Points), s.Points[len(s.Points)-1])
+	}
+	return out
+}
+
+// WriteTable renders (name, value) rows as aligned text.
+func WriteTable(w io.Writer, title string, rows [][2]string) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-*s  %s\n", width, r[0], r[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteShapeReport renders a shape-check report as text, one line per
+// claim.
+func WriteShapeReport(w io.Writer, rep *experiments.ShapeReport) error {
+	for _, c := range rep.Claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "[%s] fig %-3s %-62s %s\n", status, rep.Figure, c.Description, c.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func meanHead(pts []float64, n int) float64 {
+	if len(pts) < n {
+		n = len(pts)
+	}
+	sum := 0.0
+	for _, v := range pts[:n] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+func meanTail(pts []float64) float64 {
+	tail := pts[len(pts)*3/4:]
+	if len(tail) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range tail {
+		sum += v
+	}
+	return sum / float64(len(tail))
+}

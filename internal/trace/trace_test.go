@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func sampleFigure() *experiments.Figure {
+	return &experiments.Figure{
+		ID:     "3a",
+		Title:  "Fig. 3a: test",
+		YLabel: "utilization",
+		Series: []experiments.Labeled{
+			{Name: "rfh", Points: []float64{0.1, 0.2, 0.3}},
+			{Name: "random", Points: []float64{0.05, 0.04}},
+		},
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want header + 3", len(rows))
+	}
+	if rows[0][0] != "epoch" || rows[0][1] != "rfh" || rows[0][2] != "random" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][1] != "0.1" || rows[1][2] != "0.05" {
+		t.Fatalf("first data row = %v", rows[1])
+	}
+	// Ragged series padded with empty cell.
+	if rows[3][2] != "" {
+		t.Fatalf("short series not padded: %v", rows[3])
+	}
+}
+
+func TestWriteRecorderCSV(t *testing.T) {
+	rec := metrics.NewRecorder()
+	rec.Append("a", 1)
+	rec.Append("b", 2)
+	rec.Append("a", 3)
+	rec.Append("b", 4)
+	var buf bytes.Buffer
+	if err := WriteRecorderCSV(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1] != "a" || rows[0][2] != "b" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[2][1] != "3" || rows[2][2] != "4" {
+		t.Fatalf("second data row = %v", rows[2])
+	}
+}
+
+func TestFigureSummary(t *testing.T) {
+	out := FigureSummary(sampleFigure())
+	if !strings.Contains(out, "Fig. 3a") || !strings.Contains(out, "rfh") || !strings.Contains(out, "random") {
+		t.Fatalf("summary missing content:\n%s", out)
+	}
+	empty := &experiments.Figure{ID: "x", Title: "t", Series: []experiments.Labeled{{Name: "e"}}}
+	if out := FigureSummary(empty); !strings.Contains(out, "(empty)") {
+		t.Fatalf("empty series not marked:\n%s", out)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][2]string{{"alpha", "0.2"}, {"a-much-longer-name", "42"}}
+	if err := WriteTable(&buf, "Table I", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestWriteShapeReport(t *testing.T) {
+	rep := &experiments.ShapeReport{
+		Figure: "3a",
+		Claims: []experiments.Claim{
+			{Description: "good", Pass: true, Detail: "x=1"},
+			{Description: "bad", Pass: false, Detail: "y=2"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteShapeReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "[FAIL]") {
+		t.Fatalf("report output:\n%s", out)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("failed = %d", rep.Failed())
+	}
+}

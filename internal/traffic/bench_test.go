@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func benchSetup(b *testing.B) (*Propagator, []int, []int) {
+	b.Helper()
+	r, err := network.NewRouter(topology.PaperWorld())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	for i := range queries {
+		queries[i] = 30
+		if i%3 == 0 {
+			capacity[i] = 70
+		}
+	}
+	return NewPropagator(r), queries, capacity
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	pr, q, c := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Propagate(0, q, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeNearest(b *testing.B) {
+	pr, q, c := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.ServeNearest(0, q, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackerEpoch(b *testing.B) {
+	tr, err := NewTracker(64, 10, DefaultThresholds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := &ServeResult{
+		TrafficByDC:  make([]int, 10),
+		ServedByDC:   make([]int, 10),
+		TotalQueries: 300,
+	}
+	for i := range res.TrafficByDC {
+		res.TrafficByDC[i] = 30
+		res.ServedByDC[i] = 30
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BeginEpoch()
+		for p := 0; p < 64; p++ {
+			tr.Observe(p, 0, res)
+		}
+		tr.EndEpoch()
+	}
+}

@@ -1,0 +1,126 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// nearestOrder precomputes, for every requester datacenter, all
+// datacenters sorted by routing cost (then hop count, then id). The
+// order depends only on the topology, so it is computed once per
+// propagator and shared across partitions.
+func nearestOrder(router *network.Router) [][]topology.DCID {
+	n := router.World().NumDCs()
+	orders := make([][]topology.DCID, n)
+	for j := 0; j < n; j++ {
+		order := make([]topology.DCID, n)
+		for d := range order {
+			order[d] = topology.DCID(d)
+		}
+		src := topology.DCID(j)
+		sort.Slice(order, func(a, b int) bool {
+			ca, cb := router.Cost(src, order[a]), router.Cost(src, order[b])
+			if ca != cb {
+				return ca < cb
+			}
+			la, lb := router.Path(src, order[a]).Len(), router.Path(src, order[b]).Len()
+			if la != lb {
+				return la < lb
+			}
+			return order[a] < order[b]
+		})
+		orders[j] = order
+	}
+	return orders
+}
+
+// ServeNearest models the direct DHT lookup of §II-B ("routes messages
+// directly to the closest node which has the desired ID"): each
+// requester's queries are served by the nearest datacenter holding
+// replica capacity, spilling to the next nearest when capacity runs
+// out; queries that find no capacity anywhere travel the full path to
+// the holder and count as unserved.
+//
+// Traffic is recorded along each query's actual route — every
+// datacenter a query batch traverses (endpoints included) sees that
+// batch as arrivals. Before any replicas exist all routes end at the
+// holder, so path-conjunction datacenters accumulate exactly the
+// forwarding traffic of eqs. (2)–(8); as replicas appear the routes
+// shorten and the traffic redistributes, which is the feedback signal
+// the RFH decision tree reacts to.
+//
+// The returned ServeResult is owned by the propagator and overwritten
+// by the next call to Propagate or ServeNearest.
+func (pr *Propagator) ServeNearest(holder topology.DCID, queriesByDC, capacityByDC []int) (*ServeResult, error) {
+	n := pr.router.World().NumDCs()
+	if len(queriesByDC) != n || len(capacityByDC) != n {
+		return nil, fmt.Errorf("traffic: dimension mismatch: %d DCs, %d queries, %d capacities",
+			n, len(queriesByDC), len(capacityByDC))
+	}
+	if int(holder) < 0 || int(holder) >= n {
+		return nil, fmt.Errorf("traffic: holder DC %d out of range", holder)
+	}
+	if pr.nearest == nil {
+		pr.nearest = nearestOrder(pr.router)
+	}
+	res := &pr.result
+	res.Unserved = 0
+	res.TotalQueries = 0
+	res.HopsSum = 0
+	for d := 0; d < n; d++ {
+		res.TrafficByDC[d] = 0
+		res.ServedByDC[d] = 0
+		res.HopHist[d] = 0
+		if capacityByDC[d] < 0 {
+			return nil, fmt.Errorf("traffic: negative capacity at DC %d", d)
+		}
+		if queriesByDC[d] < 0 {
+			return nil, fmt.Errorf("traffic: negative demand at DC %d", d)
+		}
+		pr.capRem[d] = capacityByDC[d]
+	}
+
+	for j := 0; j < n; j++ {
+		q := queriesByDC[j]
+		if q == 0 {
+			continue
+		}
+		res.TotalQueries += q
+		residual := q
+		for _, dc := range pr.nearest[j] {
+			if pr.capRem[dc] == 0 {
+				continue
+			}
+			served := residual
+			if pr.capRem[dc] < served {
+				served = pr.capRem[dc]
+			}
+			pr.capRem[dc] -= served
+			res.ServedByDC[dc] += served
+			path := pr.router.Path(topology.DCID(j), dc)
+			for _, hop := range path.Hops {
+				res.TrafficByDC[hop] += served
+			}
+			res.HopsSum += path.Len() * served
+			res.HopHist[path.Len()] += served
+			residual -= served
+			if residual == 0 {
+				break
+			}
+		}
+		if residual > 0 {
+			// No capacity anywhere: the lookup ran to the holder and was
+			// turned away.
+			res.Unserved += residual
+			path := pr.router.Path(topology.DCID(j), holder)
+			for _, hop := range path.Hops {
+				res.TrafficByDC[hop] += residual
+			}
+			res.HopsSum += path.Len() * residual
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServeNearestDimensionChecks(t *testing.T) {
+	pr, _ := paperProp(t)
+	if _, err := pr.ServeNearest(0, make([]int, 5), make([]int, 10)); err == nil {
+		t.Fatal("short queries accepted")
+	}
+	if _, err := pr.ServeNearest(0, make([]int, 10), make([]int, 5)); err == nil {
+		t.Fatal("short capacities accepted")
+	}
+	if _, err := pr.ServeNearest(99, make([]int, 10), make([]int, 10)); err == nil {
+		t.Fatal("bad holder accepted")
+	}
+	bad := make([]int, 10)
+	bad[0] = -1
+	if _, err := pr.ServeNearest(0, bad, make([]int, 10)); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := pr.ServeNearest(0, make([]int, 10), bad); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestServeNearestLocalFirst(t *testing.T) {
+	pr, r := paperProp(t)
+	h, a := dc(t, r, "H"), dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 40
+	capacity[h] = 100 // local replica
+	capacity[a] = 100 // distant holder
+	res, err := pr.ServeNearest(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[h] != 40 || res.ServedByDC[a] != 0 {
+		t.Fatalf("local replica not preferred: %v", res.ServedByDC)
+	}
+	if res.HopsSum != 0 {
+		t.Fatalf("local service paid %d hops", res.HopsSum)
+	}
+}
+
+func TestServeNearestSpillsToNext(t *testing.T) {
+	// H's demand exceeds its local capacity; the residual goes to the
+	// next-nearest capable DC (F, one hop), not all the way to A.
+	pr, r := paperProp(t)
+	h, f, a := dc(t, r, "H"), dc(t, r, "F"), dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 100
+	capacity[h] = 30
+	capacity[f] = 30
+	capacity[a] = 100
+	res, err := pr.ServeNearest(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[h] != 30 || res.ServedByDC[f] != 30 || res.ServedByDC[a] != 40 {
+		t.Fatalf("spill order wrong: %v", res.ServedByDC)
+	}
+	// Hops: 30×0 + 30×1 + 40×3 (H→A is 3 hops).
+	if res.HopsSum != 30*1+40*3 {
+		t.Fatalf("hops = %d", res.HopsSum)
+	}
+	if res.Unserved != 0 {
+		t.Fatalf("unserved = %d", res.Unserved)
+	}
+}
+
+func TestServeNearestUnservedTravelsToHolder(t *testing.T) {
+	pr, r := paperProp(t)
+	h, a := dc(t, r, "H"), dc(t, r, "A")
+	queries := make([]int, 10)
+	queries[h] = 25
+	res, err := pr.ServeNearest(a, queries, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unserved != 25 {
+		t.Fatalf("unserved = %d", res.Unserved)
+	}
+	// Traffic recorded along the full H→A path.
+	for _, name := range []string{"H", "F", "D", "A"} {
+		if got := res.TrafficByDC[dc(t, r, name)]; got != 25 {
+			t.Fatalf("traffic at %s = %d", name, got)
+		}
+	}
+	if res.HopsSum != 25*3 {
+		t.Fatalf("hops = %d", res.HopsSum)
+	}
+}
+
+func TestServeNearestTrafficAlongRoute(t *testing.T) {
+	// H served at D (2 hops via F): H, F and D all see the batch.
+	pr, r := paperProp(t)
+	h, f, d, a := dc(t, r, "H"), dc(t, r, "F"), dc(t, r, "D"), dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 50
+	capacity[d] = 100
+	res, err := pr.ServeNearest(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[d] != 50 {
+		t.Fatalf("served = %v", res.ServedByDC)
+	}
+	for _, dcID := range []int{int(h), int(f), int(d)} {
+		if res.TrafficByDC[dcID] != 50 {
+			t.Fatalf("traffic at DC %d = %d", dcID, res.TrafficByDC[dcID])
+		}
+	}
+	if res.TrafficByDC[a] != 0 {
+		t.Fatal("holder saw traffic for a query served upstream")
+	}
+}
+
+func TestServeNearestConservation(t *testing.T) {
+	pr, r := paperProp(t)
+	holder := dc(t, r, "A")
+	check := func(qs, cs [10]uint8) bool {
+		queries := make([]int, 10)
+		capacity := make([]int, 10)
+		total := 0
+		for i := 0; i < 10; i++ {
+			queries[i] = int(qs[i])
+			capacity[i] = int(cs[i]) / 2
+			total += queries[i]
+		}
+		res, err := pr.ServeNearest(holder, queries, capacity)
+		if err != nil {
+			return false
+		}
+		served := 0
+		for d2, s := range res.ServedByDC {
+			if s > capacity[d2] {
+				return false
+			}
+			served += s
+		}
+		if served+res.Unserved != total || res.TotalQueries != total {
+			return false
+		}
+		// Hop histogram sums to the served count.
+		hist := 0
+		for _, n := range res.HopHist {
+			hist += n
+		}
+		return hist == served
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeNearestHopHistogramMatchesHops(t *testing.T) {
+	pr, r := paperProp(t)
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	for i := range queries {
+		queries[i] = 30
+	}
+	capacity[a] = 200
+	capacity[dc(t, r, "F")] = 200
+	res, err := pr.ServeNearest(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for h, n := range res.HopHist {
+		sum += h * n
+	}
+	unservedHops := res.HopsSum - sum
+	if unservedHops < 0 {
+		t.Fatalf("histogram hop mass %d exceeds total %d", sum, res.HopsSum)
+	}
+}
+
+func TestServeNearestResultReused(t *testing.T) {
+	pr, r := paperProp(t)
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	queries[dc(t, r, "H")] = 10
+	res1, err := pr.ServeNearest(a, queries, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pr.ServeNearest(a, make([]int, 10), make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Fatal("propagator should reuse its result buffer")
+	}
+	if res2.Unserved != 0 || res2.TotalQueries != 0 {
+		t.Fatal("stale state leaked")
+	}
+}
+
+func TestServeNearestAndPropagateAgreeOnEmptyWorld(t *testing.T) {
+	// With zero capacity everywhere both models leave everything
+	// unserved with identical holder-path traffic.
+	pr, r := paperProp(t)
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	for i := range queries {
+		queries[i] = 10
+	}
+	resN, err := pr.ServeNearest(a, queries, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearTraffic := append([]int(nil), resN.TrafficByDC...)
+	nearUnserved := resN.Unserved
+	resP, err := pr.Propagate(a, queries, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearUnserved != resP.Unserved {
+		t.Fatalf("unserved differ: %d vs %d", nearUnserved, resP.Unserved)
+	}
+	for d2 := range nearTraffic {
+		if nearTraffic[d2] != resP.TrafficByDC[d2] {
+			t.Fatalf("traffic differs at DC %d: %d vs %d", d2, nearTraffic[d2], resP.TrafficByDC[d2])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package traffic implements the traffic-determination model of §II-C,
+// equations (2)–(13), and the migration/suicide thresholds (15)–(17).
+//
+// Queries for a partition travel from each requester datacenter along
+// the routed path toward the partition holder. Every datacenter on the
+// path that hosts replicas absorbs queries up to its remaining replica
+// capacity; the residual overflows to the next hop (eqs. 2–6). The
+// *traffic* of a datacenter for a partition is the number of queries
+// that arrive at it — requesters' own queries plus upstream overflow —
+// which is exactly what makes path-conjunction datacenters "traffic
+// hubs". A Tracker smooths per-datacenter traffic and the system
+// average query with the EWMA of eqs. (10)–(11) and evaluates the β
+// (holder overload), γ (hub), δ (cold replica) and μ (migration
+// benefit) threshold conditions.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// ServeResult reports what happened to one partition's queries during
+// one epoch of propagation.
+type ServeResult struct {
+	// TrafficByDC[d] is the number of queries that arrived at
+	// datacenter d (tr contribution of eqs. 2–8).
+	TrafficByDC []int
+	// ServedByDC[d] is the number of queries served by replicas at d.
+	ServedByDC []int
+	// Unserved is the overflow left after the holder's capacity was
+	// exhausted — queries that could not be handled this epoch.
+	Unserved int
+	// TotalQueries is the number of queries propagated.
+	TotalQueries int
+	// HopsSum accumulates (lookup hops × queries): served queries count
+	// the hops from their requester to the serving datacenter, unserved
+	// queries the full path to the holder. HopsSum/TotalQueries is the
+	// mean lookup path length (Fig. 9 metric).
+	HopsSum int
+	// HopHist[h] counts served queries whose lookup took exactly h
+	// hops. Unserved queries are not in the histogram (they count as
+	// SLA violations regardless of distance).
+	HopHist []int
+}
+
+// MeanPathLength returns the average lookup path length in hops.
+func (r *ServeResult) MeanPathLength() float64 {
+	if r.TotalQueries == 0 {
+		return 0
+	}
+	return float64(r.HopsSum) / float64(r.TotalQueries)
+}
+
+// Propagator runs the overflow propagation for one partition at a time,
+// reusing scratch buffers across calls. It is not safe for concurrent
+// use; create one per worker goroutine.
+type Propagator struct {
+	router  *network.Router
+	capRem  []int
+	result  ServeResult
+	nearest [][]topology.DCID // lazily built by ServeNearest
+}
+
+// NewPropagator creates a propagator over the given router.
+func NewPropagator(router *network.Router) *Propagator {
+	n := router.World().NumDCs()
+	return &Propagator{
+		router: router,
+		capRem: make([]int, n),
+		result: ServeResult{
+			TrafficByDC: make([]int, n),
+			ServedByDC:  make([]int, n),
+			HopHist:     make([]int, n),
+		},
+	}
+}
+
+// Propagate serves one partition's epoch demand. queriesByDC[j] is
+// q_ijt (demand from requester datacenter j); capacityByDC[d] is the
+// total per-epoch serving capacity of the partition's replicas hosted
+// in datacenter d (Σ_l C_ikl over servers k in d); holder is the
+// datacenter of the primary copy. Requesters are processed in ascending
+// datacenter order, sharing replica capacity deterministically.
+//
+// The returned ServeResult is owned by the propagator and overwritten
+// by the next call; copy what must be retained.
+func (pr *Propagator) Propagate(holder topology.DCID, queriesByDC, capacityByDC []int) (*ServeResult, error) {
+	n := pr.router.World().NumDCs()
+	if len(queriesByDC) != n || len(capacityByDC) != n {
+		return nil, fmt.Errorf("traffic: dimension mismatch: %d DCs, %d queries, %d capacities",
+			n, len(queriesByDC), len(capacityByDC))
+	}
+	if int(holder) < 0 || int(holder) >= n {
+		return nil, fmt.Errorf("traffic: holder DC %d out of range", holder)
+	}
+	res := &pr.result
+	res.Unserved = 0
+	res.TotalQueries = 0
+	res.HopsSum = 0
+	for d := 0; d < n; d++ {
+		res.TrafficByDC[d] = 0
+		res.ServedByDC[d] = 0
+		res.HopHist[d] = 0
+		if capacityByDC[d] < 0 {
+			return nil, fmt.Errorf("traffic: negative capacity at DC %d", d)
+		}
+		if queriesByDC[d] < 0 {
+			return nil, fmt.Errorf("traffic: negative demand at DC %d", d)
+		}
+		pr.capRem[d] = capacityByDC[d]
+	}
+
+	for j := 0; j < n; j++ {
+		q := queriesByDC[j]
+		if q == 0 {
+			continue
+		}
+		res.TotalQueries += q
+		path := pr.router.Path(topology.DCID(j), holder)
+		residual := q
+		for hop, dc := range path.Hops {
+			// eq. (2)/(3): the traffic of a node is what arrives at it —
+			// the requester's own demand at hop 0, upstream overflow
+			// afterwards.
+			res.TrafficByDC[dc] += residual
+			if pr.capRem[dc] > 0 {
+				served := residual
+				if pr.capRem[dc] < served {
+					served = pr.capRem[dc]
+				}
+				pr.capRem[dc] -= served
+				res.ServedByDC[dc] += served
+				res.HopsSum += hop * served
+				res.HopHist[hop] += served
+				residual -= served
+				if residual == 0 {
+					break
+				}
+			}
+		}
+		if residual > 0 {
+			// Overflow past the holder: eq. (6) residual, the paper's
+			// overload signal. These queries paid the full path.
+			res.Unserved += residual
+			res.HopsSum += path.Len() * residual
+		}
+	}
+	return res, nil
+}

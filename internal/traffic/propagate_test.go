@@ -1,0 +1,249 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func paperProp(t *testing.T) (*Propagator, *network.Router) {
+	t.Helper()
+	r, err := network.NewRouter(topology.PaperWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPropagator(r), r
+}
+
+func dc(t *testing.T, r *network.Router, name string) topology.DCID {
+	t.Helper()
+	d, ok := r.World().DCByName(name)
+	if !ok {
+		t.Fatalf("no DC %s", name)
+	}
+	return d.ID
+}
+
+func TestPropagateDimensionChecks(t *testing.T) {
+	pr, _ := paperProp(t)
+	if _, err := pr.Propagate(0, make([]int, 5), make([]int, 10)); err == nil {
+		t.Fatal("short queries accepted")
+	}
+	if _, err := pr.Propagate(0, make([]int, 10), make([]int, 5)); err == nil {
+		t.Fatal("short capacities accepted")
+	}
+	if _, err := pr.Propagate(99, make([]int, 10), make([]int, 10)); err == nil {
+		t.Fatal("bad holder accepted")
+	}
+	bad := make([]int, 10)
+	bad[0] = -1
+	if _, err := pr.Propagate(0, bad, make([]int, 10)); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := pr.Propagate(0, make([]int, 10), bad); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestPropagateLocalService(t *testing.T) {
+	pr, r := paperProp(t)
+	h := dc(t, r, "H")
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 50
+	capacity[h] = 100 // replica in the requester's own DC
+	res, err := pr.Propagate(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[h] != 50 || res.Unserved != 0 {
+		t.Fatalf("local replica did not absorb: %+v", res)
+	}
+	if res.HopsSum != 0 {
+		t.Fatalf("local service paid %d hops", res.HopsSum)
+	}
+	if res.TrafficByDC[h] != 50 {
+		t.Fatalf("requester traffic = %d, want 50", res.TrafficByDC[h])
+	}
+	if res.TrafficByDC[a] != 0 {
+		t.Fatalf("holder saw traffic %d after full local absorption", res.TrafficByDC[a])
+	}
+}
+
+func TestPropagateOverflowChain(t *testing.T) {
+	// H -> F -> D -> A: 100 queries from H, capacity 30 at F, 30 at D,
+	// 30 at A. Expect 30 served at F (1 hop), 30 at D (2 hops), 30 at A
+	// (3 hops), 10 unserved (3 hops).
+	pr, r := paperProp(t)
+	h, f, d, a := dc(t, r, "H"), dc(t, r, "F"), dc(t, r, "D"), dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 100
+	capacity[f], capacity[d], capacity[a] = 30, 30, 30
+	res, err := pr.Propagate(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[f] != 30 || res.ServedByDC[d] != 30 || res.ServedByDC[a] != 30 {
+		t.Fatalf("served = F:%d D:%d A:%d", res.ServedByDC[f], res.ServedByDC[d], res.ServedByDC[a])
+	}
+	if res.Unserved != 10 {
+		t.Fatalf("unserved = %d, want 10", res.Unserved)
+	}
+	// Traffic: H sees 100 (its own), F sees 100 (all arrive), D sees 70,
+	// A sees 40.
+	if res.TrafficByDC[h] != 100 || res.TrafficByDC[f] != 100 || res.TrafficByDC[d] != 70 || res.TrafficByDC[a] != 40 {
+		t.Fatalf("traffic = H:%d F:%d D:%d A:%d", res.TrafficByDC[h], res.TrafficByDC[f], res.TrafficByDC[d], res.TrafficByDC[a])
+	}
+	wantHops := 30*1 + 30*2 + 30*3 + 10*3
+	if res.HopsSum != wantHops {
+		t.Fatalf("hops = %d, want %d", res.HopsSum, wantHops)
+	}
+	if res.TotalQueries != 100 {
+		t.Fatalf("total = %d", res.TotalQueries)
+	}
+}
+
+func TestPropagateNoCapacityAllUnserved(t *testing.T) {
+	pr, r := paperProp(t)
+	h, a := dc(t, r, "H"), dc(t, r, "A")
+	queries := make([]int, 10)
+	queries[h] = 40
+	res, err := pr.Propagate(a, queries, make([]int, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unserved != 40 {
+		t.Fatalf("unserved = %d", res.Unserved)
+	}
+	// All queries pay the full H->A path (3 hops).
+	if res.HopsSum != 40*3 {
+		t.Fatalf("hops = %d", res.HopsSum)
+	}
+	// Every DC on the path sees the full 40.
+	for _, name := range []string{"H", "F", "D", "A"} {
+		if got := res.TrafficByDC[dc(t, r, name)]; got != 40 {
+			t.Fatalf("traffic at %s = %d, want 40", name, got)
+		}
+	}
+}
+
+func TestPropagateSharedCapacity(t *testing.T) {
+	// Two requesters (H and I) both route through D toward A. D's
+	// capacity is shared: 50 units serve H's 30 (processed first, lower
+	// id H < I... actually H=7, I=8 in id order) then 20 of I's 30.
+	pr, r := paperProp(t)
+	h, i, d, a := dc(t, r, "H"), dc(t, r, "I"), dc(t, r, "D"), dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[h] = 30
+	queries[i] = 30
+	capacity[d] = 50
+	res, err := pr.Propagate(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[d] != 50 {
+		t.Fatalf("served at D = %d, want 50", res.ServedByDC[d])
+	}
+	if res.Unserved != 10 {
+		t.Fatalf("unserved = %d, want 10", res.Unserved)
+	}
+	_ = h
+	_ = i
+}
+
+func TestPropagateConservation(t *testing.T) {
+	// Property: served + unserved = total queries, for random demand and
+	// capacity.
+	pr, r := paperProp(t)
+	holderDC := dc(t, r, "A")
+	check := func(qs, cs [10]uint8) bool {
+		queries := make([]int, 10)
+		capacity := make([]int, 10)
+		for i := 0; i < 10; i++ {
+			queries[i] = int(qs[i])
+			capacity[i] = int(cs[i]) / 2
+		}
+		res, err := pr.Propagate(holderDC, queries, capacity)
+		if err != nil {
+			return false
+		}
+		served := 0
+		for _, s := range res.ServedByDC {
+			served += s
+		}
+		total := 0
+		for _, q := range queries {
+			total += q
+		}
+		if served+res.Unserved != total || res.TotalQueries != total {
+			return false
+		}
+		// Served at a DC never exceeds its capacity.
+		for d2, s := range res.ServedByDC {
+			if s > capacity[d2] {
+				return false
+			}
+		}
+		// Traffic at the requester itself includes its own demand.
+		for d2, q := range queries {
+			if res.TrafficByDC[d2] < q {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateResultReused(t *testing.T) {
+	pr, r := paperProp(t)
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	queries[dc(t, r, "H")] = 10
+	res1, _ := pr.Propagate(a, queries, make([]int, 10))
+	first := res1.Unserved
+	queries[dc(t, r, "H")] = 0
+	res2, _ := pr.Propagate(a, queries, make([]int, 10))
+	if res2.Unserved != 0 {
+		t.Fatal("stale state leaked between calls")
+	}
+	if res1 != res2 {
+		t.Fatal("propagator should reuse its result buffer")
+	}
+	_ = first
+}
+
+func TestMeanPathLength(t *testing.T) {
+	r := &ServeResult{HopsSum: 30, TotalQueries: 10}
+	if got := r.MeanPathLength(); got != 3 {
+		t.Fatalf("mean path = %g", got)
+	}
+	empty := &ServeResult{}
+	if got := empty.MeanPathLength(); got != 0 {
+		t.Fatalf("empty mean path = %g", got)
+	}
+}
+
+func TestPropagateHolderIsRequester(t *testing.T) {
+	// Queries from the holder's own DC with holder capacity: 0 hops.
+	pr, r := paperProp(t)
+	a := dc(t, r, "A")
+	queries := make([]int, 10)
+	capacity := make([]int, 10)
+	queries[a] = 20
+	capacity[a] = 100
+	res, err := pr.Propagate(a, queries, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedByDC[a] != 20 || res.HopsSum != 0 || res.Unserved != 0 {
+		t.Fatalf("holder-local serving wrong: %+v", res)
+	}
+}

@@ -1,0 +1,295 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Thresholds carries the decision constants of Table I.
+//
+// Alpha is interpreted as the weight of the NEW observation:
+// smoothed = (1−α)·history + α·current. The paper prints eq. (10) with
+// the weights the other way around, but with 80% weight on the current
+// sample the average would barely "compensate for steep changes of the
+// query rate" as §II-C intends; the α = 0.2 of Table I only acts as a
+// stabiliser under this reading (≈5-epoch time constant), which also
+// reproduces the multi-epoch adaptation transients of Figs. 3(b) and 9.
+type Thresholds struct {
+	Alpha float64 // EWMA new-sample weight of eqs. (10)–(11), Table I: 0.2
+	Beta  float64 // holder overload multiplier of eq. (12), Table I: 2
+	Gamma float64 // traffic-hub multiplier of eq. (13), Table I: 1.5
+	Delta float64 // cold-replica multiplier of eq. (15), Table I: 0.2
+	Mu    float64 // migration benefit multiplier of eq. (16), Table I: 1
+}
+
+// DefaultThresholds returns the Table I constants.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Alpha: 0.2, Beta: 2, Gamma: 1.5, Delta: 0.2, Mu: 1}
+}
+
+// Validate checks the constants against the paper's stated domains
+// (0 < α < 1, β > 1, γ > 1, 0 < δ < 1, μ > 0).
+func (th Thresholds) Validate() error {
+	switch {
+	case th.Alpha <= 0 || th.Alpha >= 1:
+		return fmt.Errorf("traffic: alpha %g outside (0,1)", th.Alpha)
+	case th.Beta <= 1:
+		return fmt.Errorf("traffic: beta %g must exceed 1", th.Beta)
+	case th.Gamma <= 1:
+		return fmt.Errorf("traffic: gamma %g must exceed 1", th.Gamma)
+	case th.Delta <= 0 || th.Delta >= 1:
+		return fmt.Errorf("traffic: delta %g outside (0,1)", th.Delta)
+	case th.Mu <= 0:
+		return fmt.Errorf("traffic: mu %g must be positive", th.Mu)
+	}
+	return nil
+}
+
+// Tracker maintains smoothed per-(partition, datacenter) traffic and
+// per-partition average query rate across epochs, and evaluates the
+// paper's threshold conditions. One Tracker serves the whole
+// simulation; feed it each epoch's ServeResults then call EndEpoch.
+type Tracker struct {
+	partitions int
+	dcs        int
+	th         Thresholds
+
+	rawTraffic  [][]float64 // current epoch arrivals, [partition][dc]
+	smoothed    [][]float64 // eq. (11) smoothed traffic
+	rawLoad     [][]float64 // current epoch served load, [partition][dc]
+	smoothLoad  [][]float64 // smoothed served load
+	rawQuery    []float64   // current epoch total queries per partition
+	avgQuery    []float64   // eq. (10) smoothed system average query
+	rawUnserved []float64   // current epoch overflow per partition
+	unserved    []float64   // smoothed overflow per partition
+	started     bool
+}
+
+// NewTracker creates a tracker for the given dimensions and thresholds.
+func NewTracker(partitions, dcs int, th Thresholds) (*Tracker, error) {
+	if partitions <= 0 || dcs <= 0 {
+		return nil, fmt.Errorf("traffic: dimensions (%d,%d) must be positive", partitions, dcs)
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		partitions:  partitions,
+		dcs:         dcs,
+		th:          th,
+		rawTraffic:  make([][]float64, partitions),
+		smoothed:    make([][]float64, partitions),
+		rawLoad:     make([][]float64, partitions),
+		smoothLoad:  make([][]float64, partitions),
+		rawQuery:    make([]float64, partitions),
+		avgQuery:    make([]float64, partitions),
+		rawUnserved: make([]float64, partitions),
+		unserved:    make([]float64, partitions),
+	}
+	for p := 0; p < partitions; p++ {
+		t.rawTraffic[p] = make([]float64, dcs)
+		t.smoothed[p] = make([]float64, dcs)
+		t.rawLoad[p] = make([]float64, dcs)
+		t.smoothLoad[p] = make([]float64, dcs)
+	}
+	return t, nil
+}
+
+// Thresholds returns the tracker's decision constants.
+func (t *Tracker) Thresholds() Thresholds { return t.th }
+
+// BeginEpoch clears the current epoch's raw accumulators.
+func (t *Tracker) BeginEpoch() {
+	for p := 0; p < t.partitions; p++ {
+		t.rawQuery[p] = 0
+		t.rawUnserved[p] = 0
+		for d := 0; d < t.dcs; d++ {
+			t.rawTraffic[p][d] = 0
+			t.rawLoad[p][d] = 0
+		}
+	}
+}
+
+// Observe folds one partition's propagation result into the epoch.
+// holder is the partition's primary datacenter; unserved overflow
+// counts toward the holder's load (it arrived there and was refused).
+func (t *Tracker) Observe(partition int, holder topology.DCID, res *ServeResult) {
+	t.rawQuery[partition] += float64(res.TotalQueries)
+	for d, tr := range res.TrafficByDC {
+		t.rawTraffic[partition][d] += float64(tr)
+	}
+	for d, s := range res.ServedByDC {
+		t.rawLoad[partition][d] += float64(s)
+	}
+	t.rawLoad[partition][holder] += float64(res.Unserved)
+	t.rawUnserved[partition] += float64(res.Unserved)
+}
+
+// EndEpoch folds the epoch's raw observations into the smoothed state
+// per eqs. (10) and (11). The first epoch initialises the averages.
+func (t *Tracker) EndEpoch() {
+	for p := 0; p < t.partitions; p++ {
+		// eq. (9): system average query per requester.
+		q := t.rawQuery[p] / float64(t.dcs)
+		if !t.started {
+			t.avgQuery[p] = q
+			t.unserved[p] = t.rawUnserved[p]
+		} else {
+			t.avgQuery[p] = stats.Smooth(1-t.th.Alpha, t.avgQuery[p], q)
+			t.unserved[p] = stats.Smooth(1-t.th.Alpha, t.unserved[p], t.rawUnserved[p])
+		}
+		for d := 0; d < t.dcs; d++ {
+			if !t.started {
+				t.smoothed[p][d] = t.rawTraffic[p][d]
+				t.smoothLoad[p][d] = t.rawLoad[p][d]
+			} else {
+				t.smoothed[p][d] = stats.Smooth(1-t.th.Alpha, t.smoothed[p][d], t.rawTraffic[p][d])
+				t.smoothLoad[p][d] = stats.Smooth(1-t.th.Alpha, t.smoothLoad[p][d], t.rawLoad[p][d])
+			}
+		}
+	}
+	t.started = true
+}
+
+// Traffic returns the smoothed traffic tr̄_ikt of partition p at
+// datacenter d.
+func (t *Tracker) Traffic(p int, d topology.DCID) float64 {
+	return t.smoothed[p][d]
+}
+
+// AvgQuery returns the smoothed system average query q̄_it for
+// partition p (eqs. 9–10).
+func (t *Tracker) AvgQuery(p int) float64 { return t.avgQuery[p] }
+
+// Unserved returns the smoothed per-epoch overflow of partition p —
+// queries that found no replica capacity anywhere. Positive values mean
+// the partition's aggregate capacity genuinely falls short of demand.
+func (t *Tracker) Unserved(p int) float64 { return t.unserved[p] }
+
+// LastUnserved returns the most recently observed epoch's raw overflow
+// for partition p (policies run after EndEpoch, so at decision time
+// this is the current epoch's overflow). Policies gate capacity-
+// shortage reactions on both the smoothed and the raw value:
+// smoothed-only would keep reacting for many epochs after a shortage
+// is fixed, raw-only would chase single Poisson spikes.
+func (t *Tracker) LastUnserved(p int) float64 { return t.rawUnserved[p] }
+
+// MeanTraffic returns t̄r_i of eq. (17): the partition's traffic
+// averaged over all datacenters.
+func (t *Tracker) MeanTraffic(p int) float64 {
+	sum := 0.0
+	for d := 0; d < t.dcs; d++ {
+		sum += t.smoothed[p][d]
+	}
+	return sum / float64(t.dcs)
+}
+
+// Load returns the smoothed served load (including refused overflow at
+// the holder) of partition p at datacenter d. Unlike Traffic, Load
+// excludes pass-through: it is the work the datacenter's replicas
+// actually did.
+func (t *Tracker) Load(p int, d topology.DCID) float64 {
+	return t.smoothLoad[p][d]
+}
+
+// TotalLoad returns the partition's smoothed served load summed over
+// all datacenters (including refused overflow at the holder) — the
+// total work the partition's replicas are asked to do per epoch.
+func (t *Tracker) TotalLoad(p int) float64 {
+	sum := 0.0
+	for d := 0; d < t.dcs; d++ {
+		sum += t.smoothLoad[p][d]
+	}
+	return sum
+}
+
+// HolderOverloaded evaluates eq. (12) at virtual-node granularity: the
+// partition's total served load (including refused overflow), shared
+// among its copies, exceeds β times the system average query per node.
+// This is the paper's "if a hot partition and its replicas receive too
+// many requests at a time, they could become overloaded" — each copy's
+// share of the demand is what overloads it, not pass-through
+// forwarding.
+func (t *Tracker) HolderOverloaded(p int, copies int) bool {
+	if copies < 1 {
+		copies = 1
+	}
+	perNode := t.TotalLoad(p) / float64(copies)
+	return perNode >= t.th.Beta*t.avgQuery[p] && t.avgQuery[p] > 0
+}
+
+// PressureAfterRemoval returns the per-copy load the partition would
+// carry with one copy fewer — the RFH suicide guard uses it to avoid
+// oscillating between suicide and re-replication.
+func (t *Tracker) PressureAfterRemoval(p, copies int) float64 {
+	if copies <= 1 {
+		return t.TotalLoad(p)
+	}
+	return t.TotalLoad(p) / float64(copies-1)
+}
+
+// OverloadThreshold returns β·q̄ for the partition, the eq. (12) right-
+// hand side.
+func (t *Tracker) OverloadThreshold(p int) float64 {
+	return t.th.Beta * t.avgQuery[p]
+}
+
+// IsHub evaluates eq. (13): a forwarding datacenter whose traffic
+// exceeds γ times the system average query is a traffic hub.
+func (t *Tracker) IsHub(p int, d topology.DCID) bool {
+	return t.smoothed[p][d] >= t.th.Gamma*t.avgQuery[p] && t.avgQuery[p] > 0
+}
+
+// IsCold evaluates eq. (15): a replica whose datacenter serves no more
+// than δ times the system average query is a suicide candidate. Load is
+// used rather than pass-through traffic — a replica on a busy transit
+// datacenter that serves nothing is still dead weight.
+func (t *Tracker) IsCold(p int, d topology.DCID) bool {
+	return t.smoothLoad[p][d] <= t.th.Delta*t.avgQuery[p]
+}
+
+// MigrationBeneficial evaluates eq. (16): moving partition p's replica
+// from datacenter `from` to hub `to` is worthwhile when the traffic
+// difference exceeds μ times the partition's mean traffic (eq. 17).
+func (t *Tracker) MigrationBeneficial(p int, from, to topology.DCID) bool {
+	return t.smoothed[p][to]-t.smoothed[p][from] >= t.th.Mu*t.MeanTraffic(p)
+}
+
+// RankedHub is one entry of TopHubs: a datacenter and its smoothed
+// traffic for the partition.
+type RankedHub struct {
+	DC      topology.DCID
+	Traffic float64
+}
+
+// TopHubs returns up to k forwarding datacenters that satisfy the hub
+// condition (13) for partition p, ordered by descending traffic (ties
+// broken by ascending id). Datacenters in `exclude` (e.g. the holder)
+// are skipped. The paper fixes k = 3: "it will choose a node among the
+// 3 nodes with the largest amount of traffic."
+func (t *Tracker) TopHubs(p, k int, exclude map[topology.DCID]bool) []RankedHub {
+	if k <= 0 {
+		return nil
+	}
+	var hubs []RankedHub
+	for d := 0; d < t.dcs; d++ {
+		dc := topology.DCID(d)
+		if exclude[dc] || !t.IsHub(p, dc) {
+			continue
+		}
+		hubs = append(hubs, RankedHub{DC: dc, Traffic: t.smoothed[p][d]})
+	}
+	sort.Slice(hubs, func(a, b int) bool {
+		if hubs[a].Traffic != hubs[b].Traffic {
+			return hubs[a].Traffic > hubs[b].Traffic
+		}
+		return hubs[a].DC < hubs[b].DC
+	})
+	if len(hubs) > k {
+		hubs = hubs[:k]
+	}
+	return hubs
+}

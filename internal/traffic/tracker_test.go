@@ -1,0 +1,298 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(4, 10, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// observeEpoch records one epoch where each datacenter both forwards
+// and serves the given per-DC amounts (traffic == load), the common
+// case in these unit tests. Holder is DC 0.
+func observeEpoch(tr *Tracker, p int, traffic []int, total int) {
+	tr.BeginEpoch()
+	res := &ServeResult{TrafficByDC: traffic, ServedByDC: traffic, TotalQueries: total}
+	tr.Observe(p, 0, res)
+	tr.EndEpoch()
+}
+
+// observeSplit records one epoch with distinct forwarding traffic and
+// served load vectors.
+func observeSplit(tr *Tracker, p int, holder int, traffic, served []int, unserved, total int) {
+	tr.BeginEpoch()
+	res := &ServeResult{TrafficByDC: traffic, ServedByDC: served, Unserved: unserved, TotalQueries: total}
+	tr.Observe(p, topology.DCID(holder), res)
+	tr.EndEpoch()
+}
+
+func TestDefaultThresholdsMatchTableI(t *testing.T) {
+	th := DefaultThresholds()
+	if th.Alpha != 0.2 || th.Beta != 2 || th.Gamma != 1.5 || th.Delta != 0.2 || th.Mu != 1 {
+		t.Fatalf("thresholds = %+v", th)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	muts := []func(*Thresholds){
+		func(th *Thresholds) { th.Alpha = 0 },
+		func(th *Thresholds) { th.Alpha = 1 },
+		func(th *Thresholds) { th.Beta = 1 },
+		func(th *Thresholds) { th.Gamma = 0.5 },
+		func(th *Thresholds) { th.Delta = 0 },
+		func(th *Thresholds) { th.Delta = 1 },
+		func(th *Thresholds) { th.Mu = 0 },
+	}
+	for i, mut := range muts {
+		th := DefaultThresholds()
+		mut(&th)
+		if err := th.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0, 10, DefaultThresholds()); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := NewTracker(4, 0, DefaultThresholds()); err == nil {
+		t.Fatal("zero DCs accepted")
+	}
+	bad := DefaultThresholds()
+	bad.Beta = 0
+	if _, err := NewTracker(4, 10, bad); err == nil {
+		t.Fatal("bad thresholds accepted")
+	}
+}
+
+func TestFirstEpochInitialises(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[3] = 500
+	observeEpoch(tr, 0, traffic, 500)
+	if got := tr.Traffic(0, 3); got != 500 {
+		t.Fatalf("first epoch traffic = %g, want 500 (no smoothing)", got)
+	}
+	// eq. (9): average query = 500 / 10 DCs = 50.
+	if got := tr.AvgQuery(0); got != 50 {
+		t.Fatalf("avg query = %g, want 50", got)
+	}
+}
+
+func TestSmoothingFollowsEq10(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[3] = 100
+	observeEpoch(tr, 0, traffic, 100)
+	traffic[3] = 200
+	observeEpoch(tr, 0, traffic, 200)
+	// eq. (11) with α as new-sample weight: 0.8*100 + 0.2*200 = 120.
+	if got := tr.Traffic(0, 3); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("smoothed traffic = %g, want 120", got)
+	}
+	// eq. (10): 0.8*10 + 0.2*20 = 12.
+	if got := tr.AvgQuery(0); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("smoothed avg query = %g, want 12", got)
+	}
+}
+
+func TestHolderOverloadedEq12(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[0] = 300 // holder sees all 300; avg query = 30; beta=2 → 60.
+	observeEpoch(tr, 0, traffic, 300)
+	if !tr.HolderOverloaded(0, 1) {
+		t.Fatal("holder with 300 traffic vs 30 avg not overloaded")
+	}
+	// A holder with traffic below β·q̄ is fine.
+	tr2 := newTracker(t)
+	traffic2 := make([]int, 10)
+	traffic2[0] = 40
+	observeEpoch(tr2, 0, traffic2, 300)
+	if tr2.HolderOverloaded(0, 1) {
+		t.Fatal("holder with 40 traffic vs 60 threshold reported overloaded")
+	}
+}
+
+func TestNoQueriesNoOverload(t *testing.T) {
+	tr := newTracker(t)
+	observeEpoch(tr, 0, make([]int, 10), 0)
+	if tr.HolderOverloaded(0, 1) || tr.IsHub(0, 1) {
+		t.Fatal("zero-query epoch triggered thresholds")
+	}
+	if !tr.IsCold(0, 1) {
+		t.Fatal("zero traffic should be cold")
+	}
+}
+
+func TestIsHubEq13(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[4] = 100 // avg query = 30; gamma=1.5 → threshold 45
+	traffic[5] = 40
+	observeEpoch(tr, 0, traffic, 300)
+	if !tr.IsHub(0, 4) {
+		t.Fatal("DC 4 at 100 vs 45 threshold not a hub")
+	}
+	if tr.IsHub(0, 5) {
+		t.Fatal("DC 5 at 40 vs 45 threshold is a hub")
+	}
+}
+
+func TestIsColdEq15(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[2] = 5  // avg query 30, delta 0.2 → threshold 6
+	traffic[3] = 10 // above threshold
+	observeEpoch(tr, 0, traffic, 300)
+	if !tr.IsCold(0, 2) {
+		t.Fatal("DC 2 at 5 vs 6 not cold")
+	}
+	if tr.IsCold(0, 3) {
+		t.Fatal("DC 3 at 10 vs 6 cold")
+	}
+}
+
+func TestMeanTrafficEq17(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[0], traffic[1] = 70, 30
+	observeEpoch(tr, 0, traffic, 100)
+	if got := tr.MeanTraffic(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("mean traffic = %g, want 10", got)
+	}
+}
+
+func TestMigrationBeneficialEq16(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[1], traffic[2] = 100, 5 // mean = 10.5, mu = 1
+	observeEpoch(tr, 0, traffic, 100)
+	if !tr.MigrationBeneficial(0, 2, 1) {
+		t.Fatal("95 > 10.5 benefit rejected")
+	}
+	if tr.MigrationBeneficial(0, 1, 2) {
+		t.Fatal("negative benefit accepted")
+	}
+}
+
+func TestTopHubsRankingAndExclusion(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[1], traffic[2], traffic[3], traffic[4] = 100, 90, 80, 70
+	observeEpoch(tr, 0, traffic, 300) // avg 30, hub threshold 45
+	hubs := tr.TopHubs(0, 3, nil)
+	if len(hubs) != 3 {
+		t.Fatalf("hubs = %v", hubs)
+	}
+	if hubs[0].DC != 1 || hubs[1].DC != 2 || hubs[2].DC != 3 {
+		t.Fatalf("hub order wrong: %v", hubs)
+	}
+	// Excluding the top hub pulls DC 4 (70 ≥ 45) into the top 3.
+	hubs = tr.TopHubs(0, 3, map[topology.DCID]bool{1: true})
+	if len(hubs) != 3 || hubs[0].DC != 2 || hubs[2].DC != 4 {
+		t.Fatalf("hubs with exclusion = %v", hubs)
+	}
+	if got := tr.TopHubs(0, 0, nil); got != nil {
+		t.Fatal("k=0 returned hubs")
+	}
+}
+
+func TestTopHubsOnlyAboveThreshold(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[1], traffic[2] = 100, 10 // threshold 45: only DC 1 qualifies
+	observeEpoch(tr, 0, traffic, 300)
+	hubs := tr.TopHubs(0, 3, nil)
+	if len(hubs) != 1 || hubs[0].DC != 1 {
+		t.Fatalf("hubs = %v", hubs)
+	}
+}
+
+func TestTopHubsTieBreakByID(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[5], traffic[2] = 100, 100
+	observeEpoch(tr, 0, traffic, 300)
+	hubs := tr.TopHubs(0, 2, nil)
+	if len(hubs) != 2 || hubs[0].DC != 2 || hubs[1].DC != 5 {
+		t.Fatalf("tie break wrong: %v", hubs)
+	}
+}
+
+func TestPartitionsIndependent(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[1] = 100
+	tr.BeginEpoch()
+	tr.Observe(0, 0, &ServeResult{TrafficByDC: traffic, ServedByDC: traffic, TotalQueries: 100})
+	tr.EndEpoch()
+	if tr.Traffic(1, 1) != 0 || tr.AvgQuery(1) != 0 {
+		t.Fatal("partition 1 contaminated by partition 0's observations")
+	}
+}
+
+func TestLoadVsTrafficSeparation(t *testing.T) {
+	// A transit DC with heavy pass-through but zero serving must be a
+	// hub (γ on traffic) yet cold (δ on load); the holder's overload is
+	// judged on load, not pass-through.
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	served := make([]int, 10)
+	traffic[0] = 250 // holder forwards a lot...
+	served[0] = 20   // ...but serves little
+	traffic[4] = 200 // transit hub, serves nothing
+	observeSplit(tr, 0, 0, traffic, served, 0, 300)
+	if tr.HolderOverloaded(0, 1) {
+		t.Fatal("holder serving 20 vs threshold 60 reported overloaded")
+	}
+	if !tr.IsHub(0, 4) {
+		t.Fatal("transit DC with 200 pass-through not a hub")
+	}
+	if !tr.IsCold(0, 4) {
+		t.Fatal("replica serving nothing on a transit DC not cold")
+	}
+	if got := tr.Load(0, 0); got != 20 {
+		t.Fatalf("holder load = %g, want 20", got)
+	}
+}
+
+func TestUnservedCountsAsHolderLoad(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	served := make([]int, 10)
+	traffic[0] = 300
+	served[0] = 50
+	observeSplit(tr, 0, 0, traffic, served, 100, 300)
+	// Load at holder = 50 served + 100 refused = 150 ≥ 2·30.
+	if !tr.HolderOverloaded(0, 1) {
+		t.Fatal("holder refusing 100 queries not overloaded")
+	}
+}
+
+func TestBeginEpochClearsRaw(t *testing.T) {
+	tr := newTracker(t)
+	traffic := make([]int, 10)
+	traffic[1] = 100
+	observeEpoch(tr, 0, traffic, 100)
+	// Epoch with no observations: smoothed decays toward 0.
+	tr.BeginEpoch()
+	tr.EndEpoch()
+	want := 0.8 * 100.0
+	if got := tr.Traffic(0, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("after empty epoch traffic = %g, want %g", got, want)
+	}
+}

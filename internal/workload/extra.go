@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Diurnal models the day/night wave of a global service: each
+// datacenter's share of the demand oscillates sinusoidally with a
+// phase offset proportional to its longitude (the world X coordinate),
+// so the "busy region" sweeps around the planet once per period. This
+// is the smooth, predictable cousin of the flash crowd — policies that
+// only react to step changes handle it differently from policies that
+// track gradients.
+type Diurnal struct {
+	cfg    Config
+	period int
+	depth  float64 // 0..1: how far the wave modulates a DC's share
+	phase  []float64
+	base   *stats.RNG
+}
+
+var _ Generator = (*Diurnal)(nil)
+
+// NewDiurnal builds a diurnal generator over the world's datacenters.
+// period is the wave length in epochs; depth in (0, 1] scales the
+// modulation (1 = a datacenter's share swings between 0 and twice its
+// fair share).
+func NewDiurnal(cfg Config, w *topology.World, period int, depth float64) (*Diurnal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w.NumDCs() != cfg.DCs {
+		return nil, fmt.Errorf("workload: world has %d DCs, config says %d", w.NumDCs(), cfg.DCs)
+	}
+	if period < 2 {
+		return nil, fmt.Errorf("workload: diurnal period %d too short", period)
+	}
+	if depth <= 0 || depth > 1 {
+		return nil, fmt.Errorf("workload: diurnal depth %g outside (0,1]", depth)
+	}
+	// Phase offsets from map longitude: the wave travels west→east.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for i := 0; i < w.NumDCs(); i++ {
+		x := w.DC(topology.DCID(i)).X
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	span := maxX - minX
+	if span == 0 {
+		span = 1
+	}
+	// Spread phases over half a cycle so the west-most and east-most
+	// datacenters peak half a period apart (a full 2π span would alias
+	// the extremes onto the same phase).
+	phase := make([]float64, w.NumDCs())
+	for i := range phase {
+		phase[i] = math.Pi * (w.DC(topology.DCID(i)).X - minX) / span
+	}
+	return &Diurnal{cfg: cfg, period: period, depth: depth, phase: phase, base: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Diurnal) Name() string { return "diurnal" }
+
+// Share returns datacenter d's demand weight at epoch t (mean 1).
+func (g *Diurnal) Share(t int, d int) float64 {
+	angle := 2*math.Pi*float64(t)/float64(g.period) - g.phase[d]
+	return 1 + g.depth*math.Sin(angle)
+}
+
+// Epoch implements Generator.
+func (g *Diurnal) Epoch(t int) *Matrix {
+	if t < 0 {
+		panic("workload: negative epoch")
+	}
+	// Build the epoch's DC weight distribution.
+	weights := make([]float64, g.cfg.DCs)
+	sum := 0.0
+	for d := range weights {
+		weights[d] = g.Share(t, d)
+		sum += weights[d]
+	}
+	cdf := make([]float64, g.cfg.DCs)
+	acc := 0.0
+	for d, w := range weights {
+		acc += w / sum
+		cdf[d] = acc
+	}
+	m := NewMatrix(g.cfg.Partitions, g.cfg.DCs)
+	for p := 0; p < g.cfg.Partitions; p++ {
+		rng := g.base.Stream(uint64(t)<<20 | uint64(p))
+		n := rng.Poisson(g.cfg.Lambda)
+		for q := 0; q < n; q++ {
+			u := rng.Float64()
+			dc := 0
+			for dc < len(cdf)-1 && cdf[dc] < u {
+				dc++
+			}
+			m.Q[p][dc]++
+		}
+	}
+	return m
+}
+
+// Drift moves a single hot region one datacenter at a time every
+// holdEpochs, wrapping around the id space — a slow-motion flash crowd
+// that exercises migration churn without the paper's step
+// discontinuities.
+type Drift struct {
+	cfg        Config
+	holdEpochs int
+	hotFrac    float64
+	base       *stats.RNG
+}
+
+var _ Generator = (*Drift)(nil)
+
+// NewDrift builds a drifting-hotspot generator: hotFrac of all queries
+// come from the current hot datacenter, which advances every
+// holdEpochs.
+func NewDrift(cfg Config, holdEpochs int, hotFrac float64) (*Drift, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if holdEpochs < 1 {
+		return nil, fmt.Errorf("workload: drift hold %d too short", holdEpochs)
+	}
+	if hotFrac <= 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("workload: drift hot fraction %g outside (0,1]", hotFrac)
+	}
+	return &Drift{cfg: cfg, holdEpochs: holdEpochs, hotFrac: hotFrac, base: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Drift) Name() string { return "drift" }
+
+// HotDC returns the hot datacenter at epoch t.
+func (g *Drift) HotDC(t int) topology.DCID {
+	return topology.DCID((t / g.holdEpochs) % g.cfg.DCs)
+}
+
+// Epoch implements Generator.
+func (g *Drift) Epoch(t int) *Matrix {
+	if t < 0 {
+		panic("workload: negative epoch")
+	}
+	hot := int(g.HotDC(t))
+	m := NewMatrix(g.cfg.Partitions, g.cfg.DCs)
+	for p := 0; p < g.cfg.Partitions; p++ {
+		rng := g.base.Stream(uint64(t)<<20 | uint64(p))
+		n := rng.Poisson(g.cfg.Lambda)
+		for q := 0; q < n; q++ {
+			if rng.Bool(g.hotFrac) {
+				m.Q[p][hot]++
+			} else {
+				m.Q[p][rng.Intn(g.cfg.DCs)]++
+			}
+		}
+	}
+	return m
+}
+
+// Trace replays demand matrices loaded from CSV, cycling when the
+// simulation outlives the trace. The CSV format is one row per
+// (epoch, partition): epoch, partition, q_dc0, q_dc1, ..., matching
+// what trace-collection tooling would export from production logs —
+// the "real business cases" the paper's future work points to.
+type Trace struct {
+	name   string
+	epochs []*Matrix
+}
+
+var _ Generator = (*Trace)(nil)
+
+// NewTrace parses a demand trace. All epochs must be dense: every
+// (epoch, partition) pair present, epochs contiguous from 0.
+func NewTrace(name string, r io.Reader, partitions, dcs int) (*Trace, error) {
+	if partitions <= 0 || dcs <= 0 {
+		return nil, fmt.Errorf("workload: trace dimensions (%d,%d) invalid", partitions, dcs)
+	}
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace parse: %w", err)
+	}
+	if len(rows)%partitions != 0 || len(rows) == 0 {
+		return nil, fmt.Errorf("workload: trace has %d rows, not a multiple of %d partitions", len(rows), partitions)
+	}
+	numEpochs := len(rows) / partitions
+	tr := &Trace{name: name, epochs: make([]*Matrix, numEpochs)}
+	for e := range tr.epochs {
+		tr.epochs[e] = NewMatrix(partitions, dcs)
+	}
+	for _, row := range rows {
+		if len(row) != 2+dcs {
+			return nil, fmt.Errorf("workload: trace row has %d fields, want %d", len(row), 2+dcs)
+		}
+		e, err := strconv.Atoi(row[0])
+		if err != nil || e < 0 || e >= numEpochs {
+			return nil, fmt.Errorf("workload: trace epoch %q invalid", row[0])
+		}
+		p, err := strconv.Atoi(row[1])
+		if err != nil || p < 0 || p >= partitions {
+			return nil, fmt.Errorf("workload: trace partition %q invalid", row[1])
+		}
+		for d := 0; d < dcs; d++ {
+			q, err := strconv.Atoi(row[2+d])
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("workload: trace cell %q invalid", row[2+d])
+			}
+			tr.epochs[e].Q[p][d] = q
+		}
+	}
+	return tr, nil
+}
+
+// Name implements Generator.
+func (t *Trace) Name() string { return t.name }
+
+// Len returns the number of epochs in the trace before it cycles.
+func (t *Trace) Len() int { return len(t.epochs) }
+
+// Epoch implements Generator, cycling past the trace end.
+func (t *Trace) Epoch(e int) *Matrix {
+	if e < 0 {
+		panic("workload: negative epoch")
+	}
+	return t.epochs[e%len(t.epochs)]
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDiurnalValidation(t *testing.T) {
+	cfg := testConfig()
+	w := topology.PaperWorld()
+	if _, err := NewDiurnal(cfg, w, 1, 0.5); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+	if _, err := NewDiurnal(cfg, w, 100, 0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := NewDiurnal(cfg, w, 100, 1.5); err == nil {
+		t.Fatal("depth > 1 accepted")
+	}
+	bad := cfg
+	bad.DCs = 7
+	if _, err := NewDiurnal(bad, w, 100, 0.5); err == nil {
+		t.Fatal("mismatched DC count accepted")
+	}
+}
+
+func TestDiurnalWaveSweeps(t *testing.T) {
+	cfg := testConfig()
+	w := topology.PaperWorld()
+	g, err := NewDiurnal(cfg, w, 100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "diurnal" {
+		t.Fatal("name")
+	}
+	// Share oscillates around 1 with the configured depth.
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for e := 0; e < 100; e++ {
+		s := g.Share(e, 0)
+		minS = math.Min(minS, s)
+		maxS = math.Max(maxS, s)
+	}
+	if math.Abs(minS-0.1) > 0.05 || math.Abs(maxS-1.9) > 0.05 {
+		t.Fatalf("share range [%g, %g], want ~[0.1, 1.9]", minS, maxS)
+	}
+	// The west-most DC (A) and the east-most (I) must peak at different
+	// epochs: the wave travels.
+	a, _ := w.DCByName("A")
+	i, _ := w.DCByName("I")
+	peakA, peakI, bestA, bestI := 0, 0, 0.0, 0.0
+	for e := 0; e < 100; e++ {
+		if s := g.Share(e, int(a.ID)); s > bestA {
+			bestA, peakA = s, e
+		}
+		if s := g.Share(e, int(i.ID)); s > bestI {
+			bestI, peakI = s, e
+		}
+	}
+	if peakA == peakI {
+		t.Fatalf("A and I peak at the same epoch %d: no phase sweep", peakA)
+	}
+}
+
+func TestDiurnalVolumeAndDeterminism(t *testing.T) {
+	cfg := testConfig()
+	w := topology.PaperWorld()
+	g1, _ := NewDiurnal(cfg, w, 50, 0.5)
+	g2, _ := NewDiurnal(cfg, w, 50, 0.5)
+	total := 0
+	for e := 0; e < 50; e++ {
+		m1, m2 := g1.Epoch(e), g2.Epoch(e)
+		total += m1.Total()
+		for p := range m1.Q {
+			for d := range m1.Q[p] {
+				if m1.Q[p][d] != m2.Q[p][d] {
+					t.Fatal("diurnal not deterministic")
+				}
+			}
+		}
+	}
+	want := cfg.Lambda * float64(cfg.Partitions) * 50
+	if math.Abs(float64(total)-want)/want > 0.05 {
+		t.Fatalf("diurnal volume %d, want ~%g", total, want)
+	}
+}
+
+func TestDriftHotDCAdvances(t *testing.T) {
+	cfg := testConfig()
+	g, err := NewDrift(cfg, 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "drift" {
+		t.Fatal("name")
+	}
+	if g.HotDC(0) != 0 || g.HotDC(9) != 0 || g.HotDC(10) != 1 || g.HotDC(105) != 0 {
+		t.Fatalf("hot DC schedule wrong: %d %d %d %d", g.HotDC(0), g.HotDC(9), g.HotDC(10), g.HotDC(105))
+	}
+	// The hot DC actually receives ~hotFrac + uniform share.
+	m := g.Epoch(15) // hot DC = 1
+	hot, total := 0, 0
+	for p := range m.Q {
+		for d, q := range m.Q[p] {
+			total += q
+			if d == 1 {
+				hot += q
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	want := 0.8 + 0.2/10
+	if math.Abs(frac-want) > 0.05 {
+		t.Fatalf("hot share = %g, want ~%g", frac, want)
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := NewDrift(cfg, 0, 0.5); err == nil {
+		t.Fatal("hold 0 accepted")
+	}
+	if _, err := NewDrift(cfg, 10, 0); err == nil {
+		t.Fatal("hot frac 0 accepted")
+	}
+	if _, err := NewDrift(cfg, 10, 1.5); err == nil {
+		t.Fatal("hot frac > 1 accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	// 2 epochs × 2 partitions × 3 DCs.
+	csv := strings.NewReader(
+		"0,0,1,2,3\n" +
+			"0,1,4,5,6\n" +
+			"1,0,7,8,9\n" +
+			"1,1,10,11,12\n")
+	tr, err := NewTrace("prod", csv, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "prod" || tr.Len() != 2 {
+		t.Fatalf("trace meta: %s %d", tr.Name(), tr.Len())
+	}
+	m := tr.Epoch(0)
+	if m.Q[0][0] != 1 || m.Q[1][2] != 6 {
+		t.Fatalf("epoch 0 = %v", m.Q)
+	}
+	m = tr.Epoch(1)
+	if m.Q[0][1] != 8 || m.Q[1][0] != 10 {
+		t.Fatalf("epoch 1 = %v", m.Q)
+	}
+	// Cycling: epoch 2 replays epoch 0.
+	if tr.Epoch(2).Q[0][0] != 1 {
+		t.Fatal("trace does not cycle")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"ragged", "0,0,1,2\n"},
+		{"bad epoch", "x,0,1,2,3\n0,1,1,2,3\n"},
+		{"bad partition", "0,9,1,2,3\n0,1,1,2,3\n"},
+		{"negative cell", "0,0,-1,2,3\n0,1,1,2,3\n"},
+		{"rows not multiple", "0,0,1,2,3\n0,1,1,2,3\n1,0,1,2,3\n"},
+	}
+	for _, c := range cases {
+		if _, err := NewTrace("t", strings.NewReader(c.csv), 2, 3); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if _, err := NewTrace("t", strings.NewReader("0,0,1\n"), 0, 1); err == nil {
+		t.Error("zero partitions accepted")
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	g, _ := NewUniform(testConfig())
+	if _, err := NewMixture("m", nil, nil); err == nil {
+		t.Fatal("empty mixture accepted")
+	}
+	if _, err := NewMixture("m", []Generator{g}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := NewMixture("m", []Generator{g}, []int{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestMixtureSumsComponents(t *testing.T) {
+	cfg := testConfig()
+	a, _ := NewUniform(cfg)
+	cfgB := cfg
+	cfgB.Seed = 99
+	b, _ := NewZipfPartitions(cfgB, 1.0)
+	m, err := NewMixture("blend", []Generator{a, b}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "blend" {
+		t.Fatal("name")
+	}
+	got := m.Epoch(3)
+	wantA, wantB := a.Epoch(3), b.Epoch(3)
+	for p := range got.Q {
+		for d := range got.Q[p] {
+			if got.Q[p][d] != wantA.Q[p][d]+2*wantB.Q[p][d] {
+				t.Fatalf("mixture cell (%d,%d) = %d, want %d",
+					p, d, got.Q[p][d], wantA.Q[p][d]+2*wantB.Q[p][d])
+			}
+		}
+	}
+}
+
+func TestMixtureDimensionMismatchPanics(t *testing.T) {
+	a, _ := NewUniform(testConfig())
+	small := testConfig()
+	small.Partitions = 2
+	b, _ := NewUniform(small)
+	m, _ := NewMixture("bad", []Generator{a, b}, []int{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch not caught")
+		}
+	}()
+	m.Epoch(0)
+}

@@ -1,0 +1,56 @@
+package workload
+
+import "fmt"
+
+// Mixture sums the demand of several generators, each scaled by an
+// integer weight — e.g. a uniform base load with a Zipf-skewed hot set
+// on top, the composite shape production traffic usually has.
+type Mixture struct {
+	name       string
+	components []Generator
+	weights    []int
+}
+
+var _ Generator = (*Mixture)(nil)
+
+// NewMixture builds a mixture. Weights scale each component's matrix
+// (weight 1 = unscaled); components must agree on dimensions, which is
+// checked lazily at the first Epoch call.
+func NewMixture(name string, components []Generator, weights []int) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("workload: mixture needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("workload: %d components vs %d weights", len(components), len(weights))
+	}
+	for i, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("workload: weight %d of component %d must be >= 1", w, i)
+		}
+	}
+	return &Mixture{name: name, components: components, weights: weights}, nil
+}
+
+// Name implements Generator.
+func (m *Mixture) Name() string { return m.name }
+
+// Epoch implements Generator.
+func (m *Mixture) Epoch(t int) *Matrix {
+	var out *Matrix
+	for i, g := range m.components {
+		part := g.Epoch(t)
+		if out == nil {
+			out = NewMatrix(part.Partitions(), part.DCs())
+		}
+		if part.Partitions() != out.Partitions() || part.DCs() != out.DCs() {
+			panic(fmt.Sprintf("workload: mixture component %d has dimensions %dx%d, want %dx%d",
+				i, part.Partitions(), part.DCs(), out.Partitions(), out.DCs()))
+		}
+		for p := range part.Q {
+			for d, q := range part.Q[p] {
+				out.Q[p][d] += q * m.weights[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package workload generates the per-epoch query load of §III-A: each
+// partition receives a Poisson(λ) number of queries per epoch, and each
+// query originates from a requester datacenter drawn from a stage-
+// dependent geographic distribution. The two settings evaluated in the
+// paper are provided — the random/even setting and the four-stage flash
+// crowd — plus Zipf-skewed and custom mixtures as extensions.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Matrix holds one epoch of demand: Q[p][d] is the number of queries
+// for partition p issued by clients near datacenter d. This is the
+// q_ijt of eq. (5) with i=p, j=d.
+type Matrix struct {
+	Q [][]int // [partition][requester DC]
+}
+
+// NewMatrix allocates a zero matrix for the given dimensions.
+func NewMatrix(partitions, dcs int) *Matrix {
+	q := make([][]int, partitions)
+	buf := make([]int, partitions*dcs)
+	for p := range q {
+		q[p], buf = buf[:dcs], buf[dcs:]
+	}
+	return &Matrix{Q: q}
+}
+
+// Partitions returns the number of partitions in the matrix.
+func (m *Matrix) Partitions() int { return len(m.Q) }
+
+// DCs returns the number of requester datacenters.
+func (m *Matrix) DCs() int {
+	if len(m.Q) == 0 {
+		return 0
+	}
+	return len(m.Q[0])
+}
+
+// PartitionTotal returns the total queries for partition p this epoch —
+// the numerator of the system average query, eq. (9).
+func (m *Matrix) PartitionTotal(p int) int {
+	total := 0
+	for _, q := range m.Q[p] {
+		total += q
+	}
+	return total
+}
+
+// Total returns all queries in the epoch.
+func (m *Matrix) Total() int {
+	total := 0
+	for p := range m.Q {
+		total += m.PartitionTotal(p)
+	}
+	return total
+}
+
+// Generator produces one demand matrix per epoch. Implementations must
+// be deterministic: the same (seed, epoch) yields the same matrix.
+type Generator interface {
+	// Name identifies the workload in results and traces.
+	Name() string
+	// Epoch returns the demand matrix for epoch t (0-based).
+	Epoch(t int) *Matrix
+}
+
+// Config carries the dimensions and intensity shared by all generators.
+type Config struct {
+	Partitions int
+	DCs        int
+	// Lambda is the Poisson mean of queries per partition per epoch
+	// (Table I: 300).
+	Lambda float64
+	Seed   uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Partitions <= 0:
+		return fmt.Errorf("workload: partitions must be positive")
+	case c.DCs <= 0:
+		return fmt.Errorf("workload: DCs must be positive")
+	case c.Lambda < 0:
+		return fmt.Errorf("workload: lambda must be non-negative")
+	}
+	return nil
+}
+
+// Stage describes one phase of a staged workload: until epoch
+// UntilEpoch (exclusive), a HotFraction share of queries originates
+// from the HotDCs; the remainder (or everything, when HotDCs is empty)
+// is spread uniformly over all datacenters.
+type Stage struct {
+	UntilEpoch  int
+	HotDCs      []topology.DCID
+	HotFraction float64
+}
+
+// Staged is a Generator that switches geographic distributions at stage
+// boundaries. With a single unbounded stage and no hot set it is the
+// paper's "random and even" setting; with the four paper stages it is
+// the flash-crowd setting.
+type Staged struct {
+	name   string
+	cfg    Config
+	stages []Stage
+	base   *stats.RNG
+}
+
+var _ Generator = (*Staged)(nil)
+
+// NewStaged builds a staged generator. Stages must be non-empty and
+// ordered by strictly increasing UntilEpoch; the final stage's bound is
+// ignored (it extends forever). HotFractions must lie in [0,1] and hot
+// DC ids inside the configured range.
+func NewStaged(name string, cfg Config, stages []Stage) (*Staged, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("workload: need at least one stage")
+	}
+	for i, st := range stages {
+		if i > 0 && st.UntilEpoch <= stages[i-1].UntilEpoch {
+			return nil, fmt.Errorf("workload: stage %d bound %d not increasing", i, st.UntilEpoch)
+		}
+		if st.HotFraction < 0 || st.HotFraction > 1 {
+			return nil, fmt.Errorf("workload: stage %d hot fraction %g outside [0,1]", i, st.HotFraction)
+		}
+		if len(st.HotDCs) == 0 && st.HotFraction > 0 {
+			return nil, fmt.Errorf("workload: stage %d has hot fraction without hot DCs", i)
+		}
+		for _, dc := range st.HotDCs {
+			if int(dc) < 0 || int(dc) >= cfg.DCs {
+				return nil, fmt.Errorf("workload: stage %d hot DC %d out of range", i, dc)
+			}
+		}
+	}
+	return &Staged{name: name, cfg: cfg, stages: stages, base: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Staged) Name() string { return g.name }
+
+// StageAt returns the stage index active at epoch t.
+func (g *Staged) StageAt(t int) int {
+	for i, st := range g.stages[:len(g.stages)-1] {
+		if t < st.UntilEpoch {
+			return i
+		}
+	}
+	return len(g.stages) - 1
+}
+
+// Epoch implements Generator. Each (epoch, partition) pair draws from
+// its own derived RNG stream, so matrices are reproducible even if
+// partitions are generated in parallel or out of order.
+func (g *Staged) Epoch(t int) *Matrix {
+	if t < 0 {
+		panic("workload: negative epoch")
+	}
+	st := g.stages[g.StageAt(t)]
+	m := NewMatrix(g.cfg.Partitions, g.cfg.DCs)
+	for p := 0; p < g.cfg.Partitions; p++ {
+		rng := g.base.Stream(uint64(t)<<20 | uint64(p))
+		n := rng.Poisson(g.cfg.Lambda)
+		for q := 0; q < n; q++ {
+			var dc int
+			if len(st.HotDCs) > 0 && rng.Bool(st.HotFraction) {
+				dc = int(st.HotDCs[rng.Intn(len(st.HotDCs))])
+			} else {
+				dc = rng.Intn(g.cfg.DCs)
+			}
+			m.Q[p][dc]++
+		}
+	}
+	return m
+}
+
+// NewUniform builds the paper's "random and even" query setting: every
+// query's requester datacenter is uniform over all datacenters.
+func NewUniform(cfg Config) (*Staged, error) {
+	return NewStaged("uniform", cfg, []Stage{{}})
+}
+
+// hotGroup resolves datacenter names to ids, panicking on unknown names
+// (the paper world always has A..J; a miss is a programming error).
+func hotGroup(w *topology.World, names ...string) []topology.DCID {
+	out := make([]topology.DCID, len(names))
+	for i, n := range names {
+		dc, ok := w.DCByName(n)
+		if !ok {
+			panic("workload: unknown datacenter " + n)
+		}
+		out[i] = dc.ID
+	}
+	return out
+}
+
+// NewPaperFlashCrowd builds the §III-A flash-crowd setting over the
+// paper world: four equal stages across totalEpochs. Stage 1 sends 80%
+// of queries from near H, I and J; stage 2 from near A, B and C; stage
+// 3 from near E, F and G; stage 4 is random and even.
+func NewPaperFlashCrowd(cfg Config, w *topology.World, totalEpochs int) (*Staged, error) {
+	if totalEpochs < 4 {
+		return nil, fmt.Errorf("workload: flash crowd needs at least 4 epochs, got %d", totalEpochs)
+	}
+	quarter := totalEpochs / 4
+	stages := []Stage{
+		{UntilEpoch: quarter, HotDCs: hotGroup(w, "H", "I", "J"), HotFraction: 0.8},
+		{UntilEpoch: 2 * quarter, HotDCs: hotGroup(w, "A", "B", "C"), HotFraction: 0.8},
+		{UntilEpoch: 3 * quarter, HotDCs: hotGroup(w, "E", "F", "G"), HotFraction: 0.8},
+		{UntilEpoch: totalEpochs},
+	}
+	return NewStaged("flash-crowd", cfg, stages)
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func testConfig() Config {
+	return Config{Partitions: 16, DCs: 10, Lambda: 100, Seed: 7}
+}
+
+func TestMatrixTotals(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Q[0][1] = 5
+	m.Q[2][3] = 7
+	if m.PartitionTotal(0) != 5 || m.PartitionTotal(1) != 0 || m.PartitionTotal(2) != 7 {
+		t.Fatal("partition totals wrong")
+	}
+	if m.Total() != 12 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if m.Partitions() != 3 || m.DCs() != 4 {
+		t.Fatal("dimensions wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Partitions: 0, DCs: 1, Lambda: 1},
+		{Partitions: 1, DCs: 0, Lambda: 1},
+		{Partitions: 1, DCs: 1, Lambda: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformMeanVolume(t *testing.T) {
+	g, err := NewUniform(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const epochs = 50
+	for e := 0; e < epochs; e++ {
+		total += g.Epoch(e).Total()
+	}
+	want := float64(16 * 100 * epochs)
+	if got := float64(total); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("uniform volume = %g, want ~%g", got, want)
+	}
+}
+
+func TestUniformSpreadsAcrossDCs(t *testing.T) {
+	g, _ := NewUniform(testConfig())
+	counts := make([]int, 10)
+	for e := 0; e < 30; e++ {
+		m := g.Epoch(e)
+		for p := range m.Q {
+			for dc, q := range m.Q[p] {
+				counts[dc] += q
+			}
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for dc, c := range counts {
+		frac := float64(c) / float64(total)
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("DC %d receives %.3f of queries, want ~0.1", dc, frac)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, _ := NewUniform(testConfig())
+	g2, _ := NewUniform(testConfig())
+	for e := 0; e < 5; e++ {
+		m1, m2 := g1.Epoch(e), g2.Epoch(e)
+		for p := range m1.Q {
+			for dc := range m1.Q[p] {
+				if m1.Q[p][dc] != m2.Q[p][dc] {
+					t.Fatalf("epoch %d differs at (%d,%d)", e, p, dc)
+				}
+			}
+		}
+	}
+	// Out-of-order and repeated access must give identical results.
+	a := g1.Epoch(3)
+	_ = g1.Epoch(0)
+	b := g1.Epoch(3)
+	for p := range a.Q {
+		for dc := range a.Q[p] {
+			if a.Q[p][dc] != b.Q[p][dc] {
+				t.Fatal("Epoch(3) not stable across repeated calls")
+			}
+		}
+	}
+}
+
+func TestStagedValidation(t *testing.T) {
+	cfg := testConfig()
+	if _, err := NewStaged("x", cfg, nil); err == nil {
+		t.Fatal("empty stages accepted")
+	}
+	if _, err := NewStaged("x", cfg, []Stage{{UntilEpoch: 10}, {UntilEpoch: 5}}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	if _, err := NewStaged("x", cfg, []Stage{{HotFraction: 1.5, HotDCs: []topology.DCID{0}}}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := NewStaged("x", cfg, []Stage{{HotFraction: 0.5}}); err == nil {
+		t.Fatal("hot fraction without hot DCs accepted")
+	}
+	if _, err := NewStaged("x", cfg, []Stage{{HotFraction: 0.5, HotDCs: []topology.DCID{99}}}); err == nil {
+		t.Fatal("out-of-range hot DC accepted")
+	}
+}
+
+func TestPaperFlashCrowdStages(t *testing.T) {
+	cfg := testConfig()
+	w := topology.PaperWorld()
+	g, err := NewPaperFlashCrowd(cfg, w, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "flash-crowd" {
+		t.Fatalf("name = %s", g.Name())
+	}
+	if g.StageAt(0) != 0 || g.StageAt(99) != 0 || g.StageAt(100) != 1 ||
+		g.StageAt(199) != 1 || g.StageAt(200) != 2 || g.StageAt(300) != 3 || g.StageAt(1000) != 3 {
+		t.Fatal("stage boundaries wrong")
+	}
+
+	hotShare := func(epoch int, names ...string) float64 {
+		hot := map[topology.DCID]bool{}
+		for _, n := range names {
+			dc, _ := w.DCByName(n)
+			hot[dc.ID] = true
+		}
+		m := g.Epoch(epoch)
+		hotQ, total := 0, 0
+		for p := range m.Q {
+			for dc, q := range m.Q[p] {
+				total += q
+				if hot[topology.DCID(dc)] {
+					hotQ += q
+				}
+			}
+		}
+		return float64(hotQ) / float64(total)
+	}
+	// Stage 1: ~80% from H,I,J plus their uniform share (0.2 * 3/10).
+	want := 0.8 + 0.2*0.3
+	if got := hotShare(50, "H", "I", "J"); math.Abs(got-want) > 0.05 {
+		t.Fatalf("stage 1 hot share = %.3f, want ~%.2f", got, want)
+	}
+	if got := hotShare(150, "A", "B", "C"); math.Abs(got-want) > 0.05 {
+		t.Fatalf("stage 2 hot share = %.3f, want ~%.2f", got, want)
+	}
+	if got := hotShare(250, "E", "F", "G"); math.Abs(got-want) > 0.05 {
+		t.Fatalf("stage 3 hot share = %.3f, want ~%.2f", got, want)
+	}
+	// Stage 4: uniform → H,I,J share ~0.3.
+	if got := hotShare(350, "H", "I", "J"); math.Abs(got-0.3) > 0.05 {
+		t.Fatalf("stage 4 share = %.3f, want ~0.3", got)
+	}
+}
+
+func TestFlashCrowdTooFewEpochs(t *testing.T) {
+	if _, err := NewPaperFlashCrowd(testConfig(), topology.PaperWorld(), 3); err == nil {
+		t.Fatal("3-epoch flash crowd accepted")
+	}
+}
+
+func TestEpochPanicsOnNegative(t *testing.T) {
+	g, _ := NewUniform(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative epoch accepted")
+		}
+	}()
+	g.Epoch(-1)
+}
+
+func TestZipfPartitionsSkew(t *testing.T) {
+	g, err := NewZipfPartitions(testConfig(), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := 0, 0
+	for e := 0; e < 20; e++ {
+		m := g.Epoch(e)
+		hot += m.PartitionTotal(0)
+		cold += m.PartitionTotal(15)
+	}
+	if hot < cold*4 {
+		t.Fatalf("zipf skew too weak: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipfPartitions(testConfig(), -1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+	if _, err := NewZipfPartitions(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestZipfVolume(t *testing.T) {
+	cfg := testConfig()
+	g, _ := NewZipfPartitions(cfg, 1.0)
+	total := 0
+	const epochs = 30
+	for e := 0; e < epochs; e++ {
+		total += g.Epoch(e).Total()
+	}
+	want := cfg.Lambda * float64(cfg.Partitions) * epochs
+	if math.Abs(float64(total)-want)/want > 0.05 {
+		t.Fatalf("zipf volume = %d, want ~%g", total, want)
+	}
+}
+
+func TestFuncGenerator(t *testing.T) {
+	called := 0
+	f := &Func{GenName: "custom", Fn: func(t int) *Matrix {
+		called++
+		m := NewMatrix(1, 1)
+		m.Q[0][0] = t
+		return m
+	}}
+	if f.Name() != "custom" {
+		t.Fatal("name wrong")
+	}
+	if got := f.Epoch(5).Q[0][0]; got != 5 || called != 1 {
+		t.Fatalf("func generator: got %d, called %d", got, called)
+	}
+}
+
+func TestMatrixNonNegative(t *testing.T) {
+	check := func(seed uint64, epoch8 uint8) bool {
+		cfg := testConfig()
+		cfg.Seed = seed
+		g, err := NewUniform(cfg)
+		if err != nil {
+			return false
+		}
+		m := g.Epoch(int(epoch8))
+		for p := range m.Q {
+			for _, q := range m.Q[p] {
+				if q < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

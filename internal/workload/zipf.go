@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ZipfPartitions skews demand across partitions with a Zipf law while
+// keeping the requester distribution uniform. It models the "hot
+// partition" situation of Fig. 1 (one partition receiving far more
+// queries than others) and is used by the ablation experiments.
+type ZipfPartitions struct {
+	cfg      Config
+	exponent float64
+	base     *stats.RNG
+}
+
+var _ Generator = (*ZipfPartitions)(nil)
+
+// NewZipfPartitions builds a Zipf-skewed generator. The total expected
+// query volume per epoch equals cfg.Lambda × cfg.Partitions, but it is
+// distributed over partitions proportionally to 1/(rank+1)^exponent.
+func NewZipfPartitions(cfg Config, exponent float64) (*ZipfPartitions, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if exponent < 0 {
+		return nil, fmt.Errorf("workload: zipf exponent %g negative", exponent)
+	}
+	return &ZipfPartitions{cfg: cfg, exponent: exponent, base: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *ZipfPartitions) Name() string { return "zipf-partitions" }
+
+// Epoch implements Generator.
+func (g *ZipfPartitions) Epoch(t int) *Matrix {
+	if t < 0 {
+		panic("workload: negative epoch")
+	}
+	m := NewMatrix(g.cfg.Partitions, g.cfg.DCs)
+	rng := g.base.Stream(uint64(t))
+	// Expected total volume for the epoch, assigned to partitions by a
+	// Zipf draw per query.
+	total := rng.Poisson(g.cfg.Lambda * float64(g.cfg.Partitions))
+	z := stats.NewZipf(rng, g.cfg.Partitions, g.exponent)
+	for q := 0; q < total; q++ {
+		p := z.Next()
+		dc := rng.Intn(g.cfg.DCs)
+		m.Q[p][dc]++
+	}
+	return m
+}
+
+// Func adapts a plain function into a Generator, for tests and custom
+// simulator extensions.
+type Func struct {
+	GenName string
+	Fn      func(t int) *Matrix
+}
+
+var _ Generator = (*Func)(nil)
+
+// Name implements Generator.
+func (f *Func) Name() string { return f.GenName }
+
+// Epoch implements Generator.
+func (f *Func) Epoch(t int) *Matrix { return f.Fn(t) }
