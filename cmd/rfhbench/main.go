@@ -1,0 +1,164 @@
+// Command rfhbench measures steady-state Engine.Step throughput at the
+// paper's seed scale (10 datacenters, 100 servers, 64 partitions) and
+// at ten times that, and writes the numbers as JSON — the source of the
+// committed BENCH_sim.json snapshot.
+//
+//	rfhbench -o BENCH_sim.json
+//	rfhbench -epochs 500 -warmup 50
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// scaleResult is one benchmark row of BENCH_sim.json.
+type scaleResult struct {
+	Name           string  `json:"name"`
+	DCs            int     `json:"dcs"`
+	Servers        int     `json:"servers"`
+	Partitions     int     `json:"partitions"`
+	Epochs         int     `json:"epochs"`
+	EpochsPerSec   float64 `json:"epochs_per_sec"`
+	NsPerEpoch     int64   `json:"ns_per_epoch"`
+	AllocsPerEpoch float64 `json:"allocs_per_epoch"`
+	BytesPerEpoch  float64 `json:"bytes_per_epoch"`
+}
+
+type report struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scales     []scaleResult `json:"scales"`
+}
+
+func buildEngine(dcs, partitions int) (*sim.Engine, error) {
+	var w *topology.World
+	var err error
+	if dcs == 10 {
+		w = topology.PaperWorld()
+	} else {
+		w, err = topology.RandomGeometricWorld(dcs, 3, 0x3013)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		return nil, err
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = partitions
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewUniform(workload.Config{
+		Partitions: partitions, DCs: w.NumDCs(), Lambda: 300, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = 1 << 30 // stepped manually
+	return sim.New(cl, rt, gen, core.NewRFH(), cfg)
+}
+
+// measure steps the engine warmup epochs to pass the initial
+// replication burst, then times epochs more, counting allocations via
+// runtime.MemStats deltas.
+func measure(name string, dcs, partitions, warmup, epochs int) (scaleResult, error) {
+	eng, err := buildEngine(dcs, partitions)
+	if err != nil {
+		return scaleResult{}, err
+	}
+	defer eng.Close()
+	for i := 0; i < warmup; i++ {
+		if err := eng.Step(); err != nil {
+			return scaleResult{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < epochs; i++ {
+		if err := eng.Step(); err != nil {
+			return scaleResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return scaleResult{
+		Name:           name,
+		DCs:            dcs,
+		Servers:        eng.Cluster().NumServers(),
+		Partitions:     partitions,
+		Epochs:         epochs,
+		EpochsPerSec:   float64(epochs) / elapsed.Seconds(),
+		NsPerEpoch:     elapsed.Nanoseconds() / int64(epochs),
+		AllocsPerEpoch: float64(after.Mallocs-before.Mallocs) / float64(epochs),
+		BytesPerEpoch:  float64(after.TotalAlloc-before.TotalAlloc) / float64(epochs),
+	}, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write JSON here instead of stdout")
+		warmup = flag.Int("warmup", 30, "warmup epochs before timing starts")
+		epochs = flag.Int("epochs", 300, "timed epochs per scale")
+	)
+	flag.Parse()
+	if *epochs < 1 || *warmup < 0 {
+		fmt.Fprintln(os.Stderr, "rfhbench: -epochs must be >= 1 and -warmup >= 0")
+		os.Exit(2)
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	scales := []struct {
+		name            string
+		dcs, partitions int
+	}{
+		{"seed", 10, 64},
+		{"10x", 100, 640},
+	}
+	for _, s := range scales {
+		res, err := measure(s.name, s.dcs, s.partitions, *warmup, *epochs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			os.Exit(1)
+		}
+		rep.Scales = append(rep.Scales, res)
+		fmt.Fprintf(os.Stderr, "%-5s %7.1f epochs/sec  %9d ns/epoch  %8.0f allocs/epoch\n",
+			s.name, res.EpochsPerSec, res.NsPerEpoch, res.AllocsPerEpoch)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfhbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rfhbench:", err)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 
 	rfh "repro"
@@ -35,8 +36,24 @@ func main() {
 		failEpoch   = flag.Int("fail-epoch", 0, "epoch at which to fail servers (0 = none)")
 		failServers = flag.Int("fail-servers", 0, "number of random servers to fail at -fail-epoch")
 		traceFile   = flag.String("trace", "", "CSV demand trace to replay instead of a synthetic workload")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfhsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rfhsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := rfh.DefaultConfig()
 	cfg.Policy = *policy
@@ -77,6 +94,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfhsim:", err)
 		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfhsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rfhsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if *placement {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/queueing"
 	"repro/internal/stats"
@@ -156,6 +155,9 @@ func New(world *topology.World, sp Spec) (*Cluster, error) {
 					}
 					s.replBWLeft = s.ReplicationBW
 					s.migrBWLeft = s.MigrationBW
+					if err := validateServer(s); err != nil {
+						return nil, err
+					}
 					c.servers = append(c.servers, s)
 					c.byDC[dc] = append(c.byDC[dc], id)
 				}
@@ -163,6 +165,19 @@ func New(world *topology.World, sp Spec) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// validateServer rejects physically impossible server draws. A
+// zero-capacity replica server would divide the load-imbalance series
+// by zero, so it must never enter a cluster.
+func validateServer(s *Server) error {
+	if s.ReplicaCapacity <= 0 {
+		return fmt.Errorf("cluster: server %d has non-positive replica capacity %d", s.ID, s.ReplicaCapacity)
+	}
+	if s.StorageCapacity <= 0 {
+		return fmt.Errorf("cluster: server %d has non-positive storage capacity %d", s.ID, s.StorageCapacity)
+	}
+	return nil
 }
 
 // Spec returns the cluster's construction parameters.
@@ -197,6 +212,17 @@ func (c *Cluster) AliveServers() []ServerID {
 		}
 	}
 	return out
+}
+
+// NumAlive returns the number of alive servers without allocating.
+func (c *Cluster) NumAlive() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.alive {
+			n++
+		}
+	}
+	return n
 }
 
 // DCOf returns the datacenter hosting the server.
@@ -274,12 +300,31 @@ func (c *Cluster) HasReplica(partition int, s ServerID) bool {
 
 // ReplicaServers returns the servers hosting the partition, ascending.
 func (c *Cluster) ReplicaServers(partition int) []ServerID {
-	out := make([]ServerID, 0, len(c.replicas[partition]))
+	return c.AppendReplicaServers(make([]ServerID, 0, len(c.replicas[partition])), partition)
+}
+
+// AppendReplicaServers appends the servers hosting the partition to dst
+// in ascending order and returns the extended slice. It allocates only
+// when dst lacks capacity, so callers on the epoch hot path can reuse
+// one buffer across partitions.
+func (c *Cluster) AppendReplicaServers(dst []ServerID, partition int) []ServerID {
+	start := len(dst)
 	for s := range c.replicas[partition] {
-		out = append(out, s)
+		dst = append(dst, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// Replica sets are tiny (a handful of copies); insertion sort avoids
+	// the closure allocation of sort.Slice.
+	tail := dst[start:]
+	for i := 1; i < len(tail); i++ {
+		v := tail[i]
+		j := i - 1
+		for j >= 0 && tail[j] > v {
+			tail[j+1] = tail[j]
+			j--
+		}
+		tail[j+1] = v
+	}
+	return dst
 }
 
 // ReplicaCount returns the number of copies of the partition.
@@ -436,6 +481,9 @@ func (c *Cluster) JoinServer(dc topology.DCID) (ServerID, error) {
 	}
 	s.replBWLeft = s.ReplicationBW
 	s.migrBWLeft = s.MigrationBW
+	if err := validateServer(s); err != nil {
+		return 0, err
+	}
 	c.servers = append(c.servers, s)
 	c.byDC[dc] = append(c.byDC[dc], id)
 	return id, nil

@@ -102,6 +102,7 @@ func (s *Suite) ablationPoint(param string, v float64) (AblationPoint, error) {
 		return AblationPoint{}, err
 	}
 	rec, err := eng.Run()
+	eng.Close()
 	if err != nil {
 		return AblationPoint{}, err
 	}

@@ -180,6 +180,7 @@ func (s *Suite) runCampaign(flash bool, epochs int) ([]PolicyRun, error) {
 			return nil, err
 		}
 		rec, err := eng.Run()
+		eng.Close()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%v: %w", name, flash, err)
 		}
@@ -237,6 +238,7 @@ func (s *Suite) ChurnRuns() ([]PolicyRun, error) {
 				return nil, err
 			}
 			rec, err := eng.Run()
+			eng.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -265,6 +267,7 @@ func (s *Suite) FailureRun() (*PolicyRun, error) {
 		sort.Slice(fail, func(i, j int) bool { return fail[i] < fail[j] })
 		eng.ScheduleFailure(sim.FailureEvent{Epoch: s.opts.FailEpoch, Fail: fail})
 		rec, err := eng.Run()
+		eng.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -51,6 +51,7 @@ type Router struct {
 	world *topology.World
 	dist  [][]float64       // dist[s][d] = shortest cost
 	next  [][]topology.DCID // next[s][d] = first hop from s toward d
+	paths [][]Path          // paths[s][d] = materialised path, shared
 }
 
 // NewRouter builds a router for the world. It returns an error if the
@@ -64,9 +65,18 @@ func NewRouter(w *topology.World) (*Router, error) {
 		world: w,
 		dist:  make([][]float64, n),
 		next:  make([][]topology.DCID, n),
+		paths: make([][]Path, n),
 	}
 	for s := 0; s < n; s++ {
 		r.dist[s], r.next[s] = dijkstra(w, topology.DCID(s))
+	}
+	// Materialise every path once: Path sits on the per-query hot path
+	// of the traffic propagator, so lookups must not allocate.
+	for s := 0; s < n; s++ {
+		r.paths[s] = make([]Path, n)
+		for d := 0; d < n; d++ {
+			r.paths[s][d] = r.buildPath(topology.DCID(s), topology.DCID(d))
+		}
 	}
 	return r, nil
 }
@@ -88,9 +98,15 @@ func (r *Router) NextHop(src, dst topology.DCID) topology.DCID {
 	return r.next[src][dst]
 }
 
-// Path materialises the full routed path from src to dst. The result is
-// freshly allocated; callers may keep or mutate it.
+// Path returns the full routed path from src to dst. The path is
+// precomputed and shared across callers: it may be kept, but its Hops
+// must not be mutated.
 func (r *Router) Path(src, dst topology.DCID) Path {
+	return r.paths[src][dst]
+}
+
+// buildPath walks the first-hop table to materialise one path.
+func (r *Router) buildPath(src, dst topology.DCID) Path {
 	if src == dst {
 		return Path{Hops: []topology.DCID{src}, Cost: 0}
 	}

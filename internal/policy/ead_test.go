@@ -1,0 +1,167 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// placeInOtherDCs adds n extra copies of partition p, each in a
+// distinct datacenter that does not already host one, and returns the
+// chosen servers in placement order.
+func placeInOtherDCs(f *fixture, p, n int) []cluster.ServerID {
+	f.t.Helper()
+	hosted := make(map[topology.DCID]bool)
+	for _, s := range f.cluster.ReplicaServers(p) {
+		hosted[f.cluster.DCOf(s)] = true
+	}
+	var out []cluster.ServerID
+	for dc := 0; dc < f.world.NumDCs() && len(out) < n; dc++ {
+		if hosted[topology.DCID(dc)] {
+			continue
+		}
+		for _, s := range f.cluster.ServersInDC(topology.DCID(dc)) {
+			if f.cluster.CanHost(p, s) {
+				if err := f.cluster.AddReplica(p, s); err != nil {
+					f.t.Fatal(err)
+				}
+				out = append(out, s)
+				hosted[topology.DCID(dc)] = true
+				break
+			}
+		}
+	}
+	if len(out) < n {
+		f.t.Fatalf("could only place %d of %d extra copies", len(out), n)
+	}
+	return out
+}
+
+// observeServed injects one epoch where the given datacenters serve the
+// stated share of the partition's queries, keyed by DCID. With total
+// spread over the world's 10 datacenters, AvgQuery becomes total/10, so
+// any DC serving more than that reads as busy to EAD's renewal rule.
+func observeServed(f *fixture, p int, holder topology.DCID, served map[topology.DCID]int, total int) {
+	f.t.Helper()
+	n := f.world.NumDCs()
+	res := &traffic.ServeResult{
+		TrafficByDC:  make([]int, n),
+		ServedByDC:   make([]int, n),
+		TotalQueries: total,
+	}
+	for d, v := range served {
+		res.ServedByDC[d] = v
+	}
+	f.tracker.BeginEpoch()
+	f.tracker.Observe(p, holder, res)
+	f.tracker.EndEpoch()
+}
+
+// TestEADRenewalOnBusyDC: a replica whose datacenter serves more than
+// the system-average query rate gets its lease extended on every
+// decision; an idle replica keeps the lease it was granted on first
+// sight, and the primary is always renewed.
+func TestEADRenewalOnBusyDC(t *testing.T) {
+	f := newFixture(t)
+	e := NewEAD(10)
+	p := 0
+	copies := placeInOtherDCs(f, p, 3) // first placement becomes primary
+	primary := f.cluster.Primary(p)
+	busyRep, idleRep := copies[1], copies[2]
+
+	// First decision tracks all three copies: lease = 0 + TTL.
+	e.Decide(f.ctx(0))
+	for _, s := range []cluster.ServerID{primary, busyRep, idleRep} {
+		if until, ok := e.expiry[p][s]; !ok || until != 10 {
+			t.Fatalf("server %d lease after first decision = %d, %v; want 10, true", s, until, ok)
+		}
+	}
+
+	// busyRep's DC serves half the partition's traffic (50 > AvgQuery
+	// of 100/10 = 10); idleRep's DC serves nothing.
+	observeServed(f, p, f.cluster.DCOf(primary),
+		map[topology.DCID]int{f.cluster.DCOf(busyRep): 50}, 100)
+
+	d := e.Decide(f.ctx(5))
+	if len(d.Suicides) != 0 {
+		t.Fatalf("unexpected suicides before any lease lapsed: %+v", d.Suicides)
+	}
+	if until := e.expiry[p][busyRep]; until != 15 {
+		t.Errorf("busy replica lease = %d, want renewed to 15", until)
+	}
+	if until := e.expiry[p][idleRep]; until != 10 {
+		t.Errorf("idle replica lease = %d, want unchanged 10", until)
+	}
+	if until := e.expiry[p][primary]; until != 15 {
+		t.Errorf("primary lease = %d, want renewed to 15", until)
+	}
+
+	// At epoch 10 the idle replica's lease lapses while the renewed one
+	// survives: renewal really postponed the decay.
+	d = e.Decide(f.ctx(10))
+	if len(d.Suicides) != 1 || d.Suicides[0].Server != idleRep {
+		t.Fatalf("suicides at epoch 10 = %+v, want exactly the idle replica %d", d.Suicides, idleRep)
+	}
+}
+
+// TestEADExpiryBoundary: a lease granted at epoch 0 with TTL 10 holds
+// through epoch 9 and lapses exactly when Epoch reaches the recorded
+// expiry, never before.
+func TestEADExpiryBoundary(t *testing.T) {
+	f := newFixture(t)
+	e := NewEAD(10)
+	p := 0
+	copies := placeInOtherDCs(f, p, 3) // first placement becomes primary
+	primary := f.cluster.Primary(p)
+	extras := copies[1:]
+
+	e.Decide(f.ctx(0)) // leases granted: expire at epoch 10
+
+	if d := e.Decide(f.ctx(9)); len(d.Suicides) != 0 {
+		t.Fatalf("lease lapsed early at epoch 9: %+v", d.Suicides)
+	}
+	d := e.Decide(f.ctx(10))
+	if len(d.Suicides) != 1 {
+		t.Fatalf("suicides at expiry epoch = %+v, want exactly one", d.Suicides)
+	}
+	sui := d.Suicides[0]
+	if sui.Partition != p || sui.Server == primary {
+		t.Fatalf("suicide %+v targets the wrong copy (primary %d)", sui, primary)
+	}
+	if sui.Server != extras[0] && sui.Server != extras[1] {
+		t.Fatalf("suicide %+v is not one of the placed replicas %v", sui, extras)
+	}
+}
+
+// TestEADLeaseCleanupOnOutOfBandRemoval: when a replica disappears
+// without the policy's involvement (failure handling, another policy's
+// migration), the next decision drops its lease instead of letting the
+// stale entry linger in the expiry map.
+func TestEADLeaseCleanupOnOutOfBandRemoval(t *testing.T) {
+	f := newFixture(t)
+	e := NewEAD(10)
+	p := 0
+	copies := placeInOtherDCs(f, p, 3) // first placement becomes primary
+	gone := copies[1]
+
+	e.Decide(f.ctx(0))
+	if _, ok := e.expiry[p][gone]; !ok {
+		t.Fatalf("server %d not tracked after first decision", gone)
+	}
+
+	if err := f.cluster.RemoveReplica(p, gone); err != nil {
+		t.Fatal(err)
+	}
+
+	d := e.Decide(f.ctx(1))
+	if _, ok := e.expiry[p][gone]; ok {
+		t.Errorf("lease for removed replica %d survived the next decision", gone)
+	}
+	for _, sui := range d.Suicides {
+		if sui.Partition == p && sui.Server == gone {
+			t.Errorf("decision suicides the already-removed replica %d", gone)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+)
+
+// TestFailedMigrationRemovalCounted is the regression test for the
+// half-completed-migration accounting bug: a migration whose removal
+// step fails has already placed the new copy and consumed migration
+// bandwidth, so it must be charged as a replication-equivalent action
+// instead of silently dropping out of the Figs. 5–7 series.
+func TestFailedMigrationRemovalCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+
+	// Force the removal step to fail, as a wedged source node would.
+	eng.removeReplica = func(partition int, s cluster.ServerID) error {
+		return fmt.Errorf("forced removal failure")
+	}
+
+	p := 0
+	from := eng.Cluster().Primary(p)
+	var to cluster.ServerID = -1
+	for s := 0; s < eng.Cluster().NumServers(); s++ {
+		if id := cluster.ServerID(s); id != from && eng.Cluster().CanHost(p, id) {
+			to = id
+			break
+		}
+	}
+	if to < 0 {
+		t.Fatal("no migration target available")
+	}
+
+	eng.cluster.BeginEpoch()
+	eng.applyDecision(policy.Decision{
+		Migrations: []policy.Migration{{Partition: p, From: from, To: to}},
+	})
+
+	if eng.epochMigr != 0 || eng.cumMigr != 0 {
+		t.Fatalf("failed migration counted as migration: epoch=%d cum=%d", eng.epochMigr, eng.cumMigr)
+	}
+	if eng.epochRepl != 1 || eng.cumRepl != 1 {
+		t.Fatalf("failed migration not counted as replication-equivalent: epoch=%d cum=%d",
+			eng.epochRepl, eng.cumRepl)
+	}
+	if eng.cumReplCost <= 0 {
+		t.Fatalf("no cost charged for the half-completed migration: %g", eng.cumReplCost)
+	}
+	// The copy physically landed on the target and the source kept its
+	// replica, exactly the state the accounting must describe.
+	if !eng.Cluster().HasReplica(p, to) || !eng.Cluster().HasReplica(p, from) {
+		t.Fatal("cluster state does not match a half-completed migration")
+	}
+}
+
+// TestSuccessfulMigrationStillCounted guards the untouched path around
+// the fix: a completed migration charges the migration series only.
+func TestSuccessfulMigrationStillCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+
+	p := 0
+	from := eng.Cluster().Primary(p)
+	var to cluster.ServerID = -1
+	for s := 0; s < eng.Cluster().NumServers(); s++ {
+		if id := cluster.ServerID(s); id != from && eng.Cluster().CanHost(p, id) {
+			to = id
+			break
+		}
+	}
+	eng.cluster.BeginEpoch()
+	eng.applyDecision(policy.Decision{
+		Migrations: []policy.Migration{{Partition: p, From: from, To: to}},
+	})
+	if eng.epochMigr != 1 || eng.cumMigr != 1 || eng.epochRepl != 0 {
+		t.Fatalf("migration accounting wrong: migr=%d/%d repl=%d",
+			eng.epochMigr, eng.cumMigr, eng.epochRepl)
+	}
+	if eng.Cluster().HasReplica(p, from) || !eng.Cluster().HasReplica(p, to) {
+		t.Fatal("migration did not move the copy")
+	}
+}
+
+// TestZeroCapacityReplicaDoesNotPoisonSeries is the regression test for
+// the load-imbalance NaN bug: a zero-capacity server must not divide
+// the per-replica load normalisation by zero.
+func TestZeroCapacityReplicaDoesNotPoisonSeries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	eng := buildEngine(t, core.NewRFH(), cfg, false)
+	// Sabotage one replica-hosting server after construction (cluster
+	// validation forbids building such a server, so reach in directly).
+	victim := eng.Cluster().Primary(0)
+	eng.Cluster().Server(victim).ReplicaCapacity = 0
+	rec, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metrics.SeriesLoadImbalance, metrics.SeriesUtilization} {
+		for i, v := range rec.Series(name).Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("series %s poisoned at epoch %d: %g", name, i, v)
+			}
+		}
+	}
+}
+
+// TestClusterRejectsZeroCapacitySpec checks the validation half of the
+// zero-capacity fix.
+func TestClusterRejectsZeroCapacitySpec(t *testing.T) {
+	spec := cluster.DefaultSpec()
+	spec.ReplicaCapacityMin = 0
+	if err := spec.Validate(); err == nil {
+		t.Fatal("spec with zero replica capacity validated")
+	}
+}
+
+// TestChurnBitReproducible is the regression test for the
+// nondeterministic churn-recovery iteration: two runs with the same
+// seed must produce identical points in every recorded series.
+func TestChurnBitReproducible(t *testing.T) {
+	run := func() *metrics.Recorder {
+		cfg := DefaultConfig()
+		cfg.Epochs = 60
+		cfg.Seed = 1234
+		cfg.ChurnFailProb = 0.05 // heavy churn: many concurrent recoveries
+		cfg.ChurnMTTR = 5
+		eng := buildEngine(t, core.NewRFH(), cfg, false)
+		rec, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	for _, name := range a.Names() {
+		sa, sb := a.Series(name), b.Series(name)
+		if len(sa.Points) != len(sb.Points) {
+			t.Fatalf("series %s lengths differ", name)
+		}
+		for i := range sa.Points {
+			if sa.Points[i] != sb.Points[i] {
+				t.Fatalf("series %s diverges at epoch %d: %g vs %g", name, i, sa.Points[i], sb.Points[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// benchEngine builds an engine for throughput benchmarks: dcs
+// datacenters (10 = the paper world, anything else a synthetic
+// random-geometric world) with 10 servers each, over the given
+// partition count, driven by the uniform workload and the RFH policy.
+func benchEngine(b *testing.B, dcs, partitions int) *Engine {
+	b.Helper()
+	var w *topology.World
+	var err error
+	if dcs == 10 {
+		w = topology.PaperWorld()
+	} else {
+		w, err = topology.RandomGeometricWorld(dcs, 3, 0x3013)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = partitions
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewUniform(workload.Config{
+		Partitions: partitions, DCs: w.NumDCs(), Lambda: 300, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 1 << 30 // stepped manually; never hit by Run
+	eng, err := New(cl, rt, gen, core.NewRFH(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// stepBench measures steady-state Engine.Step throughput: a warmup
+// drives the system past the initial replication burst, then each
+// iteration is one full epoch (serve + policy + apply + record).
+func stepBench(b *testing.B, dcs, partitions int) {
+	b.Helper()
+	eng := benchEngine(b, dcs, partitions)
+	defer eng.Close()
+	for i := 0; i < 30; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepSeedScale is the paper's Table I environment: 10
+// datacenters, 100 servers, 64 partitions.
+func BenchmarkStepSeedScale(b *testing.B) { stepBench(b, 10, 64) }
+
+// BenchmarkStep10xScale is ten times the seed environment: 100
+// datacenters, 1000 servers, 640 partitions.
+func BenchmarkStep10xScale(b *testing.B) { stepBench(b, 100, 640) }

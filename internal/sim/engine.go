@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/availability"
 	"repro/internal/cluster"
@@ -66,9 +67,52 @@ type Engine struct {
 	epochMigr    int
 	epochSuicide int
 
+	// removeReplica is the migration-removal step; a seam so tests can
+	// exercise the half-completed-migration accounting.
+	removeReplica func(partition int, s cluster.ServerID) error
+
 	// Scratch state reused across epochs.
 	outcomes []partitionOutcome
-	workerWG sync.WaitGroup
+
+	// Persistent worker pool (started lazily on the first Step, stopped
+	// by Close). Workers steal chunks of the partition index space via
+	// nextChunk and keep their scratch arenas across epochs.
+	workers   []*epochWorker
+	workerWG  sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+	nextChunk atomic.Int64
+	curDemand *workload.Matrix
+
+	// recordEpoch/mergeOutcomes scratch, reused across epochs.
+	servedScratch  []int
+	capScratch     []int
+	loadScratch    []float64
+	hopHistScratch []int
+	servedByDC     []int
+	recoveries     []cluster.ServerID
+}
+
+// epochWorker is one pool worker's scratch arena. Everything in it is
+// touched only by its owning goroutine during a serve round, so the
+// steady-state epoch loop runs allocation-free.
+type epochWorker struct {
+	prop     *traffic.Propagator
+	capacity []int // per-DC replica capacity of the current partition
+	slots    []allocSlot
+	rems     []allocRem
+	err      error
+	wake     chan struct{}
+}
+
+type allocSlot struct {
+	idx  int // index into partitionOutcome.servers
+	capc int
+}
+
+type allocRem struct {
+	idx  int
+	frac float64
 }
 
 // partitionOutcome is one partition's epoch serving result, produced by
@@ -107,18 +151,25 @@ func New(cl *cluster.Cluster, rt *network.Router, gen workload.Generator, pol po
 	if cfg.Latency == (metrics.LatencyModel{}) {
 		cfg.Latency = metrics.DefaultLatencyModel()
 	}
+	dcs := cl.World().NumDCs()
 	e := &Engine{
-		cfg:         cfg,
-		cluster:     cl,
-		router:      rt,
-		hashing:     ring.New(),
-		gen:         gen,
-		pol:         pol,
-		tracker:     tr,
-		rec:         metrics.NewRecorder(),
-		rng:         stats.NewRNG(cfg.Seed ^ 0x5157),
-		minReplicas: minRep,
-		outcomes:    make([]partitionOutcome, cl.NumPartitions()),
+		cfg:            cfg,
+		cluster:        cl,
+		router:         rt,
+		hashing:        ring.New(),
+		gen:            gen,
+		pol:            pol,
+		tracker:        tr,
+		rec:            metrics.NewRecorder(),
+		rng:            stats.NewRNG(cfg.Seed ^ 0x5157),
+		minReplicas:    minRep,
+		outcomes:       make([]partitionOutcome, cl.NumPartitions()),
+		quit:           make(chan struct{}),
+		hopHistScratch: make([]int, dcs),
+		servedByDC:     make([]int, dcs),
+	}
+	e.removeReplica = func(partition int, s cluster.ServerID) error {
+		return e.cluster.RemoveReplica(partition, s)
 	}
 	for i := 0; i < cl.NumServers(); i++ {
 		if err := e.hashing.AddServer(i, cfg.TokensPerServer); err != nil {
@@ -279,15 +330,29 @@ func (e *Engine) applyChurn(t int) {
 	if mttr == 0 {
 		mttr = 20
 	}
+	// Collect due recoveries and apply them in ascending ServerID order:
+	// map iteration order is randomised, and recovering servers mutates
+	// the cluster and the hash ring, so a fixed order is what makes churn
+	// runs bit-reproducible for a fixed seed.
+	recov := e.recoveries[:0]
 	for s, until := range e.downUntil {
 		if until <= t {
-			e.cluster.RecoverServer(s)
-			_ = e.hashing.AddServer(int(s), e.cfg.TokensPerServer)
-			delete(e.downUntil, s)
+			recov = append(recov, s)
 		}
 	}
+	sort.Slice(recov, func(i, j int) bool { return recov[i] < recov[j] })
+	e.recoveries = recov
+	for _, s := range recov {
+		e.cluster.RecoverServer(s)
+		_ = e.hashing.AddServer(int(s), e.cfg.TokensPerServer)
+		delete(e.downUntil, s)
+	}
 	rng := e.churnRNG.Stream(uint64(t))
-	for _, s := range e.cluster.AliveServers() {
+	for id := 0; id < e.cluster.NumServers(); id++ {
+		s := cluster.ServerID(id)
+		if !e.cluster.Server(s).Alive() {
+			continue
+		}
 		if rng.Bool(e.cfg.ChurnFailProb) {
 			e.cluster.FailServer(s)
 			e.hashing.RemoveServer(int(s))
@@ -336,42 +401,103 @@ func (e *Engine) applyFailures(t int) {
 	}
 }
 
-// serveEpoch propagates every partition's demand in parallel. Each
-// worker owns a Propagator and writes only its own partitions'
-// outcomes, so the pass is race-free and deterministic.
-func (e *Engine) serveEpoch(demand *workload.Matrix) error {
-	parts := e.cluster.NumPartitions()
+// startPool spins up the persistent worker goroutines. Called lazily by
+// the first serveEpoch so engines that are built but never stepped cost
+// nothing; the pool then lives until Close.
+func (e *Engine) startPool() {
 	workers := e.cfg.workers()
-	if workers > parts {
+	if parts := e.cluster.NumPartitions(); workers > parts {
 		workers = parts
 	}
-	var firstErr error
-	var errOnce sync.Once
-	work := make(chan int)
-	e.workerWG.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer e.workerWG.Done()
-			prop := traffic.NewPropagator(e.router)
-			capacity := make([]int, e.cluster.World().NumDCs())
-			for p := range work {
-				if err := e.servePartition(prop, capacity, p, demand); err != nil {
-					errOnce.Do(func() { firstErr = err })
+	var orders [][]topology.DCID
+	if e.cfg.Serving == ServeNearest {
+		orders = traffic.NearestOrder(e.router)
+	}
+	dcs := e.cluster.World().NumDCs()
+	e.workers = make([]*epochWorker, workers)
+	for w := range e.workers {
+		wk := &epochWorker{
+			prop:     traffic.NewPropagator(e.router),
+			capacity: make([]int, dcs),
+			wake:     make(chan struct{}, 1),
+		}
+		if orders != nil {
+			wk.prop.ShareNearestOrder(orders)
+		}
+		e.workers[w] = wk
+		go e.workerLoop(wk)
+	}
+}
+
+// workerLoop is one pool goroutine: woken once per epoch, it steals
+// chunks of the partition index space until the epoch is drained, then
+// parks until the next round (or Close).
+func (e *Engine) workerLoop(wk *epochWorker) {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-wk.wake:
+		}
+		parts := int64(e.cluster.NumPartitions())
+		chunk := parts / int64(len(e.workers)*8)
+		if chunk < 1 {
+			chunk = 1
+		}
+		for {
+			lo := e.nextChunk.Add(chunk) - chunk
+			if lo >= parts {
+				break
+			}
+			hi := lo + chunk
+			if hi > parts {
+				hi = parts
+			}
+			for p := lo; p < hi && wk.err == nil; p++ {
+				if err := e.servePartition(wk, int(p), e.curDemand); err != nil {
+					wk.err = err
 				}
 			}
-		}()
+		}
+		e.workerWG.Done()
 	}
-	for p := 0; p < parts; p++ {
-		work <- p
+}
+
+// Close stops the worker pool. It is idempotent and safe on engines
+// that never stepped; after Close the engine must not be stepped again.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+}
+
+// serveEpoch propagates every partition's demand across the persistent
+// worker pool. Each worker owns its scratch arena and writes only the
+// outcome slots of partitions it stole, so the pass is race-free and
+// the merged result is deterministic regardless of worker count.
+func (e *Engine) serveEpoch(demand *workload.Matrix) error {
+	if e.workers == nil {
+		e.startPool()
 	}
-	close(work)
+	e.curDemand = demand
+	e.nextChunk.Store(0)
+	e.workerWG.Add(len(e.workers))
+	for _, wk := range e.workers {
+		wk.err = nil
+		wk.wake <- struct{}{}
+	}
 	e.workerWG.Wait()
-	return firstErr
+	e.curDemand = nil
+	// First error in worker order, for a deterministic failure report.
+	for _, wk := range e.workers {
+		if wk.err != nil {
+			return wk.err
+		}
+	}
+	return nil
 }
 
 // servePartition computes one partition's epoch outcome into
-// e.outcomes[p]. Only the owning worker touches that slot.
-func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int, demand *workload.Matrix) error {
+// e.outcomes[p]. Only the worker that stole p touches that slot.
+func (e *Engine) servePartition(wk *epochWorker, p int, demand *workload.Matrix) error {
 	out := &e.outcomes[p]
 	primary := e.cluster.Primary(p)
 	if primary < 0 {
@@ -380,7 +506,9 @@ func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int,
 	}
 	out.skip = false
 
-	servers := e.cluster.ReplicaServers(p)
+	out.servers = e.cluster.AppendReplicaServers(out.servers[:0], p)
+	servers := out.servers
+	capacity := wk.capacity
 	for d := range capacity {
 		capacity[d] = 0
 	}
@@ -390,9 +518,9 @@ func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int,
 	var res *traffic.ServeResult
 	var err error
 	if e.cfg.Serving == ServePath {
-		res, err = prop.Propagate(e.cluster.DCOf(primary), demand.Q[p], capacity)
+		res, err = wk.prop.Propagate(e.cluster.DCOf(primary), demand.Q[p], capacity)
 	} else {
-		res, err = prop.ServeNearest(e.cluster.DCOf(primary), demand.Q[p], capacity)
+		res, err = wk.prop.ServeNearest(e.cluster.DCOf(primary), demand.Q[p], capacity)
 	}
 	if err != nil {
 		return err
@@ -415,7 +543,6 @@ func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int,
 
 	// Split each datacenter's served queries across its replicas in
 	// proportion to capacity.
-	out.servers = append(out.servers[:0], servers...)
 	if cap(out.servedOn) < len(servers) {
 		out.servedOn = make([]int, len(servers))
 	}
@@ -427,7 +554,7 @@ func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int,
 		if served == 0 {
 			continue
 		}
-		e.allocateWithinDC(p, topology.DCID(d), served, out)
+		e.allocateWithinDC(wk, topology.DCID(d), served, out)
 	}
 	return nil
 }
@@ -436,43 +563,43 @@ func (e *Engine) servePartition(prop *traffic.Propagator, capacity []int, p int,
 // replicas inside one datacenter proportionally to replica capacity,
 // using largest-remainder rounding (deterministic, never exceeding any
 // replica's capacity because the propagator capped served at the DC
-// total).
-func (e *Engine) allocateWithinDC(p int, dc topology.DCID, served int, out *partitionOutcome) {
-	type slot struct {
-		idx  int
-		capc int
-	}
-	var slots []slot
+// total). All scratch lives in the worker arena.
+func (e *Engine) allocateWithinDC(wk *epochWorker, dc topology.DCID, served int, out *partitionOutcome) {
+	slots := wk.slots[:0]
 	capSum := 0
 	for i, s := range out.servers {
 		if e.cluster.DCOf(s) == dc {
 			c := e.cluster.Server(s).ReplicaCapacity
-			slots = append(slots, slot{i, c})
+			slots = append(slots, allocSlot{i, c})
 			capSum += c
 		}
 	}
+	wk.slots = slots
 	if capSum == 0 {
 		return
 	}
 	assigned := 0
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, len(slots))
-	for i, sl := range slots {
+	rems := wk.rems[:0]
+	for _, sl := range slots {
 		exact := float64(served) * float64(sl.capc) / float64(capSum)
 		base := int(exact)
 		out.servedOn[sl.idx] += base
 		assigned += base
-		rems[i] = rem{sl.idx, exact - float64(base)}
+		rems = append(rems, allocRem{sl.idx, exact - float64(base)})
 	}
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac != rems[b].frac {
-			return rems[a].frac > rems[b].frac
+	wk.rems = rems
+	// Insertion sort by (remainder desc, index asc): the slot count is
+	// bounded by the replicas of one partition in one DC, and avoiding
+	// sort.Slice keeps the hot path allocation-free.
+	for i := 1; i < len(rems); i++ {
+		r := rems[i]
+		j := i - 1
+		for j >= 0 && (rems[j].frac < r.frac || (rems[j].frac == r.frac && rems[j].idx > r.idx)) {
+			rems[j+1] = rems[j]
+			j--
 		}
-		return rems[a].idx < rems[b].idx
-	})
+		rems[j+1] = r
+	}
 	for i := 0; assigned < served && i < len(rems); i++ {
 		out.servedOn[rems[i].idx]++
 		assigned++
@@ -483,7 +610,7 @@ func (e *Engine) allocateWithinDC(p int, dc topology.DCID, served int, out *part
 // servers' arrival observers, in partition order for determinism.
 func (e *Engine) mergeOutcomes() {
 	var res traffic.ServeResult
-	servedByDC := make([]int, e.cluster.World().NumDCs())
+	servedByDC := e.servedByDC
 	for p := range e.outcomes {
 		out := &e.outcomes[p]
 		if out.skip {
@@ -551,9 +678,19 @@ func (e *Engine) applyDecision(dec policy.Decision) {
 			continue
 		}
 		wasPrimary := e.cluster.Primary(mig.Partition) == mig.From
-		if err := e.cluster.RemoveReplica(mig.Partition, mig.From); err != nil {
-			// Could not complete the move; keep the new copy (it already
-			// cost bandwidth) and carry on.
+		if err := e.removeReplica(mig.Partition, mig.From); err != nil {
+			// Could not complete the move: the new copy already exists and
+			// migration bandwidth was spent, which is physically a
+			// replication. Charge it as one so the Figs. 5–7 cost and
+			// action series do not silently under-report.
+			cost, cerr := metrics.ReplicationCost(
+				e.cluster.ReplicaDistance(mig.From, mig.To),
+				e.cfg.FailureRate, size, e.cluster.Server(mig.From).MigrationBW)
+			if cerr == nil {
+				e.cumReplCost += cost
+				e.cumRepl++
+				e.epochRepl++
+			}
 			continue
 		}
 		if wasPrimary {
@@ -578,10 +715,14 @@ func (e *Engine) applyDecision(dec policy.Decision) {
 	}
 }
 
-// recordEpoch appends one point to every metric series.
+// recordEpoch appends one point to every metric series. Its per-replica
+// scratch buffers live on the engine and are reused across epochs.
 func (e *Engine) recordEpoch(demand *workload.Matrix) {
-	var servedPerReplica, capPerReplica []int
-	hopHist := make([]int, e.cluster.World().NumDCs())
+	servedPerReplica, capPerReplica := e.servedScratch[:0], e.capScratch[:0]
+	hopHist := e.hopHistScratch
+	for h := range hopHist {
+		hopHist[h] = 0
+	}
 	totalQueries, totalHops, totalUnserved := 0, 0, 0
 	for p := range e.outcomes {
 		out := &e.outcomes[p]
@@ -599,6 +740,7 @@ func (e *Engine) recordEpoch(demand *workload.Matrix) {
 			capPerReplica = append(capPerReplica, e.cluster.Server(s).ReplicaCapacity)
 		}
 	}
+	e.servedScratch, e.capScratch = servedPerReplica, capPerReplica
 	util, err := metrics.ReplicaUtilization(servedPerReplica, capPerReplica)
 	if err != nil {
 		util = 0
@@ -609,11 +751,17 @@ func (e *Engine) recordEpoch(demand *workload.Matrix) {
 	// the replica's capacity: servers are heterogeneous (§III-A), so a
 	// node's "load" is how hard it works relative to its capability —
 	// this is what the §II-H blocking-probability placement equalises.
-	loads := make([]float64, len(servedPerReplica))
+	// A zero-capacity replica (impossible through cluster validation,
+	// but defended against here) is excluded rather than poisoning the
+	// series with NaN/Inf.
+	loads := e.loadScratch[:0]
 	for i, v := range servedPerReplica {
-		loads[i] = float64(v) / float64(capPerReplica[i])
+		if capPerReplica[i] > 0 {
+			loads = append(loads, float64(v)/float64(capPerReplica[i]))
+		}
 	}
-	alive := e.cluster.AliveServers()
+	e.loadScratch = loads
+	numAlive := e.cluster.NumAlive()
 
 	totalReplicas := e.cluster.TotalReplicas()
 	e.rec.Append(metrics.SeriesUtilization, util)
@@ -628,7 +776,7 @@ func (e *Engine) recordEpoch(demand *workload.Matrix) {
 	e.rec.Append(metrics.SeriesLoadImbalance, metrics.RelativeLoadImbalance(loads))
 	e.rec.Append(metrics.SeriesPathLength, safeDiv(float64(totalHops), float64(totalQueries)))
 	e.rec.Append(metrics.SeriesUnservedFrac, safeDiv(float64(totalUnserved), float64(totalQueries)))
-	e.rec.Append(metrics.SeriesAliveServers, float64(len(alive)))
+	e.rec.Append(metrics.SeriesAliveServers, float64(numAlive))
 	e.rec.Append(metrics.SeriesLostPartitions, float64(e.cluster.LostPartitions()))
 	e.rec.Append(metrics.SeriesReplActions, float64(e.epochRepl))
 	e.rec.Append(metrics.SeriesMigrActions, float64(e.epochMigr))

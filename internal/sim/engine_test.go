@@ -41,6 +41,7 @@ func buildEngine(t *testing.T, pol policy.Policy, cfg Config, flash bool) *Engin
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(eng.Close)
 	return eng
 }
 

@@ -90,6 +90,7 @@ func TestChaosInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		defer eng.Close()
 		if rng.Bool(0.5) {
 			var victims []cluster.ServerID
 			for len(victims) < 10+rng.Intn(20) {

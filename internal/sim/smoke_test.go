@@ -41,6 +41,7 @@ func runPolicy(t testing.TB, pol policy.Policy, flash bool, epochs int) *metrics
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer eng.Close()
 	rec, err := eng.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -8,11 +8,12 @@ import (
 	"repro/internal/topology"
 )
 
-// nearestOrder precomputes, for every requester datacenter, all
+// NearestOrder precomputes, for every requester datacenter, all
 // datacenters sorted by routing cost (then hop count, then id). The
-// order depends only on the topology, so it is computed once per
-// propagator and shared across partitions.
-func nearestOrder(router *network.Router) [][]topology.DCID {
+// order depends only on the topology, so it can be computed once and
+// shared across every propagator over the same router (see
+// Propagator.ShareNearestOrder).
+func NearestOrder(router *network.Router) [][]topology.DCID {
 	n := router.World().NumDCs()
 	orders := make([][]topology.DCID, n)
 	for j := 0; j < n; j++ {
@@ -64,7 +65,7 @@ func (pr *Propagator) ServeNearest(holder topology.DCID, queriesByDC, capacityBy
 		return nil, fmt.Errorf("traffic: holder DC %d out of range", holder)
 	}
 	if pr.nearest == nil {
-		pr.nearest = nearestOrder(pr.router)
+		pr.nearest = NearestOrder(pr.router)
 	}
 	res := &pr.result
 	res.Unserved = 0

@@ -77,6 +77,13 @@ func NewPropagator(router *network.Router) *Propagator {
 	}
 }
 
+// ShareNearestOrder installs a precomputed NearestOrder table, so a
+// fleet of propagators over the same router (one per worker) shares one
+// copy instead of each building its own on first ServeNearest call.
+func (pr *Propagator) ShareNearestOrder(orders [][]topology.DCID) {
+	pr.nearest = orders
+}
+
 // Propagate serves one partition's epoch demand. queriesByDC[j] is
 // q_ijt (demand from requester datacenter j); capacityByDC[d] is the
 // total per-epoch serving capacity of the partition's replicas hosted

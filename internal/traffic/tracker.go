@@ -2,7 +2,6 @@ package traffic
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -274,22 +273,28 @@ func (t *Tracker) TopHubs(p, k int, exclude map[topology.DCID]bool) []RankedHub 
 	if k <= 0 {
 		return nil
 	}
-	var hubs []RankedHub
+	// Bounded selection instead of sort-then-truncate: k is tiny (the
+	// paper fixes 3) while the DC count can be large, and this runs once
+	// per partition per epoch. Candidates arrive in ascending id order,
+	// so a strictly-greater comparison preserves the ascending-id tie
+	// break of the sorted formulation.
+	hubs := make([]RankedHub, 0, k)
 	for d := 0; d < t.dcs; d++ {
 		dc := topology.DCID(d)
 		if exclude[dc] || !t.IsHub(p, dc) {
 			continue
 		}
-		hubs = append(hubs, RankedHub{DC: dc, Traffic: t.smoothed[p][d]})
-	}
-	sort.Slice(hubs, func(a, b int) bool {
-		if hubs[a].Traffic != hubs[b].Traffic {
-			return hubs[a].Traffic > hubs[b].Traffic
+		h := RankedHub{DC: dc, Traffic: t.smoothed[p][d]}
+		if len(hubs) < k {
+			hubs = append(hubs, h)
+		} else if h.Traffic > hubs[k-1].Traffic {
+			hubs[k-1] = h
+		} else {
+			continue
 		}
-		return hubs[a].DC < hubs[b].DC
-	})
-	if len(hubs) > k {
-		hubs = hubs[:k]
+		for i := len(hubs) - 1; i > 0 && hubs[i].Traffic > hubs[i-1].Traffic; i-- {
+			hubs[i], hubs[i-1] = hubs[i-1], hubs[i]
+		}
 	}
 	return hubs
 }

@@ -297,6 +297,7 @@ func RunWithFailures(cfg Config, events []FailureEvent) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	for _, ev := range events {
 		fe := sim.FailureEvent{Epoch: ev.Epoch}
 		for _, s := range ev.Fail {
