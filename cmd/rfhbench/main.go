@@ -5,6 +5,7 @@
 //
 //	rfhbench -o BENCH_sim.json
 //	rfhbench -epochs 500 -warmup 50
+//	rfhbench -date 2026-08-01 -o BENCH_sim.json   # pinned stamp for reproducible diffs
 package main
 
 import (
@@ -117,15 +118,22 @@ func main() {
 		out    = flag.String("o", "", "write JSON here instead of stdout")
 		warmup = flag.Int("warmup", 30, "warmup epochs before timing starts")
 		epochs = flag.Int("epochs", 300, "timed epochs per scale")
+		date   = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
 	)
 	flag.Parse()
 	if *epochs < 1 || *warmup < 0 {
 		fmt.Fprintln(os.Stderr, "rfhbench: -epochs must be >= 1 and -warmup >= 0")
 		os.Exit(2)
 	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	} else if _, err := time.Parse("2006-01-02", *date); err != nil {
+		fmt.Fprintln(os.Stderr, "rfhbench: -date must be YYYY-MM-DD")
+		os.Exit(2)
+	}
 
 	rep := report{
-		Date:       time.Now().UTC().Format("2006-01-02"),
+		Date:       *date,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}

@@ -1,0 +1,92 @@
+// Command rfhlint is the module's own static-analysis suite: a
+// multichecker over the analyzers that enforce the simulator's
+// determinism and safety contract (DESIGN.md, "Determinism contract").
+//
+//	go run ./cmd/rfhlint ./...
+//
+// Checks:
+//
+//	detrange      order-sensitive map iteration in deterministic packages
+//	noglobalrand  math/rand global source in deterministic packages
+//	nowallclock   wall-clock reads in deterministic packages
+//	divguard      unguarded float division by capacity/count denominators
+//	closecheck    module closer types constructed but never closed
+//
+// Findings print in go-vet format and make the command exit 1; CI runs
+// it as a required step, so the tree stays rfhlint-clean. False
+// positives are silenced in place with a reasoned directive:
+//
+//	//lint:ignore rfhlint/<check> <reason>
+//
+// placed on the offending line or the line above it. Test files are
+// exempt from the determinism checks (they do not feed simulation
+// state) but not from closecheck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/closecheck"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/divguard"
+	"repro/internal/analysis/noglobalrand"
+	"repro/internal/analysis/nowallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	closecheck.Analyzer,
+	detrange.Analyzer,
+	divguard.Analyzer,
+	noglobalrand.Analyzer,
+	nowallclock.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rfhlint [-list] packages...")
+		fmt.Fprintln(os.Stderr, "enforces the determinism and safety contract; see DESIGN.md")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(analysis.Format(pkgs[0].Fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rfhlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfhlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,92 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary, sized for this module.
+//
+// The repository's determinism and safety contract (see DESIGN.md,
+// "Determinism contract") is enforced by a suite of analyzers compiled
+// into cmd/rfhlint. The x/tools analysis framework is the natural home
+// for such checkers, but this module deliberately has no external
+// dependencies, so the framework surface the analyzers program against
+// — Analyzer, Pass, Diagnostic, Reportf — is reproduced here on top of
+// the standard library only (go/ast, go/types, go/importer). Type
+// information for dependencies comes from compiler export data located
+// via `go list -export` (see load.go), so the suite needs nothing but
+// the Go toolchain that builds the module anyway.
+//
+// The API is kept shape-compatible with x/tools on purpose: if the
+// module ever grows a vendored x/tools, each analyzer body ports by
+// changing only its imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// diagnostics and in //lint:ignore rfhlint/<name> suppressions; Doc is
+// the human-readable contract the check enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Path is the package's import path as listed. Test-augmented
+	// variants keep their decoration (e.g. "p [p.test]"); use PkgPath
+	// for the undecorated path.
+	Path string
+
+	// IsModulePkg reports whether a types.Package (the analyzed one or
+	// any import reached through export data) belongs to the module
+	// under analysis rather than the standard library. Analyzers use it
+	// to restrict structural checks (e.g. closecheck's Close-method
+	// scan) to first-party types.
+	IsModulePkg func(*types.Package) bool
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced
+// it via Category.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Report records a finding. Suppression (//lint:ignore) is applied by
+// the driver after the analyzer runs, so analyzers report everything
+// they see.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgPath returns the undecorated import path of the analyzed package:
+// the " [p.test]" suffix of test-augmented variants is stripped, so
+// allowlist matching treats a package and its test build as one.
+func (p *Pass) PkgPath() string {
+	path := p.Path
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}

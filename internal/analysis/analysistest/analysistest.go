@@ -1,0 +1,97 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under testdata/src and checks its diagnostics against
+// `// want "regexp"` comments, the x/tools analysistest convention
+// rebuilt on this module's dependency-free analysis framework.
+//
+// A want comment expects one diagnostic on its own line whose message
+// matches the quoted regular expression; several quoted patterns on
+// one comment expect several diagnostics. Lines without a want comment
+// expect no diagnostics, which is how the negative fixtures (sorted
+// map loops, guarded divisions, deferred Closes) pin the analyzers'
+// false-positive behaviour.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Patterns may be double-quoted ("...") or backquoted (`...`); the
+// latter avoids double-escaping regular expressions.
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+var wantRE = regexp.MustCompile(`(?m)want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+// Run loads the fixture packages from testdata/src, applies the
+// analyzer, and reports every mismatch between produced diagnostics
+// and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadTestdata("testdata/src", paths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages for %v", paths)
+	}
+	fset := pkgs[0].Fset
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", k.file, k.line), re)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package closecheck flags values of first-party closer types — any
+// type this module defines with a Close method, sim.Engine being the
+// motivating one — that are constructed and then abandoned.
+//
+// PR 1 gave sim.Engine a persistent worker pool: the pool's goroutines
+// live until Engine.Close, so an engine that is built, stepped and
+// dropped leaks its workers for the life of the process. The same
+// contract applies to anything else in the module that grows a
+// Close() / Close() error method. A constructed value is considered
+// handled when the binding function either reaches its Close (called
+// directly, deferred, or passed as a method value, e.g. to t.Cleanup),
+// returns the value, stores it somewhere (struct field, map, channel),
+// or passes it to another function — the last three transfer
+// ownership, making the recipient responsible. A value bound to a
+// local that none of those paths touch, or discarded outright
+// (assigned to _ or never assigned), is reported.
+//
+// One idiom is exempt: a constructor that receives the testing handle
+// (eng := buildEngine(t, …)) is assumed to register t.Cleanup(Close)
+// itself, so its call sites are not tracked. The helper's own body is
+// still checked like any other function.
+package closecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the closecheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "flags module closer types (e.g. sim.Engine) constructed but never closed or handed off",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+// binding is one closer-typed local awaiting a releasing use.
+type binding struct {
+	id    *ast.Ident
+	obj   types.Object
+	typ   types.Type
+	frame *ast.BlockStmt // body of the function that bound it
+}
+
+// checker accumulates bindings for one file.
+type checker struct {
+	pass     *analysis.Pass
+	bindings []*binding
+	seen     map[types.Object]bool
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	c := &checker{pass: pass, seen: make(map[types.Object]bool)}
+	rfhlintutil.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if frame := enclosingFuncBody(stack); frame != nil {
+				c.checkAssign(n, frame)
+			}
+		case *ast.ExprStmt:
+			// A constructor call whose closer result is not even bound.
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok || c.managedByTestHelper(call) {
+				return true
+			}
+			if typ, ok := resultCloser(pass, call); ok {
+				pass.Reportf(call.Pos(),
+					"result of this call (%s) is discarded without being closed; bind it and call Close (or defer it)",
+					typeName(typ))
+			}
+		}
+		return true
+	})
+
+	for _, b := range c.bindings {
+		if !released(pass, b.frame, b.id, b.obj) {
+			pass.Reportf(b.id.Pos(),
+				"%s is bound to %q but never closed on any path; call %s.Close (or defer it), return it, or hand it off",
+				typeName(b.typ), b.id.Name, b.id.Name)
+		}
+	}
+}
+
+// checkAssign inspects one assignment for fresh closer bindings.
+// Ownership starts at construction, so only call and composite-literal
+// right-hand sides create obligations; rebinding from a parameter,
+// field or element is someone else's value.
+func (c *checker) checkAssign(n *ast.AssignStmt, frame *ast.BlockStmt) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// eng, err := New(...): each left-hand side takes one result.
+		call, ok := rfhlintutil.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok || c.managedByTestHelper(call) {
+			return
+		}
+		tuple, ok := c.pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(n.Lhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if typ := tuple.At(i).Type(); isCloser(c.pass, typ) {
+				c.bind(lhs, typ, frame)
+			}
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		rhs := rfhlintutil.Unparen(n.Rhs[i])
+		if !isConstruction(rhs) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && c.managedByTestHelper(call) {
+			continue
+		}
+		if typ := c.pass.TypesInfo.TypeOf(rhs); typ != nil && isCloser(c.pass, typ) {
+			c.bind(lhs, typ, frame)
+		}
+	}
+}
+
+// managedByTestHelper recognises the test-factory idiom: a constructor
+// that receives the testing handle (buildEngine(t, …)) is expected to
+// register t.Cleanup(v.Close) itself, so its call sites carry no
+// obligation. The helper's own construction is still checked inside
+// the helper's body.
+func (c *checker) managedByTestHelper(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		typ := c.pass.TypesInfo.TypeOf(arg)
+		if typ == nil {
+			continue
+		}
+		if p, ok := typ.(*types.Pointer); ok {
+			typ = p.Elem()
+		}
+		named, ok := typ.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "testing" {
+			switch obj.Name() {
+			case "T", "B", "F", "TB":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isConstruction(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr, *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+// bind records a closer obligation on the identifier, or reports
+// immediately when the value lands in the blank identifier.
+func (c *checker) bind(lhs ast.Expr, typ types.Type, frame *ast.BlockStmt) {
+	id, ok := rfhlintutil.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored through a selector/index: ownership transferred
+	}
+	if id.Name == "_" {
+		c.pass.Reportf(id.Pos(),
+			"%s is discarded without being closed; bind it and call Close (or defer it)",
+			typeName(typ))
+		return
+	}
+	obj := rfhlintutil.ObjectOf(c.pass.TypesInfo, id)
+	if obj == nil || c.seen[obj] {
+		return
+	}
+	c.seen[obj] = true
+	c.bindings = append(c.bindings, &binding{id: id, obj: obj, typ: typ, frame: frame})
+}
+
+// resultCloser reports whether any result of the call is a module
+// closer type.
+func resultCloser(pass *analysis.Pass, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return nil, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isCloser(pass, t.At(i).Type()) {
+				return t.At(i).Type(), true
+			}
+		}
+	default:
+		if isCloser(pass, t) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// isCloser reports whether t is (a pointer to) a type declared in this
+// module with a Close() or Close() error method.
+func isCloser(pass *analysis.Pass, t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false // unnamed or universe type (e.g. error)
+	}
+	if pass.IsModulePkg == nil || !pass.IsModulePkg(named.Obj().Pkg()) {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() > 1 {
+		return false
+	}
+	if sig.Results().Len() == 1 {
+		nm, ok := sig.Results().At(0).Type().(*types.Named)
+		if !ok || nm.Obj().Pkg() != nil || nm.Obj().Name() != "error" {
+			return false
+		}
+	}
+	return true
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// released reports whether the function body contains a use of obj
+// that closes it or transfers its ownership. Receiver positions of
+// non-Close selectors (eng.Step(), eng.Cluster()) and pure
+// comparisons (eng != nil) keep the obligation alive; everything else
+// — a .Close selector, a return, an argument position, the right-hand
+// side of another assignment, a composite literal or channel send —
+// discharges it.
+func released(pass *analysis.Pass, frame *ast.BlockStmt, bind *ast.Ident, obj types.Object) bool {
+	done := false
+	rfhlintutil.WithStack(frame, func(n ast.Node, stack []ast.Node) bool {
+		if done {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == bind || rfhlintutil.ObjectOf(pass.TypesInfo, id) != obj {
+			return true
+		}
+		if releasingUse(id, stack) {
+			done = true
+			return false
+		}
+		return true
+	})
+	return done
+}
+
+func releasingUse(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return parent.Sel.Name == "Close"
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == ast.Expr(id) {
+				return false // overwritten, not handed off
+			}
+		}
+		// On the right-hand side the value is stored elsewhere — unless
+		// every destination is the blank identifier (`_ = eng` keeps a
+		// value alive for the compiler, not for Close).
+		for _, lhs := range parent.Lhs {
+			if lid, ok := lhs.(*ast.Ident); !ok || lid.Name != "_" {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		for _, arg := range parent.Args {
+			if arg == ast.Expr(id) {
+				return true // passed to another function
+			}
+		}
+		return false
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr,
+		*ast.SendStmt:
+		return true
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package engine is the closecheck stand-in for repro/internal/sim: a
+// local (and therefore "module") type with a Close method and a
+// constructor shaped like sim.New.
+package engine
+
+import "errors"
+
+// Engine owns background resources released by Close.
+type Engine struct{ closed bool }
+
+// New constructs an engine, or fails.
+func New(ok bool) (*Engine, error) {
+	if !ok {
+		return nil, errors.New("engine: bad config")
+	}
+	return &Engine{}, nil
+}
+
+// Step advances the engine.
+func (e *Engine) Step() error { return nil }
+
+// Close releases the engine's workers.
+func (e *Engine) Close() { e.closed = true }
+
+// Recorder has a Close() error method: also a closer.
+type Recorder struct{}
+
+// NewRecorder constructs a recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Close flushes and reports any error.
+func (r *Recorder) Close() error { return nil }
+
+// Reader has a Close with a parameter: not a closer shape we track.
+type Reader struct{}
+
+// Close with arguments does not match the io.Closer contract.
+func (r *Reader) Close(force bool) {}
+
+// NewReader constructs a reader.
+func NewReader() *Reader { return &Reader{} }

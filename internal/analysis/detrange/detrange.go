@@ -1,0 +1,291 @@
+// Package detrange flags `for … range` over a map inside the
+// deterministic packages unless the loop body is provably
+// order-insensitive.
+//
+// Go randomises map iteration order per run, so any map-range whose
+// body's effect depends on visit order makes simulation state differ
+// between runs of the same seed — the exact bug class behind PR 1's
+// churn-recovery divergence, where servers were revived in map order
+// and the hash ring absorbed the difference. Two body shapes are
+// recognised as safe:
+//
+//   - collect-then-sort: the body only appends keys/values to slices
+//     that are sorted later in the same function;
+//   - commutative reduction: the body only updates integer
+//     accumulators with +=, -=, |=, &=, ^=, ++ or --, deletes map
+//     entries, writes map elements keyed by the loop key, or assigns
+//     constants — operations whose combined effect is order-free.
+//
+// Anything else must either iterate sorted keys or carry a
+// //lint:ignore rfhlint/detrange directive explaining why order cannot
+// leak.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags order-sensitive map iteration in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rfhlintutil.InDeterministicPackage(pass) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if rfhlintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		rfhlintutil.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has an order-dependent body; collect and sort the keys first, or restructure into a commutative reduction (determinism contract, DESIGN.md)",
+				rfhlintutil.ExprString(pass.Fset, rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether the loop body provably has the same
+// effect under every iteration order.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	c := &classifier{pass: pass, rs: rs}
+	for _, stmt := range rs.Body.List {
+		if !c.stmtOK(stmt) {
+			return false
+		}
+	}
+	if len(c.collected) == 0 {
+		return true // pure commutative reduction
+	}
+	// Collect pattern: every slice the body appends to must be sorted
+	// after the loop, inside the same function.
+	fn := enclosingFuncBody(stack)
+	if fn == nil {
+		return false
+	}
+	for _, target := range c.collected {
+		if !sortedAfter(pass, fn, rs, target) {
+			return false
+		}
+	}
+	return true
+}
+
+// classifier walks one loop body and decides, statement by statement,
+// whether its effects commute across iteration orders. Slices the body
+// appends to are recorded in collected for the sorted-later check.
+type classifier struct {
+	pass      *analysis.Pass
+	rs        *ast.RangeStmt
+	collected []types.Object
+}
+
+func (c *classifier) stmtOK(stmt ast.Stmt) bool {
+	info := c.pass.TypesInfo
+	switch s := stmt.(type) {
+	case *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.BlockStmt:
+		return c.allOK(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.allOK(s.Body.List) {
+			return false
+		}
+		return s.Else == nil || c.stmtOK(s.Else)
+	case *ast.IncDecStmt:
+		return rfhlintutil.IsInteger(info.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(m, k) is order-free: each key is removed exactly once
+		// whatever order the loop visits them in.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := rfhlintutil.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := rfhlintutil.ObjectOf(info, id).(*types.Builtin)
+		return ok && b.Name() == "delete"
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	}
+	return false
+}
+
+func (c *classifier) allOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) assignOK(s *ast.AssignStmt) bool {
+	info := c.pass.TypesInfo
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := rfhlintutil.Unparen(s.Lhs[0]), s.Rhs[0]
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation commutes; float accumulation does not
+		// (rounding makes it order-dependent), so only integer kinds
+		// qualify.
+		return rfhlintutil.IsInteger(info.TypeOf(lhs))
+	case token.ASSIGN:
+		// s = append(s, x): the collect half of collect-then-sort.
+		if id, ok := lhs.(*ast.Ident); ok {
+			if target, ok := appendTo(info, id, rhs); ok {
+				c.collect(target)
+				return true
+			}
+		}
+		// m[k] = v keyed by the loop variable touches each key exactly
+		// once, so the final map is the same in any order.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if _, isMap := info.TypeOf(ix.X).Underlying().(*types.Map); isMap && c.isLoopKey(ix.Index) {
+				return true
+			}
+		}
+		// x = <constant> is idempotent: every iteration writes the same
+		// value.
+		if tv, ok := info.Types[rhs]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTo matches rhs == append(id, ...) and returns id's object.
+func appendTo(info *types.Info, id *ast.Ident, rhs ast.Expr) (types.Object, bool) {
+	call, ok := rfhlintutil.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	fn, ok := rfhlintutil.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if b, ok := rfhlintutil.ObjectOf(info, fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	base, ok := rfhlintutil.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := rfhlintutil.ObjectOf(info, base)
+	if obj == nil || obj != rfhlintutil.ObjectOf(info, id) {
+		return nil, false
+	}
+	return obj, true
+}
+
+func (c *classifier) collect(obj types.Object) {
+	for _, o := range c.collected {
+		if o == obj {
+			return
+		}
+	}
+	c.collected = append(c.collected, obj)
+}
+
+// isLoopKey reports whether e is the range statement's key variable.
+func (c *classifier) isLoopKey(e ast.Expr) bool {
+	id, ok := rfhlintutil.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := rfhlintutil.Unparen(c.rs.Key).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := rfhlintutil.ObjectOf(c.pass.TypesInfo, id)
+	return obj != nil && obj == rfhlintutil.ObjectOf(c.pass.TypesInfo, key)
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortFuncs are the standard sorters whose application to a collected
+// slice discharges the ordering obligation.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether target is passed to a recognised sort
+// function somewhere after the range statement in fn's body.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, target types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := rfhlintutil.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := rfhlintutil.PkgFunc(info, sel.Sel)
+		if !sortFuncs[pkg][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rfhlintutil.UsesObject(info, arg, target) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

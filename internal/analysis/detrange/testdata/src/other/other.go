@@ -1,0 +1,11 @@
+// Package other is not on the deterministic-package allowlist, so its
+// map ranges are never reported.
+package other
+
+func report(m map[string]int) []string {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k)
+	}
+	return lines
+}

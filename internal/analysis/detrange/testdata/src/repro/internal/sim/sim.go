@@ -1,0 +1,107 @@
+// Package sim is a detrange fixture standing in for the real
+// repro/internal/sim: its import path is on the deterministic-package
+// allowlist, so every map range here is checked.
+package sim
+
+import (
+	"sort"
+)
+
+// orderDependent leaks iteration order into the returned slice.
+func orderDependent(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // want `range over map m has an order-dependent body`
+		out = append(out, k*v)
+	}
+	return out
+}
+
+// mixedSideEffect calls a function from the loop body, so order leaks
+// through the callee.
+func mixedSideEffect(m map[string]float64) {
+	total := 0.0
+	for _, v := range m { // want `range over map m has an order-dependent body`
+		total += v // float accumulation rounds differently per order
+	}
+	_ = total
+}
+
+// collectThenSort appends keys and sorts them afterwards: safe.
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// guardedCollect appends under a condition and sorts with sort.Ints:
+// still safe.
+func guardedCollect(m map[int]int, cut int) []int {
+	var big []int
+	for k, v := range m {
+		if v > cut {
+			big = append(big, k)
+		}
+	}
+	sort.Ints(big)
+	return big
+}
+
+// collectNoSort appends but never sorts: the slice order is the map
+// order.
+func collectNoSort(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over map m has an order-dependent body`
+		out = append(out, k)
+	}
+	return out
+}
+
+// intReduction only updates integer accumulators: order-free.
+func intReduction(m map[int]int) (n, sum int) {
+	for _, v := range m {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	return n, sum
+}
+
+// pruneInPlace deletes entries by predicate: order-free.
+func pruneInPlace(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// rekey writes a second map keyed by the loop key: each key is touched
+// exactly once, so the result is order-free.
+func rekey(src map[int]int, dst map[int]bool) {
+	for k, v := range src {
+		dst[k] = v > 0
+	}
+}
+
+// flag sets a constant: idempotent, order-free.
+func flag(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// suppressed documents why order cannot leak and is therefore exempt.
+func suppressed(m map[int]func()) {
+	//lint:ignore rfhlint/detrange the callbacks are independent and commutative by construction
+	for _, fn := range m {
+		fn()
+	}
+}

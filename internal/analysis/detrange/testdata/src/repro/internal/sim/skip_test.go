@@ -1,0 +1,11 @@
+package sim
+
+// Test files are outside the determinism contract: this order-dependent
+// loop must not be reported.
+func helperForTests(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

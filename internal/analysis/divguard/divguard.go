@@ -1,0 +1,303 @@
+// Package divguard flags floating-point division by a capacity- or
+// count-named quantity that no dominating check proves positive.
+//
+// The shape it targets is PR 1's recordEpoch bug: utilisation was
+// computed as served/ReplicaCapacity, a cluster with a zero-capacity
+// server made the quotient NaN, and the NaN silently poisoned every
+// downstream mean of the metric series. Denominators whose name ends
+// in "capacity" or "count" (struct fields, parameters, locals) must be
+// dominated by a positivity check:
+//
+//	if cap > 0 { u = load / cap }          // guarded: enclosing if
+//	if cap <= 0 { return }                 // guarded: early exit
+//	u := load / cap                        // flagged
+//
+// len(...) and constant denominators are exempt (len is never negative
+// and a division that can only be reached with len > 0 is the usual
+// collect-then-average idiom's job to guard; constants are checked at
+// compile time). The check sees through float64(x) conversions, so
+// both x/cap and x/float64(cap) resolve to cap.
+package divguard
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the divguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "divguard",
+	Doc:  "flags unguarded float division by capacity/count-named denominators",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if rfhlintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		rfhlintutil.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			div, ok := n.(*ast.BinaryExpr)
+			if !ok || div.Op != token.QUO {
+				return true
+			}
+			if !rfhlintutil.IsFloat(info.TypeOf(div)) {
+				return true
+			}
+			denoms := denominators(pass, div.Y)
+			name := denomName(denoms[len(denoms)-1])
+			if !capacityLike(name) {
+				return true
+			}
+			if exempt(pass, denoms) {
+				return true
+			}
+			g := &guardScan{pass: pass, names: exprStrings(pass, denoms)}
+			if g.guarded(div, stack) {
+				return true
+			}
+			pass.Reportf(div.Y.Pos(),
+				"division by %s with no dominating positivity check; a zero %s makes this NaN and poisons every metric derived from it (guard with `if %s > 0`)",
+				rfhlintutil.ExprString(pass.Fset, div.Y), name,
+				rfhlintutil.ExprString(pass.Fset, rfhlintutil.Unparen(div.Y)))
+			return true
+		})
+	}
+	return nil
+}
+
+// denominators returns the denominator expression and, when it is a
+// conversion like float64(x), the converted operand too — guards are
+// written against either spelling.
+func denominators(pass *analysis.Pass, y ast.Expr) []ast.Expr {
+	out := []ast.Expr{rfhlintutil.Unparen(y)}
+	for {
+		call, ok := out[len(out)-1].(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			break
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+			break
+		}
+		out = append(out, rfhlintutil.Unparen(call.Args[0]))
+	}
+	return out
+}
+
+// denomName names the innermost denominator: the identifier or the
+// selected field. Unnamed shapes (calls, index expressions) return "".
+func denomName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func capacityLike(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasSuffix(l, "capacity") || strings.HasSuffix(l, "count")
+}
+
+// exempt reports denominators that cannot produce a surprise zero at
+// this site: len(...) results and compile-time constants.
+func exempt(pass *analysis.Pass, denoms []ast.Expr) bool {
+	for _, d := range denoms {
+		if rfhlintutil.IsLenCall(pass.TypesInfo, d) {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[d]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func exprStrings(pass *analysis.Pass, exprs []ast.Expr) map[string]bool {
+	out := make(map[string]bool, len(exprs))
+	for _, e := range exprs {
+		if s := rfhlintutil.ExprString(pass.Fset, e); s != "" {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// guardScan checks whether any dominating construct proves the
+// denominator positive. names holds the source spellings of the
+// denominator (and its conversion operand); matching is textual, the
+// same notion of identity a reviewer applies.
+type guardScan struct {
+	pass  *analysis.Pass
+	names map[string]bool
+}
+
+// guarded walks outward from the division along its ancestor stack.
+// Three dominating shapes discharge the obligation:
+//
+//   - the division sits in the body of `if d > 0`;
+//   - the division sits in the else of `if d <= 0`;
+//   - an earlier statement of an enclosing block is `if d <= 0 {
+//     return/continue/break/panic }` or repairs d (`if d <= 0 { d = 1 }`).
+func (g *guardScan) guarded(div ast.Expr, stack []ast.Node) bool {
+	var child ast.Node = div
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IfStmt:
+			if child == parent.Body && g.condImpliesPositive(parent.Cond) {
+				return true
+			}
+			if child == parent.Else && g.condImpliesNonPositive(parent.Cond) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, stmt := range parent.List {
+				if stmt == child {
+					break
+				}
+				if g.earlyGuard(stmt) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Guards outside the function that contains the division
+			// dominate a different frame; stop here.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// earlyGuard recognises a preceding `if d <= 0 { ... }` whose body
+// either leaves the enclosing path (return/continue/break/panic/
+// os.Exit) or assigns the denominator a new value.
+func (g *guardScan) earlyGuard(stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || !g.condImpliesNonPositive(ifs.Cond) {
+		return false
+	}
+	if rfhlintutil.TerminatesFlow(g.pass.TypesInfo, ifs.Body.List) {
+		return true
+	}
+	for _, s := range ifs.Body.List {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if g.names[rfhlintutil.ExprString(g.pass.Fset, rfhlintutil.Unparen(lhs))] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condImpliesPositive reports whether cond being true proves the
+// denominator positive. Only conjunctions are descended: in `a || b`
+// neither side is individually implied.
+func (g *guardScan) condImpliesPositive(cond ast.Expr) bool {
+	switch e := rfhlintutil.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return g.condImpliesPositive(e.X) || g.condImpliesPositive(e.Y)
+		}
+		return g.comparison(e, true)
+	}
+	return false
+}
+
+// condImpliesNonPositive reports whether cond being true proves the
+// denominator zero or negative — the early-exit/else shape. Here
+// disjunctions are descended (`if a == 0 || b == 0 { return }` guards
+// both), conjunctions are not: `d == 0 && x` firing is not implied by
+// d being zero, so code after it may still see d == 0.
+func (g *guardScan) condImpliesNonPositive(cond ast.Expr) bool {
+	switch e := rfhlintutil.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return g.condImpliesNonPositive(e.X) || g.condImpliesNonPositive(e.Y)
+		}
+		return g.comparison(e, false)
+	}
+	return false
+}
+
+// comparison evaluates one comparison against the denominator. With
+// positive=true it asks "does this prove d > 0", otherwise "does this
+// prove d <= 0". Comparisons against non-constant bounds are treated
+// as guards only in the positive direction when the bound is a
+// provably non-negative constant.
+func (g *guardScan) comparison(e *ast.BinaryExpr, positive bool) bool {
+	x := rfhlintutil.ExprString(g.pass.Fset, rfhlintutil.Unparen(e.X))
+	y := rfhlintutil.ExprString(g.pass.Fset, rfhlintutil.Unparen(e.Y))
+	op := e.Op
+	var bound ast.Expr
+	switch {
+	case g.names[x]:
+		bound = e.Y
+	case g.names[y]:
+		bound, op = e.X, flip(op)
+	default:
+		return false
+	}
+	sign, ok := constSign(g.pass, bound)
+	if !ok {
+		return false
+	}
+	if positive {
+		// d > c with c >= 0;  d >= c with c > 0;  d != 0.
+		switch op {
+		case token.GTR:
+			return sign >= 0
+		case token.GEQ:
+			return sign > 0
+		case token.NEQ:
+			return sign == 0
+		}
+		return false
+	}
+	// d == 0;  d <= c with c <= 0;  d < c with c <= 0.
+	switch op {
+	case token.EQL:
+		return sign == 0
+	case token.LEQ, token.LSS:
+		return sign <= 0
+	}
+	return false
+}
+
+// flip mirrors a comparison so the denominator reads on the left.
+func flip(op token.Token) token.Token {
+	switch op {
+	case token.GTR:
+		return token.LSS
+	case token.LSS:
+		return token.GTR
+	case token.GEQ:
+		return token.LEQ
+	case token.LEQ:
+		return token.GEQ
+	}
+	return op
+}
+
+// constSign returns the sign of a constant bound expression.
+func constSign(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value), true
+	}
+	return 0, false
+}

@@ -1,0 +1,12 @@
+package divguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/divguard"
+)
+
+func TestDivGuard(t *testing.T) {
+	analysistest.Run(t, divguard.Analyzer, "divfix")
+}

@@ -1,0 +1,117 @@
+// Package divfix exercises divguard: float divisions by capacity- and
+// count-named denominators with and without dominating guards.
+package divfix
+
+// Server mirrors the shape of the recordEpoch NaN bug: ReplicaCapacity
+// can be zero for a degenerate cluster.
+type Server struct {
+	ReplicaCapacity float64
+	QueryCount      int
+	Load            float64
+}
+
+// unguardedField is the original bug shape.
+func unguardedField(s Server) float64 {
+	return s.Load / s.ReplicaCapacity // want `division by s.ReplicaCapacity with no dominating positivity check`
+}
+
+// unguardedConverted divides by a converted count: seen through.
+func unguardedConverted(s Server) float64 {
+	return s.Load / float64(s.QueryCount) // want `division by float64\(s.QueryCount\) with no dominating positivity check`
+}
+
+// unguardedParam flags capacity-named parameters too.
+func unguardedParam(load, diskCapacity float64) float64 {
+	return load / diskCapacity // want `division by diskCapacity with no dominating positivity check`
+}
+
+// guardedBody divides inside the positive branch: safe.
+func guardedBody(s Server) float64 {
+	if s.ReplicaCapacity > 0 {
+		return s.Load / s.ReplicaCapacity
+	}
+	return 0
+}
+
+// guardedConjunction still dominates through &&.
+func guardedConjunction(s Server, ok bool) float64 {
+	if ok && s.ReplicaCapacity > 0 {
+		return s.Load / s.ReplicaCapacity
+	}
+	return 0
+}
+
+// disjunctionDoesNotGuard: either side alone may be false.
+func disjunctionDoesNotGuard(s Server, ok bool) float64 {
+	if ok || s.ReplicaCapacity > 0 {
+		return s.Load / s.ReplicaCapacity // want `division by s.ReplicaCapacity with no dominating positivity check`
+	}
+	return 0
+}
+
+// earlyReturn guards with an early exit: safe.
+func earlyReturn(load float64, serverCount int) float64 {
+	if serverCount <= 0 {
+		return 0
+	}
+	return load / float64(serverCount)
+}
+
+// earlyReturnDisjunct guards several denominators in one early exit.
+func earlyReturnDisjunct(a, b float64, rackCount, diskCount int) float64 {
+	if rackCount == 0 || diskCount == 0 {
+		return 0
+	}
+	return a/float64(rackCount) + b/float64(diskCount)
+}
+
+// repaired resets a zero denominator instead of exiting: safe.
+func repaired(load float64, slotCount float64) float64 {
+	if slotCount <= 0 {
+		slotCount = 1
+	}
+	return load / slotCount
+}
+
+// elseOfZeroCheck divides on the branch where the check failed: safe.
+func elseOfZeroCheck(s Server) float64 {
+	if s.ReplicaCapacity == 0 {
+		return 0
+	} else {
+		return s.Load / s.ReplicaCapacity
+	}
+}
+
+// lenDenominator is exempt: the collect-then-average idiom.
+func lenDenominator(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// constDenominator is exempt: checked at compile time.
+func constDenominator(load float64) float64 {
+	const burstCount = 4
+	return load / burstCount
+}
+
+// otherNames are not capacity-like and stay unflagged.
+func otherNames(a, b float64) float64 {
+	return a / b
+}
+
+// wrongDirectionGuard checks the numerator, not the denominator.
+func wrongDirectionGuard(s Server) float64 {
+	if s.Load > 0 {
+		return s.Load / s.ReplicaCapacity // want `division by s.ReplicaCapacity with no dominating positivity check`
+	}
+	return 0
+}
+
+// suppressed documents an out-of-band invariant.
+func suppressed(load, portCount float64) float64 {
+	//lint:ignore rfhlint/divguard portCount is validated positive at config parse time
+	return load / portCount
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run applies every analyzer to every package, filters findings through
+// the packages' lint:ignore directives, and returns the survivors in
+// stable file/line/column/analyzer order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressionsFor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				Path:        pkg.Path,
+				IsModulePkg: pkg.isModulePkg,
+				diags:       &found,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range found {
+				if !sup.suppressed(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	// Both loaders share one FileSet across the packages of a run, so a
+	// single global sort gives a stable report.
+	if len(pkgs) > 0 {
+		sortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Category < diags[j].Category
+	})
+}
+
+// Format renders a diagnostic the way go vet does, prefixed with the
+// analyzer that produced it.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: [rfhlint/%s] %s", fset.Position(d.Pos), d.Category, d.Message)
+}

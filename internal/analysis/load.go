@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked compilation unit ready for analysis.
+type Package struct {
+	Path      string // import path as listed (test variants keep " [p.test]")
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	isModulePkg func(*types.Package) bool
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Load lists patterns with the go tool and returns every matched module
+// package type-checked from source, with test files folded in: for a
+// package with tests the test-augmented variant "p [p.test]" replaces
+// the plain build (its file set is a superset), and external test
+// packages ("p_test") are included as their own units. Dependency types
+// come from compiler export data produced by `go list -export`, so the
+// loader works offline with nothing beyond the Go toolchain.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps", "-export", "-test", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var listed []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+
+	// A test-augmented variant supersedes its plain build: analyzing
+	// both would double-report every finding in the shared files.
+	augmented := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			augmented[p.ForTest] = true
+		}
+	}
+
+	var module string
+	for _, p := range listed {
+		if p.Module != nil && p.Module.Main {
+			module = p.Module.Path
+			break
+		}
+	}
+	inModule := func(pkg *types.Package) bool {
+		if pkg == nil || module == "" {
+			return false
+		}
+		return pkg.Path() == module || strings.HasPrefix(pkg.Path(), module+"/")
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range listed {
+		switch {
+		case p.DepOnly || p.Standard:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main, no human-written source
+		case p.ForTest == "" && augmented[p.ImportPath]:
+			continue // superseded by the test-augmented variant
+		}
+		pkg, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkg.isModulePkg = inModule
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// typecheck parses p's files and checks them against export data for
+// every import. Each package gets a fresh gc importer: test-augmented
+// variants share their undecorated import path with the plain build,
+// and a shared importer's cache would conflate the two.
+func typecheck(fset *token.FileSet, p *listedPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := &mapImporter{
+		gc:        importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: p.ImportMap,
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(undecorated(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path: p.ImportPath, Dir: p.Dir,
+		Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+	}, nil
+}
+
+// mapImporter applies a package's ImportMap (which routes imports of a
+// package under test to its test-augmented variant) before delegating
+// to the export-data importer.
+type mapImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.gc.ImportFrom(path, "", 0)
+}
+
+// LoadTestdata type-checks GOPATH-style fixture packages rooted at
+// srcdir (testdata/src in the analysistest convention). Imports resolve
+// against sibling fixture directories first and the standard library
+// (via export data) second, so fixtures may both import each other and
+// lean on stdlib packages like time or math/rand.
+func LoadTestdata(srcdir string, paths []string) ([]*Package, error) {
+	ld := &testdataLoader{
+		srcdir: srcdir,
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*Package),
+	}
+	localSet := make(map[string]bool)
+	ld.isLocal = func(pkg *types.Package) bool { return pkg != nil && localSet[pkg.Path()] }
+
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	for path := range ld.loaded {
+		localSet[path] = true
+	}
+	return pkgs, nil
+}
+
+type testdataLoader struct {
+	srcdir  string
+	fset    *token.FileSet
+	loaded  map[string]*Package
+	loading []string
+	stdlib  types.ImporterFrom // lazily built export-data importer
+	isLocal func(*types.Package) bool
+}
+
+func (ld *testdataLoader) load(path string) (*Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	for _, active := range ld.loading {
+		if active == path {
+			return nil, fmt.Errorf("testdata import cycle through %q", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("testdata package %q: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("testdata package %q: no Go files in %s", path, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck testdata %s: %v", path, err)
+	}
+	p := &Package{
+		Path: path, Dir: dir,
+		Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info,
+		isModulePkg: func(pkg *types.Package) bool { return ld.isLocal(pkg) },
+	}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+// importPkg resolves one import from a fixture: a sibling fixture
+// directory when one exists, the standard library otherwise.
+func (ld *testdataLoader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.srcdir, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if ld.stdlib == nil {
+		imp, err := stdlibImporter(ld.fset, ld.srcdir)
+		if err != nil {
+			return nil, err
+		}
+		ld.stdlib = imp
+	}
+	return ld.stdlib.ImportFrom(path, "", 0)
+}
+
+// stdlibImporter builds a gc importer over export data for the whole
+// standard library, produced on demand by `go list -export std`.
+func stdlibImporter(fset *token.FileSet, dir string) (types.ImporterFrom, error) {
+	cmd := exec.Command("go", "list", "-json=ImportPath,Export", "-export", "std")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export std: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no stdlib export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom), nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// undecorated strips the " [p.test]" suffix go list gives to
+// test-augmented package variants.
+func undecorated(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,60 @@
+// Package noglobalrand forbids the process-global math/rand state in
+// the deterministic packages.
+//
+// The package-level functions of math/rand and math/rand/v2 (Intn,
+// Float64, Perm, Shuffle, …) draw from a shared source that is seeded
+// per process and interleaved across goroutines, so two runs of the
+// same simulation seed observe different streams — the determinism
+// contract requires every draw to flow through the injected
+// stats.RNG, which derives independent substreams from Config.Seed.
+// Constructors that build an explicitly seeded generator (rand.New,
+// rand.NewSource, rand.NewPCG, …) are allowed: they are how a
+// deterministic source is made in the first place.
+package noglobalrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the noglobalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noglobalrand",
+	Doc:  "forbids math/rand package-level functions in deterministic packages",
+	Run:  run,
+}
+
+// constructors take an explicit seed or source and are therefore
+// compatible with deterministic replay.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rfhlintutil.InDeterministicPackage(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rfhlintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, name := rfhlintutil.PkgFunc(pass.TypesInfo, id)
+			if (pkg != "math/rand" && pkg != "math/rand/v2") || constructors[name] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from the process-global random source; use the injected stats.RNG stream instead (determinism contract, DESIGN.md)",
+				pkg, name)
+			return true
+		})
+	}
+	return nil
+}

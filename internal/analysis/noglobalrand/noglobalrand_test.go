@@ -1,0 +1,12 @@
+package noglobalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noglobalrand"
+)
+
+func TestNoGlobalRand(t *testing.T) {
+	analysistest.Run(t, noglobalrand.Analyzer, "repro/internal/policy", "other")
+}

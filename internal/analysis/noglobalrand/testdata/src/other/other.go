@@ -1,0 +1,6 @@
+// Package other is off the allowlist: global rand is legal here.
+package other
+
+import "math/rand"
+
+func roll() int { return rand.Intn(6) }

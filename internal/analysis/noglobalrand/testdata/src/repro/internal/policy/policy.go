@@ -1,0 +1,39 @@
+// Package policy is a noglobalrand fixture on the deterministic-
+// package allowlist.
+package policy
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() {
+	_ = rand.Intn(10)       // want `math/rand.Intn draws from the process-global random source`
+	_ = rand.Float64()      // want `math/rand.Float64 draws from the process-global random source`
+	rand.Shuffle(3, swap)   // want `math/rand.Shuffle draws from the process-global random source`
+	_ = randv2.IntN(10)     // want `math/rand/v2.IntN draws from the process-global random source`
+	rand.Seed(42)           // want `math/rand.Seed draws from the process-global random source`
+}
+
+func swap(i, j int) {}
+
+// seededSource builds an explicitly seeded generator: allowed.
+func seededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// seededV2 is the rand/v2 equivalent: allowed.
+func seededV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b))
+}
+
+// typesOnly references rand types, not the global source: allowed.
+type typesOnly struct {
+	src rand.Source
+	rng *rand.Rand
+}
+
+func suppressed() int {
+	//lint:ignore rfhlint/noglobalrand fixture proving suppression works
+	return rand.Int()
+}

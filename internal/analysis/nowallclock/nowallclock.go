@@ -1,0 +1,61 @@
+// Package nowallclock forbids reading the wall clock in the
+// deterministic packages.
+//
+// Simulation time is the epoch counter: every rate, lease and timeout
+// inside Engine.Step must be expressed in epochs so a run is a pure
+// function of its configuration and seed. time.Now (and the functions
+// that read it for you — Since, Until — or that schedule against it —
+// Sleep, After, Tick, NewTimer, NewTicker, AfterFunc) smuggles
+// host-machine timing into simulation state, which is exactly how
+// "works on my machine" divergence enters an otherwise seeded run.
+// Constructing and comparing time.Time/time.Duration values remains
+// legal; only the clock readers are barred.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the nowallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbids wall-clock reads (time.Now and friends) in deterministic packages",
+	Run:  run,
+}
+
+// clockReaders are the time functions that observe or schedule against
+// the host clock.
+var clockReaders = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !rfhlintutil.InDeterministicPackage(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if rfhlintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, name := rfhlintutil.PkgFunc(pass.TypesInfo, id)
+			if pkg != "time" || !clockReaders[name] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock; deterministic packages must use the epoch counter (determinism contract, DESIGN.md)",
+				name)
+			return true
+		})
+	}
+	return nil
+}

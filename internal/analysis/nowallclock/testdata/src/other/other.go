@@ -1,0 +1,7 @@
+// Package other is off the allowlist: wall-clock reads are legal here
+// (benchmark drivers and CLIs time themselves).
+package other
+
+import "time"
+
+func stopwatch() time.Time { return time.Now() }

@@ -1,0 +1,33 @@
+// Package traffic is a nowallclock fixture on the deterministic-
+// package allowlist.
+package traffic
+
+import "time"
+
+func reads() {
+	t0 := time.Now()        // want `time.Now reads the wall clock`
+	_ = time.Since(t0)      // want `time.Since reads the wall clock`
+	_ = time.Until(t0)      // want `time.Until reads the wall clock`
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+	_ = time.Tick(1)        // want `time.Tick reads the wall clock`
+}
+
+// durations constructs and compares time values without reading the
+// clock: allowed.
+func durations(epoch int) time.Duration {
+	d := time.Duration(epoch) * 10 * time.Second
+	if d > time.Minute {
+		return time.Minute
+	}
+	return d
+}
+
+// explicitInstant builds a fixed instant: allowed.
+func explicitInstant() time.Time {
+	return time.Unix(0, 0)
+}
+
+func suppressed() time.Time {
+	//lint:ignore rfhlint/nowallclock fixture proving suppression works
+	return time.Now()
+}

@@ -1,0 +1,181 @@
+// Package rfhlintutil carries the pieces the rfhlint analyzers share:
+// the deterministic-package allowlist that scopes the determinism
+// contract, and the AST helpers (stack-tracking traversal, expression
+// printing, guard matching) the individual checks are built from.
+package rfhlintutil
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DeterministicPackages is the allowlist of import paths bound by the
+// determinism contract (DESIGN.md, "Determinism contract"): every
+// package whose code executes inside Engine.Step and must therefore be
+// bit-reproducible for a fixed seed. detrange, noglobalrand and
+// nowallclock fire only here; packages that merely read simulation
+// output (report, plot, figures) are exempt.
+var DeterministicPackages = map[string]bool{
+	"repro/internal/sim":         true,
+	"repro/internal/core":        true,
+	"repro/internal/policy":      true,
+	"repro/internal/traffic":     true,
+	"repro/internal/cluster":     true,
+	"repro/internal/experiments": true,
+}
+
+// InDeterministicPackage reports whether the pass's package is bound by
+// the determinism contract. Test-augmented variants and external test
+// packages ("p_test") follow their base package, so fixtures exercising
+// the contract can live in _test.go files too.
+func InDeterministicPackage(pass *analysis.Pass) bool {
+	path := strings.TrimSuffix(pass.PkgPath(), "_test")
+	return DeterministicPackages[path]
+}
+
+// IsTestFile reports whether the file a position belongs to is a
+// _test.go file. The determinism-contract analyzers skip test files:
+// tests routinely iterate maps to compare contents or time themselves,
+// and none of that state feeds back into simulation results.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// WithStack walks every node of the subtree in depth-first order,
+// calling fn with the node and the stack of its ancestors (outermost
+// first, not including the node itself). If fn returns false the
+// node's children are skipped. It is the x/tools inspector idiom
+// rebuilt on ast.Inspect.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// ExprString renders an expression as compact source text — the
+// analyzers' notion of expression identity for guard matching (two
+// mentions of s.ReplicaCapacity print identically).
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsInteger reports whether t's underlying type is an integer kind.
+func IsInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// IsFloat reports whether t's underlying type is a float kind.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ObjectOf resolves an identifier to its object through either Uses or
+// Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// PkgFunc returns the package path and name of the function a call or
+// identifier use resolves to, or "" when the object is not a function
+// from an imported package. It sees through both rand.Intn (selector on
+// a package) and dot-imported uses.
+func PkgFunc(info *types.Info, id *ast.Ident) (pkgPath, name string) {
+	obj := ObjectOf(info, id)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// UsesObject reports whether any identifier inside n resolves to obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && ObjectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// IsLenCall reports whether e is a call of the len builtin.
+func IsLenCall(info *types.Info, e ast.Expr) bool {
+	call, ok := Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := ObjectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "len"
+}
+
+// TerminatesFlow reports whether the statement list ends control flow
+// for the surrounding code path: a return, branch (break/continue/
+// goto), panic, or os.Exit as its last statement. Used to recognise
+// early-exit guards such as "if cap <= 0 { return }".
+func TerminatesFlow(info *types.Info, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			b, ok := ObjectOf(info, fun).(*types.Builtin)
+			return ok && b.Name() == "panic"
+		case *ast.SelectorExpr:
+			pkg, name := PkgFunc(info, fun.Sel)
+			return pkg == "os" && name == "Exit"
+		}
+	}
+	return false
+}

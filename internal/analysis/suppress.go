@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax, staticcheck-style:
+//
+//	//lint:ignore rfhlint/detrange this loop only counts matches
+//
+// The directive names one analyzer (or a comma-separated list) and must
+// carry a reason; a bare directive is ignored so suppressions stay
+// self-documenting. It applies to findings on the directive's own line
+// and on the line immediately below it, covering both trailing-comment
+// and own-line placement.
+
+const suppressPrefix = "lint:ignore "
+
+// suppressions maps file line -> analyzer names suppressed on it.
+type suppressions map[int]map[string]bool
+
+// suppressionsFor collects every lint:ignore directive in the package's
+// files, keyed by the lines they govern.
+func suppressionsFor(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, suppressPrefix))
+				names, reason, ok := strings.Cut(rest, " ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue // no reason given: directive is inert
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimPrefix(strings.TrimSpace(name), "rfhlint/")
+					if name == "" {
+						continue
+					}
+					for _, l := range []int{line, line + 1} {
+						if sup[l] == nil {
+							sup[l] = make(map[string]bool)
+						}
+						sup[l][name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether d is governed by a lint:ignore directive.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if len(s) == 0 {
+		return false
+	}
+	line := fset.Position(d.Pos).Line
+	return s[line][d.Category]
+}

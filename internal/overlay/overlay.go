@@ -87,8 +87,8 @@ func New(ids []uint64, leafSize int) (*Network, error) {
 		n.ids = append(n.ids, id)
 	}
 	sort.Slice(n.ids, func(i, j int) bool { return n.ids[i] < n.ids[j] })
-	for _, node := range n.nodes {
-		n.fill(node)
+	for _, id := range n.ids {
+		n.fill(n.nodes[id])
 	}
 	return n, nil
 }

@@ -101,7 +101,8 @@ func TestEngineRejectsMismatchedWorlds(t *testing.T) {
 	rt, _ := network.NewRouter(w2)
 	cl, _ := cluster.New(w1, cluster.DefaultSpec())
 	gen, _ := workload.NewUniform(workload.Config{Partitions: 64, DCs: 10, Lambda: 1, Seed: 1})
-	if _, err := New(cl, rt, gen, core.NewRFH(), DefaultConfig()); err == nil {
+	if eng, err := New(cl, rt, gen, core.NewRFH(), DefaultConfig()); err == nil {
+		eng.Close()
 		t.Fatal("engine accepted cluster and router over different worlds")
 	}
 }
@@ -119,6 +120,7 @@ func TestEngineRejectsBadDemandDimensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer eng.Close()
 	if err := eng.Step(); err == nil {
 		t.Fatal("mismatched demand matrix accepted")
 	}
