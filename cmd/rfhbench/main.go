@@ -1,9 +1,15 @@
-// Command rfhbench measures steady-state Engine.Step throughput at the
-// paper's seed scale (10 datacenters, 100 servers, 64 partitions) and
-// at ten times that, and writes the numbers as JSON — the source of the
-// committed BENCH_sim.json snapshot.
+// Command rfhbench measures the module's two hot paths and writes the
+// numbers as JSON.
+//
+// The sim suite (default) times steady-state Engine.Step throughput at
+// the paper's seed scale (10 datacenters, 100 servers, 64 partitions)
+// and at ten times that — the source of the committed BENCH_sim.json
+// snapshot. The transport suite times message round trips through the
+// live cluster's two transports (in-process loopback and real TCP over
+// localhost) at two payload sizes — the source of BENCH_transport.json.
 //
 //	rfhbench -o BENCH_sim.json
+//	rfhbench -suite transport -o BENCH_transport.json
 //	rfhbench -epochs 500 -warmup 50
 //	rfhbench -date 2026-08-01 -o BENCH_sim.json   # pinned stamp for reproducible diffs
 package main
@@ -21,6 +27,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -113,11 +120,124 @@ func measure(name string, dcs, partitions, warmup, epochs int) (scaleResult, err
 	}, nil
 }
 
+// transportResult is one round-trip measurement of BENCH_transport.json.
+type transportResult struct {
+	Name         string  `json:"name"`
+	Transport    string  `json:"transport"`
+	PayloadBytes int     `json:"payload_bytes"`
+	RoundTrips   int     `json:"round_trips"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+type transportReport struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []transportResult `json:"results"`
+}
+
+// echoHandler replies with the request payload — the cheapest handler,
+// so the measurement is dominated by codec + delivery cost.
+func echoHandler(from string, req *transport.Message) (*transport.Message, error) {
+	return &transport.Message{Kind: req.Kind, Key: req.Key, Value: req.Value}, nil
+}
+
+// measureRoundTrips times ops request/response exchanges through send.
+func measureRoundTrips(name, kind string, payload, warmup, ops int,
+	send func(*transport.Message) (*transport.Message, error)) (transportResult, error) {
+	req := &transport.Message{Kind: 1, Key: []byte("bench-key"), Value: make([]byte, payload)}
+	for i := 0; i < warmup; i++ {
+		if _, err := send(req); err != nil {
+			return transportResult{}, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := send(req); err != nil {
+			return transportResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return transportResult{
+		Name:         name,
+		Transport:    kind,
+		PayloadBytes: payload,
+		RoundTrips:   ops,
+		NsPerOp:      elapsed.Nanoseconds() / int64(ops),
+		OpsPerSec:    float64(ops) / elapsed.Seconds(),
+	}, nil
+}
+
+// runTransportSuite measures both transports at a small (64 B) and a
+// bulk (4 KiB) payload. ops derives from -epochs so the existing knob
+// scales both suites.
+func runTransportSuite(warmup, epochs int) ([]transportResult, error) {
+	ops := epochs * 100
+	payloads := []struct {
+		label string
+		bytes int
+	}{{"64B", 64}, {"4KiB", 4096}}
+
+	var results []transportResult
+
+	lb := transport.NewLoopback()
+	cli := lb.Endpoint("cli")
+	srv := lb.Endpoint("srv")
+	srv.SetHandler(echoHandler)
+	for _, p := range payloads {
+		res, err := measureRoundTrips("loopback-"+p.label, "loopback", p.bytes, warmup, ops,
+			func(m *transport.Message) (*transport.Message, error) { return cli.Send("srv", m) })
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	cli.Close()
+	srv.Close()
+
+	server, err := transport.ListenTCP("127.0.0.1:0", echoHandler, transport.DefaultTCPOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+	client := transport.NewTCPClient(transport.DefaultTCPOptions())
+	defer client.Close()
+	addr := server.Addr()
+	for _, p := range payloads {
+		res, err := measureRoundTrips("tcp-"+p.label, "tcp", p.bytes, warmup, ops,
+			func(m *transport.Message) (*transport.Message, error) { return client.Send(addr, m) })
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func writeReport(out string, rep any) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfhbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rfhbench:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		out    = flag.String("o", "", "write JSON here instead of stdout")
+		suite  = flag.String("suite", "sim", "benchmark suite: sim or transport")
 		warmup = flag.Int("warmup", 30, "warmup epochs before timing starts")
-		epochs = flag.Int("epochs", 300, "timed epochs per scale")
+		epochs = flag.Int("epochs", 300, "timed epochs per scale (transport suite: ×100 round trips)")
 		date   = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
 	)
 	flag.Parse()
@@ -132,41 +252,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := report{
-		Date:       *date,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	scales := []struct {
-		name            string
-		dcs, partitions int
-	}{
-		{"seed", 10, 64},
-		{"10x", 100, 640},
-	}
-	for _, s := range scales {
-		res, err := measure(s.name, s.dcs, s.partitions, *warmup, *epochs)
+	switch *suite {
+	case "transport":
+		results, err := runTransportSuite(*warmup, *epochs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rfhbench:", err)
 			os.Exit(1)
 		}
-		rep.Scales = append(rep.Scales, res)
-		fmt.Fprintf(os.Stderr, "%-5s %7.1f epochs/sec  %9d ns/epoch  %8.0f allocs/epoch\n",
-			s.name, res.EpochsPerSec, res.NsPerEpoch, res.AllocsPerEpoch)
-	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rfhbench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "rfhbench:", err)
-		os.Exit(1)
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "%-14s %8d ns/op  %9.0f ops/sec\n", r.Name, r.NsPerOp, r.OpsPerSec)
+		}
+		writeReport(*out, transportReport{
+			Date:       *date,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results:    results,
+		})
+	case "sim":
+		rep := report{
+			Date:       *date,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		scales := []struct {
+			name            string
+			dcs, partitions int
+		}{
+			{"seed", 10, 64},
+			{"10x", 100, 640},
+		}
+		for _, s := range scales {
+			res, err := measure(s.name, s.dcs, s.partitions, *warmup, *epochs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfhbench:", err)
+				os.Exit(1)
+			}
+			rep.Scales = append(rep.Scales, res)
+			fmt.Fprintf(os.Stderr, "%-5s %7.1f epochs/sec  %9d ns/epoch  %8.0f allocs/epoch\n",
+				s.name, res.EpochsPerSec, res.NsPerEpoch, res.AllocsPerEpoch)
+		}
+		writeReport(*out, rep)
+	default:
+		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim or transport")
+		os.Exit(2)
 	}
 }

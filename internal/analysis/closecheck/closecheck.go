@@ -1,6 +1,12 @@
 // Package closecheck flags values of first-party closer types — any
 // type this module defines with a Close method, sim.Engine being the
-// motivating one — that are constructed and then abandoned.
+// motivating one, node.Node and the transport listeners the live-
+// runtime additions — that are constructed and then abandoned. The
+// closer types are registered per-package before checking begins:
+// buildRegistry collects every named struct or interface with an
+// io.Closer-shaped Close method from the analyzed package and the
+// module packages it imports, and call sites are tested against that
+// registry.
 //
 // PR 1 gave sim.Engine a persistent worker pool: the pool's goroutines
 // live until Engine.Close, so an engine that is built, stepped and
@@ -33,15 +39,93 @@ import (
 // Analyzer is the closecheck check.
 var Analyzer = &analysis.Analyzer{
 	Name: "closecheck",
-	Doc:  "flags module closer types (e.g. sim.Engine) constructed but never closed or handed off",
+	Doc:  "flags module closer types (e.g. sim.Engine, node.Node, transport listeners) constructed but never closed or handed off",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
+	reg := buildRegistry(pass)
 	for _, file := range pass.Files {
-		checkFile(pass, file)
+		checkFile(pass, reg, file)
 	}
 	return nil
+}
+
+// closerRegistry is the per-package set of module closer types: every
+// named type — struct or interface — declared in the analyzed package
+// or in any module package reachable through its imports whose Close
+// method matches the io.Closer shape (Close() or Close() error).
+// Registering the types once per pass makes the call-site test a map
+// lookup and makes the covered set enumerable: sim.Engine, node.Node
+// and the transport listeners all land here by declaration, not by
+// per-site structural probing.
+type closerRegistry map[*types.TypeName]bool
+
+// buildRegistry scans the analyzed package and the module packages it
+// (transitively) imports. Standard-library and external packages are
+// excluded: their lifetimes are their own contract (and nothing would
+// stop the check from flagging every bytes.Buffer otherwise).
+func buildRegistry(pass *analysis.Pass) closerRegistry {
+	reg := make(closerRegistry)
+	seen := make(map[*types.Package]bool)
+	var visit func(pkg *types.Package)
+	visit = func(pkg *types.Package) {
+		if pkg == nil || seen[pkg] {
+			return
+		}
+		seen[pkg] = true
+		if pass.IsModulePkg == nil || !pass.IsModulePkg(pkg) {
+			return
+		}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if hasCloserMethod(tn.Type(), pkg) {
+				reg[tn] = true
+			}
+		}
+		for _, imp := range pkg.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pass.Pkg)
+	return reg
+}
+
+// closer resolves t (through one pointer) to a registered closer's
+// TypeName, if any.
+func (reg closerRegistry) closer(t types.Type) (*types.TypeName, bool) {
+	named := namedOf(t)
+	if named == nil {
+		return nil, false
+	}
+	tn := named.Obj()
+	return tn, reg[tn]
+}
+
+// hasCloserMethod reports whether t has a Close() or Close() error
+// method (directly, promoted from an embedded field, or as an
+// interface member).
+func hasCloserMethod(t types.Type, pkg *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() > 1 {
+		return false
+	}
+	if sig.Results().Len() == 1 {
+		nm, ok := sig.Results().At(0).Type().(*types.Named)
+		if !ok || nm.Obj().Pkg() != nil || nm.Obj().Name() != "error" {
+			return false
+		}
+	}
+	return true
 }
 
 // binding is one closer-typed local awaiting a releasing use.
@@ -55,12 +139,13 @@ type binding struct {
 // checker accumulates bindings for one file.
 type checker struct {
 	pass     *analysis.Pass
+	reg      closerRegistry
 	bindings []*binding
 	seen     map[types.Object]bool
 }
 
-func checkFile(pass *analysis.Pass, file *ast.File) {
-	c := &checker{pass: pass, seen: make(map[types.Object]bool)}
+func checkFile(pass *analysis.Pass, reg closerRegistry, file *ast.File) {
+	c := &checker{pass: pass, reg: reg, seen: make(map[types.Object]bool)}
 	rfhlintutil.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
@@ -73,7 +158,7 @@ func checkFile(pass *analysis.Pass, file *ast.File) {
 			if !ok || c.managedByTestHelper(call) {
 				return true
 			}
-			if typ, ok := resultCloser(pass, call); ok {
+			if typ, ok := c.resultCloser(call); ok {
 				pass.Reportf(call.Pos(),
 					"result of this call (%s) is discarded without being closed; bind it and call Close (or defer it)",
 					typeName(typ))
@@ -107,7 +192,7 @@ func (c *checker) checkAssign(n *ast.AssignStmt, frame *ast.BlockStmt) {
 			return
 		}
 		for i, lhs := range n.Lhs {
-			if typ := tuple.At(i).Type(); isCloser(c.pass, typ) {
+			if typ := tuple.At(i).Type(); c.isCloser(typ) {
 				c.bind(lhs, typ, frame)
 			}
 		}
@@ -124,7 +209,7 @@ func (c *checker) checkAssign(n *ast.AssignStmt, frame *ast.BlockStmt) {
 		if call, ok := rhs.(*ast.CallExpr); ok && c.managedByTestHelper(call) {
 			continue
 		}
-		if typ := c.pass.TypesInfo.TypeOf(rhs); typ != nil && isCloser(c.pass, typ) {
+		if typ := c.pass.TypesInfo.TypeOf(rhs); typ != nil && c.isCloser(typ) {
 			c.bind(lhs, typ, frame)
 		}
 	}
@@ -191,54 +276,33 @@ func (c *checker) bind(lhs ast.Expr, typ types.Type, frame *ast.BlockStmt) {
 	c.bindings = append(c.bindings, &binding{id: id, obj: obj, typ: typ, frame: frame})
 }
 
-// resultCloser reports whether any result of the call is a module
-// closer type.
-func resultCloser(pass *analysis.Pass, call *ast.CallExpr) (types.Type, bool) {
-	tv, ok := pass.TypesInfo.Types[call]
+// resultCloser reports whether any result of the call is a registered
+// module closer type.
+func (c *checker) resultCloser(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := c.pass.TypesInfo.Types[call]
 	if !ok {
 		return nil, false
 	}
 	switch t := tv.Type.(type) {
 	case *types.Tuple:
 		for i := 0; i < t.Len(); i++ {
-			if isCloser(pass, t.At(i).Type()) {
+			if c.isCloser(t.At(i).Type()) {
 				return t.At(i).Type(), true
 			}
 		}
 	default:
-		if isCloser(pass, t) {
+		if c.isCloser(t) {
 			return t, true
 		}
 	}
 	return nil, false
 }
 
-// isCloser reports whether t is (a pointer to) a type declared in this
-// module with a Close() or Close() error method.
-func isCloser(pass *analysis.Pass, t types.Type) bool {
-	named := namedOf(t)
-	if named == nil || named.Obj().Pkg() == nil {
-		return false // unnamed or universe type (e.g. error)
-	}
-	if pass.IsModulePkg == nil || !pass.IsModulePkg(named.Obj().Pkg()) {
-		return false
-	}
-	obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "Close")
-	fn, ok := obj.(*types.Func)
-	if !ok {
-		return false
-	}
-	sig := fn.Type().(*types.Signature)
-	if sig.Params().Len() != 0 || sig.Results().Len() > 1 {
-		return false
-	}
-	if sig.Results().Len() == 1 {
-		nm, ok := sig.Results().At(0).Type().(*types.Named)
-		if !ok || nm.Obj().Pkg() != nil || nm.Obj().Name() != "error" {
-			return false
-		}
-	}
-	return true
+// isCloser reports whether t is (a pointer to) a registered module
+// closer type.
+func (c *checker) isCloser(t types.Type) bool {
+	_, ok := c.reg.closer(t)
+	return ok
 }
 
 func namedOf(t types.Type) *types.Named {

@@ -1,0 +1,55 @@
+// Package daemon is the closecheck stand-in for the live-runtime
+// packages: a Node daemon shaped like repro/internal/node.Node and a
+// listener interface shaped like repro/internal/transport.Transport.
+// Both must land in the per-package closer registry — the struct by
+// its Close() error method, the interface by its Close member, and
+// the wrapper by promotion from an embedded closer.
+package daemon
+
+import "errors"
+
+// Listener is the transport.Transport shape: an interface whose
+// implementations own a socket until Close.
+type Listener interface {
+	Send(peer string) error
+	Close() error
+}
+
+// tcp is an unexported Listener implementation.
+type tcp struct{}
+
+func (t *tcp) Send(peer string) error { return nil }
+
+// Close releases the socket.
+func (t *tcp) Close() error { return nil }
+
+// Listen opens a listener; callers see only the interface.
+func Listen(addr string) (Listener, error) {
+	if addr == "" {
+		return nil, errors.New("daemon: empty address")
+	}
+	return &tcp{}, nil
+}
+
+// Node is the node.Node shape: a daemon owning a transport.
+type Node struct{ tr Listener }
+
+// New constructs a node that owns its transport.
+func New(tr Listener) (*Node, error) {
+	if tr == nil {
+		return nil, errors.New("daemon: nil transport")
+	}
+	return &Node{tr: tr}, nil
+}
+
+// Serve runs the node.
+func (n *Node) Serve() error { return nil }
+
+// Close shuts the node and its transport down.
+func (n *Node) Close() error { return nil }
+
+// Wrapped embeds a closer; the promoted Close makes it one too.
+type Wrapped struct {
+	*Node
+	Label string
+}

@@ -1,0 +1,71 @@
+// Package daemonfix exercises closecheck against the daemon fixtures:
+// interface-typed listeners, the node daemon, and promotion through
+// embedding.
+package daemonfix
+
+import "daemon"
+
+// leakedListener drops an interface-typed closer: the registry must
+// cover interfaces with a Close member, not just concrete structs.
+func leakedListener() {
+	l, err := daemon.Listen(":7000") // want `daemon\.Listener is bound to "l" but never closed on any path`
+	if err != nil {
+		return
+	}
+	_ = l.Send("peer")
+}
+
+// leakedNode drops the daemon itself.
+func leakedNode() {
+	l, err := daemon.Listen(":7000")
+	if err != nil {
+		return
+	}
+	defer l.Close()
+	n, err := daemon.New(l) // want `\*daemon\.Node is bound to "n" but never closed on any path`
+	if err != nil {
+		return
+	}
+	_ = n.Serve()
+}
+
+// discardedListener never binds the listener at all.
+func discardedListener() {
+	daemon.Listen(":7000") // want `result of this call \(daemon\.Listener\) is discarded without being closed`
+}
+
+// leakedWrapper constructs a type whose Close is promoted from an
+// embedded closer.
+func leakedWrapper(n *daemon.Node) {
+	w := &daemon.Wrapped{Node: n, Label: "x"} // want `\*daemon\.Wrapped is bound to "w" but never closed on any path`
+	_ = w.Serve()
+}
+
+// closedNode is the safe shape: transport handed to the node, node
+// deferred closed.
+func closedNode() error {
+	l, err := daemon.Listen(":7000")
+	if err != nil {
+		return err
+	}
+	n, err := daemon.New(l)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	defer n.Close()
+	return n.Serve()
+}
+
+// returnedListener transfers ownership to the caller: safe.
+func returnedListener() (daemon.Listener, error) {
+	return daemon.Listen(":7000")
+}
+
+// storedNode hands the node to a struct: safe.
+type runner struct{ n *daemon.Node }
+
+func storedNode(l daemon.Listener) runner {
+	n, _ := daemon.New(l)
+	return runner{n: n}
+}

@@ -28,6 +28,14 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/traffic":     true,
 	"repro/internal/cluster":     true,
 	"repro/internal/experiments": true,
+	// The live runtime is bound too: a cluster of nodes sharing a seed
+	// must make identical placement decisions, so node logic is
+	// epoch-driven (wall-clock reads live behind node.Clock) and the
+	// transports must deliver deterministically under the loopback
+	// implementation. The handful of legitimately wall-clocked lines
+	// (TCP deadlines, dial backoff) carry reasoned //lint:ignore tags.
+	"repro/internal/node":      true,
+	"repro/internal/transport": true,
 }
 
 // InDeterministicPackage reports whether the pass's package is bound by

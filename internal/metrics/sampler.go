@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// LatencySampler collects individual latency observations and answers
+// quantile queries over them. The simulator derives latency from a hop
+// histogram (LatencyModel.Stats); the live cluster path measures each
+// client request with a real clock instead, and rfhctl reports the
+// distribution through this sampler.
+//
+// LatencySampler is not safe for concurrent use.
+type LatencySampler struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewLatencySampler returns an empty sampler.
+func NewLatencySampler() *LatencySampler {
+	return &LatencySampler{sorted: true}
+}
+
+// Observe records one latency sample in milliseconds.
+func (s *LatencySampler) Observe(ms float64) {
+	s.samples = append(s.samples, ms)
+	s.sorted = false
+}
+
+// Count returns the number of samples recorded.
+func (s *LatencySampler) Count() int { return len(s.samples) }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (s *LatencySampler) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by the nearest-rank
+// method: the smallest sample such that at least q of the mass is at
+// or below it. With no samples it returns 0; q outside [0,1] is
+// clamped. A single sample answers every quantile; duplicate values
+// are counted with their multiplicity, exactly as recorded.
+func (s *LatencySampler) Quantile(q float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s.samples[rank-1]
+}

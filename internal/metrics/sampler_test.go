@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencySamplerEmpty(t *testing.T) {
+	s := NewLatencySampler()
+	if s.Count() != 0 {
+		t.Fatalf("empty sampler count %d", s.Count())
+	}
+	if got := s.Mean(); got != 0 {
+		t.Errorf("empty mean = %g, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestLatencySamplerSingleSample(t *testing.T) {
+	s := NewLatencySampler()
+	s.Observe(42)
+	if s.Count() != 1 || s.Mean() != 42 {
+		t.Fatalf("count=%d mean=%g", s.Count(), s.Mean())
+	}
+	// Every quantile of a one-sample distribution is that sample.
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+}
+
+func TestLatencySamplerDuplicates(t *testing.T) {
+	s := NewLatencySampler()
+	for i := 0; i < 10; i++ {
+		s.Observe(5)
+	}
+	s.Observe(100)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("median of duplicates = %g, want 5", got)
+	}
+	if got := s.Quantile(0.9); got != 5 {
+		t.Errorf("p90 = %g, want 5 (10 of 11 samples are 5)", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("p100 = %g, want 100", got)
+	}
+	if got := s.Mean(); math.Abs(got-(50+100)/11.0) > 1e-12 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestLatencySamplerQuantileRanks(t *testing.T) {
+	s := NewLatencySampler()
+	// Out-of-order insertion; quantiles must still sort.
+	for _, v := range []float64{30, 10, 50, 20, 40} {
+		s.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{-1, 10}, {0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30},
+		{0.8, 40}, {0.81, 50}, {1, 50}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Observing after a quantile query must re-sort.
+	s.Observe(1)
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("min after late insert = %g, want 1", got)
+	}
+}
+
+func TestLatencyModelStatsEdges(t *testing.T) {
+	m := DefaultLatencyModel()
+	// No traffic at all: vacuously within SLA.
+	sla := m.Stats(nil, 0)
+	if sla.WithinSLA != 1 || sla.MeanMs != 0 {
+		t.Errorf("empty stats: %+v", sla)
+	}
+	// Single served query at zero hops.
+	sla = m.Stats([]int{1}, 0)
+	if sla.WithinSLA != 1 || sla.MeanMs != m.ServiceMs || sla.P99Ms != m.ServiceMs || sla.P999Ms != m.ServiceMs {
+		t.Errorf("single-sample stats: %+v", sla)
+	}
+	// Only unserved queries: percentiles fall into the +Inf tail.
+	sla = m.Stats(nil, 5)
+	if sla.WithinSLA != 0 || !math.IsInf(sla.P999Ms, 1) {
+		t.Errorf("all-unserved stats: %+v", sla)
+	}
+	// Duplicate-latency mass: all queries at the same hop count.
+	sla = m.Stats([]int{0, 7}, 0)
+	want := m.LatencyMs(1)
+	if sla.MeanMs != want || sla.P99Ms != want || sla.P999Ms != want {
+		t.Errorf("duplicate-mass stats: %+v, want all %g", sla, want)
+	}
+}

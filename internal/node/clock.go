@@ -1,0 +1,35 @@
+package node
+
+import "time"
+
+// Clock abstracts wall-clock reads so the live command-line layer can
+// measure client-observed latency while everything inside the node —
+// epochs, suspicion, decisions — stays purely logical and
+// deterministic. The node package itself never reads a clock; Clock
+// exists so callers (rfhctl latency sampling, rfhnode tickers) have a
+// single, mockable source instead of scattering time.Now calls.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the real clock. It is the only wall-clock read in the
+// deterministic packages; tests substitute a fake Clock.
+var WallClock Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time {
+	//lint:ignore rfhlint/nowallclock the single sanctioned wall-clock read; node logic is epoch-driven and never calls this
+	return time.Now()
+}
+
+// FakeClock is a manually-advanced Clock for tests.
+type FakeClock struct {
+	T time.Time
+}
+
+// Now returns the fake instant.
+func (f *FakeClock) Now() time.Time { return f.T }
+
+// Advance moves the fake clock forward.
+func (f *FakeClock) Advance(d time.Duration) { f.T = f.T.Add(d) }

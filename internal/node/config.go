@@ -1,0 +1,142 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/traffic"
+)
+
+// Peer is one member of the static cluster roster: a node id and the
+// transport address it answers on. Every node runs with the same
+// roster, and a peer's datacenter index is its position in the roster
+// sorted by id — which is what lets every node derive an identical
+// world view from configuration alone.
+type Peer struct {
+	ID   int
+	Addr string
+}
+
+// Config describes one live node. All nodes of a cluster must share
+// every field except ID (and the address book entries naturally
+// differ per deployment): the world topology, ring, and policy
+// thresholds are derived deterministically from the shared fields, so
+// identical configs give every node the same view of the cluster.
+type Config struct {
+	// ID is this node's id; it must appear in Peers.
+	ID int
+	// Peers is the full static roster, self included. At least three
+	// nodes (the minimum synthetic world).
+	Peers []Peer
+
+	// Partitions is the number of data partitions (default 64).
+	Partitions int
+	// TokensPerServer is the virtual nodes each peer projects onto the
+	// consistent-hashing ring (default 8).
+	TokensPerServer int
+	// ReplicaCapacity is the queries one replica serves per epoch
+	// before counting overflow (default 100). The live node never
+	// refuses a request — capacity is the accounting signal behind
+	// eq. (12), not an admission limit.
+	ReplicaCapacity int
+	// PartitionSize is the nominal bytes charged against replication
+	// and migration bandwidth per transfer (default 512 KB).
+	PartitionSize int64
+	// ReplicationBW and MigrationBW are the per-epoch send budgets in
+	// bytes (defaults 300 MB and 100 MB, Table I).
+	ReplicationBW int64
+	MigrationBW   int64
+
+	// Thresholds are the α/β/γ/δ/μ decision constants (Table I).
+	Thresholds traffic.Thresholds
+	// FailureRate and MinAvailability parameterise the eq. (14)
+	// availability lower limit (defaults 0.1 and 0.8).
+	FailureRate     float64
+	MinAvailability float64
+	// HubCandidates is the traffic-hub candidate set size (default 3).
+	HubCandidates int
+	// PolicyName selects the replication algorithm: "rfh" (default),
+	// "random", "owner" or "request".
+	PolicyName string
+
+	// SuspectAfter is how many epochs a peer may stay silent before it
+	// is presumed failed and removed from the view (default 3).
+	SuspectAfter int
+	// Seed drives every stochastic choice: the synthetic world, the
+	// ring positions, and the per-epoch policy RNG streams. All nodes
+	// must share it.
+	Seed uint64
+}
+
+// DefaultConfig returns a config for node id over the given roster,
+// with Table I-shaped defaults.
+func DefaultConfig(id int, peers []Peer) Config {
+	return Config{
+		ID:              id,
+		Peers:           peers,
+		Partitions:      64,
+		TokensPerServer: 8,
+		ReplicaCapacity: 100,
+		PartitionSize:   512 << 10,
+		ReplicationBW:   300 << 20,
+		MigrationBW:     100 << 20,
+		Thresholds:      traffic.DefaultThresholds(),
+		FailureRate:     0.1,
+		MinAvailability: 0.8,
+		HubCandidates:   3,
+		PolicyName:      "rfh",
+		SuspectAfter:    3,
+		Seed:            1,
+	}
+}
+
+// Validate checks the config and returns the roster sorted by id.
+func (c *Config) Validate() error {
+	if len(c.Peers) < 3 {
+		return fmt.Errorf("node: need at least 3 peers, got %d (the synthetic world needs 3 datacenters)", len(c.Peers))
+	}
+	sort.Slice(c.Peers, func(i, j int) bool { return c.Peers[i].ID < c.Peers[j].ID })
+	self := -1
+	for i, p := range c.Peers {
+		if i > 0 && p.ID == c.Peers[i-1].ID {
+			return fmt.Errorf("node: duplicate peer id %d", p.ID)
+		}
+		if p.Addr == "" {
+			return fmt.Errorf("node: peer %d has no address", p.ID)
+		}
+		if p.ID == c.ID {
+			self = i
+		}
+	}
+	if self < 0 {
+		return fmt.Errorf("node: own id %d not in the peer roster", c.ID)
+	}
+	switch {
+	case c.Partitions <= 0:
+		return fmt.Errorf("node: partitions must be positive")
+	case c.TokensPerServer <= 0:
+		return fmt.Errorf("node: tokens per server must be positive")
+	case c.ReplicaCapacity <= 0:
+		return fmt.Errorf("node: replica capacity must be positive")
+	case c.PartitionSize <= 0:
+		return fmt.Errorf("node: partition size must be positive")
+	case c.ReplicationBW <= 0 || c.MigrationBW <= 0:
+		return fmt.Errorf("node: bandwidth budgets must be positive")
+	case c.HubCandidates <= 0:
+		return fmt.Errorf("node: hub candidates must be positive")
+	case c.SuspectAfter <= 0:
+		return fmt.Errorf("node: suspect-after must be positive")
+	}
+	return c.Thresholds.Validate()
+}
+
+// selfIndex returns the roster index (= datacenter index) of the
+// node's own id. Call after Validate.
+func (c *Config) selfIndex() int {
+	for i, p := range c.Peers {
+		if p.ID == c.ID {
+			return i
+		}
+	}
+	return -1
+}

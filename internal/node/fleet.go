@@ -1,0 +1,144 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Fleet is a multi-node loopback harness: it builds N nodes over one
+// in-process transport network and drives them in lockstep epochs.
+// It exists for tests and for the rfhbench transport suite — a real
+// deployment runs one cmd/rfhnode per machine instead.
+type Fleet struct {
+	lb    *transport.Loopback
+	nodes []*Node
+	dead  []bool
+}
+
+// NewFleet builds n nodes sharing the given base config (ID and Peers
+// are overwritten; all other fields are taken as-is).
+func NewFleet(n int, base Config) (*Fleet, error) {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: i, Addr: fmt.Sprintf("node%d", i)}
+	}
+	f := &Fleet{lb: transport.NewLoopback(), dead: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.ID = i
+		cfg.Peers = append([]Peer(nil), peers...)
+		nd, err := New(cfg, f.lb.Endpoint(peers[i].Addr))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.nodes = append(f.nodes, nd)
+	}
+	return f, nil
+}
+
+// Node returns fleet member i (nil once killed).
+func (f *Fleet) Node(i int) *Node {
+	if f.dead[i] {
+		return nil
+	}
+	return f.nodes[i]
+}
+
+// Len returns the fleet size, dead members included.
+func (f *Fleet) Len() int { return len(f.nodes) }
+
+// Kill takes node i down for good: its transport drops off the
+// loopback network and the node closes. Peers see it as silent and
+// suspect it after SuspectAfter epochs.
+func (f *Fleet) Kill(i int) {
+	if f.dead[i] {
+		return
+	}
+	f.dead[i] = true
+	_ = f.nodes[i].Close() // also marks the endpoint down
+}
+
+// Tick runs one lockstep epoch: every live node flushes its stats,
+// then every live node runs its decision step, both in roster order.
+// This is the deterministic schedule the seeded tests rely on.
+func (f *Fleet) Tick() error {
+	for i, nd := range f.nodes {
+		if f.dead[i] {
+			continue
+		}
+		if err := nd.FlushEpoch(); err != nil {
+			return fmt.Errorf("fleet: flush node %d: %w", i, err)
+		}
+	}
+	for i, nd := range f.nodes {
+		if f.dead[i] {
+			continue
+		}
+		if err := nd.RunEpoch(); err != nil {
+			return fmt.Errorf("fleet: run node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReplayStats summarises one Replay call.
+type ReplayStats struct {
+	Queries int // queries issued
+	Found   int // queries answered with a value
+	Errors  int // queries that failed (unreachable hops, lost partitions)
+}
+
+// Replay issues one epoch's worth of a workload matrix against the
+// fleet: Q[p][d] queries for partition p enter the cluster at node d,
+// using the canonical PartitionKey for the partition. Dead entry nodes
+// are skipped. Query errors are tallied, not fatal — mid-failure
+// epochs are exactly when some routes dangle.
+func (f *Fleet) Replay(m *workload.Matrix) ReplayStats {
+	var st ReplayStats
+	for p := 0; p < m.Partitions(); p++ {
+		key := PartitionKey(p, f.nodes[0].cfg.Partitions)
+		for d := 0; d < m.DCs() && d < len(f.nodes); d++ {
+			if f.dead[d] {
+				continue
+			}
+			for q := 0; q < m.Q[p][d]; q++ {
+				st.Queries++
+				_, ok, err := f.nodes[d].Get(key)
+				switch {
+				case err != nil:
+					st.Errors++
+				case ok:
+					st.Found++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Close shuts every node down.
+func (f *Fleet) Close() {
+	for i, nd := range f.nodes {
+		if !f.dead[i] {
+			_ = nd.Close()
+		}
+		f.dead[i] = true
+	}
+}
+
+// PartitionKey returns a canonical key that hashes into partition p of
+// `partitions`. It scans a deterministic key sequence, so the same
+// (p, partitions) always yields the same key — tests and trace replay
+// use it to target partitions by number.
+func PartitionKey(p, partitions int) string {
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("p%d-%d", p, i)
+		if int(uint64(ring.HashString(key))%uint64(partitions)) == p {
+			return key
+		}
+	}
+}

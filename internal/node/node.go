@@ -1,0 +1,862 @@
+// Package node implements the live cluster runtime: a daemon that
+// serves an in-memory partitioned KV store over a transport.Transport
+// and runs the paper's epoch-driven replication loop against real
+// peers. The simulation substrates are reused unchanged — the ring
+// (§II-B) places partitions, network.Router forwards queries along the
+// same paths the simulator models, traffic.Tracker smooths the
+// observed demand per eqs. (10)–(11), and the very same policy.Policy
+// implementations decide replicate/migrate/suicide each epoch.
+//
+// Determinism: every node derives an identical cluster model (the
+// "view") from the shared Config, exchanges per-epoch traffic stats
+// with its peers, and runs the global policy locally. Because all
+// nodes fold the same stats into the same tracker state and draw from
+// the same per-epoch RNG stream, they compute identical decisions;
+// each action is applied to every view, while the data movement itself
+// is carried out by the involved nodes over the transport. Epochs are
+// purely logical (two-phase FlushEpoch/RunEpoch ticks), so a seeded
+// run over the loopback transport is bit-reproducible.
+package node
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("node: closed")
+
+// ErrNotFlushed is returned by RunEpoch when FlushEpoch has not been
+// called for the epoch in flight.
+var ErrNotFlushed = errors.New("node: epoch not flushed")
+
+// DecisionCounts tallies the replication actions a node has applied to
+// its view since start. All nodes of a healthy cluster apply the same
+// decisions, so equal seeds must yield equal counts on every node —
+// the determinism tests assert exactly that.
+type DecisionCounts struct {
+	Repl    int
+	Migr    int
+	Suicide int
+}
+
+// Node is one member of a live RFH cluster. Create with New, drive
+// epochs with FlushEpoch/RunEpoch (or let cmd/rfhnode's ticker do it),
+// and Close when done. All methods are safe for concurrent use.
+type Node struct {
+	cfg  Config
+	self int // roster index == DCID == ServerID
+	pol  policy.Policy
+	tr   transport.Transport
+
+	mu       sync.Mutex
+	view     *view
+	store    *store
+	tracker  *traffic.Tracker
+	rng      *stats.RNG
+	epoch    uint64
+	missed   []int  // consecutive epochs without stats from peer i
+	suspect  []bool // peer i currently presumed failed
+	pending  []*statsBlob
+	nextPend []*statsBlob // stats that arrived one epoch ahead
+	counts   DecisionCounts
+	closed   bool
+}
+
+// outOp is one data-movement message to perform after the view update,
+// outside the node lock (the loopback transport delivers synchronously
+// on the caller's goroutine, so sending under the lock could deadlock
+// two nodes against each other).
+type outOp struct {
+	peer int
+	msg  *transport.Message
+}
+
+// New builds a node over the given transport and installs its message
+// handler. The node owns the transport and closes it.
+func New(cfg Config, tr transport.Transport) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	v, err := newView(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := newPolicy(cfg.PolicyName)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := traffic.NewTracker(cfg.Partitions, len(cfg.Peers), cfg.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     cfg.selfIndex(),
+		pol:      pol,
+		tr:       tr,
+		view:     v,
+		store:    newStore(cfg.Partitions),
+		tracker:  tk,
+		rng:      stats.NewRNG(cfg.Seed ^ 0x90DE),
+		missed:   make([]int, len(cfg.Peers)),
+		suspect:  make([]bool, len(cfg.Peers)),
+		pending:  make([]*statsBlob, len(cfg.Peers)),
+		nextPend: make([]*statsBlob, len(cfg.Peers)),
+	}
+	tr.SetHandler(n.Handle)
+	return n, nil
+}
+
+// newPolicy maps a config name to a fresh policy instance (policies
+// may be stateful, so each node needs its own).
+func newPolicy(name string) (policy.Policy, error) {
+	switch name {
+	case "", "rfh":
+		return core.NewRFH(), nil
+	case "random":
+		return policy.NewRandom(), nil
+	case "owner":
+		return policy.NewOwnerOriented(), nil
+	case "request":
+		return policy.NewRequestOriented(0.2), nil
+	case "ead":
+		return policy.NewEAD(0), nil
+	default:
+		return nil, fmt.Errorf("node: unknown policy %q (want rfh, random, owner, request or ead)", name)
+	}
+}
+
+// Self returns the node's roster index (== datacenter == server id).
+func (n *Node) Self() int { return n.self }
+
+// ID returns the node's configured id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Epoch returns the number of completed epochs.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// MinReplicas returns the eq. (14) availability lower limit in force.
+func (n *Node) MinReplicas() int { return n.view.minReplicas }
+
+// DecisionCounts returns the cumulative decision tally.
+func (n *Node) DecisionCounts() DecisionCounts {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts
+}
+
+// PartitionOf maps a key to its partition: the key's ring hash modulo
+// the partition count.
+func (n *Node) PartitionOf(key string) int {
+	return int(uint64(ring.HashString(key)) % uint64(n.cfg.Partitions))
+}
+
+// Close shuts the node down and closes its transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	return n.tr.Close()
+}
+
+// peerAddr returns the transport address of roster index i.
+func (n *Node) peerAddr(i int) string { return n.cfg.Peers[i].Addr }
+
+// Handle is the transport handler: it dispatches one inbound message.
+// It is exported so callers wiring their own transports (and the
+// closecheck testdata) can reference it, but normally the constructor
+// installs it.
+func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, error) {
+	switch req.Kind {
+	case KindGet:
+		return n.handleGet(req)
+	case KindPut:
+		return n.handlePut(req)
+	case KindSync:
+		return n.handleSync(req)
+	case KindStore:
+		return n.handleStore(req)
+	case KindDrop:
+		return n.handleDrop(req)
+	case KindStats:
+		return n.handleStats(req)
+	case KindPing:
+		return &transport.Message{Kind: KindPing}, nil
+	case KindEpochFlush:
+		if err := n.FlushEpoch(); err != nil {
+			return nil, err
+		}
+		return &transport.Message{Kind: KindEpochFlush, Epoch: n.Epoch()}, nil
+	case KindEpochRun:
+		if err := n.RunEpoch(); err != nil {
+			return nil, err
+		}
+		return &transport.Message{Kind: KindEpochRun, Epoch: n.Epoch()}, nil
+	case KindDump:
+		return n.handleDump()
+	default:
+		return nil, fmt.Errorf("node %d: unknown message kind %d", n.cfg.ID, req.Kind)
+	}
+}
+
+// checkPartition validates a wire partition index.
+func (n *Node) checkPartition(p uint32) (int, error) {
+	if int(p) >= n.cfg.Partitions {
+		return 0, fmt.Errorf("node %d: partition %d out of range", n.cfg.ID, p)
+	}
+	return int(p), nil
+}
+
+// --- Query path -----------------------------------------------------
+
+// Get looks a key up, entering the query into the cluster at this
+// node. The query is served locally when this node holds a replica
+// with capacity to spare, and otherwise forwarded hop-by-hop along the
+// routing path toward the partition's primary — each hop records
+// transit traffic, which is exactly the per-DC arrival signal the
+// policies feed on.
+func (n *Node) Get(key string) ([]byte, bool, error) {
+	return n.routeGet(n.PartitionOf(key), key, n.self, 0)
+}
+
+// routeGet handles one query arrival at this node (origin is the
+// roster index where it entered, hops the forwards so far).
+func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, error) {
+	if hops > len(n.cfg.Peers) {
+		return nil, false, fmt.Errorf("node %d: routing loop for partition %d (%d hops)", n.cfg.ID, p, hops)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	c := &n.store.counters[p]
+	if hops == 0 {
+		c.origin++
+	} else {
+		c.transit++
+	}
+	primary := n.view.primary(p)
+	if n.view.hasReplica(p, n.self) {
+		// A replica under its per-epoch capacity serves; the primary
+		// always serves but counts the excess as overflow — the live
+		// path never refuses a query, it records the pressure signal
+		// behind eq. (12) instead.
+		underCap := c.served < n.cfg.ReplicaCapacity
+		if underCap || primary == n.self {
+			c.served++
+			if !underCap {
+				c.overflow++
+			}
+			v, ok := n.store.get(p, key)
+			n.mu.Unlock()
+			return v, ok, nil
+		}
+	}
+	if primary < 0 {
+		n.mu.Unlock()
+		return nil, false, fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
+	}
+	next := int(n.view.router.NextHop(topology.DCID(n.self), topology.DCID(primary)))
+	addr := n.peerAddr(next)
+	n.mu.Unlock()
+
+	resp, err := n.tr.Send(addr, &transport.Message{
+		Kind: KindGet, Partition: uint32(p), Origin: uint32(origin), Hops: uint32(hops + 1),
+		Key: []byte(key),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, false, err
+	}
+	if resp.Status == transport.StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
+func (n *Node) handleGet(req *transport.Message) (*transport.Message, error) {
+	// The partition is a function of the key, so client requests (zero
+	// hops, e.g. from rfhctl) need not know the partition count; for
+	// forwarded requests the stamped partition must agree.
+	p := n.PartitionOf(string(req.Key))
+	if req.Hops > 0 && int(req.Partition) != p {
+		return nil, fmt.Errorf("node %d: key maps to partition %d, message says %d", n.cfg.ID, p, req.Partition)
+	}
+	origin := int(req.Origin)
+	if req.Hops == 0 {
+		origin = n.self
+	}
+	v, ok, err := n.routeGet(p, string(req.Key), origin, int(req.Hops))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return &transport.Message{Kind: KindGet, Status: transport.StatusNotFound, Partition: uint32(p)}, nil
+	}
+	return &transport.Message{Kind: KindGet, Partition: uint32(p), Value: v}, nil
+}
+
+// --- Write path -----------------------------------------------------
+
+// Put stores a key/value pair. Non-primary nodes proxy the write to
+// the partition's primary, which applies it and best-effort syncs the
+// other replica holders.
+func (n *Node) Put(key string, value []byte) error {
+	return n.routePut(n.PartitionOf(key), key, value, 0)
+}
+
+func (n *Node) routePut(p int, key string, value []byte, hops int) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	primary := n.view.primary(p)
+	if primary == n.self {
+		n.store.put(p, key, value)
+		holders := n.view.cluster.ReplicaServers(p)
+		n.mu.Unlock()
+		// Best-effort replica sync: an unreachable holder misses the
+		// write until the next full-partition transfer touches it.
+		for _, s := range holders {
+			if int(s) == n.self {
+				continue
+			}
+			msg := &transport.Message{Kind: KindSync, Partition: uint32(p), Key: []byte(key), Value: value}
+			if resp, err := n.tr.Send(n.peerAddr(int(s)), msg); err == nil {
+				_ = resp.Err()
+			}
+		}
+		return nil
+	}
+	n.mu.Unlock()
+	if primary < 0 {
+		return fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
+	}
+	if hops > 0 {
+		// A proxied put landing on a non-primary means the sender's view
+		// disagrees with ours; refuse rather than bounce it around.
+		return fmt.Errorf("node %d: not primary for partition %d", n.cfg.ID, p)
+	}
+	resp, err := n.tr.Send(n.peerAddr(primary), &transport.Message{
+		Kind: KindPut, Partition: uint32(p), Hops: 1, Key: []byte(key), Value: value,
+	})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+func (n *Node) handlePut(req *transport.Message) (*transport.Message, error) {
+	p := n.PartitionOf(string(req.Key))
+	if req.Hops > 0 && int(req.Partition) != p {
+		return nil, fmt.Errorf("node %d: key maps to partition %d, message says %d", n.cfg.ID, p, req.Partition)
+	}
+	if err := n.routePut(p, string(req.Key), req.Value, int(req.Hops)); err != nil {
+		return nil, err
+	}
+	return &transport.Message{Kind: KindPut, Partition: uint32(p)}, nil
+}
+
+func (n *Node) handleSync(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.view.hasReplica(p, n.self) {
+		n.store.put(p, string(req.Key), req.Value)
+	}
+	n.mu.Unlock()
+	return &transport.Message{Kind: KindSync, Partition: req.Partition}, nil
+}
+
+// --- Replica transfer -----------------------------------------------
+
+func (n *Node) handleStore(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	data, err := decodeSnapshot(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.store.replace(p, data)
+	n.mu.Unlock()
+	return &transport.Message{Kind: KindStore, Partition: req.Partition}, nil
+}
+
+func (n *Node) handleDrop(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.store.drop(p)
+	n.mu.Unlock()
+	return &transport.Message{Kind: KindDrop, Partition: req.Partition}, nil
+}
+
+// --- Epoch machinery ------------------------------------------------
+
+func (n *Node) handleStats(req *transport.Message) (*transport.Message, error) {
+	idx := int(req.Origin)
+	if idx < 0 || idx >= len(n.cfg.Peers) || idx == n.self {
+		return nil, fmt.Errorf("node %d: stats from invalid peer index %d", n.cfg.ID, idx)
+	}
+	blob, err := decodeStats(req.Value, n.cfg.Partitions, len(n.cfg.Peers))
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	switch req.Epoch {
+	case n.epoch:
+		n.pending[idx] = blob
+	case n.epoch + 1:
+		// The sender has already ticked past us; hold its stats for our
+		// next epoch so free-running tickers that drift by one phase do
+		// not trigger spurious suspicion.
+		n.nextPend[idx] = blob
+	}
+	n.mu.Unlock()
+	return &transport.Message{Kind: KindStats, Epoch: req.Epoch}, nil
+}
+
+// FlushEpoch snapshots this node's per-partition counters and
+// placement claims for the epoch in flight and broadcasts them to all
+// peers (phase A of the two-phase tick). Counters reset at the
+// snapshot, so every query is reported in exactly one epoch. Broadcast
+// failures are not errors: an unreachable peer simply misses the
+// stats, which is what the suspicion mechanism measures.
+func (n *Node) FlushEpoch() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	blob := &statsBlob{counters: n.store.flushCounters()}
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if n.view.primary(p) != n.self {
+			continue
+		}
+		holders := n.view.cluster.ReplicaServers(p)
+		cl := placementClaim{partition: p, primary: n.self}
+		for _, s := range holders {
+			cl.replicas = append(cl.replicas, int(s))
+		}
+		blob.claims = append(blob.claims, cl)
+	}
+	n.pending[n.self] = blob
+	epoch := n.epoch
+	enc := appendStats(nil, blob)
+	n.mu.Unlock()
+
+	for i := range n.cfg.Peers {
+		if i == n.self {
+			continue
+		}
+		msg := &transport.Message{Kind: KindStats, Origin: uint32(n.self), Epoch: epoch, Value: enc}
+		if resp, err := n.tr.Send(n.peerAddr(i), msg); err == nil {
+			_ = resp.Err()
+		}
+	}
+	return nil
+}
+
+// RunEpoch completes the epoch (phase B): it ages peer suspicion,
+// reconciles placement claims, folds the collected stats into the
+// traffic tracker, runs the policy on the resulting context, applies
+// the decision to the view, and ships the data movements it is
+// responsible for. FlushEpoch must have run first for this epoch.
+func (n *Node) RunEpoch() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.pending[n.self] == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: epoch %d", ErrNotFlushed, n.epoch)
+	}
+	epoch := n.epoch
+
+	n.ageSuspicionLocked()
+	n.reconcileClaimsLocked()
+	n.reseedLostLocked()
+	demand := n.foldTrackerLocked()
+
+	n.view.cluster.BeginEpoch()
+	n.view.cluster.EndEpoch()
+	ctx := &policy.Context{
+		Epoch:           int(epoch),
+		Cluster:         n.view.cluster,
+		Tracker:         n.tracker,
+		Router:          n.view.router,
+		Ring:            n.view.ring,
+		Demand:          demand,
+		FailureRate:     n.cfg.FailureRate,
+		MinAvailability: n.cfg.MinAvailability,
+		MinReplicas:     n.view.minReplicas,
+		HubCandidates:   n.cfg.HubCandidates,
+		RNG:             n.rng.Stream(epoch),
+	}
+	dec := n.pol.Decide(ctx)
+	ops := n.applyDecisionLocked(dec)
+
+	n.pending, n.nextPend = n.nextPend, n.pending
+	for i := range n.nextPend {
+		n.nextPend[i] = nil
+	}
+	n.epoch++
+	n.mu.Unlock()
+
+	// Data movement happens outside the lock: the loopback transport
+	// delivers synchronously, and the receiving node takes its own lock.
+	for _, op := range ops {
+		if resp, err := n.tr.Send(n.peerAddr(op.peer), op.msg); err == nil {
+			_ = resp.Err()
+		}
+	}
+	return nil
+}
+
+// ageSuspicionLocked updates per-peer failure suspicion from the stats
+// that did (not) arrive this epoch. A peer silent for SuspectAfter
+// consecutive epochs is presumed failed and leaves the view — feeding
+// the eq. (14) availability bound exactly like a simulated failure —
+// and rejoins when its stats reappear.
+func (n *Node) ageSuspicionLocked() {
+	for i := range n.cfg.Peers {
+		if i == n.self {
+			continue
+		}
+		if n.pending[i] != nil {
+			n.missed[i] = 0
+			if n.suspect[i] {
+				n.suspect[i] = false
+				n.view.recoverPeer(i)
+			}
+			continue
+		}
+		n.missed[i]++
+		if n.missed[i] >= n.cfg.SuspectAfter && !n.suspect[i] {
+			n.suspect[i] = true
+			n.view.failPeer(i)
+		}
+	}
+}
+
+// reconcileClaimsLocked folds the primaries' placement claims into the
+// view, in ascending claimant order for determinism. In a healthy
+// lockstep cluster every claim is a no-op (all views already agree);
+// after asymmetric suspicion or missed transfers the claims pull the
+// views back together.
+func (n *Node) reconcileClaimsLocked() {
+	for i := 0; i < len(n.cfg.Peers); i++ {
+		blob := n.pending[i]
+		if blob == nil {
+			continue
+		}
+		for _, cl := range blob.claims {
+			if cl.partition >= n.cfg.Partitions || cl.primary != i {
+				continue // a claim is only authoritative from its primary
+			}
+			n.applyClaimLocked(&cl)
+		}
+	}
+}
+
+func (n *Node) applyClaimLocked(cl *placementClaim) {
+	p := cl.partition
+	c := n.view.cluster
+	claimed := make(map[int]bool, len(cl.replicas))
+	for _, s := range cl.replicas {
+		claimed[s] = true
+		if !c.HasReplica(p, cluster.ServerID(s)) && c.CanHost(p, cluster.ServerID(s)) {
+			_ = c.AddReplica(p, cluster.ServerID(s))
+		}
+	}
+	for _, s := range c.ReplicaServers(p) {
+		if !claimed[int(s)] {
+			_ = c.RemoveReplica(p, s) // refuses the last copy, which is what we want
+		}
+	}
+	if c.HasReplica(p, cluster.ServerID(cl.primary)) {
+		_ = c.SetPrimary(p, cluster.ServerID(cl.primary))
+	}
+}
+
+// reseedLostLocked re-seeds partitions whose every holder vanished
+// (archival restore, as in the simulator's mass-failure handling). The
+// restored copy starts empty on the ring owner.
+func (n *Node) reseedLostLocked() {
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if n.view.primary(p) < 0 {
+			_ = n.view.seedPartition(p)
+		}
+	}
+}
+
+// foldTrackerLocked assembles every partition's cluster-wide serve
+// result from the collected stats and feeds the traffic tracker one
+// epoch (eqs. 10–11). It returns the per-partition origin demand
+// matrix for the policy context.
+func (n *Node) foldTrackerLocked() *workload.Matrix {
+	peers := len(n.cfg.Peers)
+	demand := workload.NewMatrix(n.cfg.Partitions, peers)
+	type agg struct {
+		traffic  []int
+		served   []int
+		unserved int
+		total    int
+	}
+	aggs := make([]agg, n.cfg.Partitions)
+	for p := range aggs {
+		aggs[p].traffic = make([]int, peers)
+		aggs[p].served = make([]int, peers)
+	}
+	for i := 0; i < peers; i++ {
+		blob := n.pending[i]
+		if blob == nil {
+			continue
+		}
+		for _, c := range blob.counters {
+			a := &aggs[c.partition]
+			a.traffic[i] += c.origin + c.transit
+			a.served[i] += c.served
+			a.unserved += c.overflow
+			a.total += c.origin
+			demand.Q[c.partition][i] += c.origin
+		}
+	}
+	n.tracker.BeginEpoch()
+	var res traffic.ServeResult
+	for p := range aggs {
+		primary := n.view.primary(p)
+		if primary < 0 {
+			continue
+		}
+		a := &aggs[p]
+		res = traffic.ServeResult{
+			TrafficByDC:  a.traffic,
+			ServedByDC:   a.served,
+			Unserved:     a.unserved,
+			TotalQueries: a.total,
+		}
+		n.tracker.Observe(p, topology.DCID(primary), &res)
+	}
+	n.tracker.EndEpoch()
+	return demand
+}
+
+// applyDecisionLocked mirrors the simulator's decision application on
+// the live view — same bandwidth gating, same failed-migration
+// fallback — and collects the transport messages this node is
+// responsible for: the primary ships snapshots to new holders and
+// drop orders to vacating ones. Every node applies the identical
+// decision to its own view, so views stay in lockstep while only the
+// involved nodes move data.
+func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
+	c := n.view.cluster
+	size := n.cfg.PartitionSize
+	var ops []outOp
+
+	snapshotOp := func(p, target int) outOp {
+		return outOp{peer: target, msg: &transport.Message{
+			Kind: KindStore, Partition: uint32(p), Value: appendSnapshot(nil, n.store.data[p]),
+		}}
+	}
+	dropOp := func(p, target int) outOp {
+		return outOp{peer: target, msg: &transport.Message{
+			Kind: KindDrop, Partition: uint32(p),
+		}}
+	}
+
+	for _, rep := range dec.Replications {
+		p, src, tgt := rep.Partition, rep.Source, rep.Target
+		if !c.HasReplica(p, src) || !c.CanHost(p, tgt) {
+			continue
+		}
+		if !c.ConsumeReplicationBW(src, size) {
+			continue
+		}
+		if c.AddReplica(p, tgt) != nil {
+			continue
+		}
+		n.counts.Repl++
+		if n.view.primary(p) == n.self && int(tgt) != n.self {
+			ops = append(ops, snapshotOp(p, int(tgt)))
+		}
+	}
+	for _, mig := range dec.Migrations {
+		p, from, to := mig.Partition, mig.From, mig.To
+		if !c.HasReplica(p, from) || !c.CanHost(p, to) {
+			continue
+		}
+		if !c.ConsumeMigrationBW(from, size) {
+			continue
+		}
+		if c.AddReplica(p, to) != nil {
+			continue
+		}
+		wasPrimary := c.Primary(p) == from
+		if c.RemoveReplica(p, from) != nil {
+			// Half-completed move: the new copy exists and bandwidth was
+			// spent, which is physically a replication (same accounting
+			// as the simulator).
+			n.counts.Repl++
+			if n.view.primary(p) == n.self && int(to) != n.self {
+				ops = append(ops, snapshotOp(p, int(to)))
+			}
+			continue
+		}
+		if wasPrimary {
+			_ = c.SetPrimary(p, to)
+		}
+		n.counts.Migr++
+		if int(from) == n.self {
+			n.store.drop(p)
+		}
+		if n.view.primary(p) == n.self {
+			if int(to) != n.self {
+				ops = append(ops, snapshotOp(p, int(to)))
+			}
+			if int(from) != n.self {
+				ops = append(ops, dropOp(p, int(from)))
+			}
+		}
+	}
+	for _, sui := range dec.Suicides {
+		p, s := sui.Partition, sui.Server
+		if c.Primary(p) == s {
+			continue // the primary never suicides
+		}
+		if c.RemoveReplica(p, s) != nil {
+			continue
+		}
+		n.counts.Suicide++
+		if int(s) == n.self {
+			n.store.drop(p)
+		}
+		if n.view.primary(p) == n.self && int(s) != n.self {
+			ops = append(ops, dropOp(p, int(s)))
+		}
+	}
+	return ops
+}
+
+// --- Introspection --------------------------------------------------
+
+// PartitionInfo is one partition's placement and data summary in a
+// DumpInfo.
+type PartitionInfo struct {
+	Partition int   `json:"partition"`
+	Primary   int   `json:"primary"`
+	Replicas  []int `json:"replicas"`
+	Keys      int   `json:"keys"`
+}
+
+// DumpInfo is a node's introspection snapshot, served to rfhctl as
+// JSON via KindDump.
+type DumpInfo struct {
+	ID          int             `json:"id"`
+	Self        int             `json:"self"`
+	Epoch       uint64          `json:"epoch"`
+	MinReplicas int             `json:"min_replicas"`
+	Decisions   DecisionCounts  `json:"decisions"`
+	Suspected   []int           `json:"suspected,omitempty"`
+	Partitions  []PartitionInfo `json:"partitions"`
+}
+
+// Dump returns the node's current placement, data and decision state.
+func (n *Node) Dump() DumpInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := DumpInfo{
+		ID:          n.cfg.ID,
+		Self:        n.self,
+		Epoch:       n.epoch,
+		MinReplicas: n.view.minReplicas,
+		Decisions:   n.counts,
+	}
+	for i, s := range n.suspect {
+		if s {
+			d.Suspected = append(d.Suspected, i)
+		}
+	}
+	for p := 0; p < n.cfg.Partitions; p++ {
+		info := PartitionInfo{Partition: p, Primary: n.view.primary(p), Keys: n.store.keys(p)}
+		for _, s := range n.view.cluster.ReplicaServers(p) {
+			info.Replicas = append(info.Replicas, int(s))
+		}
+		d.Partitions = append(d.Partitions, info)
+	}
+	return d
+}
+
+func (n *Node) handleDump() (*transport.Message, error) {
+	d := n.Dump()
+	buf, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	return &transport.Message{Kind: KindDump, Value: buf}, nil
+}
+
+// ReplicaMap returns every partition's sorted holder set — the
+// determinism tests compare these across nodes and across runs.
+func (n *Node) ReplicaMap() [][]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([][]int, n.cfg.Partitions)
+	for p := range out {
+		for _, s := range n.view.cluster.ReplicaServers(p) {
+			out[p] = append(out[p], int(s))
+		}
+	}
+	return out
+}
+
+// Primaries returns every partition's primary roster index.
+func (n *Node) Primaries() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int, n.cfg.Partitions)
+	for p := range out {
+		out[p] = n.view.primary(p)
+	}
+	return out
+}
+
+// ReplicaCount returns the number of holders of partition p.
+func (n *Node) ReplicaCount(p int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.cluster.ReplicaCount(p)
+}

@@ -1,0 +1,416 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// flavours are the transports the node-level tests run over: the
+// deterministic in-process loopback and real TCP sockets.
+var flavours = []string{"loopback", "tcp"}
+
+func testConfig() Config {
+	cfg := DefaultConfig(0, nil)
+	cfg.Partitions = 12
+	cfg.ReplicaCapacity = 8
+	cfg.SuspectAfter = 2
+	cfg.Seed = 7
+	return cfg
+}
+
+// harness drives a cluster of nodes over either transport in lockstep
+// epochs, mirroring what Fleet does for loopback only.
+type harness struct {
+	t     *testing.T
+	nodes []*Node
+	dead  []bool
+}
+
+func newHarness(t *testing.T, flavour string, n int, base Config) *harness {
+	t.Helper()
+	h := &harness{t: t, dead: make([]bool, n)}
+	peers := make([]Peer, n)
+	trs := make([]transport.Transport, n)
+	switch flavour {
+	case "loopback":
+		lb := transport.NewLoopback()
+		for i := range peers {
+			peers[i] = Peer{ID: i, Addr: fmt.Sprintf("node%d", i)}
+			trs[i] = lb.Endpoint(peers[i].Addr)
+		}
+	case "tcp":
+		opts := transport.TCPOptions{
+			DialTimeout: 500 * time.Millisecond, IOTimeout: 2 * time.Second,
+			Retries: 1, RetryBackoff: 5 * time.Millisecond,
+		}
+		for i := range peers {
+			tr, err := transport.ListenTCP("127.0.0.1:0", nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers[i] = Peer{ID: i, Addr: tr.Addr()}
+			trs[i] = tr
+		}
+	default:
+		t.Fatalf("unknown flavour %q", flavour)
+	}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.ID = i
+		cfg.Peers = append([]Peer(nil), peers...)
+		nd, err := New(cfg, trs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nodes = append(h.nodes, nd)
+	}
+	t.Cleanup(func() {
+		for i, nd := range h.nodes {
+			if !h.dead[i] {
+				nd.Close()
+			}
+		}
+	})
+	return h
+}
+
+func (h *harness) tick() {
+	h.t.Helper()
+	for i, nd := range h.nodes {
+		if h.dead[i] {
+			continue
+		}
+		if err := nd.FlushEpoch(); err != nil {
+			h.t.Fatalf("flush node %d: %v", i, err)
+		}
+	}
+	for i, nd := range h.nodes {
+		if h.dead[i] {
+			continue
+		}
+		if err := nd.RunEpoch(); err != nil {
+			h.t.Fatalf("run node %d: %v", i, err)
+		}
+	}
+}
+
+func (h *harness) kill(i int) {
+	h.t.Helper()
+	h.dead[i] = true
+	if err := h.nodes[i].Close(); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// replay issues one workload matrix against the cluster: Q[p][d]
+// queries for partition p enter at node d.
+func (h *harness) replay(m *workload.Matrix) ReplayStats {
+	var st ReplayStats
+	partitions := h.nodes[0].cfg.Partitions
+	for p := 0; p < m.Partitions(); p++ {
+		key := PartitionKey(p, partitions)
+		for d := 0; d < m.DCs() && d < len(h.nodes); d++ {
+			if h.dead[d] {
+				continue
+			}
+			for q := 0; q < m.Q[p][d]; q++ {
+				st.Queries++
+				_, ok, err := h.nodes[d].Get(key)
+				switch {
+				case err != nil:
+					st.Errors++
+				case ok:
+					st.Found++
+				}
+			}
+		}
+	}
+	return st
+}
+
+func (h *harness) zipf(base Config) workload.Generator {
+	h.t.Helper()
+	gen, err := workload.NewZipfPartitions(workload.Config{
+		Partitions: base.Partitions, DCs: len(h.nodes), Lambda: 5, Seed: 11,
+	}, 1.1)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return gen
+}
+
+// assertViewsAgree checks that all live nodes hold identical replica
+// maps and primaries.
+func (h *harness) assertViewsAgree() {
+	h.t.Helper()
+	var refMap [][]int
+	var refPrim []int
+	refIdx := -1
+	for i, nd := range h.nodes {
+		if h.dead[i] {
+			continue
+		}
+		if refIdx < 0 {
+			refMap, refPrim, refIdx = nd.ReplicaMap(), nd.Primaries(), i
+			continue
+		}
+		if got := nd.ReplicaMap(); !reflect.DeepEqual(refMap, got) {
+			h.t.Fatalf("replica maps diverge: node %d %v vs node %d %v", refIdx, refMap, i, got)
+		}
+		if got := nd.Primaries(); !reflect.DeepEqual(refPrim, got) {
+			h.t.Fatalf("primaries diverge: node %d %v vs node %d %v", refIdx, refPrim, i, got)
+		}
+	}
+}
+
+func TestClusterConvergesToMinReplicas(t *testing.T) {
+	for _, flavour := range flavours {
+		t.Run(flavour, func(t *testing.T) {
+			base := testConfig()
+			h := newHarness(t, flavour, 3, base)
+			gen := h.zipf(base)
+			for e := 0; e < 6; e++ {
+				h.replay(gen.Epoch(e))
+				h.tick()
+			}
+			minRep := h.nodes[0].MinReplicas()
+			if minRep < 2 {
+				t.Fatalf("expected MinReplicas >= 2 from eq. (14), got %d", minRep)
+			}
+			for p := 0; p < base.Partitions; p++ {
+				if got := h.nodes[0].ReplicaCount(p); got < minRep {
+					t.Errorf("partition %d has %d replicas, want >= %d", p, got, minRep)
+				}
+			}
+			h.assertViewsAgree()
+		})
+	}
+}
+
+func TestKillNodeTriggersReReplication(t *testing.T) {
+	for _, flavour := range flavours {
+		t.Run(flavour, func(t *testing.T) {
+			base := testConfig()
+			h := newHarness(t, flavour, 3, base)
+			gen := h.zipf(base)
+			for e := 0; e < 5; e++ {
+				h.replay(gen.Epoch(e))
+				h.tick()
+			}
+			const victim = 2
+			h.kill(victim)
+			// Suspicion needs SuspectAfter silent epochs, then branch 1 of
+			// the policy restores the availability bound within one more.
+			for e := 5; e < 5+base.SuspectAfter+3; e++ {
+				h.replay(gen.Epoch(e))
+				h.tick()
+			}
+			minRep := h.nodes[0].MinReplicas()
+			for p := 0; p < base.Partitions; p++ {
+				if got := h.nodes[0].ReplicaCount(p); got < minRep {
+					t.Errorf("partition %d has %d replicas after failure, want >= %d", p, got, minRep)
+				}
+			}
+			for _, prim := range h.nodes[0].Primaries() {
+				if prim == victim {
+					t.Errorf("dead node %d still primary somewhere", victim)
+				}
+				if prim < 0 {
+					t.Errorf("partition left without a primary")
+				}
+			}
+			for p, replicas := range h.nodes[0].ReplicaMap() {
+				for _, s := range replicas {
+					if s == victim {
+						t.Errorf("partition %d still placed on dead node %d", p, victim)
+					}
+				}
+			}
+			h.assertViewsAgree()
+		})
+	}
+}
+
+// runScenario executes the reference seeded scenario on a fresh
+// loopback cluster and returns the observable end state of node 0.
+func runScenario(t *testing.T, seed uint64) ([][]int, []int, DecisionCounts) {
+	t.Helper()
+	base := testConfig()
+	base.Seed = seed
+	h := newHarness(t, "loopback", 3, base)
+	gen := h.zipf(base)
+	for e := 0; e < 5; e++ {
+		h.replay(gen.Epoch(e))
+		h.tick()
+	}
+	h.kill(2)
+	for e := 5; e < 10; e++ {
+		h.replay(gen.Epoch(e))
+		h.tick()
+	}
+	h.assertViewsAgree()
+	counts := h.nodes[0].DecisionCounts()
+	if got := h.nodes[1].DecisionCounts(); got != counts {
+		t.Fatalf("decision counts diverge between nodes: %+v vs %+v", counts, got)
+	}
+	return h.nodes[0].ReplicaMap(), h.nodes[0].Primaries(), counts
+}
+
+func TestSeededRunsAreDeterministic(t *testing.T) {
+	m1, p1, c1 := runScenario(t, 42)
+	m2, p2, c2 := runScenario(t, 42)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Errorf("replica maps differ between identically-seeded runs")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("primaries differ between identically-seeded runs")
+	}
+	if c1 != c2 {
+		t.Errorf("decision counts differ between identically-seeded runs: %+v vs %+v", c1, c2)
+	}
+	// A different seed must be able to produce a different placement —
+	// otherwise the assertions above are vacuous.
+	m3, _, _ := runScenario(t, 1777)
+	if reflect.DeepEqual(m1, m3) {
+		t.Logf("note: seeds 42 and 1777 converged to the same placement")
+	}
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	for _, flavour := range flavours {
+		t.Run(flavour, func(t *testing.T) {
+			h := newHarness(t, flavour, 3, testConfig())
+			key := PartitionKey(3, 12)
+			if err := h.nodes[0].Put(key, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			for i, nd := range h.nodes {
+				v, ok, err := nd.Get(key)
+				if err != nil {
+					t.Fatalf("get via node %d: %v", i, err)
+				}
+				if !ok || !bytes.Equal(v, []byte("hello")) {
+					t.Fatalf("get via node %d: ok=%v value=%q", i, ok, v)
+				}
+			}
+			if _, ok, err := h.nodes[1].Get("absent-key"); err != nil || ok {
+				t.Fatalf("absent key: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func TestWriteSurvivesPrimaryFailure(t *testing.T) {
+	base := testConfig()
+	h := newHarness(t, "loopback", 3, base)
+	gen := h.zipf(base)
+	// Converge so every partition has >= MinReplicas copies and writes
+	// are synced to all holders.
+	for e := 0; e < 5; e++ {
+		h.replay(gen.Epoch(e))
+		h.tick()
+	}
+	key := PartitionKey(0, base.Partitions)
+	if err := h.nodes[0].Put(key, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	victim := h.nodes[0].Primaries()[h.nodes[0].PartitionOf(key)]
+	h.kill(victim)
+	for e := 5; e < 5+base.SuspectAfter+2; e++ {
+		h.tick()
+	}
+	survivor := (victim + 1) % 3
+	v, ok, err := h.nodes[survivor].Get(key)
+	if err != nil || !ok || !bytes.Equal(v, []byte("durable")) {
+		t.Fatalf("write lost after primary failure: ok=%v err=%v value=%q", ok, err, v)
+	}
+}
+
+func TestRunEpochRequiresFlush(t *testing.T) {
+	h := newHarness(t, "loopback", 3, testConfig())
+	if err := h.nodes[0].RunEpoch(); !errors.Is(err, ErrNotFlushed) {
+		t.Fatalf("RunEpoch without FlushEpoch: %v", err)
+	}
+}
+
+func TestClosedNodeRefusesOperations(t *testing.T) {
+	h := newHarness(t, "loopback", 3, testConfig())
+	h.kill(1)
+	if _, _, err := h.nodes[1].Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get on closed node: %v", err)
+	}
+	if err := h.nodes[1].FlushEpoch(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush on closed node: %v", err)
+	}
+	if err := h.nodes[1].Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPartitionKeyMapsToPartition(t *testing.T) {
+	h := newHarness(t, "loopback", 3, testConfig())
+	for p := 0; p < 12; p++ {
+		key := PartitionKey(p, 12)
+		if got := h.nodes[0].PartitionOf(key); got != p {
+			t.Fatalf("PartitionKey(%d) maps to partition %d", p, got)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	peers := []Peer{{0, "a"}, {1, "b"}, {2, "c"}}
+	good := DefaultConfig(1, peers)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"too few peers":   func(c *Config) { c.Peers = peers[:2] },
+		"duplicate id":    func(c *Config) { c.Peers = []Peer{{0, "a"}, {0, "b"}, {2, "c"}} },
+		"missing addr":    func(c *Config) { c.Peers = []Peer{{0, "a"}, {1, ""}, {2, "c"}} },
+		"self not listed": func(c *Config) { c.ID = 9 },
+		"bad partitions":  func(c *Config) { c.Partitions = 0 },
+		"bad tokens":      func(c *Config) { c.TokensPerServer = 0 },
+		"bad capacity":    func(c *Config) { c.ReplicaCapacity = 0 },
+		"bad suspect":     func(c *Config) { c.SuspectAfter = 0 },
+		"bad alpha":       func(c *Config) { c.Thresholds.Alpha = 2 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultConfig(1, append([]Peer(nil), peers...))
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", name)
+		}
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	cfg := DefaultConfig(0, []Peer{{0, "a"}, {1, "b"}, {2, "c"}})
+	cfg.PolicyName = "nope"
+	n, err := New(cfg, transport.NewLoopback().Endpoint("a"))
+	if err == nil {
+		n.Close()
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDumpReportsPlacement(t *testing.T) {
+	base := testConfig()
+	h := newHarness(t, "loopback", 3, base)
+	h.tick()
+	d := h.nodes[0].Dump()
+	if d.Epoch != 1 || d.Self != 0 || len(d.Partitions) != base.Partitions {
+		t.Fatalf("dump shape wrong: %+v", d)
+	}
+	for _, pi := range d.Partitions {
+		if pi.Primary < 0 || len(pi.Replicas) == 0 {
+			t.Fatalf("partition %d unplaced in dump: %+v", pi.Partition, pi)
+		}
+	}
+}

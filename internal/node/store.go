@@ -1,0 +1,63 @@
+package node
+
+// store is the node's in-memory partitioned KV data plus the
+// per-partition traffic counters for the epoch in flight. Partition
+// maps exist for every partition regardless of whether the node
+// currently holds a replica — holding is a property of the view, and
+// an empty map for a non-held partition costs nothing.
+//
+// store is not safe for concurrent use; Node.mu guards it.
+type store struct {
+	data     []map[string][]byte
+	counters []partitionCounters
+}
+
+func newStore(partitions int) *store {
+	s := &store{
+		data:     make([]map[string][]byte, partitions),
+		counters: make([]partitionCounters, partitions),
+	}
+	for p := range s.data {
+		s.data[p] = make(map[string][]byte)
+		s.counters[p].partition = p
+	}
+	return s
+}
+
+func (s *store) get(p int, key string) ([]byte, bool) {
+	v, ok := s.data[p][key]
+	return v, ok
+}
+
+func (s *store) put(p int, key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[p][key] = v
+}
+
+// replace installs a transferred snapshot as the partition's data.
+func (s *store) replace(p int, data map[string][]byte) {
+	s.data[p] = data
+}
+
+// drop discards the partition's data (migration victim, suicide).
+func (s *store) drop(p int) {
+	s.data[p] = make(map[string][]byte)
+}
+
+func (s *store) keys(p int) int { return len(s.data[p]) }
+
+// flushCounters snapshots every partition's non-zero counters and
+// resets them, so each query is reported in exactly one epoch: queries
+// arriving after the flush count toward the next one.
+func (s *store) flushCounters() []partitionCounters {
+	var out []partitionCounters
+	for p := range s.counters {
+		c := s.counters[p]
+		if c.origin|c.transit|c.served|c.overflow != 0 {
+			out = append(out, c)
+		}
+		s.counters[p] = partitionCounters{partition: p}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/availability"
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/ring"
+	"repro/internal/topology"
+)
+
+// view is one node's model of the whole cluster: the synthetic world
+// connecting the peers, the routing table over it, the consistent-
+// hashing ring, and the replica placement. It is built purely from the
+// shared Config fields, so every node of a cluster constructs an
+// identical view — which is what lets each node run the global
+// policy.Policy locally and arrive at the same decisions as everyone
+// else.
+//
+// The live runtime maps each peer to one datacenter holding exactly
+// one server, so ServerID, DCID and roster index are the same number
+// throughout the node package.
+type view struct {
+	world   *topology.World
+	router  *network.Router
+	ring    *ring.Ring
+	cluster *cluster.Cluster
+
+	tokens      int
+	minReplicas int
+}
+
+// newView derives the deterministic cluster model from a validated
+// config.
+func newView(cfg *Config) (*view, error) {
+	n := len(cfg.Peers)
+	degree := 3
+	if degree >= n {
+		degree = n - 1
+	}
+	world, err := topology.RandomGeometricWorld(n, degree, cfg.Seed^0x11FE)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	router, err := network.NewRouter(world)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	cl, err := cluster.New(world, cluster.Spec{
+		RoomsPerDC:         1,
+		RacksPerRoom:       1,
+		ServersPerRack:     1,
+		StorageCapacity:    10 << 30,
+		StorageLimit:       0.70,
+		ReplicationBW:      cfg.ReplicationBW,
+		MigrationBW:        cfg.MigrationBW,
+		ReplicaCapacityMin: cfg.ReplicaCapacity,
+		ReplicaCapacityMax: cfg.ReplicaCapacity,
+		ProcessLimit:       64,
+		MeanServiceTime:    0.01,
+		Partitions:         cfg.Partitions,
+		PartitionSize:      cfg.PartitionSize,
+		Seed:               cfg.Seed ^ 0x5EED,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	minRep, err := availability.MinReplicas(cfg.FailureRate, cfg.MinAvailability)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	v := &view{
+		world:       world,
+		router:      router,
+		ring:        ring.New(),
+		cluster:     cl,
+		tokens:      cfg.TokensPerServer,
+		minReplicas: minRep,
+	}
+	for i := 0; i < n; i++ {
+		if err := v.ring.AddServer(i, cfg.TokensPerServer); err != nil {
+			return nil, fmt.Errorf("node: %w", err)
+		}
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		if err := v.seedPartition(p); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// seedPartition places the partition's first copy on its ring owner or
+// the first hostable successor — the same rule as the simulator, so a
+// live cluster and a simulation with the same seed start from the same
+// placement.
+func (v *view) seedPartition(p int) error {
+	pos := ring.HashUint64(uint64(p))
+	for _, vn := range v.ring.Successors(pos, v.cluster.NumServers()) {
+		s := cluster.ServerID(vn.Server)
+		if v.cluster.CanHost(p, s) {
+			return v.cluster.AddReplica(p, s)
+		}
+	}
+	return fmt.Errorf("node: no server can host partition %d", p)
+}
+
+// primary returns the roster index of the partition's primary holder,
+// or -1 if the partition is lost.
+func (v *view) primary(p int) int { return int(v.cluster.Primary(p)) }
+
+// hasReplica reports whether peer i holds a copy of partition p.
+func (v *view) hasReplica(p, i int) bool {
+	return v.cluster.HasReplica(p, cluster.ServerID(i))
+}
+
+// failPeer removes a suspected peer from the placement and the ring.
+// The cluster promotes the lowest-id surviving holder of each affected
+// partition, which is deterministic and therefore identical on every
+// node that suspects the peer in the same epoch.
+func (v *view) failPeer(i int) {
+	if v.cluster.Server(cluster.ServerID(i)).Alive() {
+		v.cluster.FailServer(cluster.ServerID(i))
+	}
+	v.ring.RemoveServer(i)
+}
+
+// recoverPeer restores a previously-suspected peer.
+func (v *view) recoverPeer(i int) {
+	if !v.cluster.Server(cluster.ServerID(i)).Alive() {
+		v.cluster.RecoverServer(cluster.ServerID(i))
+		// Re-adding can only fail if the server never left the ring,
+		// which the suspicion path excludes.
+		_ = v.ring.AddServer(i, v.tokens)
+	}
+}

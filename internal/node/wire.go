@@ -1,0 +1,214 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Message kinds of the node protocol, carried in transport.Message.Kind.
+// Kinds below 64 are node-to-node traffic; kinds from 64 are control
+// RPCs issued by rfhctl (and the fleet harness) against a single node.
+const (
+	// KindGet is a query for one key. Origin carries the roster index
+	// where the query entered the cluster, Hops the forwarding count so
+	// far. Replies: StatusOK with the value, StatusNotFound, or
+	// StatusError.
+	KindGet uint8 = 1
+	// KindPut stores one key/value pair; non-primary receivers proxy it
+	// to the primary.
+	KindPut uint8 = 2
+	// KindSync is the primary's best-effort propagation of one write to
+	// the other replica holders.
+	KindSync uint8 = 3
+	// KindStore transfers a whole partition snapshot to a new replica
+	// holder (replication and migration both ship data this way).
+	KindStore uint8 = 4
+	// KindDrop tells a holder to discard its copy of a partition
+	// (migration victim, suicide).
+	KindDrop uint8 = 5
+	// KindStats is the end-of-epoch broadcast: Origin is the sender's
+	// roster index, Epoch the epoch the stats describe, Value the
+	// encoded statsBlob.
+	KindStats uint8 = 6
+	// KindPing is a liveness probe; the reply is an empty StatusOK.
+	KindPing uint8 = 7
+
+	// KindEpochFlush makes the node broadcast its epoch stats (phase A
+	// of the two-phase tick).
+	KindEpochFlush uint8 = 64
+	// KindEpochRun makes the node run its epoch decision step (phase B).
+	KindEpochRun uint8 = 65
+	// KindDump returns the node's DumpInfo as JSON in Value.
+	KindDump uint8 = 66
+)
+
+// partitionCounters is one partition's per-epoch observation at one
+// node: queries that entered the cluster here (origin), queries
+// forwarded through here (transit), queries served here (served) and
+// served queries beyond the replica's per-epoch capacity (overflow).
+type partitionCounters struct {
+	partition int
+	origin    int
+	transit   int
+	served    int
+	overflow  int
+}
+
+// placementClaim is a primary's end-of-epoch statement of a partition's
+// replica set. Peers fold claims into their views, which re-converges
+// any drift (e.g. after asymmetric suspicion).
+type placementClaim struct {
+	partition int
+	primary   int
+	replicas  []int // ascending roster indexes
+}
+
+// statsBlob is the payload of one KindStats broadcast.
+type statsBlob struct {
+	counters []partitionCounters // ascending partition order
+	claims   []placementClaim    // ascending partition order
+}
+
+// appendStats encodes a statsBlob.
+func appendStats(dst []byte, b *statsBlob) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b.counters)))
+	for _, c := range b.counters {
+		dst = binary.AppendUvarint(dst, uint64(c.partition))
+		dst = binary.AppendUvarint(dst, uint64(c.origin))
+		dst = binary.AppendUvarint(dst, uint64(c.transit))
+		dst = binary.AppendUvarint(dst, uint64(c.served))
+		dst = binary.AppendUvarint(dst, uint64(c.overflow))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b.claims)))
+	for _, cl := range b.claims {
+		dst = binary.AppendUvarint(dst, uint64(cl.partition))
+		dst = binary.AppendUvarint(dst, uint64(cl.primary))
+		dst = binary.AppendUvarint(dst, uint64(len(cl.replicas)))
+		for _, s := range cl.replicas {
+			dst = binary.AppendUvarint(dst, uint64(s))
+		}
+	}
+	return dst
+}
+
+// uvarintReader decodes a sequence of uvarints with a sticky error.
+type uvarintReader struct {
+	buf []byte
+	err error
+}
+
+func (r *uvarintReader) next() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("node: truncated or malformed uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// nextInt decodes a uvarint bounded by max (guarding counts read from
+// the wire against allocation bombs). It returns 0 on any error so
+// callers can never size an allocation from an unvalidated value.
+func (r *uvarintReader) nextInt(max int) int {
+	v := r.next()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		r.err = fmt.Errorf("node: wire value %d exceeds bound %d", v, max)
+		return 0
+	}
+	return int(v)
+}
+
+// decodeStats parses a KindStats payload. partitions and peers bound
+// the indexes a well-formed blob may mention.
+func decodeStats(buf []byte, partitions, peers int) (*statsBlob, error) {
+	r := &uvarintReader{buf: buf}
+	b := &statsBlob{}
+	n := r.nextInt(partitions)
+	for i := 0; i < n && r.err == nil; i++ {
+		c := partitionCounters{
+			partition: r.nextInt(partitions - 1),
+			origin:    int(r.next()),
+			transit:   int(r.next()),
+			served:    int(r.next()),
+			overflow:  int(r.next()),
+		}
+		b.counters = append(b.counters, c)
+	}
+	m := r.nextInt(partitions)
+	for i := 0; i < m && r.err == nil; i++ {
+		cl := placementClaim{
+			partition: r.nextInt(partitions - 1),
+			primary:   r.nextInt(peers - 1),
+		}
+		k := r.nextInt(peers)
+		for j := 0; j < k && r.err == nil; j++ {
+			cl.replicas = append(cl.replicas, r.nextInt(peers-1))
+		}
+		b.claims = append(b.claims, cl)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("node: %d trailing bytes after stats blob", len(r.buf))
+	}
+	return b, nil
+}
+
+// appendSnapshot encodes one partition's key/value data for a
+// KindStore transfer. Keys are emitted in ascending order so the
+// encoding is deterministic regardless of map iteration order.
+func appendSnapshot(dst []byte, data map[string][]byte) []byte {
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		v := data[k]
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// decodeSnapshot parses a KindStore payload into a fresh map.
+func decodeSnapshot(buf []byte) (map[string][]byte, error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(len(buf)) // a pair costs ≥2 bytes, so len(buf) bounds the count
+	data := make(map[string][]byte, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		kl := r.nextInt(len(r.buf))
+		if r.err != nil {
+			break
+		}
+		k := string(r.buf[:kl])
+		r.buf = r.buf[kl:]
+		vl := r.nextInt(len(r.buf))
+		if r.err != nil {
+			break
+		}
+		v := make([]byte, vl)
+		copy(v, r.buf[:vl])
+		r.buf = r.buf[vl:]
+		data[k] = v
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("node: %d trailing bytes after snapshot", len(r.buf))
+	}
+	return data, nil
+}

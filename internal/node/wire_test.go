@@ -1,0 +1,101 @@
+package node
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestStatsBlobRoundTrip(t *testing.T) {
+	in := &statsBlob{
+		counters: []partitionCounters{
+			{partition: 0, origin: 3, transit: 1, served: 4, overflow: 0},
+			{partition: 7, origin: 0, transit: 9, served: 2, overflow: 5},
+		},
+		claims: []placementClaim{
+			{partition: 0, primary: 1, replicas: []int{0, 1, 2}},
+			{partition: 7, primary: 2, replicas: []int{2}},
+		},
+	}
+	enc := appendStats(nil, in)
+	out, err := decodeStats(enc, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestStatsBlobEmpty(t *testing.T) {
+	enc := appendStats(nil, &statsBlob{})
+	out, err := decodeStats(enc, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.counters) != 0 || len(out.claims) != 0 {
+		t.Fatalf("empty blob decoded non-empty: %+v", out)
+	}
+}
+
+func TestDecodeStatsRejectsCorrupt(t *testing.T) {
+	good := appendStats(nil, &statsBlob{
+		counters: []partitionCounters{{partition: 1, origin: 2}},
+		claims:   []placementClaim{{partition: 1, primary: 0, replicas: []int{0}}},
+	})
+	cases := map[string][]byte{
+		"empty truncated":     good[:0],
+		"truncated counters":  good[:2],
+		"trailing bytes":      append(append([]byte{}, good...), 1),
+		"partition too large": appendStats(nil, &statsBlob{counters: []partitionCounters{{partition: 99}}}),
+		"peer too large":      appendStats(nil, &statsBlob{claims: []placementClaim{{partition: 1, primary: 42}}}),
+	}
+	for name, buf := range cases {
+		if _, err := decodeStats(buf, 8, 3); err == nil {
+			t.Errorf("%s: corrupt stats accepted", name)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := map[string][]byte{
+		"alpha": []byte("1"),
+		"beta":  {},
+		"gamma": bytes.Repeat([]byte("x"), 300),
+	}
+	enc := appendSnapshot(nil, in)
+	out, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("size mismatch: %d vs %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if !bytes.Equal(out[k], v) {
+			t.Fatalf("key %q: %q vs %q", k, out[k], v)
+		}
+	}
+}
+
+func TestSnapshotEncodingIsCanonical(t *testing.T) {
+	a := map[string][]byte{"k1": []byte("v1"), "k2": []byte("v2"), "k3": []byte("v3")}
+	b := map[string][]byte{"k3": []byte("v3"), "k1": []byte("v1"), "k2": []byte("v2")}
+	if !bytes.Equal(appendSnapshot(nil, a), appendSnapshot(nil, b)) {
+		t.Fatal("snapshot encoding depends on construction order")
+	}
+}
+
+func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
+	good := appendSnapshot(nil, map[string][]byte{"key": []byte("value")})
+	cases := map[string][]byte{
+		"truncated": good[:len(good)-2],
+		"trailing":  append(append([]byte{}, good...), 0),
+		"bomb":      {0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, buf := range cases {
+		if _, err := decodeSnapshot(buf); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}

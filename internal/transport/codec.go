@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message is the wire unit of the node protocol. The fields are
+// generic routing/payload slots; the node layer assigns meaning to
+// Kind values and payload encodings. The zero value is a valid
+// (empty) message.
+type Message struct {
+	// Kind discriminates the request/response type (node protocol).
+	Kind uint8
+	// Status is 0 (StatusOK) on requests and successful responses;
+	// non-zero responses carry an application error class.
+	Status uint8
+	// Partition addresses one data partition where relevant.
+	Partition uint32
+	// Origin is the datacenter index a routed request entered the
+	// cluster at; forwarding preserves it for traffic accounting.
+	Origin uint32
+	// Hops counts transport-level forwards of a routed request.
+	Hops uint32
+	// Epoch tags epoch-scoped messages (stats exchange, ticks).
+	Epoch uint64
+	// Key and Value are the payload slots. Either may be nil.
+	Key   []byte
+	Value []byte
+}
+
+// Response status classes. The node protocol maps its own error
+// conditions onto these; the transport itself only produces
+// StatusError (for handler failures and missing handlers).
+const (
+	StatusOK       uint8 = 0
+	StatusError    uint8 = 1 // handler failed; Value holds the error text
+	StatusNotFound uint8 = 2
+	StatusRetry    uint8 = 3 // transient condition, safe to retry
+)
+
+// Err converts a non-OK response into an error (nil for StatusOK).
+func (m *Message) Err() error {
+	switch m.Status {
+	case StatusOK, StatusNotFound:
+		return nil
+	default:
+		return fmt.Errorf("transport: remote status %d: %s", m.Status, m.Value)
+	}
+}
+
+// MaxFrame is the largest encoded message a conforming endpoint
+// accepts: 16 MiB comfortably holds a full partition transfer at the
+// Table I partition size while bounding a malicious or corrupt
+// length prefix.
+const MaxFrame = 16 << 20
+
+// frameHeaderLen is the byte length of the frame length prefix.
+const frameHeaderLen = 4
+
+// AppendMessage appends the encoded message body (no frame header) to
+// dst and returns the extended slice. Layout: kind, status, then
+// uvarint partition/origin/hops/epoch, then length-prefixed key and
+// value.
+func AppendMessage(dst []byte, m *Message) []byte {
+	dst = append(dst, m.Kind, m.Status)
+	dst = binary.AppendUvarint(dst, uint64(m.Partition))
+	dst = binary.AppendUvarint(dst, uint64(m.Origin))
+	dst = binary.AppendUvarint(dst, uint64(m.Hops))
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Key)))
+	dst = append(dst, m.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Value)))
+	dst = append(dst, m.Value...)
+	return dst
+}
+
+// DecodeMessage parses an encoded message body. The returned message
+// aliases buf's key/value bytes; callers that retain them across
+// buffer reuse must copy.
+func DecodeMessage(buf []byte) (*Message, error) {
+	m := &Message{}
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("transport: message truncated at header (%d bytes)", len(buf))
+	}
+	m.Kind, m.Status = buf[0], buf[1]
+	rest := buf[2:]
+	var err error
+	var u uint64
+	if u, rest, err = takeUvarint(rest, "partition"); err != nil {
+		return nil, err
+	}
+	m.Partition = uint32(u)
+	if u, rest, err = takeUvarint(rest, "origin"); err != nil {
+		return nil, err
+	}
+	m.Origin = uint32(u)
+	if u, rest, err = takeUvarint(rest, "hops"); err != nil {
+		return nil, err
+	}
+	m.Hops = uint32(u)
+	if m.Epoch, rest, err = takeUvarint(rest, "epoch"); err != nil {
+		return nil, err
+	}
+	if m.Key, rest, err = takeBytes(rest, "key"); err != nil {
+		return nil, err
+	}
+	if m.Value, rest, err = takeBytes(rest, "value"); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after message", len(rest))
+	}
+	return m, nil
+}
+
+func takeUvarint(buf []byte, field string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("transport: bad uvarint in %s field", field)
+	}
+	return v, buf[n:], nil
+}
+
+func takeBytes(buf []byte, field string) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(buf, field)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("transport: %s length %d exceeds remaining %d bytes", field, n, len(rest))
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	body := AppendMessage(make([]byte, frameHeaderLen, frameHeaderLen+64+len(m.Key)+len(m.Value)), m)
+	n := len(body) - frameHeaderLen
+	if n > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(body[:frameHeaderLen], uint32(n))
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r. It rejects
+// frames over MaxFrame without reading them, so a corrupt prefix
+// cannot trigger a giant allocation.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return DecodeMessage(body)
+}
+
+// errorReply wraps a handler failure as a StatusError response so the
+// sender sees the failure text instead of a dropped connection.
+func errorReply(req *Message, err error) *Message {
+	return &Message{Kind: req.Kind, Status: StatusError, Value: []byte(err.Error())}
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func msgEqual(a, b *Message) bool {
+	norm := func(m *Message) Message {
+		c := *m
+		if len(c.Key) == 0 {
+			c.Key = nil
+		}
+		if len(c.Value) == 0 {
+			c.Value = nil
+		}
+		return c
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []*Message{
+		{},
+		{Kind: 7, Status: StatusNotFound},
+		{Kind: 1, Partition: 63, Origin: 9, Hops: 4, Epoch: 1 << 40, Key: []byte("k"), Value: []byte("v")},
+		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1},
+		{Kind: 2, Key: bytes.Repeat([]byte{0xAB}, 1<<16), Value: bytes.Repeat([]byte{0xCD}, 1<<18)},
+		{Kind: 3, Value: []byte{}},
+	}
+	for i, m := range cases {
+		enc := AppendMessage(nil, m)
+		got, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !msgEqual(m, got) {
+			t.Fatalf("case %d: round trip mismatch:\n in  %+v\n out %+v", i, m, got)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{Kind: 1, Key: []byte("a"), Value: []byte("1")},
+		{Kind: 2, Partition: 5, Epoch: 9},
+		{Kind: 3, Value: bytes.Repeat([]byte("x"), 10000)},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !msgEqual(want, got) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, want, got)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsCorrupt(t *testing.T) {
+	good := AppendMessage(nil, &Message{Kind: 1, Key: []byte("key"), Value: []byte("value")})
+	cases := map[string][]byte{
+		"empty":        {},
+		"header only":  good[:1],
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte{}, good...), 0x00),
+		"bad key len":  {1, 0, 0, 0, 0, 0, 0xFF},
+		"overlong key": {1, 0, 0, 0, 0, 0, 200, 'a'},
+	}
+	for name, buf := range cases {
+		if _, err := DecodeMessage(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}
+
+func TestMessageErr(t *testing.T) {
+	if err := (&Message{Status: StatusOK}).Err(); err != nil {
+		t.Fatalf("StatusOK produced error %v", err)
+	}
+	if err := (&Message{Status: StatusNotFound}).Err(); err != nil {
+		t.Fatalf("StatusNotFound is not an error condition, got %v", err)
+	}
+	err := (&Message{Status: StatusError, Value: []byte("boom")}).Err()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("StatusError lost the message: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPOptions tunes the TCP transport. Zero values select the
+// defaults; see DefaultTCPOptions.
+type TCPOptions struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// IOTimeout bounds one request/response exchange: the frame write
+	// and the reply read each get this deadline (default 5s).
+	IOTimeout time.Duration
+	// Retries is how many times a failed Send is re-attempted on a
+	// fresh connection before giving up (default 2, i.e. up to three
+	// attempts total).
+	Retries int
+	// RetryBackoff is the sleep before the first retry; each further
+	// retry doubles it (default 50ms).
+	RetryBackoff time.Duration
+}
+
+// DefaultTCPOptions returns the default timeouts.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		DialTimeout:  2 * time.Second,
+		IOTimeout:    5 * time.Second,
+		Retries:      2,
+		RetryBackoff: 50 * time.Millisecond,
+	}
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	d := DefaultTCPOptions()
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = d.IOTimeout
+	}
+	if o.Retries < 0 {
+		o.Retries = d.Retries
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = d.RetryBackoff
+	}
+	return o
+}
+
+// TCP is the real-socket transport: length-prefixed frames over
+// persistent per-peer connections. Outbound connections are pooled
+// one per peer and serialise one in-flight request each; failed
+// exchanges redial with bounded exponential backoff. A TCP created
+// with ListenTCP also accepts inbound connections and serves its
+// Handler on them; NewTCPClient creates a send-only endpoint (used by
+// rfhctl).
+type TCP struct {
+	opts TCPOptions
+	ln   net.Listener // nil for client-only endpoints
+
+	mu      sync.Mutex
+	handler Handler
+	peers   map[string]*tcpPeer
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup // accept loop + server conn goroutines
+}
+
+var _ Transport = (*TCP)(nil)
+
+// tcpPeer is the pooled outbound connection to one peer. Its mutex
+// serialises one request/response exchange at a time.
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// ListenTCP binds addr (e.g. "127.0.0.1:0") and serves h on inbound
+// connections. Use SetHandler later if h must reference state that
+// needs the transport's address first.
+func ListenTCP(addr string, h Handler, opts TCPOptions) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		opts: opts.withDefaults(), ln: ln, handler: h,
+		peers: make(map[string]*tcpPeer), inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// NewTCPClient returns a send-only TCP endpoint: no listener, no
+// inbound traffic. Addr returns "".
+func NewTCPClient(opts TCPOptions) *TCP {
+	return &TCP{opts: opts.withDefaults(), peers: make(map[string]*tcpPeer)}
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// acceptLoop accepts inbound connections until the listener closes.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn answers frames on one inbound connection until it drops.
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inbound[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	from := conn.RemoteAddr().String()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		var resp *Message
+		switch {
+		case closed:
+			return
+		case h == nil:
+			resp = errorReply(req, fmt.Errorf("endpoint %s has no handler", t.Addr()))
+		default:
+			r, herr := h(from, req)
+			if herr != nil {
+				resp = errorReply(req, herr)
+			} else if r == nil {
+				resp = &Message{Kind: req.Kind}
+			} else {
+				resp = r
+			}
+		}
+		//lint:ignore rfhlint/nowallclock real-socket I/O deadline; the node layer's epoch logic never sees this clock
+		deadline := time.Now().Add(t.opts.IOTimeout)
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Send implements Transport: one framed exchange on the pooled
+// connection to peer, redialling with backoff on failure.
+func (t *TCP) Send(peer string, req *Message) (*Message, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p, ok := t.peers[peer]
+	if !ok {
+		p = &tcpPeer{}
+		t.peers[peer] = p
+	}
+	t.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	backoff := t.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
+		if attempt > 0 {
+			//lint:ignore rfhlint/nowallclock bounded retry backoff on a real socket; not simulation state
+			time.Sleep(backoff)
+			backoff *= 2
+			// The transport may have closed while we were backing off.
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+		}
+		resp, err := t.exchange(p, peer, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// A broken pooled connection is not reusable: drop it so the
+		// next attempt redials.
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn, p.br = nil, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnreachable, peer, t.opts.Retries+1, lastErr)
+}
+
+// exchange performs one framed request/response on the peer's pooled
+// connection, dialling if necessary. Caller holds p.mu.
+func (t *TCP) exchange(p *tcpPeer, peer string, req *Message) (*Message, error) {
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", peer, t.opts.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		p.conn = conn
+		p.br = bufio.NewReader(conn)
+	}
+	//lint:ignore rfhlint/nowallclock real-socket I/O deadline; not simulation state
+	deadline := time.Now().Add(t.opts.IOTimeout)
+	if err := p.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(p.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(p.br)
+}
+
+// Close implements Transport: stops the listener, drops pooled and
+// inbound connections, and waits for the serving goroutines.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	//lint:ignore rfhlint/detrange collecting connections to close; order does not affect any state
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	//lint:ignore rfhlint/detrange collecting connections to close; order does not affect any state
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn, p.br = nil, nil
+		}
+		p.mu.Unlock()
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler replies with the request's key/value swapped, tagging
+// the partition so tests can see the handler ran.
+func echoHandler(from string, req *Message) (*Message, error) {
+	return &Message{Kind: req.Kind, Partition: req.Partition + 1, Key: req.Value, Value: req.Key}, nil
+}
+
+// transportPair builds two connected endpoints of the given flavour
+// and returns them plus the peer address of the second.
+func transportPair(t *testing.T, flavour string) (a, b Transport, bAddr string) {
+	t.Helper()
+	switch flavour {
+	case "loopback":
+		lb := NewLoopback()
+		a, b = lb.Endpoint("a"), lb.Endpoint("b")
+		bAddr = "b"
+	case "tcp":
+		var err error
+		a, err = ListenTCP("127.0.0.1:0", nil, TCPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = ListenTCP("127.0.0.1:0", nil, TCPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAddr = b.Addr()
+	default:
+		t.Fatalf("unknown flavour %q", flavour)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, bAddr
+}
+
+func TestSendRoundTrip(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, b, bAddr := transportPair(t, flavour)
+			b.SetHandler(echoHandler)
+			req := &Message{Kind: 9, Partition: 41, Key: []byte("ping"), Value: []byte("pong")}
+			resp, err := a.Send(bAddr, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Partition != 42 || string(resp.Key) != "pong" || string(resp.Value) != "ping" {
+				t.Fatalf("bad echo: %+v", resp)
+			}
+		})
+	}
+}
+
+func TestHandlerErrorBecomesStatusError(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, b, bAddr := transportPair(t, flavour)
+			b.SetHandler(func(string, *Message) (*Message, error) {
+				return nil, errors.New("kaput")
+			})
+			resp, err := a.Send(bAddr, &Message{Kind: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != StatusError || resp.Err() == nil {
+				t.Fatalf("handler error not surfaced: %+v", resp)
+			}
+		})
+	}
+}
+
+func TestNilHandlerAnswersError(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, _, bAddr := transportPair(t, flavour)
+			resp, err := a.Send(bAddr, &Message{Kind: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != StatusError {
+				t.Fatalf("no-handler endpoint answered %+v", resp)
+			}
+		})
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, b, bAddr := transportPair(t, flavour)
+			b.SetHandler(echoHandler)
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						key := fmt.Sprintf("g%d-%d", g, i)
+						resp, err := a.Send(bAddr, &Message{Kind: 1, Value: []byte(key)})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if string(resp.Key) != key {
+							errs <- fmt.Errorf("wrong reply %q for %q", resp.Key, key)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLoopbackPartition(t *testing.T) {
+	lb := NewLoopback()
+	a, b := lb.Endpoint("a"), lb.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(echoHandler)
+	if _, err := a.Send("b", &Message{}); err != nil {
+		t.Fatal(err)
+	}
+	lb.SetDown("b", true)
+	if _, err := a.Send("b", &Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned peer reachable: %v", err)
+	}
+	lb.SetDown("b", false)
+	if _, err := a.Send("b", &Message{}); err != nil {
+		t.Fatalf("healed peer unreachable: %v", err)
+	}
+	if _, err := a.Send("ghost", &Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unregistered peer reachable: %v", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, b, bAddr := transportPair(t, flavour)
+			b.SetHandler(echoHandler)
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Send(bAddr, &Message{}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("send on closed transport: %v", err)
+			}
+		})
+	}
+}
+
+func TestTCPUnreachablePeer(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", nil, TCPOptions{
+		DialTimeout: 200 * time.Millisecond, IOTimeout: 200 * time.Millisecond,
+		Retries: 1, RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Port 1 on localhost refuses connections.
+	if _, err := a.Send("127.0.0.1:1", &Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead peer did not yield ErrUnreachable: %v", err)
+	}
+}
+
+func TestTCPReconnectsAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", nil, TCPOptions{Retries: 3, RetryBackoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0", echoHandler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := b.Addr()
+	if _, err := a.Send(bAddr, &Message{Value: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the peer on the same port; the pooled connection is now
+	// dead and Send must transparently redial.
+	b.Close()
+	b2, err := ListenTCP(bAddr, echoHandler, TCPOptions{})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", bAddr, err)
+	}
+	defer b2.Close()
+	resp, err := a.Send(bAddr, &Message{Value: []byte("two")})
+	if err != nil {
+		t.Fatalf("send after peer restart: %v", err)
+	}
+	if string(resp.Key) != "two" {
+		t.Fatalf("bad reply after restart: %+v", resp)
+	}
+}
