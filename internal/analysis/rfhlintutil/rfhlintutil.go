@@ -36,6 +36,10 @@ var DeterministicPackages = map[string]bool{
 	// (TCP deadlines, dial backoff) carry reasoned //lint:ignore tags.
 	"repro/internal/node":      true,
 	"repro/internal/transport": true,
+	// The chaos harness promises bit-identical trajectories per seed —
+	// its fault plans, message-fault draws and invariant bookkeeping
+	// are all part of the reproducibility surface.
+	"repro/internal/chaos": true,
 }
 
 // InDeterministicPackage reports whether the pass's package is bound by

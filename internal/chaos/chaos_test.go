@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSeedMatrix runs the standard scenario over a seed matrix and
+// requires every invariant to hold. CI runs this under -race; the
+// chaos schedule is single-threaded, so -race checks the node runtime
+// it drives, not the harness.
+func TestSeedMatrix(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Run(DefaultOptions(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s", v)
+			}
+			if res.Acked == 0 {
+				t.Error("scenario acked no writes at all — the workload is not exercising the cluster")
+			}
+		})
+	}
+}
+
+// TestSameSeedBitIdenticalTrajectory is the determinism contract: two
+// runs of the same seed must produce byte-identical trajectory dumps,
+// fault counts included.
+func TestSameSeedBitIdenticalTrajectory(t *testing.T) {
+	opts := DefaultOptions(42)
+	opts.Verbose = true
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trajectory != b.Trajectory {
+		t.Fatalf("trajectories differ between identically-seeded runs:\n--- run 1\n%s\n--- run 2\n%s",
+			a.Trajectory, b.Trajectory)
+	}
+	if a.Faults != b.Faults {
+		t.Fatalf("fault counts differ: %s vs %s", a.Faults.String(), b.Faults.String())
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the harness accidentally
+// ignoring its seed: distinct seeds must produce distinct fault
+// patterns somewhere across a small matrix.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, err := Run(DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(2); s <= 4; s++ {
+		b, err := Run(DefaultOptions(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Faults != b.Faults {
+			return
+		}
+	}
+	t.Fatal("seeds 1-4 all produced identical fault patterns; the plan is not consuming its seed")
+}
+
+// TestInjectedViolationIsCaught proves the checker actually fires: a
+// fabricated acked-write that never happened must surface as a
+// durability violation carrying the scenario seed.
+func TestInjectedViolationIsCaught(t *testing.T) {
+	opts := DefaultOptions(7)
+	opts.GhostWrite = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "durability" && v.Seed == 7 && strings.Contains(v.Detail, "ghost-never-written") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ghost write not caught; violations: %v", res.Violations)
+	}
+	if !strings.Contains(res.Trajectory, "VIOLATION") {
+		t.Error("violation missing from the trajectory dump")
+	}
+}
+
+// TestFaultFreeRunIsQuiet pins the baseline: with every fault channel
+// off the scenario must ack every write, read clean, and report no
+// faults and no violations.
+func TestFaultFreeRunIsQuiet(t *testing.T) {
+	opts := DefaultOptions(3)
+	opts.DropRate, opts.DupRate, opts.DelayRate = 0, 0, 0
+	opts.CrashRate, opts.CutRate = 0, 0
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Total() != 0 {
+		t.Errorf("fault-free run recorded faults: %s", res.Faults.String())
+	}
+	for _, v := range res.Violations {
+		t.Errorf("fault-free violation: %s", v)
+	}
+	if res.PutErrs != 0 || res.ReadErrs != 0 {
+		t.Errorf("fault-free run saw errors: puts=%d reads=%d", res.PutErrs, res.ReadErrs)
+	}
+}
+
+// TestOptionsValidation rejects shapes the harness cannot drive.
+func TestOptionsValidation(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) { o.Nodes = 2 },
+		func(o *Options) { o.Partitions = 0 },
+		func(o *Options) { o.KeysPerPartition = 0 },
+		func(o *Options) { o.WarmEpochs = 0 },
+		func(o *Options) { o.CoolEpochs = 0 },
+		func(o *Options) { o.DropRate = 0.9; o.DupRate = 0.9 },
+		func(o *Options) { o.DelayRate = -0.1 },
+	}
+	for i, mutate := range cases {
+		opts := DefaultOptions(1)
+		mutate(&opts)
+		if _, err := Run(opts); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+// TestPlanNeverCrashesNodeZero scans a seed range for the liveness
+// guarantee the invariant checkers rely on: node 0 anchors every run.
+func TestPlanNeverCrashesNodeZero(t *testing.T) {
+	for s := uint64(1); s <= 200; s++ {
+		opts := DefaultOptions(s)
+		p := buildPlan(&opts)
+		down := make([]bool, opts.Nodes)
+		for e := range p.events {
+			for _, ev := range p.events[e] {
+				switch ev.kind {
+				case evCrash:
+					if ev.a == 0 {
+						t.Fatalf("seed %d: plan crashes node 0 at epoch %d", s, e)
+					}
+					if down[ev.a] {
+						t.Fatalf("seed %d: node %d crashed twice without restart", s, ev.a)
+					}
+					down[ev.a] = true
+				case evRestart:
+					if !down[ev.a] {
+						t.Fatalf("seed %d: restart of live node %d at epoch %d", s, ev.a, e)
+					}
+					down[ev.a] = false
+				}
+			}
+		}
+		for i, d := range down {
+			if d {
+				t.Fatalf("seed %d: node %d never restarted", s, i)
+			}
+		}
+	}
+}
+
+// TestPlanHealsAllCutsBeforeCool verifies every link cut closes by the
+// start of the cool-down window, so recovery is measured on a clean
+// network.
+func TestPlanHealsAllCutsBeforeCool(t *testing.T) {
+	for s := uint64(1); s <= 200; s++ {
+		opts := DefaultOptions(s)
+		p := buildPlan(&opts)
+		faultEnd := opts.WarmEpochs + opts.FaultEpochs
+		open := 0
+		for e := range p.events {
+			for _, ev := range p.events[e] {
+				switch ev.kind {
+				case evCut:
+					if e > faultEnd {
+						t.Fatalf("seed %d: cut scheduled inside cool window (epoch %d)", s, e)
+					}
+					open++
+				case evUncut:
+					open--
+				}
+			}
+			if e >= faultEnd && open != 0 {
+				t.Fatalf("seed %d: %d cuts still open at epoch %d (cool starts at %d)", s, open, e, faultEnd)
+			}
+		}
+	}
+}

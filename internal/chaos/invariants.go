@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Violation is one invariant breach, tagged with the seed that
+// reproduces it.
+type Violation struct {
+	Seed   uint64
+	Kind   string // durability | staleness | convergence | ceiling | divergence
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=0x%x %s: %s", v.Seed, v.Kind, v.Detail)
+}
+
+// violate records one invariant breach.
+func (h *harness) violate(kind, format string, args ...any) {
+	h.viols = append(h.viols, Violation{
+		Seed:   h.opts.Seed,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// keyRecord tracks one workload key's acknowledged-write history.
+type keyRecord struct {
+	key       string
+	partition int
+	lastAcked string // value of the newest acknowledged put
+	ackEpoch  int
+}
+
+// history is the workload's ground truth plus the per-partition
+// excusal state: a partition is dirty once a data-plane fault touched
+// it (rule a) or every holder was simultaneously down (rule b) — from
+// then on lost or stale data is chaos doing its job, not a bug.
+type history struct {
+	recs        []keyRecord // indexed p*KeysPerPartition + k
+	dirty       []bool
+	dirtyReason []string
+	keysPer     int
+}
+
+func newHistory(o *Options) *history {
+	h := &history{
+		recs:        make([]keyRecord, o.Partitions*o.KeysPerPartition),
+		dirty:       make([]bool, o.Partitions),
+		dirtyReason: make([]string, o.Partitions),
+		keysPer:     o.KeysPerPartition,
+	}
+	for p := 0; p < o.Partitions; p++ {
+		keys := partitionKeys(p, o.Partitions, o.KeysPerPartition)
+		for k := 0; k < o.KeysPerPartition; k++ {
+			h.recs[p*o.KeysPerPartition+k] = keyRecord{key: keys[k], partition: p, ackEpoch: -1}
+		}
+	}
+	return h
+}
+
+// rec returns key k of partition p.
+func (h *history) rec(p, k int) *keyRecord { return &h.recs[p*h.keysPer+k] }
+
+// markDirty excuses a partition from the strict durability and
+// staleness invariants, recording the first reason.
+func (h *history) markDirty(p int, reason string) {
+	if !h.dirty[p] {
+		h.dirty[p] = true
+		h.dirtyReason[p] = reason
+	}
+}
+
+// partitionKeys returns the first n keys of the canonical deterministic
+// key sequence that hash into partition p — the same scan rule as
+// node.PartitionKey, extended to multiple keys.
+func partitionKeys(p, partitions, n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		key := fmt.Sprintf("p%d-%d", p, i)
+		if int(uint64(ring.HashString(key))%uint64(partitions)) == p {
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+// checkCeiling asserts, on every live node's view, that no partition
+// lists more holders than the fleet has members. Claims, reseeds and
+// decision application can each add replicas; none of them may ever
+// mint a holder that does not exist.
+func (h *harness) checkCeiling(e int) {
+	ceiling := h.fleet.Len()
+	for i := 0; i < h.fleet.Len(); i++ {
+		if !h.fleet.Alive(i) {
+			continue
+		}
+		nd := h.members[i]
+		for p := 0; p < h.opts.Partitions; p++ {
+			if got := nd.ReplicaCount(p); got > ceiling {
+				h.violate("ceiling", "epoch %d: node %d sees %d holders of partition %d, fleet has %d",
+					e, i, got, p, ceiling)
+			}
+		}
+	}
+}
+
+// finalChecks runs the quiescence invariants after the cool-down
+// window: convergence (all views agree, every partition placed at or
+// above the availability bound) and durability (the newest acked value
+// of every clean partition is still physically present and served).
+func (h *harness) finalChecks() {
+	if h.opts.GhostWrite {
+		// Deliberately corrupt the history: claim an ack that never
+		// happened on a partition that is NOT excused. The durability
+		// checker must catch this — tests use it to prove violations
+		// are reported, not silently excused.
+		rec := h.hist.rec(0, 0)
+		rec.lastAcked = fmt.Sprintf("s%x.ghost-never-written", h.opts.Seed)
+		h.hist.dirty[0] = false
+	}
+
+	ref := h.members[h.refIdx()]
+	refMap := ref.ReplicaMap()
+	refPrim := ref.Primaries()
+	minRep := ref.MinReplicas()
+
+	// Convergence: every node lives, no node still recovering, all
+	// views identical, every partition placed within the bounds.
+	for i := 0; i < h.fleet.Len(); i++ {
+		if !h.fleet.Alive(i) {
+			h.violate("convergence", "node %d still down at quiescence", i)
+			continue
+		}
+		nd := h.members[i]
+		if nd.Recovering() {
+			h.violate("convergence", "node %d still recovering after %d cool epochs", i, h.opts.CoolEpochs)
+		}
+		if nd == ref {
+			continue
+		}
+		m, pr := nd.ReplicaMap(), nd.Primaries()
+		for p := 0; p < h.opts.Partitions; p++ {
+			if !intsEqual(refMap[p], m[p]) {
+				h.violate("divergence", "partition %d holders differ: node %d sees %v, node %d sees %v",
+					p, ref.Self(), refMap[p], i, m[p])
+			}
+			if refPrim[p] != pr[p] {
+				h.violate("divergence", "partition %d primary differs: node %d says %d, node %d says %d",
+					p, ref.Self(), refPrim[p], i, pr[p])
+			}
+		}
+	}
+	for p := 0; p < h.opts.Partitions; p++ {
+		if refPrim[p] < 0 {
+			h.violate("convergence", "partition %d has no primary at quiescence", p)
+			continue
+		}
+		if got := len(refMap[p]); got < minRep {
+			h.violate("convergence", "partition %d has %d replicas at quiescence, eq. 14 floor is %d",
+				p, got, minRep)
+		}
+	}
+
+	// Durability: for every key whose partition no fault excused, the
+	// newest acked value must be physically present on a live node and
+	// served by a routed read.
+	for r := range h.hist.recs {
+		rec := &h.hist.recs[r]
+		if rec.lastAcked == "" || h.hist.dirty[rec.partition] {
+			continue
+		}
+		if !h.storedSomewhere(rec) {
+			h.violate("durability", "key %s: acked value %q (epoch %d) on no live node",
+				rec.key, rec.lastAcked, rec.ackEpoch)
+		}
+		v, ok, err := ref.Get(rec.key)
+		switch {
+		case err != nil:
+			h.violate("durability", "key %s: read failed at quiescence: %v", rec.key, err)
+		case !ok:
+			h.violate("durability", "key %s: acked value %q not found at quiescence", rec.key, rec.lastAcked)
+		case string(v) != rec.lastAcked:
+			h.violate("staleness", "key %s: quiescent read %q, acked %q", rec.key, v, rec.lastAcked)
+		}
+	}
+}
+
+// storedSomewhere reports whether any live node physically holds the
+// record's newest acked value (placement metadata notwithstanding).
+func (h *harness) storedSomewhere(rec *keyRecord) bool {
+	for i := 0; i < h.fleet.Len(); i++ {
+		if !h.fleet.Alive(i) {
+			continue
+		}
+		if v, ok := h.members[i].LocalGet(rec.key); ok && string(v) == rec.lastAcked {
+			return true
+		}
+	}
+	return false
+}
+
+// intsEqual compares two int slices.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

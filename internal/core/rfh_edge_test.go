@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/ring"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// newSpecFixture is newFixture with a spec mutation hook, for edge
+// cases that need non-default storage geometry.
+func newSpecFixture(t *testing.T, mutate func(*cluster.Spec)) *fixture {
+	t.Helper()
+	w := topology.PaperWorld()
+	rt, err := network.NewRouter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.DefaultSpec()
+	spec.Partitions = 4
+	if mutate != nil {
+		mutate(&spec)
+	}
+	cl, err := cluster.New(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.NewTracker(spec.Partitions, w.NumDCs(), traffic.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := ring.New()
+	for i := 0; i < cl.NumServers(); i++ {
+		if err := rg.AddServer(i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{t: t, cluster: cl, tracker: tr, router: rt, ring: rg, world: w}
+}
+
+// TestRFHDecideEdgeCases pins Decide's behaviour at the boundaries of
+// the Fig. 2 decision tree: epochs with no traffic at all, hub
+// datacenters with no storage headroom (condition 19), suicide refusal
+// at the eq. (14) availability floor, and the eq. (16) migration
+// benefit exactly at the μ·t̄r threshold.
+func TestRFHDecideEdgeCases(t *testing.T) {
+	// The PaperWorld has 10 datacenters, so first-epoch (unsmoothed)
+	// thresholds are exact: q̄ = total/10, hub bar γ·q̄, mean traffic
+	// t̄r = Σtraffic/10.
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (*fixture, *policy.Context)
+		check func(t *testing.T, f *fixture, dec policy.Decision)
+	}{
+		{
+			// An epoch in which no query arrived anywhere: every
+			// threshold denominator (q̄, t̄r) is zero. Decide must stay
+			// idle — no division blow-ups, no structural action, and no
+			// suicide either: with q̄ = 0 the oscillation guard sees
+			// pressure 0 ≥ threshold 0 and holds even excess replicas.
+			name: "zero-traffic epoch is fully idle",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newFixture(t)
+				f.place(0, "A", 0)
+				f.place(0, "B", 0)
+				f.place(0, "G", 0) // one above MinReplicas 2
+				f.observe(0, "A", nil, nil, 0, 0)
+				return f, f.ctx(0)
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				if !dec.Empty() {
+					t.Fatalf("zero-traffic epoch produced actions: %+v", dec)
+				}
+			},
+		},
+		{
+			// The holder is overloaded and D is the only hub, but every
+			// D server already sits at the φ storage limit: condition
+			// (19) must veto the placement and, with nothing unserved,
+			// the epoch ends with no action at all rather than a copy
+			// squeezed onto a full server.
+			name: "all hubs storage-full refuses placement",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newSpecFixture(t, func(sp *cluster.Spec) {
+					// One partition per server: a second copy would hit
+					// (512K+512K)/1M = 1.0 > φ = 0.7.
+					sp.Partitions = 16
+					sp.StorageCapacity = 2 * sp.PartitionSize
+					sp.StorageJitter = 0
+				})
+				f.place(0, "A", 0)
+				f.place(0, "B", 0)
+				for i, s := range f.cluster.ServersInDC(f.dc("D")) {
+					if err := f.cluster.AddReplica(1+i, s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				f.observe(0, "A",
+					map[string]int{"A": 300, "D": 200},
+					map[string]int{"A": 250, "B": 50}, 0, 300)
+				return f, f.ctx(0)
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				for _, r := range dec.Replications {
+					if r.Partition == 0 {
+						t.Fatalf("replicated onto a full hub: %+v", r)
+					}
+				}
+				for _, m := range dec.Migrations {
+					if m.Partition == 0 {
+						t.Fatalf("migrated onto a full hub: %+v", m)
+					}
+				}
+			},
+		},
+		{
+			// A partition holding exactly its availability floor — here
+			// MinReplicas 1, a single (primary) copy — must never lose
+			// that copy to the suicide branch no matter how cold it is.
+			name: "single replica refuses suicide at eq. 14 floor",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newFixture(t)
+				f.place(0, "G", 0)
+				f.observe(0, "G",
+					map[string]int{"A": 30, "B": 25, "G": 1},
+					map[string]int{"G": 56}, 0, 56)
+				ctx := f.ctx(0)
+				ctx.MinReplicas = 1
+				return f, ctx
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				if len(dec.Suicides) != 0 {
+					t.Fatalf("suicided the only copy: %+v", dec.Suicides)
+				}
+			},
+		},
+		{
+			// Replica count above MinReplicas but the recomputed eq. (14)
+			// availability without the victim falls short (0.99 < 0.999):
+			// the §II-E self-check must refuse even a stone-cold replica.
+			name: "cold replica refuses suicide when eq. 14 fails without it",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newFixture(t)
+				f.place(0, "A", 0)
+				f.place(0, "B", 0)
+				f.place(0, "G", 0) // cold victim
+				f.observe(0, "A",
+					map[string]int{"A": 30, "B": 20, "G": 1},
+					map[string]int{"A": 30, "B": 20, "G": 1}, 0, 300)
+				ctx := f.ctx(0)
+				ctx.MinAvailability = 0.999 // two copies at f=0.1 give 0.99
+				return f, ctx
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				if len(dec.Suicides) != 0 {
+					t.Fatalf("suicide violated eq. 14: %+v", dec.Suicides)
+				}
+			},
+		},
+		{
+			// Eq. (16) at exact equality: traffic A=1250, D=200, G=50
+			// puts the benefit at 200−50 = 150 = μ·t̄r = (1250+200+50)/10
+			// (every quantity exactly representable in float64). The
+			// condition is ≥, so the stranded G replica must migrate to
+			// hub D rather than pay for a fresh copy. Total 400 keeps the
+			// hub bar γ·q̄ = 60 above G's 50, so G itself is no hub.
+			name: "migration fires exactly at the benefit boundary",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newFixture(t)
+				f.place(0, "A", 0)
+				f.place(0, "G", 0)
+				f.observe(0, "A",
+					map[string]int{"A": 1250, "D": 200, "G": 50},
+					map[string]int{"A": 280, "G": 20}, 0, 400)
+				return f, f.ctx(0)
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				if len(dec.Migrations) != 1 || len(dec.Replications) != 0 {
+					t.Fatalf("want exactly one migration at the boundary, got %+v", dec)
+				}
+				if got := f.world.DC(f.cluster.DCOf(dec.Migrations[0].To)).Name; got != "D" {
+					t.Fatalf("migrated to %s, want hub D", got)
+				}
+			},
+		},
+		{
+			// One query below the boundary (G=51 shrinks the benefit to
+			// 149 while raising t̄r past 150): the migration must be
+			// refused and RFH replicates onto the hub instead.
+			name: "migration refused just below the benefit boundary",
+			build: func(t *testing.T) (*fixture, *policy.Context) {
+				f := newFixture(t)
+				f.place(0, "A", 0)
+				f.place(0, "G", 0)
+				f.observe(0, "A",
+					map[string]int{"A": 1250, "D": 200, "G": 51},
+					map[string]int{"A": 280, "G": 20}, 0, 400)
+				return f, f.ctx(0)
+			},
+			check: func(t *testing.T, f *fixture, dec policy.Decision) {
+				if len(dec.Migrations) != 0 {
+					t.Fatalf("migrated below the benefit boundary: %+v", dec.Migrations)
+				}
+				if len(dec.Replications) != 1 {
+					t.Fatalf("want a replication instead, got %+v", dec)
+				}
+				if got := f.world.DC(f.cluster.DCOf(dec.Replications[0].Target)).Name; got != "D" {
+					t.Fatalf("replicated to %s, want hub D", got)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, ctx := tc.build(t)
+			tc.check(t, f, NewRFH().Decide(ctx))
+		})
+	}
+}
+
+// TestRFHZeroTrafficNeverStarted covers the pre-first-observation
+// state: a tracker that has never seen an epoch must behave like the
+// zero-traffic epoch (no actions, no panics).
+func TestRFHZeroTrafficNeverStarted(t *testing.T) {
+	f := newFixture(t)
+	f.place(0, "A", 0)
+	f.place(0, "B", 0)
+	f.place(0, "G", 0)
+	dec := NewRFH().Decide(f.ctx(0))
+	if !dec.Empty() {
+		t.Fatalf("decide before any observation produced actions: %+v", dec)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultCounts tallies the faults a chaos schedule injected into a run:
+// how many messages were dropped, duplicated or delayed (broken down
+// by wire kind), how many partition edges were cut, and how many
+// crash/restart events fired. The zero value is ready to use.
+//
+// Kind breakdowns use fixed-size arrays rather than maps so iteration
+// is deterministic — the chaos harness embeds the formatted counts in
+// its trajectory dumps, which must be byte-identical across
+// identically-seeded runs.
+type FaultCounts struct {
+	Drops      int // messages dropped in flight
+	Duplicates int // messages delivered twice
+	Delays     int // messages deferred to a later epoch
+	Cuts       int // partition edges severed (one per directed pair per event)
+	Crashes    int // node crash events
+	Restarts   int // node restart events
+
+	DropsByKind  [256]int // Drops broken down by transport.Message.Kind
+	DelaysByKind [256]int // Delays broken down by kind
+}
+
+// Drop records one dropped message of the given wire kind.
+func (f *FaultCounts) Drop(kind uint8) {
+	f.Drops++
+	f.DropsByKind[kind]++
+}
+
+// Duplicate records one duplicated message.
+func (f *FaultCounts) Duplicate() { f.Duplicates++ }
+
+// Delay records one message of the given wire kind deferred to a
+// later epoch.
+func (f *FaultCounts) Delay(kind uint8) {
+	f.Delays++
+	f.DelaysByKind[kind]++
+}
+
+// Cut records n severed partition edges.
+func (f *FaultCounts) Cut(n int) { f.Cuts += n }
+
+// Crash records one node crash event.
+func (f *FaultCounts) Crash() { f.Crashes++ }
+
+// Restart records one node restart event.
+func (f *FaultCounts) Restart() { f.Restarts++ }
+
+// Total returns the number of individual fault events recorded.
+func (f *FaultCounts) Total() int {
+	return f.Drops + f.Duplicates + f.Delays + f.Cuts + f.Crashes + f.Restarts
+}
+
+// Merge folds other's tallies into f.
+func (f *FaultCounts) Merge(other *FaultCounts) {
+	f.Drops += other.Drops
+	f.Duplicates += other.Duplicates
+	f.Delays += other.Delays
+	f.Cuts += other.Cuts
+	f.Crashes += other.Crashes
+	f.Restarts += other.Restarts
+	for k := range f.DropsByKind {
+		f.DropsByKind[k] += other.DropsByKind[k]
+		f.DelaysByKind[k] += other.DelaysByKind[k]
+	}
+}
+
+// String renders the tallies in a fixed order with kind breakdowns in
+// ascending kind order, e.g.
+// "drops=3[kind4:2 kind6:1] dups=1 delays=0 cuts=2 crashes=1 restarts=1".
+func (f *FaultCounts) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drops=%d%s dups=%d delays=%d%s cuts=%d crashes=%d restarts=%d",
+		f.Drops, kindBreakdown(&f.DropsByKind),
+		f.Duplicates,
+		f.Delays, kindBreakdown(&f.DelaysByKind),
+		f.Cuts, f.Crashes, f.Restarts)
+	return b.String()
+}
+
+// kindBreakdown formats a non-empty per-kind tally as
+// "[kind1:n kind2:m]", or "" when every entry is zero.
+func kindBreakdown(byKind *[256]int) string {
+	var b strings.Builder
+	for k, n := range byKind {
+		if n == 0 {
+			continue
+		}
+		if b.Len() == 0 {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "kind%d:%d", k, n)
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+func TestFaultCountsTalliesAndTotal(t *testing.T) {
+	var f FaultCounts
+	f.Drop(4)
+	f.Drop(4)
+	f.Drop(6)
+	f.Duplicate()
+	f.Delay(3)
+	f.Cut(2)
+	f.Crash()
+	f.Restart()
+	if f.Drops != 3 || f.DropsByKind[4] != 2 || f.DropsByKind[6] != 1 {
+		t.Errorf("drops: %d byKind4=%d byKind6=%d", f.Drops, f.DropsByKind[4], f.DropsByKind[6])
+	}
+	if f.Duplicates != 1 || f.Delays != 1 || f.DelaysByKind[3] != 1 {
+		t.Errorf("dups=%d delays=%d byKind3=%d", f.Duplicates, f.Delays, f.DelaysByKind[3])
+	}
+	if f.Cuts != 2 || f.Crashes != 1 || f.Restarts != 1 {
+		t.Errorf("cuts=%d crashes=%d restarts=%d", f.Cuts, f.Crashes, f.Restarts)
+	}
+	if got := f.Total(); got != 9 {
+		t.Errorf("Total() = %d, want 9", got)
+	}
+}
+
+func TestFaultCountsMerge(t *testing.T) {
+	var a, b FaultCounts
+	a.Drop(4)
+	a.Crash()
+	b.Drop(4)
+	b.Drop(5)
+	b.Restart()
+	a.Merge(&b)
+	if a.Drops != 3 || a.DropsByKind[4] != 2 || a.DropsByKind[5] != 1 {
+		t.Errorf("merged drops: %d byKind=%d/%d", a.Drops, a.DropsByKind[4], a.DropsByKind[5])
+	}
+	if a.Crashes != 1 || a.Restarts != 1 {
+		t.Errorf("merged crashes=%d restarts=%d", a.Crashes, a.Restarts)
+	}
+}
+
+func TestFaultCountsStringDeterministic(t *testing.T) {
+	var f FaultCounts
+	f.Drop(6)
+	f.Drop(4)
+	f.Duplicate()
+	f.Cut(3)
+	want := "drops=2[kind4:1 kind6:1] dups=1 delays=0 cuts=3 crashes=0 restarts=0"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := (&FaultCounts{}).String(); got != "drops=0 dups=0 delays=0 cuts=0 crashes=0 restarts=0" {
+		t.Errorf("zero String() = %q", got)
+	}
+}

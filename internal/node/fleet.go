@@ -10,37 +10,58 @@ import (
 
 // Fleet is a multi-node loopback harness: it builds N nodes over one
 // in-process transport network and drives them in lockstep epochs.
-// It exists for tests and for the rfhbench transport suite — a real
-// deployment runs one cmd/rfhnode per machine instead.
+// It exists for tests, the rfhbench transport suite and the chaos
+// harness — a real deployment runs one cmd/rfhnode per machine
+// instead.
 type Fleet struct {
-	lb    *transport.Loopback
-	nodes []*Node
-	dead  []bool
+	lb     *transport.Loopback
+	nodes  []*Node
+	addrs  []string
+	dead   []bool // not participating in ticks (killed or crashed)
+	killed []bool // permanently closed, cannot restart
 }
+
+// WrapTransport optionally decorates each node's transport at fleet
+// construction — the chaos harness uses it to interpose a
+// fault-injecting transport.FaultEndpoint between every node and the
+// loopback network. The returned transport is the one the node owns
+// and closes.
+type WrapTransport func(i int, tr transport.Transport) transport.Transport
 
 // NewFleet builds n nodes sharing the given base config (ID and Peers
 // are overwritten; all other fields are taken as-is).
 func NewFleet(n int, base Config) (*Fleet, error) {
+	return NewFleetWrapped(n, base, nil)
+}
+
+// NewFleetWrapped is NewFleet with a transport decorator applied to
+// every node's endpoint (nil wrap means none).
+func NewFleetWrapped(n int, base Config, wrap WrapTransport) (*Fleet, error) {
 	peers := make([]Peer, n)
 	for i := range peers {
 		peers[i] = Peer{ID: i, Addr: fmt.Sprintf("node%d", i)}
 	}
-	f := &Fleet{lb: transport.NewLoopback(), dead: make([]bool, n)}
+	f := &Fleet{lb: transport.NewLoopback(), dead: make([]bool, n), killed: make([]bool, n)}
 	for i := 0; i < n; i++ {
 		cfg := base
 		cfg.ID = i
 		cfg.Peers = append([]Peer(nil), peers...)
-		nd, err := New(cfg, f.lb.Endpoint(peers[i].Addr))
+		var tr transport.Transport = f.lb.Endpoint(peers[i].Addr)
+		if wrap != nil {
+			tr = wrap(i, tr)
+		}
+		nd, err := New(cfg, tr)
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
 		f.nodes = append(f.nodes, nd)
+		f.addrs = append(f.addrs, peers[i].Addr)
 	}
 	return f, nil
 }
 
-// Node returns fleet member i (nil once killed).
+// Node returns fleet member i (nil while killed or crashed).
 func (f *Fleet) Node(i int) *Node {
 	if f.dead[i] {
 		return nil
@@ -51,15 +72,80 @@ func (f *Fleet) Node(i int) *Node {
 // Len returns the fleet size, dead members included.
 func (f *Fleet) Len() int { return len(f.nodes) }
 
+// Addr returns the loopback address of fleet member i.
+func (f *Fleet) Addr(i int) string { return f.addrs[i] }
+
+// Alive reports whether member i is participating (not killed, not
+// crashed).
+func (f *Fleet) Alive(i int) bool { return !f.dead[i] }
+
+// NumAlive returns the number of participating members.
+func (f *Fleet) NumAlive() int {
+	n := 0
+	for i := range f.dead {
+		if !f.dead[i] {
+			n++
+		}
+	}
+	return n
+}
+
 // Kill takes node i down for good: its transport drops off the
 // loopback network and the node closes. Peers see it as silent and
 // suspect it after SuspectAfter epochs.
 func (f *Fleet) Kill(i int) {
+	if f.killed[i] {
+		return
+	}
+	f.dead[i] = true
+	f.killed[i] = true
+	_ = f.nodes[i].Close() // also marks the endpoint down
+}
+
+// Crash simulates a process death of node i: its store and epoch
+// state are lost and its endpoint goes unreachable, but the process
+// slot survives — Restart revives it. Peers see exactly what Kill
+// shows them: silence, then suspicion.
+func (f *Fleet) Crash(i int) {
 	if f.dead[i] {
 		return
 	}
 	f.dead[i] = true
-	_ = f.nodes[i].Close() // also marks the endpoint down
+	f.nodes[i].Crash()
+	f.lb.SetDown(f.addrs[i], true)
+}
+
+// Restart revives a crashed node i as a fresh empty process rejoining
+// at the surviving cluster's current epoch. It fails if i was killed
+// (not crashed) or if no live node exists to resume the epoch from.
+func (f *Fleet) Restart(i int) error {
+	if f.killed[i] {
+		return fmt.Errorf("fleet: node %d was killed, not crashed", i)
+	}
+	if !f.dead[i] {
+		return fmt.Errorf("fleet: node %d is not down", i)
+	}
+	epoch, ok := f.epochOfLowestLive()
+	if !ok {
+		return fmt.Errorf("fleet: no live node to resume the epoch from")
+	}
+	if err := f.nodes[i].Restart(epoch); err != nil {
+		return err
+	}
+	f.lb.SetDown(f.addrs[i], false)
+	f.dead[i] = false
+	return nil
+}
+
+// epochOfLowestLive returns the lockstep epoch of the lowest-index
+// live member.
+func (f *Fleet) epochOfLowestLive() (uint64, bool) {
+	for i, nd := range f.nodes {
+		if !f.dead[i] {
+			return nd.Epoch(), true
+		}
+	}
+	return 0, false
 }
 
 // Tick runs one lockstep epoch: every live node flushes its stats,

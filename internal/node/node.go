@@ -38,6 +38,10 @@ import (
 // ErrClosed is returned by operations on a closed node.
 var ErrClosed = errors.New("node: closed")
 
+// ErrCrashed is returned by operations on a crashed node (Crash was
+// called and Restart has not yet revived it).
+var ErrCrashed = errors.New("node: crashed")
+
 // ErrNotFlushed is returned by RunEpoch when FlushEpoch has not been
 // called for the epoch in flight.
 var ErrNotFlushed = errors.New("node: epoch not flushed")
@@ -69,10 +73,20 @@ type Node struct {
 	epoch    uint64
 	missed   []int  // consecutive epochs without stats from peer i
 	suspect  []bool // peer i currently presumed failed
+	orphaned []int  // consecutive epochs without any claim for partition p
 	pending  []*statsBlob
 	nextPend []*statsBlob // stats that arrived one epoch ahead
 	counts   DecisionCounts
 	closed   bool
+
+	// crashed marks a simulated process death: all operations fail
+	// until Restart. recovering marks the post-restart window in which
+	// the node has rejoined with an empty view and must not trust its
+	// own placement: it serves no data, emits no claims, runs no policy
+	// decisions and reseeds nothing until every partition has been
+	// re-learned from the live primaries' claims.
+	crashed    bool
+	recovering bool
 }
 
 // outOp is one data-movement message to perform after the view update,
@@ -90,7 +104,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	v, err := newView(&cfg)
+	v, err := newView(&cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +127,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		rng:      stats.NewRNG(cfg.Seed ^ 0x90DE),
 		missed:   make([]int, len(cfg.Peers)),
 		suspect:  make([]bool, len(cfg.Peers)),
+		orphaned: make([]int, cfg.Partitions),
 		pending:  make([]*statsBlob, len(cfg.Peers)),
 		nextPend: make([]*statsBlob, len(cfg.Peers)),
 	}
@@ -168,6 +183,85 @@ func (n *Node) PartitionOf(key string) int {
 	return int(uint64(ring.HashString(key)) % uint64(n.cfg.Partitions))
 }
 
+// Crash simulates a process death: the in-memory store and all epoch
+// state are lost and every operation fails with ErrCrashed until
+// Restart. The transport is left open — making the endpoint
+// unreachable (so peers see silence, not errors) is the harness's
+// business, e.g. Fleet.Crash or transport partitioning.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.crashed {
+		return
+	}
+	n.crashed = true
+	n.store = newBlankStore(n.cfg.Partitions)
+	for i := range n.pending {
+		n.pending[i] = nil
+		n.nextPend[i] = nil
+	}
+}
+
+// Restart revives a crashed node as a fresh process rejoining at the
+// given cluster epoch: empty store, empty placement view, fresh
+// tracker and suspicion state. The node comes back in recovering mode
+// — it broadcasts stats (so peers unsuspect it) but serves no data,
+// emits no placement claims and runs no policy decisions until the
+// live primaries' claims have re-populated its view for every
+// partition; only then does it participate fully again. Rejoining with
+// an empty view instead of the seed placement is what keeps a
+// long-dead node from asserting a stale world on its peers.
+func (n *Node) Restart(epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if !n.crashed {
+		return fmt.Errorf("node %d: restart of a node that did not crash", n.cfg.ID)
+	}
+	v, err := newView(&n.cfg, false)
+	if err != nil {
+		return err
+	}
+	tk, err := traffic.NewTracker(n.cfg.Partitions, len(n.cfg.Peers), n.cfg.Thresholds)
+	if err != nil {
+		return err
+	}
+	n.view = v
+	n.store = newBlankStore(n.cfg.Partitions)
+	n.tracker = tk
+	n.epoch = epoch
+	n.counts = DecisionCounts{}
+	for i := range n.cfg.Peers {
+		n.missed[i] = 0
+		n.suspect[i] = false
+		n.pending[i] = nil
+		n.nextPend[i] = nil
+	}
+	for p := range n.orphaned {
+		n.orphaned[p] = 0
+	}
+	n.crashed = false
+	n.recovering = true
+	return nil
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Node) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Recovering reports whether the node is in the post-restart window
+// where its view is still being re-learned from peer claims.
+func (n *Node) Recovering() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.recovering
+}
+
 // Close shuts the node down and closes its transport.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -188,6 +282,12 @@ func (n *Node) peerAddr(i int) string { return n.cfg.Peers[i].Addr }
 // closecheck testdata) can reference it, but normally the constructor
 // installs it.
 func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, error) {
+	// A crashed process answers nothing. The transport layer normally
+	// makes a crashed node unreachable too; this guard covers wrappers
+	// and direct calls that bypass it.
+	if n.Crashed() {
+		return nil, ErrCrashed
+	}
 	switch req.Kind {
 	case KindGet:
 		return n.handleGet(req)
@@ -247,9 +347,13 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 		return nil, false, fmt.Errorf("node %d: routing loop for partition %d (%d hops)", n.cfg.ID, p, hops)
 	}
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || n.crashed {
+		err := ErrClosed
+		if n.crashed {
+			err = ErrCrashed
+		}
 		n.mu.Unlock()
-		return nil, false, ErrClosed
+		return nil, false, err
 	}
 	c := &n.store.counters[p]
 	if hops == 0 {
@@ -258,11 +362,14 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 		c.transit++
 	}
 	primary := n.view.primary(p)
-	if n.view.hasReplica(p, n.self) {
+	if n.view.hasReplica(p, n.self) && (n.store.resident[p] || primary == n.self) {
 		// A replica under its per-epoch capacity serves; the primary
 		// always serves but counts the excess as overflow — the live
 		// path never refuses a query, it records the pressure signal
-		// behind eq. (12) instead.
+		// behind eq. (12) instead. A non-resident replica (drop order
+		// applied but the peer views' claims have not caught up, or
+		// snapshot still in flight) forwards to the primary instead of
+		// serving content it no longer vouches for.
 		underCap := c.served < n.cfg.ReplicaCapacity
 		if underCap || primary == n.self {
 			c.served++
@@ -331,9 +438,13 @@ func (n *Node) Put(key string, value []byte) error {
 
 func (n *Node) routePut(p int, key string, value []byte, hops int) error {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || n.crashed {
+		err := ErrClosed
+		if n.crashed {
+			err = ErrCrashed
+		}
 		n.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	primary := n.view.primary(p)
 	if primary == n.self {
@@ -456,13 +567,20 @@ func (n *Node) handleStats(req *transport.Message) (*transport.Message, error) {
 // stats, which is what the suspicion mechanism measures.
 func (n *Node) FlushEpoch() error {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || n.crashed {
+		err := ErrClosed
+		if n.crashed {
+			err = ErrCrashed
+		}
 		n.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	blob := &statsBlob{counters: n.store.flushCounters()}
 	for p := 0; p < n.cfg.Partitions; p++ {
-		if n.view.primary(p) != n.self {
+		// A recovering node's view is still being re-learned from peer
+		// claims: until it is complete the node must not assert any
+		// placement of its own.
+		if n.recovering || n.view.primary(p) != n.self {
 			continue
 		}
 		holders := n.view.cluster.ReplicaServers(p)
@@ -496,9 +614,13 @@ func (n *Node) FlushEpoch() error {
 // responsible for. FlushEpoch must have run first for this epoch.
 func (n *Node) RunEpoch() error {
 	n.mu.Lock()
-	if n.closed {
+	if n.closed || n.crashed {
+		err := ErrClosed
+		if n.crashed {
+			err = ErrCrashed
+		}
 		n.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	if n.pending[n.self] == nil {
 		n.mu.Unlock()
@@ -508,26 +630,42 @@ func (n *Node) RunEpoch() error {
 
 	n.ageSuspicionLocked()
 	n.reconcileClaimsLocked()
-	n.reseedLostLocked()
-	demand := n.foldTrackerLocked()
-
-	n.view.cluster.BeginEpoch()
-	n.view.cluster.EndEpoch()
-	ctx := &policy.Context{
-		Epoch:           int(epoch),
-		Cluster:         n.view.cluster,
-		Tracker:         n.tracker,
-		Router:          n.view.router,
-		Ring:            n.view.ring,
-		Demand:          demand,
-		FailureRate:     n.cfg.FailureRate,
-		MinAvailability: n.cfg.MinAvailability,
-		MinReplicas:     n.view.minReplicas,
-		HubCandidates:   n.cfg.HubCandidates,
-		RNG:             n.rng.Stream(epoch),
+	if n.recovering && n.view.fullyPlaced(n.cfg.Partitions) {
+		// Every partition has been re-learned from the live primaries:
+		// the reconciled view is now trustworthy and the node resumes
+		// full participation.
+		n.recovering = false
 	}
-	dec := n.pol.Decide(ctx)
-	ops := n.applyDecisionLocked(dec)
+	var ops []outOp
+	if n.recovering {
+		// Half-reconciled view: folding the stats keeps the tracker's
+		// EWMA warm, but reseeding "lost" partitions or running the
+		// policy on placements this node has not re-learned yet would
+		// assert a stale world — skip both until the view is complete.
+		_ = n.foldTrackerLocked()
+	} else {
+		n.adoptOrphansLocked()
+		n.reseedLostLocked()
+		demand := n.foldTrackerLocked()
+
+		n.view.cluster.BeginEpoch()
+		n.view.cluster.EndEpoch()
+		ctx := &policy.Context{
+			Epoch:           int(epoch),
+			Cluster:         n.view.cluster,
+			Tracker:         n.tracker,
+			Router:          n.view.router,
+			Ring:            n.view.ring,
+			Demand:          demand,
+			FailureRate:     n.cfg.FailureRate,
+			MinAvailability: n.cfg.MinAvailability,
+			MinReplicas:     n.view.minReplicas,
+			HubCandidates:   n.cfg.HubCandidates,
+			RNG:             n.rng.Stream(epoch),
+		}
+		dec := n.pol.Decide(ctx)
+		ops = n.applyDecisionLocked(dec)
+	}
 
 	n.pending, n.nextPend = n.nextPend, n.pending
 	for i := range n.nextPend {
@@ -578,6 +716,7 @@ func (n *Node) ageSuspicionLocked() {
 // after asymmetric suspicion or missed transfers the claims pull the
 // views back together.
 func (n *Node) reconcileClaimsLocked() {
+	claimed := make([]bool, n.cfg.Partitions)
 	for i := 0; i < len(n.cfg.Peers); i++ {
 		blob := n.pending[i]
 		if blob == nil {
@@ -587,7 +726,39 @@ func (n *Node) reconcileClaimsLocked() {
 			if cl.partition >= n.cfg.Partitions || cl.primary != i {
 				continue // a claim is only authoritative from its primary
 			}
+			claimed[cl.partition] = true
 			n.applyClaimLocked(&cl)
+		}
+	}
+	for p := range claimed {
+		if claimed[p] {
+			n.orphaned[p] = 0
+		} else {
+			n.orphaned[p]++
+		}
+	}
+}
+
+// adoptOrphansLocked repairs claim-protocol deadlocks. Claims are only
+// authoritative from a partition's primary, so after enough fault
+// churn two holders can each believe the *other* is primary: neither
+// claims the partition, the divergence never heals, and a recovering
+// node waiting on that claim never completes its view. When no claim
+// for a partition has arrived for SuspectAfter epochs, every node that
+// believes it holds a copy asserts itself primary; the claims on the
+// next flush re-anchor every view. Competing adoptions are safe:
+// reconciliation applies claims in the same ascending claimant order
+// everywhere, so all views converge on the same winner and the losers
+// cede on the epoch after. (Adoption cannot be restricted to the
+// lowest holder: with divergent views, the holder that looks lowest to
+// everyone else may not list itself at all and would never step up.)
+func (n *Node) adoptOrphansLocked() {
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if n.orphaned[p] < n.cfg.SuspectAfter {
+			continue
+		}
+		if c := n.view.cluster; c.HasReplica(p, cluster.ServerID(n.self)) {
+			_ = c.SetPrimary(p, cluster.ServerID(n.self))
 		}
 	}
 }
@@ -614,11 +785,16 @@ func (n *Node) applyClaimLocked(cl *placementClaim) {
 
 // reseedLostLocked re-seeds partitions whose every holder vanished
 // (archival restore, as in the simulator's mass-failure handling). The
-// restored copy starts empty on the ring owner.
+// restored copy starts empty on the ring owner; empty is authoritative
+// here — the data is gone cluster-wide — so the owner's store becomes
+// resident again.
 func (n *Node) reseedLostLocked() {
 	for p := 0; p < n.cfg.Partitions; p++ {
 		if n.view.primary(p) < 0 {
 			_ = n.view.seedPartition(p)
+			if n.view.hasReplica(p, n.self) {
+				n.store.replace(p, make(map[string][]byte))
+			}
 		}
 	}
 }
@@ -675,13 +851,25 @@ func (n *Node) foldTrackerLocked() *workload.Matrix {
 	return demand
 }
 
-// applyDecisionLocked mirrors the simulator's decision application on
-// the live view — same bandwidth gating, same failed-migration
-// fallback — and collects the transport messages this node is
-// responsible for: the primary ships snapshots to new holders and
-// drop orders to vacating ones. Every node applies the identical
-// decision to its own view, so views stay in lockstep while only the
-// involved nodes move data.
+// applyDecisionLocked executes the slice of the decision this node is
+// responsible for: only the partition's primary applies structural
+// actions — same bandwidth gating and failed-migration fallback as the
+// simulator — and ships the snapshots and drop orders they imply.
+// Non-primary nodes discard the decision and learn the outcome from
+// the primary's next placement claim instead. The one-epoch metadata
+// lag is deliberate: under message loss the per-node traffic trackers
+// can drift apart, and if every node applied its own (now divergent)
+// decision locally, a non-primary could re-add a replica every epoch
+// that the primary's claim keeps removing — a permanent view
+// oscillation. A single decision-maker per partition makes the claim
+// authoritative by construction.
+//
+// Migrations never move the primary copy itself: the claim protocol
+// has no atomic primaryship handoff (a node only claims partitions it
+// already believes it leads), so moving it would leave an epoch where
+// nobody claims the partition. A migration whose source is the primary
+// keeps the source copy and degrades to a replication, exactly like
+// the refused-removal fallback.
 func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 	c := n.view.cluster
 	size := n.cfg.PartitionSize
@@ -700,6 +888,9 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 
 	for _, rep := range dec.Replications {
 		p, src, tgt := rep.Partition, rep.Source, rep.Target
+		if n.view.primary(p) != n.self {
+			continue // the primary executes; peers learn from its claim
+		}
 		if !c.HasReplica(p, src) || !c.CanHost(p, tgt) {
 			continue
 		}
@@ -710,12 +901,15 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 			continue
 		}
 		n.counts.Repl++
-		if n.view.primary(p) == n.self && int(tgt) != n.self {
+		if int(tgt) != n.self {
 			ops = append(ops, snapshotOp(p, int(tgt)))
 		}
 	}
 	for _, mig := range dec.Migrations {
 		p, from, to := mig.Partition, mig.From, mig.To
+		if n.view.primary(p) != n.self {
+			continue
+		}
 		if !c.HasReplica(p, from) || !c.CanHost(p, to) {
 			continue
 		}
@@ -725,35 +919,34 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 		if c.AddReplica(p, to) != nil {
 			continue
 		}
-		wasPrimary := c.Primary(p) == from
-		if c.RemoveReplica(p, from) != nil {
-			// Half-completed move: the new copy exists and bandwidth was
-			// spent, which is physically a replication (same accounting
-			// as the simulator).
+		if c.Primary(p) == from || c.RemoveReplica(p, from) != nil {
+			// The source copy stays: either it is the primary copy
+			// (never moved, see above) or the removal was refused. The
+			// new copy exists and bandwidth was spent, which is
+			// physically a replication (same accounting as the
+			// simulator's half-completed move).
 			n.counts.Repl++
-			if n.view.primary(p) == n.self && int(to) != n.self {
+			if int(to) != n.self {
 				ops = append(ops, snapshotOp(p, int(to)))
 			}
 			continue
-		}
-		if wasPrimary {
-			_ = c.SetPrimary(p, to)
 		}
 		n.counts.Migr++
 		if int(from) == n.self {
 			n.store.drop(p)
 		}
-		if n.view.primary(p) == n.self {
-			if int(to) != n.self {
-				ops = append(ops, snapshotOp(p, int(to)))
-			}
-			if int(from) != n.self {
-				ops = append(ops, dropOp(p, int(from)))
-			}
+		if int(to) != n.self {
+			ops = append(ops, snapshotOp(p, int(to)))
+		}
+		if int(from) != n.self {
+			ops = append(ops, dropOp(p, int(from)))
 		}
 	}
 	for _, sui := range dec.Suicides {
 		p, s := sui.Partition, sui.Server
+		if n.view.primary(p) != n.self {
+			continue
+		}
 		if c.Primary(p) == s {
 			continue // the primary never suicides
 		}
@@ -763,8 +956,7 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 		n.counts.Suicide++
 		if int(s) == n.self {
 			n.store.drop(p)
-		}
-		if n.view.primary(p) == n.self && int(s) != n.self {
+		} else {
 			ops = append(ops, dropOp(p, int(s)))
 		}
 	}
@@ -827,6 +1019,21 @@ func (n *Node) handleDump() (*transport.Message, error) {
 		return nil, err
 	}
 	return &transport.Message{Kind: KindDump, Value: buf}, nil
+}
+
+// LocalGet reads a key from this node's local store only — no
+// routing, no traffic accounting, no capacity charge. It ignores
+// whether the view says this node holds the partition, so invariant
+// checkers can ask "which live processes physically have this value"
+// independently of placement metadata. A crashed node has no store.
+func (n *Node) LocalGet(key string) ([]byte, bool) {
+	p := n.PartitionOf(key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.crashed {
+		return nil, false
+	}
+	return n.store.get(p, key)
 }
 
 // ReplicaMap returns every partition's sorted holder set — the

@@ -256,9 +256,15 @@ func runScenario(t *testing.T, seed uint64) ([][]int, []int, DecisionCounts) {
 		h.tick()
 	}
 	h.assertViewsAgree()
-	counts := h.nodes[0].DecisionCounts()
-	if got := h.nodes[1].DecisionCounts(); got != counts {
-		t.Fatalf("decision counts diverge between nodes: %+v vs %+v", counts, got)
+	// Decision counts are per-primary (only a partition's primary
+	// executes its structural actions), so nodes legitimately differ;
+	// determinism is asserted on the cluster-wide sum instead.
+	var counts DecisionCounts
+	for _, nd := range h.nodes {
+		c := nd.DecisionCounts()
+		counts.Repl += c.Repl
+		counts.Migr += c.Migr
+		counts.Suicide += c.Suicide
 	}
 	return h.nodes[0].ReplicaMap(), h.nodes[0].Primaries(), counts
 }

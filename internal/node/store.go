@@ -6,20 +6,45 @@ package node
 // currently holds a replica — holding is a property of the view, and
 // an empty map for a non-held partition costs nothing.
 //
+// resident tracks whether the partition's local content is
+// authoritative: view membership and store content move at different
+// speeds (a drop order lands an epoch before the placement claim that
+// removes the holder from peer views, and a claim can add a holder an
+// epoch before its snapshot arrives), so "the view says I hold it"
+// does not imply "my data is complete". The read path serves locally
+// only from resident partitions and forwards everything else to the
+// primary. A fresh store at node birth is resident everywhere — the
+// cluster starts empty, so empty content IS authoritative — while a
+// post-restart store (see newBlankStore) is resident nowhere until
+// snapshots rebuild it.
+//
 // store is not safe for concurrent use; Node.mu guards it.
 type store struct {
 	data     []map[string][]byte
+	resident []bool
 	counters []partitionCounters
 }
 
 func newStore(partitions int) *store {
 	s := &store{
 		data:     make([]map[string][]byte, partitions),
+		resident: make([]bool, partitions),
 		counters: make([]partitionCounters, partitions),
 	}
 	for p := range s.data {
 		s.data[p] = make(map[string][]byte)
+		s.resident[p] = true
 		s.counters[p].partition = p
+	}
+	return s
+}
+
+// newBlankStore is newStore for a restarted node: all data was lost,
+// so no partition is resident until a snapshot restores it.
+func newBlankStore(partitions int) *store {
+	s := newStore(partitions)
+	for p := range s.resident {
+		s.resident[p] = false
 	}
 	return s
 }
@@ -36,13 +61,18 @@ func (s *store) put(p int, key string, value []byte) {
 }
 
 // replace installs a transferred snapshot as the partition's data.
+// A snapshot is a complete copy, so the partition becomes resident.
 func (s *store) replace(p int, data map[string][]byte) {
 	s.data[p] = data
+	s.resident[p] = true
 }
 
-// drop discards the partition's data (migration victim, suicide).
+// drop discards the partition's data (migration victim, suicide). The
+// partition stops being resident: until another snapshot arrives, any
+// content is someone else's responsibility.
 func (s *store) drop(p int) {
 	s.data[p] = make(map[string][]byte)
+	s.resident[p] = false
 }
 
 func (s *store) keys(p int) int { return len(s.data[p]) }

@@ -32,8 +32,12 @@ type view struct {
 }
 
 // newView derives the deterministic cluster model from a validated
-// config.
-func newView(cfg *Config) (*view, error) {
+// config. With seeded=true every partition gets its initial ring-owner
+// placement (a cluster booting from scratch); with seeded=false the
+// placement starts empty — the view of a node rejoining after a crash,
+// which must re-learn the real placement from its peers' claims rather
+// than assert the long-stale seed placement.
+func newView(cfg *Config, seeded bool) (*view, error) {
 	n := len(cfg.Peers)
 	degree := 3
 	if degree >= n {
@@ -83,12 +87,25 @@ func newView(cfg *Config) (*view, error) {
 			return nil, fmt.Errorf("node: %w", err)
 		}
 	}
-	for p := 0; p < cfg.Partitions; p++ {
-		if err := v.seedPartition(p); err != nil {
-			return nil, err
+	if seeded {
+		for p := 0; p < cfg.Partitions; p++ {
+			if err := v.seedPartition(p); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return v, nil
+}
+
+// fullyPlaced reports whether every partition has a primary — the
+// condition for a recovering node to trust its reconciled view again.
+func (v *view) fullyPlaced(partitions int) bool {
+	for p := 0; p < partitions; p++ {
+		if v.primary(p) < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // seedPartition places the partition's first copy on its ring owner or

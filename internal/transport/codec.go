@@ -87,19 +87,15 @@ func DecodeMessage(buf []byte) (*Message, error) {
 	m.Kind, m.Status = buf[0], buf[1]
 	rest := buf[2:]
 	var err error
-	var u uint64
-	if u, rest, err = takeUvarint(rest, "partition"); err != nil {
+	if m.Partition, rest, err = takeUint32(rest, "partition"); err != nil {
 		return nil, err
 	}
-	m.Partition = uint32(u)
-	if u, rest, err = takeUvarint(rest, "origin"); err != nil {
+	if m.Origin, rest, err = takeUint32(rest, "origin"); err != nil {
 		return nil, err
 	}
-	m.Origin = uint32(u)
-	if u, rest, err = takeUvarint(rest, "hops"); err != nil {
+	if m.Hops, rest, err = takeUint32(rest, "hops"); err != nil {
 		return nil, err
 	}
-	m.Hops = uint32(u)
 	if m.Epoch, rest, err = takeUvarint(rest, "epoch"); err != nil {
 		return nil, err
 	}
@@ -120,7 +116,29 @@ func takeUvarint(buf []byte, field string) (uint64, []byte, error) {
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("transport: bad uvarint in %s field", field)
 	}
+	// Reject overlong (non-minimal) encodings: a minimal uvarint never
+	// ends in a zero byte except the single-byte encoding of zero.
+	// Accepting them would let two different byte strings decode to the
+	// same message, breaking the bit-identical wire contract.
+	if n > 1 && buf[n-1] == 0 {
+		return 0, nil, fmt.Errorf("transport: overlong uvarint in %s field", field)
+	}
 	return v, buf[n:], nil
+}
+
+// takeUint32 decodes a uvarint bound for a 32-bit field, rejecting
+// values that would silently truncate (a corrupt or non-canonical
+// encoding must not decode into a message that re-encodes
+// differently).
+func takeUint32(buf []byte, field string) (uint32, []byte, error) {
+	v, rest, err := takeUvarint(buf, field)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > 1<<32-1 {
+		return 0, nil, fmt.Errorf("transport: %s value %d overflows uint32", field, v)
+	}
+	return uint32(v), rest, nil
 }
 
 func takeBytes(buf []byte, field string) ([]byte, []byte, error) {

@@ -1,0 +1,92 @@
+package transport
+
+// Fault injection for deterministic chaos testing. A FaultEndpoint
+// wraps any Transport and consults a FaultFunc before every outbound
+// Send: the decider may let the message through, drop it (the sender
+// sees ErrUnreachable, exactly what a lost request looks like to the
+// retry/suspicion machinery above), or duplicate it (the message is
+// delivered twice, which is what at-least-once delivery degenerates to
+// — handlers must be idempotent). Delayed delivery is composed on top
+// by the chaos harness: its decider clones the message, answers Drop,
+// and re-sends the clone through the unwrapped inner transport at a
+// later deterministic point.
+//
+// The wrapper carries no randomness and no clock of its own; all
+// scheduling lives in the decider, so a seeded decider over the
+// synchronous Loopback transport yields bit-identical fault schedules
+// run after run.
+
+// FaultAction is a FaultFunc's verdict on one outbound message.
+type FaultAction int
+
+const (
+	// FaultDeliver passes the message through untouched.
+	FaultDeliver FaultAction = iota
+	// FaultDrop discards the message; Send returns ErrUnreachable.
+	FaultDrop
+	// FaultDuplicate delivers the message twice, back to back, and
+	// returns the second reply (the dup is the one the "network"
+	// retried; both deliveries run the receiver's handler).
+	FaultDuplicate
+)
+
+// FaultFunc decides the fate of one outbound message from this
+// endpoint to peer. It runs on every Send, on the sender's goroutine,
+// before any delivery; m must not be retained or mutated (clone via
+// AppendMessage/DecodeMessage to keep a copy). A nil FaultFunc
+// delivers everything.
+type FaultFunc func(from, to string, m *Message) FaultAction
+
+// FaultEndpoint wraps an inner Transport with fault injection. Create
+// with NewFault. The wrapper owns the inner transport: closing the
+// wrapper closes it.
+type FaultEndpoint struct {
+	inner  Transport
+	decide FaultFunc
+}
+
+var _ Transport = (*FaultEndpoint)(nil)
+
+// NewFault wraps inner so every outbound Send consults decide first.
+func NewFault(inner Transport, decide FaultFunc) *FaultEndpoint {
+	return &FaultEndpoint{inner: inner, decide: decide}
+}
+
+// Addr implements Transport.
+func (f *FaultEndpoint) Addr() string { return f.inner.Addr() }
+
+// SetHandler implements Transport. Inbound traffic is not intercepted:
+// faults are injected on the sending side only, so a message crossing
+// two wrapped endpoints is judged exactly once.
+func (f *FaultEndpoint) SetHandler(h Handler) { f.inner.SetHandler(h) }
+
+// Send implements Transport.
+func (f *FaultEndpoint) Send(peer string, req *Message) (*Message, error) {
+	action := FaultDeliver
+	if f.decide != nil {
+		action = f.decide(f.inner.Addr(), peer, req)
+	}
+	switch action {
+	case FaultDrop:
+		return nil, ErrUnreachable
+	case FaultDuplicate:
+		if _, err := f.inner.Send(peer, req); err != nil {
+			return nil, err
+		}
+		return f.inner.Send(peer, req)
+	default:
+		return f.inner.Send(peer, req)
+	}
+}
+
+// Close implements Transport.
+func (f *FaultEndpoint) Close() error { return f.inner.Close() }
+
+// CloneMessage deep-copies a message through the codec, so deciders
+// can retain it past the Send that produced it (delayed redelivery).
+// Cloning a message that round-trips the codec cannot fail; the error
+// path exists only for messages that would not survive the wire
+// anyway.
+func CloneMessage(m *Message) (*Message, error) {
+	return DecodeMessage(AppendMessage(nil, m))
+}

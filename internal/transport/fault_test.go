@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultNet builds two loopback endpoints where a's outbound traffic
+// passes through a FaultEndpoint with the given decider. b echoes
+// requests back with the value reversed so deliveries are observable.
+func faultNet(t *testing.T, decide FaultFunc) (*FaultEndpoint, *int) {
+	t.Helper()
+	lb := NewLoopback()
+	a := NewFault(lb.Endpoint("a"), decide)
+	b := lb.Endpoint("b")
+	delivered := new(int)
+	b.SetHandler(func(from string, req *Message) (*Message, error) {
+		*delivered++
+		return &Message{Kind: req.Kind, Value: req.Value}, nil
+	})
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, delivered
+}
+
+func TestFaultDeliverPassesThrough(t *testing.T) {
+	a, delivered := faultNet(t, func(from, to string, m *Message) FaultAction {
+		if from != "a" || to != "b" {
+			t.Errorf("decider saw %s -> %s", from, to)
+		}
+		return FaultDeliver
+	})
+	resp, err := a.Send("b", &Message{Kind: 9, Value: []byte("x")})
+	if err != nil || string(resp.Value) != "x" {
+		t.Fatalf("deliver: resp=%+v err=%v", resp, err)
+	}
+	if *delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", *delivered)
+	}
+}
+
+func TestFaultNilDeciderDelivers(t *testing.T) {
+	a, delivered := faultNet(t, nil)
+	if _, err := a.Send("b", &Message{Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if *delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", *delivered)
+	}
+}
+
+func TestFaultDropLooksUnreachable(t *testing.T) {
+	a, delivered := faultNet(t, func(from, to string, m *Message) FaultAction {
+		return FaultDrop
+	})
+	_, err := a.Send("b", &Message{Kind: 1})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("drop: err=%v, want ErrUnreachable", err)
+	}
+	if *delivered != 0 {
+		t.Fatalf("dropped message was delivered %d times", *delivered)
+	}
+}
+
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	a, delivered := faultNet(t, func(from, to string, m *Message) FaultAction {
+		return FaultDuplicate
+	})
+	resp, err := a.Send("b", &Message{Kind: 1, Value: []byte("dup")})
+	if err != nil || string(resp.Value) != "dup" {
+		t.Fatalf("duplicate: resp=%+v err=%v", resp, err)
+	}
+	if *delivered != 2 {
+		t.Fatalf("delivered %d times, want 2", *delivered)
+	}
+}
+
+func TestFaultSelectiveByKind(t *testing.T) {
+	a, delivered := faultNet(t, func(from, to string, m *Message) FaultAction {
+		if m.Kind == 4 {
+			return FaultDrop
+		}
+		return FaultDeliver
+	})
+	if _, err := a.Send("b", &Message{Kind: 4}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("kind 4 not dropped: %v", err)
+	}
+	if _, err := a.Send("b", &Message{Kind: 5}); err != nil {
+		t.Fatalf("kind 5 dropped: %v", err)
+	}
+	if *delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", *delivered)
+	}
+}
+
+func TestFaultEndpointForwardsLifecycle(t *testing.T) {
+	lb := NewLoopback()
+	f := NewFault(lb.Endpoint("x"), nil)
+	if f.Addr() != "x" {
+		t.Fatalf("Addr = %q", f.Addr())
+	}
+	// SetHandler must reach the inner endpoint: another peer sending to
+	// "x" sees the installed handler's reply.
+	f.SetHandler(func(from string, req *Message) (*Message, error) {
+		return &Message{Kind: req.Kind, Value: []byte("inner")}, nil
+	})
+	y := lb.Endpoint("y")
+	defer y.Close()
+	resp, err := y.Send("x", &Message{Kind: 2})
+	if err != nil || string(resp.Value) != "inner" {
+		t.Fatalf("handler not forwarded: resp=%+v err=%v", resp, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Send("y", &Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestCloneMessageIndependentCopy(t *testing.T) {
+	orig := &Message{Kind: 3, Partition: 7, Key: []byte("k"), Value: []byte("v")}
+	cl, err := CloneMessage(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msgEqual(orig, cl) {
+		t.Fatalf("clone differs: %+v vs %+v", orig, cl)
+	}
+	cl.Value[0] = 'X'
+	if orig.Value[0] != 'v' {
+		t.Fatal("clone shares buffers with the original")
+	}
+}

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeMessage fuzzes the length-prefixed codec's body decoder
+// with the round-trip property: any input DecodeMessage accepts must
+// re-encode and re-decode to the identical message (decode → encode →
+// decode is a fixed point). Inputs the decoder rejects are fine; what
+// it may never do is panic, over-allocate from an unvalidated length,
+// or accept bytes that decode into a message it would encode
+// differently (silent uvarint truncation).
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed corpus: the codec_test.go round-trip cases plus the corrupt
+	// shapes its rejection test enumerates.
+	seeds := []*Message{
+		{},
+		{Kind: 7, Status: StatusNotFound},
+		{Kind: 1, Partition: 63, Origin: 9, Hops: 4, Epoch: 1 << 40, Key: []byte("k"), Value: []byte("v")},
+		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1},
+		{Kind: 2, Key: bytes.Repeat([]byte{0xAB}, 64), Value: bytes.Repeat([]byte{0xCD}, 256)},
+		{Kind: 3, Value: []byte{}},
+	}
+	for _, m := range seeds {
+		f.Add(AppendMessage(nil, m))
+	}
+	good := AppendMessage(nil, &Message{Kind: 1, Key: []byte("key"), Value: []byte("value")})
+	f.Add(good[:1])
+	f.Add(good[:len(good)-3])
+	f.Add(append(append([]byte{}, good...), 0x00))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0xFF})
+	// A 5-byte uvarint exceeding uint32 in the partition slot: must be
+	// rejected, not truncated.
+	over := []byte{1, 0}
+	over = binary.AppendUvarint(over, 1<<33)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc := AppendMessage(nil, m)
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v\ninput: %x\nre-encoded: %x", err, data, enc)
+		}
+		if !msgEqual(m, m2) {
+			t.Fatalf("decode→encode→decode not a fixed point:\nfirst  %+v\nsecond %+v\ninput: %x", m, m2, data)
+		}
+		// The accepted encoding must itself be canonical: re-encoding
+		// the decoded message must reproduce the input byte for byte
+		// (the decoder rejects trailing bytes and overlong uvarints, so
+		// any divergence is a truncation bug).
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding:\ninput      %x\nre-encoded %x", data, enc)
+		}
+	})
+}
