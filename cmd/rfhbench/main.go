@@ -4,12 +4,18 @@
 // The sim suite (default) times steady-state Engine.Step throughput at
 // the paper's seed scale (10 datacenters, 100 servers, 64 partitions)
 // and at ten times that — the source of the committed BENCH_sim.json
-// snapshot. The transport suite times message round trips through the
-// live cluster's two transports (in-process loopback and real TCP over
-// localhost) at two payload sizes — the source of BENCH_transport.json.
+// snapshot. The transport suite measures the live cluster's message
+// plane: codec-only encode/decode rows, echo round trips over both
+// transports (in-process loopback and real TCP over localhost) at two
+// payload sizes and 1/8/64 concurrent in-flight requests per peer, and
+// a fleet-level put/get throughput row per transport — the source of
+// BENCH_transport.json. The stress suite is a pprof-friendly hammer: a
+// 3-node TCP fleet under concurrent put/get load with epochs ticking
+// underneath, meant to be run with -cpuprofile.
 //
 //	rfhbench -o BENCH_sim.json
 //	rfhbench -suite transport -o BENCH_transport.json
+//	rfhbench -suite stress -cpuprofile cpu.pprof
 //	rfhbench -epochs 500 -warmup 50
 //	rfhbench -date 2026-08-01 -o BENCH_sim.json   # pinned stamp for reproducible diffs
 package main
@@ -20,11 +26,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -120,14 +129,20 @@ func measure(name string, dcs, partitions, warmup, epochs int) (scaleResult, err
 	}, nil
 }
 
-// transportResult is one round-trip measurement of BENCH_transport.json.
+// transportResult is one measurement row of BENCH_transport.json.
+// InFlight is the number of concurrent requests kept outstanding
+// against the peer (1 = the old serialized regime); AllocsPerOp is the
+// whole-process malloc delta per operation, so it includes both sides
+// of the exchange.
 type transportResult struct {
 	Name         string  `json:"name"`
 	Transport    string  `json:"transport"`
 	PayloadBytes int     `json:"payload_bytes"`
+	InFlight     int     `json:"in_flight"`
 	RoundTrips   int     `json:"round_trips"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	OpsPerSec    float64 `json:"ops_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
 type transportReport struct {
@@ -135,6 +150,33 @@ type transportReport struct {
 	GoVersion  string            `json:"go_version"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Results    []transportResult `json:"results"`
+	// SerializedBaseline is the historical record of the
+	// pre-multiplexing transport (one exchange at a time per
+	// connection, a write+read syscall pair per frame), measured on the
+	// same class of machine before the mux rewrite. It cannot be
+	// re-measured — the code is gone — so it ships as constants and
+	// lands in every refreshed snapshot as the "before" column.
+	SerializedBaseline []transportResult `json:"serialized_baseline"`
+}
+
+// serializedBaseline holds the last measurement of the old
+// serialized transport (go1.24.0, GOMAXPROCS=1, 30k round trips per
+// row). Flat ops/sec across in-flight counts is the serialization
+// showing: extra senders only queued behind the per-peer connection
+// lock.
+var serializedBaseline = []transportResult{
+	{Name: "loopback-64B-inflight1", Transport: "loopback", PayloadBytes: 64, InFlight: 1, RoundTrips: 30000, NsPerOp: 497, OpsPerSec: 2011924, AllocsPerOp: 11.0},
+	{Name: "loopback-64B-inflight8", Transport: "loopback", PayloadBytes: 64, InFlight: 8, RoundTrips: 30000, NsPerOp: 516, OpsPerSec: 1936260, AllocsPerOp: 11.0},
+	{Name: "loopback-64B-inflight64", Transport: "loopback", PayloadBytes: 64, InFlight: 64, RoundTrips: 30000, NsPerOp: 481, OpsPerSec: 2076521, AllocsPerOp: 11.0},
+	{Name: "loopback-4KiB-inflight1", Transport: "loopback", PayloadBytes: 4096, InFlight: 1, RoundTrips: 30000, NsPerOp: 2034, OpsPerSec: 491599, AllocsPerOp: 11.0},
+	{Name: "loopback-4KiB-inflight8", Transport: "loopback", PayloadBytes: 4096, InFlight: 8, RoundTrips: 30000, NsPerOp: 2167, OpsPerSec: 461353, AllocsPerOp: 11.0},
+	{Name: "loopback-4KiB-inflight64", Transport: "loopback", PayloadBytes: 4096, InFlight: 64, RoundTrips: 30000, NsPerOp: 2597, OpsPerSec: 384972, AllocsPerOp: 11.0},
+	{Name: "tcp-64B-inflight1", Transport: "tcp", PayloadBytes: 64, InFlight: 1, RoundTrips: 30000, NsPerOp: 12682, OpsPerSec: 78847, AllocsPerOp: 9.0},
+	{Name: "tcp-64B-inflight8", Transport: "tcp", PayloadBytes: 64, InFlight: 8, RoundTrips: 30000, NsPerOp: 13108, OpsPerSec: 76287, AllocsPerOp: 9.0},
+	{Name: "tcp-64B-inflight64", Transport: "tcp", PayloadBytes: 64, InFlight: 64, RoundTrips: 30000, NsPerOp: 13890, OpsPerSec: 71990, AllocsPerOp: 9.0},
+	{Name: "tcp-4KiB-inflight1", Transport: "tcp", PayloadBytes: 4096, InFlight: 1, RoundTrips: 30000, NsPerOp: 15544, OpsPerSec: 64332, AllocsPerOp: 9.0},
+	{Name: "tcp-4KiB-inflight8", Transport: "tcp", PayloadBytes: 4096, InFlight: 8, RoundTrips: 30000, NsPerOp: 15449, OpsPerSec: 64728, AllocsPerOp: 9.0},
+	{Name: "tcp-4KiB-inflight64", Transport: "tcp", PayloadBytes: 4096, InFlight: 64, RoundTrips: 30000, NsPerOp: 14679, OpsPerSec: 68124, AllocsPerOp: 9.0},
 }
 
 // echoHandler replies with the request payload — the cheapest handler,
@@ -143,55 +185,279 @@ func echoHandler(from string, req *transport.Message) (*transport.Message, error
 	return &transport.Message{Kind: req.Kind, Key: req.Key, Value: req.Value}, nil
 }
 
-// measureRoundTrips times ops request/response exchanges through send.
-func measureRoundTrips(name, kind string, payload, warmup, ops int,
-	send func(*transport.Message) (*transport.Message, error)) (transportResult, error) {
+// measureCodec times pure encode+decode cycles through reused buffers —
+// the allocation floor of the message plane. Steady state must be
+// alloc-free: AppendMessage into a reused scratch slice and
+// DecodeMessageInto a reused Message allocate nothing once the scratch
+// has grown to size.
+func measureCodec(label string, payload, ops int) (transportResult, error) {
 	req := &transport.Message{Kind: 1, Key: []byte("bench-key"), Value: make([]byte, payload)}
-	for i := 0; i < warmup; i++ {
-		if _, err := send(req); err != nil {
-			return transportResult{}, err
-		}
-	}
+	scratch := transport.AppendMessage(nil, req)
+	var m transport.Message
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < ops; i++ {
-		if _, err := send(req); err != nil {
+		scratch = transport.AppendMessage(scratch[:0], req)
+		if err := transport.DecodeMessageInto(&m, scratch); err != nil {
 			return transportResult{}, err
 		}
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return transportResult{
+		Name:         "codec-" + label,
+		Transport:    "codec",
+		PayloadBytes: payload,
+		InFlight:     1,
+		RoundTrips:   ops,
+		NsPerOp:      elapsed.Nanoseconds() / int64(ops),
+		OpsPerSec:    float64(ops) / elapsed.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// measureRoundTrips times ops request/response exchanges through send
+// with `inflight` concurrent senders sharing the one peer connection.
+func measureRoundTrips(name, kind string, payload, inflight, warmup, ops int,
+	send func(*transport.Message) (*transport.Message, error)) (transportResult, error) {
+	warm := &transport.Message{Kind: 1, Key: []byte("bench-key"), Value: make([]byte, payload)}
+	for i := 0; i < warmup; i++ {
+		if _, err := send(warm); err != nil {
+			return transportResult{}, err
+		}
+	}
+	perWorker := ops / inflight
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	total := perWorker * inflight
+	errCh := make(chan error, inflight)
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := &transport.Message{Kind: 1, Key: []byte("bench-key"), Value: make([]byte, payload)}
+			for i := 0; i < perWorker; i++ {
+				if _, err := send(req); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	select {
+	case err := <-errCh:
+		return transportResult{}, err
+	default:
+	}
 	return transportResult{
 		Name:         name,
 		Transport:    kind,
 		PayloadBytes: payload,
-		RoundTrips:   ops,
-		NsPerOp:      elapsed.Nanoseconds() / int64(ops),
-		OpsPerSec:    float64(ops) / elapsed.Seconds(),
+		InFlight:     inflight,
+		RoundTrips:   total,
+		NsPerOp:      elapsed.Nanoseconds() / int64(total),
+		OpsPerSec:    float64(total) / elapsed.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(total),
 	}, nil
 }
 
-// runTransportSuite measures both transports at a small (64 B) and a
-// bulk (4 KiB) payload. ops derives from -epochs so the existing knob
-// scales both suites.
+// benchFleet is a 3-node cluster for the fleet-level rows and the
+// stress suite, over either transport flavour.
+type benchFleet struct {
+	nodes []*node.Node
+}
+
+func buildBenchFleet(flavour string) (*benchFleet, error) {
+	const n = 3
+	peers := make([]node.Peer, n)
+	trs := make([]transport.Transport, n)
+	switch flavour {
+	case "loopback":
+		lb := transport.NewLoopback()
+		for i := range peers {
+			peers[i] = node.Peer{ID: i, Addr: fmt.Sprintf("node%d", i)}
+			trs[i] = lb.Endpoint(peers[i].Addr)
+		}
+	case "tcp":
+		opts := transport.TCPOptions{
+			DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second,
+			Retries: 1, RetryBackoff: 5 * time.Millisecond,
+		}
+		for i := range peers {
+			tr, err := transport.ListenTCP("127.0.0.1:0", nil, opts)
+			if err != nil {
+				return nil, err
+			}
+			peers[i] = node.Peer{ID: i, Addr: tr.Addr()}
+			trs[i] = tr
+		}
+	default:
+		return nil, fmt.Errorf("unknown fleet flavour %q", flavour)
+	}
+	f := &benchFleet{}
+	for i := 0; i < n; i++ {
+		cfg := node.DefaultConfig(i, append([]node.Peer(nil), peers...))
+		cfg.Partitions = 16
+		cfg.Seed = 7
+		nd, err := node.New(cfg, trs[i])
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.nodes = append(f.nodes, nd)
+	}
+	// A few lockstep epochs settle the initial replica placement so the
+	// measured traffic runs against a converged cluster.
+	for e := 0; e < 3; e++ {
+		if err := f.tick(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *benchFleet) tick() error {
+	for i, nd := range f.nodes {
+		if err := nd.FlushEpoch(); err != nil {
+			return fmt.Errorf("flush node %d: %w", i, err)
+		}
+	}
+	for i, nd := range f.nodes {
+		if err := nd.RunEpoch(); err != nil {
+			return fmt.Errorf("run node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *benchFleet) Close() {
+	for _, nd := range f.nodes {
+		nd.Close()
+	}
+}
+
+// measureFleet times concurrent put/get rounds against a converged
+// 3-node fleet: `workers` goroutines each write then read their own
+// keys through their entry node, so the row captures the end-to-end
+// data plane — routing, primary forwarding, replica sync fan-out and
+// the store — not just raw transport echo cost.
+func measureFleet(flavour string, workers, rounds int) (transportResult, error) {
+	f, err := buildBenchFleet(flavour)
+	if err != nil {
+		return transportResult{}, err
+	}
+	defer f.Close()
+	val := make([]byte, 64)
+	// Warm every worker's key set once so the measured window has no
+	// first-write placement cost.
+	for g := 0; g < workers; g++ {
+		entry := f.nodes[g%len(f.nodes)]
+		for k := 0; k < 10; k++ {
+			if err := entry.Put(fmt.Sprintf("bench-g%d-k%d", g, k), val); err != nil {
+				return transportResult{}, err
+			}
+		}
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			entry := f.nodes[g%len(f.nodes)]
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("bench-g%d-k%d", g, r%10)
+				if err := entry.Put(key, val); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				if _, _, err := entry.Get(key); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	select {
+	case err := <-errCh:
+		return transportResult{}, err
+	default:
+	}
+	total := workers * rounds * 2 // one put + one get per round
+	return transportResult{
+		Name:         "fleet-putget-" + flavour,
+		Transport:    flavour,
+		PayloadBytes: len(val),
+		InFlight:     workers,
+		RoundTrips:   total,
+		NsPerOp:      elapsed.Nanoseconds() / int64(total),
+		OpsPerSec:    float64(total) / elapsed.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(total),
+	}, nil
+}
+
+// runTransportSuite measures the message plane bottom-up: the codec in
+// isolation, echo round trips over both transports at 64 B and 4 KiB
+// payloads with 1, 8 and 64 requests in flight, and the fleet-level
+// put/get rows. ops derives from -epochs so the existing knob scales
+// both suites.
 func runTransportSuite(warmup, epochs int) ([]transportResult, error) {
 	ops := epochs * 100
 	payloads := []struct {
 		label string
 		bytes int
 	}{{"64B", 64}, {"4KiB", 4096}}
+	inflights := []int{1, 8, 64}
 
 	var results []transportResult
+
+	for _, p := range payloads {
+		res, err := measureCodec(p.label, p.bytes, ops*10)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
 
 	lb := transport.NewLoopback()
 	cli := lb.Endpoint("cli")
 	srv := lb.Endpoint("srv")
 	srv.SetHandler(echoHandler)
 	for _, p := range payloads {
-		res, err := measureRoundTrips("loopback-"+p.label, "loopback", p.bytes, warmup, ops,
-			func(m *transport.Message) (*transport.Message, error) { return cli.Send("srv", m) })
-		if err != nil {
-			return nil, err
+		for _, inflight := range inflights {
+			name := fmt.Sprintf("loopback-%s-inflight%d", p.label, inflight)
+			res, err := measureRoundTrips(name, "loopback", p.bytes, inflight, warmup, ops,
+				func(m *transport.Message) (*transport.Message, error) { return cli.Send("srv", m) })
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
 		}
-		results = append(results, res)
 	}
 	cli.Close()
 	srv.Close()
@@ -205,14 +471,92 @@ func runTransportSuite(warmup, epochs int) ([]transportResult, error) {
 	defer client.Close()
 	addr := server.Addr()
 	for _, p := range payloads {
-		res, err := measureRoundTrips("tcp-"+p.label, "tcp", p.bytes, warmup, ops,
-			func(m *transport.Message) (*transport.Message, error) { return client.Send(addr, m) })
+		for _, inflight := range inflights {
+			name := fmt.Sprintf("tcp-%s-inflight%d", p.label, inflight)
+			res, err := measureRoundTrips(name, "tcp", p.bytes, inflight, warmup, ops,
+				func(m *transport.Message) (*transport.Message, error) { return client.Send(addr, m) })
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+	}
+
+	for _, flavour := range []string{"loopback", "tcp"} {
+		res, err := measureFleet(flavour, 8, ops/8)
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// runStress hammers a 3-node TCP fleet with concurrent put/get traffic
+// while lockstep epochs tick underneath — the same shape as the node
+// package's concurrent stress test, scaled up and left unasserted so
+// cpu/heap profiles capture a realistic steady state. Transient errors
+// during epoch actions are counted, not fatal.
+func runStress(epochs int) error {
+	f, err := buildBenchFleet("tcp")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := f.tick(); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const workers = 16
+	rounds := epochs * 25
+	val := make([]byte, 64)
+	var transient int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			entry := f.nodes[g%len(f.nodes)]
+			errs := int64(0)
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("stress-g%d-k%d", g, r%10)
+				if err := entry.Put(key, val); err != nil {
+					errs++
+				}
+				if _, _, err := entry.Get(key); err != nil {
+					errs++
+				}
+			}
+			mu.Lock()
+			transient += errs
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	tickWG.Wait()
+	total := int64(workers) * int64(rounds) * 2
+	fmt.Fprintf(os.Stderr, "stress: %d ops in %v  %9.0f ops/sec  %d transient errors\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), transient)
+	return nil
 }
 
 func writeReport(out string, rep any) {
@@ -234,11 +578,13 @@ func writeReport(out string, rep any) {
 
 func main() {
 	var (
-		out    = flag.String("o", "", "write JSON here instead of stdout")
-		suite  = flag.String("suite", "sim", "benchmark suite: sim or transport")
-		warmup = flag.Int("warmup", 30, "warmup epochs before timing starts")
-		epochs = flag.Int("epochs", 300, "timed epochs per scale (transport suite: ×100 round trips)")
-		date   = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
+		out        = flag.String("o", "", "write JSON here instead of stdout")
+		suite      = flag.String("suite", "sim", "benchmark suite: sim, transport or stress")
+		warmup     = flag.Int("warmup", 30, "warmup epochs before timing starts")
+		epochs     = flag.Int("epochs", 300, "timed epochs per scale (transport suite: ×100 round trips)")
+		date       = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile here")
+		memprofile = flag.String("memprofile", "", "write a heap profile here at exit")
 	)
 	flag.Parse()
 	if *epochs < 1 || *warmup < 0 {
@@ -252,6 +598,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfhbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			}
+		}()
+	}
+
 	switch *suite {
 	case "transport":
 		results, err := runTransportSuite(*warmup, *epochs)
@@ -260,14 +633,21 @@ func main() {
 			os.Exit(1)
 		}
 		for _, r := range results {
-			fmt.Fprintf(os.Stderr, "%-14s %8d ns/op  %9.0f ops/sec\n", r.Name, r.NsPerOp, r.OpsPerSec)
+			fmt.Fprintf(os.Stderr, "%-24s %8d ns/op  %9.0f ops/sec  %6.1f allocs/op\n",
+				r.Name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 		}
 		writeReport(*out, transportReport{
-			Date:       *date,
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Results:    results,
+			Date:               *date,
+			GoVersion:          runtime.Version(),
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			Results:            results,
+			SerializedBaseline: serializedBaseline,
 		})
+	case "stress":
+		if err := runStress(*epochs); err != nil {
+			fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			os.Exit(1)
+		}
 	case "sim":
 		rep := report{
 			Date:       *date,
@@ -293,7 +673,7 @@ func main() {
 		}
 		writeReport(*out, rep)
 	default:
-		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim or transport")
+		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim, transport or stress")
 		os.Exit(2)
 	}
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestCloseCheck(t *testing.T) {
-	analysistest.Run(t, closecheck.Analyzer, "closefix", "engine", "daemonfix", "daemon")
+	analysistest.Run(t, closecheck.Analyzer, "closefix", "engine", "daemonfix", "daemon", "muxpeer")
 }

@@ -1,0 +1,115 @@
+// Package muxpeer is the closecheck stand-in for the multiplexed
+// transport's per-peer machinery: types whose constructors spawn
+// reader/writer goroutines that only Close reaps. A dropped peer is a
+// goroutine leak, not just a socket leak, so the registry must cover
+// the goroutine owners — the peer itself and the connection writer —
+// and the analyzer must recognise the transport's hand-off idioms
+// (peers parked in a registry map, writers handed to the spawned
+// loop).
+package muxpeer
+
+import "errors"
+
+// Writer owns the single write goroutine of one connection.
+type Writer struct{ ch chan []byte }
+
+// NewWriter spawns the write loop; the caller owns the reaping.
+func NewWriter() *Writer {
+	w := &Writer{ch: make(chan []byte, 1)}
+	go w.loop()
+	return w
+}
+
+func (w *Writer) loop() {
+	for range w.ch {
+	}
+}
+
+// Close stops the write loop.
+func (w *Writer) Close() error { close(w.ch); return nil }
+
+// Peer multiplexes requests over one connection: a reader goroutine
+// and a Writer, both reaped by Close.
+type Peer struct {
+	wr   *Writer
+	done chan struct{}
+}
+
+// Dial connects and spawns the per-connection goroutines.
+func Dial(addr string) (*Peer, error) {
+	if addr == "" {
+		return nil, errors.New("muxpeer: empty address")
+	}
+	p := &Peer{wr: NewWriter(), done: make(chan struct{})}
+	go p.readLoop()
+	return p, nil
+}
+
+func (p *Peer) readLoop() { <-p.done }
+
+// Send issues one request over the shared connection.
+func (p *Peer) Send(req []byte) error { return nil }
+
+// Close reaps the reader and the writer.
+func (p *Peer) Close() error {
+	close(p.done)
+	return p.wr.Close()
+}
+
+// leakedPeer drops a goroutine owner: both loops outlive the caller.
+func leakedPeer() {
+	p, err := Dial("10.0.0.1:7000") // want `\*muxpeer\.Peer is bound to "p" but never closed on any path`
+	if err != nil {
+		return
+	}
+	_ = p.Send(nil)
+}
+
+// leakedWriter drops the write-loop owner on the error path: the
+// early return abandons the goroutine even though the happy path
+// stores it.
+func leakedWriter(ok bool) *Peer {
+	w := NewWriter() // want `\*muxpeer\.Writer is bound to "w" but never closed on any path`
+	if !ok {
+		return nil
+	}
+	_ = w
+	return nil
+}
+
+// discardedPeer never binds the peer at all.
+func discardedPeer() {
+	Dial("10.0.0.1:7000") // want `result of this call \(\*muxpeer\.Peer\) is discarded without being closed`
+}
+
+// registry is the transport shape: peers parked in a map until the
+// transport-wide Close sweeps them.
+type registry struct{ peers map[string]*Peer }
+
+// parkedPeer stores the peer in the registry — ownership transferred,
+// safe.
+func (r *registry) parkedPeer(addr string) error {
+	p, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	r.peers[addr] = p
+	return nil
+}
+
+// reapedPeer is the synchronous shape: dial, exchange, defer Close.
+func reapedPeer(addr string) error {
+	p, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	return p.Send(nil)
+}
+
+// handedWriter passes the writer to a spawned loop wrapper — the
+// recipient owns it, safe.
+func handedWriter(run func(*Writer)) {
+	w := NewWriter()
+	run(w)
+}

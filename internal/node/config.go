@@ -62,6 +62,15 @@ type Config struct {
 	// SuspectAfter is how many epochs a peer may stay silent before it
 	// is presumed failed and removed from the view (default 3).
 	SuspectAfter int
+	// Fanout bounds how many peers the node contacts concurrently when
+	// a single logical step sends to several (the per-epoch stats
+	// broadcast, replica-sync on a primary write, the decision's data
+	// movements). Values <= 1 send strictly sequentially in roster
+	// order — the mode the deterministic loopback harnesses require,
+	// because the chaos fault wrapper draws from a shared RNG per send
+	// and its draw order is part of the seed's byte-identical
+	// trajectory. Fleet forces 1; live deployments default to 8.
+	Fanout int
 	// Seed drives every stochastic choice: the synthetic world, the
 	// ring positions, and the per-epoch policy RNG streams. All nodes
 	// must share it.
@@ -86,6 +95,7 @@ func DefaultConfig(id int, peers []Peer) Config {
 		HubCandidates:   3,
 		PolicyName:      "rfh",
 		SuspectAfter:    3,
+		Fanout:          8,
 		Seed:            1,
 	}
 }
@@ -126,6 +136,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("node: hub candidates must be positive")
 	case c.SuspectAfter <= 0:
 		return fmt.Errorf("node: suspect-after must be positive")
+	case c.Fanout < 0:
+		return fmt.Errorf("node: fanout must not be negative")
 	}
 	return c.Thresholds.Validate()
 }

@@ -46,6 +46,11 @@ func NewFleetWrapped(n int, base Config, wrap WrapTransport) (*Fleet, error) {
 		cfg := base
 		cfg.ID = i
 		cfg.Peers = append([]Peer(nil), peers...)
+		// Sequential fan-out, always: the fleet is the deterministic
+		// harness (seeded tests, chaos trajectories), and the chaos
+		// fault wrapper's RNG draw order is only reproducible when every
+		// multi-peer step sends in strict roster order.
+		cfg.Fanout = 1
 		var tr transport.Transport = f.lb.Endpoint(peers[i].Addr)
 		if wrap != nil {
 			tr = wrap(i, tr)

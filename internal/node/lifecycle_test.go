@@ -133,9 +133,8 @@ func TestReplayedStoreIsIdempotent(t *testing.T) {
 		if err != nil || resp.Status != transport.StatusOK {
 			t.Fatalf("store transfer failed: resp=%+v err=%v", resp, err)
 		}
-		nd.mu.Lock()
-		defer nd.mu.Unlock()
-		return len(nd.store.data[p]), append([]byte(nil), nd.store.data[p]["a"]...)
+		va, _ := nd.store.get(p, "a")
+		return nd.store.keys(p), append([]byte(nil), va...)
 	}
 	k1, v1 := apply()
 	k2, v2 := apply()

@@ -59,13 +59,24 @@ type DecisionCounts struct {
 // Node is one member of a live RFH cluster. Create with New, drive
 // epochs with FlushEpoch/RunEpoch (or let cmd/rfhnode's ticker do it),
 // and Close when done. All methods are safe for concurrent use.
+//
+// Locking splits the data plane from the control plane: n.mu is a
+// RWMutex whose read side guards the view pointers the request paths
+// consult (Get/Put/Sync/Store/Drop take RLock, then the touched
+// partition's own shard lock inside store), while the write side is
+// reserved for the epoch machinery and lifecycle transitions
+// (FlushEpoch, RunEpoch, Crash, Restart, handleStats). Concurrent
+// reads and writes for different partitions therefore never serialise
+// against each other, and contend with an epoch tick only for the
+// tick's own duration. Lock hierarchy: n.mu before any store shard
+// lock; no lock is ever held across a transport Send.
 type Node struct {
 	cfg  Config
 	self int // roster index == DCID == ServerID
 	pol  policy.Policy
 	tr   transport.Transport
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	view     *view
 	store    *store
 	tracker  *traffic.Tracker
@@ -162,18 +173,22 @@ func (n *Node) ID() int { return n.cfg.ID }
 
 // Epoch returns the number of completed epochs.
 func (n *Node) Epoch() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.epoch
 }
 
 // MinReplicas returns the eq. (14) availability lower limit in force.
-func (n *Node) MinReplicas() int { return n.view.minReplicas }
+func (n *Node) MinReplicas() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.view.minReplicas
+}
 
 // DecisionCounts returns the cumulative decision tally.
 func (n *Node) DecisionCounts() DecisionCounts {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.counts
 }
 
@@ -249,16 +264,16 @@ func (n *Node) Restart(epoch uint64) error {
 
 // Crashed reports whether the node is currently crashed.
 func (n *Node) Crashed() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.crashed
 }
 
 // Recovering reports whether the node is in the post-restart window
 // where its view is still being re-learned from peer claims.
 func (n *Node) Recovering() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.recovering
 }
 
@@ -346,48 +361,37 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 	if hops > len(n.cfg.Peers) {
 		return nil, false, fmt.Errorf("node %d: routing loop for partition %d (%d hops)", n.cfg.ID, p, hops)
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	if n.closed || n.crashed {
 		err := ErrClosed
 		if n.crashed {
 			err = ErrCrashed
 		}
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return nil, false, err
 	}
-	c := &n.store.counters[p]
-	if hops == 0 {
-		c.origin++
-	} else {
-		c.transit++
-	}
 	primary := n.view.primary(p)
-	if n.view.hasReplica(p, n.self) && (n.store.resident[p] || primary == n.self) {
-		// A replica under its per-epoch capacity serves; the primary
-		// always serves but counts the excess as overflow — the live
-		// path never refuses a query, it records the pressure signal
-		// behind eq. (12) instead. A non-resident replica (drop order
-		// applied but the peer views' claims have not caught up, or
-		// snapshot still in flight) forwards to the primary instead of
-		// serving content it no longer vouches for.
-		underCap := c.served < n.cfg.ReplicaCapacity
-		if underCap || primary == n.self {
-			c.served++
-			if !underCap {
-				c.overflow++
-			}
-			v, ok := n.store.get(p, key)
-			n.mu.Unlock()
-			return v, ok, nil
-		}
+	// A replica under its per-epoch capacity serves; the primary
+	// always serves but counts the excess as overflow — the live path
+	// never refuses a query, it records the pressure signal behind
+	// eq. (12) instead. A non-resident replica (drop order applied but
+	// the peer views' claims have not caught up, or snapshot still in
+	// flight) forwards to the primary instead of serving content it no
+	// longer vouches for. The arrival accounting, capacity check and
+	// lookup happen atomically under the partition's shard lock.
+	v, ok, served := n.store.arriveAndTryServe(p, key, hops == 0,
+		n.cfg.ReplicaCapacity, primary == n.self, n.view.hasReplica(p, n.self))
+	if served {
+		n.mu.RUnlock()
+		return v, ok, nil
 	}
 	if primary < 0 {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return nil, false, fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
 	}
 	next := int(n.view.router.NextHop(topology.DCID(n.self), topology.DCID(primary)))
 	addr := n.peerAddr(next)
-	n.mu.Unlock()
+	n.mu.RUnlock()
 
 	resp, err := n.tr.Send(addr, &transport.Message{
 		Kind: KindGet, Partition: uint32(p), Origin: uint32(origin), Hops: uint32(hops + 1),
@@ -437,34 +441,35 @@ func (n *Node) Put(key string, value []byte) error {
 }
 
 func (n *Node) routePut(p int, key string, value []byte, hops int) error {
-	n.mu.Lock()
+	n.mu.RLock()
 	if n.closed || n.crashed {
 		err := ErrClosed
 		if n.crashed {
 			err = ErrCrashed
 		}
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return err
 	}
 	primary := n.view.primary(p)
 	if primary == n.self {
 		n.store.put(p, key, value)
 		holders := n.view.cluster.ReplicaServers(p)
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		// Best-effort replica sync: an unreachable holder misses the
 		// write until the next full-partition transfer touches it.
+		var ops []outOp
 		for _, s := range holders {
 			if int(s) == n.self {
 				continue
 			}
-			msg := &transport.Message{Kind: KindSync, Partition: uint32(p), Key: []byte(key), Value: value}
-			if resp, err := n.tr.Send(n.peerAddr(int(s)), msg); err == nil {
-				_ = resp.Err()
-			}
+			ops = append(ops, outOp{peer: int(s), msg: &transport.Message{
+				Kind: KindSync, Partition: uint32(p), Key: []byte(key), Value: value,
+			}})
 		}
+		n.sendOps(ops)
 		return nil
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if primary < 0 {
 		return fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
 	}
@@ -498,11 +503,11 @@ func (n *Node) handleSync(req *transport.Message) (*transport.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	if n.view.hasReplica(p, n.self) {
 		n.store.put(p, string(req.Key), req.Value)
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return &transport.Message{Kind: KindSync, Partition: req.Partition}, nil
 }
 
@@ -517,9 +522,9 @@ func (n *Node) handleStore(req *transport.Message) (*transport.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	n.store.replace(p, data)
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return &transport.Message{Kind: KindStore, Partition: req.Partition}, nil
 }
 
@@ -528,9 +533,9 @@ func (n *Node) handleDrop(req *transport.Message) (*transport.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	n.store.drop(p)
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return &transport.Message{Kind: KindDrop, Partition: req.Partition}, nil
 }
 
@@ -595,16 +600,54 @@ func (n *Node) FlushEpoch() error {
 	enc := appendStats(nil, blob)
 	n.mu.Unlock()
 
+	ops := make([]outOp, 0, len(n.cfg.Peers)-1)
 	for i := range n.cfg.Peers {
 		if i == n.self {
 			continue
 		}
-		msg := &transport.Message{Kind: KindStats, Origin: uint32(n.self), Epoch: epoch, Value: enc}
-		if resp, err := n.tr.Send(n.peerAddr(i), msg); err == nil {
+		ops = append(ops, outOp{peer: i, msg: &transport.Message{
+			Kind: KindStats, Origin: uint32(n.self), Epoch: epoch, Value: enc,
+		}})
+	}
+	n.sendOps(ops)
+	return nil
+}
+
+// sendOps performs a logical step's peer sends — best-effort, reply
+// errors discarded (an unreachable peer simply misses the message,
+// which is what the suspicion and residency machinery measure). With
+// cfg.Fanout <= 1 the sends run strictly sequentially in slice order:
+// the deterministic harnesses depend on that, because the chaos fault
+// wrapper consumes a shared RNG stream per send and its draw order is
+// part of a seed's byte-identical trajectory. Larger fanouts spread
+// the sends over up to Fanout concurrent senders — the wall-clock win
+// for live clusters, where a slow peer otherwise stalls the whole
+// broadcast. Callers must not hold n.mu in either mode: the loopback
+// transport delivers synchronously on the sending goroutine.
+func (n *Node) sendOps(ops []outOp) {
+	send := func(op outOp) {
+		if resp, err := n.tr.Send(n.peerAddr(op.peer), op.msg); err == nil {
 			_ = resp.Err()
 		}
 	}
-	return nil
+	if n.cfg.Fanout <= 1 || len(ops) <= 1 {
+		for _, op := range ops {
+			send(op)
+		}
+		return
+	}
+	sem := make(chan struct{}, n.cfg.Fanout)
+	var wg sync.WaitGroup
+	for _, op := range ops {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(op outOp) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			send(op)
+		}(op)
+	}
+	wg.Wait()
 }
 
 // RunEpoch completes the epoch (phase B): it ages peer suspicion,
@@ -676,11 +719,7 @@ func (n *Node) RunEpoch() error {
 
 	// Data movement happens outside the lock: the loopback transport
 	// delivers synchronously, and the receiving node takes its own lock.
-	for _, op := range ops {
-		if resp, err := n.tr.Send(n.peerAddr(op.peer), op.msg); err == nil {
-			_ = resp.Err()
-		}
-	}
+	n.sendOps(ops)
 	return nil
 }
 
@@ -877,7 +916,7 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 
 	snapshotOp := func(p, target int) outOp {
 		return outOp{peer: target, msg: &transport.Message{
-			Kind: KindStore, Partition: uint32(p), Value: appendSnapshot(nil, n.store.data[p]),
+			Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
 		}}
 	}
 	dropOp := func(p, target int) outOp {
@@ -988,8 +1027,8 @@ type DumpInfo struct {
 
 // Dump returns the node's current placement, data and decision state.
 func (n *Node) Dump() DumpInfo {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	d := DumpInfo{
 		ID:          n.cfg.ID,
 		Self:        n.self,
@@ -1028,8 +1067,8 @@ func (n *Node) handleDump() (*transport.Message, error) {
 // independently of placement metadata. A crashed node has no store.
 func (n *Node) LocalGet(key string) ([]byte, bool) {
 	p := n.PartitionOf(key)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if n.closed || n.crashed {
 		return nil, false
 	}
@@ -1039,8 +1078,8 @@ func (n *Node) LocalGet(key string) ([]byte, bool) {
 // ReplicaMap returns every partition's sorted holder set — the
 // determinism tests compare these across nodes and across runs.
 func (n *Node) ReplicaMap() [][]int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([][]int, n.cfg.Partitions)
 	for p := range out {
 		for _, s := range n.view.cluster.ReplicaServers(p) {
@@ -1052,8 +1091,8 @@ func (n *Node) ReplicaMap() [][]int {
 
 // Primaries returns every partition's primary roster index.
 func (n *Node) Primaries() []int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]int, n.cfg.Partitions)
 	for p := range out {
 		out[p] = n.view.primary(p)
@@ -1063,7 +1102,7 @@ func (n *Node) Primaries() []int {
 
 // ReplicaCount returns the number of holders of partition p.
 func (n *Node) ReplicaCount(p int) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.view.cluster.ReplicaCount(p)
 }

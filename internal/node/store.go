@@ -1,5 +1,7 @@
 package node
 
+import "sync"
+
 // store is the node's in-memory partitioned KV data plus the
 // per-partition traffic counters for the epoch in flight. Partition
 // maps exist for every partition regardless of whether the node
@@ -18,23 +20,28 @@ package node
 // post-restart store (see newBlankStore) is resident nowhere until
 // snapshots rebuild it.
 //
-// store is not safe for concurrent use; Node.mu guards it.
+// Concurrency: every partition carries its own mutex, so data-plane
+// requests for different partitions never contend and requests for the
+// same partition serialise only around the map touch. Lock hierarchy:
+// a partition lock may be taken while holding Node.mu (either mode),
+// never the reverse.
 type store struct {
-	data     []map[string][]byte
-	resident []bool
-	counters []partitionCounters
+	parts []partitionShard
+}
+
+type partitionShard struct {
+	mu       sync.Mutex
+	data     map[string][]byte
+	resident bool
+	counters partitionCounters
 }
 
 func newStore(partitions int) *store {
-	s := &store{
-		data:     make([]map[string][]byte, partitions),
-		resident: make([]bool, partitions),
-		counters: make([]partitionCounters, partitions),
-	}
-	for p := range s.data {
-		s.data[p] = make(map[string][]byte)
-		s.resident[p] = true
-		s.counters[p].partition = p
+	s := &store{parts: make([]partitionShard, partitions)}
+	for p := range s.parts {
+		s.parts[p].data = make(map[string][]byte)
+		s.parts[p].resident = true
+		s.parts[p].counters.partition = p
 	}
 	return s
 }
@@ -43,51 +50,115 @@ func newStore(partitions int) *store {
 // so no partition is resident until a snapshot restores it.
 func newBlankStore(partitions int) *store {
 	s := newStore(partitions)
-	for p := range s.resident {
-		s.resident[p] = false
+	for p := range s.parts {
+		s.parts[p].resident = false
 	}
 	return s
 }
 
 func (s *store) get(p int, key string) ([]byte, bool) {
-	v, ok := s.data[p][key]
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	v, ok := ps.data[key]
+	ps.mu.Unlock()
+	// Values are never mutated in place (put installs a fresh copy), so
+	// the returned slice stays stable after the lock drops.
 	return v, ok
 }
 
 func (s *store) put(p int, key string, value []byte) {
 	v := make([]byte, len(value))
 	copy(v, value)
-	s.data[p][key] = v
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.data[key] = v
+	ps.mu.Unlock()
+}
+
+// arriveAndTryServe is the read path's single visit to partition p:
+// it records the arrival (entry vs transit) and, when this node may
+// serve the key under the paper's capacity accounting, performs the
+// lookup — all under one acquisition of the partition lock so the
+// capacity check and the served/overflow bump are atomic. served
+// reports whether the query was handled here; when false the caller
+// must forward it (not a holder, not resident, or over capacity and
+// not the primary).
+func (s *store) arriveAndTryServe(p int, key string, entry bool, capacity int, isPrimary, hasReplica bool) (v []byte, ok, served bool) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	c := &ps.counters
+	if entry {
+		c.origin++
+	} else {
+		c.transit++
+	}
+	if !hasReplica || !(ps.resident || isPrimary) {
+		return nil, false, false
+	}
+	underCap := c.served < capacity
+	if !underCap && !isPrimary {
+		return nil, false, false
+	}
+	c.served++
+	if !underCap {
+		c.overflow++
+	}
+	v, ok = ps.data[key]
+	return v, ok, true
 }
 
 // replace installs a transferred snapshot as the partition's data.
 // A snapshot is a complete copy, so the partition becomes resident.
 func (s *store) replace(p int, data map[string][]byte) {
-	s.data[p] = data
-	s.resident[p] = true
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.data = data
+	ps.resident = true
+	ps.mu.Unlock()
 }
 
 // drop discards the partition's data (migration victim, suicide). The
 // partition stops being resident: until another snapshot arrives, any
 // content is someone else's responsibility.
 func (s *store) drop(p int) {
-	s.data[p] = make(map[string][]byte)
-	s.resident[p] = false
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.data = make(map[string][]byte)
+	ps.resident = false
+	ps.mu.Unlock()
 }
 
-func (s *store) keys(p int) int { return len(s.data[p]) }
+func (s *store) keys(p int) int {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.data)
+}
+
+// encodeSnapshot serialises the partition's content for a KindStore
+// transfer.
+func (s *store) encodeSnapshot(p int) []byte {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return appendSnapshot(nil, ps.data)
+}
 
 // flushCounters snapshots every partition's non-zero counters and
 // resets them, so each query is reported in exactly one epoch: queries
 // arriving after the flush count toward the next one.
 func (s *store) flushCounters() []partitionCounters {
 	var out []partitionCounters
-	for p := range s.counters {
-		c := s.counters[p]
+	for p := range s.parts {
+		ps := &s.parts[p]
+		ps.mu.Lock()
+		c := ps.counters
+		ps.counters = partitionCounters{partition: p}
+		ps.mu.Unlock()
 		if c.origin|c.transit|c.served|c.overflow != 0 {
 			out = append(out, c)
 		}
-		s.counters[p] = partitionCounters{partition: p}
 	}
 	return out
 }

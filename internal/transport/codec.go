@@ -3,7 +3,7 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
+	"sync"
 )
 
 // Message is the wire unit of the node protocol. The fields are
@@ -56,8 +56,26 @@ func (m *Message) Err() error {
 // length prefix.
 const MaxFrame = 16 << 20
 
-// frameHeaderLen is the byte length of the frame length prefix.
-const frameHeaderLen = 4
+// FrameVersion is the wire frame format this package speaks. Version 1
+// was the unversioned 4-byte length prefix of the serialized transport
+// (one exchange in flight per connection); version 2 adds the frame
+// type and correlation ID that request multiplexing needs. A v1 frame
+// shorter than 16 MiB always starts with a 0x00 byte, so a v2 decoder
+// reads it as "version 0" and rejects it cleanly rather than
+// misparsing the stream.
+const FrameVersion = 2
+
+// Frame types: every frame is either a request (carrying a correlation
+// ID the responder must echo) or the response bearing that ID.
+const (
+	FrameRequest  uint8 = 0
+	FrameResponse uint8 = 1
+)
+
+// frameHeaderLen is the byte length of the v2 frame header:
+// version(1) + type(1) + correlation id(8, big-endian) + body
+// length(4, big-endian).
+const frameHeaderLen = 14
 
 // AppendMessage appends the encoded message body (no frame header) to
 // dst and returns the extended slice. Layout: kind, status, then
@@ -81,34 +99,44 @@ func AppendMessage(dst []byte, m *Message) []byte {
 // buffer reuse must copy.
 func DecodeMessage(buf []byte) (*Message, error) {
 	m := &Message{}
+	if err := DecodeMessageInto(m, buf); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeMessageInto parses an encoded message body into m, the
+// allocation-free variant of DecodeMessage for hot paths that reuse a
+// Message. Every field of m is overwritten; Key/Value alias buf.
+func DecodeMessageInto(m *Message, buf []byte) error {
 	if len(buf) < 2 {
-		return nil, fmt.Errorf("transport: message truncated at header (%d bytes)", len(buf))
+		return fmt.Errorf("transport: message truncated at header (%d bytes)", len(buf))
 	}
 	m.Kind, m.Status = buf[0], buf[1]
 	rest := buf[2:]
 	var err error
 	if m.Partition, rest, err = takeUint32(rest, "partition"); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Origin, rest, err = takeUint32(rest, "origin"); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Hops, rest, err = takeUint32(rest, "hops"); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Epoch, rest, err = takeUvarint(rest, "epoch"); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Key, rest, err = takeBytes(rest, "key"); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Value, rest, err = takeBytes(rest, "value"); err != nil {
-		return nil, err
+		return err
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("transport: %d trailing bytes after message", len(rest))
+		return fmt.Errorf("transport: %d trailing bytes after message", len(rest))
 	}
-	return m, nil
+	return nil
 }
 
 func takeUvarint(buf []byte, field string) (uint64, []byte, error) {
@@ -155,35 +183,106 @@ func takeBytes(buf []byte, field string) ([]byte, []byte, error) {
 	return rest[:n], rest[n:], nil
 }
 
-// WriteFrame writes one length-prefixed message to w.
-func WriteFrame(w io.Writer, m *Message) error {
-	body := AppendMessage(make([]byte, frameHeaderLen, frameHeaderLen+64+len(m.Key)+len(m.Value)), m)
-	n := len(body) - frameHeaderLen
+// errFrameSize marks a message too large to frame. Send treats it as
+// permanent: retrying cannot shrink the payload.
+var errFrameSize = fmt.Errorf("transport: frame exceeds MaxFrame %d", MaxFrame)
+
+// AppendFrame appends one complete v2 frame (header + encoded message
+// body) to dst and returns the extended slice. ftype is FrameRequest
+// or FrameResponse; id is the correlation ID a response must echo.
+func AppendFrame(dst []byte, ftype uint8, id uint64, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderLen)...)
+	dst = AppendMessage(dst, m)
+	n := len(dst) - start - frameHeaderLen
 	if n > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+		return dst[:start], errFrameSize
 	}
-	binary.BigEndian.PutUint32(body[:frameHeaderLen], uint32(n))
-	_, err := w.Write(body)
-	return err
+	hdr := dst[start : start+frameHeaderLen]
+	hdr[0] = FrameVersion
+	hdr[1] = ftype
+	binary.BigEndian.PutUint64(hdr[2:10], id)
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(n))
+	return dst, nil
 }
 
-// ReadFrame reads one length-prefixed message from r. It rejects
-// frames over MaxFrame without reading them, so a corrupt prefix
-// cannot trigger a giant allocation.
-func ReadFrame(r io.Reader) (*Message, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// parseFrameHeader validates a v2 frame header and returns its fields.
+// It rejects unknown versions (including v1 frames, whose length
+// prefix reads as version 0 here), unknown frame types, and body
+// lengths over MaxFrame — all before any body byte is read, so a
+// corrupt header cannot trigger a giant allocation.
+func parseFrameHeader(hdr []byte) (ftype uint8, id uint64, n uint32, err error) {
+	if hdr[0] != FrameVersion {
+		return 0, 0, 0, fmt.Errorf("transport: unsupported frame version %d (this endpoint speaks v%d)", hdr[0], FrameVersion)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if hdr[1] != FrameRequest && hdr[1] != FrameResponse {
+		return 0, 0, 0, fmt.Errorf("transport: unknown frame type %d", hdr[1])
+	}
+	n = binary.BigEndian.Uint32(hdr[10:14])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+		return 0, 0, 0, fmt.Errorf("transport: frame length %d exceeds MaxFrame %d", n, MaxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("transport: short frame: %w", err)
+	return hdr[1], binary.BigEndian.Uint64(hdr[2:10]), n, nil
+}
+
+// DecodeFrame parses one complete v2 frame from buf. The returned
+// message aliases buf; trailing bytes after the frame are rejected so
+// accepted frames re-encode byte-identically.
+func DecodeFrame(buf []byte) (ftype uint8, id uint64, m *Message, err error) {
+	if len(buf) < frameHeaderLen {
+		return 0, 0, nil, fmt.Errorf("transport: frame truncated at header (%d bytes)", len(buf))
 	}
-	return DecodeMessage(body)
+	ftype, id, n, err := parseFrameHeader(buf[:frameHeaderLen])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	body := buf[frameHeaderLen:]
+	if uint64(len(body)) != uint64(n) {
+		return 0, 0, nil, fmt.Errorf("transport: frame body is %d bytes, header says %d", len(body), n)
+	}
+	m, err = DecodeMessage(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return ftype, id, m, nil
+}
+
+// bufPool recycles codec scratch buffers so the steady-state encode
+// path allocates nothing. Ownership rule: a pooled buffer may back
+// request-direction bytes only (frames in flight, decoded request
+// key/value handed to a handler for the duration of the call) —
+// response bodies returned to Send callers are always freshly
+// allocated, because callers own them indefinitely.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf returns a scratch buffer to the pool. Buffers that grew past
+// a full partition-sized transfer are dropped so one giant frame does
+// not pin its capacity forever.
+func putBuf(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// msgPool recycles Message structs for the request direction, under
+// the same ownership rule as bufPool.
+var msgPool = sync.Pool{
+	New: func() any { return new(Message) },
+}
+
+func getMsg() *Message { return msgPool.Get().(*Message) }
+
+func putMsg(m *Message) {
+	*m = Message{}
+	msgPool.Put(m)
 }
 
 // errorReply wraps a handler failure as a StatusError response so the

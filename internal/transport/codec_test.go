@@ -44,25 +44,68 @@ func TestMessageRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
 	msgs := []*Message{
 		{Kind: 1, Key: []byte("a"), Value: []byte("1")},
 		{Kind: 2, Partition: 5, Epoch: 9},
 		{Kind: 3, Value: bytes.Repeat([]byte("x"), 10000)},
 	}
-	for _, m := range msgs {
-		if err := WriteFrame(&buf, m); err != nil {
-			t.Fatal(err)
-		}
-	}
 	for i, want := range msgs {
-		got, err := ReadFrame(&buf)
+		ftype := FrameRequest
+		if i%2 == 1 {
+			ftype = FrameResponse
+		}
+		enc, err := AppendFrame(nil, ftype, uint64(i)*1e9+7, want)
 		if err != nil {
-			t.Fatalf("frame %d: %v", i, err)
+			t.Fatalf("frame %d: encode: %v", i, err)
+		}
+		gotType, gotID, got, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if gotType != ftype || gotID != uint64(i)*1e9+7 {
+			t.Fatalf("frame %d: header mismatch: type %d id %d", i, gotType, gotID)
 		}
 		if !msgEqual(want, got) {
 			t.Fatalf("frame %d mismatch: %+v vs %+v", i, want, got)
 		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	// Frames written back to back must parse in sequence from a byte
+	// stream, the way the connection read loops consume them.
+	var stream []byte
+	msgs := []*Message{
+		{Kind: 1, Key: []byte("a"), Value: []byte("1")},
+		{Kind: 2, Partition: 5, Epoch: 9},
+		{Kind: 3, Value: bytes.Repeat([]byte("x"), 10000)},
+	}
+	for i, m := range msgs {
+		var err error
+		stream, err = AppendFrame(stream, FrameRequest, uint64(i+1), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		_, id, n, err := parseFrameHeader(stream[:frameHeaderLen])
+		if err != nil {
+			t.Fatalf("frame %d: header: %v", i, err)
+		}
+		if id != uint64(i+1) {
+			t.Fatalf("frame %d: correlation id %d", i, id)
+		}
+		got, err := DecodeMessage(stream[frameHeaderLen : frameHeaderLen+int(n)])
+		if err != nil {
+			t.Fatalf("frame %d: body: %v", i, err)
+		}
+		if !msgEqual(want, got) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, want, got)
+		}
+		stream = stream[frameHeaderLen+int(n):]
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d trailing bytes", len(stream))
 	}
 }
 
@@ -83,12 +126,54 @@ func TestDecodeMessageRejectsCorrupt(t *testing.T) {
 	}
 }
 
-func TestReadFrameRejectsOversized(t *testing.T) {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	_, err := ReadFrame(bytes.NewReader(hdr[:]))
-	if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+func TestFrameHeaderRejections(t *testing.T) {
+	good, err := AppendFrame(nil, FrameRequest, 42, &Message{Kind: 1, Key: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oversized := append([]byte{}, good...)
+	binary.BigEndian.PutUint32(oversized[10:14], MaxFrame+1)
+	if _, _, _, err := DecodeFrame(oversized); err == nil || !strings.Contains(err.Error(), "MaxFrame") {
 		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+
+	// A v1 frame (bare 4-byte length prefix) starts with 0x00 for any
+	// body under 16 MiB; the v2 decoder must reject it as an
+	// unsupported version instead of misparsing the stream.
+	v1 := binary.BigEndian.AppendUint32(nil, 32)
+	v1 = append(v1, bytes.Repeat([]byte{0xAA}, 32)...)
+	if _, _, _, err := DecodeFrame(v1); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v1 frame not rejected as wrong version: %v", err)
+	}
+
+	badVersion := append([]byte{}, good...)
+	badVersion[0] = FrameVersion + 1
+	if _, _, _, err := DecodeFrame(badVersion); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version not rejected: %v", err)
+	}
+
+	badType := append([]byte{}, good...)
+	badType[1] = 9
+	if _, _, _, err := DecodeFrame(badType); err == nil || !strings.Contains(err.Error(), "frame type") {
+		t.Fatalf("unknown frame type not rejected: %v", err)
+	}
+
+	if _, _, _, err := DecodeFrame(good[:frameHeaderLen-1]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	short := append([]byte{}, good[:len(good)-1]...)
+	if _, _, _, err := DecodeFrame(short); err == nil {
+		t.Fatal("short body accepted")
+	}
+	long := append(append([]byte{}, good...), 0x00)
+	if _, _, _, err := DecodeFrame(long); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	tooBig := &Message{Value: make([]byte, MaxFrame+1)}
+	if _, err := AppendFrame(nil, FrameRequest, 1, tooBig); err == nil {
+		t.Fatal("AppendFrame accepted an over-MaxFrame body")
 	}
 }
 

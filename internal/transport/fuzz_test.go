@@ -38,25 +38,66 @@ func FuzzDecodeMessage(f *testing.F) {
 	over = binary.AppendUvarint(over, 1<<33)
 	f.Add(over)
 
+	// Frame-layer seeds: well-formed v2 mux frames of both types, a
+	// truncated header, a header/body length mismatch, and a v1 frame
+	// (bare 4-byte length prefix) that must be rejected as version 0.
+	for i, m := range seeds {
+		frame, err := AppendFrame(nil, uint8(i%2), uint64(i)<<32|7, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:frameHeaderLen-1])
+		f.Add(frame[:len(frame)-1])
+	}
+	v1 := binary.BigEndian.AppendUint32(nil, uint32(len(good)))
+	f.Add(append(v1, good...))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Body codec property: decode → encode → decode is a fixed
+		// point, and any accepted input is the canonical encoding.
 		m, err := DecodeMessage(data)
+		if err == nil {
+			enc := AppendMessage(nil, m)
+			m2, err := DecodeMessage(enc)
+			if err != nil {
+				t.Fatalf("re-decode of accepted input failed: %v\ninput: %x\nre-encoded: %x", err, data, enc)
+			}
+			if !msgEqual(m, m2) {
+				t.Fatalf("decode→encode→decode not a fixed point:\nfirst  %+v\nsecond %+v\ninput: %x", m, m2, data)
+			}
+			// The accepted encoding must itself be canonical:
+			// re-encoding the decoded message must reproduce the input
+			// byte for byte (the decoder rejects trailing bytes and
+			// overlong uvarints, so any divergence is a truncation bug).
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("accepted non-canonical encoding:\ninput      %x\nre-encoded %x", data, enc)
+			}
+		}
+		// Frame codec property: the same bytes read as a complete mux
+		// frame must round-trip header and body canonically too, and a
+		// rejected frame must never panic. Accepting data both ways is
+		// impossible by construction (a frame's first byte is the
+		// version, a body's is the kind — but the properties hold
+		// independently, so no cross-check is needed).
+		ftype, id, fm, err := DecodeFrame(data)
 		if err != nil {
 			return
 		}
-		enc := AppendMessage(nil, m)
-		m2, err := DecodeMessage(enc)
+		enc, err := AppendFrame(nil, ftype, id, fm)
 		if err != nil {
-			t.Fatalf("re-decode of accepted input failed: %v\ninput: %x\nre-encoded: %x", err, data, enc)
+			t.Fatalf("re-encode of accepted frame failed: %v\ninput: %x", err, data)
 		}
-		if !msgEqual(m, m2) {
-			t.Fatalf("decode→encode→decode not a fixed point:\nfirst  %+v\nsecond %+v\ninput: %x", m, m2, data)
-		}
-		// The accepted encoding must itself be canonical: re-encoding
-		// the decoded message must reproduce the input byte for byte
-		// (the decoder rejects trailing bytes and overlong uvarints, so
-		// any divergence is a truncation bug).
 		if !bytes.Equal(enc, data) {
-			t.Fatalf("accepted non-canonical encoding:\ninput      %x\nre-encoded %x", data, enc)
+			t.Fatalf("accepted non-canonical frame:\ninput      %x\nre-encoded %x", data, enc)
+		}
+		ftype2, id2, fm2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v\ninput: %x", err, data)
+		}
+		if ftype2 != ftype || id2 != id || !msgEqual(fm, fm2) {
+			t.Fatalf("frame decode→encode→decode not a fixed point:\nfirst  type=%d id=%d %+v\nsecond type=%d id=%d %+v",
+				ftype, id, fm, ftype2, id2, fm2)
 		}
 	})
 }

@@ -86,7 +86,12 @@ func (ep *LoopbackEndpoint) SetHandler(h Handler) {
 
 // Send implements Transport: the request is encoded, decoded at the
 // peer, handled synchronously, and the reply encoded back — the same
-// byte path as TCP without the socket.
+// byte path as TCP without the socket. Sends are concurrency-safe with
+// the same semantics as the mux TCP transport (any number in flight),
+// and the request direction runs on pooled codec buffers exactly as
+// TCP does: the handler borrows the decoded request for the duration
+// of the call, and the returned response is always freshly allocated
+// for the caller to own.
 func (ep *LoopbackEndpoint) Send(peer string, req *Message) (*Message, error) {
 	ep.mu.Lock()
 	closed := ep.closed
@@ -99,12 +104,22 @@ func (ep *LoopbackEndpoint) Send(peer string, req *Message) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	wire, err := roundTrip(req)
-	if err != nil {
+	reqBuf := getBuf()
+	*reqBuf = AppendMessage((*reqBuf)[:0], req)
+	wire := getMsg()
+	if err := DecodeMessageInto(wire, *reqBuf); err != nil {
+		putMsg(wire)
+		putBuf(reqBuf)
 		return nil, err
 	}
 	resp := target.deliver(ep.name, wire)
-	return roundTrip(resp)
+	// Encode the response before releasing the request scratch:
+	// echo-style handlers may reply with slices aliasing the request's
+	// key/value bytes.
+	respBuf := AppendMessage(make([]byte, 0, 64+len(resp.Key)+len(resp.Value)), resp)
+	putMsg(wire)
+	putBuf(reqBuf)
+	return DecodeMessage(respBuf)
 }
 
 // deliver runs the endpoint's handler for one inbound request.
@@ -124,12 +139,6 @@ func (ep *LoopbackEndpoint) deliver(from string, req *Message) *Message {
 		resp = &Message{Kind: req.Kind}
 	}
 	return resp
-}
-
-// roundTrip encodes and re-decodes a message, copying it through the
-// codec so sender and receiver share no buffers.
-func roundTrip(m *Message) (*Message, error) {
-	return DecodeMessage(AppendMessage(nil, m))
 }
 
 // Close implements Transport. The endpoint stays registered (so peers

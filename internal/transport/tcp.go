@@ -2,8 +2,12 @@ package transport
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -13,15 +17,15 @@ import (
 type TCPOptions struct {
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
-	// IOTimeout bounds one request/response exchange: the frame write
-	// and the reply read each get this deadline (default 5s).
+	// IOTimeout bounds one request/response exchange end to end, and
+	// individually bounds every socket write (default 5s).
 	IOTimeout time.Duration
 	// Retries is how many times a failed Send is re-attempted on a
 	// fresh connection before giving up (default 2, i.e. up to three
 	// attempts total).
 	Retries int
 	// RetryBackoff is the sleep before the first retry; each further
-	// retry doubles it (default 50ms).
+	// retry doubles it (default 50ms). The sleep is cancelled by Close.
 	RetryBackoff time.Duration
 }
 
@@ -52,34 +56,58 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	return o
 }
 
-// TCP is the real-socket transport: length-prefixed frames over
-// persistent per-peer connections. Outbound connections are pooled
-// one per peer and serialise one in-flight request each; failed
-// exchanges redial with bounded exponential backoff. A TCP created
-// with ListenTCP also accepts inbound connections and serves its
-// Handler on them; NewTCPClient creates a send-only endpoint (used by
-// rfhctl).
+// Per-connection buffer sizes, and the cap on frames queued to one
+// connection writer before enqueue blocks.
+const (
+	readBufSize     = 64 << 10
+	writeBufSize    = 64 << 10
+	writeQueueDepth = 256
+)
+
+// TCP is the real-socket transport: v2 mux frames (versioned header +
+// correlation ID) over one persistent connection per peer. Any number
+// of Sends to the same peer proceed concurrently — each registers a
+// correlation ID in the connection's pending map, a single writer
+// goroutine coalesces queued frames into batched flushes, and a single
+// reader goroutine matches response IDs back to their waiters. Failed
+// exchanges redial with bounded exponential backoff; both the backoff
+// sleep and an in-flight dial are cancelled promptly by Close.
+//
+// A TCP created with ListenTCP also accepts inbound connections and
+// serves its Handler on them, dispatching each request to a parked
+// worker so slow handlers never stall a connection's read loop;
+// NewTCPClient creates a send-only endpoint (used by rfhctl).
 type TCP struct {
 	opts TCPOptions
 	ln   net.Listener // nil for client-only endpoints
 
+	dialCtx    context.Context // cancelled on Close; aborts in-flight dials
+	cancelDial context.CancelFunc
+	closeCh    chan struct{} // closed on Close; cancels backoff sleeps and parked workers
+
 	mu      sync.Mutex
 	handler Handler
-	peers   map[string]*tcpPeer
+	peers   map[string]*muxPeer
 	inbound map[net.Conn]struct{}
 	closed  bool
 
-	wg sync.WaitGroup // accept loop + server conn goroutines
+	tasks taskPool
+	wg    sync.WaitGroup // every transport goroutine registers here
 }
 
 var _ Transport = (*TCP)(nil)
 
-// tcpPeer is the pooled outbound connection to one peer. Its mutex
-// serialises one request/response exchange at a time.
-type tcpPeer struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
+func newTCP(ln net.Listener, h Handler, opts TCPOptions) *TCP {
+	t := &TCP{
+		opts: opts.withDefaults(), ln: ln, handler: h,
+		closeCh: make(chan struct{}),
+		peers:   make(map[string]*muxPeer),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.dialCtx, t.cancelDial = context.WithCancel(context.Background())
+	t.tasks.t = t
+	t.tasks.idle = make(chan chan func(), idleWorkers)
+	return t
 }
 
 // ListenTCP binds addr (e.g. "127.0.0.1:0") and serves h on inbound
@@ -90,10 +118,7 @@ func ListenTCP(addr string, h Handler, opts TCPOptions) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{
-		opts: opts.withDefaults(), ln: ln, handler: h,
-		peers: make(map[string]*tcpPeer), inbound: make(map[net.Conn]struct{}),
-	}
+	t := newTCP(ln, h, opts)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -102,7 +127,7 @@ func ListenTCP(addr string, h Handler, opts TCPOptions) (*TCP, error) {
 // NewTCPClient returns a send-only TCP endpoint: no listener, no
 // inbound traffic. Addr returns "".
 func NewTCPClient(opts TCPOptions) *TCP {
-	return &TCP{opts: opts.withDefaults(), peers: make(map[string]*tcpPeer)}
+	return newTCP(nil, nil, opts)
 }
 
 // Addr implements Transport.
@@ -133,7 +158,13 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// serveConn answers frames on one inbound connection until it drops.
+// serveConn reads request frames on one inbound connection until it
+// drops, dispatching each to the worker pool. Requests from one peer
+// are served concurrently and may complete out of order; the
+// correlation ID echoed on each response frame lets the sender match
+// replies. A frame that fails header validation (wrong version,
+// unknown type, oversized) drops the connection: the stream can no
+// longer be trusted to be in sync.
 func (t *TCP) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -149,115 +180,141 @@ func (t *TCP) serveConn(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
+
+	wr := newFrameWriter(t, conn)
+	wr.onErr = func(error) { conn.Close() }
+	t.wg.Add(1)
+	go wr.loop()
+	defer wr.stop()
+
 	from := conn.RemoteAddr().String()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, readBufSize)
+	var hdr [frameHeaderLen]byte
 	for {
-		req, err := ReadFrame(br)
-		if err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		t.mu.Lock()
-		h := t.handler
-		closed := t.closed
-		t.mu.Unlock()
-		var resp *Message
-		switch {
-		case closed:
-			return
-		case h == nil:
-			resp = errorReply(req, fmt.Errorf("endpoint %s has no handler", t.Addr()))
-		default:
-			r, herr := h(from, req)
-			if herr != nil {
-				resp = errorReply(req, herr)
-			} else if r == nil {
-				resp = &Message{Kind: req.Kind}
-			} else {
-				resp = r
-			}
-		}
-		//lint:ignore rfhlint/nowallclock real-socket I/O deadline; the node layer's epoch logic never sees this clock
-		deadline := time.Now().Add(t.opts.IOTimeout)
-		if err := conn.SetWriteDeadline(deadline); err != nil {
+		ftype, id, n, err := parseFrameHeader(hdr[:])
+		if err != nil || ftype != FrameRequest {
 			return
 		}
-		if err := WriteFrame(conn, resp); err != nil {
+		body := getBuf()
+		*body = grow(*body, int(n))
+		if _, err := io.ReadFull(br, *body); err != nil {
+			putBuf(body)
 			return
 		}
+		t.tasks.run(func() { t.serveRequest(from, id, body, wr) })
 	}
 }
 
-// Send implements Transport: one framed exchange on the pooled
-// connection to peer, redialling with backoff on failure.
-func (t *TCP) Send(peer string, req *Message) (*Message, error) {
-	t.mu.Lock()
-	if t.closed {
+// serveRequest decodes and handles one inbound request, then queues
+// the response frame. body is a pooled buffer owned by this call; it
+// is released only after the response is encoded, because handlers may
+// return replies aliasing the request's key/value bytes.
+func (t *TCP) serveRequest(from string, id uint64, body *[]byte, wr *frameWriter) {
+	req := getMsg()
+	var resp *Message
+	if err := DecodeMessageInto(req, *body); err != nil {
+		resp = errorReply(req, fmt.Errorf("bad request body: %w", err))
+	} else {
+		t.mu.Lock()
+		h := t.handler
 		t.mu.Unlock()
-		return nil, ErrClosed
+		if h == nil {
+			resp = errorReply(req, fmt.Errorf("endpoint %s has no handler", t.Addr()))
+		} else {
+			r, herr := h(from, req)
+			switch {
+			case herr != nil:
+				resp = errorReply(req, herr)
+			case r == nil:
+				resp = &Message{Kind: req.Kind}
+			default:
+				resp = r
+			}
+		}
 	}
-	p, ok := t.peers[peer]
-	if !ok {
-		p = &tcpPeer{}
-		t.peers[peer] = p
+	out := getBuf()
+	b, err := AppendFrame((*out)[:0], FrameResponse, id, resp)
+	if err != nil {
+		b, err = AppendFrame((*out)[:0], FrameResponse, id, errorReply(req, err))
 	}
-	t.mu.Unlock()
+	putMsg(req)
+	putBuf(body)
+	if err != nil {
+		putBuf(out)
+		return
+	}
+	*out = b
+	wr.enqueue(out)
+}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// grow returns b resized to length n, reallocating only when capacity
+// is short.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// Send implements Transport: one multiplexed exchange on the pooled
+// connection to peer, redialling with backoff on failure. Sends to the
+// same peer do not serialise; each gets its own correlation ID.
+func (t *TCP) Send(peer string, req *Message) (*Message, error) {
+	p, err := t.peer(peer)
+	if err != nil {
+		return nil, err
+	}
 	backoff := t.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= t.opts.Retries; attempt++ {
 		if attempt > 0 {
-			//lint:ignore rfhlint/nowallclock bounded retry backoff on a real socket; not simulation state
-			time.Sleep(backoff)
-			backoff *= 2
-			// The transport may have closed while we were backing off.
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
-			if closed {
+			// The backoff sleep must not hold up shutdown: Close
+			// cancels it through closeCh.
+			timer := acquireTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-t.closeCh:
+				releaseTimer(timer)
 				return nil, ErrClosed
 			}
+			releaseTimer(timer)
+			backoff *= 2
 		}
-		resp, err := t.exchange(p, peer, req)
+		resp, err := p.exchange(req)
 		if err == nil {
 			return resp, nil
 		}
-		lastErr = err
-		// A broken pooled connection is not reusable: drop it so the
-		// next attempt redials.
-		if p.conn != nil {
-			p.conn.Close()
-			p.conn, p.br = nil, nil
+		if errors.Is(err, ErrClosed) || errors.Is(err, errFrameSize) {
+			return nil, err
 		}
+		lastErr = err
 	}
 	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnreachable, peer, t.opts.Retries+1, lastErr)
 }
 
-// exchange performs one framed request/response on the peer's pooled
-// connection, dialling if necessary. Caller holds p.mu.
-func (t *TCP) exchange(p *tcpPeer, peer string, req *Message) (*Message, error) {
-	if p.conn == nil {
-		conn, err := net.DialTimeout("tcp", peer, t.opts.DialTimeout)
-		if err != nil {
-			return nil, err
-		}
-		p.conn = conn
-		p.br = bufio.NewReader(conn)
+// peer returns (creating if needed) the mux peer for addr.
+func (t *TCP) peer(addr string) (*muxPeer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
 	}
-	//lint:ignore rfhlint/nowallclock real-socket I/O deadline; not simulation state
-	deadline := time.Now().Add(t.opts.IOTimeout)
-	if err := p.conn.SetDeadline(deadline); err != nil {
-		return nil, err
+	p, ok := t.peers[addr]
+	if !ok {
+		p = &muxPeer{t: t, addr: addr}
+		t.peers[addr] = p
 	}
-	if err := WriteFrame(p.conn, req); err != nil {
-		return nil, err
-	}
-	return ReadFrame(p.br)
+	return p, nil
 }
 
-// Close implements Transport: stops the listener, drops pooled and
-// inbound connections, and waits for the serving goroutines.
+// Close implements Transport: stops the listener, cancels in-flight
+// dials and backoff sleeps, drops every connection, and waits for all
+// transport goroutines (accept loop, per-connection readers and
+// writers, request workers) to exit — after Close returns the
+// transport owns no goroutines.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -265,27 +322,469 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	peers := make([]*tcpPeer, 0, len(t.peers))
+	peers := make([]*muxPeer, 0, len(t.peers))
 	//lint:ignore rfhlint/detrange collecting connections to close; order does not affect any state
 	for _, p := range t.peers {
 		peers = append(peers, p)
 	}
+	conns := make([]net.Conn, 0, len(t.inbound))
 	//lint:ignore rfhlint/detrange collecting connections to close; order does not affect any state
 	for conn := range t.inbound {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	t.mu.Unlock()
+	close(t.closeCh)
+	t.cancelDial()
 	if t.ln != nil {
 		t.ln.Close()
 	}
 	for _, p := range peers {
-		p.mu.Lock()
-		if p.conn != nil {
-			p.conn.Close()
-			p.conn, p.br = nil, nil
-		}
-		p.mu.Unlock()
+		p.shutdown()
+	}
+	for _, conn := range conns {
+		conn.Close()
 	}
 	t.wg.Wait()
 	return nil
+}
+
+// muxPeer owns the outbound multiplexed connection to one peer
+// address, redialling lazily after failures.
+type muxPeer struct {
+	t    *TCP
+	addr string
+
+	mu   sync.Mutex
+	conn *muxConn // live connection; nil before first dial and after failure
+}
+
+// muxConn is one live multiplexed connection: a frameWriter goroutine
+// draining the write queue, a reader goroutine matching response
+// correlation IDs against the pending map, and any number of in-flight
+// exchanges registered in it.
+type muxConn struct {
+	peer *muxPeer
+	conn net.Conn
+	wr   *frameWriter
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Message
+	broken  bool
+	err     error
+
+	brokenCh chan struct{} // closed when the connection fails
+}
+
+// get returns the live connection, dialling a fresh one if needed.
+// Holding p.mu across the dial serialises concurrent Sends during
+// connection establishment — they all need the same connection anyway.
+func (p *muxPeer) get() (*muxConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn, nil
+	}
+	t := p.t
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	conn, err := d.DialContext(t.dialCtx, "tcp", p.addr)
+	if err != nil {
+		if t.dialCtx.Err() != nil {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	mc := &muxConn{
+		peer: p, conn: conn,
+		wr:       newFrameWriter(t, conn),
+		pending:  make(map[uint64]chan *Message),
+		brokenCh: make(chan struct{}),
+	}
+	mc.wr.onErr = mc.fail
+	// Starting the connection goroutines must not race Close's
+	// wg.Wait: re-check closed under t.mu before the Add.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	t.wg.Add(2)
+	t.mu.Unlock()
+	go mc.wr.loop()
+	go mc.readLoop()
+	p.conn = mc
+	return mc, nil
+}
+
+// clear detaches a failed connection so the next Send redials.
+func (p *muxPeer) clear(mc *muxConn) {
+	p.mu.Lock()
+	if p.conn == mc {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
+// shutdown (Close path) kills the live connection, if any.
+func (p *muxPeer) shutdown() {
+	p.mu.Lock()
+	mc := p.conn
+	p.mu.Unlock()
+	if mc != nil {
+		mc.fail(ErrClosed)
+	}
+}
+
+// exchange runs one request/response: register a correlation ID in the
+// pending map, hand the encoded frame to the connection's writer, wait
+// for the reader to deliver the matching response.
+func (p *muxPeer) exchange(req *Message) (*Message, error) {
+	mc, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *Message, 1)
+	id, err := mc.register(ch)
+	if err != nil {
+		return nil, err
+	}
+	buf := getBuf()
+	b, err := AppendFrame((*buf)[:0], FrameRequest, id, req)
+	if err != nil {
+		mc.deregister(id)
+		putBuf(buf)
+		return nil, err
+	}
+	*buf = b
+	if err := mc.wr.enqueue(buf); err != nil {
+		mc.deregister(id)
+		return nil, mc.failure()
+	}
+	timer := acquireTimer(p.t.opts.IOTimeout)
+	defer releaseTimer(timer)
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-mc.brokenCh:
+		return mc.lastChance(ch, id, mc.failure())
+	case <-timer.C:
+		// No reply within the exchange budget: the connection is not
+		// making progress, so kill it — every other waiter fails fast
+		// and the next Send redials.
+		err := fmt.Errorf("transport: request to %s timed out after %v", p.addr, p.t.opts.IOTimeout)
+		mc.fail(err)
+		return mc.lastChance(ch, id, err)
+	}
+}
+
+// lastChance resolves the race between a failure and a response that
+// was already delivered: the pending entry is removed, and a reply
+// that beat the failure wins.
+func (mc *muxConn) lastChance(ch chan *Message, id uint64, err error) (*Message, error) {
+	mc.deregister(id)
+	select {
+	case resp := <-ch:
+		return resp, nil
+	default:
+		return nil, err
+	}
+}
+
+// register assigns the next correlation ID to a waiting exchange.
+func (mc *muxConn) register(ch chan *Message) (uint64, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.broken {
+		return 0, mc.err
+	}
+	mc.nextID++
+	id := mc.nextID
+	mc.pending[id] = ch
+	return id, nil
+}
+
+func (mc *muxConn) deregister(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+}
+
+// failure returns the error the connection broke with.
+func (mc *muxConn) failure() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.err != nil {
+		return mc.err
+	}
+	return fmt.Errorf("transport: connection to %s failed", mc.peer.addr)
+}
+
+// fail marks the connection broken exactly once: waiters wake via
+// brokenCh, both connection goroutines unblock via conn.Close, and the
+// peer slot clears so the next Send redials.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.broken {
+		mc.mu.Unlock()
+		return
+	}
+	mc.broken = true
+	mc.err = err
+	mc.mu.Unlock()
+	close(mc.brokenCh)
+	mc.conn.Close()
+	mc.wr.stop()
+	mc.peer.clear(mc)
+}
+
+// readLoop matches response frames to pending exchanges until the
+// connection breaks. Response bodies are freshly allocated, never
+// pooled: the Send caller owns the returned message indefinitely.
+func (mc *muxConn) readLoop() {
+	defer mc.peer.t.wg.Done()
+	br := bufio.NewReaderSize(mc.conn, readBufSize)
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			mc.fail(fmt.Errorf("transport: read %s: %w", mc.peer.addr, err))
+			return
+		}
+		ftype, id, n, err := parseFrameHeader(hdr[:])
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		if ftype != FrameResponse {
+			mc.fail(fmt.Errorf("transport: peer %s sent frame type %d on a client connection", mc.peer.addr, ftype))
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			mc.fail(fmt.Errorf("transport: short frame from %s: %w", mc.peer.addr, err))
+			return
+		}
+		resp, err := DecodeMessage(body)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.deliver(id, resp)
+	}
+}
+
+// deliver hands a response to the exchange that registered id. An
+// unknown id belongs to an exchange that already gave up (timeout or
+// enqueue failure); its late response is dropped.
+func (mc *muxConn) deliver(id uint64, resp *Message) {
+	mc.mu.Lock()
+	ch, ok := mc.pending[id]
+	if ok {
+		delete(mc.pending, id)
+	}
+	mc.mu.Unlock()
+	if ok {
+		ch <- resp // buffered; never blocks
+	}
+}
+
+// frameWriter owns all writes on one connection: a single goroutine
+// drains a queue of pre-encoded frames, coalescing whatever is queued
+// into one buffered flush — one syscall amortised over a burst of
+// in-flight requests. Queued buffers come from bufPool and return to
+// it after writing.
+type frameWriter struct {
+	t     *TCP
+	conn  net.Conn
+	onErr func(error) // invoked once if a write fails
+
+	ch     chan *[]byte
+	stopCh chan struct{}
+	once   sync.Once
+}
+
+func newFrameWriter(t *TCP, conn net.Conn) *frameWriter {
+	return &frameWriter{
+		t: t, conn: conn,
+		ch:     make(chan *[]byte, writeQueueDepth),
+		stopCh: make(chan struct{}),
+	}
+}
+
+// enqueue queues one encoded frame, transferring buf's ownership to
+// the writer. It fails only when the writer has stopped.
+func (w *frameWriter) enqueue(buf *[]byte) error {
+	select {
+	case w.ch <- buf:
+		return nil
+	case <-w.stopCh:
+		putBuf(buf)
+		return fmt.Errorf("transport: connection writer stopped")
+	}
+}
+
+// stop terminates the writer goroutine. Safe to call repeatedly and
+// concurrently with enqueue.
+func (w *frameWriter) stop() {
+	w.once.Do(func() { close(w.stopCh) })
+}
+
+// loop drains the queue until stopped or a write fails. The spawner
+// registers it on t.wg.
+func (w *frameWriter) loop() {
+	defer w.t.wg.Done()
+	defer w.drain()
+	bw := bufio.NewWriterSize(w.conn, writeBufSize)
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case buf := <-w.ch:
+			if !w.writeBatch(bw, buf) {
+				return
+			}
+		}
+	}
+}
+
+// writeBatch writes buf plus everything else already queued, then
+// flushes once. Before flushing it yields the processor once: senders
+// made runnable by the replies already written get a chance to enqueue
+// their next frame, so under concurrent load whole bursts coalesce
+// into one flush instead of one syscall per frame. The yield costs a
+// scheduler pass (~hundreds of ns) against a socket round trip
+// (~tens of µs), so the latency tax on an idle connection is noise.
+// On failure it stops the writer and reports the error through onErr.
+func (w *frameWriter) writeBatch(bw *bufio.Writer, buf *[]byte) bool {
+	//lint:ignore rfhlint/nowallclock real-socket write deadline; not simulation state
+	deadline := time.Now().Add(w.t.opts.IOTimeout)
+	w.conn.SetWriteDeadline(deadline)
+	err := w.write(bw, buf)
+	yielded := false
+	for err == nil {
+		select {
+		case more := <-w.ch:
+			err = w.write(bw, more)
+			yielded = false
+			continue
+		default:
+		}
+		if !yielded && bw.Buffered() < writeBufSize/2 {
+			yielded = true
+			runtime.Gosched()
+			continue
+		}
+		break
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		w.stop()
+		if w.onErr != nil {
+			w.onErr(err)
+		}
+		return false
+	}
+	return true
+}
+
+func (w *frameWriter) write(bw *bufio.Writer, buf *[]byte) error {
+	_, err := bw.Write(*buf)
+	putBuf(buf)
+	return err
+}
+
+// drain returns any still-queued buffers to the pool after the loop
+// exits.
+func (w *frameWriter) drain() {
+	for {
+		select {
+		case buf := <-w.ch:
+			putBuf(buf)
+		default:
+			return
+		}
+	}
+}
+
+// idleWorkers caps how many finished request workers stay parked for
+// reuse; workers beyond that exit after their task.
+const idleWorkers = 64
+
+// taskPool runs inbound request handlers on reusable goroutines. It
+// grows without bound under load — a bounded pool could deadlock when
+// handlers issue Sends whose replies depend on other inbound requests
+// completing (cyclic waits across nodes) — but parks finished workers
+// for reuse so the steady state spawns nothing.
+type taskPool struct {
+	t    *TCP
+	idle chan chan func()
+}
+
+// run executes f on a parked worker, or a fresh goroutine when none is
+// available.
+func (tp *taskPool) run(f func()) {
+	select {
+	case w := <-tp.idle:
+		select {
+		case w <- f:
+		case <-tp.t.closeCh:
+			// The worker exited on close before receiving; f served a
+			// connection that is going down anyway.
+		}
+	default:
+		tp.t.mu.Lock()
+		if tp.t.closed {
+			tp.t.mu.Unlock()
+			return
+		}
+		tp.t.wg.Add(1)
+		tp.t.mu.Unlock()
+		go tp.worker(f)
+	}
+}
+
+// worker runs its first task, then parks for reuse until the idle
+// bench is full or the transport closes.
+func (tp *taskPool) worker(f func()) {
+	defer tp.t.wg.Done()
+	self := make(chan func())
+	for {
+		f()
+		select {
+		case tp.idle <- self:
+		default:
+			return
+		}
+		select {
+		case f = <-self:
+		case <-tp.t.closeCh:
+			return
+		}
+	}
+}
+
+// timerPool recycles exchange timers: a Send on the happy path stops
+// its timer long before it fires, so the runtime timer is reusable.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	//lint:ignore rfhlint/nowallclock real-socket exchange timeout; not simulation state
+	return time.NewTimer(d)
+}
+
+// releaseTimer stops and drains a timer so its next Reset is safe.
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }

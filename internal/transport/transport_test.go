@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -174,6 +175,178 @@ func TestTCPUnreachablePeer(t *testing.T) {
 	// Port 1 on localhost refuses connections.
 	if _, err := a.Send("127.0.0.1:1", &Message{}); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("dead peer did not yield ErrUnreachable: %v", err)
+	}
+}
+
+// TestMuxManyInFlight is the multiplexing correctness test: many
+// goroutines issue Sends to the same peer concurrently, every reply
+// must match its request (the correlation ID is the only thing tying
+// them together once responses complete out of order), and on TCP the
+// whole storm must ride a single connection.
+func TestMuxManyInFlight(t *testing.T) {
+	for _, flavour := range []string{"loopback", "tcp"} {
+		t.Run(flavour, func(t *testing.T) {
+			a, b, bAddr := transportPair(t, flavour)
+			// Stagger handler latency so responses complete out of
+			// request order and correlation is actually exercised.
+			b.SetHandler(func(from string, req *Message) (*Message, error) {
+				if req.Partition%7 == 0 {
+					time.Sleep(time.Duration(req.Partition%3) * time.Millisecond)
+				}
+				return &Message{Kind: req.Kind, Key: req.Value, Value: req.Key}, nil
+			})
+			var wg sync.WaitGroup
+			errs := make(chan error, 32)
+			for g := 0; g < 32; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 16; i++ {
+						key := fmt.Sprintf("g%d-%d", g, i)
+						resp, err := a.Send(bAddr, &Message{Kind: 1, Partition: uint32(g*16 + i), Value: []byte(key)})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if string(resp.Key) != key {
+							errs <- fmt.Errorf("wrong reply %q for %q", resp.Key, key)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if tb, ok := b.(*TCP); ok {
+				tb.mu.Lock()
+				conns := len(tb.inbound)
+				tb.mu.Unlock()
+				if conns != 1 {
+					t.Fatalf("512 concurrent sends used %d connections, want 1 (multiplexed)", conns)
+				}
+			}
+		})
+	}
+}
+
+// TestGoroutineLeakAfterClose drives concurrent traffic over a TCP
+// pair and asserts that Close reaps every transport goroutine — the
+// accept loop, the per-connection reader/writer pairs on both sides,
+// and the request workers.
+func TestGoroutineLeakAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	a, err := ListenTCP("127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("127.0.0.1:0", echoHandler, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := a.Send(b.Addr(), &Message{Kind: 1, Value: []byte("x")}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close waits on each transport's WaitGroup, so only runtime
+	// stragglers (netpoll, timer goroutines) may still be winding down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseCancelsRetryBackoff pins the satellite fix: a Send stuck in
+// its retry backoff must abort as soon as the transport closes, not
+// wait the backoff out. With 1s backoffs doubling over 5 retries the
+// serialized sleeps would exceed 30s; the test demands completion in a
+// fraction of the first backoff.
+func TestCloseCancelsRetryBackoff(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", nil, TCPOptions{
+		DialTimeout: 100 * time.Millisecond, IOTimeout: 100 * time.Millisecond,
+		Retries: 5, RetryBackoff: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Send("127.0.0.1:1", &Message{}) // refused port: every attempt fails
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let the first attempt fail and the backoff start
+	start := time.Now()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("send during close returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send still blocked 2s after Close")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Close took %v to cancel a backing-off Send", elapsed)
+	}
+}
+
+// TestSendTimeoutKillsConnection exercises the mux timeout path: a
+// handler that never answers within IOTimeout must fail the Send, and
+// the next Send must succeed over a fresh connection.
+func TestSendTimeoutKillsConnection(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	b, err := ListenTCP("127.0.0.1:0", func(from string, req *Message) (*Message, error) {
+		if req.Kind == 1 {
+			<-release // hold the first request hostage
+		}
+		return &Message{Kind: req.Kind}, nil
+	}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	defer func() { once.Do(func() { close(release) }) }()
+	a, err := ListenTCP("127.0.0.1:0", nil, TCPOptions{
+		IOTimeout: 150 * time.Millisecond, Retries: 0, RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Send(b.Addr(), &Message{Kind: 1}); err == nil {
+		t.Fatal("send with a stalled handler did not time out")
+	}
+	once.Do(func() { close(release) })
+	if _, err := a.Send(b.Addr(), &Message{Kind: 2}); err != nil {
+		t.Fatalf("send after a timed-out exchange failed: %v", err)
 	}
 }
 
