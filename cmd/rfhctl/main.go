@@ -89,7 +89,11 @@ func cmdPut(args []string) error {
 	if err := resp.Err(); err != nil {
 		return err
 	}
-	fmt.Println("OK")
+	rcpt, err := node.DecodePutReceipt(resp)
+	if err != nil {
+		return fmt.Errorf("bad put receipt: %v", err)
+	}
+	fmt.Printf("OK version=%d acked=%v\n", rcpt.Version, rcpt.Acked)
 	return nil
 }
 

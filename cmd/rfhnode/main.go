@@ -8,9 +8,12 @@
 //
 // Every peer must be started with the same -peers roster, -partitions,
 // -policy, -capacity, -suspect-after and -seed, so that all nodes hold
-// the identical deterministic view of the cluster. With -epoch 0 the
-// node never ticks on its own; drive the cluster in lockstep with
-// `rfhctl tick`, which is also how seeded runs stay reproducible.
+// the identical deterministic view of the cluster. -write-quorum and
+// -read-quorum bind on whichever node coordinates a request (the
+// partition primary), so run the same values fleet-wide for uniform
+// durability semantics. With -epoch 0 the node never ticks on its own;
+// drive the cluster in lockstep with `rfhctl tick`, which is also how
+// seeded runs stay reproducible.
 package main
 
 import (
@@ -46,6 +49,8 @@ func run() error {
 		suspectAfter = flag.Int("suspect-after", 3, "consecutive missed stats broadcasts before a peer is declared failed")
 		seed         = flag.Uint64("seed", 1, "determinism seed (same on every peer)")
 		epoch        = flag.Duration("epoch", 0, "epoch tick period; 0 means manual ticking via rfhctl tick")
+		writeQuorum  = flag.Int("write-quorum", 1, "holders that must durably accept before a put is acked (W; capped at the eq. 14 placement floor)")
+		readQuorum   = flag.Int("read-quorum", 1, "holders consulted per read, newest version wins and stale copies are repaired (R)")
 	)
 	flag.Parse()
 
@@ -59,6 +64,8 @@ func run() error {
 	cfg.PolicyName = *policyName
 	cfg.SuspectAfter = *suspectAfter
 	cfg.Seed = *seed
+	cfg.WriteQuorum = *writeQuorum
+	cfg.ReadQuorum = *readQuorum
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -82,8 +89,9 @@ func run() error {
 		return err
 	}
 	defer n.Close()
-	fmt.Printf("rfhnode: node %d listening on %s (%d peers, %d partitions, policy %s, min replicas %d)\n",
-		*id, tr.Addr(), len(cfg.Peers), cfg.Partitions, cfg.PolicyName, n.MinReplicas())
+	fmt.Printf("rfhnode: node %d listening on %s (%d peers, %d partitions, policy %s, min replicas %d, W=%d R=%d)\n",
+		*id, tr.Addr(), len(cfg.Peers), cfg.Partitions, cfg.PolicyName, n.MinReplicas(),
+		cfg.WriteQuorum, cfg.ReadQuorum)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -102,6 +102,8 @@ func Run(opts Options) (*Result, error) {
 	cfg.ReplicaCapacity = 8
 	cfg.SuspectAfter = suspectAfter
 	cfg.Seed = opts.Seed
+	cfg.WriteQuorum = opts.WriteQuorum
+	cfg.ReadQuorum = opts.ReadQuorum
 	fleet, err := node.NewFleetWrapped(opts.Nodes, cfg, func(i int, tr transport.Transport) transport.Transport {
 		h.inner[i] = tr
 		return transport.NewFault(tr, h.deciderFor(i))
@@ -116,8 +118,9 @@ func Run(opts Options) (*Result, error) {
 		h.members[i] = fleet.Node(i) // the fleet owns and closes the nodes
 	}
 
-	fmt.Fprintf(&h.traj, "chaos seed=0x%x nodes=%d partitions=%d keys=%d warm=%d fault=%d cool=%d\n",
+	fmt.Fprintf(&h.traj, "chaos seed=0x%x nodes=%d partitions=%d keys=%d w=%d r=%d warm=%d fault=%d cool=%d\n",
 		opts.Seed, opts.Nodes, opts.Partitions, opts.KeysPerPartition,
+		opts.WriteQuorum, opts.ReadQuorum,
 		opts.WarmEpochs, opts.FaultEpochs, opts.CoolEpochs)
 
 	for e := 0; e < opts.Epochs(); e++ {
@@ -127,6 +130,7 @@ func Run(opts Options) (*Result, error) {
 	}
 	h.finalChecks()
 	fmt.Fprintf(&h.traj, "faults %s\n", h.faults.String())
+	fmt.Fprintf(&h.traj, "excused=%d\n", h.hist.excusedCount())
 	for i := range h.viols {
 		fmt.Fprintf(&h.traj, "VIOLATION %s\n", h.viols[i].String())
 	}
@@ -219,6 +223,7 @@ func (h *harness) applyEvents(e int) error {
 			h.fleet.Crash(ev.a)
 			h.faults.Crash()
 			h.trace(e, "crash node=%d", ev.a)
+			h.excuseCrashLosses(e, ev.a)
 		case evRestart:
 			if err := h.fleet.Restart(ev.a); err != nil {
 				return fmt.Errorf("chaos: epoch %d: %w", e, err)
@@ -245,10 +250,42 @@ func (h *harness) trace(e int, format string, args ...any) {
 	fmt.Fprintf(&h.traj, "  e=%03d "+format+"\n", append([]any{e}, args...)...)
 }
 
-// scanLostHolders marks partitions whose every holder is down this
-// instant: their data survives nowhere, so the epoch's reseed will
-// restore them empty (archival restore) and acked writes are legally
-// lost. This is excusal rule (b) of the durability invariant.
+// excuse marks one record's current acked write as legally lost,
+// recording the reason. The excuse clears on the key's next
+// acknowledged put — a fresh quorum ack re-arms the strict checks.
+func (h *harness) excuse(e int, rec *keyRecord, format string, args ...any) {
+	if rec.excused || rec.lastAcked == "" {
+		return
+	}
+	rec.excused = true
+	rec.excuseWhy = fmt.Sprintf(format, args...)
+	h.trace(e, "excuse key=%s: %s", rec.key, rec.excuseWhy)
+}
+
+// excuseCrashLosses runs the instant a node crashes: any acked write
+// whose last live copy just died with the victim is legally lost. The
+// scan checks actual bytes on live nodes, not placement metadata —
+// with W ≥ 2 it fires only when background data movement (a dropped
+// snapshot to a new holder, a migration away from an ack-set member)
+// had already degraded the write down to a single physical copy before
+// the crash took that copy too.
+func (h *harness) excuseCrashLosses(e, victim int) {
+	for r := range h.hist.recs {
+		rec := &h.hist.recs[r]
+		if rec.lastAcked == "" || rec.excused {
+			continue
+		}
+		if !h.storedSomewhere(rec) {
+			h.excuse(e, rec, "crash of node %d left no live copy at epoch %d", victim, e)
+		}
+	}
+}
+
+// scanLostHolders excuses the records of partitions whose every view
+// holder is down this instant: their data survives nowhere, so the
+// epoch's reseed will restore them empty (archival restore) and the
+// acked writes are legally lost. Together with excuseCrashLosses this
+// is the only excusal left — message faults never excuse anything.
 func (h *harness) scanLostHolders(e int) {
 	rm := h.members[h.refIdx()].ReplicaMap()
 	for p := range rm {
@@ -259,8 +296,11 @@ func (h *harness) scanLostHolders(e int) {
 				break
 			}
 		}
-		if !anyAlive {
-			h.hist.markDirty(p, fmt.Sprintf("all holders down at epoch %d", e))
+		if anyAlive {
+			continue
+		}
+		for k := 0; k < h.opts.KeysPerPartition; k++ {
+			h.excuse(e, h.hist.rec(p, k), "all holders of partition %d down at epoch %d", p, e)
 		}
 	}
 }
@@ -309,25 +349,30 @@ func (h *harness) aliveEntry(i int) int {
 	return 0
 }
 
-// workload drives one epoch of client traffic: one put and one get per
-// key, entering the cluster at rotating nodes. Acked puts update the
-// history; reads are checked for staleness on the spot (clean
-// partitions only — rule (a) excuses partitions a data-plane fault
-// touched).
+// workload drives one epoch of client traffic: one quorum put and one
+// quorum get per key, entering the cluster at rotating nodes. A put is
+// recorded only when the write quorum acked it — the receipt's version
+// and ack set are the ground truth the durability checker holds the
+// cluster to — and an ack clears any standing excusal for the key.
+// Reads are checked for staleness on the spot (steady clean epochs,
+// un-excused records only).
 func (h *harness) workload(e int) (acks, perr, rok, rerr int) {
 	for p := 0; p < h.opts.Partitions; p++ {
 		for k := 0; k < h.opts.KeysPerPartition; k++ {
 			rec := h.hist.rec(p, k)
 			val := fmt.Sprintf("s%x.e%d.p%d.k%d", h.opts.Seed, e, p, k)
-			if err := h.members[h.aliveEntry(e+p+k)].Put(rec.key, []byte(val)); err == nil {
+			if rcpt, err := h.members[h.aliveEntry(e+p+k)].PutQuorum(rec.key, []byte(val)); err == nil {
 				rec.lastAcked = val
 				rec.ackEpoch = e
+				rec.ackVer = rcpt.Version
+				rec.excused = false
+				rec.excuseWhy = ""
 				acks++
 			} else {
 				perr++
 			}
 			check := h.phase != phaseFault && h.steadyStreak >= 2 &&
-				rec.lastAcked != "" && !h.hist.dirty[p]
+				rec.lastAcked != "" && !rec.excused
 			v, ok, err := h.members[h.aliveEntry(e+p+k+1)].Get(rec.key)
 			switch {
 			case err != nil:
@@ -359,7 +404,6 @@ func (h *harness) deciderFor(i int) transport.FaultFunc {
 	return func(from, to string, m *transport.Message) transport.FaultAction {
 		if j := h.peerIndex(to); j >= 0 && h.cut[i][j] > 0 {
 			h.faults.Drop(m.Kind)
-			h.markDataPlane(m)
 			return transport.FaultDrop
 		}
 		if h.phase != phaseFault {
@@ -369,7 +413,6 @@ func (h *harness) deciderFor(i int) transport.FaultFunc {
 		switch {
 		case r < h.opts.DropRate:
 			h.faults.Drop(m.Kind)
-			h.markDataPlane(m)
 			return transport.FaultDrop
 		case r < h.opts.DropRate+h.opts.DupRate:
 			h.faults.Duplicate()
@@ -377,7 +420,6 @@ func (h *harness) deciderFor(i int) transport.FaultFunc {
 		case r < h.opts.DropRate+h.opts.DupRate+h.opts.DelayRate && delayable(m.Kind):
 			if cl, err := transport.CloneMessage(m); err == nil {
 				h.faults.Delay(m.Kind)
-				h.markDataPlane(m)
 				h.delayed = append(h.delayed, delayedMsg{from: i, to: to, msg: cl})
 				return transport.FaultDrop
 			}
@@ -398,18 +440,6 @@ func delayable(kind uint8) bool {
 		return true
 	}
 	return false
-}
-
-// markDataPlane marks the partition dirty when a lost or deferred
-// message carries replica data: excusal rule (a) of the durability and
-// staleness invariants.
-func (h *harness) markDataPlane(m *transport.Message) {
-	switch m.Kind {
-	case node.KindPut, node.KindSync, node.KindStore, node.KindDrop:
-		if p := int(m.Partition); p < h.opts.Partitions {
-			h.hist.markDirty(p, fmt.Sprintf("kind %d fault", m.Kind))
-		}
-	}
 }
 
 // peerIndex resolves a transport address back to its roster index, or

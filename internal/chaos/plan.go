@@ -4,12 +4,14 @@
 // delayed deliveries, symmetric and asymmetric link cuts, and node
 // crash/restart cycles against a node.Fleet over the loopback
 // transport, while a generated client workload records every
-// acknowledged write. Invariant checkers run every epoch and at
-// quiescence: no acked write is ever lost, reads are at least as new
-// as the last acked write per key, every partition re-converges to the
-// availability bound within the clean cool-down window, replica counts
-// never exceed the fleet size, and identical seeds produce
-// bit-identical trajectory dumps.
+// acknowledged write and its quorum receipt. Invariant checkers run
+// every epoch and at quiescence: no acked write is ever lost while a
+// live node still holds a copy (message faults alone never excuse a
+// loss — only the physical destruction of every copy does), reads are
+// at least as new as the last acked write per key, every partition
+// re-converges to the availability bound within the clean cool-down
+// window, replica counts never exceed the fleet size, and identical
+// seeds produce bit-identical trajectory dumps.
 //
 // Everything in the package obeys the determinism contract (rfhlint
 // clean): all randomness flows from stats.RNG streams seeded by the
@@ -40,6 +42,14 @@ type Options struct {
 	CrashRate float64 // chance to crash one node (if none is down)
 	CutRate   float64 // chance to open one link cut
 
+	// Quorum sizes the workload's writes and reads run under, wired
+	// straight into node.Config. With W ≥ 2 an acked write has a live
+	// copy beyond the primary, which is what lets the durability
+	// checker treat message faults as non-excuses: only the physical
+	// crash of every copy-holder may excuse a loss.
+	WriteQuorum int
+	ReadQuorum  int
+
 	// Verbose adds per-event lines to the trajectory dump.
 	Verbose bool
 
@@ -67,6 +77,8 @@ func DefaultOptions(seed uint64) Options {
 		DelayRate:        0.03,
 		CrashRate:        0.25,
 		CutRate:          0.30,
+		WriteQuorum:      2,
+		ReadQuorum:       2,
 	}
 }
 

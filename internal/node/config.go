@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/availability"
 	"repro/internal/traffic"
 )
 
@@ -58,6 +59,21 @@ type Config struct {
 	// PolicyName selects the replication algorithm: "rfh" (default),
 	// "random", "owner" or "request".
 	PolicyName string
+
+	// WriteQuorum is W: how many holders (primary included) must
+	// durably accept a Put before it is acked. 0 normalises to 1 —
+	// primary-only acks, the pre-quorum behaviour. Values above 1 make
+	// acked writes survive the crash of any W-1 holders, at the price of
+	// refusing writes while fewer than W holders are reachable. Bounded
+	// above by the eq. (14) MinReplicas floor, the replica count the
+	// policy is obliged to maintain.
+	WriteQuorum int
+	// ReadQuorum is R: how many holders a Get consults before answering
+	// with the highest version observed. 0 normalises to 1 (serve
+	// locally, no fan-out). With W+R > MinReplicas a read quorum always
+	// intersects the latest write quorum. Same upper bound as
+	// WriteQuorum.
+	ReadQuorum int
 
 	// SuspectAfter is how many epochs a peer may stay silent before it
 	// is presumed failed and removed from the view (default 3).
@@ -138,6 +154,34 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("node: suspect-after must be positive")
 	case c.Fanout < 0:
 		return fmt.Errorf("node: fanout must not be negative")
+	case c.WriteQuorum < 0 || c.ReadQuorum < 0:
+		return fmt.Errorf("node: quorums must not be negative")
+	}
+	// Quorums cap at MinReplicas: the policy guarantees at most that
+	// many holders per partition in steady state, so a larger quorum
+	// could never be met.
+	if c.WriteQuorum > 1 || c.ReadQuorum > 1 {
+		min, err := availability.MinReplicas(c.FailureRate, c.MinAvailability)
+		if err != nil {
+			return fmt.Errorf("node: quorum bound: %w", err)
+		}
+		if c.WriteQuorum > min {
+			return fmt.Errorf("node: write quorum %d exceeds MinReplicas %d (eq. 14 with f=%g, target=%g)",
+				c.WriteQuorum, min, c.FailureRate, c.MinAvailability)
+		}
+		if c.ReadQuorum > min {
+			return fmt.Errorf("node: read quorum %d exceeds MinReplicas %d (eq. 14 with f=%g, target=%g)",
+				c.ReadQuorum, min, c.FailureRate, c.MinAvailability)
+		}
+	}
+	// 0 means "unset": normalise to the degenerate single-copy quorum,
+	// matching the pre-quorum primary-only behaviour (the same
+	// mutate-in-Validate convention as the Peers sort above).
+	if c.WriteQuorum == 0 {
+		c.WriteQuorum = 1
+	}
+	if c.ReadQuorum == 0 {
+		c.ReadQuorum = 1
 	}
 	return c.Thresholds.Validate()
 }

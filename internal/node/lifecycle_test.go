@@ -124,7 +124,7 @@ func TestReplayedStoreIsIdempotent(t *testing.T) {
 	h := newHarness(t, "loopback", 3, testConfig())
 	nd := h.nodes[0]
 	const p = 4
-	snap := map[string][]byte{"a": []byte("1"), "b": []byte("2")}
+	snap := map[string]entry{"a": {val: []byte("1"), ver: 3}, "b": {val: []byte("2"), ver: 4}}
 	msg := &transport.Message{Kind: KindStore, Partition: p, Value: appendSnapshot(nil, snap)}
 
 	apply := func() (int, []byte) {
@@ -133,7 +133,7 @@ func TestReplayedStoreIsIdempotent(t *testing.T) {
 		if err != nil || resp.Status != transport.StatusOK {
 			t.Fatalf("store transfer failed: resp=%+v err=%v", resp, err)
 		}
-		va, _ := nd.store.get(p, "a")
+		va, _, _ := nd.store.get(p, "a")
 		return nd.store.keys(p), append([]byte(nil), va...)
 	}
 	k1, v1 := apply()
@@ -146,6 +146,87 @@ func TestReplayedStoreIsIdempotent(t *testing.T) {
 	nd.mu.Unlock()
 	if len(flushed) != 0 {
 		t.Errorf("snapshot transfer charged traffic counters: %+v", flushed)
+	}
+}
+
+// TestReplayedStoreDoesNotRollBack delivers a snapshot, applies a
+// newer versioned sync on top, then replays the original snapshot: the
+// delayed duplicate must not roll the key back to the older version.
+func TestReplayedStoreDoesNotRollBack(t *testing.T) {
+	h := newHarness(t, "loopback", 3, testConfig())
+	nd := h.nodes[0]
+	const p = 4
+	snap := appendSnapshot(nil, map[string]entry{"a": {val: []byte("old"), ver: 3}})
+	if _, err := nd.Handle("node1", &transport.Message{Kind: KindStore, Partition: p, Value: snap}); err != nil {
+		t.Fatal(err)
+	}
+	if !nd.store.applySync(p, "a", []byte("new"), 9) {
+		t.Fatal("sync refused on a resident partition")
+	}
+	if _, err := nd.Handle("node1", &transport.Message{Kind: KindStore, Partition: p, Value: snap}); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, _ := nd.store.get(p, "a")
+	if string(v) != "new" || ver != 9 {
+		t.Errorf("replayed snapshot rolled key back: got (%q, %d), want (\"new\", 9)", v, ver)
+	}
+}
+
+// TestStaleSyncAfterDropDoesNotResurrect pins the drop/sync race: a
+// KindSync delayed across the epoch in which the same partition was
+// dropped here must not resurrect records in the now non-resident
+// partition — its content is someone else's responsibility until a
+// snapshot makes it authoritative again. The refusal must also be
+// visible to the sender (StatusRetry), so a quorum write never counts
+// a non-resident holder as durable.
+func TestStaleSyncAfterDropDoesNotResurrect(t *testing.T) {
+	base := testConfig()
+	h := newHarness(t, "loopback", 3, base)
+	gen := h.zipf(base)
+	for e := 0; e < 3; e++ {
+		h.replay(gen.Epoch(e))
+		h.tick()
+	}
+	// Find a node that holds some partition without leading it — the
+	// only shape a legitimate drop targets.
+	var nd *Node
+	p := -1
+	for _, cand := range h.nodes {
+		for q := 0; q < base.Partitions; q++ {
+			cand.mu.RLock()
+			holds := cand.view.hasReplica(q, cand.self)
+			prim := cand.view.primary(q)
+			cand.mu.RUnlock()
+			if holds && prim != cand.self {
+				nd, p = cand, q
+				break
+			}
+		}
+		if nd != nil {
+			break
+		}
+	}
+	if nd == nil {
+		t.Fatal("no non-primary holder found; widen the config")
+	}
+	key := PartitionKey(p, base.Partitions)
+	if !nd.store.applySync(p, key, []byte("live"), 5) {
+		t.Fatal("seed sync refused")
+	}
+	if _, err := nd.Handle("peer", &transport.Message{Kind: KindDrop, Partition: uint32(p)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := nd.Handle("peer", &transport.Message{
+		Kind: KindSync, Partition: uint32(p), Version: 6, Key: []byte(key), Value: []byte("ghost"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != transport.StatusRetry {
+		t.Errorf("stale sync on dropped partition answered status %d, want StatusRetry", resp.Status)
+	}
+	if v, _, ok := nd.store.get(p, key); ok {
+		t.Errorf("stale sync resurrected dropped partition %d: key %q = %q", p, key, v)
 	}
 }
 

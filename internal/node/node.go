@@ -22,7 +22,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -98,6 +100,13 @@ type Node struct {
 	// re-learned from the live primaries' claims.
 	crashed    bool
 	recovering bool
+
+	// syncFails counts replica syncs this primary could not land (send
+	// failed, or the holder refused and the snapshot fallback failed
+	// too). Atomic because the fan-out runs outside n.mu. Every failure
+	// is a holder missing an acked write until repair catches it —
+	// surfaced in DumpInfo so operators see silent replication decay.
+	syncFails atomic.Int64
 }
 
 // outOp is one data-movement message to perform after the view update,
@@ -192,6 +201,11 @@ func (n *Node) DecisionCounts() DecisionCounts {
 	return n.counts
 }
 
+// SyncFails returns the cumulative count of replica syncs this node,
+// as a primary, failed to land on a holder (send failed, or the holder
+// refused and the snapshot fallback failed too).
+func (n *Node) SyncFails() int64 { return n.syncFails.Load() }
+
 // PartitionOf maps a key to its partition: the key's ring hash modulo
 // the partition count.
 func (n *Node) PartitionOf(key string) int {
@@ -259,6 +273,7 @@ func (n *Node) Restart(epoch uint64) error {
 	}
 	n.crashed = false
 	n.recovering = true
+	n.syncFails.Store(0)
 	return nil
 }
 
@@ -310,6 +325,8 @@ func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, 
 		return n.handlePut(req)
 	case KindSync:
 		return n.handleSync(req)
+	case KindVer:
+		return n.handleVer(req)
 	case KindStore:
 		return n.handleStore(req)
 	case KindDrop:
@@ -346,20 +363,25 @@ func (n *Node) checkPartition(p uint32) (int, error) {
 // --- Query path -----------------------------------------------------
 
 // Get looks a key up, entering the query into the cluster at this
-// node. The query is served locally when this node holds a replica
-// with capacity to spare, and otherwise forwarded hop-by-hop along the
-// routing path toward the partition's primary — each hop records
-// transit traffic, which is exactly the per-DC arrival signal the
-// policies feed on.
+// node. The query is served by the first node along the routing path
+// that holds a replica with capacity to spare (every other hop records
+// transit traffic — exactly the per-DC arrival signal the policies
+// feed on). With ReadQuorum > 1 the serving node coordinates a quorum
+// read: it probes other holders for their stored versions, answers
+// with the highest version any quorum member holds, and read-repairs
+// the stale copies it observed.
 func (n *Node) Get(key string) ([]byte, bool, error) {
-	return n.routeGet(n.PartitionOf(key), key, n.self, 0)
+	v, _, ok, err := n.routeGet(n.PartitionOf(key), key, n.self, 0)
+	return v, ok, err
 }
 
 // routeGet handles one query arrival at this node (origin is the
-// roster index where it entered, hops the forwards so far).
-func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, error) {
+// roster index where it entered, hops the forwards so far). The
+// returned version is the winning copy's stamp (0 for not-found or
+// unversioned data).
+func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, uint64, bool, error) {
 	if hops > len(n.cfg.Peers) {
-		return nil, false, fmt.Errorf("node %d: routing loop for partition %d (%d hops)", n.cfg.ID, p, hops)
+		return nil, 0, false, fmt.Errorf("node %d: routing loop for partition %d (%d hops)", n.cfg.ID, p, hops)
 	}
 	n.mu.RLock()
 	if n.closed || n.crashed {
@@ -368,7 +390,7 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 			err = ErrCrashed
 		}
 		n.mu.RUnlock()
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	primary := n.view.primary(p)
 	// A replica under its per-epoch capacity serves; the primary
@@ -379,15 +401,21 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 	// flight) forwards to the primary instead of serving content it no
 	// longer vouches for. The arrival accounting, capacity check and
 	// lookup happen atomically under the partition's shard lock.
-	v, ok, served := n.store.arriveAndTryServe(p, key, hops == 0,
+	v, ver, ok, served := n.store.arriveAndTryServe(p, key, hops == 0,
 		n.cfg.ReplicaCapacity, primary == n.self, n.view.hasReplica(p, n.self))
 	if served {
+		r := n.cfg.ReadQuorum
+		if r <= 1 {
+			n.mu.RUnlock()
+			return v, ver, ok, nil
+		}
+		targets := n.readTargetsLocked(p, primary)
 		n.mu.RUnlock()
-		return v, ok, nil
+		return n.quorumRead(p, key, v, ver, ok, targets, r)
 	}
 	if primary < 0 {
 		n.mu.RUnlock()
-		return nil, false, fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
+		return nil, 0, false, fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
 	}
 	next := int(n.view.router.NextHop(topology.DCID(n.self), topology.DCID(primary)))
 	addr := n.peerAddr(next)
@@ -398,15 +426,103 @@ func (n *Node) routeGet(p int, key string, origin, hops int) ([]byte, bool, erro
 		Key: []byte(key),
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	if err := resp.Err(); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	if resp.Status == transport.StatusNotFound {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
-	return resp.Value, true, nil
+	return resp.Value, resp.Version, true, nil
+}
+
+// readTargetsLocked returns the quorum read's probe order for
+// partition p: the primary first (the copy most likely to hold the
+// newest version, so quorums assemble fast), then the remaining
+// holders ascending. Self is excluded — the coordinator's own copy is
+// vote #1.
+func (n *Node) readTargetsLocked(p, primary int) []int {
+	var targets []int
+	if primary >= 0 && primary != n.self {
+		targets = append(targets, primary)
+	}
+	for _, s := range n.view.cluster.ReplicaServers(p) {
+		if int(s) == n.self || int(s) == primary {
+			continue
+		}
+		targets = append(targets, int(s))
+	}
+	return targets
+}
+
+// readVote is one holder's answer in a quorum read: what it physically
+// stores for the key. A resident holder without the key votes
+// found=false at version 0 — "authoritatively absent".
+type readVote struct {
+	peer  int
+	val   []byte
+	ver   uint64
+	found bool
+}
+
+// quorumRead assembles r version votes for one key (the coordinator's
+// own copy plus KindVer probes down the target list until enough
+// holders answered), returns the highest-versioned copy, and pushes
+// that winner to every stale voter it saw — read-repair, the
+// foreground half of anti-entropy: any divergence a quorum read can
+// observe it also heals. Unreachable or non-resident holders simply
+// don't vote; the read fails only when fewer than r votes assemble.
+// Callers must not hold n.mu.
+func (n *Node) quorumRead(p int, key string, v []byte, ver uint64, ok bool, targets []int, r int) ([]byte, uint64, bool, error) {
+	votes := []readVote{{peer: n.self, val: v, ver: ver, found: ok}}
+	for _, t := range targets {
+		if len(votes) >= r {
+			break
+		}
+		resp, err := n.tr.Send(n.peerAddr(t), &transport.Message{
+			Kind: KindVer, Partition: uint32(p), Key: []byte(key),
+		})
+		if err != nil {
+			continue
+		}
+		switch resp.Status {
+		case transport.StatusOK:
+			votes = append(votes, readVote{peer: t, val: resp.Value, ver: resp.Version, found: true})
+		case transport.StatusNotFound:
+			votes = append(votes, readVote{peer: t, found: false})
+		}
+	}
+	if len(votes) < r {
+		return nil, 0, false, fmt.Errorf("node %d: read quorum not met for partition %d: %d/%d holders answered",
+			n.cfg.ID, p, len(votes), r)
+	}
+	win := -1
+	for i := range votes {
+		if votes[i].found && (win < 0 || votes[i].ver > votes[win].ver) {
+			win = i
+		}
+	}
+	if win < 0 {
+		return nil, 0, false, nil // the whole quorum agrees: absent
+	}
+	w := votes[win]
+	var ops []outOp
+	for i := range votes {
+		vt := &votes[i]
+		if vt.found && vt.ver >= w.ver {
+			continue
+		}
+		if vt.peer == n.self {
+			n.store.applySync(p, key, w.val, w.ver)
+			continue
+		}
+		ops = append(ops, outOp{peer: vt.peer, msg: &transport.Message{
+			Kind: KindSync, Partition: uint32(p), Version: w.ver, Key: []byte(key), Value: w.val,
+		}})
+	}
+	n.sendOps(ops)
+	return w.val, w.ver, true, nil
 }
 
 func (n *Node) handleGet(req *transport.Message) (*transport.Message, error) {
@@ -421,26 +537,44 @@ func (n *Node) handleGet(req *transport.Message) (*transport.Message, error) {
 	if req.Hops == 0 {
 		origin = n.self
 	}
-	v, ok, err := n.routeGet(p, string(req.Key), origin, int(req.Hops))
+	v, ver, ok, err := n.routeGet(p, string(req.Key), origin, int(req.Hops))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return &transport.Message{Kind: KindGet, Status: transport.StatusNotFound, Partition: uint32(p)}, nil
 	}
-	return &transport.Message{Kind: KindGet, Partition: uint32(p), Value: v}, nil
+	return &transport.Message{Kind: KindGet, Partition: uint32(p), Version: ver, Value: v}, nil
 }
 
 // --- Write path -----------------------------------------------------
 
+// PutReceipt is a write acknowledgement: the version the primary
+// stamped on the value and the ascending roster indexes of every
+// holder that durably accepted it before the ack. len(Acked) is always
+// at least the configured WriteQuorum on success.
+type PutReceipt struct {
+	Version uint64
+	Acked   []int
+}
+
 // Put stores a key/value pair. Non-primary nodes proxy the write to
-// the partition's primary, which applies it and best-effort syncs the
-// other replica holders.
+// the partition's primary, which stamps a version, applies it locally,
+// syncs the other replica holders, and acks only once WriteQuorum
+// holders (itself included) durably accepted the write.
 func (n *Node) Put(key string, value []byte) error {
+	_, err := n.PutQuorum(key, value)
+	return err
+}
+
+// PutQuorum is Put returning the full write receipt: the stamped
+// version and the exact holder set that accepted the write before the
+// ack.
+func (n *Node) PutQuorum(key string, value []byte) (PutReceipt, error) {
 	return n.routePut(n.PartitionOf(key), key, value, 0)
 }
 
-func (n *Node) routePut(p int, key string, value []byte, hops int) error {
+func (n *Node) routePut(p int, key string, value []byte, hops int) (PutReceipt, error) {
 	n.mu.RLock()
 	if n.closed || n.crashed {
 		err := ErrClosed
@@ -448,43 +582,122 @@ func (n *Node) routePut(p int, key string, value []byte, hops int) error {
 			err = ErrCrashed
 		}
 		n.mu.RUnlock()
-		return err
+		return PutReceipt{}, err
 	}
 	primary := n.view.primary(p)
 	if primary == n.self {
-		n.store.put(p, key, value)
+		w := n.cfg.WriteQuorum
+		// Stamp and apply locally first: the primary's copy is ack #1,
+		// and the fan-out below carries the stamped version. Applying
+		// before the quorum verdict means a refused write may still
+		// become visible — standard quorum-store semantics (a failed
+		// write is "not guaranteed durable", not "guaranteed absent"),
+		// and the version keeps every copy ordered regardless.
+		ver := n.store.stampPut(p, key, value, n.epoch<<versionEpochShift)
 		holders := n.view.cluster.ReplicaServers(p)
-		n.mu.RUnlock()
-		// Best-effort replica sync: an unreachable holder misses the
-		// write until the next full-partition transfer touches it.
-		var ops []outOp
+		targets := make([]int, 0, len(holders))
 		for _, s := range holders {
-			if int(s) == n.self {
-				continue
+			if int(s) != n.self {
+				targets = append(targets, int(s))
 			}
-			ops = append(ops, outOp{peer: int(s), msg: &transport.Message{
-				Kind: KindSync, Partition: uint32(p), Key: []byte(key), Value: value,
-			}})
 		}
-		n.sendOps(ops)
-		return nil
+		n.mu.RUnlock()
+		acked, fails := n.syncWrite(p, key, value, ver, targets)
+		if fails > 0 {
+			n.syncFails.Add(int64(fails))
+		}
+		acked = append(acked, n.self)
+		sort.Ints(acked)
+		rcpt := PutReceipt{Version: ver, Acked: acked}
+		if len(acked) < w {
+			return rcpt, fmt.Errorf("node %d: write quorum not met for partition %d: %d/%d holders acked",
+				n.cfg.ID, p, len(acked), w)
+		}
+		return rcpt, nil
 	}
 	n.mu.RUnlock()
 	if primary < 0 {
-		return fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
+		return PutReceipt{}, fmt.Errorf("node %d: partition %d has no primary", n.cfg.ID, p)
 	}
 	if hops > 0 {
 		// A proxied put landing on a non-primary means the sender's view
 		// disagrees with ours; refuse rather than bounce it around.
-		return fmt.Errorf("node %d: not primary for partition %d", n.cfg.ID, p)
+		return PutReceipt{}, fmt.Errorf("node %d: not primary for partition %d", n.cfg.ID, p)
 	}
 	resp, err := n.tr.Send(n.peerAddr(primary), &transport.Message{
 		Kind: KindPut, Partition: uint32(p), Hops: 1, Key: []byte(key), Value: value,
 	})
 	if err != nil {
-		return err
+		return PutReceipt{}, err
 	}
-	return resp.Err()
+	if err := resp.Err(); err != nil {
+		return PutReceipt{}, err
+	}
+	acked, err := decodeAckSet(resp.Value, len(n.cfg.Peers))
+	if err != nil {
+		return PutReceipt{}, err
+	}
+	return PutReceipt{Version: resp.Version, Acked: acked}, nil
+}
+
+// syncWrite pushes one stamped write to the partition's other holders
+// and reports which of them durably acked it. A holder that answers
+// StatusRetry has no resident copy to apply onto (mid-rejoin, or
+// claim-added before its snapshot arrived); it is healed with a full
+// snapshot — which contains the stamped write — and counts as acked if
+// the snapshot lands. Sends run sequentially in holder order when
+// cfg.Fanout <= 1 (the deterministic-harness mode, see sendOps) and
+// over at most Fanout concurrent senders otherwise. Callers must not
+// hold n.mu.
+func (n *Node) syncWrite(p int, key string, value []byte, ver uint64, targets []int) (acked []int, fails int) {
+	syncOne := func(t int) bool {
+		resp, err := n.tr.Send(n.peerAddr(t), &transport.Message{
+			Kind: KindSync, Partition: uint32(p), Version: ver, Key: []byte(key), Value: value,
+		})
+		if err != nil {
+			return false
+		}
+		if resp.Status == transport.StatusRetry {
+			resp, err = n.tr.Send(n.peerAddr(t), &transport.Message{
+				Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
+			})
+			if err != nil {
+				return false
+			}
+		}
+		return resp.Status == transport.StatusOK
+	}
+	if n.cfg.Fanout <= 1 || len(targets) <= 1 {
+		for _, t := range targets {
+			if syncOne(t) {
+				acked = append(acked, t)
+			} else {
+				fails++
+			}
+		}
+		return acked, fails
+	}
+	var mu sync.Mutex
+	sem := make(chan struct{}, n.cfg.Fanout)
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ok := syncOne(t)
+			mu.Lock()
+			if ok {
+				acked = append(acked, t)
+			} else {
+				fails++
+			}
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	return acked, fails
 }
 
 func (n *Node) handlePut(req *transport.Message) (*transport.Message, error) {
@@ -492,10 +705,14 @@ func (n *Node) handlePut(req *transport.Message) (*transport.Message, error) {
 	if req.Hops > 0 && int(req.Partition) != p {
 		return nil, fmt.Errorf("node %d: key maps to partition %d, message says %d", n.cfg.ID, p, req.Partition)
 	}
-	if err := n.routePut(p, string(req.Key), req.Value, int(req.Hops)); err != nil {
+	rcpt, err := n.routePut(p, string(req.Key), req.Value, int(req.Hops))
+	if err != nil {
 		return nil, err
 	}
-	return &transport.Message{Kind: KindPut, Partition: uint32(p)}, nil
+	return &transport.Message{
+		Kind: KindPut, Partition: uint32(p), Version: rcpt.Version,
+		Value: appendAckSet(nil, rcpt.Acked),
+	}, nil
 }
 
 func (n *Node) handleSync(req *transport.Message) (*transport.Message, error) {
@@ -504,11 +721,39 @@ func (n *Node) handleSync(req *transport.Message) (*transport.Message, error) {
 		return nil, err
 	}
 	n.mu.RLock()
+	acked := false
 	if n.view.hasReplica(p, n.self) {
-		n.store.put(p, string(req.Key), req.Value)
+		acked = n.store.applySync(p, string(req.Key), req.Value, req.Version)
 	}
 	n.mu.RUnlock()
+	if !acked {
+		// Not a holder by our own view, or not resident: this copy is
+		// not authoritative, so the write did not durably land here.
+		return &transport.Message{Kind: KindSync, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	}
 	return &transport.Message{Kind: KindSync, Partition: req.Partition}, nil
+}
+
+// handleVer answers a quorum read's version probe from the physical
+// store: no routing, no capacity accounting. A non-resident partition
+// answers StatusRetry — its content is not authoritative and must not
+// vote.
+func (n *Node) handleVer(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	v, ver, ok, resident := n.store.localVersion(p, string(req.Key))
+	n.mu.RUnlock()
+	switch {
+	case !resident:
+		return &transport.Message{Kind: KindVer, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	case !ok:
+		return &transport.Message{Kind: KindVer, Partition: req.Partition, Status: transport.StatusNotFound}, nil
+	default:
+		return &transport.Message{Kind: KindVer, Partition: req.Partition, Version: ver, Value: v}, nil
+	}
 }
 
 // --- Replica transfer -----------------------------------------------
@@ -518,12 +763,15 @@ func (n *Node) handleStore(req *transport.Message) (*transport.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := decodeSnapshot(req.Value)
+	entries, err := decodeSnapshot(req.Value)
 	if err != nil {
 		return nil, err
 	}
+	// Version-aware merge, not replacement: a replayed or delayed
+	// snapshot transfer must never roll a key back below a version a
+	// later sync already installed here.
 	n.mu.RLock()
-	n.store.replace(p, data)
+	n.store.mergeSnapshot(p, entries)
 	n.mu.RUnlock()
 	return &transport.Message{Kind: KindStore, Partition: req.Partition}, nil
 }
@@ -534,8 +782,20 @@ func (n *Node) handleDrop(req *transport.Message) (*transport.Message, error) {
 		return nil, err
 	}
 	n.mu.RLock()
-	n.store.drop(p)
+	// A legitimate drop never targets the partition's primary (the
+	// decision protocol never moves or suicides the primary copy), so a
+	// drop arriving at the node currently leading the partition is
+	// stale — typically delayed in flight across the epoch in which
+	// this node was promoted. Discarding the one copy every view now
+	// treats as authoritative would be silent data loss; refuse it.
+	refused := n.view.primary(p) == n.self
+	if !refused {
+		n.store.drop(p)
+	}
 	n.mu.RUnlock()
+	if refused {
+		return &transport.Message{Kind: KindDrop, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	}
 	return &transport.Message{Kind: KindDrop, Partition: req.Partition}, nil
 }
 
@@ -832,7 +1092,7 @@ func (n *Node) reseedLostLocked() {
 		if n.view.primary(p) < 0 {
 			_ = n.view.seedPartition(p)
 			if n.view.hasReplica(p, n.self) {
-				n.store.replace(p, make(map[string][]byte))
+				n.store.resetEmpty(p)
 			}
 		}
 	}
@@ -1020,6 +1280,9 @@ type DumpInfo struct {
 	Self        int             `json:"self"`
 	Epoch       uint64          `json:"epoch"`
 	MinReplicas int             `json:"min_replicas"`
+	WriteQuorum int             `json:"write_quorum"`
+	ReadQuorum  int             `json:"read_quorum"`
+	SyncFails   int64           `json:"sync_fails,omitempty"`
 	Decisions   DecisionCounts  `json:"decisions"`
 	Suspected   []int           `json:"suspected,omitempty"`
 	Partitions  []PartitionInfo `json:"partitions"`
@@ -1034,6 +1297,9 @@ func (n *Node) Dump() DumpInfo {
 		Self:        n.self,
 		Epoch:       n.epoch,
 		MinReplicas: n.view.minReplicas,
+		WriteQuorum: n.cfg.WriteQuorum,
+		ReadQuorum:  n.cfg.ReadQuorum,
+		SyncFails:   n.syncFails.Load(),
 		Decisions:   n.counts,
 	}
 	for i, s := range n.suspect {
@@ -1066,11 +1332,19 @@ func (n *Node) handleDump() (*transport.Message, error) {
 // checkers can ask "which live processes physically have this value"
 // independently of placement metadata. A crashed node has no store.
 func (n *Node) LocalGet(key string) ([]byte, bool) {
+	v, _, ok := n.LocalVersion(key)
+	return v, ok
+}
+
+// LocalVersion is LocalGet including the stored version stamp — what
+// quorum-read tests and invariant checkers use to rank the physical
+// copies of a key across nodes.
+func (n *Node) LocalVersion(key string) ([]byte, uint64, bool) {
 	p := n.PartitionOf(key)
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	if n.closed || n.crashed {
-		return nil, false
+		return nil, 0, false
 	}
 	return n.store.get(p, key)
 }

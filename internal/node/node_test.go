@@ -386,6 +386,12 @@ func TestConfigValidate(t *testing.T) {
 		"bad capacity":    func(c *Config) { c.ReplicaCapacity = 0 },
 		"bad suspect":     func(c *Config) { c.SuspectAfter = 0 },
 		"bad alpha":       func(c *Config) { c.Thresholds.Alpha = 2 },
+		"negative W":      func(c *Config) { c.WriteQuorum = -1 },
+		"negative R":      func(c *Config) { c.ReadQuorum = -1 },
+		// Eq. (14) places MinReplicas copies; a quorum above that bound
+		// could never be met even on a healthy cluster.
+		"W above availability floor": func(c *Config) { c.WriteQuorum = 99 },
+		"R above availability floor": func(c *Config) { c.ReadQuorum = 99 },
 	}
 	for name, mutate := range cases {
 		cfg := DefaultConfig(1, append([]Peer(nil), peers...))

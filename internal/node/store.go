@@ -2,6 +2,28 @@ package node
 
 import "sync"
 
+// entry is one stored record: the value bytes and the per-key version
+// the primary stamped when the write was accepted. Versions order
+// divergent copies of the same key across holders: quorum reads pick
+// the highest, and apply paths never let a lower version clobber a
+// higher one.
+type entry struct {
+	val []byte
+	ver uint64
+}
+
+// versionEpochShift positions the current epoch in a fresh version's
+// high bits: stampPut issues max(maxVer, epoch<<versionEpochShift)+1.
+// The epoch term keeps versions monotone across primary failover — a
+// successor is only promoted after at least one full suspicion epoch,
+// so its first stamp (at a strictly later epoch) exceeds anything the
+// dead primary issued, even stamps the successor never saw — while the
+// max(maxVer, ·) term keeps them monotone within an epoch. The shift
+// bounds writes at 2^20 per partition per epoch before the counter
+// could spill into the next epoch's range; at the paper's traffic
+// scales that is orders of magnitude of headroom.
+const versionEpochShift = 20
+
 // store is the node's in-memory partitioned KV data plus the
 // per-partition traffic counters for the epoch in flight. Partition
 // maps exist for every partition regardless of whether the node
@@ -15,10 +37,17 @@ import "sync"
 // epoch before its snapshot arrives), so "the view says I hold it"
 // does not imply "my data is complete". The read path serves locally
 // only from resident partitions and forwards everything else to the
-// primary. A fresh store at node birth is resident everywhere — the
-// cluster starts empty, so empty content IS authoritative — while a
-// post-restart store (see newBlankStore) is resident nowhere until
-// snapshots rebuild it.
+// primary, and sync application is gated on residency so a delayed
+// KindSync cannot resurrect records in a dropped partition. A fresh
+// store at node birth is resident everywhere — the cluster starts
+// empty, so empty content IS authoritative — while a post-restart
+// store (see newBlankStore) is resident nowhere until snapshots
+// rebuild it.
+//
+// maxVer is the highest version this shard has ever observed for any
+// key; stampPut derives the next version from it. It survives drop so
+// a holder that loses and later regains a partition never re-issues a
+// version it already handed out.
 //
 // Concurrency: every partition carries its own mutex, so data-plane
 // requests for different partitions never contend and requests for the
@@ -31,15 +60,16 @@ type store struct {
 
 type partitionShard struct {
 	mu       sync.Mutex
-	data     map[string][]byte
+	data     map[string]entry
 	resident bool
+	maxVer   uint64
 	counters partitionCounters
 }
 
 func newStore(partitions int) *store {
 	s := &store{parts: make([]partitionShard, partitions)}
 	for p := range s.parts {
-		s.parts[p].data = make(map[string][]byte)
+		s.parts[p].data = make(map[string]entry)
 		s.parts[p].resident = true
 		s.parts[p].counters.partition = p
 	}
@@ -56,22 +86,82 @@ func newBlankStore(partitions int) *store {
 	return s
 }
 
-func (s *store) get(p int, key string) ([]byte, bool) {
+func (s *store) get(p int, key string) ([]byte, uint64, bool) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	v, ok := ps.data[key]
+	e, ok := ps.data[key]
 	ps.mu.Unlock()
-	// Values are never mutated in place (put installs a fresh copy), so
-	// the returned slice stays stable after the lock drops.
-	return v, ok
+	// Values are never mutated in place (every apply installs a fresh
+	// copy), so the returned slice stays stable after the lock drops.
+	return e.val, e.ver, ok
 }
 
-func (s *store) put(p int, key string, value []byte) {
+// stampPut is the primary's write apply: it assigns the key the next
+// version — strictly above both everything this shard has seen and
+// epochBase (the current epoch shifted into the version's high bits),
+// so versions stay monotone across primary failover as long as
+// suspicion takes at least one epoch — installs the value, and returns
+// the stamped version for the sync fan-out.
+func (s *store) stampPut(p int, key string, value []byte, epochBase uint64) uint64 {
 	v := make([]byte, len(value))
 	copy(v, value)
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	ps.data[key] = v
+	ver := ps.maxVer
+	if epochBase > ver {
+		ver = epochBase
+	}
+	ver++
+	ps.maxVer = ver
+	ps.data[key] = entry{val: v, ver: ver}
+	ps.mu.Unlock()
+	return ver
+}
+
+// applySync applies one replicated write at a holder. acked reports
+// whether this holder now durably has version ver or newer — true both
+// when the write applied and when an equal-or-newer version was
+// already present (a replayed or reordered sync is a success, not a
+// conflict). A non-resident partition refuses (acked=false): its
+// content is not authoritative, and applying would let a delayed sync
+// resurrect records the same epoch's drop discarded.
+func (s *store) applySync(p int, key string, value []byte, ver uint64) (acked bool) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.resident {
+		return false
+	}
+	if ver > ps.maxVer {
+		ps.maxVer = ver
+	}
+	if e, ok := ps.data[key]; ok && e.ver >= ver {
+		return true
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	ps.data[key] = entry{val: v, ver: ver}
+	return true
+}
+
+// mergeSnapshot folds a transferred snapshot into the partition,
+// version-aware per key: a snapshot record replaces the local one only
+// if strictly newer, so a replayed or delayed KindStore can never roll
+// a key back. The partition becomes resident — after the merge its
+// content covers at least everything the sender had.
+func (s *store) mergeSnapshot(p int, entries []kvEntry) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	for _, in := range entries {
+		if in.ver > ps.maxVer {
+			ps.maxVer = in.ver
+		}
+		if e, ok := ps.data[in.key]; ok && e.ver >= in.ver {
+			continue
+		}
+		ps.data[in.key] = entry{val: in.val, ver: in.ver}
+	}
+	ps.resident = true
 	ps.mu.Unlock()
 }
 
@@ -83,48 +173,65 @@ func (s *store) put(p int, key string, value []byte) {
 // reports whether the query was handled here; when false the caller
 // must forward it (not a holder, not resident, or over capacity and
 // not the primary).
-func (s *store) arriveAndTryServe(p int, key string, entry bool, capacity int, isPrimary, hasReplica bool) (v []byte, ok, served bool) {
+func (s *store) arriveAndTryServe(p int, key string, entered bool, capacity int, isPrimary, hasReplica bool) (v []byte, ver uint64, ok, served bool) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	c := &ps.counters
-	if entry {
+	if entered {
 		c.origin++
 	} else {
 		c.transit++
 	}
 	if !hasReplica || !(ps.resident || isPrimary) {
-		return nil, false, false
+		return nil, 0, false, false
 	}
 	underCap := c.served < capacity
 	if !underCap && !isPrimary {
-		return nil, false, false
+		return nil, 0, false, false
 	}
 	c.served++
 	if !underCap {
 		c.overflow++
 	}
-	v, ok = ps.data[key]
-	return v, ok, true
+	e, ok := ps.data[key]
+	return e.val, e.ver, ok, true
 }
 
-// replace installs a transferred snapshot as the partition's data.
-// A snapshot is a complete copy, so the partition becomes resident.
-func (s *store) replace(p int, data map[string][]byte) {
+// localVersion answers a KindVer probe: the physically stored value
+// and version for one key, independent of capacity accounting.
+// resident=false means this holder has no authoritative answer.
+func (s *store) localVersion(p int, key string) (v []byte, ver uint64, ok, resident bool) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	ps.data = data
+	defer ps.mu.Unlock()
+	if !ps.resident {
+		return nil, 0, false, false
+	}
+	e, ok := ps.data[key]
+	return e.val, e.ver, ok, true
+}
+
+// resetEmpty restores the partition to an authoritative empty state —
+// the lost-data reseed path, where every holder is gone and the
+// primary re-adopts the partition as empty. maxVer is kept so any
+// still-circulating version number stays below future stamps.
+func (s *store) resetEmpty(p int) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.data = make(map[string]entry)
 	ps.resident = true
 	ps.mu.Unlock()
 }
 
 // drop discards the partition's data (migration victim, suicide). The
 // partition stops being resident: until another snapshot arrives, any
-// content is someone else's responsibility.
+// content is someone else's responsibility. maxVer survives so a
+// future re-adoption of the partition never re-issues old versions.
 func (s *store) drop(p int) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	ps.data = make(map[string][]byte)
+	ps.data = make(map[string]entry)
 	ps.resident = false
 	ps.mu.Unlock()
 }

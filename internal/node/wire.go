@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"repro/internal/transport"
 )
 
 // Message kinds of the node protocol, carried in transport.Message.Kind.
@@ -18,8 +20,12 @@ const (
 	// KindPut stores one key/value pair; non-primary receivers proxy it
 	// to the primary.
 	KindPut uint8 = 2
-	// KindSync is the primary's best-effort propagation of one write to
-	// the other replica holders.
+	// KindSync is the primary's propagation of one versioned write to
+	// the other replica holders. A StatusOK reply means the holder
+	// durably applied (or already had) that version and counts toward
+	// the write quorum; StatusRetry means the holder is not resident and
+	// needs a full snapshot first. Quorum reads also reuse it to push
+	// the winning version to stale holders (read-repair).
 	KindSync uint8 = 3
 	// KindStore transfers a whole partition snapshot to a new replica
 	// holder (replication and migration both ship data this way).
@@ -33,6 +39,12 @@ const (
 	KindStats uint8 = 6
 	// KindPing is a liveness probe; the reply is an empty StatusOK.
 	KindPing uint8 = 7
+	// KindVer is a quorum read's version probe: the coordinator asks a
+	// holder what version of one key it physically has. The reply
+	// carries the local value and its version (Version 0 + StatusNotFound
+	// for a key absent from a resident partition); StatusRetry means the
+	// holder is not resident and has no authoritative answer.
+	KindVer uint8 = 8
 
 	// KindEpochFlush makes the node broadcast its epoch stats (phase A
 	// of the two-phase tick).
@@ -163,10 +175,17 @@ func decodeStats(buf []byte, partitions, peers int) (*statsBlob, error) {
 	return b, nil
 }
 
-// appendSnapshot encodes one partition's key/value data for a
-// KindStore transfer. Keys are emitted in ascending order so the
+// kvEntry is one versioned key/value record of a partition snapshot.
+type kvEntry struct {
+	key string
+	ver uint64
+	val []byte
+}
+
+// appendSnapshot encodes one partition's versioned key/value data for
+// a KindStore transfer. Keys are emitted in ascending order so the
 // encoding is deterministic regardless of map iteration order.
-func appendSnapshot(dst []byte, data map[string][]byte) []byte {
+func appendSnapshot(dst []byte, data map[string]entry) []byte {
 	keys := make([]string, 0, len(data))
 	for k := range data {
 		keys = append(keys, k)
@@ -174,20 +193,24 @@ func appendSnapshot(dst []byte, data map[string][]byte) []byte {
 	sort.Strings(keys)
 	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	for _, k := range keys {
+		e := data[k]
 		dst = binary.AppendUvarint(dst, uint64(len(k)))
 		dst = append(dst, k...)
-		v := data[k]
-		dst = binary.AppendUvarint(dst, uint64(len(v)))
-		dst = append(dst, v...)
+		dst = binary.AppendUvarint(dst, e.ver)
+		dst = binary.AppendUvarint(dst, uint64(len(e.val)))
+		dst = append(dst, e.val...)
 	}
 	return dst
 }
 
-// decodeSnapshot parses a KindStore payload into a fresh map.
-func decodeSnapshot(buf []byte) (map[string][]byte, error) {
+// decodeSnapshot parses a KindStore payload into a key-ordered entry
+// slice. A slice (not a map) so callers can merge it with a plain
+// deterministic loop — map iteration order is banned by the
+// determinism lint.
+func decodeSnapshot(buf []byte) ([]kvEntry, error) {
 	r := &uvarintReader{buf: buf}
-	n := r.nextInt(len(buf)) // a pair costs ≥2 bytes, so len(buf) bounds the count
-	data := make(map[string][]byte, n)
+	n := r.nextInt(len(buf)) // an entry costs ≥3 bytes, so len(buf) bounds the count
+	entries := make([]kvEntry, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		kl := r.nextInt(len(r.buf))
 		if r.err != nil {
@@ -195,6 +218,7 @@ func decodeSnapshot(buf []byte) (map[string][]byte, error) {
 		}
 		k := string(r.buf[:kl])
 		r.buf = r.buf[kl:]
+		ver := r.next()
 		vl := r.nextInt(len(r.buf))
 		if r.err != nil {
 			break
@@ -202,7 +226,7 @@ func decodeSnapshot(buf []byte) (map[string][]byte, error) {
 		v := make([]byte, vl)
 		copy(v, r.buf[:vl])
 		r.buf = r.buf[vl:]
-		data[k] = v
+		entries = append(entries, kvEntry{key: k, ver: ver, val: v})
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -210,5 +234,48 @@ func decodeSnapshot(buf []byte) (map[string][]byte, error) {
 	if len(r.buf) != 0 {
 		return nil, fmt.Errorf("node: %d trailing bytes after snapshot", len(r.buf))
 	}
-	return data, nil
+	return entries, nil
+}
+
+// appendAckSet encodes the roster indexes that durably accepted a
+// write, for the KindPut response. Callers pass the set ascending so
+// the encoding is deterministic.
+func appendAckSet(dst []byte, acked []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(acked)))
+	for _, s := range acked {
+		dst = binary.AppendUvarint(dst, uint64(s))
+	}
+	return dst
+}
+
+// DecodePutReceipt rebuilds the quorum receipt from a KindPut reply:
+// the version the primary stamped and the roster indexes that durably
+// acked the write. External clients (rfhctl) do not know the roster
+// size, so indexes are bounded only loosely; in-cluster paths use
+// decodeAckSet with the exact peer count instead.
+func DecodePutReceipt(resp *transport.Message) (PutReceipt, error) {
+	const loose = 1 << 20
+	acked, err := decodeAckSet(resp.Value, loose)
+	if err != nil {
+		return PutReceipt{}, err
+	}
+	return PutReceipt{Version: resp.Version, Acked: acked}, nil
+}
+
+// decodeAckSet parses a KindPut response's ack set. peers bounds both
+// the count and every index.
+func decodeAckSet(buf []byte, peers int) ([]int, error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(peers)
+	acked := make([]int, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		acked = append(acked, r.nextInt(peers-1))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("node: %d trailing bytes after ack set", len(r.buf))
+	}
+	return acked, nil
 }

@@ -58,10 +58,10 @@ func TestDecodeStatsRejectsCorrupt(t *testing.T) {
 }
 
 func TestSnapshotRoundTrip(t *testing.T) {
-	in := map[string][]byte{
-		"alpha": []byte("1"),
-		"beta":  {},
-		"gamma": bytes.Repeat([]byte("x"), 300),
+	in := map[string]entry{
+		"alpha": {val: []byte("1"), ver: 7},
+		"beta":  {val: []byte{}, ver: 0},
+		"gamma": {val: bytes.Repeat([]byte("x"), 300), ver: 9<<20 | 3},
 	}
 	enc := appendSnapshot(nil, in)
 	out, err := decodeSnapshot(enc)
@@ -71,23 +71,33 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if len(out) != len(in) {
 		t.Fatalf("size mismatch: %d vs %d", len(out), len(in))
 	}
-	for k, v := range in {
-		if !bytes.Equal(out[k], v) {
-			t.Fatalf("key %q: %q vs %q", k, out[k], v)
+	for _, e := range out {
+		want, ok := in[e.key]
+		if !ok {
+			t.Fatalf("decoded unknown key %q", e.key)
+		}
+		if !bytes.Equal(e.val, want.val) || e.ver != want.ver {
+			t.Fatalf("key %q: got (%q, %d), want (%q, %d)", e.key, e.val, e.ver, want.val, want.ver)
+		}
+	}
+	// Entries come back in the canonical ascending key order.
+	for i := 1; i < len(out); i++ {
+		if out[i-1].key >= out[i].key {
+			t.Fatalf("decoded entries out of order: %q before %q", out[i-1].key, out[i].key)
 		}
 	}
 }
 
 func TestSnapshotEncodingIsCanonical(t *testing.T) {
-	a := map[string][]byte{"k1": []byte("v1"), "k2": []byte("v2"), "k3": []byte("v3")}
-	b := map[string][]byte{"k3": []byte("v3"), "k1": []byte("v1"), "k2": []byte("v2")}
+	a := map[string]entry{"k1": {val: []byte("v1"), ver: 1}, "k2": {val: []byte("v2"), ver: 2}, "k3": {val: []byte("v3"), ver: 3}}
+	b := map[string]entry{"k3": {val: []byte("v3"), ver: 3}, "k1": {val: []byte("v1"), ver: 1}, "k2": {val: []byte("v2"), ver: 2}}
 	if !bytes.Equal(appendSnapshot(nil, a), appendSnapshot(nil, b)) {
 		t.Fatal("snapshot encoding depends on construction order")
 	}
 }
 
 func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
-	good := appendSnapshot(nil, map[string][]byte{"key": []byte("value")})
+	good := appendSnapshot(nil, map[string]entry{"key": {val: []byte("value"), ver: 5}})
 	cases := map[string][]byte{
 		"truncated": good[:len(good)-2],
 		"trailing":  append(append([]byte{}, good...), 0),
@@ -96,6 +106,40 @@ func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
 	for name, buf := range cases {
 		if _, err := decodeSnapshot(buf); err == nil {
 			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}
+
+func TestAckSetRoundTrip(t *testing.T) {
+	cases := [][]int{nil, {0}, {0, 2, 4}, {1, 2, 3, 4}}
+	for _, in := range cases {
+		enc := appendAckSet(nil, in)
+		out, err := decodeAckSet(enc, 5)
+		if err != nil {
+			t.Fatalf("acks %v: %v", in, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("acks %v: decoded %v", in, out)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("acks %v: decoded %v", in, out)
+			}
+		}
+	}
+}
+
+func TestDecodeAckSetRejectsCorrupt(t *testing.T) {
+	good := appendAckSet(nil, []int{0, 2})
+	cases := map[string][]byte{
+		"truncated":       good[:1],
+		"trailing":        append(append([]byte{}, good...), 0),
+		"count too large": appendAckSet(nil, []int{0, 1, 2, 3, 4, 5}),
+		"index too large": appendAckSet(nil, []int{9}),
+	}
+	for name, buf := range cases {
+		if _, err := decodeAckSet(buf, 5); err == nil {
+			t.Errorf("%s: corrupt ack set accepted", name)
 		}
 	}
 }

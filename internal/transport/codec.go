@@ -25,6 +25,12 @@ type Message struct {
 	Hops uint32
 	// Epoch tags epoch-scoped messages (stats exchange, ticks).
 	Epoch uint64
+	// Version is the data-plane version number of the carried write:
+	// the per-key version a primary stamped on a Put, propagated on
+	// sync and snapshot traffic and echoed on read replies so quorum
+	// reads can rank divergent copies. Zero means "no version" (control
+	// messages, legacy unversioned values).
+	Version uint64
 	// Key and Value are the payload slots. Either may be nil.
 	Key   []byte
 	Value []byte
@@ -58,12 +64,15 @@ const MaxFrame = 16 << 20
 
 // FrameVersion is the wire frame format this package speaks. Version 1
 // was the unversioned 4-byte length prefix of the serialized transport
-// (one exchange in flight per connection); version 2 adds the frame
-// type and correlation ID that request multiplexing needs. A v1 frame
-// shorter than 16 MiB always starts with a 0x00 byte, so a v2 decoder
-// reads it as "version 0" and rejects it cleanly rather than
-// misparsing the stream.
-const FrameVersion = 2
+// (one exchange in flight per connection); version 2 added the frame
+// type and correlation ID that request multiplexing needs; version 3
+// inserts the data-plane Version field into the message body (between
+// epoch and key), so v2 bodies no longer parse and mixing binaries
+// across the change fails loudly at the header instead of silently
+// misreading payloads. A v1 frame shorter than 16 MiB always starts
+// with a 0x00 byte, so this decoder reads it as "version 0" and
+// rejects it cleanly rather than misparsing the stream.
+const FrameVersion = 3
 
 // Frame types: every frame is either a request (carrying a correlation
 // ID the responder must echo) or the response bearing that ID.
@@ -79,14 +88,15 @@ const frameHeaderLen = 14
 
 // AppendMessage appends the encoded message body (no frame header) to
 // dst and returns the extended slice. Layout: kind, status, then
-// uvarint partition/origin/hops/epoch, then length-prefixed key and
-// value.
+// uvarint partition/origin/hops/epoch/version, then length-prefixed
+// key and value.
 func AppendMessage(dst []byte, m *Message) []byte {
 	dst = append(dst, m.Kind, m.Status)
 	dst = binary.AppendUvarint(dst, uint64(m.Partition))
 	dst = binary.AppendUvarint(dst, uint64(m.Origin))
 	dst = binary.AppendUvarint(dst, uint64(m.Hops))
 	dst = binary.AppendUvarint(dst, m.Epoch)
+	dst = binary.AppendUvarint(dst, m.Version)
 	dst = binary.AppendUvarint(dst, uint64(len(m.Key)))
 	dst = append(dst, m.Key...)
 	dst = binary.AppendUvarint(dst, uint64(len(m.Value)))
@@ -125,6 +135,9 @@ func DecodeMessageInto(m *Message, buf []byte) error {
 		return err
 	}
 	if m.Epoch, rest, err = takeUvarint(rest, "epoch"); err != nil {
+		return err
+	}
+	if m.Version, rest, err = takeUvarint(rest, "version"); err != nil {
 		return err
 	}
 	if m.Key, rest, err = takeBytes(rest, "key"); err != nil {

@@ -27,9 +27,10 @@ func TestMessageRoundTrip(t *testing.T) {
 		{},
 		{Kind: 7, Status: StatusNotFound},
 		{Kind: 1, Partition: 63, Origin: 9, Hops: 4, Epoch: 1 << 40, Key: []byte("k"), Value: []byte("v")},
-		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1},
+		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1, Version: 1<<64 - 1},
 		{Kind: 2, Key: bytes.Repeat([]byte{0xAB}, 1<<16), Value: bytes.Repeat([]byte{0xCD}, 1<<18)},
 		{Kind: 3, Value: []byte{}},
+		{Kind: 3, Partition: 7, Version: 5<<20 | 3, Key: []byte("k"), Value: []byte("v")},
 	}
 	for i, m := range cases {
 		enc := AppendMessage(nil, m)

@@ -20,9 +20,13 @@ func FuzzDecodeMessage(f *testing.F) {
 		{},
 		{Kind: 7, Status: StatusNotFound},
 		{Kind: 1, Partition: 63, Origin: 9, Hops: 4, Epoch: 1 << 40, Key: []byte("k"), Value: []byte("v")},
-		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1},
+		{Kind: 255, Status: 255, Partition: 1<<32 - 1, Origin: 1<<32 - 1, Hops: 1<<32 - 1, Epoch: 1<<64 - 1, Version: 1<<64 - 1},
 		{Kind: 2, Key: bytes.Repeat([]byte{0xAB}, 64), Value: bytes.Repeat([]byte{0xCD}, 256)},
 		{Kind: 3, Value: []byte{}},
+		// Version-bearing data-plane frames: a sync carrying a stamped
+		// per-key version and a versioned read reply.
+		{Kind: 3, Partition: 7, Version: 5<<20 | 3, Key: []byte("k"), Value: []byte("v")},
+		{Kind: 8, Status: StatusOK, Partition: 2, Version: 1 << 21, Value: []byte("winner")},
 	}
 	for _, m := range seeds {
 		f.Add(AppendMessage(nil, m))
