@@ -54,7 +54,23 @@ type Pass struct {
 	// scan) to first-party types.
 	IsModulePkg func(*types.Package) bool
 
-	diags *[]Diagnostic
+	// Facts is the run-wide cross-package summary store. The driver
+	// analyzes packages in dependency order, so facts a dependency's
+	// pass exported are visible when its importers are analyzed.
+	Facts *Facts
+
+	pkg        *Package
+	directives []Directive
+	diags      *[]Diagnostic
+}
+
+// CallGraph returns the package's static call graph, built on first
+// use and shared by every analyzer visiting the package.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.pkg.callgraph == nil {
+		p.pkg.callgraph = buildCallGraph(p.Files, p.TypesInfo)
+	}
+	return p.pkg.callgraph
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced

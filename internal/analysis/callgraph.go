@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the package-level static call graph of one analyzed
+// package: one node per function or method declared in the package,
+// with an edge per call site whose callee type-checks to a concrete
+// *types.Func (package functions, methods, and imported functions —
+// including interface methods, resolved to the interface's method
+// object). Calls through function-typed values have no callee object
+// and appear with a nil Callee, so analyzers can still count them
+// (e.g. as "unknown, assume the worst").
+//
+// The graph is intra-package on the caller side — its nodes are this
+// package's declarations — but edges freely point at imported callees;
+// combined with the Facts store that is enough for the cross-package
+// summary propagation the analyzers need.
+type CallGraph struct {
+	// Funcs holds one node per declared function, in source order.
+	Funcs []*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+}
+
+// FuncNode is one declared function or method and its outgoing calls.
+type FuncNode struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Calls lists every call expression lexically inside Decl, in
+	// source order — including calls inside function literals, which
+	// from a may-happen perspective belong to the enclosing function
+	// (the literal may run later, but lockcheck-style analyses treat
+	// "constructs a closure that sends" as "may send", which errs on
+	// the loud side).
+	Calls []Call
+}
+
+// Call is one call site.
+type Call struct {
+	Site *ast.CallExpr
+	// Callee is the statically resolved callee object, nil for calls
+	// through plain function values and for builtins.
+	Callee *types.Func
+	// InFuncLit reports that the site sits inside a function literal
+	// within the declaring function, i.e. it runs when the closure
+	// runs, not necessarily when the declaring function does.
+	InFuncLit bool
+}
+
+// Node returns the graph node declaring fn, or nil if fn is not
+// declared in this package.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	return g.byObj[fn]
+}
+
+// buildCallGraph walks every function declaration in the package files.
+func buildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{byObj: make(map[*types.Func]*FuncNode)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			node := &FuncNode{Decl: fd, Obj: obj}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// Walk the literal's body separately so its calls
+					// carry InFuncLit, then prune the outer walk.
+					ast.Inspect(n.Body, func(m ast.Node) bool {
+						if call, ok := m.(*ast.CallExpr); ok {
+							node.Calls = append(node.Calls, Call{
+								Site: call, Callee: calleeOf(info, call), InFuncLit: true,
+							})
+						}
+						return true
+					})
+					return false
+				case *ast.CallExpr:
+					node.Calls = append(node.Calls, Call{
+						Site: n, Callee: calleeOf(info, n),
+					})
+				}
+				return true
+			})
+			g.Funcs = append(g.Funcs, node)
+			if obj != nil {
+				g.byObj[obj] = node
+			}
+		}
+	}
+	return g
+}
+
+// calleeOf resolves a call expression to its callee's *types.Func, nil
+// when the callee is not a statically known function (function values,
+// builtins, type conversions).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

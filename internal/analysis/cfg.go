@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG-lite: an intra-procedural control-flow graph over statements,
+// precise enough for the path-sensitive contracts rfhlint enforces
+// (lock pairing on every return path, no send while a lock may be
+// held) and nothing more. Blocks hold leaf statements and branch
+// conditions in execution order; edges follow if/else, loops, switch
+// and select dispatch, break/continue (including labeled forms), and
+// early returns. Deferred calls are recorded as ordinary DeferStmt
+// nodes where they are scheduled — an analyzer that cares (lockcheck's
+// deferred-unlock replay) collects them along each path and applies
+// them at Exit. Calls that provably never return (panic, os.Exit,
+// runtime.Goexit, log.Fatal*) terminate their path without an Exit
+// edge, so "forgot to unlock before panicking" is not a finding.
+//
+// goto is not modeled; the module bans it stylistically and the
+// builder reports any occurrence via the Unsupported field so an
+// analyzer can choose to skip the function rather than reason from a
+// wrong graph. fallthrough is handled (edge to the next case body).
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks[0] is Entry; Blocks[1] is Exit. Every return statement and
+	// every fall-off-the-end path has an edge to Exit.
+	Blocks []*CFBlock
+	// Unsupported is non-nil if the body contains a construct the
+	// builder does not model (goto); analyzers should skip the function.
+	Unsupported ast.Node
+}
+
+// Entry returns the function's entry block.
+func (g *CFG) Entry() *CFBlock { return g.Blocks[0] }
+
+// Exit returns the function's unique exit block. Its Nodes are empty.
+func (g *CFG) Exit() *CFBlock { return g.Blocks[1] }
+
+// CFBlock is one straight-line run of statements.
+type CFBlock struct {
+	Index int
+	// Nodes holds leaf statements and branch/loop conditions in
+	// execution order. Composite statements (if/for/switch/...) never
+	// appear themselves; their pieces are distributed across blocks.
+	Nodes []ast.Node
+	Succs []*CFBlock
+}
+
+// BuildCFG constructs the CFG of one function body. noReturn, if
+// non-nil, reports additional calls that never return (beyond the
+// built-in panic/os.Exit set).
+func BuildCFG(body *ast.BlockStmt, info *types.Info, noReturn func(*ast.CallExpr) bool) *CFG {
+	b := &cfgBuilder{info: info, noReturn: noReturn}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	// Blocks[0]=entry, Blocks[1]=exit regardless of creation order of
+	// the rest.
+	b.exit = exit
+	last := b.stmts(entry, body.List)
+	if last != nil {
+		b.edge(last, exit)
+	}
+	return &CFG{Blocks: b.blocks, Unsupported: b.unsupported}
+}
+
+type cfgBuilder struct {
+	info        *types.Info
+	noReturn    func(*ast.CallExpr) bool
+	blocks      []*CFBlock
+	exit        *CFBlock
+	unsupported ast.Node
+
+	// break/continue targets, innermost last.
+	breaks    []loopTarget
+	continues []loopTarget
+}
+
+// loopTarget pairs a jump target with the label that names it ("" for
+// the innermost unlabeled form).
+type loopTarget struct {
+	label string
+	block *CFBlock
+}
+
+func (b *cfgBuilder) newBlock() *CFBlock {
+	blk := &CFBlock{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur and returns the block
+// control falls out of, or nil if every path left (return/branch/
+// no-return call).
+func (b *cfgBuilder) stmts(cur *CFBlock, list []ast.Stmt) *CFBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminating statement: still build its
+			// graph (an analyzer may want to see it) but keep it
+			// disconnected.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *CFBlock, s ast.Stmt, label string) *CFBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenBlk := b.newBlock()
+		b.edge(cur, thenBlk)
+		thenEnd := b.stmts(thenBlk, s.Body.List)
+		var elseEnd *CFBlock
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cur, elseBlk)
+			elseEnd = b.stmt(elseBlk, s.Else, "")
+		}
+		if thenEnd == nil && elseEnd == nil && s.Else != nil {
+			return nil
+		}
+		after := b.newBlock()
+		if s.Else == nil {
+			b.edge(cur, after) // condition false
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, after)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		bodyBlk := b.newBlock()
+		b.edge(head, bodyBlk)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		// continue jumps to the post statement (or head); model post as
+		// its own block so "continue" and fall-off both run it.
+		contTarget := head
+		if s.Post != nil {
+			post := b.newBlock()
+			b.edge(post, head)
+			contTarget = post
+		}
+		bodyEnd := b.loopBody(bodyBlk, s.Body.List, label, after, contTarget)
+		if bodyEnd != nil {
+			b.edge(bodyEnd, contTarget)
+		}
+		if contTarget != head && s.Post != nil {
+			contTarget.Nodes = append(contTarget.Nodes, s.Post)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		cur.Nodes = append(cur.Nodes, s.X)
+		head := b.newBlock()
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after) // zero iterations
+		bodyBlk := b.newBlock()
+		b.edge(head, bodyBlk)
+		bodyEnd := b.loopBody(bodyBlk, s.Body.List, label, after, head)
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body.List, label, !hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init, "")
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body.List, label, !hasDefaultClause(s.Body.List))
+
+	case *ast.SelectStmt:
+		// Every comm clause is a successor; select with no default
+		// blocks rather than falls through, so "after" is reachable
+		// only via clause bodies.
+		after := b.newBlock()
+		b.breaks = append(b.breaks, loopTarget{label, after}, loopTarget{"", after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk = b.stmt(blk, cc.Comm, "")
+			}
+			if end := b.stmts(blk, cc.Body); end != nil {
+				b.edge(end, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		if len(s.Body.List) == 0 {
+			return nil // select{} blocks forever
+		}
+		if !blockHasPred(b.blocks, after) {
+			return nil
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, labelName(s.Label)); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.CONTINUE:
+			if t := findTarget(b.continues, labelName(s.Label)); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by switchBody wiring; treat as fall-off here.
+			cur.Nodes = append(cur.Nodes, s)
+			return cur
+		default: // goto
+			if b.unsupported == nil {
+				b.unsupported = s
+			}
+			return cur
+		}
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Leaf statements: assignments, declarations, defers, go, send,
+		// inc/dec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// loopBody runs a loop body with break/continue targets pushed.
+func (b *cfgBuilder) loopBody(blk *CFBlock, list []ast.Stmt, label string, brk, cont *CFBlock) *CFBlock {
+	b.breaks = append(b.breaks, loopTarget{label, brk}, loopTarget{"", brk})
+	b.continues = append(b.continues, loopTarget{label, cont}, loopTarget{"", cont})
+	end := b.stmts(blk, list)
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+	return end
+}
+
+// switchBody wires case clauses: each clause body is a successor of the
+// dispatch block; fallthrough chains to the next clause body.
+func (b *cfgBuilder) switchBody(cur *CFBlock, clauses []ast.Stmt, label string, mayskip bool) *CFBlock {
+	after := b.newBlock()
+	b.breaks = append(b.breaks, loopTarget{label, after}, loopTarget{"", after})
+	type clauseInfo struct {
+		entry *CFBlock
+		end   *CFBlock // nil if the body never falls off
+		ft    bool     // body ends in fallthrough
+	}
+	infos := make([]clauseInfo, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		end := b.stmts(blk, cc.Body)
+		ft := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				ft = true
+			}
+		}
+		infos[i] = clauseInfo{entry: blk, end: end, ft: ft}
+	}
+	for i, in := range infos {
+		if in.end == nil {
+			continue
+		}
+		if in.ft && i+1 < len(infos) {
+			b.edge(in.end, infos[i+1].entry)
+		} else {
+			b.edge(in.end, after)
+		}
+	}
+	if mayskip {
+		b.edge(cur, after) // no clause matched
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	if !blockHasPred(b.blocks, after) {
+		return nil
+	}
+	return after
+}
+
+func blockHasPred(blocks []*CFBlock, target *CFBlock) bool {
+	for _, blk := range blocks {
+		for _, s := range blk.Succs {
+			if s == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// findTarget resolves a break/continue to its innermost matching
+// target.
+func findTarget(stack []loopTarget, label string) *CFBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// FlowProblem parameterizes a forward dataflow pass over a CFG. States
+// flow along edges: each block's input is the Merge of its
+// predecessors' outputs, its output the result of Transfer over its
+// nodes. The solver iterates to a fixed point, so Merge/Transfer must
+// be monotone over a finite lattice (lockcheck's lock sets are; any
+// set-union or set-intersection domain is).
+type FlowProblem[S any] struct {
+	// Entry is the state on function entry.
+	Entry S
+	// Merge combines two incoming states. It must not mutate its
+	// arguments.
+	Merge func(a, b S) S
+	// Transfer applies one CFG node to a state, returning the state
+	// after it. It must not mutate in — copy first. blk identifies the
+	// containing block for analyzers that key reporting off position.
+	Transfer func(in S, n ast.Node, blk *CFBlock) S
+	// Equal reports state equality, used to detect the fixed point.
+	Equal func(a, b S) bool
+}
+
+// Solve runs the forward problem to a fixed point and returns the
+// input state of every block (indexed like g.Blocks). Blocks never
+// reached from Entry keep the zero state and ok=false in the second
+// return slice.
+func Solve[S any](g *CFG, p FlowProblem[S]) (in []S, reached []bool) {
+	n := len(g.Blocks)
+	in = make([]S, n)
+	reached = make([]bool, n)
+	in[0] = p.Entry
+	reached[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		blk := g.Blocks[i]
+		out := in[i]
+		for _, node := range blk.Nodes {
+			out = p.Transfer(out, node, blk)
+		}
+		for _, succ := range blk.Succs {
+			j := succ.Index
+			var next S
+			if !reached[j] {
+				next = out
+			} else {
+				next = p.Merge(in[j], out)
+				if p.Equal(in[j], next) {
+					continue
+				}
+			}
+			in[j] = next
+			reached[j] = true
+			work = append(work, j)
+		}
+	}
+	return in, reached
+}
+
+// terminates reports whether a call provably never returns.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	if b.noReturn != nil && b.noReturn(call) {
+		return true
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" && b.info.Uses[fun] == nil // builtin panic
+	case *ast.SelectorExpr:
+		fn, _ := b.info.Uses[fun.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation directives tie source declarations to the static
+// contracts rfhlint enforces, replacing prose comments ("callers must
+// not hold n.mu") with machine-checked markers:
+//
+//	//lint:requires-unlocked n.mu     — lockcheck: no caller may hold
+//	                                    the named lock across a call
+//	//lint:exhaustive                 — kindswitch: the switch or
+//	                                    composite literal below must
+//	                                    cover every constant of the
+//	                                    family it dispatches on
+//	//lint:must-check-error           — errsink: callers may not
+//	                                    discard this function's error
+//	                                    result
+//
+// Like lint:ignore, a directive written on line D governs the
+// declaration or statement that starts on line D (trailing-comment
+// placement) or D+1 (own-line placement, the common form inside a doc
+// comment).
+
+// Directive is one parsed //lint:<name> marker (lint:ignore excluded —
+// suppression stays in suppress.go).
+type Directive struct {
+	Pos  token.Pos
+	Name string // e.g. "requires-unlocked"
+	Args string // remainder of the line, space-trimmed
+	Line int
+}
+
+// directivesIn scans the package files for lint: markers other than
+// lint:ignore.
+func directivesIn(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:")
+				if !ok || strings.HasPrefix(rest, "ignore ") || rest == "ignore" {
+					continue
+				}
+				name, args, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				out = append(out, Directive{
+					Pos:  c.Pos(),
+					Name: name,
+					Args: strings.TrimSpace(args),
+					Line: fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Directive returns the named directive governing the node: one
+// written on the node's first line or the line above it. The second
+// result is false if none applies.
+func (p *Pass) Directive(n ast.Node, name string) (Directive, bool) {
+	line := p.Fset.Position(n.Pos()).Line
+	for _, d := range p.directives {
+		if d.Name == name && (d.Line == line || d.Line == line-1) &&
+			sameFile(p.Fset, d.Pos, n.Pos()) {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Directives returns every non-ignore lint: directive in the package.
+func (p *Pass) Directives() []Directive { return p.directives }
+
+func sameFile(fset *token.FileSet, a, b token.Pos) bool {
+	return fset.File(a) == fset.File(b)
+}

@@ -9,10 +9,27 @@ import (
 // Run applies every analyzer to every package, filters findings through
 // the packages' lint:ignore directives, and returns the survivors in
 // stable file/line/column/analyzer order.
+//
+// Packages are visited in dependency order (imports before importers)
+// so that facts exported while analyzing a dependency are visible to
+// the passes over its importers; a single Facts store is shared across
+// the whole run. After all passes, every lint:ignore directive that
+// names an analyzer in the run set but matched no diagnostic is
+// reported as stale (category "staleignore") — dead suppressions hide
+// real regressions and must be deleted when the code they excused is
+// fixed.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ordered := topoOrder(pkgs)
+	facts := NewFacts()
+	runSet := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		runSet[a.Name] = true
+	}
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range ordered {
 		sup := suppressionsFor(pkg.Fset, pkg.Files)
+		dirs := directivesIn(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			var found []Diagnostic
 			pass := &Pass{
@@ -23,6 +40,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo:   pkg.TypesInfo,
 				Path:        pkg.Path,
 				IsModulePkg: pkg.isModulePkg,
+				Facts:       facts,
+				pkg:         pkg,
+				directives:  dirs,
 				diags:       &found,
 			}
 			if err := a.Run(pass); err != nil {
@@ -34,6 +54,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 			}
 		}
+		diags = append(diags, sup.stale(runSet)...)
 	}
 	// Both loaders share one FileSet across the packages of a run, so a
 	// single global sort gives a stable report.
@@ -41,6 +62,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		sortDiagnostics(pkgs[0].Fset, diags)
 	}
 	return diags, nil
+}
+
+// topoOrder sorts packages so every package follows the packages it
+// imports. `go list -deps` emits this order, but Load sorts by path for
+// report stability, so the driver re-derives it from the type-checked
+// import graph. Ties (and the plain-vs-test-augmented split, where both
+// variants resolve to the same undecorated path) break by listing
+// order, keeping the visit deterministic.
+func topoOrder(pkgs []*Package) []*Package {
+	// Index packages by undecorated path. A test-augmented variant
+	// supersedes the plain build in Load, so paths are unique here.
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[undecorated(p.Path)] = p
+	}
+	var out []*Package
+	state := make(map[*Package]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // done, or a cycle through test imports: keep going
+		}
+		state[p] = 1
+		// Imports() of a from-source-checked package lists every
+		// directly imported package object, including ones materialized
+		// from export data; only ones we also analyze matter for order.
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
@@ -63,4 +122,26 @@ func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 // analyzer that produced it.
 func Format(fset *token.FileSet, d Diagnostic) string {
 	return fmt.Sprintf("%s: [rfhlint/%s] %s", fset.Position(d.Pos), d.Category, d.Message)
+}
+
+// JSONDiagnostic is the machine-readable form of one finding, emitted
+// by rfhlint -json one object per line.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts a diagnostic for -json output.
+func ToJSON(fset *token.FileSet, d Diagnostic) JSONDiagnostic {
+	pos := fset.Position(d.Pos)
+	return JSONDiagnostic{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Column:   pos.Column,
+		Analyzer: "rfhlint/" + d.Category,
+		Message:  d.Message,
+	}
 }

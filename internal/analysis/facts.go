@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// Facts is the cross-package summary store of one analysis run.
+//
+// An analyzer computes per-function (or per-object) summaries while its
+// pass visits a package — "this function may perform a network send",
+// "this function's error result must be checked" — and exports them
+// here. Because the driver analyzes packages in dependency order
+// (imports before importers, see Run), a pass over package p can import
+// the facts its dependencies exported and so reason across package
+// boundaries without ever seeing their source: the callee object comes
+// from compiler export data, the behavioural summary from the fact
+// store.
+//
+// Keys are stable object paths, not types.Object identities: every
+// package is type-checked with its own importer (see load.go), so the
+// same function materializes as distinct objects in different passes.
+// ObjectKey canonicalizes through package path, receiver type and name,
+// which all loaders agree on.
+type Facts struct {
+	m map[string]any
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[string]any)}
+}
+
+// ObjectKey returns the stable cross-package identity of obj:
+// "pkgpath.Name" for package-level objects, "pkgpath.Recv.Name" for
+// methods (pointerness and type parameters erased — a method has one
+// summary regardless of how its receiver is spelled). The empty string
+// means obj has no stable identity (local variables, blank functions)
+// and cannot carry facts.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil || obj.Name() == "" || obj.Name() == "_" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(obj.Pkg().Path())
+	b.WriteByte('.')
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			b.WriteString(recvTypeName(recv.Type()))
+			b.WriteByte('.')
+		}
+	}
+	b.WriteString(obj.Name())
+	return b.String()
+}
+
+// recvTypeName names a method receiver's base type: pointer and named
+// wrappers stripped down to the type name, interface receivers (methods
+// reached through an interface value) named by the interface.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		return fmt.Sprintf("interface%d", t.NumMethods())
+	default:
+		return t.String()
+	}
+}
+
+// Export records a named fact about obj. Later passes (and later
+// analyzers in the same pass) observe it through Import. Exporting with
+// an unidentifiable obj is a no-op.
+func (f *Facts) Export(obj types.Object, name string, val any) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	f.m[key+"\x00"+name] = val
+}
+
+// Import retrieves the named fact about obj, if any pass exported one.
+func (f *Facts) Import(obj types.Object, name string) (any, bool) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return nil, false
+	}
+	v, ok := f.m[key+"\x00"+name]
+	return v, ok
+}
+
+// ExportObjectFact records a fact through the pass's shared store.
+func (p *Pass) ExportObjectFact(obj types.Object, name string, val any) {
+	if p.Facts != nil {
+		p.Facts.Export(obj, name, val)
+	}
+}
+
+// ImportObjectFact retrieves a fact from the pass's shared store.
+func (p *Pass) ImportObjectFact(obj types.Object, name string) (any, bool) {
+	if p.Facts == nil {
+		return nil, false
+	}
+	return p.Facts.Import(obj, name)
+}

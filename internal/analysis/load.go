@@ -27,6 +27,7 @@ type Package struct {
 	TypesInfo *types.Info
 
 	isModulePkg func(*types.Package) bool
+	callgraph   *CallGraph // built lazily, shared by all passes over the package
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -188,6 +189,13 @@ func (m *mapImporter) Import(path string) (*types.Package, error) {
 // against sibling fixture directories first and the standard library
 // (via export data) second, so fixtures may both import each other and
 // lean on stdlib packages like time or math/rand.
+//
+// The result contains every local fixture loaded, including ones
+// pulled in transitively as imports of the requested paths, in
+// dependency order (imports before importers). Analyzing the full
+// closure is what makes multi-package fact tests work: the driver's
+// pass over a dependency fixture exports the facts its importers'
+// passes consume, and want comments in the dependency are checked too.
 func LoadTestdata(srcdir string, paths []string) ([]*Package, error) {
 	ld := &testdataLoader{
 		srcdir: srcdir,
@@ -197,24 +205,22 @@ func LoadTestdata(srcdir string, paths []string) ([]*Package, error) {
 	localSet := make(map[string]bool)
 	ld.isLocal = func(pkg *types.Package) bool { return pkg != nil && localSet[pkg.Path()] }
 
-	var pkgs []*Package
 	for _, path := range paths {
-		p, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
 	}
 	for path := range ld.loaded {
 		localSet[path] = true
 	}
-	return pkgs, nil
+	return ld.order, nil
 }
 
 type testdataLoader struct {
 	srcdir  string
 	fset    *token.FileSet
 	loaded  map[string]*Package
+	order   []*Package // completion order: a package follows its imports
 	loading []string
 	stdlib  types.ImporterFrom // lazily built export-data importer
 	isLocal func(*types.Package) bool
@@ -263,6 +269,7 @@ func (ld *testdataLoader) load(path string) (*Package, error) {
 		isModulePkg: func(pkg *types.Package) bool { return ld.isLocal(pkg) },
 	}
 	ld.loaded[path] = p
+	ld.order = append(ld.order, p)
 	return p, nil
 }
 

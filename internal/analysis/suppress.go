@@ -15,16 +15,35 @@ import (
 // self-documenting. It applies to findings on the directive's own line
 // and on the line immediately below it, covering both trailing-comment
 // and own-line placement.
+//
+// A suppression that matches no diagnostic is stale: the code it
+// excused was fixed (or moved) and the directive now silently shields
+// whatever lands on its lines next. The driver reports stale
+// directives under the "staleignore" category — but only for analyzer
+// names that actually ran, so a single-analyzer run (analysistest)
+// doesn't flag directives aimed at the rest of the suite.
 
 const suppressPrefix = "lint:ignore "
 
-// suppressions maps file line -> analyzer names suppressed on it.
-type suppressions map[int]map[string]bool
+// suppression is one analyzer name of one lint:ignore directive, with
+// the lines it governs and whether any diagnostic used it.
+type suppression struct {
+	pos     token.Pos
+	name    string
+	lines   [2]int
+	matched bool
+}
+
+// suppressions indexes a package's lint:ignore directives.
+type suppressions struct {
+	byLine map[int]map[string]*suppression
+	all    []*suppression
+}
 
 // suppressionsFor collects every lint:ignore directive in the package's
 // files, keyed by the lines they govern.
-func suppressionsFor(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := make(suppressions)
+func suppressionsFor(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[int]map[string]*suppression)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -44,11 +63,13 @@ func suppressionsFor(fset *token.FileSet, files []*ast.File) suppressions {
 					if name == "" {
 						continue
 					}
-					for _, l := range []int{line, line + 1} {
-						if sup[l] == nil {
-							sup[l] = make(map[string]bool)
+					s := &suppression{pos: c.Pos(), name: name, lines: [2]int{line, line + 1}}
+					sup.all = append(sup.all, s)
+					for _, l := range s.lines {
+						if sup.byLine[l] == nil {
+							sup.byLine[l] = make(map[string]*suppression)
 						}
-						sup[l][name] = true
+						sup.byLine[l][name] = s
 					}
 				}
 			}
@@ -57,11 +78,33 @@ func suppressionsFor(fset *token.FileSet, files []*ast.File) suppressions {
 	return sup
 }
 
-// suppressed reports whether d is governed by a lint:ignore directive.
-func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
-	if len(s) == 0 {
+// suppressed reports whether d is governed by a lint:ignore directive,
+// marking the directive as used.
+func (s *suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if len(s.byLine) == 0 {
 		return false
 	}
 	line := fset.Position(d.Pos).Line
-	return s[line][d.Category]
+	if sp := s.byLine[line][d.Category]; sp != nil {
+		sp.matched = true
+		return true
+	}
+	return false
+}
+
+// stale returns a diagnostic for every directive naming an analyzer in
+// ran that suppressed nothing this run.
+func (s *suppressions) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, sp := range s.all {
+		if sp.matched || !ran[sp.name] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      sp.pos,
+			Category: "staleignore",
+			Message:  "stale lint:ignore: no rfhlint/" + sp.name + " finding on the governed lines; delete the directive",
+		})
+	}
+	return out
 }

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSup parses one source file and indexes its suppressions.
+func parseSup(t *testing.T, src string) (*token.FileSet, *ast.File, *suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f, suppressionsFor(fset, []*ast.File{f})
+}
+
+// diagAt fabricates a diagnostic on the given 1-based line of the file.
+func diagAt(fset *token.FileSet, f *ast.File, line int, category string) Diagnostic {
+	tf := fset.File(f.Pos())
+	return Diagnostic{Pos: tf.LineStart(line), Category: category, Message: "x"}
+}
+
+func lineOf(t *testing.T, src, needle string) int {
+	t.Helper()
+	idx := strings.Index(src, needle)
+	if idx < 0 {
+		t.Fatalf("needle %q not in src", needle)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}
+
+func TestSuppressMultiAnalyzerList(t *testing.T) {
+	src := `package p
+
+//lint:ignore rfhlint/detrange,rfhlint/nowallclock both halves are deliberate
+var x = 1
+`
+	fset, f, sup := parseSup(t, src)
+	l := lineOf(t, src, "var x")
+	for _, cat := range []string{"detrange", "nowallclock"} {
+		if !sup.suppressed(fset, diagAt(fset, f, l, cat)) {
+			t.Errorf("%s on the governed line not suppressed", cat)
+		}
+	}
+	if sup.suppressed(fset, diagAt(fset, f, l, "divguard")) {
+		t.Errorf("divguard suppressed despite not being named")
+	}
+}
+
+func TestSuppressBarePrefixAccepted(t *testing.T) {
+	// The rfhlint/ prefix is conventional, not required.
+	src := `package p
+
+//lint:ignore detrange counted, not ordered
+var x = 1
+`
+	fset, f, sup := parseSup(t, src)
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var x"), "detrange")) {
+		t.Errorf("unprefixed analyzer name not honored")
+	}
+}
+
+func TestSuppressRequiresReason(t *testing.T) {
+	src := `package p
+
+//lint:ignore rfhlint/detrange
+var x = 1
+`
+	fset, f, sup := parseSup(t, src)
+	if sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var x"), "detrange")) {
+		t.Errorf("reasonless directive suppressed a finding; it must be inert")
+	}
+	if len(sup.all) != 0 {
+		t.Errorf("reasonless directive indexed: %d suppressions", len(sup.all))
+	}
+}
+
+func TestSuppressLineGovernance(t *testing.T) {
+	src := `package p
+
+var a = 1 //lint:ignore rfhlint/detrange trailing placement
+var b = 2
+var c = 3
+`
+	fset, f, sup := parseSup(t, src)
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var a"), "detrange")) {
+		t.Errorf("same-line diagnostic not suppressed")
+	}
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var b"), "detrange")) {
+		t.Errorf("next-line diagnostic not suppressed")
+	}
+	if sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var c"), "detrange")) {
+		t.Errorf("diagnostic two lines down suppressed; governance is the directive line and the next")
+	}
+}
+
+func TestSuppressInsideGroupedDecl(t *testing.T) {
+	// Comments inside grouped var/const blocks are regular file
+	// comments; a directive there governs its neighbor spec like any
+	// other placement.
+	src := `package p
+
+var (
+	a = 1
+	//lint:ignore rfhlint/divguard fixture: denominator proven nonzero
+	b = 1 / a
+	c = 2 / a
+)
+`
+	fset, f, sup := parseSup(t, src)
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "b = 1"), "divguard")) {
+		t.Errorf("directive inside grouped decl did not govern the next spec")
+	}
+	if sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "c = 2"), "divguard")) {
+		t.Errorf("directive inside grouped decl leaked past its governed lines")
+	}
+}
+
+func TestStaleReporting(t *testing.T) {
+	src := `package p
+
+//lint:ignore rfhlint/detrange used below
+var a = 1
+
+//lint:ignore rfhlint/nowallclock nothing matches this
+var b = 2
+
+//lint:ignore rfhlint/lockcheck analyzer not in this run
+var c = 3
+`
+	fset, f, sup := parseSup(t, src)
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var a"), "detrange")) {
+		t.Fatalf("setup: detrange suppression did not match")
+	}
+	ran := map[string]bool{"detrange": true, "nowallclock": true}
+	stale := sup.stale(ran)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %d diagnostics, want exactly 1: %v", len(stale), stale)
+	}
+	d := stale[0]
+	if d.Category != "staleignore" {
+		t.Errorf("stale category = %q, want staleignore", d.Category)
+	}
+	if !strings.Contains(d.Message, "rfhlint/nowallclock") {
+		t.Errorf("stale message %q does not name the unused analyzer", d.Message)
+	}
+	if got := fset.Position(d.Pos).Line; got != lineOf(t, src, "//lint:ignore rfhlint/nowallclock") {
+		t.Errorf("stale diagnostic on line %d, want the directive's line", got)
+	}
+}
+
+func TestStaleMultiNameDirective(t *testing.T) {
+	// A comma list indexes one suppression per name; each goes stale
+	// independently.
+	src := `package p
+
+//lint:ignore rfhlint/detrange,rfhlint/divguard only detrange still fires
+var a = 1
+`
+	fset, f, sup := parseSup(t, src)
+	if !sup.suppressed(fset, diagAt(fset, f, lineOf(t, src, "var a"), "detrange")) {
+		t.Fatalf("setup: detrange suppression did not match")
+	}
+	stale := sup.stale(map[string]bool{"detrange": true, "divguard": true})
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "rfhlint/divguard") {
+		t.Fatalf("stale = %v, want exactly the divguard half of the list", stale)
+	}
+}
