@@ -1,0 +1,17 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+// TestLockcheck drives the fixture packages. Loading the chaos fixture
+// pulls node and transport in transitively, and the driver analyzes
+// them in dependency order — which is exactly what the cross-package
+// want comments in chaos depend on: the node pass must have exported
+// its may-send and requires-unlocked facts first.
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "repro/internal/chaos")
+}

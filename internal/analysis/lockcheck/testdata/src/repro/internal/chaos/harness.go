@@ -1,0 +1,40 @@
+// Package chaos exercises lockcheck's cross-package facts: the node
+// fixture's may-send and requires-unlocked summaries are exported as
+// facts when its package is analyzed, and this importer is checked
+// against them.
+package chaos
+
+import (
+	"sync"
+
+	"repro/internal/node"
+)
+
+// Harness drives fixture nodes while holding bookkeeping locks.
+type Harness struct {
+	mu    sync.Mutex
+	nodes []*node.Node
+}
+
+func (h *Harness) stepUnderLock(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, nd := range h.nodes {
+		nd.Step(addr) // want `call to Step may perform a network send while h\.mu is held`
+	}
+}
+
+func (h *Harness) syncUnderLock(nd *node.Node, addr string) {
+	nd.Mu.RLock()
+	nd.SyncWrite(addr) // want `requires nd\.Mu unlocked` `network send while nd\.Mu is held`
+	nd.Mu.RUnlock()
+}
+
+func (h *Harness) stepClean(addr string) {
+	h.mu.Lock()
+	nodes := append([]*node.Node(nil), h.nodes...)
+	h.mu.Unlock()
+	for _, nd := range nodes {
+		nd.Step(addr)
+	}
+}

@@ -1,0 +1,27 @@
+// Package transport is a fixture mirror of the module's transport
+// package: the import path is what makes its Send methods the
+// lockcheck may-send base case.
+package transport
+
+// Message is a wire message.
+type Message struct {
+	Kind  uint8
+	Value []byte
+}
+
+// Transport is the peer messaging interface.
+type Transport interface {
+	Send(peer string, req *Message) (*Message, error)
+	Close() error
+}
+
+// Endpoint is a concrete transport.
+type Endpoint struct{}
+
+// Send delivers one message.
+func (e *Endpoint) Send(peer string, req *Message) (*Message, error) {
+	return &Message{Kind: req.Kind}, nil
+}
+
+// Close shuts the endpoint down.
+func (e *Endpoint) Close() error { return nil }
