@@ -1,0 +1,12 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kindswitch"
+)
+
+func TestKindswitch(t *testing.T) {
+	analysistest.Run(t, kindswitch.Analyzer, "repro/internal/node")
+}

@@ -1,0 +1,159 @@
+// Package node exercises kindswitch: exhaustiveness of switches and
+// registries over the Kind*/Status* wire families. KindExtra plays the
+// role of a freshly added message kind — the annotated dispatch switch
+// below is missing its case, which is exactly the regression the
+// analyzer exists to catch.
+package node
+
+import "repro/internal/transport"
+
+// Message kinds.
+const (
+	KindGet  uint8 = 1
+	KindPut  uint8 = 2
+	KindPing uint8 = 3
+	// KindExtra is the "new kind added without a handler" of this
+	// fixture.
+	KindExtra uint8 = 4
+)
+
+type message struct {
+	kind   uint8
+	status uint8
+}
+
+// handleComplete covers every kind: silent even though annotated.
+func handleComplete(m *message) int {
+	//lint:exhaustive
+	switch m.kind {
+	case KindGet:
+		return 1
+	case KindPut:
+		return 2
+	case KindPing:
+		return 3
+	case KindExtra:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// handleMissing is the acceptance-criterion fixture: an annotated
+// dispatch switch with a default clause still fails when a declared
+// kind has no case.
+func handleMissing(m *message) int {
+	//lint:exhaustive
+	switch m.kind { // want `annotated lint:exhaustive but lacks cases for KindExtra`
+	case KindGet:
+		return 1
+	case KindPut:
+		return 2
+	case KindPing:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// bareMissing: an unannotated family switch with neither full coverage
+// nor a default.
+func bareMissing(m *message) int {
+	switch m.kind { // want `lacks cases for KindExtra, KindPing and has no default`
+	case KindGet:
+		return 1
+	case KindPut:
+		return 2
+	}
+	return 0
+}
+
+// defaultExcused: without the annotation, an explicit default satisfies
+// the contract.
+func defaultExcused(m *message) int {
+	switch m.kind {
+	case KindGet:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// crossPackage dispatches over the imported Status family.
+func crossPackage(m *message) bool {
+	switch m.status { // want `lacks cases for StatusNotFound, StatusRetry and has no default`
+	case transport.StatusOK:
+		return true
+	case transport.StatusError:
+		return false
+	}
+	return false
+}
+
+// suppressed pins the suppression path.
+func suppressed(m *message) int {
+	//lint:ignore rfhlint/kindswitch fixture: deliberately partial
+	switch m.kind {
+	case KindGet:
+		return 1
+	}
+	return 0
+}
+
+// KindNames is the complete registry: silent.
+//
+//lint:exhaustive
+var KindNames = map[uint8]string{
+	KindGet:   "get",
+	KindPut:   "put",
+	KindPing:  "ping",
+	KindExtra: "extra",
+}
+
+// kindCosts is missing an entry.
+//
+//lint:exhaustive
+var kindCosts = map[uint8]int{ // want `annotated lint:exhaustive but lacks entries for KindExtra, KindPing`
+	KindGet: 1,
+	KindPut: 3,
+}
+
+// notAFamily has the annotation but nothing it can govern.
+//
+//lint:exhaustive
+var notAFamily = map[string]int{ // want `no composite literal keyed by a Kind\*/Status\* constant family`
+	"a": 1,
+}
+
+// grouped declarations: the directive governs the whole decl.
+//
+//lint:exhaustive
+var (
+	statusNames = map[uint8]string{ // want `lacks entries for StatusError`
+		transport.StatusOK:       "ok",
+		transport.StatusNotFound: "not-found",
+		transport.StatusRetry:    "retry",
+	}
+)
+
+// misplacedOnString: the annotation on a non-family switch is itself
+// reported so it cannot rot.
+func misplacedOnString(s string) int {
+	//lint:exhaustive
+	switch s { // want `lint:exhaustive on a switch that does not dispatch over a single Kind\*/Status\* constant family`
+	case "x":
+		return 1
+	}
+	return 0
+}
+
+// stringSwitch is not a family dispatch: silent.
+func stringSwitch(s string) int {
+	switch s {
+	case "get":
+		return 1
+	case "put":
+		return 2
+	}
+	return 0
+}

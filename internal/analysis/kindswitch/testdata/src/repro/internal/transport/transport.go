@@ -1,0 +1,11 @@
+// Package transport is a fixture mirror carrying the Status* family,
+// so the node fixture can exercise cross-package family switches.
+package transport
+
+// Reply statuses.
+const (
+	StatusOK       uint8 = 0
+	StatusError    uint8 = 1
+	StatusNotFound uint8 = 2
+	StatusRetry    uint8 = 3
+)
