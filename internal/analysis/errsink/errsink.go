@@ -1,0 +1,241 @@
+// Package errsink flags discarded error results on the data plane.
+//
+// The replication algorithm's correctness leans on its error returns:
+// applySync tells the caller whether a version actually advanced,
+// syncWrite whether a quorum peer took the write, Encode/Decode whether
+// a frame survived the wire. Dropping one of those on the floor is how
+// an acked write silently diverges — the bug class PR 6 fixed at
+// runtime, enforced here at lint time.
+//
+// A call is a *sink* when its error result is structurally discarded:
+//
+//   - the call is a bare expression statement,
+//   - the error position is assigned to the blank identifier, or
+//   - the call is the operand of a go or defer statement (both throw
+//     every result away).
+//
+// A callee is *must-check* when it is declared in this module, returns
+// an error as its final result, and either its name starts with a
+// data-plane verb (apply, sync, transfer, send, flush, encode, decode,
+// merge, stamp, err) or its declaration is annotated
+// //lint:must-check-error. The annotation is exported as a fact, so
+// importers of an annotated function are held to it too. Deliberate
+// discards are silenced in place with a reasoned
+// //lint:ignore rfhlint/errsink directive.
+//
+// Test files are exempt: tests discard errors while arranging fixtures,
+// and the assertion layer (checkf, t.Fatal) is their error sink.
+package errsink
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rfhlintutil"
+)
+
+// Analyzer is the errsink check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flags discarded error results of data-plane functions (apply*, sync*, send*, codec, and lint:must-check-error callees)",
+	Run:  run,
+}
+
+// factMustCheck marks a function whose error result must always be
+// consumed, independent of its name.
+const factMustCheck = "errsink.mustCheck"
+
+// verbs are the data-plane name prefixes that imply must-check.
+var verbs = []string{
+	"apply", "sync", "transfer", "send", "flush",
+	"encode", "decode", "merge", "stamp", "err",
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: export must-check-error annotations as facts and
+	// collect them locally, so same-package call sites see them even
+	// before export-data round-trips.
+	local := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := pass.Directive(fd, "must-check-error"); !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if !returnsError(obj) {
+				pass.Reportf(fd.Pos(), "lint:must-check-error on %s, which does not return an error", obj.Name())
+				continue
+			}
+			local[obj] = true
+			pass.ExportObjectFact(obj, factMustCheck, true)
+		}
+	}
+
+	for _, file := range pass.Files {
+		if rfhlintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscard(pass, local, call, "")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, local, n)
+			case *ast.GoStmt:
+				checkDiscard(pass, local, n.Call, "the go statement")
+			case *ast.DeferStmt:
+				checkDiscard(pass, local, n.Call, "the defer statement")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags blank identifiers aligned with the error result of
+// a must-check call: `_ = m.Err()` and `v, _ := decodeValue(b)` both
+// qualify.
+func checkAssign(pass *analysis.Pass, local map[*types.Func]bool, as *ast.AssignStmt) {
+	// Only the single-call multi-assign form (n LHS, 1 call RHS) and
+	// the 1:1 form can discard an error position.
+	if len(as.Rhs) != 1 {
+		// Parallel assignment: each RHS maps to one LHS; an error can
+		// only land in a blank slot from its own call.
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+				continue
+			}
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				checkDiscard(pass, local, call, "")
+			}
+		}
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := mustCheckCallee(pass, local, call)
+	if fn == nil {
+		return
+	}
+	// The error is the final result; it lands in the final LHS slot.
+	last := as.Lhs[len(as.Lhs)-1]
+	if isBlank(last) {
+		report(pass, last.Pos(), fn, "")
+	}
+}
+
+// checkDiscard flags a call whose results are thrown away wholesale
+// (expression statement, go, defer) when the callee is must-check.
+func checkDiscard(pass *analysis.Pass, local map[*types.Func]bool, call *ast.CallExpr, via string) {
+	if fn := mustCheckCallee(pass, local, call); fn != nil {
+		report(pass, call.Pos(), fn, via)
+	}
+}
+
+func report(pass *analysis.Pass, pos token.Pos, fn *types.Func, via string) {
+	if via != "" {
+		pass.Reportf(pos, "error result of %s is discarded by %s; data-plane errors are load-bearing, check it or restructure", fn.Name(), via)
+		return
+	}
+	pass.Reportf(pos, "error result of %s is discarded; data-plane errors are load-bearing, check it or suppress with a reasoned lint:ignore", fn.Name())
+}
+
+// mustCheckCallee resolves call's static callee and reports whether its
+// error result is must-check: a module function returning error whose
+// name carries a data-plane verb or whose declaration carries the
+// must-check-error annotation (locally or as an imported fact).
+func mustCheckCallee(pass *analysis.Pass, local map[*types.Func]bool, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !inModule(fn.Pkg().Path()) || !returnsError(fn) {
+		return nil
+	}
+	if local[fn] {
+		return fn
+	}
+	if v, ok := pass.ImportObjectFact(fn, factMustCheck); ok {
+		if marked, _ := v.(bool); marked {
+			return fn
+		}
+	}
+	if hasVerb(fn.Name()) {
+		return fn
+	}
+	return nil
+}
+
+// inModule reports whether pkgPath belongs to this module. The module
+// path is "repro"; fixture trees reuse the same layout.
+func inModule(pkgPath string) bool {
+	return pkgPath == "repro" || strings.HasPrefix(pkgPath, "repro/")
+}
+
+// returnsError reports whether fn's final result is exactly error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// hasVerb reports whether name starts with a data-plane verb followed
+// by a word boundary: applySync and Err qualify, "application" does
+// not.
+func hasVerb(name string) bool {
+	lower := strings.ToLower(name)
+	for _, v := range verbs {
+		if !strings.HasPrefix(lower, v) {
+			continue
+		}
+		if len(name) == len(v) {
+			return true
+		}
+		r, _ := utf8.DecodeRuneInString(name[len(v):])
+		if unicode.IsUpper(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

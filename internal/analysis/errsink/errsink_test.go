@@ -1,0 +1,15 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errsink"
+)
+
+// TestErrsink loads the chaos fixture, pulling node and transport in
+// transitively; the node pass exports the must-check-error fact for
+// Rebalance before chaos is checked against it.
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "repro/internal/chaos")
+}

@@ -1,0 +1,26 @@
+// Package chaos exercises errsink's cross-package fact: node.Rebalance
+// carries //lint:must-check-error, and that obligation follows the
+// function across the package boundary.
+package chaos
+
+import "repro/internal/node"
+
+// Harness drives fixture nodes.
+type Harness struct {
+	nodes []*node.Node
+}
+
+func (h *Harness) rebalanceAll(parts []int) {
+	for _, nd := range h.nodes {
+		nd.Rebalance(parts) // want `error result of Rebalance is discarded`
+	}
+}
+
+func (h *Harness) rebalanceChecked(parts []int) error {
+	for _, nd := range h.nodes {
+		if err := nd.Rebalance(parts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

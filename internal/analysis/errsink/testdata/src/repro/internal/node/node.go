@@ -1,0 +1,139 @@
+// Package node exercises errsink: every structural way of discarding a
+// data-plane error (bare call statement, blank assignment, go, defer),
+// the must-check-error annotation, and the negative shapes that must
+// stay silent.
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Node is the fixture data plane.
+type Node struct {
+	vals map[string][]byte
+}
+
+// applySync installs a replicated value; the error reports version
+// regression, which the caller must surface.
+func (n *Node) applySync(key string, v []byte) error {
+	if n.vals == nil {
+		return errors.New("closed")
+	}
+	n.vals[key] = v
+	return nil
+}
+
+// syncWrite pushes one write to a peer.
+func (n *Node) syncWrite(addr string, m *transport.Message) error {
+	if addr == "" {
+		return errors.New("no peer")
+	}
+	return nil
+}
+
+// Rebalance carries the annotation instead of a verb name; callers in
+// any package must consume its error.
+//
+//lint:must-check-error
+func (n *Node) Rebalance(parts []int) error {
+	if len(parts) == 0 {
+		return errors.New("empty plan")
+	}
+	return nil
+}
+
+// logf is a non-data-plane callee: discarding its error is fine.
+func (n *Node) logf(format string, args ...any) error {
+	_, err := fmt.Println(fmt.Sprintf(format, args...))
+	return err
+}
+
+// --- Violations -------------------------------------------------------
+
+func (n *Node) dropBareCall(key string, v []byte) {
+	n.applySync(key, v) // want `error result of applySync is discarded`
+}
+
+func (n *Node) dropBlankAssign(m *transport.Message) {
+	_ = m.Err() // want `error result of Err is discarded`
+}
+
+func (n *Node) dropDecodeResult(b []byte) *transport.Message {
+	m, _ := transport.Decode(b) // want `error result of Decode is discarded`
+	return m
+}
+
+func (n *Node) dropInGoroutine(addr string, m *transport.Message) {
+	go n.syncWrite(addr, m) // want `error result of syncWrite is discarded by the go statement`
+}
+
+func (n *Node) dropInDefer(key string, v []byte) {
+	defer n.applySync(key, v) // want `error result of applySync is discarded by the defer statement`
+}
+
+func (n *Node) dropAnnotated(parts []int) {
+	n.Rebalance(parts) // want `error result of Rebalance is discarded`
+}
+
+func (n *Node) dropParallelAssign() {
+	_, _ = errPeek(), 5 // want `error result of errPeek is discarded`
+}
+
+// parallelAssignChecked: in a parallel assignment the error lands in a
+// named slot; the blank holds the constant. Silent.
+func (n *Node) parallelAssignChecked() error {
+	var x error
+	x, _ = errPeek(), 5
+	return x
+}
+
+// errPeek is an err-verb fixture callee for the parallel-assign cases.
+func errPeek() error { return nil }
+
+// --- Suppression ------------------------------------------------------
+
+func (n *Node) dropSuppressed(m *transport.Message) {
+	//lint:ignore rfhlint/errsink fixture: status already folded into Value
+	_ = m.Err()
+}
+
+// --- Negatives --------------------------------------------------------
+
+func (n *Node) checked(key string, v []byte) error {
+	if err := n.applySync(key, v); err != nil {
+		return err
+	}
+	b, err := transport.Encode(&transport.Message{Value: v})
+	if err != nil {
+		return err
+	}
+	_ = b
+	return nil
+}
+
+// nonDataPlane: logf returns an error, but its name carries no verb and
+// no annotation, so discarding is allowed.
+func (n *Node) nonDataPlane() {
+	n.logf("rebalanced")
+}
+
+// stdlibDiscard: fmt.Println is outside the module; errsink does not
+// police the standard library.
+func (n *Node) stdlibDiscard() {
+	fmt.Println("ok")
+}
+
+// application is not a verb match: "apply" must end at a word boundary.
+func application() error { return nil }
+
+func (n *Node) verbBoundary() {
+	application()
+}
+
+// misannotated pins the annotation-consistency report.
+//
+//lint:must-check-error
+func (n *Node) misannotated() int { return 0 } // want `lint:must-check-error on misannotated, which does not return an error`

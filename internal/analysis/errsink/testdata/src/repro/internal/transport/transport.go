@@ -1,0 +1,37 @@
+// Package transport is a fixture mirror: a codec whose Encode/Decode
+// errors and a Message.Err accessor, matching the real wire layer's
+// must-check surface.
+package transport
+
+import "errors"
+
+// Message is one wire frame.
+type Message struct {
+	Kind   uint8
+	Status uint8
+	Value  []byte
+}
+
+// Err folds an error-status reply into an error value.
+func (m *Message) Err() error {
+	if m.Status != 0 {
+		return errors.New("remote error")
+	}
+	return nil
+}
+
+// Encode frames m.
+func Encode(m *Message) ([]byte, error) {
+	if m == nil {
+		return nil, errors.New("nil message")
+	}
+	return append([]byte{m.Kind, m.Status}, m.Value...), nil
+}
+
+// Decode unframes b.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 2 {
+		return nil, errors.New("short frame")
+	}
+	return &Message{Kind: b[0], Status: b[1], Value: b[2:]}, nil
+}
