@@ -209,6 +209,7 @@ func (h *harness) flushDelayed() {
 	for i := range h.delayed {
 		d := &h.delayed[i]
 		if resp, err := h.inner[d.from].Send(d.to, d.msg); err == nil {
+			//lint:ignore rfhlint/errsink delayed re-delivery is fire-and-forget: the sender already saw the original attempt fail, a reply error here has no consumer
 			_ = resp.Err()
 		}
 	}
@@ -438,8 +439,9 @@ func delayable(kind uint8) bool {
 	switch kind {
 	case node.KindSync, node.KindStore, node.KindDrop, node.KindStats:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // peerIndex resolves a transport address back to its roster index, or

@@ -318,6 +318,9 @@ func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, 
 	if n.Crashed() {
 		return nil, ErrCrashed
 	}
+	// The exhaustive annotation makes adding a Kind* constant without a
+	// dispatch case a lint failure, default clause notwithstanding.
+	//lint:exhaustive
 	switch req.Kind {
 	case KindGet:
 		return n.handleGet(req)
@@ -474,6 +477,8 @@ type readVote struct {
 // observe it also heals. Unreachable or non-resident holders simply
 // don't vote; the read fails only when fewer than r votes assemble.
 // Callers must not hold n.mu.
+//
+//lint:requires-unlocked n.mu
 func (n *Node) quorumRead(p int, key string, v []byte, ver uint64, ok bool, targets []int, r int) ([]byte, uint64, bool, error) {
 	votes := []readVote{{peer: n.self, val: v, ver: ver, found: ok}}
 	for _, t := range targets {
@@ -491,6 +496,10 @@ func (n *Node) quorumRead(p int, key string, v []byte, ver uint64, ok bool, targ
 			votes = append(votes, readVote{peer: t, val: resp.Value, ver: resp.Version, found: true})
 		case transport.StatusNotFound:
 			votes = append(votes, readVote{peer: t, found: false})
+		default:
+			// StatusError / StatusRetry: the holder answered but could
+			// not serve the probe, so it does not vote. The quorum
+			// check below decides whether the read still stands.
 		}
 	}
 	if len(votes) < r {
@@ -649,6 +658,8 @@ func (n *Node) routePut(p int, key string, value []byte, hops int) (PutReceipt, 
 // cfg.Fanout <= 1 (the deterministic-harness mode, see sendOps) and
 // over at most Fanout concurrent senders otherwise. Callers must not
 // hold n.mu.
+//
+//lint:requires-unlocked n.mu
 func (n *Node) syncWrite(p int, key string, value []byte, ver uint64, targets []int) (acked []int, fails int) {
 	syncOne := func(t int) bool {
 		resp, err := n.tr.Send(n.peerAddr(t), &transport.Message{
@@ -884,9 +895,12 @@ func (n *Node) FlushEpoch() error {
 // for live clusters, where a slow peer otherwise stalls the whole
 // broadcast. Callers must not hold n.mu in either mode: the loopback
 // transport delivers synchronously on the sending goroutine.
+//
+//lint:requires-unlocked n.mu
 func (n *Node) sendOps(ops []outOp) {
 	send := func(op outOp) {
 		if resp, err := n.tr.Send(n.peerAddr(op.peer), op.msg); err == nil {
+			//lint:ignore rfhlint/errsink best-effort broadcast: a peer's reply error is equivalent to an unreachable peer, which the suspicion machinery measures
 			_ = resp.Err()
 		}
 	}

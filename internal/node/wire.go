@@ -55,6 +55,27 @@ const (
 	KindDump uint8 = 66
 )
 
+// KindNames maps every message kind to its wire name, for traces,
+// fault-plan matching, and the dispatch regression test. The exhaustive
+// annotation means a new Kind* constant cannot merge without an entry
+// here — the codec is kind-generic, so this registry is where tooling
+// discovers the protocol's vocabulary.
+//
+//lint:exhaustive
+var KindNames = map[uint8]string{
+	KindGet:        "get",
+	KindPut:        "put",
+	KindSync:       "sync",
+	KindStore:      "store",
+	KindDrop:       "drop",
+	KindStats:      "stats",
+	KindPing:       "ping",
+	KindVer:        "ver",
+	KindEpochFlush: "epoch-flush",
+	KindEpochRun:   "epoch-run",
+	KindDump:       "dump",
+}
+
 // partitionCounters is one partition's per-epoch observation at one
 // node: queries that entered the cluster here (origin), queries
 // forwarded through here (transit), queries served here (served) and
