@@ -1,0 +1,22 @@
+# Convenience entry points; everything is plain go tooling underneath.
+
+.PHONY: build test lint race chaos all
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The repo's own static-contract suite (DESIGN.md §8). Building first
+# warms the export-data cache rfhlint loads dependencies from.
+lint: build
+	go run ./cmd/rfhlint ./...
+
+race:
+	go test -race ./...
+
+chaos:
+	go run ./cmd/rfhchaos -seeds 50
+
+all: build test lint

@@ -11,19 +11,34 @@
 //	nowallclock   wall-clock reads in deterministic packages
 //	divguard      unguarded float division by capacity/count denominators
 //	closecheck    module closer types constructed but never closed
+//	lockcheck     network sends / annotated callees reached under n.mu,
+//	              double locks, lock/unlock pairing on every return path
+//	kindswitch    non-exhaustive switches and registries over the
+//	              Kind*/Status* wire constant families
+//	errsink       discarded error results of data-plane functions
 //
-// Findings print in go-vet format and make the command exit 1; CI runs
-// it as a required step, so the tree stays rfhlint-clean. False
-// positives are silenced in place with a reasoned directive:
+// lockcheck, kindswitch and errsink are dataflow-aware: they build
+// per-function summaries (may-send, requires-unlocked, must-check) and
+// propagate them across package boundaries as facts, so a violation in
+// an importer of an annotated function is caught without whole-program
+// analysis.
+//
+// Findings print in go-vet format (or as JSON with -json) and make the
+// command exit 1; CI runs it as a required step, so the tree stays
+// rfhlint-clean. False positives are silenced in place with a reasoned
+// directive:
 //
 //	//lint:ignore rfhlint/<check> <reason>
 //
-// placed on the offending line or the line above it. Test files are
-// exempt from the determinism checks (they do not feed simulation
-// state) but not from closecheck.
+// placed on the offending line or the line above it. A directive whose
+// finding disappears is itself reported as stale, so suppressions
+// cannot outlive their reason. Test files are exempt from the
+// determinism checks and from errsink (tests discard errors while
+// arranging fixtures) but not from closecheck.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +47,9 @@ import (
 	"repro/internal/analysis/closecheck"
 	"repro/internal/analysis/detrange"
 	"repro/internal/analysis/divguard"
+	"repro/internal/analysis/errsink"
+	"repro/internal/analysis/kindswitch"
+	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/noglobalrand"
 	"repro/internal/analysis/nowallclock"
 )
@@ -40,14 +58,18 @@ var analyzers = []*analysis.Analyzer{
 	closecheck.Analyzer,
 	detrange.Analyzer,
 	divguard.Analyzer,
+	errsink.Analyzer,
+	kindswitch.Analyzer,
+	lockcheck.Analyzer,
 	noglobalrand.Analyzer,
 	nowallclock.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of go-vet text")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rfhlint [-list] packages...")
+		fmt.Fprintln(os.Stderr, "usage: rfhlint [-list] [-json] packages...")
 		fmt.Fprintln(os.Stderr, "enforces the determinism and safety contract; see DESIGN.md")
 		flag.PrintDefaults()
 	}
@@ -77,8 +99,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(analysis.Format(pkgs[0].Fset, d))
+	if *jsonOut {
+		out := make([]analysis.JSONDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, analysis.ToJSON(pkgs[0].Fset, d))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(analysis.Format(pkgs[0].Fset, d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "rfhlint: %d finding(s)\n", len(diags))
