@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain go tooling underneath.
 
-.PHONY: build test lint race chaos all
+.PHONY: build test lint race chaos chaos-durable all
 
 build:
 	go build ./...
@@ -18,5 +18,11 @@ race:
 
 chaos:
 	go run ./cmd/rfhchaos -seeds 50
+
+# Disk-backed chaos: every crash keeps the victim's WALs and every
+# restart replays them, driving recovery, rejoin re-injection and the
+# chunked-transfer resume cursors.
+chaos-durable:
+	go run ./cmd/rfhchaos -seeds 50 -durable
 
 all: build test lint

@@ -14,6 +14,8 @@
 //	rfhchaos -seed 0x2a -v             # replay one seed with event traces
 //	rfhchaos -seeds 200 -keep-going    # full matrix, report all failures
 //	rfhchaos -seed 7 -v -dump          # print the full trajectory dump
+//	rfhchaos -seeds 20 -durable        # disk-backed fleets: crashes keep
+//	                                   # their WALs, restarts replay them
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		faultEp  = flag.Int("fault-epochs", 0, "override fault-window length")
 		coolEp   = flag.Int("cool-epochs", 0, "override recovery-window length")
 		dropRate = flag.Float64("drop", -1, "override message drop probability")
+		durable  = flag.Bool("durable", false, "run each scenario on the durable engine in a fresh temp directory (crashes keep disk state, restarts replay WALs)")
 	)
 	flag.Parse()
 
@@ -63,8 +66,19 @@ func main() {
 		if *dropRate >= 0 {
 			opts.DropRate = *dropRate
 		}
+		if *durable {
+			dir, err := os.MkdirTemp("", fmt.Sprintf("rfhchaos-seed%d-", s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rfhchaos: seed 0x%x: %v\n", s, err)
+				os.Exit(2)
+			}
+			opts.DataDir = dir
+		}
 
 		res, err := chaos.Run(opts)
+		if opts.DataDir != "" {
+			os.RemoveAll(opts.DataDir)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rfhchaos: seed 0x%x: %v\n", s, err)
 			os.Exit(2)

@@ -171,6 +171,27 @@ func cmdDump(args []string) error {
 	}
 	os.Stdout.Write(out)
 	fmt.Println()
+
+	// A typed second pass over the same payload summarises the durable
+	// state the JSON above carries per partition: total bytes resident,
+	// WAL records awaiting compaction, and transfer-session counters.
+	var d node.DumpInfo
+	if err := json.Unmarshal(resp.Value, &d); err == nil && d.Durable {
+		bytes, walRecords, compactions, resident := 0, 0, 0, 0
+		for _, p := range d.Partitions {
+			bytes += p.Bytes
+			walRecords += p.WALRecords
+			compactions += p.Compactions
+			if p.Resident {
+				resident++
+			}
+		}
+		fmt.Printf("durable: %d/%d partitions resident, %d bytes, %d WAL records, %d compactions\n",
+			resident, len(d.Partitions), bytes, walRecords, compactions)
+		t := d.Transfers
+		fmt.Printf("transfers: %d started, %d completed, %d resumed, %d expired, %d chunks, %d one-frame\n",
+			t.Started, t.Completed, t.Resumed, t.Expired, t.ChunksSent, t.OneFrame)
+	}
 	return nil
 }
 

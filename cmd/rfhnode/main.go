@@ -1,10 +1,14 @@
-// Command rfhnode serves one node of a live RFH cluster over TCP: an
-// in-memory partitioned KV store whose replica placement is driven by
-// the same policy layer as the simulator.
+// Command rfhnode serves one node of a live RFH cluster over TCP: a
+// partitioned KV store whose replica placement is driven by the same
+// policy layer as the simulator. By default the store is in-memory;
+// -data-dir puts it on the durable engine (per-partition WALs plus
+// compacted snapshots), which a restarted node replays on the way up
+// before rejoining the cluster.
 //
 //	rfhnode -id 0 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002
 //	rfhnode -id 1 -peers ... -epoch 2s        # self-ticking epochs
 //	rfhnode -id 2 -peers ... -epoch 0         # manual: tick via `rfhctl tick`
+//	rfhnode -id 0 -peers ... -data-dir /var/lib/rfh/node0   # durable store
 //
 // Every peer must be started with the same -peers roster, -partitions,
 // -policy, -capacity, -suspect-after and -seed, so that all nodes hold
@@ -51,6 +55,8 @@ func run() error {
 		epoch        = flag.Duration("epoch", 0, "epoch tick period; 0 means manual ticking via rfhctl tick")
 		writeQuorum  = flag.Int("write-quorum", 1, "holders that must durably accept before a put is acked (W; capped at the eq. 14 placement floor)")
 		readQuorum   = flag.Int("read-quorum", 1, "holders consulted per read, newest version wins and stale copies are repaired (R)")
+		dataDir      = flag.String("data-dir", "", "durable storage directory (WALs + snapshots, recovered on restart); empty keeps the in-memory store")
+		fsync        = flag.Bool("fsync", true, "fsync WAL appends and snapshots before acking (durable mode only; off trades power-cut safety for speed)")
 	)
 	flag.Parse()
 
@@ -66,6 +72,8 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.WriteQuorum = *writeQuorum
 	cfg.ReadQuorum = *readQuorum
+	cfg.DataDir = *dataDir
+	cfg.Fsync = *fsync
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -89,9 +97,13 @@ func run() error {
 		return err
 	}
 	defer n.Close()
-	fmt.Printf("rfhnode: node %d listening on %s (%d peers, %d partitions, policy %s, min replicas %d, W=%d R=%d)\n",
+	durability := "memory"
+	if cfg.DataDir != "" {
+		durability = fmt.Sprintf("durable %s fsync=%v", cfg.DataDir, cfg.Fsync)
+	}
+	fmt.Printf("rfhnode: node %d listening on %s (%d peers, %d partitions, policy %s, min replicas %d, W=%d R=%d, %s)\n",
 		*id, tr.Addr(), len(cfg.Peers), cfg.Partitions, cfg.PolicyName, n.MinReplicas(),
-		cfg.WriteQuorum, cfg.ReadQuorum)
+		cfg.WriteQuorum, cfg.ReadQuorum, durability)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -17,7 +17,7 @@
 // A callee is *must-check* when it is declared in this module, returns
 // an error as its final result, and either its name starts with a
 // data-plane verb (apply, sync, transfer, send, flush, encode, decode,
-// merge, stamp, err) or its declaration is annotated
+// merge, stamp, err, replay, compact) or its declaration is annotated
 // //lint:must-check-error. The annotation is exported as a fact, so
 // importers of an annotated function are held to it too. Deliberate
 // discards are silenced in place with a reasoned
@@ -51,9 +51,13 @@ var Analyzer = &analysis.Analyzer{
 const factMustCheck = "errsink.mustCheck"
 
 // verbs are the data-plane name prefixes that imply must-check.
+// replay and compact joined with the durable engine: a dropped replay
+// error is a store that silently booted empty, and a dropped compact
+// error can leak a WAL forever.
 var verbs = []string{
 	"apply", "sync", "transfer", "send", "flush",
 	"encode", "decode", "merge", "stamp", "err",
+	"replay", "compact",
 }
 
 func run(pass *analysis.Pass) error {

@@ -93,6 +93,31 @@ func (n *Node) parallelAssignChecked() error {
 // errPeek is an err-verb fixture callee for the parallel-assign cases.
 func errPeek() error { return nil }
 
+// replayWAL and compactLog are the durable-engine verb fixtures: a
+// dropped replay error is a store that silently booted empty, a
+// dropped compact error a WAL leaked forever.
+func (n *Node) replayWAL(p int) error {
+	if n.vals == nil {
+		return errors.New("no engine")
+	}
+	return nil
+}
+
+func compactLog(p int) error {
+	if p < 0 {
+		return errors.New("no partition")
+	}
+	return nil
+}
+
+func (n *Node) dropReplay(p int) {
+	n.replayWAL(p) // want `error result of replayWAL is discarded`
+}
+
+func (n *Node) dropCompact(p int) {
+	defer compactLog(p) // want `error result of compactLog is discarded by the defer statement`
+}
+
 // --- Suppression ------------------------------------------------------
 
 func (n *Node) dropSuppressed(m *transport.Message) {
@@ -127,10 +152,14 @@ func (n *Node) stdlibDiscard() {
 }
 
 // application is not a verb match: "apply" must end at a word boundary.
+// Likewise compaction: "compact" must end at a boundary too.
 func application() error { return nil }
+
+func compaction() error { return nil }
 
 func (n *Node) verbBoundary() {
 	application()
+	compaction()
 }
 
 // misannotated pins the annotation-consistency report.

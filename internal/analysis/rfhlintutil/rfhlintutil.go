@@ -40,6 +40,11 @@ var DeterministicPackages = map[string]bool{
 	// its fault plans, message-fault draws and invariant bookkeeping
 	// are all part of the reproducibility surface.
 	"repro/internal/chaos": true,
+	// The durable engine sits under the node data plane: WAL replay and
+	// compaction decide what a recovered store contains, so a wall-clock
+	// read or map iteration here would fork recovered state (and with it
+	// the chaos trajectories) across runs of the same seed.
+	"repro/internal/durable": true,
 }
 
 // InDeterministicPackage reports whether the pass's package is bound by

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// TestSeedMatrixDurable is the disk-backed half of the seed matrix:
+// the same scenarios run over the durable engine with real per-node
+// data directories, so every crash keeps the victim's disk and every
+// restart replays its WALs. Each seed runs twice in different
+// directories — the trajectory must not depend on where the disk
+// lives, only on the seed.
+func TestSeedMatrixDurable(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			opts := DefaultOptions(seed)
+			opts.DataDir = t.TempDir()
+			a, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range a.Violations {
+				t.Errorf("%s", v)
+			}
+			if a.Acked == 0 {
+				t.Error("durable scenario acked no writes at all")
+			}
+			if a.Transfers.Started == 0 || a.Transfers.Completed == 0 {
+				t.Errorf("durable scenario ran no chunked transfers (stats %+v) — the one-frame threshold is not forcing sessions", a.Transfers)
+			}
+			opts.DataDir = t.TempDir()
+			b, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Trajectory != b.Trajectory {
+				t.Fatalf("durable trajectories differ across directories:\n--- run 1\n%s\n--- run 2\n%s",
+					a.Trajectory, b.Trajectory)
+			}
+		})
+	}
+}
+
+// TestTransferResumesAcrossTargetRestart is the acceptance scenario
+// for the resume cursor: a chunked transfer is severed after its first
+// chunk, the TARGET is crashed and restarted (its cursor surviving
+// only in its WAL), and the re-driven session must continue from the
+// recovered cursor — chunk 0 is never sent twice, and the session is
+// never re-begun from scratch.
+func TestTransferResumesAcrossTargetRestart(t *testing.T) {
+	const (
+		fleetSize = 4
+		target    = 1
+		keyCount  = 5
+	)
+	cfg := node.DefaultConfig(0, nil)
+	cfg.Partitions = 8
+	cfg.ReplicaCapacity = 8
+	cfg.SuspectAfter = 2
+	cfg.Seed = 11
+	cfg.DataDir = t.TempDir()
+	cfg.Fsync = false
+	cfg.SnapshotOneFrameBytes = 1 // every ship is a session
+	cfg.TransferChunkEntries = 1  // one entry per chunk
+	cfg.TransferLeaseEpochs = 50  // the outage must not expire the lease
+
+	sever := false
+	passed := 0
+	var targetAddr string
+	wrap := func(i int, tr transport.Transport) transport.Transport {
+		return transport.NewFault(tr, func(from, to string, m *transport.Message) transport.FaultAction {
+			if sever && to == targetAddr && m.Kind == node.KindXferChunk {
+				if passed >= 1 {
+					return transport.FaultDrop
+				}
+				passed++
+			}
+			return transport.FaultDeliver
+		})
+	}
+	f, err := node.NewFleetWrapped(fleetSize, cfg, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	targetAddr = f.Addr(target)
+	warm(t, f, 4)
+
+	// Fill one partition with enough keys for a multi-chunk session,
+	// sourced from the partition's primary so it owns the full state.
+	const p = 0
+	var keys []string
+	for i := 0; len(keys) < keyCount; i++ {
+		key := fmt.Sprintf("resume-%d", i)
+		if f.Node(0).PartitionOf(key) == p {
+			keys = append(keys, key)
+		}
+	}
+	//lint:ignore rfhlint/closecheck Node borrows the fleet's slot; f.Close owns shutdown
+	src := f.Node(f.Node(0).Primaries()[p])
+	for _, key := range keys {
+		if err := src.Put(key, []byte("v."+key)); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+	}
+
+	// Round 1: the session delivers exactly one chunk, then every
+	// further chunk is dropped — the pump ends interrupted.
+	sever = true
+	if src.TransferPartition(p, target) {
+		t.Fatal("severed transfer reported complete")
+	}
+	st := src.TransferStats()
+	if st.Started == 0 || st.Completed != 0 {
+		t.Fatalf("after severed round: stats %+v, want an open uncompleted session", st)
+	}
+	chunksBefore := st.ChunksSent
+
+	// The target dies and returns; its resume cursor now exists only in
+	// the WAL it replays on the way up.
+	f.Crash(target)
+	if err := f.Restart(target); err != nil {
+		t.Fatal(err)
+	}
+	sever = false
+
+	// Round 2: the pump probes the recovered cursor and streams the
+	// remaining chunks from there.
+	if !src.TransferPartition(p, target) {
+		t.Fatal("resumed transfer did not complete")
+	}
+	st = src.TransferStats()
+	if st.Resumed == 0 {
+		t.Error("session completed without adopting the target's recovered cursor (Resumed=0) — a stubbed cursor would look exactly like this")
+	}
+	if st.Completed != 1 || st.Started != 1 {
+		t.Errorf("stats %+v, want exactly one session started and completed (a re-begun session is a failed resume)", st)
+	}
+	total := int64(keyCount)
+	if got := st.ChunksSent - 0; got != total {
+		t.Errorf("chunks sent over both rounds = %d, want %d: chunk 0 must ride exactly once (sent %d before the crash)",
+			got, total, chunksBefore)
+	}
+	for _, key := range keys {
+		if v, ok := f.Node(target).LocalGet(key); !ok || string(v) != "v."+key {
+			t.Errorf("target missing %q after resumed transfer (got %q ok=%v)", key, v, ok)
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Result struct {
 	ReadErrs   int
 	Faults     metrics.FaultCounts
 	Violations []Violation
+	// Transfers aggregates every node's chunked-transfer counters over
+	// the whole run (zero in memory mode, where the tiny partitions
+	// never cross the one-frame threshold).
+	Transfers  node.TransferStats
 	Trajectory string // deterministic per-epoch dump; bit-identical per seed
 }
 
@@ -104,6 +108,13 @@ func Run(opts Options) (*Result, error) {
 	cfg.Seed = opts.Seed
 	cfg.WriteQuorum = opts.WriteQuorum
 	cfg.ReadQuorum = opts.ReadQuorum
+	if opts.DataDir != "" {
+		cfg.DataDir = opts.DataDir // the fleet adds per-node subdirectories
+		cfg.Fsync = false          // surviving Crash/Restart, not power cuts
+		cfg.WALCompactEvery = 16   // compact constantly under the tiny workload
+		cfg.SnapshotOneFrameBytes = 1 // every ship becomes a chunked session
+		cfg.TransferChunkEntries = 1  // every session is multi-chunk
+	}
 	fleet, err := node.NewFleetWrapped(opts.Nodes, cfg, func(i int, tr transport.Transport) transport.Transport {
 		h.inner[i] = tr
 		return transport.NewFault(tr, h.deciderFor(i))
@@ -122,6 +133,12 @@ func Run(opts Options) (*Result, error) {
 		opts.Seed, opts.Nodes, opts.Partitions, opts.KeysPerPartition,
 		opts.WriteQuorum, opts.ReadQuorum,
 		opts.WarmEpochs, opts.FaultEpochs, opts.CoolEpochs)
+	// Memory-mode trajectories must stay byte-for-byte what they were
+	// before the durable engine existed, so the durable marker is a
+	// separate, conditional line.
+	if opts.DataDir != "" {
+		fmt.Fprintf(&h.traj, "durable fsync=0 compact_every=16 chunked=1\n")
+	}
 
 	for e := 0; e < opts.Epochs(); e++ {
 		if err := h.stepEpoch(e); err != nil {
@@ -129,6 +146,20 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	h.finalChecks()
+	var xfer node.TransferStats
+	for _, nd := range h.members {
+		st := nd.TransferStats()
+		xfer.Started += st.Started
+		xfer.Completed += st.Completed
+		xfer.Expired += st.Expired
+		xfer.Resumed += st.Resumed
+		xfer.ChunksSent += st.ChunksSent
+		xfer.OneFrame += st.OneFrame
+	}
+	if opts.DataDir != "" {
+		fmt.Fprintf(&h.traj, "transfers started=%d completed=%d expired=%d resumed=%d chunks=%d oneframe=%d\n",
+			xfer.Started, xfer.Completed, xfer.Expired, xfer.Resumed, xfer.ChunksSent, xfer.OneFrame)
+	}
 	fmt.Fprintf(&h.traj, "faults %s\n", h.faults.String())
 	fmt.Fprintf(&h.traj, "excused=%d\n", h.hist.excusedCount())
 	for i := range h.viols {
@@ -144,6 +175,7 @@ func Run(opts Options) (*Result, error) {
 		ReadErrs:   h.readErrs,
 		Faults:     h.faults,
 		Violations: h.viols,
+		Transfers:  xfer,
 		Trajectory: h.traj.String(),
 	}, nil
 }
@@ -434,10 +466,13 @@ func (h *harness) deciderFor(i int) transport.FaultFunc {
 // land later and overwrite a newer acknowledged value — that would
 // turn a reported failure into silent data corruption, which is a
 // client-contract bug, not a network fault. Queries gain nothing from
-// re-execution an epoch late.
+// re-execution an epoch late. The transfer-session kinds are all
+// delayable: the target's cursor makes a late begin/chunk/done replay
+// a no-op ack, which is exactly the idempotence the sessions claim.
 func delayable(kind uint8) bool {
 	switch kind {
-	case node.KindSync, node.KindStore, node.KindDrop, node.KindStats:
+	case node.KindSync, node.KindStore, node.KindDrop, node.KindStats,
+		node.KindXferBegin, node.KindXferChunk, node.KindXferCursor, node.KindXferDone:
 		return true
 	default:
 		return false

@@ -50,6 +50,18 @@ type Options struct {
 	WriteQuorum int
 	ReadQuorum  int
 
+	// DataDir, when non-empty, runs the fleet on the durable storage
+	// engine: each node gets its own subdirectory under it, crash events
+	// keep the victim's disk state, and restarts recover it — the
+	// schedule then exercises WAL replay, rejoin re-injection and the
+	// chunked-transfer resume cursors. The durable config forces every
+	// partition ship through multi-chunk sessions (one entry per chunk,
+	// one-frame threshold below any real payload) and compacts WALs
+	// aggressively, so even the small scenario fleets cross every
+	// durable code path. Empty keeps the in-memory store and the exact
+	// pre-durability trajectories.
+	DataDir string
+
 	// Verbose adds per-event lines to the trajectory dump.
 	Verbose bool
 

@@ -1,0 +1,536 @@
+// Package durable is the node's disk persistence engine: one
+// write-ahead log per partition, periodically folded into a snapshot
+// file and truncated (compaction). The engine records every data-plane
+// mutation the node acks — value installs, version-watermark raises,
+// drops, reseeds, residency grants and inbound transfer cursors — and
+// recovery replays snapshot + WAL back into exactly the state the last
+// acked append described: the same entry{val,ver} records, the same
+// maxVer watermark, the same residency flag, the same in-flight
+// transfer sessions. PutQuorum's "ack #1 = durable local apply"
+// contract is honest precisely because the ack paths append here
+// before they mutate the in-memory store.
+//
+// Physical syncing hides behind the Syncer interface, the same
+// pattern as node.Clock: live deployments run OSSync (fsync after
+// every append and around compaction renames), while deterministic
+// harnesses run NoSync and rely on the OS page cache — crash
+// *simulation* closes file handles without killing the process, so
+// unsynced pages survive exactly like a process crash on real
+// hardware.
+//
+// The package obeys the determinism contract (rfhlint allowlist): no
+// wall clock, no unseeded randomness, and every map iteration happens
+// behind a sort.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Syncer is the physical-durability knob: it is invoked with every
+// file whose contents must survive a machine crash before the engine
+// reports an append or compaction as durable. It mirrors node.Clock —
+// the one OS effect the deterministic harnesses must be able to stub.
+type Syncer interface {
+	Sync(f *os.File) error
+}
+
+// OSSync fsyncs for real — the live-deployment Syncer.
+type OSSync struct{}
+
+// Sync flushes f's dirty pages to stable storage.
+func (OSSync) Sync(f *os.File) error { return f.Sync() }
+
+// NoSync skips fsync: writes still land in the OS page cache, so data
+// survives process crashes (which is all the chaos harness simulates)
+// but not machine crashes. Simulation mode.
+type NoSync struct{}
+
+// Sync does nothing.
+func (NoSync) Sync(f *os.File) error { return nil }
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the node's data directory; the engine owns it exclusively.
+	Dir string
+	// Partitions is the partition count; must match the node config.
+	Partitions int
+	// Sync is the physical-durability policy (nil means NoSync).
+	Sync Syncer
+	// CompactEvery folds the WAL into a snapshot once a partition has
+	// accumulated that many records (0 normalises to 1024).
+	CompactEvery int
+}
+
+// Entry is one recovered key/value record.
+type Entry struct {
+	Key string
+	Ver uint64
+	Val []byte
+}
+
+// Session is one inbound transfer session's persisted resume state:
+// the next chunk index the target expects, out of Total, and whether
+// completing the session should mark the partition resident.
+type Session struct {
+	ID           uint64
+	Next         uint32
+	Total        uint32
+	MarkResident bool
+}
+
+// PartitionState is everything recovery restored for one partition.
+type PartitionState struct {
+	Entries  []Entry // ascending key order
+	MaxVer   uint64
+	Resident bool
+	Sessions []Session // inbound transfer cursors, arrival order
+	Done     []uint64  // recently completed inbound session ids
+}
+
+// PartitionStats is the per-partition introspection surfaced in dumps.
+type PartitionStats struct {
+	WALRecords  int // records appended since the last compaction
+	Compactions int // compactions since open
+}
+
+// maxSessions bounds the persisted inbound-session list per partition;
+// the oldest session is evicted when a newer one needs the slot. It
+// must match the store's runtime bound so recovery restores the same
+// set the shard was tracking.
+const maxSessions = 4
+
+// maxDone bounds the completed-session-id memory that keeps replayed
+// transfer-begins idempotent.
+const maxDone = 8
+
+type mirrorEntry struct {
+	ver uint64
+	val []byte
+}
+
+// engPart is one partition's engine state: the open WAL handle plus an
+// in-memory mirror of the durable state. The mirror is what recovery
+// produced (and appends keep it current), so compaction can write a
+// snapshot without asking the store — the engine is self-contained and
+// testable standalone. Values are shared with the store by reference
+// and treated as immutable by both sides.
+type engPart struct {
+	mu          sync.Mutex
+	wal         *os.File
+	walRecords  int
+	compactions int
+
+	// holds defers compaction while an outbound transfer session still
+	// needs the frozen state; pending remembers that the threshold
+	// tripped while held.
+	holds   int
+	pending bool
+
+	data     map[string]mirrorEntry
+	maxVer   uint64
+	resident bool
+	sessions []Session
+	done     []uint64
+}
+
+// Engine is the durable storage engine. All methods are safe for
+// concurrent use; different partitions never contend.
+type Engine struct {
+	opts  Options
+	parts []engPart
+
+	emu    sync.Mutex
+	err    error // sticky: first IO failure; all later appends refuse
+	closed bool
+}
+
+// Open creates or recovers an engine over dir: for every partition it
+// loads the snapshot (if any), replays the WAL on top — truncating a
+// torn final record — and keeps the WAL open for appends. Leftover
+// *.tmp files from an interrupted compaction are removed; a snapshot
+// is only ever installed by an atomic rename, so a crash between the
+// rename and the WAL truncation simply replays the whole WAL over the
+// new snapshot, which converges to the same state (every WAL op is a
+// blind last-writer-wins set, so re-applying a suffix that the
+// snapshot already folded in is a no-op).
+func Open(opts Options) (*Engine, error) {
+	if opts.Partitions <= 0 {
+		return nil, fmt.Errorf("durable: partitions must be positive, got %d", opts.Partitions)
+	}
+	if opts.Sync == nil {
+		opts.Sync = NoSync{}
+	}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 1024
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	e := &Engine{opts: opts, parts: make([]engPart, opts.Partitions)}
+	for p := range e.parts {
+		if err := e.openPartition(p); err != nil {
+			e.closeAll()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) walPath(p int) string {
+	return filepath.Join(e.opts.Dir, fmt.Sprintf("p%04d.wal", p))
+}
+
+func (e *Engine) snapPath(p int) string {
+	return filepath.Join(e.opts.Dir, fmt.Sprintf("p%04d.snap", p))
+}
+
+// openPartition recovers one partition: snapshot, then WAL replay.
+func (e *Engine) openPartition(p int) error {
+	ps := &e.parts[p]
+	ps.data = make(map[string]mirrorEntry)
+	// A brand-new partition is resident: the cluster starts empty, so
+	// empty content IS authoritative — the same birth semantics as the
+	// in-memory store.
+	ps.resident = true
+
+	// An interrupted compaction can leave a half-written temp snapshot;
+	// it was never installed, so it is garbage.
+	if err := os.Remove(e.snapPath(p) + ".tmp"); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: partition %d: %w", p, err)
+	}
+	if err := loadSnapshot(e.snapPath(p), ps); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(e.walPath(p), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: partition %d: %w", p, err)
+	}
+	n, err := replayWAL(f, ps)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	ps.walRecords = n
+	ps.wal = f
+	return nil
+}
+
+// Recovered returns partition p's state as recovery (plus any appends
+// since) left it. Entries come back in ascending key order so callers
+// can rebuild deterministically.
+func (e *Engine) Recovered(p int) PartitionState {
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st := PartitionState{
+		MaxVer:   ps.maxVer,
+		Resident: ps.resident,
+		Sessions: append([]Session(nil), ps.sessions...),
+		Done:     append([]uint64(nil), ps.done...),
+	}
+	keys := make([]string, 0, len(ps.data))
+	for k := range ps.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := ps.data[k]
+		st.Entries = append(st.Entries, Entry{Key: k, Ver: m.ver, Val: m.val})
+	}
+	return st
+}
+
+// Stats returns partition p's WAL and compaction counters.
+func (e *Engine) Stats(p int) PartitionStats {
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return PartitionStats{WALRecords: ps.walRecords, Compactions: ps.compactions}
+}
+
+// Err returns the engine's sticky failure, if any: the first IO error
+// any append or compaction hit. Once set, every ack-bearing append
+// refuses — the node keeps running but stops claiming durability.
+func (e *Engine) Err() error {
+	e.emu.Lock()
+	defer e.emu.Unlock()
+	return e.err
+}
+
+func (e *Engine) fail(err error) error {
+	e.emu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.emu.Unlock()
+	return err
+}
+
+func (e *Engine) failed() error {
+	e.emu.Lock()
+	defer e.emu.Unlock()
+	if e.closed {
+		return fmt.Errorf("durable: engine closed")
+	}
+	return e.err
+}
+
+// AppendPut records one value install: data[key] = {ver, val} and
+// maxVer = max(maxVer, ver). The engine keeps val by reference and
+// never mutates it; callers must not either.
+func (e *Engine) AppendPut(p int, key string, ver uint64, val []byte) error {
+	rec := appendRecPut(nil, key, ver, val)
+	return e.append(p, rec, func(ps *engPart) {
+		ps.data[key] = mirrorEntry{ver: ver, val: val}
+		if ver > ps.maxVer {
+			ps.maxVer = ver
+		}
+	})
+}
+
+// AppendMaxVer records a version-watermark raise without a value
+// install (the applySync path acking an equal-or-newer replay).
+func (e *Engine) AppendMaxVer(p int, ver uint64) error {
+	rec := appendRecMaxVer(nil, ver)
+	return e.append(p, rec, func(ps *engPart) {
+		if ver > ps.maxVer {
+			ps.maxVer = ver
+		}
+	})
+}
+
+// AppendDrop records a partition drop: data cleared, residency
+// revoked, maxVer kept (re-adoption must never re-issue versions).
+func (e *Engine) AppendDrop(p int) error {
+	rec := appendRecOp(nil, opDrop)
+	return e.append(p, rec, func(ps *engPart) {
+		ps.data = make(map[string]mirrorEntry)
+		ps.resident = false
+	})
+}
+
+// AppendReset records an authoritative-empty reseed: data cleared,
+// resident, maxVer kept.
+func (e *Engine) AppendReset(p int) error {
+	rec := appendRecOp(nil, opReset)
+	return e.append(p, rec, func(ps *engPart) {
+		ps.data = make(map[string]mirrorEntry)
+		ps.resident = true
+	})
+}
+
+// AppendResident records a residency grant (snapshot merge completed,
+// or an inbound transfer finished with MarkResident).
+func (e *Engine) AppendResident(p int) error {
+	rec := appendRecOp(nil, opResident)
+	return e.append(p, rec, func(ps *engPart) {
+		ps.resident = true
+	})
+}
+
+// AppendCursor records an inbound transfer session's resume cursor —
+// the record that lets a restarted target continue a chunked transfer
+// where it stopped instead of starting over.
+func (e *Engine) AppendCursor(p int, s Session) error {
+	rec := appendRecCursor(nil, s)
+	return e.append(p, rec, func(ps *engPart) {
+		mirrorCursor(ps, s)
+	})
+}
+
+// AppendSessionDone records an inbound session's completion; the id is
+// remembered so a replayed transfer-begin after completion stays
+// idempotent across restarts.
+func (e *Engine) AppendSessionDone(p int, sid uint64) error {
+	rec := appendRecDone(nil, sid)
+	return e.append(p, rec, func(ps *engPart) {
+		mirrorDone(ps, sid)
+	})
+}
+
+func mirrorCursor(ps *engPart, s Session) {
+	for i := range ps.sessions {
+		if ps.sessions[i].ID == s.ID {
+			ps.sessions[i] = s
+			return
+		}
+	}
+	ps.sessions = append(ps.sessions, s)
+	if len(ps.sessions) > maxSessions {
+		ps.sessions = ps.sessions[len(ps.sessions)-maxSessions:]
+	}
+}
+
+func mirrorDone(ps *engPart, sid uint64) {
+	for i := range ps.sessions {
+		if ps.sessions[i].ID == sid {
+			ps.sessions = append(ps.sessions[:i], ps.sessions[i+1:]...)
+			break
+		}
+	}
+	ps.done = append(ps.done, sid)
+	if len(ps.done) > maxDone {
+		ps.done = ps.done[len(ps.done)-maxDone:]
+	}
+}
+
+// append writes one framed record, syncs it, applies the mirror
+// update, and compacts if the record count tripped the threshold (and
+// no hold defers it). Any IO failure is sticky: the mutation is NOT
+// applied to the mirror and the caller must not ack.
+func (e *Engine) append(p int, rec []byte, apply func(*engPart)) error {
+	if err := e.failed(); err != nil {
+		return err
+	}
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, err := ps.wal.Write(rec); err != nil {
+		return e.fail(fmt.Errorf("durable: partition %d: wal append: %w", p, err))
+	}
+	if err := e.opts.Sync.Sync(ps.wal); err != nil {
+		return e.fail(fmt.Errorf("durable: partition %d: wal sync: %w", p, err))
+	}
+	ps.walRecords++
+	apply(ps)
+	if ps.walRecords >= e.opts.CompactEvery {
+		if ps.holds > 0 {
+			ps.pending = true
+		} else if err := e.compactLocked(p, ps); err != nil {
+			return e.fail(err)
+		}
+	}
+	return nil
+}
+
+// Hold defers partition p's compaction: an outbound transfer session
+// froze the partition's state and the WAL+snapshot pair backing it
+// must not be rewritten underneath. Holds nest.
+func (e *Engine) Hold(p int) {
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	ps.holds++
+	ps.mu.Unlock()
+}
+
+// Release undoes one Hold; when the last hold clears and a compaction
+// was deferred meanwhile, it runs now.
+func (e *Engine) Release(p int) {
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.holds > 0 {
+		ps.holds--
+	}
+	// ps.wal is nil once Close ran: a straggling release (e.g. a
+	// transfer pump racing a shutdown) must not run the deferred
+	// compaction against closed files.
+	if ps.holds == 0 && ps.pending && ps.wal != nil {
+		ps.pending = false
+		if err := e.compactLocked(p, ps); err != nil {
+			_ = e.fail(err)
+		}
+	}
+}
+
+// Compact folds partition p's WAL into its snapshot immediately,
+// regardless of the record threshold (holds still defer). Tests and
+// shutdown paths use it; steady-state compaction happens automatically
+// via CompactEvery.
+func (e *Engine) Compact(p int) error {
+	if err := e.failed(); err != nil {
+		return err
+	}
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.holds > 0 {
+		ps.pending = true
+		return nil
+	}
+	if err := e.compactLocked(p, ps); err != nil {
+		return e.fail(err)
+	}
+	return nil
+}
+
+// compactLocked writes the mirror to a temp snapshot, atomically
+// renames it into place, and truncates the WAL. Crash windows: before
+// the rename the temp file is garbage (removed at next open); between
+// rename and truncation recovery replays the full WAL over the new
+// snapshot, which is idempotent (see Open).
+func (e *Engine) compactLocked(p int, ps *engPart) error {
+	path := e.snapPath(p)
+	if err := writeSnapshot(path, ps, e.opts.Sync); err != nil {
+		return fmt.Errorf("durable: partition %d: %w", p, err)
+	}
+	if err := e.syncDir(); err != nil {
+		return fmt.Errorf("durable: partition %d: %w", p, err)
+	}
+	if err := ps.wal.Truncate(0); err != nil {
+		return fmt.Errorf("durable: partition %d: wal truncate: %w", p, err)
+	}
+	if _, err := ps.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: partition %d: wal seek: %w", p, err)
+	}
+	if err := e.opts.Sync.Sync(ps.wal); err != nil {
+		return fmt.Errorf("durable: partition %d: wal sync: %w", p, err)
+	}
+	ps.walRecords = 0
+	ps.compactions++
+	return nil
+}
+
+// syncDir makes a snapshot rename durable (directory metadata).
+func (e *Engine) syncDir() error {
+	if _, ok := e.opts.Sync.(NoSync); ok {
+		return nil
+	}
+	d, err := os.Open(e.opts.Dir)
+	if err != nil {
+		return err
+	}
+	serr := e.opts.Sync.Sync(d)
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Close releases every file handle. It does NOT compact: recovery
+// must work from whatever snapshot+WAL pair is on disk at any instant,
+// and a shutdown that exercised that path is a shutdown that proved
+// it. Close after Close (or after a crash-simulation close) is a
+// no-op.
+func (e *Engine) Close() error {
+	e.emu.Lock()
+	if e.closed {
+		e.emu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.emu.Unlock()
+	return e.closeAll()
+}
+
+func (e *Engine) closeAll() error {
+	var first error
+	for p := range e.parts {
+		ps := &e.parts[p]
+		ps.mu.Lock()
+		if ps.wal != nil {
+			if err := ps.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+			ps.wal = nil
+		}
+		ps.mu.Unlock()
+	}
+	return first
+}

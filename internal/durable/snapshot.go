@@ -1,0 +1,148 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// Snapshot file format (one file per partition, installed only by an
+// atomic rename of a fully-written temp file):
+//
+//	magic "RFHS" + format byte 1
+//	uvarint maxVer
+//	byte resident
+//	uvarint entry count, then per entry: key, ver, val (length-prefixed)
+//	uvarint session count, then per session: sid, next, total, mark
+//	uvarint done count, then per id: sid
+//	crc32(everything above) u32 LE
+//
+// Entries are written in ascending key order so the file bytes are a
+// deterministic function of the state.
+
+var snapMagic = []byte{'R', 'F', 'H', 'S', 1}
+
+// writeSnapshot serialises ps to path via a temp file + rename.
+func writeSnapshot(path string, ps *engPart, sync Syncer) error {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.AppendUvarint(buf, ps.maxVer)
+	if ps.resident {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	keys := make([]string, 0, len(ps.data))
+	for k := range ps.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		m := ps.data[k]
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, m.ver)
+		buf = binary.AppendUvarint(buf, uint64(len(m.val)))
+		buf = append(buf, m.val...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ps.sessions)))
+	for _, s := range ps.sessions {
+		buf = binary.AppendUvarint(buf, s.ID)
+		buf = binary.AppendUvarint(buf, uint64(s.Next))
+		buf = binary.AppendUvarint(buf, uint64(s.Total))
+		if s.MarkResident {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ps.done)))
+	for _, sid := range ps.done {
+		buf = binary.AppendUvarint(buf, sid)
+	}
+	sum := make([]byte, 4)
+	binary.LittleEndian.PutUint32(sum, crc32.ChecksumIEEE(buf))
+	buf = append(buf, sum...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := sync.Sync(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores ps from path; a missing file means "no
+// snapshot yet" and leaves ps at its birth state. A present-but-corrupt
+// snapshot is real corruption (installs are atomic), so it fails
+// loudly rather than silently serving partial state.
+func loadSnapshot(path string, ps *engPart) error {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("durable: snapshot read: %w", err)
+	}
+	if len(buf) < len(snapMagic)+4 {
+		return fmt.Errorf("durable: snapshot %s truncated (%d bytes)", path, len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("durable: snapshot %s checksum mismatch", path)
+	}
+	for i, b := range snapMagic {
+		if body[i] != b {
+			return fmt.Errorf("durable: snapshot %s has bad magic", path)
+		}
+	}
+	r := recReader{buf: body[len(snapMagic):]}
+	ps.maxVer = r.uvarint()
+	ps.resident = r.byte() == 1
+	n := int(r.uvarint())
+	for i := 0; i < n && r.err == nil; i++ {
+		key := string(r.bytes())
+		ver := r.uvarint()
+		val := r.bytes()
+		if r.err != nil {
+			break
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		ps.data[key] = mirrorEntry{ver: ver, val: v}
+	}
+	sn := int(r.uvarint())
+	for i := 0; i < sn && r.err == nil; i++ {
+		s := Session{ID: r.uvarint()}
+		s.Next = uint32(r.uvarint())
+		s.Total = uint32(r.uvarint())
+		s.MarkResident = r.byte() == 1
+		if r.err == nil {
+			ps.sessions = append(ps.sessions, s)
+		}
+	}
+	dn := int(r.uvarint())
+	for i := 0; i < dn && r.err == nil; i++ {
+		ps.done = append(ps.done, r.uvarint())
+	}
+	if r.err != nil {
+		return fmt.Errorf("durable: snapshot %s malformed: %w", path, r.err)
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("durable: snapshot %s has %d trailing bytes", path, len(r.buf))
+	}
+	return nil
+}

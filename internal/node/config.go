@@ -75,6 +75,35 @@ type Config struct {
 	// WriteQuorum.
 	ReadQuorum int
 
+	// DataDir, when non-empty, backs the node's store with the durable
+	// engine (internal/durable): every applied write lands in a
+	// per-partition WAL before it is acked, and a restart in the same
+	// directory recovers the data instead of rejoining blank. Empty
+	// keeps the pure in-memory store.
+	DataDir string
+	// Fsync selects the durable engine's sync discipline: true (the
+	// DefaultConfig setting) fsyncs the WAL on every append; false skips
+	// the physical sync — the mode deterministic simulations use, where
+	// "durability" means surviving a process-level Crash/Restart, not a
+	// power cut. Ignored without DataDir.
+	Fsync bool
+	// WALCompactEvery is how many WAL records a partition accumulates
+	// before its log folds into a snapshot (default 1024).
+	WALCompactEvery int
+
+	// SnapshotOneFrameBytes is the size threshold that splits replica
+	// shipping: a partition whose payload stays under it travels as one
+	// KindStore frame, anything larger goes through a chunked transfer
+	// session (default 64 KiB).
+	SnapshotOneFrameBytes int
+	// TransferChunkEntries bounds the entries one transfer chunk carries
+	// (default 256); chunks also cap at a fixed byte size.
+	TransferChunkEntries int
+	// TransferLeaseEpochs is how many epochs an outbound transfer
+	// session may go without progress before the source abandons it and
+	// releases its compaction hold (default 4).
+	TransferLeaseEpochs int
+
 	// SuspectAfter is how many epochs a peer may stay silent before it
 	// is presumed failed and removed from the view (default 3).
 	SuspectAfter int
@@ -110,6 +139,7 @@ func DefaultConfig(id int, peers []Peer) Config {
 		MinAvailability: 0.8,
 		HubCandidates:   3,
 		PolicyName:      "rfh",
+		Fsync:           true,
 		SuspectAfter:    3,
 		Fanout:          8,
 		Seed:            1,
@@ -156,6 +186,22 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("node: fanout must not be negative")
 	case c.WriteQuorum < 0 || c.ReadQuorum < 0:
 		return fmt.Errorf("node: quorums must not be negative")
+	case c.WALCompactEvery < 0 || c.SnapshotOneFrameBytes < 0 ||
+		c.TransferChunkEntries < 0 || c.TransferLeaseEpochs < 0:
+		return fmt.Errorf("node: durability/transfer settings must not be negative")
+	}
+	// 0 means "unset" for the durability and transfer knobs too.
+	if c.WALCompactEvery == 0 {
+		c.WALCompactEvery = 1024
+	}
+	if c.SnapshotOneFrameBytes == 0 {
+		c.SnapshotOneFrameBytes = 64 << 10
+	}
+	if c.TransferChunkEntries == 0 {
+		c.TransferChunkEntries = 256
+	}
+	if c.TransferLeaseEpochs == 0 {
+		c.TransferLeaseEpochs = 4
 	}
 	// Quorums cap at MinReplicas: the policy guarantees at most that
 	// many holders per partition in steady state, so a larger quorum

@@ -23,6 +23,7 @@ func TestDispatchCoversWireKinds(t *testing.T) {
 	h.tick()
 
 	const key = "dispatch-key"
+	const dispatchSession = uint64(0xD15)
 	p := h.nodes[0].PartitionOf(key)
 
 	// Address the partition's primary: the one node guaranteed both
@@ -73,6 +74,20 @@ func TestDispatchCoversWireKinds(t *testing.T) {
 			msg = &transport.Message{Kind: kind}
 		case KindVer:
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Key: []byte(key)}
+		// The four transfer kinds arrive in protocol order (the kinds
+		// iterate sorted: begin 9, chunk 10, cursor 11, done 12), so one
+		// shared scripted session exercises a full 1-chunk transfer.
+		case KindXferBegin:
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession,
+				Value: appendXferBegin(nil, 1, false)}
+		case KindXferChunk:
+			chunk := appendEntries(nil, []kvEntry{{key: "xfer-key", val: []byte("xv"), ver: 1}})
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession,
+				Cursor: 0, Value: chunk}
+		case KindXferCursor:
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession}
+		case KindXferDone:
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession}
 		default:
 			t.Fatalf("KindNames declares node-to-node kind %d (%s) but this test has no representative message for it; extend the switch above", kind, KindNames[kind])
 		}

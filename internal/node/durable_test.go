@@ -1,0 +1,150 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+)
+
+// durableFleetConfig is testConfig over a durable data directory.
+// Fsync stays off: these tests simulate process deaths, not power
+// cuts, and the engine's WAL survives a Crash/Restart either way.
+func durableFleetConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.DataDir = dir
+	cfg.Fsync = false
+	return cfg
+}
+
+// TestDurableColdBootRecovery writes through a durable fleet, tears
+// the whole cluster down, and boots a fresh fleet over the same data
+// directories: every acked write must come back, served from the
+// recovered stores with no network repair in between.
+func TestDurableColdBootRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableFleetConfig(dir)
+
+	f, err := NewFleet(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 10; i++ {
+		key := PartitionKey(i, cfg.Partitions)
+		val := fmt.Sprintf("durable-%d", i)
+		if err := f.Node(0).Put(key, []byte(val)); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+		want[key] = val
+	}
+	if err := f.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f2, err := NewFleet(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	d := f2.Node(0).Dump()
+	if !d.Durable {
+		t.Fatal("rebooted node does not report a durable engine")
+	}
+	for key, val := range want {
+		v, ok, err := f2.Node(0).Get(key)
+		if err != nil || !ok || string(v) != val {
+			t.Errorf("get %q after cold boot: %q ok=%v err=%v, want %q", key, v, ok, err, val)
+		}
+	}
+}
+
+// TestAckedWriteSurvivesHolderCrashRestart is the directed durability
+// scenario: every holder of a written key crashes at once and stays
+// down long enough for the survivors to reseed the partition as empty
+// — the point where a memory store has lost the value for good (the
+// contrast run pins that) — then restarts over its surviving data
+// directory. The rejoin path must re-inject the recovered copy into
+// the cluster and the value must be readable again.
+func TestAckedWriteSurvivesHolderCrashRestart(t *testing.T) {
+	cfg := durableFleetConfig(t.TempDir())
+	if v, ok := runHolderCrashRestart(t, cfg); !ok || string(v) != "survives" {
+		t.Fatalf("durable run: value after holder crash+restart = %q ok=%v, want %q", v, ok, "survives")
+	}
+	// Same schedule, memory store: the value cannot come back, which is
+	// what makes the durable result above a recovery signal and not a
+	// replication accident.
+	if v, ok := runHolderCrashRestart(t, testConfig()); ok {
+		t.Fatalf("memory run: value %q survived total holder loss — the schedule does not isolate durability", v)
+	}
+}
+
+func runHolderCrashRestart(t *testing.T, cfg Config) ([]byte, bool) {
+	t.Helper()
+	const n = 4
+	f, err := NewFleet(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if err := f.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const p = 5
+	key := PartitionKey(p, cfg.Partitions)
+	holders := f.Node(0).ReplicaMap()[p]
+	if len(holders) == 0 || len(holders) >= n {
+		t.Fatalf("holder set %v leaves no live survivor to anchor the cluster", holders)
+	}
+	entry := -1
+	for i := 0; i < n; i++ {
+		held := false
+		for _, h := range holders {
+			if h == i {
+				held = true
+			}
+		}
+		if !held {
+			entry = i
+			break
+		}
+	}
+	if err := f.Node(entry).Put(key, []byte("survives")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	for _, h := range holders {
+		f.Crash(h)
+	}
+	// Hold the outage long enough for the survivors to suspect the
+	// holders and reseed the orphaned partition — without this window
+	// the restarted holders wait forever on a primary claim nobody
+	// left alive can make.
+	for i := 0; i < cfg.SuspectAfter+4; i++ {
+		if err := f.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range holders {
+		if err := f.Restart(h); err != nil {
+			t.Fatalf("restart %d: %v", h, err)
+		}
+	}
+	// Ride out view re-learning and the rejoin re-injection.
+	for i := 0; i < 12; i++ {
+		if err := f.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v, ok, err := f.Node(entry).Get(key)
+	if err != nil {
+		t.Fatalf("get after holder crash+restart: %v", err)
+	}
+	return v, ok
+}

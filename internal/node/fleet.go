@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/ring"
 	"repro/internal/transport"
@@ -51,6 +52,11 @@ func NewFleetWrapped(n int, base Config, wrap WrapTransport) (*Fleet, error) {
 		// fault wrapper's RNG draw order is only reproducible when every
 		// multi-peer step sends in strict roster order.
 		cfg.Fanout = 1
+		// A durable fleet gives each member its own subdirectory: the
+		// base DataDir is the cluster's root, not one node's.
+		if base.DataDir != "" {
+			cfg.DataDir = filepath.Join(base.DataDir, fmt.Sprintf("node%d", i))
+		}
 		var tr transport.Transport = f.lb.Endpoint(peers[i].Addr)
 		if wrap != nil {
 			tr = wrap(i, tr)

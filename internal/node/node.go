@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/policy"
 	"repro/internal/ring"
 	"repro/internal/stats"
@@ -107,6 +108,19 @@ type Node struct {
 	// is a holder missing an acked write until repair catches it —
 	// surfaced in DumpInfo so operators see silent replication decay.
 	syncFails atomic.Int64
+
+	// eng is the durable storage engine backing the store when
+	// cfg.DataDir is set (nil in memory mode). Crash closes it and
+	// Restart reopens the same directory, recovering the data a real
+	// process restart would find on disk.
+	eng *durable.Engine
+
+	// Outbound chunked transfer sessions (see transfer.go). xmu is a
+	// leaf lock under n.mu; never held across a send.
+	xmu    sync.Mutex
+	xfers  []*xferSession
+	xseq   uint64
+	xstats TransferStats
 }
 
 // outOp is one data-movement message to perform after the view update,
@@ -136,13 +150,31 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := newStore(cfg.Partitions)
+	var eng *durable.Engine
+	if cfg.DataDir != "" {
+		eng, err = durable.Open(durable.Options{
+			Dir:          cfg.DataDir,
+			Partitions:   cfg.Partitions,
+			Sync:         syncerFor(&cfg),
+			CompactEvery: cfg.WALCompactEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// First boot trusts the recovered residency: a fresh directory is
+		// the authoritative-empty birth state, a reused one is whatever
+		// this node durably was when it last ran.
+		st = newDurableStore(cfg.Partitions, eng, true)
+	}
 	n := &Node{
 		cfg:      cfg,
 		self:     cfg.selfIndex(),
 		pol:      pol,
 		tr:       tr,
 		view:     v,
-		store:    newStore(cfg.Partitions),
+		store:    st,
+		eng:      eng,
 		tracker:  tk,
 		rng:      stats.NewRNG(cfg.Seed ^ 0x90DE),
 		missed:   make([]int, len(cfg.Peers)),
@@ -153,6 +185,25 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	}
 	tr.SetHandler(n.Handle)
 	return n, nil
+}
+
+// syncerFor maps the config's fsync switch to the engine's Syncer.
+func syncerFor(cfg *Config) durable.Syncer {
+	if cfg.Fsync {
+		return durable.OSSync{}
+	}
+	return durable.NoSync{}
+}
+
+// durableErrLocked surfaces the engine's sticky failure for error
+// messages. Callers hold n.mu in either mode.
+func (n *Node) durableErrLocked() error {
+	if n.eng != nil {
+		if err := n.eng.Err(); err != nil {
+			return err
+		}
+	}
+	return errors.New("durable engine refused the append")
 }
 
 // newPolicy maps a config name to a fresh policy instance (policies
@@ -214,9 +265,11 @@ func (n *Node) PartitionOf(key string) int {
 
 // Crash simulates a process death: the in-memory store and all epoch
 // state are lost and every operation fails with ErrCrashed until
-// Restart. The transport is left open — making the endpoint
-// unreachable (so peers see silence, not errors) is the harness's
-// business, e.g. Fleet.Crash or transport partitioning.
+// Restart. A durable node's engine is closed mid-flight — whatever the
+// WAL holds is what a Restart in the same data dir will recover. The
+// transport is left open — making the endpoint unreachable (so peers
+// see silence, not errors) is the harness's business, e.g. Fleet.Crash
+// or transport partitioning.
 func (n *Node) Crash() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -224,6 +277,11 @@ func (n *Node) Crash() {
 		return
 	}
 	n.crashed = true
+	n.clearTransfersLocked()
+	if n.eng != nil {
+		_ = n.eng.Close() // simulated power-off: close errors are part of the crash
+		n.eng = nil
+	}
 	n.store = newBlankStore(n.cfg.Partitions)
 	for i := range n.pending {
 		n.pending[i] = nil
@@ -257,8 +315,29 @@ func (n *Node) Restart(epoch uint64) error {
 	if err != nil {
 		return err
 	}
+	st := newBlankStore(n.cfg.Partitions)
+	if n.cfg.DataDir != "" {
+		eng, err := durable.Open(durable.Options{
+			Dir:          n.cfg.DataDir,
+			Partitions:   n.cfg.Partitions,
+			Sync:         syncerFor(&n.cfg),
+			CompactEvery: n.cfg.WALCompactEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("node %d: restart recovery: %w", n.cfg.ID, err)
+		}
+		// The cluster moved on while this node was dead, so the recovered
+		// content must not be served as authoritative (trustResident =
+		// false, every partition rejoins non-resident exactly like a
+		// blank store) — but it is NOT discarded: once the view is
+		// re-learned, the rejoin path pushes it back to the current
+		// primaries, which is what makes acked writes survive the crash
+		// of their whole holder set.
+		st = newDurableStore(n.cfg.Partitions, eng, false)
+		n.eng = eng
+	}
 	n.view = v
-	n.store = newBlankStore(n.cfg.Partitions)
+	n.store = st
 	n.tracker = tk
 	n.epoch = epoch
 	n.counts = DecisionCounts{}
@@ -292,7 +371,8 @@ func (n *Node) Recovering() bool {
 	return n.recovering
 }
 
-// Close shuts the node down and closes its transport.
+// Close shuts the node down and closes its transport and durable
+// engine.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -300,8 +380,17 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	eng := n.eng
+	n.eng = nil
 	n.mu.Unlock()
-	return n.tr.Close()
+	var engErr error
+	if eng != nil {
+		engErr = eng.Close()
+	}
+	if err := n.tr.Close(); err != nil {
+		return err
+	}
+	return engErr
 }
 
 // peerAddr returns the transport address of roster index i.
@@ -332,6 +421,14 @@ func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, 
 		return n.handleVer(req)
 	case KindStore:
 		return n.handleStore(req)
+	case KindXferBegin:
+		return n.handleXferBegin(req)
+	case KindXferChunk:
+		return n.handleXferChunk(req)
+	case KindXferCursor:
+		return n.handleXferCursor(req)
+	case KindXferDone:
+		return n.handleXferDone(req)
 	case KindDrop:
 		return n.handleDrop(req)
 	case KindStats:
@@ -601,8 +698,16 @@ func (n *Node) routePut(p int, key string, value []byte, hops int) (PutReceipt, 
 		// before the quorum verdict means a refused write may still
 		// become visible — standard quorum-store semantics (a failed
 		// write is "not guaranteed durable", not "guaranteed absent"),
-		// and the version keeps every copy ordered regardless.
-		ver := n.store.stampPut(p, key, value, n.epoch<<versionEpochShift)
+		// and the version keeps every copy ordered regardless. On a
+		// durable node ack #1 means the WAL append landed: an engine
+		// refusal fails the write outright instead of acking a record
+		// the disk never saw.
+		ver, applied := n.store.stampPut(p, key, value, n.epoch<<versionEpochShift)
+		if !applied {
+			n.mu.RUnlock()
+			return PutReceipt{}, fmt.Errorf("node %d: durable apply failed for partition %d: %w",
+				n.cfg.ID, p, n.durableErrLocked())
+		}
 		holders := n.view.cluster.ReplicaServers(p)
 		targets := make([]int, 0, len(holders))
 		for _, s := range holders {
@@ -652,12 +757,14 @@ func (n *Node) routePut(p int, key string, value []byte, hops int) (PutReceipt, 
 // syncWrite pushes one stamped write to the partition's other holders
 // and reports which of them durably acked it. A holder that answers
 // StatusRetry has no resident copy to apply onto (mid-rejoin, or
-// claim-added before its snapshot arrived); it is healed with a full
-// snapshot — which contains the stamped write — and counts as acked if
-// the snapshot lands. Sends run sequentially in holder order when
-// cfg.Fanout <= 1 (the deterministic-harness mode, see sendOps) and
-// over at most Fanout concurrent senders otherwise. Callers must not
-// hold n.mu.
+// claim-added before its own view even lists it as a holder); it is
+// healed with a ship whose frozen state provably contains this stamped
+// write, and the ship's landing IS the durable ack — re-sending the
+// sync would prove nothing, since handleSync keeps refusing until the
+// holder's view catches up an epoch later. Sends run sequentially in
+// holder order when cfg.Fanout <= 1 (the deterministic-harness mode,
+// see sendOps) and over at most Fanout concurrent senders otherwise.
+// Callers must not hold n.mu.
 //
 //lint:requires-unlocked n.mu
 func (n *Node) syncWrite(p int, key string, value []byte, ver uint64, targets []int) (acked []int, fails int) {
@@ -669,12 +776,7 @@ func (n *Node) syncWrite(p int, key string, value []byte, ver uint64, targets []
 			return false
 		}
 		if resp.Status == transport.StatusRetry {
-			resp, err = n.tr.Send(n.peerAddr(t), &transport.Message{
-				Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
-			})
-			if err != nil {
-				return false
-			}
+			return n.shipPartition(p, t, ver)
 		}
 		return resp.Status == transport.StatusOK
 	}
@@ -782,8 +884,11 @@ func (n *Node) handleStore(req *transport.Message) (*transport.Message, error) {
 	// snapshot transfer must never roll a key back below a version a
 	// later sync already installed here.
 	n.mu.RLock()
-	n.store.mergeSnapshot(p, entries)
+	err = n.store.mergeSnapshot(p, entries)
 	n.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
 	return &transport.Message{Kind: KindStore, Partition: req.Partition}, nil
 }
 
@@ -950,8 +1055,11 @@ func (n *Node) RunEpoch() error {
 	if n.recovering && n.view.fullyPlaced(n.cfg.Partitions) {
 		// Every partition has been re-learned from the live primaries:
 		// the reconciled view is now trustworthy and the node resumes
-		// full participation.
+		// full participation. A durable node additionally re-injects the
+		// data it recovered from disk (see rejoinReinjectLocked) — a
+		// memory node recovered nothing, so this is a no-op for it.
 		n.recovering = false
+		n.rejoinReinjectLocked()
 	}
 	var ops []outOp
 	if n.recovering {
@@ -994,7 +1102,42 @@ func (n *Node) RunEpoch() error {
 	// Data movement happens outside the lock: the loopback transport
 	// delivers synchronously, and the receiving node takes its own lock.
 	n.sendOps(ops)
+	// Then drive the chunked transfer sessions a round (and age their
+	// leases). A node with no sessions in flight sends nothing here.
+	n.pumpTransfers()
 	return nil
+}
+
+// rejoinReinjectLocked runs once, at the moment a restarted node's
+// view completes: every partition whose recovered (non-resident) copy
+// still has data is pushed back toward the cluster. EVERY current
+// holder gets it through a chunked session that does NOT mark it
+// resident there (it already is) — primary-only injection would leave
+// the co-holders permanently divergent, since they serve reads locally
+// and nothing re-ships a partition they already hold. Version-gated
+// merge means recovered records only land where they are still the
+// newest: an acked write whose whole holder set died thus survives the
+// restart, while anything re-written since the reseed wins on version.
+// A partition this node itself re-leads is simply re-adopted as
+// authoritative. Callers hold n.mu (write mode); the sessions pump
+// after the lock drops.
+func (n *Node) rejoinReinjectLocked() {
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if n.store.isResident(p) || n.store.keys(p) == 0 {
+			continue
+		}
+		if pr := n.view.primary(p); pr == n.self {
+			if err := n.store.mergeSnapshot(p, nil); err != nil {
+				continue // sticky engine failure; surfaced on the ack path
+			}
+			continue
+		}
+		for _, s := range n.view.cluster.ReplicaServers(p) {
+			if int(s) != n.self {
+				n.startTransferLocked(p, int(s), false)
+			}
+		}
+	}
 }
 
 // ageSuspicionLocked updates per-peer failure suspicion from the stats
@@ -1188,10 +1331,21 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 	size := n.cfg.PartitionSize
 	var ops []outOp
 
-	snapshotOp := func(p, target int) outOp {
-		return outOp{peer: target, msg: &transport.Message{
-			Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
-		}}
+	// shipOp routes one replica ship by size: a partition under the
+	// one-frame threshold travels as a single KindStore message, a
+	// larger one opens a chunked transfer session that RunEpoch pumps
+	// after the lock drops (ok=false: nothing to append to ops).
+	shipOp := func(p, target int) (outOp, bool) {
+		if n.store.sizeBytes(p) <= n.cfg.SnapshotOneFrameBytes {
+			n.xmu.Lock()
+			n.xstats.OneFrame++
+			n.xmu.Unlock()
+			return outOp{peer: target, msg: &transport.Message{
+				Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
+			}}, true
+		}
+		n.startTransferLocked(p, target, true)
+		return outOp{}, false
 	}
 	dropOp := func(p, target int) outOp {
 		return outOp{peer: target, msg: &transport.Message{
@@ -1215,7 +1369,9 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 		}
 		n.counts.Repl++
 		if int(tgt) != n.self {
-			ops = append(ops, snapshotOp(p, int(tgt)))
+			if op, ok := shipOp(p, int(tgt)); ok {
+				ops = append(ops, op)
+			}
 		}
 	}
 	for _, mig := range dec.Migrations {
@@ -1240,16 +1396,23 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 			// simulator's half-completed move).
 			n.counts.Repl++
 			if int(to) != n.self {
-				ops = append(ops, snapshotOp(p, int(to)))
+				if op, ok := shipOp(p, int(to)); ok {
+					ops = append(ops, op)
+				}
 			}
 			continue
 		}
 		n.counts.Migr++
+		if int(to) != n.self {
+			// Snapshot (or open the session) BEFORE the source drop
+			// below: when this node is both source and shipper, dropping
+			// first would ship an empty partition.
+			if op, ok := shipOp(p, int(to)); ok {
+				ops = append(ops, op)
+			}
+		}
 		if int(from) == n.self {
 			n.store.drop(p)
-		}
-		if int(to) != n.self {
-			ops = append(ops, snapshotOp(p, int(to)))
 		}
 		if int(from) != n.self {
 			ops = append(ops, dropOp(p, int(from)))
@@ -1285,6 +1448,12 @@ type PartitionInfo struct {
 	Primary   int   `json:"primary"`
 	Replicas  []int `json:"replicas"`
 	Keys      int   `json:"keys"`
+	Bytes     int   `json:"bytes"`
+	Resident  bool  `json:"resident"`
+	// WAL depth and compaction count of the durable engine's partition
+	// log; zero in memory mode.
+	WALRecords  int `json:"wal_records,omitempty"`
+	Compactions int `json:"compactions,omitempty"`
 }
 
 // DumpInfo is a node's introspection snapshot, served to rfhctl as
@@ -1297,6 +1466,8 @@ type DumpInfo struct {
 	WriteQuorum int             `json:"write_quorum"`
 	ReadQuorum  int             `json:"read_quorum"`
 	SyncFails   int64           `json:"sync_fails,omitempty"`
+	Durable     bool            `json:"durable"`
+	Transfers   TransferStats   `json:"transfers"`
 	Decisions   DecisionCounts  `json:"decisions"`
 	Suspected   []int           `json:"suspected,omitempty"`
 	Partitions  []PartitionInfo `json:"partitions"`
@@ -1314,6 +1485,8 @@ func (n *Node) Dump() DumpInfo {
 		WriteQuorum: n.cfg.WriteQuorum,
 		ReadQuorum:  n.cfg.ReadQuorum,
 		SyncFails:   n.syncFails.Load(),
+		Durable:     n.eng != nil,
+		Transfers:   n.TransferStats(),
 		Decisions:   n.counts,
 	}
 	for i, s := range n.suspect {
@@ -1322,7 +1495,17 @@ func (n *Node) Dump() DumpInfo {
 		}
 	}
 	for p := 0; p < n.cfg.Partitions; p++ {
-		info := PartitionInfo{Partition: p, Primary: n.view.primary(p), Keys: n.store.keys(p)}
+		info := PartitionInfo{
+			Partition: p,
+			Primary:   n.view.primary(p),
+			Keys:      n.store.keys(p),
+			Bytes:     n.store.sizeBytes(p),
+			Resident:  n.store.isResident(p),
+		}
+		if n.eng != nil {
+			st := n.eng.Stats(p)
+			info.WALRecords, info.Compactions = st.WALRecords, st.Compactions
+		}
 		for _, s := range n.view.cluster.ReplicaServers(p) {
 			info.Replicas = append(info.Replicas, int(s))
 		}

@@ -1,6 +1,10 @@
 package node
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/durable"
+)
 
 // entry is one stored record: the value bytes and the per-key version
 // the primary stamped when the write was accepted. Versions order
@@ -24,11 +28,28 @@ type entry struct {
 // scales that is orders of magnitude of headroom.
 const versionEpochShift = 20
 
-// store is the node's in-memory partitioned KV data plus the
-// per-partition traffic counters for the epoch in flight. Partition
-// maps exist for every partition regardless of whether the node
-// currently holds a replica — holding is a property of the view, and
-// an empty map for a non-held partition costs nothing.
+// Inbound transfer-session caps, matching the durable engine's mirror
+// caps exactly: the store's runtime session list and the engine's
+// recovered one must evolve identically, or a restart would recover
+// different sessions than the live node was tracking.
+const (
+	maxInboundSessions = 4
+	maxDoneSessions    = 8
+)
+
+// store is the node's partitioned KV data plus the per-partition
+// traffic counters for the epoch in flight. Partition maps exist for
+// every partition regardless of whether the node currently holds a
+// replica — holding is a property of the view, and an empty map for a
+// non-held partition costs nothing.
+//
+// When eng is non-nil the store is durably backed: every mutation
+// appends to the partition's write-ahead log BEFORE touching the
+// in-memory map, and an append failure refuses the mutation — the
+// quorum plane never acks a write the disk did not take. Values are
+// shared by reference between the map and the engine's recovery
+// mirror; both sides treat them as immutable (every apply installs a
+// fresh copy).
 //
 // resident tracks whether the partition's local content is
 // authoritative: view membership and store content move at different
@@ -53,17 +74,29 @@ const versionEpochShift = 20
 // requests for different partitions never contend and requests for the
 // same partition serialise only around the map touch. Lock hierarchy:
 // a partition lock may be taken while holding Node.mu (either mode),
-// never the reverse.
+// never the reverse. The engine's per-partition lock is a leaf below
+// the shard lock.
 type store struct {
 	parts []partitionShard
+	eng   *durable.Engine // nil = pure in-memory
 }
 
 type partitionShard struct {
 	mu       sync.Mutex
 	data     map[string]entry
+	bytes    int // sum of len(key)+len(val) over data
 	resident bool
 	maxVer   uint64
 	counters partitionCounters
+	// inbound is the partition's live inbound transfer sessions; done
+	// remembers recently completed session ids so a replayed begin/done
+	// is answered "already complete" instead of re-running the session.
+	inbound []durable.Session
+	done    []uint64
+	// holds counts outbound transfer sessions currently freezing this
+	// partition's snapshot (the lease the source holds so compaction
+	// cannot GC state an in-flight transfer still needs).
+	holds int
 }
 
 func newStore(partitions int) *store {
@@ -86,6 +119,47 @@ func newBlankStore(partitions int) *store {
 	return s
 }
 
+// newDurableStore builds the store from a durable engine's recovered
+// state. trustResident distinguishes first boot from rejoin: a node
+// opening its data dir at birth serves its recovered residency as-is,
+// while a node restarting into a cluster that moved on must not serve
+// possibly-stale recovered content — every partition rejoins
+// non-resident (like newBlankStore) but KEEPS the recovered data, so
+// the rejoin path can push it back to the current holders instead of
+// losing it.
+func newDurableStore(partitions int, eng *durable.Engine, trustResident bool) *store {
+	s := newStore(partitions)
+	s.eng = eng
+	for p := range s.parts {
+		ps := &s.parts[p]
+		rec := eng.Recovered(p)
+		for _, e := range rec.Entries {
+			ps.install(e.Key, entry{val: e.Val, ver: e.Ver})
+		}
+		ps.maxVer = rec.MaxVer
+		ps.resident = rec.Resident && trustResident
+		ps.inbound = append(ps.inbound, rec.Sessions...)
+		ps.done = append(ps.done, rec.Done...)
+	}
+	return s
+}
+
+// install puts one entry into the shard map, keeping the byte
+// accounting exact. Callers hold the shard lock.
+func (ps *partitionShard) install(key string, e entry) {
+	if old, ok := ps.data[key]; ok {
+		ps.bytes -= len(key) + len(old.val)
+	}
+	ps.bytes += len(key) + len(e.val)
+	ps.data[key] = e
+}
+
+// clear empties the shard map. Callers hold the shard lock.
+func (ps *partitionShard) clear() {
+	ps.data = make(map[string]entry)
+	ps.bytes = 0
+}
+
 func (s *store) get(p int, key string) ([]byte, uint64, bool) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
@@ -101,21 +175,28 @@ func (s *store) get(p int, key string) ([]byte, uint64, bool) {
 // epochBase (the current epoch shifted into the version's high bits),
 // so versions stay monotone across primary failover as long as
 // suspicion takes at least one epoch — installs the value, and returns
-// the stamped version for the sync fan-out.
-func (s *store) stampPut(p int, key string, value []byte, epochBase uint64) uint64 {
+// the stamped version for the sync fan-out. ok=false means the durable
+// engine refused the append: nothing was applied and the write must
+// not be acked.
+func (s *store) stampPut(p int, key string, value []byte, epochBase uint64) (uint64, bool) {
 	v := make([]byte, len(value))
 	copy(v, value)
 	ps := &s.parts[p]
 	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	ver := ps.maxVer
 	if epochBase > ver {
 		ver = epochBase
 	}
 	ver++
+	if s.eng != nil {
+		if err := s.eng.AppendPut(p, key, ver, v); err != nil {
+			return 0, false
+		}
+	}
 	ps.maxVer = ver
-	ps.data[key] = entry{val: v, ver: ver}
-	ps.mu.Unlock()
-	return ver
+	ps.install(key, entry{val: v, ver: ver})
+	return ver, true
 }
 
 // applySync applies one replicated write at a holder. acked reports
@@ -124,7 +205,8 @@ func (s *store) stampPut(p int, key string, value []byte, epochBase uint64) uint
 // already present (a replayed or reordered sync is a success, not a
 // conflict). A non-resident partition refuses (acked=false): its
 // content is not authoritative, and applying would let a delayed sync
-// resurrect records the same epoch's drop discarded.
+// resurrect records the same epoch's drop discarded. A durable engine
+// refusing the append also refuses the ack.
 func (s *store) applySync(p int, key string, value []byte, ver uint64) (acked bool) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
@@ -132,37 +214,262 @@ func (s *store) applySync(p int, key string, value []byte, ver uint64) (acked bo
 	if !ps.resident {
 		return false
 	}
-	if ver > ps.maxVer {
-		ps.maxVer = ver
-	}
 	if e, ok := ps.data[key]; ok && e.ver >= ver {
 		return true
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	ps.data[key] = entry{val: v, ver: ver}
+	if s.eng != nil {
+		if err := s.eng.AppendPut(p, key, ver, v); err != nil {
+			return false
+		}
+	}
+	if ver > ps.maxVer {
+		ps.maxVer = ver
+	}
+	ps.install(key, entry{val: v, ver: ver})
 	return true
 }
 
-// mergeSnapshot folds a transferred snapshot into the partition,
-// version-aware per key: a snapshot record replaces the local one only
-// if strictly newer, so a replayed or delayed KindStore can never roll
-// a key back. The partition becomes resident — after the merge its
-// content covers at least everything the sender had.
-func (s *store) mergeSnapshot(p int, entries []kvEntry) {
-	ps := &s.parts[p]
-	ps.mu.Lock()
+// mergeEntriesLocked folds an entry block into the shard, version-aware
+// per key: a record replaces the local one only if strictly newer, so a
+// replayed or delayed transfer can never roll a key back. Callers hold
+// the shard lock. The first engine refusal aborts the merge — the
+// entries already applied are durable and version-gated, so a partial
+// merge is safe to leave behind.
+func (s *store) mergeEntriesLocked(p int, ps *partitionShard, entries []kvEntry) error {
 	for _, in := range entries {
-		if in.ver > ps.maxVer {
-			ps.maxVer = in.ver
-		}
 		if e, ok := ps.data[in.key]; ok && e.ver >= in.ver {
 			continue
 		}
-		ps.data[in.key] = entry{val: in.val, ver: in.ver}
+		if s.eng != nil {
+			if err := s.eng.AppendPut(p, in.key, in.ver, in.val); err != nil {
+				return err
+			}
+		}
+		if in.ver > ps.maxVer {
+			ps.maxVer = in.ver
+		}
+		ps.install(in.key, entry{val: in.val, ver: in.ver})
+	}
+	return nil
+}
+
+// mergeSnapshot folds a one-frame transferred snapshot into the
+// partition. The partition becomes resident — after the merge its
+// content covers at least everything the sender had.
+func (s *store) mergeSnapshot(p int, entries []kvEntry) error {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if err := s.mergeEntriesLocked(p, ps, entries); err != nil {
+		return err
+	}
+	if s.eng != nil && !ps.resident {
+		if err := s.eng.AppendResident(p); err != nil {
+			return err
+		}
 	}
 	ps.resident = true
+	return nil
+}
+
+// beginInbound opens (or re-finds) an inbound transfer session and
+// returns the next chunk the target wants: 0 for a fresh session, the
+// recovered cursor for a known one, xferComplete for a replayed begin
+// of a finished session. srcMaxVer folds the source's version
+// watermark in up front so watermark-only state transfers even if
+// every chunk loses the version race.
+func (s *store) beginInbound(p int, sid uint64, total uint32, markResident bool, srcMaxVer uint64) (uint64, error) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, d := range ps.done {
+		if d == sid {
+			return xferComplete, nil
+		}
+	}
+	if srcMaxVer > ps.maxVer {
+		if s.eng != nil {
+			if err := s.eng.AppendMaxVer(p, srcMaxVer); err != nil {
+				return 0, err
+			}
+		}
+		ps.maxVer = srcMaxVer
+	}
+	for i := range ps.inbound {
+		if ps.inbound[i].ID == sid {
+			return uint64(ps.inbound[i].Next), nil
+		}
+	}
+	sess := durable.Session{ID: sid, Next: 0, Total: total, MarkResident: markResident}
+	if s.eng != nil {
+		if err := s.eng.AppendCursor(p, sess); err != nil {
+			return 0, err
+		}
+	}
+	ps.setInboundLocked(sess)
+	return 0, nil
+}
+
+// applyChunk applies one transfer chunk. known=false means the session
+// is not (or no longer) tracked and the source must re-begin. A chunk
+// that is not the exact next one is acked without applying — the
+// cursor only moves forward, so duplicated or reordered chunks are
+// no-ops and repeated invocation converges monotonically.
+func (s *store) applyChunk(p int, sid uint64, idx uint32, entries []kvEntry) (next uint64, known bool, err error) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, d := range ps.done {
+		if d == sid {
+			return xferComplete, true, nil
+		}
+	}
+	for i := range ps.inbound {
+		sess := &ps.inbound[i]
+		if sess.ID != sid {
+			continue
+		}
+		if idx != sess.Next {
+			return uint64(sess.Next), true, nil
+		}
+		if err := s.mergeEntriesLocked(p, ps, entries); err != nil {
+			return 0, true, err
+		}
+		adv := *sess
+		adv.Next++
+		if s.eng != nil {
+			if err := s.eng.AppendCursor(p, adv); err != nil {
+				return 0, true, err
+			}
+		}
+		*sess = adv
+		return uint64(sess.Next), true, nil
+	}
+	return 0, false, nil
+}
+
+// finishInbound closes an inbound session. complete=false (with the
+// cursor) means chunks are still missing; known=false means the
+// session is untracked and the source must re-begin. Completion
+// applies the session's residency side effect and retires the id so a
+// replayed done (or begin) is idempotent.
+func (s *store) finishInbound(p int, sid uint64) (next uint64, known, complete bool, err error) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, d := range ps.done {
+		if d == sid {
+			return xferComplete, true, true, nil
+		}
+	}
+	for i := range ps.inbound {
+		sess := ps.inbound[i]
+		if sess.ID != sid {
+			continue
+		}
+		if sess.Next != sess.Total {
+			return uint64(sess.Next), true, false, nil
+		}
+		if s.eng != nil {
+			if sess.MarkResident && !ps.resident {
+				if err := s.eng.AppendResident(p); err != nil {
+					return 0, true, false, err
+				}
+			}
+			if err := s.eng.AppendSessionDone(p, sid); err != nil {
+				return 0, true, false, err
+			}
+		}
+		if sess.MarkResident {
+			ps.resident = true
+		}
+		ps.retireInboundLocked(sid)
+		return xferComplete, true, true, nil
+	}
+	return 0, false, false, nil
+}
+
+// inboundCursor answers a resume probe: where does the target's cursor
+// stand for this session?
+func (s *store) inboundCursor(p int, sid uint64) (next uint64, known bool) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, d := range ps.done {
+		if d == sid {
+			return xferComplete, true
+		}
+	}
+	for i := range ps.inbound {
+		if ps.inbound[i].ID == sid {
+			return uint64(ps.inbound[i].Next), true
+		}
+	}
+	return 0, false
+}
+
+// setInboundLocked upserts a session record, evicting the oldest past
+// the cap — the same policy as the durable engine's mirror, so the
+// recovered list matches the live one.
+func (ps *partitionShard) setInboundLocked(sess durable.Session) {
+	for i := range ps.inbound {
+		if ps.inbound[i].ID == sess.ID {
+			ps.inbound[i] = sess
+			return
+		}
+	}
+	ps.inbound = append(ps.inbound, sess)
+	if len(ps.inbound) > maxInboundSessions {
+		ps.inbound = ps.inbound[len(ps.inbound)-maxInboundSessions:]
+	}
+}
+
+// retireInboundLocked moves a session to the done list (same eviction
+// policy as the engine mirror).
+func (ps *partitionShard) retireInboundLocked(sid uint64) {
+	for i := range ps.inbound {
+		if ps.inbound[i].ID == sid {
+			ps.inbound = append(ps.inbound[:i], ps.inbound[i+1:]...)
+			break
+		}
+	}
+	ps.done = append(ps.done, sid)
+	if len(ps.done) > maxDoneSessions {
+		ps.done = ps.done[len(ps.done)-maxDoneSessions:]
+	}
+}
+
+// holdSnapshot freezes the partition against compaction while an
+// outbound transfer session needs its state stable; releaseHold drops
+// the lease (running any deferred compaction).
+func (s *store) holdSnapshot(p int) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.holds++
 	ps.mu.Unlock()
+	if s.eng != nil {
+		s.eng.Hold(p)
+	}
+}
+
+func (s *store) releaseHold(p int) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	ps.holds--
+	ps.mu.Unlock()
+	if s.eng != nil {
+		s.eng.Release(p)
+	}
+}
+
+// holdCount reports the partition's outstanding snapshot holds.
+func (s *store) holdCount(p int) int {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.holds
 }
 
 // arriveAndTryServe is the read path's single visit to partition p:
@@ -215,11 +522,16 @@ func (s *store) localVersion(p int, key string) (v []byte, ver uint64, ok, resid
 // resetEmpty restores the partition to an authoritative empty state —
 // the lost-data reseed path, where every holder is gone and the
 // primary re-adopts the partition as empty. maxVer is kept so any
-// still-circulating version number stays below future stamps.
+// still-circulating version number stays below future stamps. The
+// engine append failure mode is sticky engine-side: a reset the disk
+// missed surfaces on the next acked write, not here.
 func (s *store) resetEmpty(p int) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	ps.data = make(map[string]entry)
+	if s.eng != nil {
+		_ = s.eng.AppendReset(p) // sticky engine error; next ack-path append surfaces it
+	}
+	ps.clear()
 	ps.resident = true
 	ps.mu.Unlock()
 }
@@ -231,7 +543,10 @@ func (s *store) resetEmpty(p int) {
 func (s *store) drop(p int) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
-	ps.data = make(map[string]entry)
+	if s.eng != nil {
+		_ = s.eng.AppendDrop(p) // sticky engine error; next ack-path append surfaces it
+	}
+	ps.clear()
 	ps.resident = false
 	ps.mu.Unlock()
 }
@@ -243,8 +558,37 @@ func (s *store) keys(p int) int {
 	return len(ps.data)
 }
 
-// encodeSnapshot serialises the partition's content for a KindStore
-// transfer.
+// sizeBytes reports the partition's payload size (keys + values), the
+// quantity the one-frame-vs-chunked shipping threshold compares.
+func (s *store) sizeBytes(p int) int {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.bytes
+}
+
+// isResident reports whether the partition's local content is
+// authoritative.
+func (s *store) isResident(p int) bool {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.resident
+}
+
+// snapshotEntries flattens the partition into the canonical ascending-
+// key entry slice plus the shard's version watermark — the frozen
+// source state an outbound transfer session chunks from. Values are
+// shared by reference (immutable by convention).
+func (s *store) snapshotEntries(p int) ([]kvEntry, uint64) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return sortedEntries(ps.data), ps.maxVer
+}
+
+// encodeSnapshot serialises the partition's content for a one-frame
+// KindStore transfer.
 func (s *store) encodeSnapshot(p int) []byte {
 	ps := &s.parts[p]
 	ps.mu.Lock()

@@ -1,0 +1,494 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Chunked replica transfers (the zrepl step model): instead of one
+// KindStore frame carrying a whole partition, the source freezes a
+// snapshot, slices it into chunks, and drives a session of
+// begin → chunk* → done exchanges. The TARGET owns the resume cursor —
+// the next chunk index it wants — persists it (durable engine) and
+// echoes it on every reply, so the source never guesses: after any
+// fault, duplicate or restart it adopts the target's cursor and
+// continues from there. Repeated invocation is monotone (the cursor
+// only advances) and converges. While a session is in flight the
+// source holds the partition's snapshot against compaction; the hold
+// is leased — a session making no progress for TransferLeaseEpochs
+// epochs is abandoned and the hold released.
+//
+// Lock order: n.mu (either mode) may be held while taking n.xmu, never
+// the reverse; no lock is held across a transport send — a pump claims
+// a session under xmu (busy flag), sends lock-free, and settles under
+// xmu again.
+
+// maxChunkBytes caps one chunk's payload regardless of the entry-count
+// bound, so a few giant values cannot push a chunk past frame limits.
+const maxChunkBytes = 256 << 10
+
+// TransferStats counts the node's outbound transfer-session activity
+// since start. Resumed increments when a session continues from a
+// nonzero cursor the target reported after an interruption — the
+// signal the crash-mid-transfer scenarios assert on.
+type TransferStats struct {
+	Started    int64 `json:"started"`
+	Completed  int64 `json:"completed"`
+	Expired    int64 `json:"expired"`
+	Resumed    int64 `json:"resumed"`
+	ChunksSent int64 `json:"chunks_sent"`
+	OneFrame   int64 `json:"one_frame"`
+}
+
+// xferSession is one outbound chunked transfer: a frozen, pre-sliced
+// snapshot of partition p on its way to target.
+type xferSession struct {
+	id     uint64
+	p      int
+	target int
+	mark   bool // completion marks the target resident
+	maxVer uint64
+	chunks [][]kvEntry
+	st     *store // the store the snapshot (and its hold) came from
+
+	begun       bool   // target has acked a begin for this session
+	next        uint32 // next chunk to send (the target's cursor)
+	busy        bool   // claimed by a running pump
+	interrupted bool   // last pump ended early (send failure / no reply)
+	idleEpochs  int    // lease age: epochs without cursor progress
+	lastNext    uint32
+}
+
+// TransferStats returns the node's cumulative outbound transfer
+// counters.
+func (n *Node) TransferStats() TransferStats {
+	n.xmu.Lock()
+	defer n.xmu.Unlock()
+	return n.xstats
+}
+
+// startTransferLocked opens an outbound session for partition p toward
+// target, freezing the snapshot and taking the compaction hold.
+// Callers hold n.mu; an existing live session for the same
+// (partition, target) pair is left alone — its frozen state is already
+// on the way, and syncs/read-repair heal anything newer.
+func (n *Node) startTransferLocked(p, target int, mark bool) {
+	n.xmu.Lock()
+	defer n.xmu.Unlock()
+	for _, s := range n.xfers {
+		if s.p == p && s.target == target {
+			return
+		}
+	}
+	entries, maxVer := n.store.snapshotEntries(p)
+	n.store.holdSnapshot(p)
+	n.xseq++
+	s := &xferSession{
+		id:     uint64(n.self+1)<<56 | n.xseq,
+		p:      p,
+		target: target,
+		mark:   mark,
+		maxVer: maxVer,
+		chunks: sliceChunks(entries, n.cfg.TransferChunkEntries),
+		st:     n.store,
+	}
+	n.xfers = append(n.xfers, s)
+	n.xstats.Started++
+}
+
+// sliceChunks splits a frozen entry slice into chunks of at most
+// maxEntries entries and maxChunkBytes payload bytes (whichever limit
+// bites first; a single oversized entry still travels alone).
+func sliceChunks(entries []kvEntry, maxEntries int) [][]kvEntry {
+	var chunks [][]kvEntry
+	start, bytes := 0, 0
+	for i, e := range entries {
+		sz := len(e.key) + len(e.val)
+		if i > start && (i-start >= maxEntries || bytes+sz > maxChunkBytes) {
+			chunks = append(chunks, entries[start:i])
+			start, bytes = i, 0
+		}
+		bytes += sz
+	}
+	if start < len(entries) {
+		chunks = append(chunks, entries[start:])
+	}
+	return chunks
+}
+
+// clearTransfersLocked drops every outbound session without touching
+// the store — the Crash path, where the store and engine are being
+// discarded wholesale and the "process" forgets its in-flight work.
+// Callers hold n.mu.
+func (n *Node) clearTransfersLocked() {
+	n.xmu.Lock()
+	n.xfers = nil
+	n.xmu.Unlock()
+}
+
+// pumpTransfers drives every outbound session one round, in session
+// order (deterministic under Fanout=1 harnesses), and ages the leases:
+// a session whose cursor made no progress for TransferLeaseEpochs
+// consecutive pumps is abandoned and its snapshot hold released.
+// Callers must not hold n.mu.
+//
+//lint:requires-unlocked n.mu
+func (n *Node) pumpTransfers() {
+	n.xmu.Lock()
+	sessions := append([]*xferSession(nil), n.xfers...)
+	n.xmu.Unlock()
+	for _, s := range sessions {
+		n.pumpSession(s)
+	}
+	n.xmu.Lock()
+	kept := n.xfers[:0]
+	for _, s := range n.xfers {
+		if s.next == s.lastNext {
+			s.idleEpochs++
+		} else {
+			s.idleEpochs = 0
+		}
+		s.lastNext = s.next
+		if s.idleEpochs > n.cfg.TransferLeaseEpochs {
+			s.st.releaseHold(s.p)
+			n.xstats.Expired++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	n.xfers = kept
+	n.xmu.Unlock()
+}
+
+// shipPartition heals a holder that answered StatusRetry on a sync —
+// it has no resident copy to apply onto. The shipped state must
+// contain version ver (the write being acked): a true return is a
+// durability ack for that write, not just "a snapshot landed". Under
+// the one-frame threshold the partition travels as a single KindStore
+// message encoded at call time, which is after the stamp and so always
+// covers ver. Above it a chunked session is driven to completion
+// synchronously — and if the live session for this (partition, target)
+// was frozen before ver was stamped, it is completed and retired first
+// and a second, freshly frozen session carries the write. Callers must
+// not hold n.mu.
+//
+//lint:requires-unlocked n.mu
+func (n *Node) shipPartition(p, target int, ver uint64) bool {
+	if n.store.sizeBytes(p) <= n.cfg.SnapshotOneFrameBytes {
+		resp, err := n.tr.Send(n.peerAddr(target), &transport.Message{
+			Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
+		})
+		if err != nil || resp.Status != transport.StatusOK {
+			return false
+		}
+		n.xmu.Lock()
+		n.xstats.OneFrame++
+		n.xmu.Unlock()
+		return true
+	}
+	// Round 2 always covers: a snapshot frozen now sees the shard's
+	// maxVer, which the stamp already advanced past ver.
+	for round := 0; round < 2; round++ {
+		n.mu.RLock()
+		n.startTransferLocked(p, target, true)
+		n.mu.RUnlock()
+		n.xmu.Lock()
+		var sess *xferSession
+		for _, s := range n.xfers {
+			if s.p == p && s.target == target {
+				sess = s
+				break
+			}
+		}
+		n.xmu.Unlock()
+		if sess == nil {
+			return false
+		}
+		covered := sess.maxVer >= ver
+		if !n.pumpSession(sess) {
+			return false
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
+}
+
+// TransferPartition synchronously ships partition p to target through
+// a chunked session (opening one if none is live) and reports whether
+// the session completed. The harness scenarios and the sync-fallback
+// path use it; RunEpoch pumps sessions opportunistically instead.
+// Callers must not hold n.mu.
+//
+//lint:requires-unlocked n.mu
+func (n *Node) TransferPartition(p, target int) bool {
+	n.mu.RLock()
+	n.startTransferLocked(p, target, true)
+	n.mu.RUnlock()
+	n.xmu.Lock()
+	var sess *xferSession
+	for _, s := range n.xfers {
+		if s.p == p && s.target == target {
+			sess = s
+			break
+		}
+	}
+	n.xmu.Unlock()
+	if sess == nil {
+		return false
+	}
+	return n.pumpSession(sess)
+}
+
+// pumpSession drives one session as far as it will go in a single
+// round: (re)begin or probe for the target's cursor, stream chunks
+// from there, and close with done. Any send failure ends the round —
+// the session stays, the cursor survives on the target, and the next
+// pump resumes. Returns true when the session completed (and was
+// removed). Callers must not hold n.mu or n.xmu.
+//
+//lint:requires-unlocked n.mu
+func (n *Node) pumpSession(s *xferSession) bool {
+	n.xmu.Lock()
+	if s.busy {
+		n.xmu.Unlock()
+		return false
+	}
+	alive := false
+	for _, live := range n.xfers {
+		if live == s {
+			alive = true
+		}
+	}
+	if !alive {
+		n.xmu.Unlock()
+		return false
+	}
+	s.busy = true
+	// Work on local copies of the cursor state: the lease ager reads the
+	// session under xmu while a pump is in flight, so the pump must not
+	// scribble on the struct lock-free. Written back at settle.
+	begun, next, wasInterrupted := s.begun, s.next, s.interrupted
+	n.xmu.Unlock()
+
+	completed := false
+	interrupted := true
+	total := uint32(len(s.chunks))
+	addr := n.peerAddr(s.target)
+	sent := int64(0)
+	resumed := false
+
+	// One bounded walk through the session state machine. The loop
+	// re-begins at most once per pump (cursor lost at the target), so
+	// 2*(total+2) exchanges bound the round even under adversarial
+	// replies.
+	for step := 0; step < 2*int(total)+4; step++ {
+		if !begun {
+			resp, err := n.tr.Send(addr, &transport.Message{
+				Kind: KindXferBegin, Partition: uint32(s.p), Session: s.id,
+				Version: s.maxVer, Value: appendXferBegin(nil, total, s.mark),
+			})
+			if err != nil || resp.Status != transport.StatusOK {
+				break
+			}
+			begun = true
+			if resp.Cursor == xferComplete {
+				completed, interrupted = true, false
+				break
+			}
+			if c := uint32(resp.Cursor); c <= total {
+				if c > 0 && wasInterrupted {
+					resumed = true
+				}
+				next = c
+			}
+			continue
+		}
+		if wasInterrupted && step == 0 {
+			// The last round ended mid-session: ask the target where its
+			// cursor actually stands before re-sending anything (it may
+			// have applied a chunk whose ack we lost, or recovered the
+			// cursor from its WAL across a restart).
+			resp, err := n.tr.Send(addr, &transport.Message{
+				Kind: KindXferCursor, Partition: uint32(s.p), Session: s.id,
+			})
+			if err != nil {
+				break
+			}
+			if resp.Status == transport.StatusNotFound {
+				begun = false // target lost the session: re-begin
+				continue
+			}
+			if resp.Status != transport.StatusOK {
+				break
+			}
+			if resp.Cursor == xferComplete {
+				completed, interrupted = true, false
+				break
+			}
+			if c := uint32(resp.Cursor); c <= total {
+				if c > 0 {
+					resumed = true
+				}
+				next = c
+			}
+			continue
+		}
+		if next < total {
+			resp, err := n.tr.Send(addr, &transport.Message{
+				Kind: KindXferChunk, Partition: uint32(s.p), Session: s.id,
+				Cursor: uint64(next), Value: appendEntries(nil, s.chunks[next]),
+			})
+			if err != nil {
+				break
+			}
+			if resp.Status == transport.StatusNotFound {
+				begun = false
+				continue
+			}
+			if resp.Status != transport.StatusOK {
+				break
+			}
+			sent++
+			if resp.Cursor == xferComplete {
+				completed, interrupted = true, false
+				break
+			}
+			if c := uint32(resp.Cursor); c <= total {
+				next = c
+			}
+			continue
+		}
+		// Every chunk is at the target: close the session.
+		resp, err := n.tr.Send(addr, &transport.Message{
+			Kind: KindXferDone, Partition: uint32(s.p), Session: s.id,
+		})
+		if err != nil {
+			break
+		}
+		switch resp.Status {
+		case transport.StatusOK:
+			completed, interrupted = true, false
+		case transport.StatusRetry:
+			if c := uint32(resp.Cursor); c < total {
+				next = c
+				continue
+			}
+		case transport.StatusNotFound:
+			begun = false
+			continue
+		default:
+			// StatusError: the target could not settle the session this
+			// round — end the pump; the session stays for the next one.
+		}
+		break
+	}
+
+	n.xmu.Lock()
+	s.busy = false
+	s.begun, s.next = begun, next
+	s.interrupted = interrupted && !completed
+	n.xstats.ChunksSent += sent
+	if resumed {
+		n.xstats.Resumed++
+	}
+	if completed {
+		for i, live := range n.xfers {
+			if live == s {
+				n.xfers = append(n.xfers[:i], n.xfers[i+1:]...)
+				s.st.releaseHold(s.p)
+				n.xstats.Completed++
+				break
+			}
+		}
+	}
+	n.xmu.Unlock()
+	return completed
+}
+
+// --- Target-side handlers -------------------------------------------
+
+func (n *Node) handleXferBegin(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	total, mark, err := decodeXferBegin(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	next, err := n.store.beginInbound(p, req.Session, total, mark, req.Version)
+	n.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return &transport.Message{Kind: KindXferBegin, Partition: req.Partition, Session: req.Session, Cursor: next}, nil
+}
+
+func (n *Node) handleXferChunk(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if req.Cursor > 1<<32-1 {
+		return nil, fmt.Errorf("node %d: transfer chunk index %d overflows uint32", n.cfg.ID, req.Cursor)
+	}
+	entries, err := decodeSnapshot(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	next, known, err := n.store.applyChunk(p, req.Session, uint32(req.Cursor), entries)
+	n.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if !known {
+		return &transport.Message{Kind: KindXferChunk, Partition: req.Partition, Session: req.Session,
+			Status: transport.StatusNotFound}, nil
+	}
+	return &transport.Message{Kind: KindXferChunk, Partition: req.Partition, Session: req.Session, Cursor: next}, nil
+}
+
+func (n *Node) handleXferCursor(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	next, known := n.store.inboundCursor(p, req.Session)
+	n.mu.RUnlock()
+	if !known {
+		return &transport.Message{Kind: KindXferCursor, Partition: req.Partition, Session: req.Session,
+			Status: transport.StatusNotFound}, nil
+	}
+	return &transport.Message{Kind: KindXferCursor, Partition: req.Partition, Session: req.Session, Cursor: next}, nil
+}
+
+func (n *Node) handleXferDone(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	next, known, complete, err := n.store.finishInbound(p, req.Session)
+	n.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !known:
+		return &transport.Message{Kind: KindXferDone, Partition: req.Partition, Session: req.Session,
+			Status: transport.StatusNotFound}, nil
+	case !complete:
+		return &transport.Message{Kind: KindXferDone, Partition: req.Partition, Session: req.Session,
+			Status: transport.StatusRetry, Cursor: next}, nil
+	default:
+		return &transport.Message{Kind: KindXferDone, Partition: req.Partition, Session: req.Session,
+			Cursor: xferComplete}, nil
+	}
+}
+

@@ -1,0 +1,218 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+)
+
+// transferTestConfig forces every entry into its own chunk so even the
+// tiny test partitions exercise multi-chunk sessions.
+func transferTestConfig() Config {
+	cfg := testConfig()
+	cfg.TransferChunkEntries = 1
+	cfg.SnapshotOneFrameBytes = 1
+	return cfg
+}
+
+// seedPartition plants count entries directly into a node's partition
+// with ascending versions, bypassing routing — transfer tests care
+// about shipping state, not producing it.
+func seedPartition(t *testing.T, nd *Node, p, count int) []kvEntry {
+	t.Helper()
+	var entries []kvEntry
+	for i := 0; i < count; i++ {
+		entries = append(entries, kvEntry{
+			key: fmt.Sprintf("xfer-%d-%d", p, i),
+			val: []byte(fmt.Sprintf("value-%d", i)),
+			ver: uint64(i + 1),
+		})
+	}
+	if err := nd.store.mergeSnapshot(p, entries); err != nil {
+		t.Fatalf("seed partition %d: %v", p, err)
+	}
+	return entries
+}
+
+func TestTransferChunkedRoundTrip(t *testing.T) {
+	h := newHarness(t, "loopback", 3, transferTestConfig())
+	src, dst := h.nodes[0], h.nodes[1]
+	const p = 0
+	entries := seedPartition(t, src, p, 5)
+	dst.store.drop(p)
+	if dst.store.isResident(p) {
+		t.Fatal("dropped partition still resident")
+	}
+
+	if !src.TransferPartition(p, 1) {
+		t.Fatal("TransferPartition did not complete")
+	}
+	for _, e := range entries {
+		v, ver, ok := dst.store.get(p, e.key)
+		if !ok || string(v) != string(e.val) || ver != e.ver {
+			t.Fatalf("key %q after transfer: val=%q ver=%d ok=%v, want %q/%d", e.key, v, ver, ok, e.val, e.ver)
+		}
+	}
+	if !dst.store.isResident(p) {
+		t.Error("target not resident after completed marked transfer")
+	}
+	if holds := src.store.holdCount(p); holds != 0 {
+		t.Errorf("source still holds %d snapshot leases after completion", holds)
+	}
+	st := src.TransferStats()
+	if st.Started != 1 || st.Completed != 1 || st.ChunksSent != 5 || st.Resumed != 0 {
+		t.Errorf("stats = %+v, want started=1 completed=1 chunks=5 resumed=0", st)
+	}
+}
+
+// TestTransferResumesFromTargetCursor pins the resume contract: after
+// an interrupted round, the source's next pump probes the target's
+// cursor and continues from it instead of restarting the session —
+// already-delivered chunks are never re-sent.
+func TestTransferResumesFromTargetCursor(t *testing.T) {
+	h := newHarness(t, "loopback", 3, transferTestConfig())
+	src, dst := h.nodes[0], h.nodes[1]
+	const p = 1
+	seedPartition(t, src, p, 4)
+	dst.store.drop(p)
+
+	src.mu.RLock()
+	src.startTransferLocked(p, 1, true)
+	src.mu.RUnlock()
+	src.xmu.Lock()
+	sess := src.xfers[0]
+	src.xmu.Unlock()
+
+	// Simulate a prior round that died after the begin and one chunk:
+	// the target holds the session with its cursor at 1, the source
+	// only knows the round was interrupted.
+	total := uint32(len(sess.chunks))
+	if total != 4 {
+		t.Fatalf("expected 4 chunks, got %d", total)
+	}
+	if _, err := dst.store.beginInbound(p, sess.id, total, true, sess.maxVer); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dst.store.applyChunk(p, sess.id, 0, sess.chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	src.xmu.Lock()
+	sess.begun = true
+	sess.interrupted = true
+	src.xmu.Unlock()
+
+	if !src.pumpSession(sess) {
+		t.Fatal("pump after interruption did not complete the session")
+	}
+	st := src.TransferStats()
+	if st.Resumed != 1 {
+		t.Errorf("Resumed = %d, want 1 (cursor adopted from target)", st.Resumed)
+	}
+	if st.ChunksSent != int64(total)-1 {
+		t.Errorf("ChunksSent = %d, want %d (chunk 0 must not be re-sent)", st.ChunksSent, total-1)
+	}
+	if !dst.store.isResident(p) {
+		t.Error("target not resident after resumed transfer completed")
+	}
+}
+
+// TestInboundSessionIdempotence pins the target-side replay contract:
+// a replayed begin re-finds the live session (and answers "complete"
+// once it finished), and a duplicated or reordered chunk is acked
+// without moving the cursor or touching the data.
+func TestInboundSessionIdempotence(t *testing.T) {
+	s := newStore(4)
+	const p, sid = 2, uint64(42)
+	chunk0 := []kvEntry{{key: "a", val: []byte("1"), ver: 5}}
+	chunk1 := []kvEntry{{key: "b", val: []byte("2"), ver: 6}}
+
+	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 0 {
+		t.Fatalf("fresh begin: next=%d err=%v", next, err)
+	}
+	if v := s.parts[p].maxVer; v != 9 {
+		t.Fatalf("begin did not adopt source watermark: maxVer=%d", v)
+	}
+	if next, known, err := s.applyChunk(p, sid, 0, chunk0); err != nil || !known || next != 1 {
+		t.Fatalf("chunk 0: next=%d known=%v err=%v", next, known, err)
+	}
+	// Replayed begin: the session exists, so the reply is its cursor,
+	// not a reset to 0.
+	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 1 {
+		t.Fatalf("replayed begin: next=%d err=%v, want cursor 1", next, err)
+	}
+	// Duplicate chunk 0: acked with the current cursor, nothing moves.
+	if next, known, err := s.applyChunk(p, sid, 0, chunk0); err != nil || !known || next != 1 {
+		t.Fatalf("duplicate chunk: next=%d known=%v err=%v", next, known, err)
+	}
+	// Premature done: retry with the cursor.
+	if next, known, complete, err := s.finishInbound(p, sid); err != nil || !known || complete || next != 1 {
+		t.Fatalf("premature done: next=%d known=%v complete=%v err=%v", next, known, complete, err)
+	}
+	if next, known, err := s.applyChunk(p, sid, 1, chunk1); err != nil || !known || next != 2 {
+		t.Fatalf("chunk 1: next=%d known=%v err=%v", next, known, err)
+	}
+	if _, known, complete, err := s.finishInbound(p, sid); err != nil || !known || !complete {
+		t.Fatalf("done: known=%v complete=%v err=%v", known, complete, err)
+	}
+	// Post-completion replays: begin, chunk and done all answer
+	// "already complete".
+	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != xferComplete {
+		t.Fatalf("begin after completion: next=%d err=%v", next, err)
+	}
+	if next, known, err := s.applyChunk(p, sid, 0, chunk0); err != nil || !known || next != xferComplete {
+		t.Fatalf("chunk after completion: next=%d known=%v err=%v", next, known, err)
+	}
+	if next, known, complete, err := s.finishInbound(p, sid); err != nil || !known || !complete || next != xferComplete {
+		t.Fatalf("done after completion: next=%d known=%v complete=%v err=%v", next, known, complete, err)
+	}
+	// An unknown session answers known=false everywhere: the source
+	// must re-begin.
+	if _, known, _ := s.applyChunk(p, 999, 0, chunk0); known {
+		t.Error("chunk for unknown session claimed known")
+	}
+	if _, known := s.inboundCursor(p, 999); known {
+		t.Error("cursor probe for unknown session claimed known")
+	}
+}
+
+// TestTransferLeaseExpiryFreesHold pins the lease: a session making no
+// cursor progress for TransferLeaseEpochs pumps is abandoned and its
+// compaction hold released — a crashed target cannot pin the source's
+// snapshot forever.
+func TestTransferLeaseExpiryFreesHold(t *testing.T) {
+	cfg := transferTestConfig()
+	cfg.TransferLeaseEpochs = 2
+	f, err := NewFleet(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	src := f.Node(0)
+	const p = 3
+	seedPartition(t, src, p, 3)
+	f.Crash(1) // target unreachable: every pump round fails
+
+	src.mu.RLock()
+	src.startTransferLocked(p, 1, true)
+	src.mu.RUnlock()
+	if holds := src.store.holdCount(p); holds != 1 {
+		t.Fatalf("holds after start = %d, want 1", holds)
+	}
+
+	for i := 0; i < cfg.TransferLeaseEpochs+2; i++ {
+		src.pumpTransfers()
+	}
+	if holds := src.store.holdCount(p); holds != 0 {
+		t.Errorf("holds after lease expiry = %d, want 0", holds)
+	}
+	st := src.TransferStats()
+	if st.Expired != 1 || st.Completed != 0 {
+		t.Errorf("stats = %+v, want expired=1 completed=0", st)
+	}
+	src.xmu.Lock()
+	live := len(src.xfers)
+	src.xmu.Unlock()
+	if live != 0 {
+		t.Errorf("%d sessions still tracked after expiry", live)
+	}
+}

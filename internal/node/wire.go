@@ -46,6 +46,30 @@ const (
 	// holder is not resident and has no authoritative answer.
 	KindVer uint8 = 8
 
+	// KindXferBegin opens (or re-opens) a chunked transfer session.
+	// Session carries the session id, Version the source partition's
+	// version watermark, Value the begin blob (total chunks + whether
+	// completion marks the target resident). The StatusOK reply's Cursor
+	// is the next chunk the target wants — 0 for a fresh session, higher
+	// when the target recovered a resume cursor, xferComplete when the
+	// session already finished (replayed begin).
+	KindXferBegin uint8 = 9
+	// KindXferChunk carries one chunk of entries: Cursor is the chunk
+	// index, Value the entry block. The reply echoes the next wanted
+	// chunk in Cursor; a stale or duplicate chunk is acked without
+	// re-applying (the cursor only moves forward). StatusNotFound means
+	// the target does not know the session and the source must re-begin.
+	KindXferChunk uint8 = 10
+	// KindXferCursor is the resume probe: the source asks where the
+	// target's cursor stands for a session (after faults or a restart on
+	// either side). Reply as for KindXferBegin.
+	KindXferCursor uint8 = 11
+	// KindXferDone closes a session: the target checks every chunk
+	// arrived, applies the completion side effects (residency, version
+	// watermark), and retires the session id. StatusRetry + Cursor=next
+	// means chunks are still missing and the source must back-fill.
+	KindXferDone uint8 = 12
+
 	// KindEpochFlush makes the node broadcast its epoch stats (phase A
 	// of the two-phase tick).
 	KindEpochFlush uint8 = 64
@@ -71,10 +95,19 @@ var KindNames = map[uint8]string{
 	KindStats:      "stats",
 	KindPing:       "ping",
 	KindVer:        "ver",
+	KindXferBegin:  "xfer-begin",
+	KindXferChunk:  "xfer-chunk",
+	KindXferCursor: "xfer-cursor",
+	KindXferDone:   "xfer-done",
 	KindEpochFlush: "epoch-flush",
 	KindEpochRun:   "epoch-run",
 	KindDump:       "dump",
 }
+
+// xferComplete is the Cursor sentinel a transfer-session reply carries
+// when the session has already completed: no chunk index is ever this
+// large (chunk counts are uint32).
+const xferComplete = ^uint64(0)
 
 // partitionCounters is one partition's per-epoch observation at one
 // node: queries that entered the cluster here (origin), queries
@@ -207,21 +240,64 @@ type kvEntry struct {
 // a KindStore transfer. Keys are emitted in ascending order so the
 // encoding is deterministic regardless of map iteration order.
 func appendSnapshot(dst []byte, data map[string]entry) []byte {
+	return appendEntries(dst, sortedEntries(data))
+}
+
+// sortedEntries flattens a partition map into ascending key order —
+// the canonical form both one-frame snapshots and chunked transfer
+// sessions slice from.
+func sortedEntries(data map[string]entry) []kvEntry {
 	keys := make([]string, 0, len(data))
 	for k := range data {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	entries := make([]kvEntry, 0, len(keys))
 	for _, k := range keys {
 		e := data[k]
-		dst = binary.AppendUvarint(dst, uint64(len(k)))
-		dst = append(dst, k...)
+		entries = append(entries, kvEntry{key: k, ver: e.ver, val: e.val})
+	}
+	return entries
+}
+
+// appendEntries encodes an entry block (a whole snapshot or one
+// transfer chunk). decodeSnapshot is the inverse.
+func appendEntries(dst []byte, entries []kvEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, uint64(len(e.key)))
+		dst = append(dst, e.key...)
 		dst = binary.AppendUvarint(dst, e.ver)
 		dst = binary.AppendUvarint(dst, uint64(len(e.val)))
 		dst = append(dst, e.val...)
 	}
 	return dst
+}
+
+// appendXferBegin encodes a KindXferBegin payload: the session's total
+// chunk count and whether completion marks the target resident.
+func appendXferBegin(dst []byte, total uint32, markResident bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(total))
+	if markResident {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// decodeXferBegin parses a KindXferBegin payload.
+func decodeXferBegin(buf []byte) (total uint32, markResident bool, err error) {
+	r := &uvarintReader{buf: buf}
+	t := r.next()
+	if r.err != nil {
+		return 0, false, r.err
+	}
+	if t > 1<<32-1 {
+		return 0, false, fmt.Errorf("node: transfer chunk count %d overflows uint32", t)
+	}
+	if len(r.buf) != 1 {
+		return 0, false, fmt.Errorf("node: transfer begin blob has %d bytes after count, want 1", len(r.buf))
+	}
+	return uint32(t), r.buf[0] == 1, nil
 }
 
 // decodeSnapshot parses a KindStore payload into a key-ordered entry

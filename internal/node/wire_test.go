@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 )
@@ -140,6 +141,40 @@ func TestDecodeAckSetRejectsCorrupt(t *testing.T) {
 	for name, buf := range cases {
 		if _, err := decodeAckSet(buf, 5); err == nil {
 			t.Errorf("%s: corrupt ack set accepted", name)
+		}
+	}
+}
+
+func TestXferBeginRoundTrip(t *testing.T) {
+	cases := []struct {
+		total uint32
+		mark  bool
+	}{
+		{0, false}, {0, true}, {1, false}, {17, true}, {1<<32 - 1, true},
+	}
+	for _, c := range cases {
+		enc := appendXferBegin(nil, c.total, c.mark)
+		total, mark, err := decodeXferBegin(enc)
+		if err != nil {
+			t.Fatalf("(%d, %v): %v", c.total, c.mark, err)
+		}
+		if total != c.total || mark != c.mark {
+			t.Fatalf("(%d, %v) round-tripped to (%d, %v)", c.total, c.mark, total, mark)
+		}
+	}
+}
+
+func TestDecodeXferBeginRejectsCorrupt(t *testing.T) {
+	good := appendXferBegin(nil, 17, true)
+	cases := map[string][]byte{
+		"empty":           good[:0],
+		"missing flag":    good[:len(good)-1],
+		"trailing":        append(append([]byte{}, good...), 0),
+		"count overflows": binary.AppendUvarint(nil, 1<<32), // and no flag byte either
+	}
+	for name, buf := range cases {
+		if _, _, err := decodeXferBegin(buf); err == nil {
+			t.Errorf("%s: corrupt transfer begin accepted", name)
 		}
 	}
 }

@@ -31,6 +31,12 @@ type Message struct {
 	// reads can rank divergent copies. Zero means "no version" (control
 	// messages, legacy unversioned values).
 	Version uint64
+	// Session identifies a multi-message transfer session (chunked
+	// replica transfers). Zero means "no session".
+	Session uint64
+	// Cursor is the session resume position: on chunks it is the chunk
+	// index being carried, on acks the next chunk the receiver wants.
+	Cursor uint64
 	// Key and Value are the payload slots. Either may be nil.
 	Key   []byte
 	Value []byte
@@ -69,10 +75,12 @@ const MaxFrame = 16 << 20
 // inserts the data-plane Version field into the message body (between
 // epoch and key), so v2 bodies no longer parse and mixing binaries
 // across the change fails loudly at the header instead of silently
-// misreading payloads. A v1 frame shorter than 16 MiB always starts
-// with a 0x00 byte, so this decoder reads it as "version 0" and
-// rejects it cleanly rather than misparsing the stream.
-const FrameVersion = 3
+// misreading payloads; version 4 inserts the Session and Cursor fields
+// (between version and key) that chunked transfer sessions ride on. A
+// v1 frame shorter than 16 MiB always starts with a 0x00 byte, so this
+// decoder reads it as "version 0" and rejects it cleanly rather than
+// misparsing the stream.
+const FrameVersion = 4
 
 // Frame types: every frame is either a request (carrying a correlation
 // ID the responder must echo) or the response bearing that ID.
@@ -88,8 +96,8 @@ const frameHeaderLen = 14
 
 // AppendMessage appends the encoded message body (no frame header) to
 // dst and returns the extended slice. Layout: kind, status, then
-// uvarint partition/origin/hops/epoch/version, then length-prefixed
-// key and value.
+// uvarint partition/origin/hops/epoch/version/session/cursor, then
+// length-prefixed key and value.
 func AppendMessage(dst []byte, m *Message) []byte {
 	dst = append(dst, m.Kind, m.Status)
 	dst = binary.AppendUvarint(dst, uint64(m.Partition))
@@ -97,6 +105,8 @@ func AppendMessage(dst []byte, m *Message) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.Hops))
 	dst = binary.AppendUvarint(dst, m.Epoch)
 	dst = binary.AppendUvarint(dst, m.Version)
+	dst = binary.AppendUvarint(dst, m.Session)
+	dst = binary.AppendUvarint(dst, m.Cursor)
 	dst = binary.AppendUvarint(dst, uint64(len(m.Key)))
 	dst = append(dst, m.Key...)
 	dst = binary.AppendUvarint(dst, uint64(len(m.Value)))
@@ -138,6 +148,12 @@ func DecodeMessageInto(m *Message, buf []byte) error {
 		return err
 	}
 	if m.Version, rest, err = takeUvarint(rest, "version"); err != nil {
+		return err
+	}
+	if m.Session, rest, err = takeUvarint(rest, "session"); err != nil {
+		return err
+	}
+	if m.Cursor, rest, err = takeUvarint(rest, "cursor"); err != nil {
 		return err
 	}
 	if m.Key, rest, err = takeBytes(rest, "key"); err != nil {

@@ -31,6 +31,10 @@ func TestMessageRoundTrip(t *testing.T) {
 		{Kind: 2, Key: bytes.Repeat([]byte{0xAB}, 1<<16), Value: bytes.Repeat([]byte{0xCD}, 1<<18)},
 		{Kind: 3, Value: []byte{}},
 		{Kind: 3, Partition: 7, Version: 5<<20 | 3, Key: []byte("k"), Value: []byte("v")},
+		{Kind: 9, Partition: 3, Session: 1<<56 | 42, Cursor: 0, Value: []byte("begin")},
+		{Kind: 10, Partition: 3, Session: 1<<56 | 42, Cursor: 17, Value: []byte("chunk")},
+		{Kind: 11, Status: StatusRetry, Session: 1<<64 - 1, Cursor: 1<<64 - 1},
+		{Kind: 12, Session: 7, Cursor: 1 << 32},
 	}
 	for i, m := range cases {
 		enc := AppendMessage(nil, m)

@@ -27,6 +27,12 @@ func FuzzDecodeMessage(f *testing.F) {
 		// per-key version and a versioned read reply.
 		{Kind: 3, Partition: 7, Version: 5<<20 | 3, Key: []byte("k"), Value: []byte("v")},
 		{Kind: 8, Status: StatusOK, Partition: 2, Version: 1 << 21, Value: []byte("winner")},
+		// Transfer-session frames: begin, chunk, cursor ack, complete —
+		// the four v4 kinds that ride the Session/Cursor fields.
+		{Kind: 9, Partition: 3, Session: 1<<56 | 42, Cursor: 0, Value: []byte("begin")},
+		{Kind: 10, Partition: 3, Session: 1<<56 | 42, Cursor: 17, Value: []byte("chunk")},
+		{Kind: 11, Status: StatusRetry, Partition: 3, Session: 1<<56 | 42, Cursor: 18},
+		{Kind: 12, Partition: 3, Session: 1<<56 | 42, Cursor: 1<<64 - 1},
 	}
 	for _, m := range seeds {
 		f.Add(AppendMessage(nil, m))
