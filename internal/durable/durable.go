@@ -24,6 +24,7 @@
 package durable
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -143,6 +144,7 @@ type engPart struct {
 type Engine struct {
 	opts  Options
 	parts []engPart
+	gen   uint64 // boot generation: bumped and persisted once per Open
 
 	emu    sync.Mutex
 	err    error // sticky: first IO failure; all later appends refuse
@@ -172,6 +174,9 @@ func Open(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
 	e := &Engine{opts: opts, parts: make([]engPart, opts.Partitions)}
+	if err := e.bumpGeneration(); err != nil {
+		return nil, err
+	}
 	for p := range e.parts {
 		if err := e.openPartition(p); err != nil {
 			e.closeAll()
@@ -180,6 +185,60 @@ func Open(opts Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// bumpGeneration increments and persists the data dir's boot
+// generation — a counter that distinguishes every Open of the same
+// directory. Nodes fold it into outbound transfer-session ids so a
+// restarted process never re-issues an id an earlier boot already
+// used: targets durably remember completed session ids, and a reused
+// id would be answered "already complete" without any data moving.
+// The write is temp-file + atomic rename; a crash before the rename
+// re-derives the same value next boot, which is safe because the
+// interrupted Open never handed the generation to a running node.
+func (e *Engine) bumpGeneration() error {
+	path := filepath.Join(e.opts.Dir, "gen")
+	buf, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return fmt.Errorf("durable: generation read: %w", err)
+	case len(buf) != 8:
+		return fmt.Errorf("durable: generation file %s malformed (%d bytes)", path, len(buf))
+	default:
+		e.gen = binary.LittleEndian.Uint64(buf)
+	}
+	e.gen++
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, e.gen)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: generation write: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: generation write: %w", err)
+	}
+	if err := e.opts.Sync.Sync(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: generation sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: generation close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("durable: generation rename: %w", err)
+	}
+	if err := e.syncDir(); err != nil {
+		return fmt.Errorf("durable: generation dir sync: %w", err)
+	}
+	return nil
+}
+
+// Generation returns the data dir's boot generation: how many times
+// this directory has been Opened, this boot included. It is fixed for
+// the engine's lifetime.
+func (e *Engine) Generation() uint64 { return e.gen }
 
 func (e *Engine) walPath(p int) string {
 	return filepath.Join(e.opts.Dir, fmt.Sprintf("p%04d.wal", p))
@@ -306,21 +365,27 @@ func (e *Engine) AppendMaxVer(p int, ver uint64) error {
 
 // AppendDrop records a partition drop: data cleared, residency
 // revoked, maxVer kept (re-adoption must never re-issue versions).
+// Inbound transfer sessions and the done-list clear too — the chunks a
+// live session merged before the drop are gone, so a recovered cursor
+// resuming past them would complete an authoritative partial copy; the
+// store invalidates its runtime session list the same way.
 func (e *Engine) AppendDrop(p int) error {
 	rec := appendRecOp(nil, opDrop)
 	return e.append(p, rec, func(ps *engPart) {
 		ps.data = make(map[string]mirrorEntry)
 		ps.resident = false
+		ps.sessions, ps.done = nil, nil
 	})
 }
 
 // AppendReset records an authoritative-empty reseed: data cleared,
-// resident, maxVer kept.
+// resident, maxVer kept, sessions invalidated (as in AppendDrop).
 func (e *Engine) AppendReset(p int) error {
 	rec := appendRecOp(nil, opReset)
 	return e.append(p, rec, func(ps *engPart) {
 		ps.data = make(map[string]mirrorEntry)
 		ps.resident = true
+		ps.sessions, ps.done = nil, nil
 	})
 }
 

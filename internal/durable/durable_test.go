@@ -98,6 +98,54 @@ func TestRecoverRoundTrip(t *testing.T) {
 	})
 }
 
+// TestDropClearsSessionState pins the session-invalidation half of
+// drop/reset: the entries an inbound session merged before the drop
+// are gone with the data, so its cursor — and the done-list that
+// answers replayed begins "already complete" — must not survive
+// either, in the live mirror or across recovery replay. A recovered
+// cursor resuming past the drop would complete an authoritative
+// partial copy of the source snapshot.
+func TestDropClearsSessionState(t *testing.T) {
+	dir := t.TempDir()
+	e := openTest(t, dir, 1024)
+	mustAppend(t, e.AppendCursor(0, Session{ID: 7, Next: 2, Total: 5, MarkResident: true}))
+	mustAppend(t, e.AppendSessionDone(0, 9))
+	mustAppend(t, e.AppendDrop(0))
+	expectState(t, e, 0, PartitionState{Resident: false})
+	mustAppend(t, e.AppendCursor(1, Session{ID: 8, Next: 1, Total: 2}))
+	mustAppend(t, e.AppendReset(1))
+	expectState(t, e, 1, PartitionState{Resident: true})
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// WAL replay must reproduce the invalidation, not just the live
+	// mirror: the drop landed after the cursor records, so a restart
+	// must recover no sessions.
+	e2 := openTest(t, dir, 1024)
+	expectState(t, e2, 0, PartitionState{Resident: false})
+	expectState(t, e2, 1, PartitionState{Resident: true})
+	if err := e2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestGenerationBumpsPerOpen pins the boot-generation counter: every
+// Open of the same directory observes a strictly higher generation,
+// the uniqueness source for outbound transfer-session ids across
+// process restarts.
+func TestGenerationBumpsPerOpen(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint64(1); want <= 3; want++ {
+		e := openTest(t, dir, 1024)
+		if g := e.Generation(); g != want {
+			t.Fatalf("open #%d: generation = %d, want %d", want, g, want)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
 // TestTornFinalWALRecordReplaysCleanly cuts the WAL mid-record — the
 // state a crash leaves behind when it interrupts an append — and
 // requires recovery to replay every intact record, truncate the torn

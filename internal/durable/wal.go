@@ -26,8 +26,8 @@ import (
 const (
 	opPut      byte = 1 // key, ver, val: install + raise maxVer
 	opMaxVer   byte = 2 // ver: raise maxVer only
-	opDrop     byte = 3 // clear data, resident=false, keep maxVer
-	opReset    byte = 4 // clear data, resident=true, keep maxVer
+	opDrop     byte = 3 // clear data+sessions, resident=false, keep maxVer
+	opReset    byte = 4 // clear data+sessions, resident=true, keep maxVer
 	opResident byte = 5 // resident=true
 	opCursor   byte = 6 // sid, next, total, mark: inbound session cursor
 	opDone     byte = 7 // sid: inbound session completed
@@ -160,9 +160,11 @@ func applyRecord(ps *engPart, payload []byte) error {
 	case opDrop:
 		ps.data = make(map[string]mirrorEntry)
 		ps.resident = false
+		ps.sessions, ps.done = nil, nil
 	case opReset:
 		ps.data = make(map[string]mirrorEntry)
 		ps.resident = true
+		ps.sessions, ps.done = nil, nil
 	case opResident:
 		ps.resident = true
 	case opCursor:

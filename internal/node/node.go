@@ -116,9 +116,14 @@ type Node struct {
 	eng *durable.Engine
 
 	// Outbound chunked transfer sessions (see transfer.go). xmu is a
-	// leaf lock under n.mu; never held across a send.
+	// leaf lock under n.mu; never held across a send. xgen is the
+	// durable engine's boot generation, folded into session ids so a
+	// restarted process never re-issues one (0 in memory mode); it is
+	// written only under n.mu in write mode (New/Restart) and read with
+	// n.mu held in either mode.
 	xmu    sync.Mutex
 	xfers  []*xferSession
+	xgen   uint64
 	xseq   uint64
 	xstats TransferStats
 }
@@ -182,6 +187,9 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		orphaned: make([]int, cfg.Partitions),
 		pending:  make([]*statsBlob, len(cfg.Peers)),
 		nextPend: make([]*statsBlob, len(cfg.Peers)),
+	}
+	if eng != nil {
+		n.xgen = eng.Generation()
 	}
 	tr.SetHandler(n.Handle)
 	return n, nil
@@ -335,6 +343,10 @@ func (n *Node) Restart(epoch uint64) error {
 		// of their whole holder set.
 		st = newDurableStore(n.cfg.Partitions, eng, false)
 		n.eng = eng
+		// Fresh boot generation: outbound session ids issued after this
+		// restart can never collide with ids the pre-crash boot used,
+		// which targets may durably remember as already complete.
+		n.xgen = eng.Generation()
 	}
 	n.view = v
 	n.store = st

@@ -522,9 +522,10 @@ func (s *store) localVersion(p int, key string) (v []byte, ver uint64, ok, resid
 // resetEmpty restores the partition to an authoritative empty state —
 // the lost-data reseed path, where every holder is gone and the
 // primary re-adopts the partition as empty. maxVer is kept so any
-// still-circulating version number stays below future stamps. The
-// engine append failure mode is sticky engine-side: a reset the disk
-// missed surfaces on the next acked write, not here.
+// still-circulating version number stays below future stamps. Inbound
+// transfer sessions (and the done-list) die with the data, exactly as
+// in drop. The engine append failure mode is sticky engine-side: a
+// reset the disk missed surfaces on the next acked write, not here.
 func (s *store) resetEmpty(p int) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
@@ -533,6 +534,7 @@ func (s *store) resetEmpty(p int) {
 	}
 	ps.clear()
 	ps.resident = true
+	ps.inbound, ps.done = nil, nil
 	ps.mu.Unlock()
 }
 
@@ -540,6 +542,16 @@ func (s *store) resetEmpty(p int) {
 // partition stops being resident: until another snapshot arrives, any
 // content is someone else's responsibility. maxVer survives so a
 // future re-adoption of the partition never re-issues old versions.
+//
+// Inbound transfer sessions are invalidated along with the data: the
+// chunks a live session merged before the drop are gone, so letting it
+// resume at its cursor and complete would mark the partition resident
+// with only a suffix of the source snapshot — silently missing acked
+// keys. With the sessions (and the done-list) cleared, a post-drop
+// chunk/done/begin answers StatusNotFound or restarts at chunk 0, and
+// the source re-ships the whole snapshot onto the emptied partition.
+// The engine's drop record clears its session mirror the same way, so
+// a restart recovers the invalidation too.
 func (s *store) drop(p int) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
@@ -548,6 +560,7 @@ func (s *store) drop(p int) {
 	}
 	ps.clear()
 	ps.resident = false
+	ps.inbound, ps.done = nil, nil
 	ps.mu.Unlock()
 }
 

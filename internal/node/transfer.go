@@ -28,6 +28,24 @@ import (
 // bound, so a few giant values cannot push a chunk past frame limits.
 const maxChunkBytes = 256 << 10
 
+// Session id layout: [8 bits roster index+1][16 bits boot generation]
+// [40 bits per-boot sequence]. Ids must be unique across the source's
+// whole lifetime INCLUDING process restarts — targets durably persist
+// completed session ids, so a restarted source re-issuing an old id
+// for the same (partition, target) would be answered "already
+// complete" and ship nothing while reporting a durability ack. The
+// generation comes from the durable engine's persisted boot counter
+// (memory-mode nodes keep generation 0: they have no disk state to
+// collide over, and the harness's Crash/Restart keeps the Node object
+// and therefore the sequence). The generation wraps at 2^16 boots and
+// the sequence at 2^40 sessions per boot — both far past the bounded
+// done-list's 8-entry memory on any target.
+const (
+	xferGenShift = 40
+	xferGenMask  = 1<<16 - 1
+	xferSeqMask  = 1<<xferGenShift - 1
+)
+
 // TransferStats counts the node's outbound transfer-session activity
 // since start. Resumed increments when a session continues from a
 // nonzero cursor the target reported after an interruption — the
@@ -85,7 +103,7 @@ func (n *Node) startTransferLocked(p, target int, mark bool) {
 	n.store.holdSnapshot(p)
 	n.xseq++
 	s := &xferSession{
-		id:     uint64(n.self+1)<<56 | n.xseq,
+		id:     uint64(n.self+1)<<56 | (n.xgen&xferGenMask)<<xferGenShift | (n.xseq & xferSeqMask),
 		p:      p,
 		target: target,
 		mark:   mark,
@@ -144,6 +162,16 @@ func (n *Node) pumpTransfers() {
 	n.xmu.Lock()
 	kept := n.xfers[:0]
 	for _, s := range n.xfers {
+		if s.busy {
+			// A concurrent pump (shipPartition / TransferPartition) has
+			// claimed this session and only writes its advanced cursor
+			// back at settle, so s.next is stale here — aging it could
+			// expire a session that is actively progressing, yanking the
+			// snapshot hold out from under the pump. Aging resumes on
+			// the next round, after the pump settles.
+			kept = append(kept, s)
+			continue
+		}
 		if s.next == s.lastNext {
 			s.idleEpochs++
 		} else {

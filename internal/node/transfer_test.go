@@ -174,6 +174,164 @@ func TestInboundSessionIdempotence(t *testing.T) {
 	}
 }
 
+// TestDropInvalidatesInboundSessions pins the drop/transfer
+// interaction: a drop discards the entries an inbound session already
+// merged, so the session (and the done-list) must die with the data —
+// a post-drop chunk or done answers unknown (StatusNotFound on the
+// wire) and the source re-begins from chunk 0 over the emptied
+// partition. Letting the cursor survive would finish the session with
+// only a suffix of the source snapshot and mark the partition
+// resident with acked keys silently missing.
+func TestDropInvalidatesInboundSessions(t *testing.T) {
+	s := newStore(4)
+	const p = 1
+	chunk := []kvEntry{{key: "a", val: []byte("1"), ver: 1}}
+
+	// A mid-flight session: begun, one of two chunks merged.
+	const live = uint64(7)
+	if next, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
+		t.Fatalf("begin: next=%d err=%v", next, err)
+	}
+	if _, known, err := s.applyChunk(p, live, 0, chunk); err != nil || !known {
+		t.Fatalf("chunk 0: known=%v err=%v", known, err)
+	}
+	// A session completed and retired to the done-list before the drop.
+	const finished = uint64(8)
+	if _, err := s.beginInbound(p, finished, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.applyChunk(p, finished, 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, complete, err := s.finishInbound(p, finished); err != nil || !complete {
+		t.Fatalf("finish: complete=%v err=%v", complete, err)
+	}
+
+	s.drop(p)
+
+	if _, known, _ := s.applyChunk(p, live, 1, chunk); known {
+		t.Error("post-drop chunk still found the session")
+	}
+	if _, known, _, _ := s.finishInbound(p, live); known {
+		t.Error("post-drop done still found the session")
+	}
+	if _, known := s.inboundCursor(p, live); known {
+		t.Error("post-drop cursor probe still found the session")
+	}
+	if next, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
+		t.Fatalf("re-begin after drop: next=%d err=%v, want cursor 0", next, err)
+	}
+	// The done-list cleared too: a replayed begin of the pre-drop
+	// completed session re-runs it instead of answering "complete" over
+	// an emptied partition.
+	if next, err := s.beginInbound(p, finished, 1, false, 0); err != nil || next != 0 {
+		t.Fatalf("replayed begin of pre-drop session: next=%d err=%v, want cursor 0", next, err)
+	}
+
+	// resetEmpty (lost-data reseed) invalidates the same way.
+	s.resetEmpty(p)
+	if _, known, _ := s.applyChunk(p, live, 0, chunk); known {
+		t.Error("post-reset chunk still found the session")
+	}
+}
+
+// TestSessionIDsUniqueAcrossRestart pins the boot-generation scheme:
+// ids issued after a crash+restart must not collide with pre-crash
+// ids — targets durably remember completed session ids, so a reused
+// id would be answered "already complete" without anything shipping.
+// The per-boot sequence is reset by hand because the harness keeps
+// the Node object across simulated restarts; a real process restart
+// starts from zero, and only the persisted generation keeps the ids
+// apart.
+func TestSessionIDsUniqueAcrossRestart(t *testing.T) {
+	cfg := transferTestConfig()
+	cfg.DataDir = t.TempDir()
+	f, err := NewFleet(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src := f.Node(0)
+	const p = 0
+	seedPartition(t, src, p, 2)
+	src.mu.RLock()
+	src.startTransferLocked(p, 1, true)
+	src.mu.RUnlock()
+	src.xmu.Lock()
+	before := src.xfers[0].id
+	src.xmu.Unlock()
+
+	f.Crash(0)
+	if err := f.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	src.xmu.Lock()
+	src.xseq = 0
+	src.xmu.Unlock()
+	seedPartition(t, src, p, 2)
+	src.mu.RLock()
+	src.startTransferLocked(p, 1, true)
+	src.mu.RUnlock()
+	src.xmu.Lock()
+	after := src.xfers[0].id
+	src.xmu.Unlock()
+	if before == after {
+		t.Fatalf("session id %#x reused across restart", before)
+	}
+}
+
+// TestBusySessionNotLeaseExpired pins the ager/pump interaction: a
+// session claimed by a concurrent pump only settles its advanced
+// cursor when it finishes, so the ager sees a stale s.next and must
+// skip the session instead of expiring an actively progressing
+// transfer mid-pump.
+func TestBusySessionNotLeaseExpired(t *testing.T) {
+	cfg := transferTestConfig()
+	cfg.TransferLeaseEpochs = 1
+	f, err := NewFleet(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src := f.Node(0)
+	const p = 2
+	seedPartition(t, src, p, 3)
+	f.Crash(1)
+
+	src.mu.RLock()
+	src.startTransferLocked(p, 1, true)
+	src.mu.RUnlock()
+	src.xmu.Lock()
+	sess := src.xfers[0]
+	sess.busy = true // a concurrent shipPartition pump holds the session
+	src.xmu.Unlock()
+
+	for i := 0; i < cfg.TransferLeaseEpochs+3; i++ {
+		src.pumpTransfers()
+	}
+	if st := src.TransferStats(); st.Expired != 0 {
+		t.Fatalf("busy session lease-expired: %+v", st)
+	}
+	if holds := src.store.holdCount(p); holds != 1 {
+		t.Fatalf("holds = %d while the session is claimed, want 1", holds)
+	}
+
+	// The pump settles: aging resumes, and the genuinely stuck session
+	// (target crashed) expires as before.
+	src.xmu.Lock()
+	sess.busy = false
+	src.xmu.Unlock()
+	for i := 0; i < cfg.TransferLeaseEpochs+2; i++ {
+		src.pumpTransfers()
+	}
+	if st := src.TransferStats(); st.Expired != 1 {
+		t.Fatalf("released session never expired: %+v", st)
+	}
+	if holds := src.store.holdCount(p); holds != 0 {
+		t.Fatalf("holds = %d after expiry, want 0", holds)
+	}
+}
+
 // TestTransferLeaseExpiryFreesHold pins the lease: a session making no
 // cursor progress for TransferLeaseEpochs pumps is abandoned and its
 // compaction hold released — a crashed target cannot pin the source's
