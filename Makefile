@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain go tooling underneath.
 
-.PHONY: build test lint race chaos chaos-durable all
+.PHONY: build test lint race chaos chaos-check chaos-durable all
 
 build:
 	go build ./...
@@ -18,6 +18,12 @@ race:
 
 chaos:
 	go run ./cmd/rfhchaos -seeds 50
+
+# The same sweep with the history checkers named explicitly: every
+# seed's recorded op history must linearize per key and uphold the
+# session guarantees (this is also the default for `make chaos`).
+chaos-check:
+	go run ./cmd/rfhchaos -seeds 50 -check linearizable
 
 # Disk-backed chaos: every crash keeps the victim's WALs and every
 # restart replays them, driving recovery, rejoin re-injection and the

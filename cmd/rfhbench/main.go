@@ -9,12 +9,16 @@
 // transports (in-process loopback and real TCP over localhost) at two
 // payload sizes and 1/8/64 concurrent in-flight requests per peer, and
 // a fleet-level put/get throughput row per transport — the source of
-// BENCH_transport.json. The stress suite is a pprof-friendly hammer: a
+// BENCH_transport.json. The ae suite prices the anti-entropy digest
+// machinery on a 10k-key partition: full tree build, the per-write
+// incremental leaf update, and the 64-leaf root fold — the source of
+// BENCH_ae.json. The stress suite is a pprof-friendly hammer: a
 // 3-node TCP fleet under concurrent put/get load with epochs ticking
 // underneath, meant to be run with -cpuprofile.
 //
 //	rfhbench -o BENCH_sim.json
 //	rfhbench -suite transport -o BENCH_transport.json
+//	rfhbench -suite ae -o BENCH_ae.json
 //	rfhbench -suite stress -cpuprofile cpu.pprof
 //	rfhbench -epochs 500 -warmup 50
 //	rfhbench -date 2026-08-01 -o BENCH_sim.json   # pinned stamp for reproducible diffs
@@ -492,6 +496,108 @@ func runTransportSuite(warmup, epochs int) ([]transportResult, error) {
 	return results, nil
 }
 
+// aeResult is one row of BENCH_ae.json: the cost of anti-entropy
+// digest computation over a 10k-key partition tree.
+type aeResult struct {
+	Name        string  `json:"name"`
+	Keys        int     `json:"keys"`
+	Ops         int     `json:"ops"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type aeReport struct {
+	Date       string     `json:"date"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Results    []aeResult `json:"results"`
+}
+
+// runAESuite prices the three anti-entropy digest operations on a
+// 10k-key partition: a cold tree build (what a holder pays to answer
+// its first digest), the incremental update (the Apply pair every
+// write adds to the hot path: remove the old record's hash, add the
+// new one), and the root fold (what each AE round pays per partition
+// to compare digests). XOR leaves make the update O(1) regardless of
+// partition size — these rows are the evidence.
+func runAESuite(epochs int) []aeResult {
+	const keys = 10000
+	type entry struct {
+		key string
+		ver uint64
+		val []byte
+	}
+	entries := make([]entry, keys)
+	for i := range entries {
+		entries[i] = entry{
+			key: fmt.Sprintf("ae-bench-k%06d", i),
+			ver: uint64(i + 1),
+			// The chaos workload's value size class: a short formatted
+			// string, not a blob — AE hashing is metadata-bound.
+			val: []byte(fmt.Sprintf("s7.e%d.p0.k%d.0123456789abcdef", i, i)),
+		}
+	}
+	var sink uint64
+	timeRow := func(name string, ops int, fn func()) aeResult {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return aeResult{
+			Name:        name,
+			Keys:        keys,
+			Ops:         ops,
+			NsPerOp:     elapsed.Nanoseconds() / int64(ops),
+			OpsPerSec:   float64(ops) / elapsed.Seconds(),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		}
+	}
+
+	builds := epochs / 10
+	if builds < 1 {
+		builds = 1
+	}
+	buildRow := timeRow("tree-build-10k", builds, func() {
+		t := node.NewAETree()
+		for i := range entries {
+			t.Apply(entries[i].key, entries[i].ver, entries[i].val)
+		}
+		sink ^= t.Root()
+	})
+
+	tree := node.NewAETree()
+	for i := range entries {
+		tree.Apply(entries[i].key, entries[i].ver, entries[i].val)
+	}
+	newVal := []byte("s7.e9999.p0.k0.fedcba9876543210")
+	updates := epochs * 1000
+	i := 0
+	fresh := false // alternates: apply the update, then undo it, so the tree never grows
+	updateRow := timeRow("incremental-update-10k", updates, func() {
+		e := &entries[i%keys]
+		if fresh {
+			tree.Apply(e.key, e.ver+1<<20, newVal) // remove the updated record
+			tree.Apply(e.key, e.ver, e.val)        // restore the original
+			i++
+		} else {
+			tree.Apply(e.key, e.ver, e.val)        // remove the old record
+			tree.Apply(e.key, e.ver+1<<20, newVal) // add the new version
+		}
+		fresh = !fresh
+	})
+
+	rootRow := timeRow("root-fold-10k", updates, func() {
+		sink ^= tree.Root()
+	})
+	runtime.KeepAlive(sink)
+	return []aeResult{buildRow, updateRow, rootRow}
+}
+
 // runStress hammers a 3-node TCP fleet with concurrent put/get traffic
 // while lockstep epochs tick underneath — the same shape as the node
 // package's concurrent stress test, scaled up and left unasserted so
@@ -579,7 +685,7 @@ func writeReport(out string, rep any) {
 func main() {
 	var (
 		out        = flag.String("o", "", "write JSON here instead of stdout")
-		suite      = flag.String("suite", "sim", "benchmark suite: sim, transport or stress")
+		suite      = flag.String("suite", "sim", "benchmark suite: sim, transport, ae or stress")
 		warmup     = flag.Int("warmup", 30, "warmup epochs before timing starts")
 		epochs     = flag.Int("epochs", 300, "timed epochs per scale (transport suite: ×100 round trips)")
 		date       = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
@@ -643,6 +749,18 @@ func main() {
 			Results:            results,
 			SerializedBaseline: serializedBaseline,
 		})
+	case "ae":
+		results := runAESuite(*epochs)
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "%-24s %8d ns/op  %9.0f ops/sec  %6.1f allocs/op\n",
+				r.Name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+		}
+		writeReport(*out, aeReport{
+			Date:       *date,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results:    results,
+		})
 	case "stress":
 		if err := runStress(*epochs); err != nil {
 			fmt.Fprintln(os.Stderr, "rfhbench:", err)
@@ -673,7 +791,7 @@ func main() {
 		}
 		writeReport(*out, rep)
 	default:
-		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim, transport or stress")
+		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim, transport, ae or stress")
 		os.Exit(2)
 	}
 }

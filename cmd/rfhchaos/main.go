@@ -3,10 +3,14 @@
 // drops, duplicates, delays, link cuts and node crash/restart cycles
 // into a loopback fleet while invariant checkers watch for lost acked
 // writes, stale reads, replica-ceiling breaches and failed
-// re-convergence. Every scenario is fully deterministic: the same seed
-// always produces the same faults, the same trajectory and the same
-// verdict, so a failing seed printed by a matrix run reproduces
-// exactly.
+// re-convergence. Each run also records the complete operation history
+// (every put/get invocation and response, with version stamps and
+// binding/relaxed marks) and judges it at quiescence with the
+// histcheck checkers: per-key WGL linearizability plus the session
+// guarantees (read-your-writes, monotonic reads, monotonic writes).
+// Every scenario is fully deterministic: the same seed always produces
+// the same faults, the same trajectory and the same verdict, so a
+// failing seed printed by a matrix run reproduces exactly.
 //
 // Examples:
 //
@@ -16,6 +20,8 @@
 //	rfhchaos -seed 7 -v -dump          # print the full trajectory dump
 //	rfhchaos -seeds 20 -durable        # disk-backed fleets: crashes keep
 //	                                   # their WALs, restarts replay them
+//	rfhchaos -seed 7 -check sessions   # cheap linear scan only
+//	rfhchaos -seed 7 -dump-history     # print the recorded op history
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		coolEp   = flag.Int("cool-epochs", 0, "override recovery-window length")
 		dropRate = flag.Float64("drop", -1, "override message drop probability")
 		durable  = flag.Bool("durable", false, "run each scenario on the durable engine in a fresh temp directory (crashes keep disk state, restarts replay WALs)")
+		check    = flag.String("check", "linearizable", "history checkers at quiescence: linearizable (WGL search + session scan), sessions (linear scan only) or off")
+		dumpHist = flag.Bool("dump-history", false, "print every scenario's recorded op history (failing scenarios always print theirs)")
 	)
 	flag.Parse()
 
@@ -54,6 +62,7 @@ func main() {
 	for _, s := range list {
 		opts := chaos.DefaultOptions(s)
 		opts.Verbose = *verbose
+		opts.Check = *check
 		if *nodes > 0 {
 			opts.Nodes = *nodes
 		}
@@ -89,6 +98,9 @@ func main() {
 			if *dump {
 				fmt.Print(res.Trajectory)
 			}
+			if *dumpHist {
+				printHistory(res)
+			}
 			continue
 		}
 		failed++
@@ -97,7 +109,10 @@ func main() {
 			fmt.Printf("  %s\n", res.Violations[i].String())
 		}
 		fmt.Print(res.Trajectory)
-		fmt.Printf("replay: rfhchaos -seed 0x%x -v -dump\n", s)
+		if *dumpHist {
+			printHistory(res)
+		}
+		fmt.Printf("replay: rfhchaos -seed 0x%x -v -dump -dump-history\n", s)
 		if !*keep {
 			os.Exit(1)
 		}
@@ -107,4 +122,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d scenarios passed\n", len(list))
+}
+
+// printHistory dumps the recorded op history, one line per op in
+// histcheck's canonical format — the record the history checkers
+// judged, and the input to feed back into them when diagnosing.
+func printHistory(res *chaos.Result) {
+	fmt.Printf("history ops=%d\n", len(res.History))
+	for i := range res.History {
+		fmt.Printf("  %s\n", res.History[i].String())
+	}
 }

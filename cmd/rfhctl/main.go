@@ -192,6 +192,10 @@ func cmdDump(args []string) error {
 		fmt.Printf("transfers: %d started, %d completed, %d resumed, %d expired, %d chunks, %d one-frame\n",
 			t.Started, t.Completed, t.Resumed, t.Expired, t.ChunksSent, t.OneFrame)
 	}
+	if ae := d.AntiEntropy; ae.Rounds > 0 || ae.Healed > 0 {
+		fmt.Printf("anti-entropy: %d rounds, %d synced, %d repairs shipped, %d entries healed\n",
+			ae.Rounds, ae.Synced, ae.Repairs, ae.Healed)
+	}
 	return nil
 }
 

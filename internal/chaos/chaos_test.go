@@ -131,6 +131,7 @@ func TestOptionsValidation(t *testing.T) {
 		func(o *Options) { o.CoolEpochs = 0 },
 		func(o *Options) { o.DropRate = 0.9; o.DupRate = 0.9 },
 		func(o *Options) { o.DelayRate = -0.1 },
+		func(o *Options) { o.Check = "bogus" },
 	}
 	for i, mutate := range cases {
 		opts := DefaultOptions(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/histcheck"
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/stats"
@@ -37,7 +38,13 @@ type Result struct {
 	// Transfers aggregates every node's chunked-transfer counters over
 	// the whole run (zero in memory mode, where the tiny partitions
 	// never cross the one-frame threshold).
-	Transfers  node.TransferStats
+	Transfers node.TransferStats
+	// History is the complete recorded operation history the checkers
+	// judged: every workload put and get with interval timestamps,
+	// version stamps and binding/relaxed marks, a reset wherever the
+	// environment legally destroyed a key, and the quiescent
+	// durability reads. Recorded even with Check "off".
+	History    []histcheck.Op
 	Trajectory string // deterministic per-epoch dump; bit-identical per seed
 }
 
@@ -109,11 +116,17 @@ func Run(opts Options) (*Result, error) {
 	cfg.WriteQuorum = opts.WriteQuorum
 	cfg.ReadQuorum = opts.ReadQuorum
 	if opts.DataDir != "" {
-		cfg.DataDir = opts.DataDir // the fleet adds per-node subdirectories
-		cfg.Fsync = false          // surviving Crash/Restart, not power cuts
-		cfg.WALCompactEvery = 16   // compact constantly under the tiny workload
+		cfg.DataDir = opts.DataDir    // the fleet adds per-node subdirectories
+		cfg.Fsync = false             // surviving Crash/Restart, not power cuts
+		cfg.WALCompactEvery = 16      // compact constantly under the tiny workload
 		cfg.SnapshotOneFrameBytes = 1 // every ship becomes a chunked session
 		cfg.TransferChunkEntries = 1  // every session is multi-chunk
+		// Anti-entropy runs only in durable mode: memory-mode
+		// trajectories are pinned byte-for-byte to the pre-AE era, and
+		// the digest sweep would add sends (and fault-RNG draws) to
+		// every epoch. Durable trajectories are only ever compared
+		// between same-build runs, so the new frames are free there.
+		cfg.AEInterval = 4
 	}
 	fleet, err := node.NewFleetWrapped(opts.Nodes, cfg, func(i int, tr transport.Transport) transport.Transport {
 		h.inner[i] = tr
@@ -137,7 +150,7 @@ func Run(opts Options) (*Result, error) {
 	// before the durable engine existed, so the durable marker is a
 	// separate, conditional line.
 	if opts.DataDir != "" {
-		fmt.Fprintf(&h.traj, "durable fsync=0 compact_every=16 chunked=1\n")
+		fmt.Fprintf(&h.traj, "durable fsync=0 compact_every=16 chunked=1 ae=4\n")
 	}
 
 	for e := 0; e < opts.Epochs(); e++ {
@@ -176,6 +189,7 @@ func Run(opts Options) (*Result, error) {
 		Faults:     h.faults,
 		Violations: h.viols,
 		Transfers:  xfer,
+		History:    h.hist.ops,
 		Trajectory: h.traj.String(),
 	}, nil
 }
@@ -192,6 +206,8 @@ func validate(o *Options) error {
 	case o.DropRate < 0 || o.DupRate < 0 || o.DelayRate < 0 ||
 		o.DropRate+o.DupRate+o.DelayRate > 1:
 		return fmt.Errorf("chaos: message fault rates must be non-negative and sum to at most 1")
+	case o.Check != "" && o.Check != "linearizable" && o.Check != "sessions" && o.Check != "off":
+		return fmt.Errorf("chaos: unknown check mode %q (want linearizable, sessions or off)", o.Check)
 	}
 	return nil
 }
@@ -286,12 +302,16 @@ func (h *harness) trace(e int, format string, args ...any) {
 // excuse marks one record's current acked write as legally lost,
 // recording the reason. The excuse clears on the key's next
 // acknowledged put — a fresh quorum ack re-arms the strict checks.
+// The op history gets a reset at the same instant: the environment
+// destroyed every copy, so the register legitimately became absent and
+// older observations stop binding the history checkers.
 func (h *harness) excuse(e int, rec *keyRecord, format string, args ...any) {
 	if rec.excused || rec.lastAcked == "" {
 		return
 	}
 	rec.excused = true
 	rec.excuseWhy = fmt.Sprintf(format, args...)
+	h.hist.record(histcheck.Op{Kind: histcheck.OpReset, Key: rec.key, Epoch: e})
 	h.trace(e, "excuse key=%s: %s", rec.key, rec.excuseWhy)
 }
 
@@ -389,12 +409,26 @@ func (h *harness) aliveEntry(i int) int {
 // cluster to — and an ack clears any standing excusal for the key.
 // Reads are checked for staleness on the spot (steady clean epochs,
 // un-excused records only).
+//
+// Every op also joins the full history, invocation and response: puts
+// with their stamped version and ack verdict (a failed put stays in as
+// an optional op — its ack may have been lost after the primary
+// committed), gets with the served value/version. A get taken outside
+// the staleness gate is marked Relaxed: mid-fault and mid-recovery
+// reads may legitimately route through stale views, so only the gated
+// reads bind the linearizability and session checkers.
 func (h *harness) workload(e int) (acks, perr, rok, rerr int) {
 	for p := 0; p < h.opts.Partitions; p++ {
 		for k := 0; k < h.opts.KeysPerPartition; k++ {
 			rec := h.hist.rec(p, k)
 			val := fmt.Sprintf("s%x.e%d.p%d.k%d", h.opts.Seed, e, p, k)
-			if rcpt, err := h.members[h.aliveEntry(e+p+k)].PutQuorum(rec.key, []byte(val)); err == nil {
+			writer := h.aliveEntry(e + p + k)
+			rcpt, err := h.members[writer].PutQuorum(rec.key, []byte(val))
+			h.hist.record(histcheck.Op{
+				Client: writer, Kind: histcheck.OpPut, Key: rec.key,
+				Value: val, Version: rcpt.Version, Acked: err == nil, Epoch: e,
+			})
+			if err == nil {
 				rec.lastAcked = val
 				rec.ackEpoch = e
 				rec.ackVer = rcpt.Version
@@ -406,20 +440,28 @@ func (h *harness) workload(e int) (acks, perr, rok, rerr int) {
 			}
 			check := h.phase != phaseFault && h.steadyStreak >= 2 &&
 				rec.lastAcked != "" && !rec.excused
-			v, ok, err := h.members[h.aliveEntry(e+p+k+1)].Get(rec.key)
+			reader := h.aliveEntry(e + p + k + 1)
+			op := histcheck.Op{
+				Client: reader, Kind: histcheck.OpGet, Key: rec.key,
+				Relaxed: !check, Epoch: e,
+			}
+			v, ver, ok, err := h.members[reader].GetVersioned(rec.key)
 			switch {
 			case err != nil:
 				rerr++ // unreachable routes are chaos, not violations
+				op.Errored = true
 			case !ok:
 				if check {
 					h.violate("staleness", "epoch %d: key %s read not-found after ack %q", e, rec.key, rec.lastAcked)
 				}
 			default:
 				rok++
+				op.Value, op.Version, op.Found = string(v), ver, true
 				if check && string(v) != rec.lastAcked {
 					h.violate("staleness", "epoch %d: key %s read %q, last acked %q", e, rec.key, v, rec.lastAcked)
 				}
 			}
+			h.hist.record(op)
 		}
 	}
 	h.acked += acks
@@ -469,10 +511,15 @@ func (h *harness) deciderFor(i int) transport.FaultFunc {
 // re-execution an epoch late. The transfer-session kinds are all
 // delayable: the target's cursor makes a late begin/chunk/done replay
 // a no-op ack, which is exactly the idempotence the sessions claim.
+// The anti-entropy kinds are delayable for the same reason: a digest
+// answers against whatever the holder has now, and a late repair's
+// entries merge version-gated, so stale payloads lose to newer copies
+// instead of regressing them.
 func delayable(kind uint8) bool {
 	switch kind {
 	case node.KindSync, node.KindStore, node.KindDrop, node.KindStats,
-		node.KindXferBegin, node.KindXferChunk, node.KindXferCursor, node.KindXferDone:
+		node.KindXferBegin, node.KindXferChunk, node.KindXferCursor, node.KindXferDone,
+		node.KindAEDigest, node.KindAERepair:
 		return true
 	default:
 		return false

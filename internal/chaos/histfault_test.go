@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/histcheck"
+)
+
+// violationKinds collects the distinct violation kinds of a result.
+func violationKinds(res *Result) map[string]string {
+	kinds := make(map[string]string)
+	for _, v := range res.Violations {
+		kinds[v.Kind] += v.Detail + "\n"
+	}
+	return kinds
+}
+
+// TestInjectedStaleReadIsCaught proves the history checkers have
+// teeth: a fabricated binding read of a long-overwritten version must
+// be flagged by BOTH the linearizability search (the value cannot be
+// the latest preceding write anywhere in a legal order) and the
+// session scan (the same client already observed a newer version).
+func TestInjectedStaleReadIsCaught(t *testing.T) {
+	opts := DefaultOptions(9)
+	opts.InjectStaleRead = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := violationKinds(res)
+	if _, ok := kinds["linearizability"]; !ok {
+		t.Errorf("injected stale read not caught by the linearizability checker; violations: %v", res.Violations)
+	}
+	if details, ok := kinds["session"]; !ok || !strings.Contains(details, "monotonic-reads") {
+		t.Errorf("injected stale read not caught as a monotonic-reads breach; violations: %v", res.Violations)
+	}
+	if !strings.Contains(res.Trajectory, "VIOLATION") {
+		t.Error("history violations missing from the trajectory dump")
+	}
+}
+
+// TestInjectedLostWriteIsCaught: a fabricated acked write whose
+// same-client follow-up read still sees the old value must be flagged
+// by the linearizability search (a mandatory op has no legal place)
+// and by read-your-writes (the client's own ack is newer than what it
+// read back).
+func TestInjectedLostWriteIsCaught(t *testing.T) {
+	opts := DefaultOptions(9)
+	opts.InjectLostWrite = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := violationKinds(res)
+	if _, ok := kinds["linearizability"]; !ok {
+		t.Errorf("injected lost write not caught by the linearizability checker; violations: %v", res.Violations)
+	}
+	if details, ok := kinds["session"]; !ok || !strings.Contains(details, "read-your-writes") {
+		t.Errorf("injected lost write not caught as a read-your-writes breach; violations: %v", res.Violations)
+	}
+}
+
+// TestSessionsModeCatchesInjected: the cheap "sessions" mode skips the
+// WGL search but must still catch both injected faults through the
+// linear scan alone.
+func TestSessionsModeCatchesInjected(t *testing.T) {
+	opts := DefaultOptions(9)
+	opts.Check = "sessions"
+	opts.InjectStaleRead = true
+	opts.InjectLostWrite = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := violationKinds(res)
+	if _, ok := kinds["linearizability"]; ok {
+		t.Error("sessions mode ran the linearizability checker anyway")
+	}
+	if details := kinds["session"]; !strings.Contains(details, "monotonic-reads") || !strings.Contains(details, "read-your-writes") {
+		t.Errorf("sessions mode missed an injected fault; violations: %v", res.Violations)
+	}
+}
+
+// TestCheckOffSkipsInjected: with the checkers off, the injected
+// history faults go unjudged (the run passes), but the history itself
+// is still recorded and returned.
+func TestCheckOffSkipsInjected(t *testing.T) {
+	opts := DefaultOptions(9)
+	opts.Check = "off"
+	opts.InjectStaleRead = true
+	opts.InjectLostWrite = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("check=off still reported violations: %v", res.Violations)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("check=off stopped recording the op history")
+	}
+}
+
+// TestHistoryShape pins the recorded history's structure on a clean
+// run: every epoch contributes one put and one get per key, binding
+// reads exist (the cool window reads under a steady fleet), and the
+// quiescent durability reads land at the tail with the ref client.
+func TestHistoryShape(t *testing.T) {
+	opts := DefaultOptions(3)
+	opts.DropRate, opts.DupRate, opts.DelayRate = 0, 0, 0
+	opts.CrashRate, opts.CutRate = 0, 0
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := opts.Partitions * opts.KeysPerPartition
+	want := opts.Epochs()*keys*2 + keys // workload ops + quiescent reads
+	if len(res.History) != want {
+		t.Fatalf("fault-free history has %d ops, want %d", len(res.History), want)
+	}
+	puts, binding := 0, 0
+	lastInvoke := int64(-1)
+	for _, op := range res.History {
+		if op.Invoke <= lastInvoke {
+			t.Fatalf("history intervals not strictly increasing at %v", op)
+		}
+		lastInvoke = op.Invoke
+		switch op.Kind {
+		case histcheck.OpPut:
+			puts++
+			if !op.Acked {
+				t.Errorf("fault-free run recorded an unacked put: %v", op)
+			}
+		case histcheck.OpGet:
+			if !op.Relaxed {
+				binding++
+			}
+		case histcheck.OpReset:
+			t.Errorf("fault-free run recorded a reset: %v", op)
+		}
+	}
+	if puts != opts.Epochs()*keys {
+		t.Errorf("history has %d puts, want %d", puts, opts.Epochs()*keys)
+	}
+	if binding == 0 {
+		t.Error("no binding reads recorded — the checkers judged nothing")
+	}
+	tail := res.History[len(res.History)-1]
+	if tail.Kind != histcheck.OpGet || tail.Client != 0 || tail.Relaxed {
+		t.Errorf("history tail is not the ref node's binding quiescent read: %v", tail)
+	}
+}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"repro/internal/histcheck"
 	"repro/internal/ring"
 )
 
@@ -10,7 +11,7 @@ import (
 // reproduces it.
 type Violation struct {
 	Seed   uint64
-	Kind   string // durability | staleness | convergence | ceiling | divergence
+	Kind   string // durability | staleness | convergence | ceiling | divergence | linearizability | session
 	Detail string
 }
 
@@ -48,9 +49,29 @@ type keyRecord struct {
 // per-record excusal state. There is no partition-level excusal any
 // more — a quorum write either has surviving copies or its holders
 // physically died, and only the latter excuses a loss.
+//
+// Alongside the per-key aggregate it keeps the complete operation
+// history: every put and get the workload issued, stamped with a
+// strictly increasing interval clock, for the linearizability and
+// session checkers to judge at quiescence.
 type history struct {
 	recs    []keyRecord // indexed p*KeysPerPartition + k
 	keysPer int
+
+	ops  []histcheck.Op
+	tick int64 // interval clock; the harness is single-threaded, so intervals are disjoint
+}
+
+// record appends one operation, stamping its invocation/response
+// interval from the history's logical clock. The harness drives every
+// op synchronously, so recorded intervals never overlap — except for
+// failed puts, which the linearizability checker itself extends to
+// +infinity (the ack was lost, not necessarily the write).
+func (h *history) record(op histcheck.Op) {
+	op.Invoke = h.tick
+	op.Return = h.tick + 1
+	h.tick += 2
+	h.ops = append(h.ops, op)
 }
 
 func newHistory(o *Options) *history {
@@ -176,7 +197,10 @@ func (h *harness) finalChecks() {
 	// destroyed, the value must still be present on a live node and
 	// served by a routed read. Message faults (drops, delays, dup
 	// deliveries, link cuts) never excuse a record: the write quorum
-	// exists precisely so an ack survives them.
+	// exists precisely so an ack survives them. The quiescent reads
+	// join the op history as binding observations — the history
+	// checkers must explain them too.
+	refID := h.refIdx()
 	for r := range h.hist.recs {
 		rec := &h.hist.recs[r]
 		if rec.lastAcked == "" || rec.excused {
@@ -186,14 +210,127 @@ func (h *harness) finalChecks() {
 			h.violate("durability", "key %s: acked value %q (epoch %d) on no live node",
 				rec.key, rec.lastAcked, rec.ackEpoch)
 		}
-		v, ok, err := ref.Get(rec.key)
+		op := histcheck.Op{Client: refID, Kind: histcheck.OpGet, Key: rec.key, Epoch: h.opts.Epochs()}
+		v, ver, ok, err := ref.GetVersioned(rec.key)
 		switch {
 		case err != nil:
+			op.Errored = true
 			h.violate("durability", "key %s: read failed at quiescence: %v", rec.key, err)
 		case !ok:
 			h.violate("durability", "key %s: acked value %q not found at quiescence", rec.key, rec.lastAcked)
-		case string(v) != rec.lastAcked:
-			h.violate("staleness", "key %s: quiescent read %q, acked %q", rec.key, v, rec.lastAcked)
+		default:
+			op.Value, op.Version, op.Found = string(v), ver, true
+			if string(v) != rec.lastAcked {
+				h.violate("staleness", "key %s: quiescent read %q, acked %q", rec.key, v, rec.lastAcked)
+			}
+		}
+		h.hist.record(op)
+	}
+
+	h.injectHistoryFaults()
+	h.runHistChecks()
+}
+
+// injectHistoryFaults fabricates checker-visible faults in the
+// recorded history right before the verdict — self-tests for the
+// history checkers, in the GhostWrite tradition.
+func (h *harness) injectHistoryFaults() {
+	if h.opts.InjectStaleRead {
+		h.injectStaleRead()
+	}
+	if h.opts.InjectLostWrite {
+		h.injectLostWrite()
+	}
+}
+
+// injectStaleRead appends a binding read of the first acked version of
+// some key that later acked newer writes, attributed to the client
+// that last read the key — an observation the cluster never served.
+// The linearizability search must reject it (the value was overwritten
+// before the read) and monotonic-reads must reject it (that client
+// already saw a newer version).
+func (h *harness) injectStaleRead() {
+	for i := range h.hist.ops {
+		first := &h.hist.ops[i]
+		if first.Kind != histcheck.OpPut || !first.Acked {
+			continue
+		}
+		client, newer := -1, false
+		for j := i + 1; j < len(h.hist.ops); j++ {
+			op := &h.hist.ops[j]
+			if op.Key != first.Key {
+				continue
+			}
+			switch {
+			case op.Kind == histcheck.OpReset:
+				// The wipe legalized everything before it: observations
+				// older than the reset are no longer contradictions.
+				client, newer = -1, false
+			case op.Kind == histcheck.OpPut && op.Acked && op.Version > first.Version:
+				newer = true
+			case op.Kind == histcheck.OpGet && !op.Relaxed && !op.Errored:
+				client = op.Client
+			}
+		}
+		if !newer || client < 0 {
+			continue
+		}
+		h.hist.record(histcheck.Op{
+			Client: client, Kind: histcheck.OpGet, Key: first.Key,
+			Value: first.Value, Version: first.Version, Found: true,
+			Epoch: h.opts.Epochs(),
+		})
+		return
+	}
+}
+
+// injectLostWrite appends an acked put followed by a binding read, by
+// the same client, that still observes the previous value — an
+// acknowledged write that silently vanished. The linearizability
+// search must reject it (a mandatory write has no place in any legal
+// order) and read-your-writes must reject it (the client's own ack is
+// newer than what it read back).
+func (h *harness) injectLostWrite() {
+	for r := range h.hist.recs {
+		rec := &h.hist.recs[r]
+		if rec.lastAcked == "" || rec.excused {
+			continue
+		}
+		client := h.refIdx()
+		h.hist.record(histcheck.Op{
+			Client: client, Kind: histcheck.OpPut, Key: rec.key,
+			Value:   fmt.Sprintf("s%x.lost-injected", h.opts.Seed),
+			Version: rec.ackVer + 1<<20, Acked: true, Epoch: h.opts.Epochs(),
+		})
+		h.hist.record(histcheck.Op{
+			Client: client, Kind: histcheck.OpGet, Key: rec.key,
+			Value: rec.lastAcked, Version: rec.ackVer, Found: true,
+			Epoch: h.opts.Epochs(),
+		})
+		return
+	}
+}
+
+// runHistChecks judges the recorded operation history with the
+// checkers the Check option selects, folding their findings into the
+// run's violation list.
+func (h *harness) runHistChecks() {
+	lin, sess := false, false
+	switch h.opts.Check {
+	case "off":
+	case "sessions":
+		sess = true
+	default: // "" and "linearizable"
+		lin, sess = true, true
+	}
+	if lin {
+		for _, v := range histcheck.CheckLinearizable(h.hist.ops) {
+			h.violate("linearizability", "%s", v.Detail)
+		}
+	}
+	if sess {
+		for _, v := range histcheck.CheckSessions(h.hist.ops) {
+			h.violate("session", "%s: %s", v.Check, v.Detail)
 		}
 	}
 }

@@ -4,14 +4,22 @@
 // delayed deliveries, symmetric and asymmetric link cuts, and node
 // crash/restart cycles against a node.Fleet over the loopback
 // transport, while a generated client workload records every
-// acknowledged write and its quorum receipt. Invariant checkers run
-// every epoch and at quiescence: no acked write is ever lost while a
-// live node still holds a copy (message faults alone never excuse a
+// acknowledged write and its quorum receipt — and, beyond the
+// aggregate ground truth, the COMPLETE operation history: every put
+// and get invocation/response with interval timestamps, version
+// stamps, ack state and the binding/relaxed mark, plus a reset op
+// wherever the environment legally destroyed a key. Invariant checkers
+// run every epoch and at quiescence: no acked write is ever lost while
+// a live node still holds a copy (message faults alone never excuse a
 // loss — only the physical destruction of every copy does), reads are
 // at least as new as the last acked write per key, every partition
 // re-converges to the availability bound within the clean cool-down
 // window, replica counts never exceed the fleet size, and identical
-// seeds produce bit-identical trajectory dumps.
+// seeds produce bit-identical trajectory dumps. At quiescence the
+// recorded history is handed to the histcheck package: the per-key WGL
+// linearizability search and the session-guarantee scan
+// (read-your-writes, monotonic reads, monotonic writes) judge the run
+// as first-class invariants alongside durability and convergence.
 //
 // Everything in the package obeys the determinism contract (rfhlint
 // clean): all randomness flows from stats.RNG streams seeded by the
@@ -70,6 +78,23 @@ type Options struct {
 	// durability checker MUST flag. Tests use it to prove violations
 	// are caught and reported, not silently excused.
 	GhostWrite bool
+
+	// Check selects which history checkers judge the recorded op
+	// history at quiescence: "linearizable" (the default, and what the
+	// empty string means) runs the per-key WGL linearizability search
+	// plus the session-guarantee scan, "sessions" runs only the linear
+	// session scan, and "off" disables both. The history is recorded
+	// and returned in the Result either way.
+	Check string
+
+	// InjectStaleRead and InjectLostWrite fabricate history faults
+	// right before the checkers run: a binding read of a long-
+	// overwritten version, and an acked write whose same-client
+	// follow-up read still sees the old value. The history checkers
+	// MUST flag both — tests use them the way GhostWrite proves the
+	// durability checker has teeth.
+	InjectStaleRead bool
+	InjectLostWrite bool
 }
 
 // DefaultOptions returns the standard scenario shape for the given

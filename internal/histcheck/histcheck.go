@@ -1,0 +1,116 @@
+// Package histcheck verifies recorded operation histories against the
+// consistency model the quorum data plane claims: single-register
+// linearizability per key, and the session guarantees (read-your-writes,
+// monotonic reads, monotonic writes) per client.
+//
+// The input is a complete client-side history: every put and get
+// invocation with its response, stamped with history-order timestamps
+// (Invoke/Return). Two ops are concurrent when their [Invoke, Return]
+// intervals overlap; the checkers never assume the recorder serialized
+// anything beyond what the timestamps say.
+//
+// The linearizability checker is the Wing & Gong / Lowe (WGL) search
+// used by Porcupine: walk the history's entry list, tentatively
+// linearize any completed-looking op whose postcondition matches the
+// register, backtrack on dead ends, and memoize visited
+// (linearized-set, register-state) configurations so the search is
+// pruned from factorial to the number of distinct configurations. Two
+// model details matter here:
+//
+//   - A put that FAILED (no quorum ack, or the route errored) may still
+//     have been applied — the reply can be lost after the primary
+//     commits. Such ops are optional: the checker may linearize them at
+//     any point after their invocation, or discard them entirely.
+//   - A reset op (OpReset) marks a point where the environment
+//     legitimately destroyed the register (the chaos harness records one
+//     when every physical copy of a key is lost). It linearizes like a
+//     mandatory write of "absent".
+//
+// Gets marked Relaxed or Errored are recorded for replay/debugging but
+// exempt from both checkers: the harness only binds reads taken when
+// the cluster is routing steadily, mirroring its staleness gate.
+package histcheck
+
+import "fmt"
+
+// OpKind says what a history operation did.
+type OpKind uint8
+
+const (
+	// OpPut wrote Value (version-stamped by the primary).
+	OpPut OpKind = iota + 1
+	// OpGet read the register; Found=false means not-found.
+	OpGet
+	// OpReset marks an environmental wipe of the key: every physical
+	// copy was destroyed, so the register legitimately became absent.
+	OpReset
+)
+
+// String names the kind for dumps.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpReset:
+		return "reset"
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Op is one recorded client operation on one key.
+type Op struct {
+	Client  int    // session id, e.g. the roster index of the entry node
+	Kind    OpKind // put, get, or reset
+	Key     string // register identity
+	Value   string // put: value written; get: value returned when Found
+	Version uint64 // put: version the receipt stamped; get: version observed
+	Found   bool   // get: true when a value came back
+	Acked   bool   // put: the write reached quorum and was acknowledged
+	Relaxed bool   // get: recorded for the dump but exempt from checking
+	Errored bool   // the call returned an error instead of a result
+	Epoch   int    // epoch the op ran in; -1 for synthetic/injected ops
+	Invoke  int64  // history-order timestamp of the invocation
+	Return  int64  // history-order timestamp of the response
+}
+
+// String renders the op for -dump-history replay output.
+func (op Op) String() string {
+	s := fmt.Sprintf("c%d e%03d [%d,%d] %s key=%s", op.Client, op.Epoch, op.Invoke, op.Return, op.Kind, op.Key)
+	switch op.Kind {
+	case OpPut:
+		s += fmt.Sprintf(" val=%s ver=%d", op.Value, op.Version)
+		if op.Acked {
+			s += " acked"
+		} else {
+			s += " failed"
+		}
+	case OpGet:
+		switch {
+		case op.Errored:
+			s += " errored"
+		case !op.Found:
+			s += " notfound"
+		default:
+			s += fmt.Sprintf(" val=%s ver=%d", op.Value, op.Version)
+		}
+		if op.Relaxed {
+			s += " relaxed"
+		}
+	}
+	return s
+}
+
+// Violation is one consistency breach a checker proved from the
+// history. Check is the guarantee that broke: "linearizability",
+// "read-your-writes", "monotonic-reads" or "monotonic-writes".
+type Violation struct {
+	Check  string
+	Key    string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Check, v.Detail)
+}

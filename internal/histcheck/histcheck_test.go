@@ -1,0 +1,330 @@
+package histcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Builders keep the hand-crafted histories terse. Timestamps are the
+// real payload of every case: intervals that overlap are concurrent.
+
+func putOp(c int, key, val string, ver uint64, acked bool, inv, ret int64) Op {
+	return Op{Client: c, Kind: OpPut, Key: key, Value: val, Version: ver, Acked: acked, Invoke: inv, Return: ret}
+}
+
+func getOp(c int, key, val string, ver uint64, inv, ret int64) Op {
+	return Op{Client: c, Kind: OpGet, Key: key, Value: val, Version: ver, Found: true, Invoke: inv, Return: ret}
+}
+
+func getMiss(c int, key string, inv, ret int64) Op {
+	return Op{Client: c, Kind: OpGet, Key: key, Invoke: inv, Return: ret}
+}
+
+func resetOp(key string, inv, ret int64) Op {
+	return Op{Kind: OpReset, Key: key, Invoke: inv, Return: ret}
+}
+
+// pathologicalWidth builds groups of `width` mutually concurrent acked
+// puts of distinct values, each group followed by a read of one of
+// them. Linearizable — but a search without configuration memoization
+// explores ~width! orderings per group and width!^groups overall, which
+// for 8^6 groups is beyond any test budget. The memoized search visits
+// at most groups·2^width configurations and finishes instantly; this
+// case is the regression guard on that pruning.
+func pathologicalWidth(groups, width int) []Op {
+	var ops []Op
+	t := int64(0)
+	ver := uint64(1)
+	for g := 0; g < groups; g++ {
+		base := t
+		for i := 0; i < width; i++ {
+			val := fmt.Sprintf("g%d-w%d", g, i)
+			// All puts of a group overlap: invokes first, returns after.
+			ops = append(ops, putOp(i, "wide", val, ver, true, base+int64(i), base+int64(width+i)))
+			ver++
+		}
+		t = base + int64(2*width)
+		ops = append(ops, getOp(0, "wide", fmt.Sprintf("g%d-w%d", g, width-1), ver-1, t, t+1))
+		t += 2
+	}
+	return ops
+}
+
+func TestCheckLinearizable(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want []string // substrings of expected violation details, in order; empty = clean
+	}{
+		{
+			name: "sequential history linearizes",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				getOp(1, "k", "v1", 1, 2, 3),
+				putOp(0, "k", "v2", 2, true, 4, 5),
+				getOp(1, "k", "v2", 2, 6, 7),
+			},
+		},
+		{
+			name: "concurrent puts allow either winner",
+			ops: []Op{
+				putOp(0, "k", "a", 1, true, 0, 10),
+				putOp(1, "k", "b", 2, true, 1, 9),
+				getOp(2, "k", "a", 1, 11, 12), // a after b is a legal order
+			},
+		},
+		{
+			name: "read overlapping a put may see old or new",
+			ops: []Op{
+				putOp(0, "k", "old", 1, true, 0, 1),
+				putOp(0, "k", "new", 2, true, 4, 8),
+				getOp(1, "k", "old", 1, 5, 6), // put still in flight
+				getOp(2, "k", "new", 2, 9, 10),
+			},
+		},
+		{
+			name: "stale read after a newer acked write",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				putOp(0, "k", "v2", 2, true, 2, 3),
+				getOp(1, "k", "v1", 1, 4, 5),
+			},
+			want: []string{"key k"},
+		},
+		{
+			name: "lost intermediate acked write",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				putOp(0, "k", "v2", 2, true, 2, 3),
+				getOp(1, "k", "v1", 1, 4, 5),
+				getOp(1, "k", "v1", 1, 6, 7), // v2 never becomes visible
+			},
+			want: []string{"key k"},
+		},
+		{
+			name: "failed put is optional: may never take effect",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				putOp(0, "k", "v2", 2, false, 2, 3), // no ack — discardable
+				getOp(1, "k", "v1", 1, 4, 5),
+				getOp(1, "k", "v1", 1, 6, 7),
+			},
+		},
+		{
+			name: "failed put is optional: may also take effect late",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				putOp(0, "k", "v2", 2, false, 2, 3), // applied despite the lost reply
+				getOp(1, "k", "v1", 1, 4, 5),
+				getOp(1, "k", "v2", 2, 6, 7), // surfaces much later
+			},
+		},
+		{
+			name: "value from thin air",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				getOp(1, "k", "ghost", 9, 2, 3),
+			},
+			want: []string{"key k"},
+		},
+		{
+			name: "not-found after an acked write",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				getMiss(1, "k", 2, 3),
+			},
+			want: []string{"key k"},
+		},
+		{
+			name: "not-found is legal after a reset",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				resetOp("k", 2, 3),
+				getMiss(1, "k", 4, 5),
+			},
+		},
+		{
+			name: "relaxed stale read is exempt",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				putOp(0, "k", "v2", 2, true, 2, 3),
+				{Client: 1, Kind: OpGet, Key: "k", Value: "v1", Version: 1, Found: true, Relaxed: true, Invoke: 4, Return: 5},
+			},
+		},
+		{
+			name: "errored read is exempt",
+			ops: []Op{
+				putOp(0, "k", "v1", 1, true, 0, 1),
+				{Client: 1, Kind: OpGet, Key: "k", Errored: true, Invoke: 2, Return: 3},
+			},
+		},
+		{
+			name: "keys are independent registers",
+			ops: []Op{
+				putOp(0, "a", "v1", 1, true, 0, 1),
+				putOp(0, "b", "w1", 1, true, 2, 3),
+				getOp(1, "a", "v1", 1, 4, 5),
+				getOp(1, "b", "w9", 9, 6, 7), // only b is broken
+			},
+			want: []string{"key b"},
+		},
+		{
+			name: "pathological width linearizes under pruning",
+			ops:  pathologicalWidth(6, 8),
+		},
+		{
+			name: "pathological width with failed puts exercises discard pruning",
+			ops: func() []Op {
+				ops := []Op{putOp(0, "wide", "seed", 1, true, 0, 1)}
+				for i := 0; i < 10; i++ {
+					ops = append(ops, putOp(i, "wide", fmt.Sprintf("f%d", i), uint64(2+i), false, 2+int64(i), 20+int64(i)))
+				}
+				return append(ops, getOp(0, "wide", "seed", 1, 40, 41))
+			}(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckLinearizable(tc.ops)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d violations, want %d:\n%v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				if got[i].Check != "linearizability" {
+					t.Errorf("violation %d check = %q, want linearizability", i, got[i].Check)
+				}
+				if !strings.Contains(got[i].Detail, w) {
+					t.Errorf("violation %d detail %q does not mention %q", i, got[i].Detail, w)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckSessions(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want []string // expected Check names, in order
+	}{
+		{
+			name: "clean session",
+			ops: []Op{
+				putOp(0, "k", "v1", 5, true, 0, 1),
+				getOp(0, "k", "v1", 5, 2, 3),
+				putOp(0, "k", "v2", 7, true, 4, 5),
+				getOp(0, "k", "v2", 7, 6, 7),
+			},
+		},
+		{
+			name: "read your writes: older version after own ack",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				getOp(0, "k", "v1", 5, 2, 3),
+			},
+			want: []string{"read-your-writes"},
+		},
+		{
+			name: "read your writes: not-found after own ack",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				getMiss(0, "k", 2, 3),
+			},
+			want: []string{"read-your-writes"},
+		},
+		{
+			name: "other clients' sessions are independent",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				getOp(1, "k", "v1", 5, 2, 3), // stale, but not client 1's write
+			},
+		},
+		{
+			name: "monotonic reads go backwards",
+			ops: []Op{
+				getOp(2, "k", "v2", 7, 0, 1),
+				getOp(2, "k", "v1", 5, 2, 3),
+			},
+			want: []string{"monotonic-reads"},
+		},
+		{
+			name: "monotonic reads: not-found after a hit",
+			ops: []Op{
+				getOp(2, "k", "v2", 7, 0, 1),
+				getMiss(2, "k", 2, 3),
+			},
+			want: []string{"monotonic-reads"},
+		},
+		{
+			name: "monotonic writes: versions must climb",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				putOp(0, "k", "v3", 6, true, 2, 3),
+			},
+			want: []string{"monotonic-writes"},
+		},
+		{
+			name: "failed put carries no session promise",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, false, 0, 1),
+				getMiss(0, "k", 2, 3),
+			},
+		},
+		{
+			name: "reset clears every session watermark",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				getOp(2, "k", "v2", 7, 2, 3),
+				resetOp("k", 4, 5),
+				getMiss(0, "k", 6, 7), // no RYW debt survives the wipe
+				getMiss(2, "k", 8, 9), // nor monotonic-read debt
+			},
+		},
+		{
+			name: "relaxed and errored reads are exempt",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				{Client: 0, Kind: OpGet, Key: "k", Value: "v1", Version: 5, Found: true, Relaxed: true, Invoke: 2, Return: 3},
+				{Client: 0, Kind: OpGet, Key: "k", Errored: true, Invoke: 4, Return: 5},
+			},
+		},
+		{
+			name: "one broken read can breach two guarantees",
+			ops: []Op{
+				putOp(0, "k", "v2", 7, true, 0, 1),
+				getOp(0, "k", "v2", 7, 2, 3),
+				getOp(0, "k", "v1", 5, 4, 5),
+			},
+			want: []string{"read-your-writes", "monotonic-reads"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckSessions(tc.ops)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d violations, want %d:\n%v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				if got[i].Check != w {
+					t.Errorf("violation %d = %q, want %q (%s)", i, got[i].Check, w, got[i].Detail)
+				}
+			}
+		})
+	}
+}
+
+// TestOpString pins the dump format the -dump-history flag emits.
+func TestOpString(t *testing.T) {
+	op := putOp(3, "p0-0", "s7.e12", 42, true, 10, 11)
+	op.Epoch = 12
+	want := "c3 e012 [10,11] put key=p0-0 val=s7.e12 ver=42 acked"
+	if got := op.String(); got != want {
+		t.Errorf("put string = %q, want %q", got, want)
+	}
+	g := getMiss(1, "p0-0", 12, 13)
+	g.Relaxed = true
+	if got := g.String(); got != "c1 e000 [12,13] get key=p0-0 notfound relaxed" {
+		t.Errorf("get string = %q", got)
+	}
+}

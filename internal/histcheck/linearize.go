@@ -1,0 +1,290 @@
+package histcheck
+
+import (
+	"math"
+	"sort"
+)
+
+// CheckLinearizable verifies, key by key, that the history's binding
+// ops admit a linearization: a total order consistent with real time
+// (an op that returned before another was invoked comes first) in which
+// every get reads the latest preceding write. Failed puts are optional
+// — they may linearize anywhere after their invocation or never.
+// Relaxed and errored gets are exempt. Violations come back in
+// ascending key order, one per broken key.
+func CheckLinearizable(ops []Op) []Violation {
+	byKey := make(map[string][]Op)
+	var keys []string
+	for _, op := range ops {
+		if op.Kind == OpGet && (op.Relaxed || op.Errored) {
+			continue
+		}
+		if _, ok := byKey[op.Key]; !ok {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Strings(keys)
+	var out []Violation
+	for _, k := range keys {
+		if v := checkKey(k, byKey[k]); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// regState is the model: one register that is either absent or holds a
+// value. Comparable so it can sit in cache records directly.
+type regState struct {
+	present bool
+	value   string
+}
+
+// step applies op to the register. ok reports whether the op's recorded
+// outcome is possible from state; next is the state afterwards.
+func step(state regState, op *Op) (ok bool, next regState) {
+	switch op.Kind {
+	case OpPut:
+		return true, regState{present: true, value: op.Value}
+	case OpReset:
+		return true, regState{}
+	default: // OpGet
+		if op.Found {
+			return state.present && state.value == op.Value, state
+		}
+		return !state.present, state
+	}
+}
+
+// entryNode is one call or return event in the doubly-linked history
+// list the WGL search walks. Every op contributes a call entry and a
+// return entry; match links the pair.
+type entryNode struct {
+	prev, next *entryNode
+	match      *entryNode
+	op         *Op
+	id         int  // op index within this key's history
+	call       bool // call entry or return entry
+	optional   bool // failed put: may linearize late or never
+}
+
+// buildEntries lays the per-key ops out as a timestamp-ordered entry
+// list headed by a sentinel. Failed puts get a return at +infinity
+// (they may take effect arbitrarily late). At equal timestamps returns
+// sort before calls, so touching intervals read as sequential — the
+// stricter interpretation. Ties beyond that break by op index, keeping
+// the list deterministic.
+func buildEntries(ops []Op) *entryNode {
+	type ev struct {
+		at  int64
+		ret bool
+		id  int
+	}
+	evs := make([]ev, 0, 2*len(ops))
+	for i := range ops {
+		op := &ops[i]
+		ret := op.Return
+		if op.Kind == OpPut && !op.Acked {
+			ret = math.MaxInt64
+		}
+		evs = append(evs, ev{at: op.Invoke, ret: false, id: i})
+		evs = append(evs, ev{at: ret, ret: true, id: i})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		if evs[a].ret != evs[b].ret {
+			return evs[a].ret
+		}
+		return evs[a].id < evs[b].id
+	})
+	head := &entryNode{}
+	calls := make([]*entryNode, len(ops))
+	tail := head
+	for _, e := range evs {
+		op := &ops[e.id]
+		n := &entryNode{
+			op:       op,
+			id:       e.id,
+			call:     !e.ret,
+			optional: op.Kind == OpPut && !op.Acked,
+			prev:     tail,
+		}
+		tail.next = n
+		tail = n
+		if e.ret {
+			n.match = calls[e.id]
+			calls[e.id].match = n
+		} else {
+			calls[e.id] = n
+		}
+	}
+	return head
+}
+
+func removeNode(n *entryNode) {
+	n.prev.next = n.next
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+}
+
+func insertNode(n *entryNode) {
+	n.prev.next = n
+	if n.next != nil {
+		n.next.prev = n
+	}
+}
+
+// lift removes e and its partner from the list; unlift restores them in
+// exact reverse order (required when the pair is adjacent).
+func lift(e *entryNode) {
+	removeNode(e)
+	removeNode(e.match)
+}
+
+func unlift(e *entryNode) {
+	insertNode(e.match)
+	insertNode(e)
+}
+
+// bitset tracks which op indexes the current search branch has
+// consumed (linearized or discarded).
+type bitset []uint64
+
+func newBitset(n int) bitset   { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)     { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)   { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) clone() bitset { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheRecord memoizes one visited configuration. Revisiting the same
+// (consumed-set, register-state) pair can only rediscover the same dead
+// end, so the search prunes it — this is what caps the cost of wide
+// concurrent windows at the number of distinct configurations instead
+// of the factorial of the window width.
+type cacheRecord struct {
+	mask  bitset
+	state regState
+}
+
+func cacheHash(mask bitset, st regState) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, w := range mask {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> uint(s)) & 0xff
+			h *= prime
+		}
+	}
+	if st.present {
+		h ^= 1
+		h *= prime
+	}
+	for i := 0; i < len(st.value); i++ {
+		h ^= uint64(st.value[i])
+		h *= prime
+	}
+	return h
+}
+
+// cacheAdd records the configuration, reporting false when it was
+// already visited.
+func cacheAdd(cache map[uint64][]cacheRecord, mask bitset, st regState) bool {
+	h := cacheHash(mask, st)
+	for _, r := range cache[h] {
+		if r.state == st && mask.equal(r.mask) {
+			return false
+		}
+	}
+	cache[h] = append(cache[h], cacheRecord{mask: mask, state: st})
+	return true
+}
+
+// frame is one branch taken by the search, kept for backtracking: a
+// linearization taken at a call entry, or a discard taken at an
+// optional op's return entry.
+type frame struct {
+	entry   *entryNode
+	state   regState // register state before the branch
+	discard bool
+}
+
+// checkKey runs the WGL search over one key's ops. nil means a valid
+// linearization exists; otherwise the violation names the first op the
+// exhausted search could not place.
+func checkKey(key string, ops []Op) *Violation {
+	if len(ops) == 0 {
+		return nil
+	}
+	head := buildEntries(ops)
+	linearized := newBitset(len(ops))
+	cache := make(map[uint64][]cacheRecord)
+	var calls []frame
+	state := regState{}
+	entry := head.next
+	for head.next != nil {
+		if entry.call {
+			// Try to linearize this op here; on a cache hit or a
+			// postcondition mismatch, defer it and scan on.
+			if ok, ns := step(state, entry.op); ok {
+				tentative := linearized.clone()
+				tentative.set(entry.id)
+				if cacheAdd(cache, tentative, ns) {
+					calls = append(calls, frame{entry: entry, state: state})
+					state = ns
+					linearized.set(entry.id)
+					lift(entry)
+					entry = head.next
+					continue
+				}
+			}
+			entry = entry.next
+			continue
+		}
+		// A return entry: its op was not linearized before it completed.
+		// An optional op may be discarded outright (the failed put never
+		// took effect); a mandatory op forces backtracking.
+		if entry.optional {
+			tentative := linearized.clone()
+			tentative.set(entry.id)
+			if cacheAdd(cache, tentative, state) {
+				calls = append(calls, frame{entry: entry, state: state, discard: true})
+				linearized.set(entry.id)
+				lift(entry)
+				entry = head.next
+				continue
+			}
+		}
+		stuck := entry.op
+		for {
+			if len(calls) == 0 {
+				return &Violation{
+					Check:  "linearizability",
+					Key:    key,
+					Detail: "key " + key + ": no linearization places {" + stuck.String() + "} against the recorded history",
+				}
+			}
+			top := calls[len(calls)-1]
+			calls = calls[:len(calls)-1]
+			state = top.state
+			linearized.clear(top.entry.id)
+			unlift(top.entry)
+			if top.discard {
+				continue // a discard has no alternative branch; keep unwinding
+			}
+			entry = top.entry.next
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package histcheck
+
+import "fmt"
+
+// sessState is one (client, key) session's high-water marks.
+type sessState struct {
+	writeVer  uint64
+	writeVal  string
+	readVer   uint64
+	readVal   string
+	haveWrite bool
+	haveRead  bool
+}
+
+// CheckSessions runs the session-guarantee checkers in one linear scan
+// of the history, in recorded order:
+//
+//   - monotonic-writes: a client's acked writes to a key must carry
+//     strictly increasing versions (the system serialized them in
+//     session order).
+//   - read-your-writes: a client's binding read of a key must observe a
+//     version at least as new as that client's last acked write to it.
+//   - monotonic-reads: a client's binding reads of a key must never see
+//     versions go backwards (not-found reads count as version 0).
+//
+// Relaxed and errored gets are exempt, as are unacked puts (a failed
+// write carries no visibility promise). An OpReset wipes every
+// session's marks for that key: once the environment destroyed all
+// copies, older observations are no longer owed to anyone.
+//
+// The scan is O(history) with O(clients·keys) state — cheap enough to
+// run on every chaos seed even when the WGL search is switched off.
+func CheckSessions(ops []Op) []Violation {
+	byKey := make(map[string]map[int]*sessState)
+	var out []Violation
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpReset:
+			delete(byKey, op.Key)
+		case OpPut:
+			if !op.Acked || op.Version == 0 {
+				continue
+			}
+			s := lookup(byKey, op.Key, op.Client)
+			if s.haveWrite && op.Version <= s.writeVer {
+				out = append(out, Violation{
+					Check: "monotonic-writes",
+					Key:   op.Key,
+					Detail: fmt.Sprintf("client %d key %s: write %q stamped version %d after its write %q stamped %d",
+						op.Client, op.Key, op.Value, op.Version, s.writeVal, s.writeVer),
+				})
+			}
+			s.haveWrite = true
+			s.writeVer = op.Version
+			s.writeVal = op.Value
+		case OpGet:
+			if op.Relaxed || op.Errored {
+				continue
+			}
+			if op.Found && op.Version == 0 {
+				continue // unversioned read: nothing to compare against
+			}
+			ver := op.Version
+			if !op.Found {
+				ver = 0
+			}
+			s := lookup(byKey, op.Key, op.Client)
+			if s.haveWrite && ver < s.writeVer {
+				out = append(out, Violation{
+					Check: "read-your-writes",
+					Key:   op.Key,
+					Detail: fmt.Sprintf("client %d key %s: read %s after own acked write %q version %d",
+						op.Client, op.Key, describeRead(op, ver), s.writeVal, s.writeVer),
+				})
+			}
+			if s.haveRead && ver < s.readVer {
+				out = append(out, Violation{
+					Check: "monotonic-reads",
+					Key:   op.Key,
+					Detail: fmt.Sprintf("client %d key %s: read %s after reading %q version %d",
+						op.Client, op.Key, describeRead(op, ver), s.readVal, s.readVer),
+				})
+			}
+			s.haveRead = true
+			s.readVer = ver
+			s.readVal = op.Value
+		}
+	}
+	return out
+}
+
+func describeRead(op *Op, ver uint64) string {
+	if !op.Found {
+		return "not-found"
+	}
+	return fmt.Sprintf("%q version %d", op.Value, ver)
+}
+
+// lookup fetches (creating on demand) one session's state. Maps are
+// only indexed and deleted whole, never iterated — the scan order is
+// the history order.
+func lookup(byKey map[string]map[int]*sessState, key string, client int) *sessState {
+	m := byKey[key]
+	if m == nil {
+		m = make(map[int]*sessState)
+		byKey[key] = m
+	}
+	s := m[client]
+	if s == nil {
+		s = &sessState{}
+		m[client] = s
+	}
+	return s
+}

@@ -1,0 +1,328 @@
+package node
+
+import (
+	"encoding/binary"
+
+	"repro/internal/transport"
+)
+
+// Anti-entropy: periodic Merkle-digest exchange between a partition's
+// holders, repairing divergence without waiting for a quorum read to
+// touch the stale key (Leslie, "Reliable Data Storage in DHTs").
+//
+// Every AEInterval-th epoch each resident partition primary builds a
+// fixed-shape hash tree over its partition (64 leaf buckets, one
+// 8-byte hash each) and sends the leaf vector to every co-holder
+// (KindAEDigest). The holder compares against its own tree and answers
+// with the divergent bucket indexes plus its own entries for those
+// buckets; the primary folds the holder's newer keys into itself and
+// ships its own copy of the divergent buckets back (KindAERepair).
+// Both directions merge version-gated through the store, so a repair
+// can never roll a key back — the exchange is idempotent and safe to
+// replay, duplicate or delay arbitrarily, which is what the chaos
+// fault plane does to it.
+
+// aeLeaves is the tree's fixed leaf-bucket count. 64 buckets × 8 bytes
+// keeps the whole digest within one small frame; with typical
+// partition populations a single divergent key dirties one bucket, so
+// a repair ships ~1/64th of the partition.
+const aeLeaves = 64
+
+// fnv-1a 64 parameters, written out because the tree hashes millions
+// of entries in the bench path and the stdlib hash.Hash64 interface
+// would allocate per entry.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// aeBucket maps a key to its leaf bucket. Deliberately NOT
+// ring.HashString: partition membership is already a function of the
+// ring hash, and deriving buckets from the same value would correlate
+// bucket occupancy with partition assignment instead of spreading a
+// partition's keys uniformly across its own tree.
+func aeBucket(key string) int {
+	return int(fnvString(fnvOffset, key) % aeLeaves)
+}
+
+// aeEntryHash digests one (key, version, value) record. The version
+// sits between key and value with a fixed width, so no two distinct
+// records can collide by concatenation ambiguity.
+func aeEntryHash(key string, ver uint64, val []byte) uint64 {
+	h := fnvString(fnvOffset, key)
+	var vb [8]byte
+	binary.BigEndian.PutUint64(vb[:], ver)
+	h = fnvBytes(h, vb[:])
+	return fnvBytes(h, val)
+}
+
+// AETree is one partition's anti-entropy digest: aeLeaves buckets,
+// each holding the XOR of its entries' record hashes. XOR makes the
+// leaf order-independent and incrementally maintainable — applying the
+// same record twice removes it, so an update is Apply(old) followed by
+// Apply(new), O(1) per write. Exported (with NewAETree/Apply/Root) so
+// rfhbench can hold the digest cost on a committed leash.
+type AETree struct {
+	leaves [aeLeaves]uint64
+}
+
+// NewAETree returns an empty tree (the digest of an empty partition).
+func NewAETree() *AETree { return &AETree{} }
+
+// Apply XORs one record into its bucket: call once to add a record,
+// again with identical arguments to remove it.
+func (t *AETree) Apply(key string, ver uint64, val []byte) {
+	t.leaves[aeBucket(key)] ^= aeEntryHash(key, ver, val)
+}
+
+// Leaves returns the leaf hash vector (a copy; the wire payload).
+func (t *AETree) Leaves() []uint64 {
+	out := make([]uint64, aeLeaves)
+	copy(out, t.leaves[:])
+	return out
+}
+
+// Root folds the leaves pairwise up to the 8-byte root. The fold is
+// order-sensitive (unlike the leaves), so two trees agreeing on the
+// root agree on the whole vector with hash-level confidence.
+func (t *AETree) Root() uint64 {
+	var lvl [aeLeaves]uint64
+	copy(lvl[:], t.leaves[:])
+	for n := aeLeaves; n > 1; n /= 2 {
+		for i := 0; i < n/2; i++ {
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[:8], lvl[2*i])
+			binary.BigEndian.PutUint64(b[8:], lvl[2*i+1])
+			lvl[i] = fnvBytes(fnvOffset, b[:])
+		}
+	}
+	return lvl[0]
+}
+
+// buildAETree digests an entry block (the canonical snapshotEntries
+// form). Order-independent by construction, so the sorted input is a
+// convenience, not a requirement.
+func buildAETree(entries []kvEntry) *AETree {
+	t := &AETree{}
+	for _, e := range entries {
+		t.Apply(e.key, e.ver, e.val)
+	}
+	return t
+}
+
+// AEStats counts anti-entropy activity for DumpInfo and tests.
+type AEStats struct {
+	// Rounds is how many digest rounds this node initiated as primary
+	// (one per partition per AEInterval boundary).
+	Rounds int64 `json:"rounds"`
+	// Synced counts digest exchanges that found the holder identical.
+	Synced int64 `json:"synced"`
+	// Repairs counts KindAERepair payloads shipped to divergent holders.
+	Repairs int64 `json:"repairs"`
+	// Healed counts entries merged INTO this node by anti-entropy —
+	// holder-side repairs plus primary-side backflow from holders.
+	Healed int64 `json:"healed"`
+}
+
+// AEStats returns the node's anti-entropy counters.
+func (n *Node) AEStats() AEStats {
+	return AEStats{
+		Rounds:  n.aeRoundsN.Load(),
+		Synced:  n.aeSyncedN.Load(),
+		Repairs: n.aeRepairsN.Load(),
+		Healed:  n.aeHealedN.Load(),
+	}
+}
+
+// aeRound is one planned digest exchange: a partition this node
+// primaries and the co-holders to reconcile with.
+type aeRound struct {
+	p       int
+	epoch   uint64
+	holders []int
+}
+
+// aePlanLocked decides, under n.mu, which partitions run an
+// anti-entropy round this epoch: every AEInterval-th epoch, every
+// partition this node primaries with resident local data and at least
+// one co-holder. A recovering node plans nothing — its view is not yet
+// trustworthy. Holders come out in ascending roster order, so the send
+// sequence is deterministic (the chaos fault plane's RNG draw order
+// depends on it).
+func (n *Node) aePlanLocked() []aeRound {
+	iv := n.cfg.AEInterval
+	if iv <= 0 || n.recovering || n.epoch%uint64(iv) != 0 {
+		return nil
+	}
+	var rounds []aeRound
+	for p := 0; p < n.cfg.Partitions; p++ {
+		if n.view.primary(p) != n.self || !n.store.isResident(p) {
+			continue
+		}
+		var holders []int
+		for _, s := range n.view.cluster.ReplicaServers(p) {
+			if int(s) != n.self {
+				holders = append(holders, int(s))
+			}
+		}
+		if len(holders) > 0 {
+			rounds = append(rounds, aeRound{p: p, epoch: n.epoch, holders: holders})
+		}
+	}
+	return rounds
+}
+
+// runAntiEntropy executes the planned digest exchanges. Every failure
+// mode is soft: a dropped frame, a refusing holder or an oversized
+// payload just leaves the divergence for the next round (or for
+// read-repair or replica shipping to catch first).
+//
+//lint:requires-unlocked n.mu
+func (n *Node) runAntiEntropy(rounds []aeRound) {
+	for _, rd := range rounds {
+		entries, _ := n.store.snapshotEntries(rd.p)
+		tree := buildAETree(entries)
+		digest := appendAEDigest(nil, tree.Leaves(), tree.Root())
+		n.aeRoundsN.Add(1)
+		for _, h := range rd.holders {
+			resp, err := n.tr.Send(n.peerAddr(h), &transport.Message{
+				Kind:      KindAEDigest,
+				Partition: uint32(rd.p),
+				Epoch:     rd.epoch,
+				Origin:    uint32(n.self),
+				Value:     digest,
+			})
+			if err != nil || resp.Status != transport.StatusOK {
+				continue
+			}
+			buckets, theirs, err := decodeAEDiff(resp.Value, aeLeaves)
+			if err != nil {
+				continue
+			}
+			if len(buckets) == 0 {
+				n.aeSyncedN.Add(1)
+				continue
+			}
+			// Backflow first: keys where the holder is newer heal this
+			// primary (version-gated — stale records lose and vanish).
+			if merged, applied, err := n.store.mergeResident(rd.p, theirs); err == nil && applied && merged > 0 {
+				n.aeHealedN.Add(int64(merged))
+			}
+			// Then ship our copy of the divergent buckets back. The
+			// pre-merge snapshot is fine: every key the backflow just
+			// changed came FROM this holder, which already has it.
+			var divergent [aeLeaves]bool
+			for _, b := range buckets {
+				divergent[b] = true
+			}
+			var repair []kvEntry
+			for _, e := range entries {
+				if divergent[aeBucket(e.key)] {
+					repair = append(repair, e)
+				}
+			}
+			if len(repair) == 0 {
+				continue
+			}
+			n.aeRepairsN.Add(1)
+			if _, err := n.tr.Send(n.peerAddr(h), &transport.Message{
+				Kind:      KindAERepair,
+				Partition: uint32(rd.p),
+				Epoch:     rd.epoch,
+				Origin:    uint32(n.self),
+				Value:     appendEntries(nil, repair),
+			}); err != nil {
+				continue // the holder stays divergent until the next round
+			}
+		}
+	}
+}
+
+// handleAEDigest answers a primary's digest with this holder's diff: a
+// non-resident or non-holder receiver refuses (its tree would compare
+// garbage), an identical tree answers an empty diff, and a divergent
+// one lists the mismatched buckets with its own entries for them.
+func (n *Node) handleAEDigest(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	leaves, root, err := decodeAEDigest(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	holder := n.view.hasReplica(p, n.self) && !n.recovering
+	n.mu.RUnlock()
+	if !holder || !n.store.isResident(p) {
+		return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	}
+	entries, _ := n.store.snapshotEntries(p)
+	mine := buildAETree(entries)
+	if len(leaves) == aeLeaves && mine.Root() == root {
+		return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Value: appendAEDiff(nil, nil, nil)}, nil
+	}
+	var divergent [aeLeaves]bool
+	var buckets []int
+	for i := 0; i < aeLeaves; i++ {
+		if i >= len(leaves) || leaves[i] != mine.leaves[i] {
+			divergent[i] = true
+			buckets = append(buckets, i)
+		}
+	}
+	var diff []kvEntry
+	for _, e := range entries {
+		if divergent[aeBucket(e.key)] {
+			diff = append(diff, e)
+		}
+	}
+	return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Value: appendAEDiff(nil, buckets, diff)}, nil
+}
+
+// handleAERepair folds the primary's repair payload in, version-gated
+// and only into an already-resident copy — residency is a transfer
+// protocol decision, never an anti-entropy side effect.
+func (n *Node) handleAERepair(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := decodeSnapshot(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	holder := n.view.hasReplica(p, n.self) && !n.recovering
+	var merged int
+	applied := false
+	if holder {
+		merged, applied, err = n.store.mergeResident(p, entries)
+	}
+	n.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if !applied {
+		return &transport.Message{Kind: KindAERepair, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	}
+	if merged > 0 {
+		n.aeHealedN.Add(int64(merged))
+	}
+	return &transport.Message{Kind: KindAERepair, Partition: req.Partition}, nil
+}

@@ -104,6 +104,16 @@ type Config struct {
 	// releases its compaction hold (default 4).
 	TransferLeaseEpochs int
 
+	// AEInterval is the anti-entropy cadence in epochs: on every
+	// AEInterval-th RunEpoch, each resident partition primary exchanges
+	// Merkle digests with the partition's other holders and repairs
+	// divergent key ranges through version-gated merges, so holder drift
+	// heals without waiting for a quorum read to touch the key. 0 (the
+	// default) disables background anti-entropy — read-repair and
+	// replica shipping stay the only healing paths, which is also what
+	// the byte-identical memory-mode chaos trajectories require.
+	AEInterval int
+
 	// SuspectAfter is how many epochs a peer may stay silent before it
 	// is presumed failed and removed from the view (default 3).
 	SuspectAfter int
@@ -189,6 +199,8 @@ func (c *Config) Validate() error {
 	case c.WALCompactEvery < 0 || c.SnapshotOneFrameBytes < 0 ||
 		c.TransferChunkEntries < 0 || c.TransferLeaseEpochs < 0:
 		return fmt.Errorf("node: durability/transfer settings must not be negative")
+	case c.AEInterval < 0:
+		return fmt.Errorf("node: anti-entropy interval must not be negative (0 disables)")
 	}
 	// 0 means "unset" for the durability and transfer knobs too.
 	if c.WALCompactEvery == 0 {

@@ -88,6 +88,15 @@ func TestDispatchCoversWireKinds(t *testing.T) {
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession}
 		case KindXferDone:
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession}
+		case KindAEDigest:
+			// An empty tree's digest: the resident primary answers with a
+			// diff listing the buckets its seeded key dirties.
+			empty := NewAETree()
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Epoch: nd.Epoch(),
+				Value: appendAEDigest(nil, empty.Leaves(), empty.Root())}
+		case KindAERepair:
+			rep := appendEntries(nil, []kvEntry{{key: "ae-key", val: []byte("av"), ver: 1}})
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Epoch: nd.Epoch(), Value: rep}
 		default:
 			t.Fatalf("KindNames declares node-to-node kind %d (%s) but this test has no representative message for it; extend the switch above", kind, KindNames[kind])
 		}

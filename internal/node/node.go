@@ -126,6 +126,13 @@ type Node struct {
 	xgen   uint64
 	xseq   uint64
 	xstats TransferStats
+
+	// Anti-entropy counters (see ae.go). Atomic for the same reason as
+	// syncFails: the digest exchange fans out outside n.mu.
+	aeRoundsN  atomic.Int64
+	aeSyncedN  atomic.Int64
+	aeRepairsN atomic.Int64
+	aeHealedN  atomic.Int64
 }
 
 // outOp is one data-movement message to perform after the view update,
@@ -441,6 +448,10 @@ func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, 
 		return n.handleXferCursor(req)
 	case KindXferDone:
 		return n.handleXferDone(req)
+	case KindAEDigest:
+		return n.handleAEDigest(req)
+	case KindAERepair:
+		return n.handleAERepair(req)
 	case KindDrop:
 		return n.handleDrop(req)
 	case KindStats:
@@ -485,6 +496,14 @@ func (n *Node) checkPartition(p uint32) (int, error) {
 func (n *Node) Get(key string) ([]byte, bool, error) {
 	v, _, ok, err := n.routeGet(n.PartitionOf(key), key, n.self, 0)
 	return v, ok, err
+}
+
+// GetVersioned is Get exposing the winning copy's version stamp (0 for
+// not-found or unversioned data) — history recorders need the version
+// to reason about session guarantees, not just the bytes.
+func (n *Node) GetVersioned(key string) ([]byte, uint64, bool, error) {
+	v, ver, ok, err := n.routeGet(n.PartitionOf(key), key, n.self, 0)
+	return v, ver, ok, err
 }
 
 // routeGet handles one query arrival at this node (origin is the
@@ -1109,6 +1128,7 @@ func (n *Node) RunEpoch() error {
 		n.nextPend[i] = nil
 	}
 	n.epoch++
+	aeRounds := n.aePlanLocked()
 	n.mu.Unlock()
 
 	// Data movement happens outside the lock: the loopback transport
@@ -1117,6 +1137,9 @@ func (n *Node) RunEpoch() error {
 	// Then drive the chunked transfer sessions a round (and age their
 	// leases). A node with no sessions in flight sends nothing here.
 	n.pumpTransfers()
+	// Finally the periodic anti-entropy digest exchange — empty except
+	// on AEInterval boundaries.
+	n.runAntiEntropy(aeRounds)
 	return nil
 }
 
@@ -1480,6 +1503,7 @@ type DumpInfo struct {
 	SyncFails   int64           `json:"sync_fails,omitempty"`
 	Durable     bool            `json:"durable"`
 	Transfers   TransferStats   `json:"transfers"`
+	AntiEntropy AEStats         `json:"anti_entropy"`
 	Decisions   DecisionCounts  `json:"decisions"`
 	Suspected   []int           `json:"suspected,omitempty"`
 	Partitions  []PartitionInfo `json:"partitions"`
@@ -1499,6 +1523,7 @@ func (n *Node) Dump() DumpInfo {
 		SyncFails:   n.syncFails.Load(),
 		Durable:     n.eng != nil,
 		Transfers:   n.TransferStats(),
+		AntiEntropy: n.AEStats(),
 		Decisions:   n.counts,
 	}
 	for i, s := range n.suspect {

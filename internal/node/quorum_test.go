@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/histcheck"
 	"repro/internal/transport"
 )
 
@@ -78,11 +79,37 @@ func severWrap(severed *bool) WrapTransport {
 	}
 }
 
+// opRecorder accumulates a histcheck history with strictly increasing
+// interval timestamps, so directed node tests can assert convergence
+// as "the recorded ops linearize" instead of spot-checking values.
+type opRecorder struct {
+	ops []histcheck.Op
+	now int64
+}
+
+func (r *opRecorder) add(op histcheck.Op) {
+	op.Invoke = r.now
+	op.Return = r.now + 1
+	r.now += 2
+	r.ops = append(r.ops, op)
+}
+
+func (r *opRecorder) put(client int, key, val string, ver uint64, acked bool) {
+	r.add(histcheck.Op{Client: client, Kind: histcheck.OpPut, Key: key, Value: val, Version: ver, Acked: acked})
+}
+
+func (r *opRecorder) get(client int, key, val string, ver uint64, found bool) {
+	r.add(histcheck.Op{Client: client, Kind: histcheck.OpGet, Key: key, Value: val, Version: ver, Found: found})
+}
+
 // TestReadRepairHealsStaleHolder leaves one holder a version behind
 // (its sync was lost and the write correctly failed its quorum), then
 // shows a quorum read both returns the newest version and pushes it to
-// the stale holder — the lagging copy converges without waiting for
-// any background transfer.
+// the stale holder. Convergence is asserted through histcheck: the
+// recorded history — acked v1, quorum-failed v2 (optional), the quorum
+// read, and the stale holder's physical copy read back as a final op —
+// must linearize, which it only does if the repair actually landed v2
+// on the lagging holder.
 func TestReadRepairHealsStaleHolder(t *testing.T) {
 	severed := false
 	f, err := NewFleetWrapped(4, quorumConfig(2, 2), severWrap(&severed))
@@ -110,9 +137,12 @@ func TestReadRepairHealsStaleHolder(t *testing.T) {
 		t.Fatalf("partition 0 has no secondary holder: %v", holders)
 	}
 
-	if _, err := f.Node(primary).PutQuorum(key, []byte("v1")); err != nil {
+	rec := &opRecorder{}
+	rcpt1, err := f.Node(primary).PutQuorum(key, []byte("v1"))
+	if err != nil {
 		t.Fatalf("seed put: %v", err)
 	}
+	rec.put(primary, key, "v1", rcpt1.Version, true)
 	_, v1ver, ok := f.Node(stale).LocalVersion(key)
 	if !ok {
 		t.Fatal("secondary holder missing the seeded value")
@@ -127,18 +157,37 @@ func TestReadRepairHealsStaleHolder(t *testing.T) {
 	if rcpt.Version <= v1ver {
 		t.Fatalf("failed put's stamp %d not above prior version %d", rcpt.Version, v1ver)
 	}
+	rec.put(primary, key, "v2", rcpt.Version, false)
 	severed = false
 
 	// A quorum read from the primary sees v2 (self) vs v1 (stale
 	// holder), returns the winner, and repairs the loser.
-	v, ok, err := f.Node(primary).Get(key)
-	if err != nil || !ok || string(v) != "v2" {
-		t.Fatalf("quorum read: got (%q, %v, %v), want v2", v, ok, err)
+	v, ver, ok, err := f.Node(primary).GetVersioned(key)
+	if err != nil || !ok {
+		t.Fatalf("quorum read: got (%q, %v, %v)", v, ok, err)
 	}
-	sv, sver, ok := f.Node(stale).LocalVersion(key)
-	if !ok || string(sv) != "v2" || sver != rcpt.Version {
-		t.Fatalf("stale holder after read-repair: got (%q, %d, %v), want (v2, %d, true)",
-			sv, sver, ok, rcpt.Version)
+	rec.get(primary, key, string(v), ver, ok)
+
+	// The stale holder's PHYSICAL copy, read back into the history as
+	// one more op: if read-repair did not land v2 there, the history
+	// shows an acked-v2-read followed by a v1 observation — which no
+	// linearization can explain.
+	sv, sver, sok := f.Node(stale).LocalVersion(key)
+	rec.get(stale, key, string(sv), sver, sok)
+
+	if vs := histcheck.CheckLinearizable(rec.ops); len(vs) != 0 {
+		t.Fatalf("history after read-repair does not linearize:\n%v\nops:\n%v", vs, rec.ops)
+	}
+
+	// Teeth check: rewriting the final observation to the pre-repair
+	// copy must make the same checker object — otherwise the assertion
+	// above is vacuous.
+	broken := make([]histcheck.Op, len(rec.ops))
+	copy(broken, rec.ops)
+	last := &broken[len(broken)-1]
+	last.Value, last.Version = "v1", v1ver
+	if vs := histcheck.CheckLinearizable(broken); len(vs) == 0 {
+		t.Fatal("checker accepted the unrepaired history — the histcheck assertion has no teeth")
 	}
 }
 

@@ -234,25 +234,28 @@ func (s *store) applySync(p int, key string, value []byte, ver uint64) (acked bo
 // mergeEntriesLocked folds an entry block into the shard, version-aware
 // per key: a record replaces the local one only if strictly newer, so a
 // replayed or delayed transfer can never roll a key back. Callers hold
-// the shard lock. The first engine refusal aborts the merge — the
-// entries already applied are durable and version-gated, so a partial
-// merge is safe to leave behind.
-func (s *store) mergeEntriesLocked(p int, ps *partitionShard, entries []kvEntry) error {
+// the shard lock. Returns how many entries actually won their version
+// race and were installed. The first engine refusal aborts the merge —
+// the entries already applied are durable and version-gated, so a
+// partial merge is safe to leave behind.
+func (s *store) mergeEntriesLocked(p int, ps *partitionShard, entries []kvEntry) (int, error) {
+	merged := 0
 	for _, in := range entries {
 		if e, ok := ps.data[in.key]; ok && e.ver >= in.ver {
 			continue
 		}
 		if s.eng != nil {
 			if err := s.eng.AppendPut(p, in.key, in.ver, in.val); err != nil {
-				return err
+				return merged, err
 			}
 		}
 		if in.ver > ps.maxVer {
 			ps.maxVer = in.ver
 		}
 		ps.install(in.key, entry{val: in.val, ver: in.ver})
+		merged++
 	}
-	return nil
+	return merged, nil
 }
 
 // mergeSnapshot folds a one-frame transferred snapshot into the
@@ -262,7 +265,7 @@ func (s *store) mergeSnapshot(p int, entries []kvEntry) error {
 	ps := &s.parts[p]
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	if err := s.mergeEntriesLocked(p, ps, entries); err != nil {
+	if _, err := s.mergeEntriesLocked(p, ps, entries); err != nil {
 		return err
 	}
 	if s.eng != nil && !ps.resident {
@@ -272,6 +275,22 @@ func (s *store) mergeSnapshot(p int, entries []kvEntry) error {
 	}
 	ps.resident = true
 	return nil
+}
+
+// mergeResident folds an entry block into the partition only when its
+// local content is already authoritative — the anti-entropy repair
+// path. Unlike mergeSnapshot it never flips residency: "repairing" a
+// non-resident copy would bless partial data as a full one. applied is
+// false when the partition was not resident and nothing was touched.
+func (s *store) mergeResident(p int, entries []kvEntry) (merged int, applied bool, err error) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.resident {
+		return 0, false, nil
+	}
+	merged, err = s.mergeEntriesLocked(p, ps, entries)
+	return merged, true, err
 }
 
 // beginInbound opens (or re-finds) an inbound transfer session and
@@ -334,7 +353,7 @@ func (s *store) applyChunk(p int, sid uint64, idx uint32, entries []kvEntry) (ne
 		if idx != sess.Next {
 			return uint64(sess.Next), true, nil
 		}
-		if err := s.mergeEntriesLocked(p, ps, entries); err != nil {
+		if _, err := s.mergeEntriesLocked(p, ps, entries); err != nil {
 			return 0, true, err
 		}
 		adv := *sess

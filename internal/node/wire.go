@@ -70,6 +70,20 @@ const (
 	// means chunks are still missing and the source must back-fill.
 	KindXferDone uint8 = 12
 
+	// KindAEDigest opens an anti-entropy round: the partition primary
+	// sends its Merkle digest (leaf hash vector + root) to a co-holder,
+	// Epoch tagging the round. The StatusOK reply carries the holder's
+	// diff blob — the divergent bucket indexes plus the holder's own
+	// entries for those buckets (empty when the trees agree); StatusRetry
+	// means the receiver is not a resident holder and has no
+	// authoritative tree to compare.
+	KindAEDigest uint8 = 13
+	// KindAERepair ships the primary's entries for the divergent buckets
+	// back to the holder, which folds them in version-gated (a repair can
+	// never roll a key back). StatusRetry means the holder stopped being
+	// resident mid-round and the payload was not applied.
+	KindAERepair uint8 = 14
+
 	// KindEpochFlush makes the node broadcast its epoch stats (phase A
 	// of the two-phase tick).
 	KindEpochFlush uint8 = 64
@@ -99,6 +113,8 @@ var KindNames = map[uint8]string{
 	KindXferChunk:  "xfer-chunk",
 	KindXferCursor: "xfer-cursor",
 	KindXferDone:   "xfer-done",
+	KindAEDigest:   "ae-digest",
+	KindAERepair:   "ae-repair",
 	KindEpochFlush: "epoch-flush",
 	KindEpochRun:   "epoch-run",
 	KindDump:       "dump",
@@ -309,9 +325,15 @@ func decodeSnapshot(buf []byte) ([]kvEntry, error) {
 	n := r.nextInt(len(buf)) // an entry costs ≥3 bytes, so len(buf) bounds the count
 	entries := make([]kvEntry, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
+		// The nextInt bound is the buffer length BEFORE the uvarint is
+		// consumed, so the explicit remainder checks below are what stop
+		// a truncated payload from slicing out of range.
 		kl := r.nextInt(len(r.buf))
 		if r.err != nil {
 			break
+		}
+		if kl > len(r.buf) {
+			return nil, fmt.Errorf("node: snapshot key truncated (%d bytes declared, %d left)", kl, len(r.buf))
 		}
 		k := string(r.buf[:kl])
 		r.buf = r.buf[kl:]
@@ -319,6 +341,9 @@ func decodeSnapshot(buf []byte) ([]kvEntry, error) {
 		vl := r.nextInt(len(r.buf))
 		if r.err != nil {
 			break
+		}
+		if vl > len(r.buf) {
+			return nil, fmt.Errorf("node: snapshot value truncated (%d bytes declared, %d left)", vl, len(r.buf))
 		}
 		v := make([]byte, vl)
 		copy(v, r.buf[:vl])
@@ -357,6 +382,67 @@ func DecodePutReceipt(resp *transport.Message) (PutReceipt, error) {
 		return PutReceipt{}, err
 	}
 	return PutReceipt{Version: resp.Version, Acked: acked}, nil
+}
+
+// appendAEDigest encodes a KindAEDigest payload: the leaf hash vector
+// followed by the tree root. Leaves ride as fixed 8-byte words — the
+// vector is dense and uvarint would only pessimise random hashes.
+func appendAEDigest(dst []byte, leaves []uint64, root uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(leaves)))
+	for _, l := range leaves {
+		dst = binary.BigEndian.AppendUint64(dst, l)
+	}
+	return binary.BigEndian.AppendUint64(dst, root)
+}
+
+// decodeAEDigest parses a KindAEDigest payload. The leaf count is
+// bounded loosely (a digest is a fixed-shape blob, not a data carrier);
+// a count disagreeing with the local tree shape simply marks every
+// bucket divergent at the comparison site.
+func decodeAEDigest(buf []byte) (leaves []uint64, root uint64, err error) {
+	const maxLeaves = 1 << 12
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(maxLeaves)
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if len(r.buf) != 8*(n+1) {
+		return nil, 0, fmt.Errorf("node: AE digest has %d bytes for %d leaves + root, want %d", len(r.buf), n, 8*(n+1))
+	}
+	leaves = make([]uint64, n)
+	for i := range leaves {
+		leaves[i] = binary.BigEndian.Uint64(r.buf[8*i:])
+	}
+	return leaves, binary.BigEndian.Uint64(r.buf[8*n:]), nil
+}
+
+// appendAEDiff encodes a KindAEDigest reply: the divergent bucket
+// indexes, then the replier's entries for those buckets as a standard
+// entry block. Buckets ascend, so the encoding is deterministic.
+func appendAEDiff(dst []byte, buckets []int, entries []kvEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(buckets)))
+	for _, b := range buckets {
+		dst = binary.AppendUvarint(dst, uint64(b))
+	}
+	return appendEntries(dst, entries)
+}
+
+// decodeAEDiff parses a KindAEDigest reply. maxBucket bounds every
+// bucket index (the local tree's leaf count).
+func decodeAEDiff(buf []byte, maxBucket int) (buckets []int, entries []kvEntry, err error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(maxBucket)
+	for i := 0; i < n && r.err == nil; i++ {
+		buckets = append(buckets, r.nextInt(maxBucket-1))
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	entries, err = decodeSnapshot(r.buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buckets, entries, nil
 }
 
 // decodeAckSet parses a KindPut response's ack set. peers bounds both

@@ -178,3 +178,88 @@ func TestDecodeXferBeginRejectsCorrupt(t *testing.T) {
 		}
 	}
 }
+
+func TestAEDigestRoundTrip(t *testing.T) {
+	leaves := make([]uint64, aeLeaves)
+	for i := range leaves {
+		leaves[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	enc := appendAEDigest(nil, leaves, 0xDEADBEEF)
+	got, root, err := decodeAEDigest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0xDEADBEEF || len(got) != aeLeaves {
+		t.Fatalf("round-trip gave root %x, %d leaves", root, len(got))
+	}
+	for i := range leaves {
+		if got[i] != leaves[i] {
+			t.Fatalf("leaf %d round-tripped to %x, want %x", i, got[i], leaves[i])
+		}
+	}
+	// The empty vector (zero leaves + root) is legal too.
+	if _, root, err := decodeAEDigest(appendAEDigest(nil, nil, 7)); err != nil || root != 7 {
+		t.Fatalf("empty digest: root %d err %v", root, err)
+	}
+}
+
+func TestDecodeAEDigestRejectsCorrupt(t *testing.T) {
+	good := appendAEDigest(nil, make([]uint64, aeLeaves), 1)
+	cases := map[string][]byte{
+		"empty input":    {},
+		"truncated leaf": good[:len(good)-9],
+		"missing root":   good[:len(good)-8],
+		"trailing":       append(append([]byte{}, good...), 0),
+		"count bomb":     binary.AppendUvarint(nil, 1<<20),
+	}
+	for name, buf := range cases {
+		if _, _, err := decodeAEDigest(buf); err == nil {
+			t.Errorf("%s: corrupt AE digest accepted", name)
+		}
+	}
+}
+
+func TestAEDiffRoundTrip(t *testing.T) {
+	buckets := []int{0, 7, 63}
+	entries := []kvEntry{
+		{key: "a", ver: 3, val: []byte("av")},
+		{key: "b", ver: 9, val: nil},
+	}
+	enc := appendAEDiff(nil, buckets, entries)
+	gb, ge, err := decodeAEDiff(enc, aeLeaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gb) != len(buckets) || len(ge) != len(entries) {
+		t.Fatalf("round-trip gave %d buckets, %d entries", len(gb), len(ge))
+	}
+	for i, b := range buckets {
+		if gb[i] != b {
+			t.Fatalf("bucket %d round-tripped to %d, want %d", i, gb[i], b)
+		}
+	}
+	for i, e := range entries {
+		if ge[i].key != e.key || ge[i].ver != e.ver || string(ge[i].val) != string(e.val) {
+			t.Fatalf("entry %d round-tripped to %+v, want %+v", i, ge[i], e)
+		}
+	}
+	// Empty diff = trees agree: no buckets, no entries.
+	if gb, ge, err := decodeAEDiff(appendAEDiff(nil, nil, nil), aeLeaves); err != nil || len(gb) != 0 || len(ge) != 0 {
+		t.Fatalf("empty diff: %v %v %v", gb, ge, err)
+	}
+}
+
+func TestDecodeAEDiffRejectsCorrupt(t *testing.T) {
+	good := appendAEDiff(nil, []int{1, 2}, []kvEntry{{key: "k", ver: 1, val: []byte("v")}})
+	cases := map[string][]byte{
+		"empty input":         {},
+		"bucket out of range": appendAEDiff(nil, []int{aeLeaves}, nil),
+		"truncated entries":   good[:len(good)-1],
+		"trailing":            append(append([]byte{}, good...), 0),
+	}
+	for name, buf := range cases {
+		if _, _, err := decodeAEDiff(buf, aeLeaves); err == nil {
+			t.Errorf("%s: corrupt AE diff accepted", name)
+		}
+	}
+}

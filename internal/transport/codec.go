@@ -76,11 +76,15 @@ const MaxFrame = 16 << 20
 // epoch and key), so v2 bodies no longer parse and mixing binaries
 // across the change fails loudly at the header instead of silently
 // misreading payloads; version 4 inserts the Session and Cursor fields
-// (between version and key) that chunked transfer sessions ride on. A
-// v1 frame shorter than 16 MiB always starts with a 0x00 byte, so this
-// decoder reads it as "version 0" and rejects it cleanly rather than
-// misparsing the stream.
-const FrameVersion = 4
+// (between version and key) that chunked transfer sessions ride on;
+// version 5 leaves the frame layout untouched and marks the
+// protocol-vocabulary extension that added the anti-entropy kinds
+// (digest and repair frames) — a binary without their handlers must
+// refuse the stream at the header rather than StatusError every
+// digest round. A v1 frame shorter than 16 MiB always starts with a
+// 0x00 byte, so this decoder reads it as "version 0" and rejects it
+// cleanly rather than misparsing the stream.
+const FrameVersion = 5
 
 // Frame types: every frame is either a request (carrying a correlation
 // ID the responder must echo) or the response bearing that ID.
