@@ -12,13 +12,20 @@
 // BENCH_transport.json. The ae suite prices the anti-entropy digest
 // machinery on a 10k-key partition: full tree build, the per-write
 // incremental leaf update, and the 64-leaf root fold — the source of
-// BENCH_ae.json. The stress suite is a pprof-friendly hammer: a
-// 3-node TCP fleet under concurrent put/get load with epochs ticking
-// underneath, meant to be run with -cpuprofile.
+// BENCH_ae.json. The repair suite prices delta replication end to
+// end: bytes on the wire for a full re-migration against a
+// watermark-planned delta session at three divergence levels (real
+// transfer sessions over a tapped loopback fleet), and a flat
+// digest+diff anti-entropy repair against the hierarchical
+// sub-digest/keylist/fetch walk — the source of BENCH_repair.json.
+// The stress suite is a pprof-friendly hammer: a 3-node TCP fleet
+// under concurrent put/get load with epochs ticking underneath, meant
+// to be run with -cpuprofile.
 //
 //	rfhbench -o BENCH_sim.json
 //	rfhbench -suite transport -o BENCH_transport.json
 //	rfhbench -suite ae -o BENCH_ae.json
+//	rfhbench -suite repair -o BENCH_repair.json
 //	rfhbench -suite stress -cpuprofile cpu.pprof
 //	rfhbench -epochs 500 -warmup 50
 //	rfhbench -date 2026-08-01 -o BENCH_sim.json   # pinned stamp for reproducible diffs
@@ -598,6 +605,35 @@ func runAESuite(epochs int) []aeResult {
 	return []aeResult{buildRow, updateRow, rootRow}
 }
 
+type repairReport struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []node.RepairCost `json:"results"`
+}
+
+// runRepairSuite measures replication bytes against divergence — the
+// delta-replication claim in one table. Three re-migration rows (10%,
+// 1% and 0.1% divergence on a 10k-key partition, real sessions on a
+// tapped loopback wire) plus two anti-entropy rows (single-key and
+// 1%-stale repair, flat vs hierarchical from the real encoders). The
+// bandwidth ratios are key-count arithmetic, not timing, so the rows
+// are stable enough to commit.
+func runRepairSuite() ([]node.RepairCost, error) {
+	const keys = 10000
+	var results []node.RepairCost
+	for _, divergent := range []int{1000, 100, 10} {
+		res, err := node.MeasureTransferRepair(keys, divergent)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	results = append(results, node.MeasureAERepair(keys, 1))
+	results = append(results, node.MeasureAERepair(keys, 100))
+	return results, nil
+}
+
 // runStress hammers a 3-node TCP fleet with concurrent put/get traffic
 // while lockstep epochs tick underneath — the same shape as the node
 // package's concurrent stress test, scaled up and left unasserted so
@@ -685,7 +721,7 @@ func writeReport(out string, rep any) {
 func main() {
 	var (
 		out        = flag.String("o", "", "write JSON here instead of stdout")
-		suite      = flag.String("suite", "sim", "benchmark suite: sim, transport, ae or stress")
+		suite      = flag.String("suite", "sim", "benchmark suite: sim, transport, ae, repair or stress")
 		warmup     = flag.Int("warmup", 30, "warmup epochs before timing starts")
 		epochs     = flag.Int("epochs", 300, "timed epochs per scale (transport suite: ×100 round trips)")
 		date       = flag.String("date", "", "date stamp (YYYY-MM-DD) embedded in the snapshot; default today (UTC)")
@@ -761,6 +797,22 @@ func main() {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Results:    results,
 		})
+	case "repair":
+		results, err := runRepairSuite()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfhbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "%-28s %9d baseline B  %8d delta B  %6.1fx fewer\n",
+				r.Name, r.BaselineBytes, r.DeltaBytes, r.Ratio)
+		}
+		writeReport(*out, repairReport{
+			Date:       *date,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results:    results,
+		})
 	case "stress":
 		if err := runStress(*epochs); err != nil {
 			fmt.Fprintln(os.Stderr, "rfhbench:", err)
@@ -791,7 +843,7 @@ func main() {
 		}
 		writeReport(*out, rep)
 	default:
-		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim, transport, ae or stress")
+		fmt.Fprintln(os.Stderr, "rfhbench: -suite must be sim, transport, ae, repair or stress")
 		os.Exit(2)
 	}
 }

@@ -191,10 +191,12 @@ func cmdDump(args []string) error {
 		t := d.Transfers
 		fmt.Printf("transfers: %d started, %d completed, %d resumed, %d expired, %d chunks, %d one-frame\n",
 			t.Started, t.Completed, t.Resumed, t.Expired, t.ChunksSent, t.OneFrame)
+		fmt.Printf("delta: %d delta sessions, %d full, %d bytes sent, %d bytes saved\n",
+			t.DeltaSessions, t.FullSessions, t.BytesSent, t.BytesSaved)
 	}
 	if ae := d.AntiEntropy; ae.Rounds > 0 || ae.Healed > 0 {
-		fmt.Printf("anti-entropy: %d rounds, %d synced, %d repairs shipped, %d entries healed\n",
-			ae.Rounds, ae.Synced, ae.Repairs, ae.Healed)
+		fmt.Printf("anti-entropy: %d rounds, %d synced, %d repairs shipped, %d entries healed, %d payload bytes\n",
+			ae.Rounds, ae.Synced, ae.Repairs, ae.Healed, ae.PayloadBytes)
 	}
 	return nil
 }

@@ -155,4 +155,83 @@ func TestTransferResumesAcrossTargetRestart(t *testing.T) {
 			t.Errorf("target missing %q after resumed transfer (got %q ok=%v)", key, v, ok)
 		}
 	}
+
+	// Round 3: the completed transfer marked the target resident with a
+	// watermark, so a re-migration after fresh writes must plan a DELTA
+	// session — only the new keys ship, not the whole partition again.
+	var fresh []string
+	for i := 100; len(fresh) < 2; i++ {
+		key := fmt.Sprintf("resume-%d", i)
+		if f.Node(0).PartitionOf(key) == p {
+			fresh = append(fresh, key)
+		}
+	}
+	for _, key := range fresh {
+		if err := src.Put(key, []byte("v."+key)); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+	}
+	chunksFull := st.ChunksSent
+	if !src.TransferPartition(p, target) {
+		t.Fatal("delta re-transfer did not complete")
+	}
+	st = src.TransferStats()
+	if st.DeltaSessions != 1 {
+		t.Errorf("DeltaSessions = %d after re-migrating a resident target, want 1 (stats %+v)", st.DeltaSessions, st)
+	}
+	if got := st.ChunksSent - chunksFull; got > int64(len(fresh)) {
+		t.Errorf("delta re-transfer sent %d chunks, want at most %d (only the fresh keys may ship)", got, len(fresh))
+	}
+	if st.BytesSaved == 0 {
+		t.Error("delta re-transfer reports BytesSaved=0 — the plan shipped the full snapshot")
+	}
+	for _, key := range fresh {
+		if v, ok := f.Node(target).LocalGet(key); !ok || string(v) != "v."+key {
+			t.Errorf("target missing fresh %q after delta transfer (got %q ok=%v)", key, v, ok)
+		}
+	}
+}
+
+// TestSeedMatrixDurableNoOneFrame is the delta-path variant of the
+// durable matrix: with the one-frame threshold forced off, EVERY
+// replica ship — including the empty-partition ships that normally
+// collapse to a single snapshot frame — runs the probe/plan handshake,
+// so each seed exercises watermark planning under the full fault
+// schedule. The trajectory must stay deterministic across directories
+// here too, now including the delta/full/bytes counters it carries.
+func TestSeedMatrixDurableNoOneFrame(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			opts := DefaultOptions(seed)
+			opts.DataDir = t.TempDir()
+			opts.DisableOneFrame = true
+			a, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range a.Violations {
+				t.Errorf("%s", v)
+			}
+			if a.Transfers.DeltaSessions+a.Transfers.FullSessions == 0 {
+				t.Errorf("no sessions were delta-planned at all (stats %+v) — the probe handshake is not running", a.Transfers)
+			}
+			if a.Transfers.BytesSent == 0 {
+				t.Error("transfers shipped zero counted bytes")
+			}
+			opts.DataDir = t.TempDir()
+			b, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Trajectory != b.Trajectory {
+				t.Fatalf("no-oneframe trajectories differ across directories:\n--- run 1\n%s\n--- run 2\n%s",
+					a.Trajectory, b.Trajectory)
+			}
+		})
+	}
 }

@@ -120,7 +120,10 @@ func Run(opts Options) (*Result, error) {
 		cfg.Fsync = false             // surviving Crash/Restart, not power cuts
 		cfg.WALCompactEvery = 16      // compact constantly under the tiny workload
 		cfg.SnapshotOneFrameBytes = 1 // every ship becomes a chunked session
-		cfg.TransferChunkEntries = 1  // every session is multi-chunk
+		if opts.DisableOneFrame {
+			cfg.SnapshotOneFrameBytes = -1 // no one-frame fallback at all
+		}
+		cfg.TransferChunkEntries = 1 // every session is multi-chunk
 		// Anti-entropy runs only in durable mode: memory-mode
 		// trajectories are pinned byte-for-byte to the pre-AE era, and
 		// the digest sweep would add sends (and fault-RNG draws) to
@@ -150,7 +153,11 @@ func Run(opts Options) (*Result, error) {
 	// before the durable engine existed, so the durable marker is a
 	// separate, conditional line.
 	if opts.DataDir != "" {
-		fmt.Fprintf(&h.traj, "durable fsync=0 compact_every=16 chunked=1 ae=4\n")
+		oneFrame := 1
+		if opts.DisableOneFrame {
+			oneFrame = 0
+		}
+		fmt.Fprintf(&h.traj, "durable fsync=0 compact_every=16 chunked=1 ae=4 oneframe=%d\n", oneFrame)
 	}
 
 	for e := 0; e < opts.Epochs(); e++ {
@@ -160,6 +167,7 @@ func Run(opts Options) (*Result, error) {
 	}
 	h.finalChecks()
 	var xfer node.TransferStats
+	var aePayload int64
 	for _, nd := range h.members {
 		st := nd.TransferStats()
 		xfer.Started += st.Started
@@ -168,10 +176,16 @@ func Run(opts Options) (*Result, error) {
 		xfer.Resumed += st.Resumed
 		xfer.ChunksSent += st.ChunksSent
 		xfer.OneFrame += st.OneFrame
+		xfer.DeltaSessions += st.DeltaSessions
+		xfer.FullSessions += st.FullSessions
+		xfer.BytesSent += st.BytesSent
+		xfer.BytesSaved += st.BytesSaved
+		aePayload += nd.AEStats().PayloadBytes
 	}
 	if opts.DataDir != "" {
-		fmt.Fprintf(&h.traj, "transfers started=%d completed=%d expired=%d resumed=%d chunks=%d oneframe=%d\n",
-			xfer.Started, xfer.Completed, xfer.Expired, xfer.Resumed, xfer.ChunksSent, xfer.OneFrame)
+		fmt.Fprintf(&h.traj, "transfers started=%d completed=%d expired=%d resumed=%d chunks=%d oneframe=%d delta=%d full=%d bytes=%d saved=%d ae_payload=%d\n",
+			xfer.Started, xfer.Completed, xfer.Expired, xfer.Resumed, xfer.ChunksSent, xfer.OneFrame,
+			xfer.DeltaSessions, xfer.FullSessions, xfer.BytesSent, xfer.BytesSaved, aePayload)
 	}
 	fmt.Fprintf(&h.traj, "faults %s\n", h.faults.String())
 	fmt.Fprintf(&h.traj, "excused=%d\n", h.hist.excusedCount())
@@ -519,7 +533,7 @@ func delayable(kind uint8) bool {
 	switch kind {
 	case node.KindSync, node.KindStore, node.KindDrop, node.KindStats,
 		node.KindXferBegin, node.KindXferChunk, node.KindXferCursor, node.KindXferDone,
-		node.KindAEDigest, node.KindAERepair:
+		node.KindAEDigest, node.KindAERepair, node.KindAEFetch:
 		return true
 	default:
 		return false

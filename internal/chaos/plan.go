@@ -70,6 +70,14 @@ type Options struct {
 	// pre-durability trajectories.
 	DataDir string
 
+	// DisableOneFrame forces the one-frame snapshot threshold negative
+	// in durable mode, so EVERY replica ship — even an empty
+	// partition's — goes through a probed, delta-planned chunked
+	// session. The CI durable variant uses it to exercise the delta
+	// transfer path on every seed. Ignored without DataDir: memory-mode
+	// trajectories are byte-pinned and must not change shape.
+	DisableOneFrame bool
+
 	// Verbose adds per-event lines to the trajectory dump.
 	Verbose bool
 

@@ -304,6 +304,34 @@ func (e *Engine) Recovered(p int) PartitionState {
 	return st
 }
 
+// EntriesAbove returns partition p's records with versions strictly
+// above ver, in ascending key order — the snapshot-above-watermark
+// iteration delta transfers freeze from when the target's digest proves
+// its below-watermark content identical. Today the iteration runs over
+// the recovery mirror; it is the seam where a paged (larger-than-RAM)
+// store would stream from the snapshot+WAL pair instead.
+func (e *Engine) EntriesAbove(p int, ver uint64) []Entry {
+	if p < 0 || p >= len(e.parts) {
+		return nil
+	}
+	ps := &e.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	keys := make([]string, 0, len(ps.data))
+	for k, m := range ps.data {
+		if m.ver > ver {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		m := ps.data[k]
+		out = append(out, Entry{Key: k, Ver: m.ver, Val: m.val})
+	}
+	return out
+}
+
 // Stats returns partition p's WAL and compaction counters.
 func (e *Engine) Stats(p int) PartitionStats {
 	ps := &e.parts[p]

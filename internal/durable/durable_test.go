@@ -327,3 +327,46 @@ func TestAppendAfterCloseRefuses(t *testing.T) {
 		t.Fatal("append on a closed engine did not error")
 	}
 }
+
+// TestEntriesAboveFiltersAndSorts pins the delta-transfer fast path:
+// EntriesAbove returns exactly the records with versions strictly
+// above the watermark, sorted by key, and an out-of-range or dropped
+// partition yields nothing.
+func TestEntriesAboveFiltersAndSorts(t *testing.T) {
+	e := openTest(t, t.TempDir(), 1024)
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}()
+	mustAppend(t, e.AppendPut(0, "c", 3, []byte("vc")))
+	mustAppend(t, e.AppendPut(0, "a", 10, []byte("va")))
+	mustAppend(t, e.AppendPut(0, "b", 7, []byte("vb")))
+	mustAppend(t, e.AppendPut(0, "d", 7, []byte("vd"))) // exactly at the watermark: excluded
+
+	// "b" and "d" sit exactly at the watermark: strictly-above excludes them.
+	got := e.EntriesAbove(0, 7)
+	want := []Entry{{Key: "a", Ver: 10, Val: []byte("va")}}
+	if len(got) != len(want) {
+		t.Fatalf("EntriesAbove(0, 7) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || got[i].Ver != want[i].Ver || string(got[i].Val) != string(want[i].Val) {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if all := e.EntriesAbove(0, 0); len(all) != 4 ||
+		all[0].Key != "a" || all[1].Key != "b" || all[2].Key != "c" || all[3].Key != "d" {
+		t.Errorf("EntriesAbove(0, 0) = %v, want all four entries sorted by key", all)
+	}
+	if got := e.EntriesAbove(0, 10); len(got) != 0 {
+		t.Errorf("EntriesAbove(0, 10) = %v, want none (nothing strictly above the max)", got)
+	}
+	mustAppend(t, e.AppendDrop(0))
+	if got := e.EntriesAbove(0, 0); len(got) != 0 {
+		t.Errorf("EntriesAbove after drop = %v, want none", got)
+	}
+	if got := e.EntriesAbove(-1, 0); got != nil {
+		t.Errorf("EntriesAbove(-1, 0) = %v, want nil", got)
+	}
+}

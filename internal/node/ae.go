@@ -2,6 +2,7 @@ package node
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/transport"
 )
@@ -10,23 +11,34 @@ import (
 // holders, repairing divergence without waiting for a quorum read to
 // touch the stale key (Leslie, "Reliable Data Storage in DHTs").
 //
-// Every AEInterval-th epoch each resident partition primary builds a
-// fixed-shape hash tree over its partition (64 leaf buckets, one
-// 8-byte hash each) and sends the leaf vector to every co-holder
-// (KindAEDigest). The holder compares against its own tree and answers
-// with the divergent bucket indexes plus its own entries for those
-// buckets; the primary folds the holder's newer keys into itself and
-// ships its own copy of the divergent buckets back (KindAERepair).
+// The digest is a two-level tree: aeSubCount (64×64) sub-buckets, each
+// an XOR of its entries' record hashes, folded into aeTop top-level
+// buckets. Every AEInterval-th epoch each resident partition primary
+// piggybacks its top digest (64 leaves + root) on the KindStats
+// broadcast it already sends — anti-entropy costs zero dedicated frames
+// while the cluster is in sync. A co-holder whose tree disagrees pulls:
+// it sends the divergent top buckets with its own sub-leaf vectors
+// (KindAEDigest), gets back the primary's (key, version) lists for the
+// divergent sub-buckets, then fetches exactly the keys it is missing or
+// has stale (KindAEFetch) and pushes back any keys the primary lacks
+// (KindAERepair). Values only ever move for keys proven divergent, so a
+// one-key divergence on a large partition repairs with one key.
 // Both directions merge version-gated through the store, so a repair
 // can never roll a key back — the exchange is idempotent and safe to
 // replay, duplicate or delay arbitrarily, which is what the chaos
 // fault plane does to it.
 
-// aeLeaves is the tree's fixed leaf-bucket count. 64 buckets × 8 bytes
-// keeps the whole digest within one small frame; with typical
-// partition populations a single divergent key dirties one bucket, so
-// a repair ships ~1/64th of the partition.
-const aeLeaves = 64
+// Tree shape: aeTop top-level buckets of aeFanout sub-buckets each.
+// The top digest (64 × 8 bytes) rides the stats broadcast; sub-leaf
+// vectors only move for divergent top buckets, and keylists only for
+// divergent sub-buckets, so payloads shrink geometrically with each
+// round. With a uniform key hash a single divergent key dirties one
+// sub-bucket holding ~1/4096th of the partition's keys.
+const (
+	aeTop      = 64
+	aeFanout   = 64
+	aeSubCount = aeTop * aeFanout
+)
 
 // fnv-1a 64 parameters, written out because the tree hashes millions
 // of entries in the bench path and the stdlib hash.Hash64 interface
@@ -52,13 +64,18 @@ func fnvBytes(h uint64, b []byte) uint64 {
 	return h
 }
 
-// aeBucket maps a key to its leaf bucket. Deliberately NOT
-// ring.HashString: partition membership is already a function of the
-// ring hash, and deriving buckets from the same value would correlate
-// bucket occupancy with partition assignment instead of spreading a
-// partition's keys uniformly across its own tree.
+// aeSub maps a key to its sub-bucket. Deliberately NOT ring.HashString:
+// partition membership is already a function of the ring hash, and
+// deriving buckets from the same value would correlate bucket occupancy
+// with partition assignment instead of spreading a partition's keys
+// uniformly across its own tree.
+func aeSub(key string) int {
+	return int(fnvString(fnvOffset, key) % aeSubCount)
+}
+
+// aeBucket maps a key to its top-level bucket (its sub-bucket's group).
 func aeBucket(key string) int {
-	return int(fnvString(fnvOffset, key) % aeLeaves)
+	return aeSub(key) / aeFanout
 }
 
 // aeEntryHash digests one (key, version, value) record. The version
@@ -72,39 +89,55 @@ func aeEntryHash(key string, ver uint64, val []byte) uint64 {
 	return fnvBytes(h, val)
 }
 
-// AETree is one partition's anti-entropy digest: aeLeaves buckets,
-// each holding the XOR of its entries' record hashes. XOR makes the
-// leaf order-independent and incrementally maintainable — applying the
-// same record twice removes it, so an update is Apply(old) followed by
-// Apply(new), O(1) per write. Exported (with NewAETree/Apply/Root) so
-// rfhbench can hold the digest cost on a committed leash.
+// AETree is one partition's anti-entropy digest: aeSubCount sub-bucket
+// leaves, each holding the XOR of its entries' record hashes, plus the
+// aeTop top-level buckets maintained as the XOR of their sub-leaves.
+// XOR makes every level order-independent and incrementally
+// maintainable — applying the same record twice removes it, so an
+// update is Apply(old) followed by Apply(new), O(1) per write. Exported
+// (with NewAETree/Apply/Root) so rfhbench can hold the digest cost on a
+// committed leash.
 type AETree struct {
-	leaves [aeLeaves]uint64
+	sub [aeSubCount]uint64
+	top [aeTop]uint64
 }
 
 // NewAETree returns an empty tree (the digest of an empty partition).
 func NewAETree() *AETree { return &AETree{} }
 
-// Apply XORs one record into its bucket: call once to add a record,
-// again with identical arguments to remove it.
+// Apply XORs one record into its sub-bucket and the covering top
+// bucket: call once to add a record, again with identical arguments to
+// remove it.
 func (t *AETree) Apply(key string, ver uint64, val []byte) {
-	t.leaves[aeBucket(key)] ^= aeEntryHash(key, ver, val)
+	h := aeEntryHash(key, ver, val)
+	s := aeSub(key)
+	t.sub[s] ^= h
+	t.top[s/aeFanout] ^= h
 }
 
-// Leaves returns the leaf hash vector (a copy; the wire payload).
+// Leaves returns the top-level hash vector (a copy; the piggybacked
+// wire payload).
 func (t *AETree) Leaves() []uint64 {
-	out := make([]uint64, aeLeaves)
-	copy(out, t.leaves[:])
+	out := make([]uint64, aeTop)
+	copy(out, t.top[:])
 	return out
 }
 
-// Root folds the leaves pairwise up to the 8-byte root. The fold is
+// SubLeaves returns the sub-leaf vector of one top-level bucket (a
+// copy; the KindAEDigest request payload).
+func (t *AETree) SubLeaves(top int) []uint64 {
+	out := make([]uint64, aeFanout)
+	copy(out, t.sub[top*aeFanout:(top+1)*aeFanout])
+	return out
+}
+
+// Root folds the top leaves pairwise up to the 8-byte root. The fold is
 // order-sensitive (unlike the leaves), so two trees agreeing on the
-// root agree on the whole vector with hash-level confidence.
+// root agree on the whole top vector with hash-level confidence.
 func (t *AETree) Root() uint64 {
-	var lvl [aeLeaves]uint64
-	copy(lvl[:], t.leaves[:])
-	for n := aeLeaves; n > 1; n /= 2 {
+	var lvl [aeTop]uint64
+	copy(lvl[:], t.top[:])
+	for n := aeTop; n > 1; n /= 2 {
 		for i := 0; i < n/2; i++ {
 			var b [16]byte
 			binary.BigEndian.PutUint64(b[:8], lvl[2*i])
@@ -128,142 +161,241 @@ func buildAETree(entries []kvEntry) *AETree {
 
 // AEStats counts anti-entropy activity for DumpInfo and tests.
 type AEStats struct {
-	// Rounds is how many digest rounds this node initiated as primary
-	// (one per partition per AEInterval boundary).
+	// Rounds is how many top digests this node published as primary
+	// (one per partition per AEInterval boundary, piggybacked on the
+	// stats broadcast).
 	Rounds int64 `json:"rounds"`
-	// Synced counts digest exchanges that found the holder identical.
+	// Synced counts digest comparisons that found this holder identical
+	// to the primary.
 	Synced int64 `json:"synced"`
-	// Repairs counts KindAERepair payloads shipped to divergent holders.
+	// Repairs counts value-bearing repair payloads this node shipped:
+	// fetch replies served as primary plus backflow pushes as holder.
 	Repairs int64 `json:"repairs"`
 	// Healed counts entries merged INTO this node by anti-entropy —
-	// holder-side repairs plus primary-side backflow from holders.
+	// holder-side fetches plus primary-side backflow from holders.
 	Healed int64 `json:"healed"`
+	// PayloadBytes sums the AE payload bytes this node put on the wire:
+	// sub-digest requests, keylist replies, fetch requests and replies,
+	// and backflow pushes, each counted at its sender.
+	PayloadBytes int64 `json:"payload_bytes"`
 }
 
 // AEStats returns the node's anti-entropy counters.
 func (n *Node) AEStats() AEStats {
 	return AEStats{
-		Rounds:  n.aeRoundsN.Load(),
-		Synced:  n.aeSyncedN.Load(),
-		Repairs: n.aeRepairsN.Load(),
-		Healed:  n.aeHealedN.Load(),
+		Rounds:       n.aeRoundsN.Load(),
+		Synced:       n.aeSyncedN.Load(),
+		Repairs:      n.aeRepairsN.Load(),
+		Healed:       n.aeHealedN.Load(),
+		PayloadBytes: n.aePayloadN.Load(),
 	}
 }
 
-// aeRound is one planned digest exchange: a partition this node
-// primaries and the co-holders to reconcile with.
-type aeRound struct {
-	p       int
-	epoch   uint64
-	holders []int
-}
-
-// aePlanLocked decides, under n.mu, which partitions run an
-// anti-entropy round this epoch: every AEInterval-th epoch, every
+// aeDigestsLocked builds, under n.mu, the top digests this node
+// piggybacks on its stats broadcast: every AEInterval-th epoch, one per
 // partition this node primaries with resident local data and at least
-// one co-holder. A recovering node plans nothing — its view is not yet
-// trustworthy. Holders come out in ascending roster order, so the send
-// sequence is deterministic (the chaos fault plane's RNG draw order
-// depends on it).
-func (n *Node) aePlanLocked() []aeRound {
+// one co-holder. A recovering node publishes nothing — its view is not
+// yet trustworthy.
+func (n *Node) aeDigestsLocked() []aePartitionDigest {
 	iv := n.cfg.AEInterval
 	if iv <= 0 || n.recovering || n.epoch%uint64(iv) != 0 {
 		return nil
 	}
-	var rounds []aeRound
+	var digests []aePartitionDigest
 	for p := 0; p < n.cfg.Partitions; p++ {
-		if n.view.primary(p) != n.self || !n.store.isResident(p) {
+		if n.view.primary(p) != n.self {
 			continue
 		}
-		var holders []int
+		coheld := false
 		for _, s := range n.view.cluster.ReplicaServers(p) {
 			if int(s) != n.self {
-				holders = append(holders, int(s))
+				coheld = true
+				break
 			}
 		}
-		if len(holders) > 0 {
-			rounds = append(rounds, aeRound{p: p, epoch: n.epoch, holders: holders})
+		if !coheld {
+			continue
 		}
+		// The store maintains the digest incrementally, so publishing
+		// costs O(1) per partition — no rehash on the epoch path.
+		leaves, root, resident := n.store.aeDigest(p)
+		if !resident {
+			continue
+		}
+		digests = append(digests, aePartitionDigest{partition: p, root: root, leaves: leaves})
+		n.aeRoundsN.Add(1)
 	}
-	return rounds
+	return digests
 }
 
-// runAntiEntropy executes the planned digest exchanges. Every failure
-// mode is soft: a dropped frame, a refusing holder or an oversized
-// payload just leaves the divergence for the next round (or for
-// read-repair or replica shipping to catch first).
+// aePull is one holder-side reconciliation planned from a piggybacked
+// digest: the partition, the primary that published it, and the
+// published top digest to compare against.
+type aePull struct {
+	p       int
+	primary int
+	epoch   uint64
+	root    uint64
+	leaves  []uint64
+}
+
+// aePullPlansLocked scans, under n.mu, the epoch's folded stats blobs
+// for piggybacked digests this node should reconcile against: the
+// sender must be the partition's primary in this node's own view, and
+// this node must be a resident co-holder. A recovering node plans
+// nothing. Blobs are scanned in roster order and digests arrive in
+// ascending partition order, so the pull sequence is deterministic (the
+// chaos fault plane's RNG draw order depends on it).
+func (n *Node) aePullPlansLocked() []aePull {
+	if n.cfg.AEInterval <= 0 || n.recovering {
+		return nil
+	}
+	var pulls []aePull
+	for i, blob := range n.pending {
+		if blob == nil || i == n.self {
+			continue
+		}
+		for _, d := range blob.digests {
+			p := d.partition
+			if n.view.primary(p) != i || !n.view.hasReplica(p, n.self) || !n.store.isResident(p) {
+				continue
+			}
+			pulls = append(pulls, aePull{p: p, primary: i, epoch: n.epoch, root: d.root, leaves: d.leaves})
+		}
+	}
+	return pulls
+}
+
+// runAEPulls executes the planned reconciliations. Every failure mode
+// is soft: a dropped frame, a refusing primary or a malformed payload
+// just leaves the divergence for the next round (or for read-repair or
+// replica shipping to catch first).
 //
 //lint:requires-unlocked n.mu
-func (n *Node) runAntiEntropy(rounds []aeRound) {
-	for _, rd := range rounds {
-		entries, _ := n.store.snapshotEntries(rd.p)
-		tree := buildAETree(entries)
-		digest := appendAEDigest(nil, tree.Leaves(), tree.Root())
-		n.aeRoundsN.Add(1)
-		for _, h := range rd.holders {
-			resp, err := n.tr.Send(n.peerAddr(h), &transport.Message{
-				Kind:      KindAEDigest,
-				Partition: uint32(rd.p),
-				Epoch:     rd.epoch,
-				Origin:    uint32(n.self),
-				Value:     digest,
-			})
-			if err != nil || resp.Status != transport.StatusOK {
-				continue
+func (n *Node) runAEPulls(pulls []aePull) {
+	for _, pl := range pulls {
+		mine, root, resident := n.store.aeDigest(pl.p)
+		if !resident {
+			continue // residency was lost between planning and here
+		}
+		if len(pl.leaves) == aeTop && root == pl.root {
+			n.aeSyncedN.Add(1)
+			continue
+		}
+		// Divergent top buckets. A malformed leaf count marks every
+		// bucket divergent — the sub round then re-establishes truth.
+		var tops []int
+		for b := 0; b < aeTop; b++ {
+			if b >= len(pl.leaves) || pl.leaves[b] != mine[b] {
+				tops = append(tops, b)
 			}
-			buckets, theirs, err := decodeAEDiff(resp.Value, aeLeaves)
-			if err != nil {
-				continue
+		}
+		if len(tops) == 0 {
+			// Leaves agree but the root does not (or the vector was
+			// oversized): treat the whole tree as divergent.
+			for b := 0; b < aeTop; b++ {
+				tops = append(tops, b)
 			}
-			if len(buckets) == 0 {
-				n.aeSyncedN.Add(1)
-				continue
+		}
+		subs := n.store.aeSubLeaves(pl.p, tops)
+		req := appendAESub(nil, tops, subs)
+		n.aePayloadN.Add(int64(len(req)))
+		resp, err := n.tr.Send(n.peerAddr(pl.primary), &transport.Message{
+			Kind:      KindAEDigest,
+			Partition: uint32(pl.p),
+			Epoch:     pl.epoch,
+			Origin:    uint32(n.self),
+			Value:     req,
+		})
+		if err != nil || resp.Status != transport.StatusOK {
+			continue
+		}
+		subIdx, lists, err := decodeAEKeylists(resp.Value)
+		if err != nil {
+			continue
+		}
+		// Index the local copy of the listed sub-buckets. entries is in
+		// ascending key order, so per-bucket key order is deterministic.
+		entries, _ := n.store.snapshotEntries(pl.p)
+		listed := make(map[int]bool, len(subIdx))
+		for _, s := range subIdx {
+			listed[s] = true
+		}
+		localVer := make(map[string]uint64)
+		localBySub := make(map[int][]kvEntry)
+		for _, e := range entries {
+			if s := aeSub(e.key); listed[s] {
+				localVer[e.key] = e.ver
+				localBySub[s] = append(localBySub[s], e)
 			}
-			// Backflow first: keys where the holder is newer heal this
-			// primary (version-gated — stale records lose and vanish).
-			if merged, applied, err := n.store.mergeResident(rd.p, theirs); err == nil && applied && merged > 0 {
-				n.aeHealedN.Add(int64(merged))
-			}
-			// Then ship our copy of the divergent buckets back. The
-			// pre-merge snapshot is fine: every key the backflow just
-			// changed came FROM this holder, which already has it.
-			var divergent [aeLeaves]bool
-			for _, b := range buckets {
-				divergent[b] = true
-			}
-			var repair []kvEntry
-			for _, e := range entries {
-				if divergent[aeBucket(e.key)] {
-					repair = append(repair, e)
+		}
+		// Fetch what the primary proved newer or unknown here; push back
+		// what this holder has that the primary lacks or has stale.
+		primVer := make(map[string]uint64)
+		var fetch []string
+		for _, list := range lists {
+			for _, kv := range list {
+				primVer[kv.key] = kv.ver
+				if lv, ok := localVer[kv.key]; !ok || lv < kv.ver {
+					fetch = append(fetch, kv.key)
 				}
 			}
-			if len(repair) == 0 {
-				continue
+		}
+		var push []kvEntry
+		for _, s := range subIdx {
+			for _, e := range localBySub[s] {
+				if pv, ok := primVer[e.key]; !ok || pv < e.ver {
+					push = append(push, e)
+				}
 			}
-			n.aeRepairsN.Add(1)
-			if _, err := n.tr.Send(n.peerAddr(h), &transport.Message{
-				Kind:      KindAERepair,
-				Partition: uint32(rd.p),
-				Epoch:     rd.epoch,
+		}
+		if len(fetch) > 0 {
+			freq := appendAEKeys(nil, fetch)
+			n.aePayloadN.Add(int64(len(freq)))
+			resp, err := n.tr.Send(n.peerAddr(pl.primary), &transport.Message{
+				Kind:      KindAEFetch,
+				Partition: uint32(pl.p),
+				Epoch:     pl.epoch,
 				Origin:    uint32(n.self),
-				Value:     appendEntries(nil, repair),
+				Value:     freq,
+			})
+			if err == nil && resp.Status == transport.StatusOK {
+				if got, derr := decodeSnapshot(resp.Value); derr == nil {
+					if merged, applied, merr := n.store.mergeResident(pl.p, got); merr == nil && applied && merged > 0 {
+						n.aeHealedN.Add(int64(merged))
+					}
+				}
+			}
+		}
+		if len(push) > 0 {
+			buf := appendEntries(nil, push)
+			n.aePayloadN.Add(int64(len(buf)))
+			n.aeRepairsN.Add(1)
+			if _, err := n.tr.Send(n.peerAddr(pl.primary), &transport.Message{
+				Kind:      KindAERepair,
+				Partition: uint32(pl.p),
+				Epoch:     pl.epoch,
+				Origin:    uint32(n.self),
+				Value:     buf,
 			}); err != nil {
-				continue // the holder stays divergent until the next round
+				continue // the primary stays divergent until the next round
 			}
 		}
 	}
 }
 
-// handleAEDigest answers a primary's digest with this holder's diff: a
-// non-resident or non-holder receiver refuses (its tree would compare
-// garbage), an identical tree answers an empty diff, and a divergent
-// one lists the mismatched buckets with its own entries for them.
+// handleAEDigest answers a holder's sub-digest request with this
+// primary's keylists: a non-resident or non-holder receiver refuses
+// (its tree would compare garbage); otherwise the reply lists, for
+// every divergent sub-bucket of the requested top buckets, this node's
+// (key, version) pairs — including empty lists for sub-buckets where
+// the holder has data this node lacks entirely.
 func (n *Node) handleAEDigest(req *transport.Message) (*transport.Message, error) {
 	p, err := n.checkPartition(req.Partition)
 	if err != nil {
 		return nil, err
 	}
-	leaves, root, err := decodeAEDigest(req.Value)
+	tops, theirSubs, err := decodeAESub(req.Value)
 	if err != nil {
 		return nil, err
 	}
@@ -273,29 +405,67 @@ func (n *Node) handleAEDigest(req *transport.Message) (*transport.Message, error
 	if !holder || !n.store.isResident(p) {
 		return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Status: transport.StatusRetry}, nil
 	}
-	entries, _ := n.store.snapshotEntries(p)
-	mine := buildAETree(entries)
-	if len(leaves) == aeLeaves && mine.Root() == root {
-		return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Value: appendAEDiff(nil, nil, nil)}, nil
-	}
-	var divergent [aeLeaves]bool
-	var buckets []int
-	for i := 0; i < aeLeaves; i++ {
-		if i >= len(leaves) || leaves[i] != mine.leaves[i] {
-			divergent[i] = true
-			buckets = append(buckets, i)
+	mineSubs := n.store.aeSubLeaves(p, tops)
+	divergent := make(map[int]bool)
+	for i, b := range tops {
+		for j := 0; j < aeFanout; j++ {
+			if s := b*aeFanout + j; mineSubs[i][j] != theirSubs[i][j] {
+				divergent[s] = true
+			}
 		}
 	}
-	var diff []kvEntry
-	for _, e := range entries {
-		if divergent[aeBucket(e.key)] {
-			diff = append(diff, e)
+	subIdx := make([]int, 0, len(divergent))
+	for s := range divergent {
+		subIdx = append(subIdx, s)
+	}
+	sort.Ints(subIdx)
+	bySub := make(map[int][]aeKeyVer)
+	if len(divergent) > 0 {
+		entries, _ := n.store.snapshotEntries(p)
+		for _, e := range entries {
+			if s := aeSub(e.key); divergent[s] {
+				bySub[s] = append(bySub[s], aeKeyVer{key: e.key, ver: e.ver})
+			}
 		}
 	}
-	return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Value: appendAEDiff(nil, buckets, diff)}, nil
+	lists := make([][]aeKeyVer, len(subIdx))
+	for i, s := range subIdx {
+		lists[i] = bySub[s]
+	}
+	reply := appendAEKeylists(nil, subIdx, lists)
+	n.aePayloadN.Add(int64(len(reply)))
+	return &transport.Message{Kind: KindAEDigest, Partition: req.Partition, Value: reply}, nil
 }
 
-// handleAERepair folds the primary's repair payload in, version-gated
+// handleAEFetch serves the values for the keys a holder proved stale or
+// missing. Keys the primary no longer has are simply absent from the
+// reply (the next digest round settles them); a non-resident receiver
+// refuses.
+func (n *Node) handleAEFetch(req *transport.Message) (*transport.Message, error) {
+	p, err := n.checkPartition(req.Partition)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := decodeAEKeys(req.Value)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	holder := n.view.hasReplica(p, n.self) && !n.recovering
+	n.mu.RUnlock()
+	if !holder || !n.store.isResident(p) {
+		return &transport.Message{Kind: KindAEFetch, Partition: req.Partition, Status: transport.StatusRetry}, nil
+	}
+	found := n.store.getEntries(p, keys)
+	reply := appendEntries(nil, found)
+	if len(found) > 0 {
+		n.aeRepairsN.Add(1)
+	}
+	n.aePayloadN.Add(int64(len(reply)))
+	return &transport.Message{Kind: KindAEFetch, Partition: req.Partition, Value: reply}, nil
+}
+
+// handleAERepair folds a holder's backflow payload in, version-gated
 // and only into an already-resident copy — residency is a transfer
 // protocol decision, never an anti-entropy side effect.
 func (n *Node) handleAERepair(req *transport.Message) (*transport.Message, error) {

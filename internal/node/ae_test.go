@@ -199,13 +199,25 @@ func TestAEDigestRefusedByNonResident(t *testing.T) {
 	resp, err := h.nodes[victim].Handle("test", &transport.Message{
 		Kind:      KindAEDigest,
 		Partition: uint32(p),
-		Value:     appendAEDigest(nil, tree.Leaves(), tree.Root()),
+		Value:     appendAESub(nil, []int{0}, [][]uint64{tree.SubLeaves(0)}),
 	})
 	if err != nil {
 		t.Fatalf("digest at non-resident: %v", err)
 	}
 	if resp.Status != transport.StatusRetry {
 		t.Fatalf("non-resident holder answered status %d, want StatusRetry", resp.Status)
+	}
+	// The value-fetch leg must bounce off the same residency guard.
+	resp, err = h.nodes[victim].Handle("test", &transport.Message{
+		Kind:      KindAEFetch,
+		Partition: uint32(p),
+		Value:     appendAEKeys(nil, []string{"ae-k"}),
+	})
+	if err != nil {
+		t.Fatalf("fetch at non-resident: %v", err)
+	}
+	if resp.Status != transport.StatusRetry {
+		t.Fatalf("non-resident holder served a fetch (status %d), want StatusRetry", resp.Status)
 	}
 	// A repair payload must bounce off the same guard.
 	resp, err = h.nodes[victim].Handle("test", &transport.Message{

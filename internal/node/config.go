@@ -94,7 +94,9 @@ type Config struct {
 	// SnapshotOneFrameBytes is the size threshold that splits replica
 	// shipping: a partition whose payload stays under it travels as one
 	// KindStore frame, anything larger goes through a chunked transfer
-	// session (default 64 KiB).
+	// session (default 64 KiB). Negative disables one-frame shipping
+	// entirely — every ship becomes a session, so even empty partitions
+	// take the probed, delta-planned path (sizeBytes is never negative).
 	SnapshotOneFrameBytes int
 	// TransferChunkEntries bounds the entries one transfer chunk carries
 	// (default 256); chunks also cap at a fixed byte size.
@@ -196,7 +198,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("node: fanout must not be negative")
 	case c.WriteQuorum < 0 || c.ReadQuorum < 0:
 		return fmt.Errorf("node: quorums must not be negative")
-	case c.WALCompactEvery < 0 || c.SnapshotOneFrameBytes < 0 ||
+	case c.WALCompactEvery < 0 ||
 		c.TransferChunkEntries < 0 || c.TransferLeaseEpochs < 0:
 		return fmt.Errorf("node: durability/transfer settings must not be negative")
 	case c.AEInterval < 0:

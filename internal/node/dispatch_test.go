@@ -89,14 +89,18 @@ func TestDispatchCoversWireKinds(t *testing.T) {
 		case KindXferDone:
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Session: dispatchSession}
 		case KindAEDigest:
-			// An empty tree's digest: the resident primary answers with a
-			// diff listing the buckets its seeded key dirties.
+			// An empty tree's sub-digest request for top bucket 0: the
+			// resident primary answers with the (key, version) lists of
+			// whatever sub-buckets its seeded key dirties there.
 			empty := NewAETree()
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Epoch: nd.Epoch(),
-				Value: appendAEDigest(nil, empty.Leaves(), empty.Root())}
+				Value: appendAESub(nil, []int{0}, [][]uint64{empty.SubLeaves(0)})}
 		case KindAERepair:
 			rep := appendEntries(nil, []kvEntry{{key: "ae-key", val: []byte("av"), ver: 1}})
 			msg = &transport.Message{Kind: kind, Partition: uint32(p), Epoch: nd.Epoch(), Value: rep}
+		case KindAEFetch:
+			msg = &transport.Message{Kind: kind, Partition: uint32(p), Epoch: nd.Epoch(),
+				Value: appendAEKeys(nil, []string{key})}
 		default:
 			t.Fatalf("KindNames declares node-to-node kind %d (%s) but this test has no representative message for it; extend the switch above", kind, KindNames[kind])
 		}

@@ -129,10 +129,11 @@ type Node struct {
 
 	// Anti-entropy counters (see ae.go). Atomic for the same reason as
 	// syncFails: the digest exchange fans out outside n.mu.
-	aeRoundsN  atomic.Int64
-	aeSyncedN  atomic.Int64
-	aeRepairsN atomic.Int64
-	aeHealedN  atomic.Int64
+	aeRoundsN   atomic.Int64
+	aeSyncedN   atomic.Int64
+	aeRepairsN  atomic.Int64
+	aeHealedN   atomic.Int64
+	aePayloadN  atomic.Int64
 }
 
 // outOp is one data-movement message to perform after the view update,
@@ -452,6 +453,8 @@ func (n *Node) Handle(from string, req *transport.Message) (*transport.Message, 
 		return n.handleAEDigest(req)
 	case KindAERepair:
 		return n.handleAERepair(req)
+	case KindAEFetch:
+		return n.handleAEFetch(req)
 	case KindDrop:
 		return n.handleDrop(req)
 	case KindStats:
@@ -1002,6 +1005,11 @@ func (n *Node) FlushEpoch() error {
 		}
 		blob.claims = append(blob.claims, cl)
 	}
+	// Piggyback the anti-entropy digests on the stats broadcast: on
+	// AEInterval boundaries each partition this node primaries (and
+	// co-holds) contributes its O(1) live tree digest, and holders pull
+	// repairs from it during RunEpoch. No dedicated digest frames.
+	blob.digests = n.aeDigestsLocked()
 	n.pending[n.self] = blob
 	epoch := n.epoch
 	enc := appendStats(nil, blob)
@@ -1123,12 +1131,15 @@ func (n *Node) RunEpoch() error {
 		ops = n.applyDecisionLocked(dec)
 	}
 
+	// Collect anti-entropy pull plans from the digests peers piggybacked
+	// on this epoch's stats blobs — before the pending/nextPend swap
+	// discards them.
+	pulls := n.aePullPlansLocked()
 	n.pending, n.nextPend = n.nextPend, n.pending
 	for i := range n.nextPend {
 		n.nextPend[i] = nil
 	}
 	n.epoch++
-	aeRounds := n.aePlanLocked()
 	n.mu.Unlock()
 
 	// Data movement happens outside the lock: the loopback transport
@@ -1137,9 +1148,10 @@ func (n *Node) RunEpoch() error {
 	// Then drive the chunked transfer sessions a round (and age their
 	// leases). A node with no sessions in flight sends nothing here.
 	n.pumpTransfers()
-	// Finally the periodic anti-entropy digest exchange — empty except
-	// on AEInterval boundaries.
-	n.runAntiEntropy(aeRounds)
+	// Finally the anti-entropy pull rounds against the primaries whose
+	// piggybacked digests disagree with this node's — empty except on
+	// AEInterval boundaries.
+	n.runAEPulls(pulls)
 	return nil
 }
 
@@ -1372,11 +1384,13 @@ func (n *Node) applyDecisionLocked(dec policy.Decision) []outOp {
 	// after the lock drops (ok=false: nothing to append to ops).
 	shipOp := func(p, target int) (outOp, bool) {
 		if n.store.sizeBytes(p) <= n.cfg.SnapshotOneFrameBytes {
+			snap := n.store.encodeSnapshot(p)
 			n.xmu.Lock()
 			n.xstats.OneFrame++
+			n.xstats.BytesSent += int64(len(snap))
 			n.xmu.Unlock()
 			return outOp{peer: target, msg: &transport.Message{
-				Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
+				Kind: KindStore, Partition: uint32(p), Value: snap,
 			}}, true
 		}
 		n.startTransferLocked(p, target, true)

@@ -97,6 +97,12 @@ type partitionShard struct {
 	// partition's snapshot (the lease the source holds so compaction
 	// cannot GC state an in-flight transfer still needs).
 	holds int
+	// tree is the partition's live anti-entropy digest, maintained
+	// incrementally by install/clear (O(1) per write). Reading it costs
+	// nothing, which is what lets top digests piggyback on every stats
+	// broadcast and transfer probes answer with a digest without
+	// rehashing the partition.
+	tree AETree
 }
 
 func newStore(partitions int) *store {
@@ -145,12 +151,15 @@ func newDurableStore(partitions int, eng *durable.Engine, trustResident bool) *s
 }
 
 // install puts one entry into the shard map, keeping the byte
-// accounting exact. Callers hold the shard lock.
+// accounting and the live digest tree exact. Callers hold the shard
+// lock.
 func (ps *partitionShard) install(key string, e entry) {
 	if old, ok := ps.data[key]; ok {
 		ps.bytes -= len(key) + len(old.val)
+		ps.tree.Apply(key, old.ver, old.val) // XOR removes the old record
 	}
 	ps.bytes += len(key) + len(e.val)
+	ps.tree.Apply(key, e.ver, e.val)
 	ps.data[key] = e
 }
 
@@ -158,6 +167,7 @@ func (ps *partitionShard) install(key string, e entry) {
 func (ps *partitionShard) clear() {
 	ps.data = make(map[string]entry)
 	ps.bytes = 0
+	ps.tree = AETree{}
 }
 
 func (s *store) get(p int, key string) ([]byte, uint64, bool) {
@@ -298,37 +308,41 @@ func (s *store) mergeResident(p int, entries []kvEntry) (merged int, applied boo
 // recovered cursor for a known one, xferComplete for a replayed begin
 // of a finished session. srcMaxVer folds the source's version
 // watermark in up front so watermark-only state transfers even if
-// every chunk loses the version race.
-func (s *store) beginInbound(p int, sid uint64, total uint32, markResident bool, srcMaxVer uint64) (uint64, error) {
+// every chunk loses the version race. prevVer and wasResident report
+// the shard's state from BEFORE that adoption — the begin reply must
+// carry the pre-session watermark, because the adopted one no longer
+// describes what the target's content covers.
+func (s *store) beginInbound(p int, sid uint64, total uint32, markResident bool, srcMaxVer uint64) (next, prevVer uint64, wasResident bool, err error) {
 	ps := &s.parts[p]
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	prevVer, wasResident = ps.maxVer, ps.resident
 	for _, d := range ps.done {
 		if d == sid {
-			return xferComplete, nil
+			return xferComplete, prevVer, wasResident, nil
 		}
 	}
 	if srcMaxVer > ps.maxVer {
 		if s.eng != nil {
 			if err := s.eng.AppendMaxVer(p, srcMaxVer); err != nil {
-				return 0, err
+				return 0, prevVer, wasResident, err
 			}
 		}
 		ps.maxVer = srcMaxVer
 	}
 	for i := range ps.inbound {
 		if ps.inbound[i].ID == sid {
-			return uint64(ps.inbound[i].Next), nil
+			return uint64(ps.inbound[i].Next), prevVer, wasResident, nil
 		}
 	}
 	sess := durable.Session{ID: sid, Next: 0, Total: total, MarkResident: markResident}
 	if s.eng != nil {
 		if err := s.eng.AppendCursor(p, sess); err != nil {
-			return 0, err
+			return 0, prevVer, wasResident, err
 		}
 	}
 	ps.setInboundLocked(sess)
-	return 0, nil
+	return 0, prevVer, wasResident, nil
 }
 
 // applyChunk applies one transfer chunk. known=false means the session
@@ -617,6 +631,88 @@ func (s *store) snapshotEntries(p int) ([]kvEntry, uint64) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return sortedEntries(ps.data), ps.maxVer
+}
+
+// snapshotEntriesAbove freezes only the entries strictly above a
+// version watermark — the delta-transfer fast path when the target's
+// digest proves its below-watermark content identical. On a durable
+// store the iteration runs against the engine's recovery mirror
+// (EntriesAbove), the seam where a future paged store will stream
+// from disk instead of RAM; the shard lock still brackets it so the
+// returned maxVer describes the same instant as the entry set.
+func (s *store) snapshotEntriesAbove(p int, ver uint64) ([]kvEntry, uint64) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if s.eng != nil {
+		rec := s.eng.EntriesAbove(p, ver)
+		entries := make([]kvEntry, 0, len(rec))
+		for _, e := range rec {
+			entries = append(entries, kvEntry{key: e.Key, ver: e.Ver, val: e.Val})
+		}
+		return entries, ps.maxVer
+	}
+	var entries []kvEntry
+	for _, e := range sortedEntries(ps.data) {
+		if e.ver > ver {
+			entries = append(entries, e)
+		}
+	}
+	return entries, ps.maxVer
+}
+
+// transferInfo answers a delta-planning probe in O(1): the partition's
+// version watermark, residency, and — for resident partitions — its
+// live top digest. Non-resident content is not authoritative, so no
+// digest is offered and the source must fall back to a full snapshot.
+func (s *store) transferInfo(p int) (maxVer uint64, resident bool, leaves []uint64, root uint64) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.resident {
+		return ps.maxVer, false, nil, 0
+	}
+	return ps.maxVer, true, ps.tree.Leaves(), ps.tree.Root()
+}
+
+// aeDigest reads the partition's live top digest (resident partitions
+// only — a partial tree would compare garbage).
+func (s *store) aeDigest(p int) (leaves []uint64, root uint64, resident bool) {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.resident {
+		return nil, 0, false
+	}
+	return ps.tree.Leaves(), ps.tree.Root(), true
+}
+
+// aeSubLeaves reads the live sub-leaf vectors for a set of top-level
+// buckets under one lock acquisition.
+func (s *store) aeSubLeaves(p int, tops []int) [][]uint64 {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	subs := make([][]uint64, len(tops))
+	for i, b := range tops {
+		subs[i] = ps.tree.SubLeaves(b)
+	}
+	return subs
+}
+
+// getEntries looks up a batch of keys (the KindAEFetch serving path),
+// preserving request order; absent keys are skipped.
+func (s *store) getEntries(p int, keys []string) []kvEntry {
+	ps := &s.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]kvEntry, 0, len(keys))
+	for _, k := range keys {
+		if e, ok := ps.data[k]; ok {
+			out = append(out, kvEntry{key: k, ver: e.ver, val: e.val})
+		}
+	}
+	return out
 }
 
 // encodeSnapshot serialises the partition's content for a one-frame

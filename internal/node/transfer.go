@@ -9,15 +9,37 @@ import (
 // Chunked replica transfers (the zrepl step model): instead of one
 // KindStore frame carrying a whole partition, the source freezes a
 // snapshot, slices it into chunks, and drives a session of
-// begin → chunk* → done exchanges. The TARGET owns the resume cursor —
-// the next chunk index it wants — persists it (durable engine) and
-// echoes it on every reply, so the source never guesses: after any
-// fault, duplicate or restart it adopts the target's cursor and
-// continues from there. Repeated invocation is monotone (the cursor
-// only advances) and converges. While a session is in flight the
-// source holds the partition's snapshot against compaction; the hold
-// is leased — a session making no progress for TransferLeaseEpochs
-// epochs is abandoned and the hold released.
+// probe → begin → chunk* → done exchanges. The TARGET owns the resume
+// cursor — the next chunk index it wants — persists it (durable
+// engine) and echoes it on every reply, so the source never guesses:
+// after any fault, duplicate or restart it adopts the target's cursor
+// and continues from there. Repeated invocation is monotone (the
+// cursor only advances) and converges. While a session is in flight
+// the source holds the partition's snapshot against compaction; the
+// hold is leased — a session making no progress for
+// TransferLeaseEpochs epochs is abandoned and the hold released.
+//
+// Delta planning: the first pump of a session probes the target
+// (KindXferCursor) before freezing anything. The unknown-session reply
+// carries the target's version watermark plus its transfer info
+// (residency + live AE top digest), and the source plans from it:
+//
+//   - Target resident, digest agrees with the source's tree restricted
+//     to entries at-or-below the watermark → only entries strictly
+//     above the watermark ship (on a durable store, frozen via the
+//     engine's above-watermark iteration).
+//   - Target resident, digest disagrees on some top buckets → entries
+//     above the watermark ship plus the full content of the divergent
+//     buckets (a hole below the watermark always dirties its bucket,
+//     so bucket-filtered shipping is exactly as safe as full).
+//   - Target not resident (fresh holder, restarted node, stale/absent
+//     digest) → full frozen snapshot, as before. A non-resident
+//     watermark is never trusted: begins durably adopt the source's
+//     maxVer up front, so it does not describe content coverage.
+//
+// A delta session never marks the target resident on completion — the
+// target already was resident, and a session invalidated mid-flight
+// (drop, restart) must not bless a partial subset as authoritative.
 //
 // Lock order: n.mu (either mode) may be held while taking n.xmu, never
 // the reverse; no lock is held across a transport send — a pump claims
@@ -49,26 +71,39 @@ const (
 // TransferStats counts the node's outbound transfer-session activity
 // since start. Resumed increments when a session continues from a
 // nonzero cursor the target reported after an interruption — the
-// signal the crash-mid-transfer scenarios assert on.
+// signal the crash-mid-transfer scenarios assert on. DeltaSessions
+// and FullSessions split planned sessions by outcome; BytesSent counts
+// payload bytes actually shipped (chunks + one-frame snapshots) and
+// BytesSaved the payload bytes delta planning avoided shipping.
 type TransferStats struct {
-	Started    int64 `json:"started"`
-	Completed  int64 `json:"completed"`
-	Expired    int64 `json:"expired"`
-	Resumed    int64 `json:"resumed"`
-	ChunksSent int64 `json:"chunks_sent"`
-	OneFrame   int64 `json:"one_frame"`
+	Started       int64 `json:"started"`
+	Completed     int64 `json:"completed"`
+	Expired       int64 `json:"expired"`
+	Resumed       int64 `json:"resumed"`
+	ChunksSent    int64 `json:"chunks_sent"`
+	OneFrame      int64 `json:"one_frame"`
+	DeltaSessions int64 `json:"delta_sessions"`
+	FullSessions  int64 `json:"full_sessions"`
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesSaved    int64 `json:"bytes_saved"`
 }
 
-// xferSession is one outbound chunked transfer: a frozen, pre-sliced
-// snapshot of partition p on its way to target.
+// xferSession is one outbound chunked transfer of partition p toward
+// target. The snapshot is frozen (and sliced) at planning time — the
+// first pump's probe — not at session creation, so the plan can freeze
+// only the delta the target actually needs.
 type xferSession struct {
 	id     uint64
 	p      int
 	target int
-	mark   bool // completion marks the target resident
-	maxVer uint64
-	chunks [][]kvEntry
+	mark   bool // completion marks the target resident (full plans only)
 	st     *store // the store the snapshot (and its hold) came from
+
+	planned bool // the delta-planning probe ran; chunks and maxVer are set
+	delta   bool // the plan shipped a watermark/digest-filtered subset
+	maxVer  uint64
+	chunks  [][]kvEntry
+	saved   int64 // payload bytes the delta plan avoided shipping
 
 	begun       bool   // target has acked a begin for this session
 	next        uint32 // next chunk to send (the target's cursor)
@@ -87,10 +122,11 @@ func (n *Node) TransferStats() TransferStats {
 }
 
 // startTransferLocked opens an outbound session for partition p toward
-// target, freezing the snapshot and taking the compaction hold.
-// Callers hold n.mu; an existing live session for the same
-// (partition, target) pair is left alone — its frozen state is already
-// on the way, and syncs/read-repair heal anything newer.
+// target and takes the compaction hold; the snapshot itself is frozen
+// later, by the first pump's delta-planning probe. Callers hold n.mu;
+// an existing live session for the same (partition, target) pair is
+// left alone — its frozen state is already on the way, and
+// syncs/read-repair heal anything newer.
 func (n *Node) startTransferLocked(p, target int, mark bool) {
 	n.xmu.Lock()
 	defer n.xmu.Unlock()
@@ -99,7 +135,6 @@ func (n *Node) startTransferLocked(p, target int, mark bool) {
 			return
 		}
 	}
-	entries, maxVer := n.store.snapshotEntries(p)
 	n.store.holdSnapshot(p)
 	n.xseq++
 	s := &xferSession{
@@ -107,12 +142,74 @@ func (n *Node) startTransferLocked(p, target int, mark bool) {
 		p:      p,
 		target: target,
 		mark:   mark,
-		maxVer: maxVer,
-		chunks: sliceChunks(entries, n.cfg.TransferChunkEntries),
 		st:     n.store,
 	}
 	n.xfers = append(n.xfers, s)
 	n.xstats.Started++
+}
+
+// planSession freezes the session's chunk set from the target's probe
+// reply: the target's pre-session version watermark and its transfer
+// info (residency flag + live AE top digest). Returns the frozen
+// chunks, the covering maxVer, whether the plan is a delta (a
+// filtered subset), and the encoded payload bytes the filter avoided.
+// Runs lock-free on the owning pump; the caller writes the plan back
+// under xmu.
+func (n *Node) planSession(s *xferSession, watermark uint64, info []byte) (chunks [][]kvEntry, maxVer uint64, delta bool, saved int64) {
+	resident, leaves, _, err := decodeXferInfo(info)
+	if err != nil || !resident || len(leaves) != aeTop {
+		// Non-resident target (or a malformed/absent digest): its
+		// watermark does not describe content coverage — begins adopt the
+		// source's maxVer durably before any entry lands — so nothing
+		// below it can be skipped. Ship the full frozen snapshot.
+		entries, ver := s.st.snapshotEntries(s.p)
+		return sliceChunks(entries, n.cfg.TransferChunkEntries), ver, false, 0
+	}
+	entries, ver := s.st.snapshotEntries(s.p)
+	below := NewAETree()
+	for _, e := range entries {
+		if e.ver <= watermark {
+			below.Apply(e.key, e.ver, e.val)
+		}
+	}
+	var divergent [aeTop]bool
+	anyDivergent := false
+	for b := 0; b < aeTop; b++ {
+		if leaves[b] != below.top[b] {
+			divergent[b] = true
+			anyDivergent = true
+		}
+	}
+	if !anyDivergent {
+		// The target holds exactly the source's at-or-below-watermark
+		// content: only entries strictly above the watermark ship. The
+		// freeze goes through the store's above-watermark iteration
+		// (engine-backed on durable stores) — the repeat-migration fast
+		// path. A plan that keeps everything anyway (resident-but-empty
+		// target at watermark 0) is a full plan, not a delta: it must
+		// keep its residency-marking power and counts nothing as saved.
+		kept, kver := s.st.snapshotEntriesAbove(s.p, watermark)
+		saved = int64(encodedEntriesLen(entries) - encodedEntriesLen(kept))
+		if saved <= 0 {
+			return sliceChunks(kept, n.cfg.TransferChunkEntries), kver, false, 0
+		}
+		return sliceChunks(kept, n.cfg.TransferChunkEntries), kver, true, saved
+	}
+	// Some buckets disagree below the watermark: ship everything above
+	// it plus the full content of the divergent buckets. A hole or stale
+	// entry at the target always dirties its covering bucket, so this is
+	// exactly as safe as a full snapshot.
+	kept := make([]kvEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.ver > watermark || divergent[aeBucket(e.key)] {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == len(entries) {
+		return sliceChunks(entries, n.cfg.TransferChunkEntries), ver, false, 0
+	}
+	saved = int64(encodedEntriesLen(entries) - encodedEntriesLen(kept))
+	return sliceChunks(kept, n.cfg.TransferChunkEntries), ver, true, saved
 }
 
 // sliceChunks splits a frozen entry slice into chunks of at most
@@ -204,19 +301,23 @@ func (n *Node) pumpTransfers() {
 //lint:requires-unlocked n.mu
 func (n *Node) shipPartition(p, target int, ver uint64) bool {
 	if n.store.sizeBytes(p) <= n.cfg.SnapshotOneFrameBytes {
+		snap := n.store.encodeSnapshot(p)
 		resp, err := n.tr.Send(n.peerAddr(target), &transport.Message{
-			Kind: KindStore, Partition: uint32(p), Value: n.store.encodeSnapshot(p),
+			Kind: KindStore, Partition: uint32(p), Value: snap,
 		})
 		if err != nil || resp.Status != transport.StatusOK {
 			return false
 		}
 		n.xmu.Lock()
 		n.xstats.OneFrame++
+		n.xstats.BytesSent += int64(len(snap))
 		n.xmu.Unlock()
 		return true
 	}
-	// Round 2 always covers: a snapshot frozen now sees the shard's
-	// maxVer, which the stamp already advanced past ver.
+	// Round 2 always covers: a session planned now freezes against the
+	// shard's maxVer, which the stamp already advanced past ver. The
+	// coverage check reads the session's maxVer AFTER the pump, because
+	// the plan (and therefore the freeze) happens inside the first pump.
 	for round := 0; round < 2; round++ {
 		n.mu.RLock()
 		n.startTransferLocked(p, target, true)
@@ -233,10 +334,12 @@ func (n *Node) shipPartition(p, target int, ver uint64) bool {
 		if sess == nil {
 			return false
 		}
-		covered := sess.maxVer >= ver
 		if !n.pumpSession(sess) {
 			return false
 		}
+		n.xmu.Lock()
+		covered := sess.maxVer >= ver
+		n.xmu.Unlock()
 		if covered {
 			return true
 		}
@@ -299,13 +402,70 @@ func (n *Node) pumpSession(s *xferSession) bool {
 	// session under xmu while a pump is in flight, so the pump must not
 	// scribble on the struct lock-free. Written back at settle.
 	begun, next, wasInterrupted := s.begun, s.next, s.interrupted
+	planned := s.planned
 	n.xmu.Unlock()
+
+	addr := n.peerAddr(s.target)
+	if !planned {
+		// Delta-planning probe: ask the target for its watermark and
+		// transfer info before freezing anything, then freeze only what
+		// the plan says must ship.
+		resp, err := n.tr.Send(addr, &transport.Message{
+			Kind: KindXferCursor, Partition: uint32(s.p), Session: s.id,
+		})
+		if err != nil {
+			n.xmu.Lock()
+			s.busy, s.interrupted = false, true
+			n.xmu.Unlock()
+			return false
+		}
+		var (
+			chunks [][]kvEntry
+			maxVer uint64
+			delta  bool
+			saved  int64
+		)
+		switch resp.Status {
+		case transport.StatusNotFound:
+			// The expected reply: the target does not know the session,
+			// and its answer carries the pre-session watermark plus the
+			// residency/digest blob the plan needs.
+			chunks, maxVer, delta, saved = n.planSession(s, resp.Version, resp.Value)
+		case transport.StatusOK:
+			// The target already tracks this id (defensive — ids are
+			// unique across boots): plan a full session and adopt the
+			// cursor it reports.
+			chunks, maxVer, delta, saved = n.planSession(s, 0, nil)
+			begun = true
+			if resp.Cursor == xferComplete {
+				next = uint32(len(chunks))
+			} else if c := uint32(resp.Cursor); c <= uint32(len(chunks)) {
+				next = c
+			}
+		default:
+			n.xmu.Lock()
+			s.busy, s.interrupted = false, true
+			n.xmu.Unlock()
+			return false
+		}
+		n.xmu.Lock()
+		s.chunks, s.maxVer, s.delta, s.saved = chunks, maxVer, delta, saved
+		s.mark = s.mark && !delta
+		s.planned = true
+		if delta {
+			n.xstats.DeltaSessions++
+		} else {
+			n.xstats.FullSessions++
+		}
+		n.xstats.BytesSaved += saved
+		n.xmu.Unlock()
+	}
 
 	completed := false
 	interrupted := true
 	total := uint32(len(s.chunks))
-	addr := n.peerAddr(s.target)
 	sent := int64(0)
+	sentBytes := int64(0)
 	resumed := false
 
 	// One bounded walk through the session state machine. The loop
@@ -365,9 +525,10 @@ func (n *Node) pumpSession(s *xferSession) bool {
 			continue
 		}
 		if next < total {
+			payload := appendEntries(nil, s.chunks[next])
 			resp, err := n.tr.Send(addr, &transport.Message{
 				Kind: KindXferChunk, Partition: uint32(s.p), Session: s.id,
-				Cursor: uint64(next), Value: appendEntries(nil, s.chunks[next]),
+				Cursor: uint64(next), Value: payload,
 			})
 			if err != nil {
 				break
@@ -380,6 +541,7 @@ func (n *Node) pumpSession(s *xferSession) bool {
 				break
 			}
 			sent++
+			sentBytes += int64(len(payload))
 			if resp.Cursor == xferComplete {
 				completed, interrupted = true, false
 				break
@@ -419,6 +581,7 @@ func (n *Node) pumpSession(s *xferSession) bool {
 	s.begun, s.next = begun, next
 	s.interrupted = interrupted && !completed
 	n.xstats.ChunksSent += sent
+	n.xstats.BytesSent += sentBytes
 	if resumed {
 		n.xstats.Resumed++
 	}
@@ -448,12 +611,23 @@ func (n *Node) handleXferBegin(req *transport.Message) (*transport.Message, erro
 		return nil, err
 	}
 	n.mu.RLock()
-	next, err := n.store.beginInbound(p, req.Session, total, mark, req.Version)
+	next, prevVer, wasResident, err := n.store.beginInbound(p, req.Session, total, mark, req.Version)
 	n.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	return &transport.Message{Kind: KindXferBegin, Partition: req.Partition, Session: req.Session, Cursor: next}, nil
+	// Echo the pre-session watermark and residency so a source that
+	// skipped the cursor probe (or raced another session's begin) still
+	// learns what the target held before adoption.
+	var info []byte
+	if wasResident {
+		leaves, root, _ := n.store.aeDigest(p)
+		info = appendXferInfo(nil, true, leaves, root)
+	} else {
+		info = appendXferInfo(nil, false, nil, 0)
+	}
+	return &transport.Message{Kind: KindXferBegin, Partition: req.Partition, Session: req.Session,
+		Cursor: next, Version: prevVer, Value: info}, nil
 }
 
 func (n *Node) handleXferChunk(req *transport.Message) (*transport.Message, error) {
@@ -490,8 +664,13 @@ func (n *Node) handleXferCursor(req *transport.Message) (*transport.Message, err
 	next, known := n.store.inboundCursor(p, req.Session)
 	n.mu.RUnlock()
 	if !known {
+		// Unknown session: the reply doubles as the delta-planning
+		// handshake — it carries the partition's version watermark plus
+		// the residency/digest blob the source plans from.
+		maxVer, resident, leaves, root := n.store.transferInfo(p)
 		return &transport.Message{Kind: KindXferCursor, Partition: req.Partition, Session: req.Session,
-			Status: transport.StatusNotFound}, nil
+			Status: transport.StatusNotFound, Version: maxVer,
+			Value: appendXferInfo(nil, resident, leaves, root)}, nil
 	}
 	return &transport.Message{Kind: KindXferCursor, Partition: req.Partition, Session: req.Session, Cursor: next}, nil
 }

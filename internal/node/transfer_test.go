@@ -78,8 +78,14 @@ func TestTransferResumesFromTargetCursor(t *testing.T) {
 	src.mu.RLock()
 	src.startTransferLocked(p, 1, true)
 	src.mu.RUnlock()
+	// Freeze the session by hand as a full plan — the scenario models a
+	// prior round whose planning probe and begin already happened.
+	entries, maxVer := src.store.snapshotEntries(p)
 	src.xmu.Lock()
 	sess := src.xfers[0]
+	sess.chunks = sliceChunks(entries, src.cfg.TransferChunkEntries)
+	sess.maxVer = maxVer
+	sess.planned = true
 	src.xmu.Unlock()
 
 	// Simulate a prior round that died after the begin and one chunk:
@@ -89,7 +95,7 @@ func TestTransferResumesFromTargetCursor(t *testing.T) {
 	if total != 4 {
 		t.Fatalf("expected 4 chunks, got %d", total)
 	}
-	if _, err := dst.store.beginInbound(p, sess.id, total, true, sess.maxVer); err != nil {
+	if _, _, _, err := dst.store.beginInbound(p, sess.id, total, true, sess.maxVer); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := dst.store.applyChunk(p, sess.id, 0, sess.chunks[0]); err != nil {
@@ -125,7 +131,7 @@ func TestInboundSessionIdempotence(t *testing.T) {
 	chunk0 := []kvEntry{{key: "a", val: []byte("1"), ver: 5}}
 	chunk1 := []kvEntry{{key: "b", val: []byte("2"), ver: 6}}
 
-	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 0 {
+	if next, _, _, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 0 {
 		t.Fatalf("fresh begin: next=%d err=%v", next, err)
 	}
 	if v := s.parts[p].maxVer; v != 9 {
@@ -136,7 +142,7 @@ func TestInboundSessionIdempotence(t *testing.T) {
 	}
 	// Replayed begin: the session exists, so the reply is its cursor,
 	// not a reset to 0.
-	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 1 {
+	if next, _, _, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != 1 {
 		t.Fatalf("replayed begin: next=%d err=%v, want cursor 1", next, err)
 	}
 	// Duplicate chunk 0: acked with the current cursor, nothing moves.
@@ -155,7 +161,7 @@ func TestInboundSessionIdempotence(t *testing.T) {
 	}
 	// Post-completion replays: begin, chunk and done all answer
 	// "already complete".
-	if next, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != xferComplete {
+	if next, _, _, err := s.beginInbound(p, sid, 2, true, 9); err != nil || next != xferComplete {
 		t.Fatalf("begin after completion: next=%d err=%v", next, err)
 	}
 	if next, known, err := s.applyChunk(p, sid, 0, chunk0); err != nil || !known || next != xferComplete {
@@ -189,7 +195,7 @@ func TestDropInvalidatesInboundSessions(t *testing.T) {
 
 	// A mid-flight session: begun, one of two chunks merged.
 	const live = uint64(7)
-	if next, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
+	if next, _, _, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
 		t.Fatalf("begin: next=%d err=%v", next, err)
 	}
 	if _, known, err := s.applyChunk(p, live, 0, chunk); err != nil || !known {
@@ -197,7 +203,7 @@ func TestDropInvalidatesInboundSessions(t *testing.T) {
 	}
 	// A session completed and retired to the done-list before the drop.
 	const finished = uint64(8)
-	if _, err := s.beginInbound(p, finished, 1, false, 0); err != nil {
+	if _, _, _, err := s.beginInbound(p, finished, 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.applyChunk(p, finished, 0, chunk); err != nil {
@@ -218,13 +224,13 @@ func TestDropInvalidatesInboundSessions(t *testing.T) {
 	if _, known := s.inboundCursor(p, live); known {
 		t.Error("post-drop cursor probe still found the session")
 	}
-	if next, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
+	if next, _, _, err := s.beginInbound(p, live, 2, true, 0); err != nil || next != 0 {
 		t.Fatalf("re-begin after drop: next=%d err=%v, want cursor 0", next, err)
 	}
 	// The done-list cleared too: a replayed begin of the pre-drop
 	// completed session re-runs it instead of answering "complete" over
 	// an emptied partition.
-	if next, err := s.beginInbound(p, finished, 1, false, 0); err != nil || next != 0 {
+	if next, _, _, err := s.beginInbound(p, finished, 1, false, 0); err != nil || next != 0 {
 		t.Fatalf("replayed begin of pre-drop session: next=%d err=%v, want cursor 0", next, err)
 	}
 

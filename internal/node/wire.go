@@ -52,7 +52,10 @@ const (
 	// completion marks the target resident). The StatusOK reply's Cursor
 	// is the next chunk the target wants — 0 for a fresh session, higher
 	// when the target recovered a resume cursor, xferComplete when the
-	// session already finished (replayed begin).
+	// session already finished (replayed begin); the reply additionally
+	// carries the target's pre-session version watermark in Version and
+	// its transfer-info blob (residency + AE top digest) in Value, so the
+	// source can audit what the delta plan was built against.
 	KindXferBegin uint8 = 9
 	// KindXferChunk carries one chunk of entries: Cursor is the chunk
 	// index, Value the entry block. The reply echoes the next wanted
@@ -62,7 +65,10 @@ const (
 	KindXferChunk uint8 = 10
 	// KindXferCursor is the resume probe: the source asks where the
 	// target's cursor stands for a session (after faults or a restart on
-	// either side). Reply as for KindXferBegin.
+	// either side). Reply as for KindXferBegin. A StatusNotFound reply
+	// (unknown session) carries the target's current version watermark in
+	// Version and its transfer-info blob in Value — the probe doubles as
+	// the delta-planning handshake before the first begin.
 	KindXferCursor uint8 = 11
 	// KindXferDone closes a session: the target checks every chunk
 	// arrived, applies the completion side effects (residency, version
@@ -70,19 +76,26 @@ const (
 	// means chunks are still missing and the source must back-fill.
 	KindXferDone uint8 = 12
 
-	// KindAEDigest opens an anti-entropy round: the partition primary
-	// sends its Merkle digest (leaf hash vector + root) to a co-holder,
-	// Epoch tagging the round. The StatusOK reply carries the holder's
-	// diff blob — the divergent bucket indexes plus the holder's own
-	// entries for those buckets (empty when the trees agree); StatusRetry
-	// means the receiver is not a resident holder and has no
-	// authoritative tree to compare.
+	// KindAEDigest is the sub-digest round of hierarchical anti-entropy.
+	// Top-level digests piggyback on the KindStats broadcast; a holder
+	// whose tree disagrees sends the primary the divergent top-bucket
+	// indexes plus its own sub-leaf vectors for those buckets, Epoch
+	// tagging the round. The StatusOK reply carries the primary's
+	// per-key (key,version) lists for the divergent sub-buckets — no
+	// values move yet. StatusRetry means the receiver is not a resident
+	// holder and has no authoritative tree to compare.
 	KindAEDigest uint8 = 13
-	// KindAERepair ships the primary's entries for the divergent buckets
-	// back to the holder, which folds them in version-gated (a repair can
-	// never roll a key back). StatusRetry means the holder stopped being
-	// resident mid-round and the payload was not applied.
+	// KindAERepair ships a holder's entries the primary turned out to be
+	// missing (or to have stale) back to the primary, which folds them in
+	// version-gated (a repair can never roll a key back). StatusRetry
+	// means the receiver stopped being resident mid-round and the payload
+	// was not applied.
 	KindAERepair uint8 = 14
+	// KindAEFetch is the value-moving step of hierarchical anti-entropy:
+	// the holder asks the primary for exactly the keys the keylist round
+	// proved stale or missing locally. The StatusOK reply is a standard
+	// entry block; StatusRetry means the primary lost residency mid-round.
+	KindAEFetch uint8 = 15
 
 	// KindEpochFlush makes the node broadcast its epoch stats (phase A
 	// of the two-phase tick).
@@ -115,6 +128,7 @@ var KindNames = map[uint8]string{
 	KindXferDone:   "xfer-done",
 	KindAEDigest:   "ae-digest",
 	KindAERepair:   "ae-repair",
+	KindAEFetch:    "ae-fetch",
 	KindEpochFlush: "epoch-flush",
 	KindEpochRun:   "epoch-run",
 	KindDump:       "dump",
@@ -146,10 +160,22 @@ type placementClaim struct {
 	replicas  []int // ascending roster indexes
 }
 
+// aePartitionDigest is one partition's top-level Merkle digest as
+// piggybacked on the KindStats broadcast: the primary's tree root plus
+// its aeTop top-bucket leaves. Co-holders compare against their own
+// trees and pull a sub-digest round when they disagree — no dedicated
+// digest frames ride the wire.
+type aePartitionDigest struct {
+	partition int
+	root      uint64
+	leaves    []uint64 // aeTop top-level leaves
+}
+
 // statsBlob is the payload of one KindStats broadcast.
 type statsBlob struct {
 	counters []partitionCounters // ascending partition order
 	claims   []placementClaim    // ascending partition order
+	digests  []aePartitionDigest // ascending partition order; AE epochs only
 }
 
 // appendStats encodes a statsBlob.
@@ -170,6 +196,13 @@ func appendStats(dst []byte, b *statsBlob) []byte {
 		for _, s := range cl.replicas {
 			dst = binary.AppendUvarint(dst, uint64(s))
 		}
+	}
+	// The digest section is always present (count 0 outside AE epochs)
+	// so decodeStats's trailing-byte check stays exact.
+	dst = binary.AppendUvarint(dst, uint64(len(b.digests)))
+	for _, d := range b.digests {
+		dst = binary.AppendUvarint(dst, uint64(d.partition))
+		dst = appendAEDigest(dst, d.leaves, d.root)
 	}
 	return dst
 }
@@ -236,6 +269,12 @@ func decodeStats(buf []byte, partitions, peers int) (*statsBlob, error) {
 		}
 		b.claims = append(b.claims, cl)
 	}
+	dn := r.nextInt(partitions)
+	for i := 0; i < dn && r.err == nil; i++ {
+		d := aePartitionDigest{partition: r.nextInt(partitions - 1)}
+		d.leaves, d.root = r.readAEDigest()
+		b.digests = append(b.digests, d)
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -243,6 +282,28 @@ func decodeStats(buf []byte, partitions, peers int) (*statsBlob, error) {
 		return nil, fmt.Errorf("node: %d trailing bytes after stats blob", len(r.buf))
 	}
 	return b, nil
+}
+
+// readAEDigest consumes one embedded AE digest (as written by
+// appendAEDigest) from the reader: leaf count, fixed 8-byte leaves,
+// fixed 8-byte root.
+func (r *uvarintReader) readAEDigest() (leaves []uint64, root uint64) {
+	const maxLeaves = 1 << 12
+	n := r.nextInt(maxLeaves)
+	if r.err != nil {
+		return nil, 0
+	}
+	if len(r.buf) < 8*(n+1) {
+		r.err = fmt.Errorf("node: AE digest truncated (%d bytes for %d leaves + root)", len(r.buf), n)
+		return nil, 0
+	}
+	leaves = make([]uint64, n)
+	for i := range leaves {
+		leaves[i] = binary.BigEndian.Uint64(r.buf[8*i:])
+	}
+	root = binary.BigEndian.Uint64(r.buf[8*n:])
+	r.buf = r.buf[8*(n+1):]
+	return leaves, root
 }
 
 // kvEntry is one versioned key/value record of a partition snapshot.
@@ -288,6 +349,29 @@ func appendEntries(dst []byte, entries []kvEntry) []byte {
 		dst = append(dst, e.val...)
 	}
 	return dst
+}
+
+// encodedEntriesLen returns len(appendEntries(nil, entries)) without
+// materialising the encoding — the delta planner uses it to price what
+// a filtered plan avoided shipping.
+func encodedEntriesLen(entries []kvEntry) int {
+	n := uvarintLen(uint64(len(entries)))
+	for _, e := range entries {
+		n += uvarintLen(uint64(len(e.key))) + len(e.key)
+		n += uvarintLen(e.ver)
+		n += uvarintLen(uint64(len(e.val))) + len(e.val)
+	}
+	return n
+}
+
+// uvarintLen is the encoded size of v under binary.AppendUvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // appendXferBegin encodes a KindXferBegin payload: the session's total
@@ -384,8 +468,9 @@ func DecodePutReceipt(resp *transport.Message) (PutReceipt, error) {
 	return PutReceipt{Version: resp.Version, Acked: acked}, nil
 }
 
-// appendAEDigest encodes a KindAEDigest payload: the leaf hash vector
-// followed by the tree root. Leaves ride as fixed 8-byte words — the
+// appendAEDigest encodes a top-level digest blob (leaf hash vector
+// followed by the tree root) — embedded in the KindStats digest section
+// and in transfer-info replies. Leaves ride as fixed 8-byte words — the
 // vector is dense and uvarint would only pessimise random hashes.
 func appendAEDigest(dst []byte, leaves []uint64, root uint64) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(leaves)))
@@ -395,30 +480,27 @@ func appendAEDigest(dst []byte, leaves []uint64, root uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, root)
 }
 
-// decodeAEDigest parses a KindAEDigest payload. The leaf count is
+// decodeAEDigest parses a standalone digest blob. The leaf count is
 // bounded loosely (a digest is a fixed-shape blob, not a data carrier);
 // a count disagreeing with the local tree shape simply marks every
 // bucket divergent at the comparison site.
 func decodeAEDigest(buf []byte) (leaves []uint64, root uint64, err error) {
-	const maxLeaves = 1 << 12
 	r := &uvarintReader{buf: buf}
-	n := r.nextInt(maxLeaves)
+	leaves, root = r.readAEDigest()
 	if r.err != nil {
 		return nil, 0, r.err
 	}
-	if len(r.buf) != 8*(n+1) {
-		return nil, 0, fmt.Errorf("node: AE digest has %d bytes for %d leaves + root, want %d", len(r.buf), n, 8*(n+1))
+	if len(r.buf) != 0 {
+		return nil, 0, fmt.Errorf("node: %d trailing bytes after AE digest", len(r.buf))
 	}
-	leaves = make([]uint64, n)
-	for i := range leaves {
-		leaves[i] = binary.BigEndian.Uint64(r.buf[8*i:])
-	}
-	return leaves, binary.BigEndian.Uint64(r.buf[8*n:]), nil
+	return leaves, root, nil
 }
 
-// appendAEDiff encodes a KindAEDigest reply: the divergent bucket
-// indexes, then the replier's entries for those buckets as a standard
-// entry block. Buckets ascend, so the encoding is deterministic.
+// appendAEDiff encodes the flat (PR 9) digest-reply shape: the
+// divergent bucket indexes, then the replier's entries for those
+// buckets as a standard entry block. The live protocol no longer ships
+// this frame — it is retained (with its decoder) as the measured
+// baseline of the repair bench suite.
 func appendAEDiff(dst []byte, buckets []int, entries []kvEntry) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(buckets)))
 	for _, b := range buckets {
@@ -427,8 +509,8 @@ func appendAEDiff(dst []byte, buckets []int, entries []kvEntry) []byte {
 	return appendEntries(dst, entries)
 }
 
-// decodeAEDiff parses a KindAEDigest reply. maxBucket bounds every
-// bucket index (the local tree's leaf count).
+// decodeAEDiff parses a flat diff blob. maxBucket bounds every bucket
+// index (the local tree's leaf count).
 func decodeAEDiff(buf []byte, maxBucket int) (buckets []int, entries []kvEntry, err error) {
 	r := &uvarintReader{buf: buf}
 	n := r.nextInt(maxBucket)
@@ -443,6 +525,185 @@ func decodeAEDiff(buf []byte, maxBucket int) (buckets []int, entries []kvEntry, 
 		return nil, nil, err
 	}
 	return buckets, entries, nil
+}
+
+// appendXferInfo encodes a transfer-info blob, carried in the Value of
+// begin replies and unknown-session cursor-probe replies: one flags
+// byte (bit 0 = the partition is resident at the target), then — for
+// resident targets only — the target's AE top digest. Paired with the
+// reply's Version field (the target's pre-session maxVer watermark) it
+// is everything the source needs to plan a delta.
+func appendXferInfo(dst []byte, resident bool, leaves []uint64, root uint64) []byte {
+	if !resident {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return appendAEDigest(dst, leaves, root)
+}
+
+// decodeXferInfo parses a transfer-info blob. An empty buffer decodes
+// as "no info" (non-resident, no digest) so probe replies from paths
+// that never attach one degrade to a full transfer rather than an
+// error.
+func decodeXferInfo(buf []byte) (resident bool, leaves []uint64, root uint64, err error) {
+	if len(buf) == 0 {
+		return false, nil, 0, nil
+	}
+	r := &uvarintReader{buf: buf[1:]}
+	if buf[0] == 1 {
+		leaves, root = r.readAEDigest()
+	} else if buf[0] != 0 {
+		return false, nil, 0, fmt.Errorf("node: transfer info has unknown flags byte %#x", buf[0])
+	}
+	if r.err != nil {
+		return false, nil, 0, r.err
+	}
+	if len(r.buf) != 0 {
+		return false, nil, 0, fmt.Errorf("node: %d trailing bytes after transfer info", len(r.buf))
+	}
+	return buf[0] == 1, leaves, root, nil
+}
+
+// appendAESub encodes a KindAEDigest request: for each divergent
+// top-level bucket, its index plus the sender's aeFanout sub-leaf
+// hashes. Top indexes ascend, so the encoding is deterministic.
+func appendAESub(dst []byte, tops []int, subs [][]uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(tops)))
+	for i, b := range tops {
+		dst = binary.AppendUvarint(dst, uint64(b))
+		for _, l := range subs[i] {
+			dst = binary.BigEndian.AppendUint64(dst, l)
+		}
+	}
+	return dst
+}
+
+// decodeAESub parses a KindAEDigest request. Every top bucket must
+// carry exactly aeFanout sub-leaves.
+func decodeAESub(buf []byte) (tops []int, subs [][]uint64, err error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(aeTop)
+	for i := 0; i < n && r.err == nil; i++ {
+		b := r.nextInt(aeTop - 1)
+		if r.err != nil {
+			break
+		}
+		if len(r.buf) < 8*aeFanout {
+			return nil, nil, fmt.Errorf("node: AE sub-digest for bucket %d truncated (%d bytes left)", b, len(r.buf))
+		}
+		leaves := make([]uint64, aeFanout)
+		for j := range leaves {
+			leaves[j] = binary.BigEndian.Uint64(r.buf[8*j:])
+		}
+		r.buf = r.buf[8*aeFanout:]
+		tops = append(tops, b)
+		subs = append(subs, leaves)
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, nil, fmt.Errorf("node: %d trailing bytes after AE sub-digest", len(r.buf))
+	}
+	return tops, subs, nil
+}
+
+// aeKeyVer is one (key, version) pair of a keylist reply — the
+// value-free reconciliation unit of hierarchical anti-entropy.
+type aeKeyVer struct {
+	key string
+	ver uint64
+}
+
+// appendAEKeylists encodes a KindAEDigest reply: for each divergent
+// sub-bucket, its global index plus the replier's (key, version) pairs
+// for that bucket. Sub indexes ascend and keys ascend within a bucket,
+// so the encoding is deterministic. An empty list still rides the wire:
+// it tells the holder the primary has nothing there, so surplus holder
+// keys flow back as repairs.
+func appendAEKeylists(dst []byte, subIdx []int, lists [][]aeKeyVer) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(subIdx)))
+	for i, s := range subIdx {
+		dst = binary.AppendUvarint(dst, uint64(s))
+		dst = binary.AppendUvarint(dst, uint64(len(lists[i])))
+		for _, kv := range lists[i] {
+			dst = binary.AppendUvarint(dst, uint64(len(kv.key)))
+			dst = append(dst, kv.key...)
+			dst = binary.AppendUvarint(dst, kv.ver)
+		}
+	}
+	return dst
+}
+
+// decodeAEKeylists parses a KindAEDigest reply.
+func decodeAEKeylists(buf []byte) (subIdx []int, lists [][]aeKeyVer, err error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(aeSubCount)
+	for i := 0; i < n && r.err == nil; i++ {
+		s := r.nextInt(aeSubCount - 1)
+		m := r.nextInt(len(r.buf))
+		list := make([]aeKeyVer, 0, m)
+		for j := 0; j < m && r.err == nil; j++ {
+			kl := r.nextInt(len(r.buf))
+			if r.err != nil {
+				break
+			}
+			if kl > len(r.buf) {
+				return nil, nil, fmt.Errorf("node: AE keylist key truncated (%d bytes declared, %d left)", kl, len(r.buf))
+			}
+			k := string(r.buf[:kl])
+			r.buf = r.buf[kl:]
+			list = append(list, aeKeyVer{key: k, ver: r.next()})
+		}
+		if r.err != nil {
+			break
+		}
+		subIdx = append(subIdx, s)
+		lists = append(lists, list)
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, nil, fmt.Errorf("node: %d trailing bytes after AE keylists", len(r.buf))
+	}
+	return subIdx, lists, nil
+}
+
+// appendAEKeys encodes a KindAEFetch request: the keys the holder
+// wants values for, in the keylist reply's order.
+func appendAEKeys(dst []byte, keys []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// decodeAEKeys parses a KindAEFetch request.
+func decodeAEKeys(buf []byte) ([]string, error) {
+	r := &uvarintReader{buf: buf}
+	n := r.nextInt(len(buf))
+	keys := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		kl := r.nextInt(len(r.buf))
+		if r.err != nil {
+			break
+		}
+		if kl > len(r.buf) {
+			return nil, fmt.Errorf("node: AE fetch key truncated (%d bytes declared, %d left)", kl, len(r.buf))
+		}
+		keys = append(keys, string(r.buf[:kl]))
+		r.buf = r.buf[kl:]
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("node: %d trailing bytes after AE key list", len(r.buf))
+	}
+	return keys, nil
 }
 
 // decodeAckSet parses a KindPut response's ack set. peers bounds both

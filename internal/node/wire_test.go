@@ -180,7 +180,7 @@ func TestDecodeXferBeginRejectsCorrupt(t *testing.T) {
 }
 
 func TestAEDigestRoundTrip(t *testing.T) {
-	leaves := make([]uint64, aeLeaves)
+	leaves := make([]uint64, aeTop)
 	for i := range leaves {
 		leaves[i] = uint64(i) * 0x9E3779B97F4A7C15
 	}
@@ -189,7 +189,7 @@ func TestAEDigestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if root != 0xDEADBEEF || len(got) != aeLeaves {
+	if root != 0xDEADBEEF || len(got) != aeTop {
 		t.Fatalf("round-trip gave root %x, %d leaves", root, len(got))
 	}
 	for i := range leaves {
@@ -204,7 +204,7 @@ func TestAEDigestRoundTrip(t *testing.T) {
 }
 
 func TestDecodeAEDigestRejectsCorrupt(t *testing.T) {
-	good := appendAEDigest(nil, make([]uint64, aeLeaves), 1)
+	good := appendAEDigest(nil, make([]uint64, aeTop), 1)
 	cases := map[string][]byte{
 		"empty input":    {},
 		"truncated leaf": good[:len(good)-9],
@@ -226,7 +226,7 @@ func TestAEDiffRoundTrip(t *testing.T) {
 		{key: "b", ver: 9, val: nil},
 	}
 	enc := appendAEDiff(nil, buckets, entries)
-	gb, ge, err := decodeAEDiff(enc, aeLeaves)
+	gb, ge, err := decodeAEDiff(enc, aeTop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestAEDiffRoundTrip(t *testing.T) {
 		}
 	}
 	// Empty diff = trees agree: no buckets, no entries.
-	if gb, ge, err := decodeAEDiff(appendAEDiff(nil, nil, nil), aeLeaves); err != nil || len(gb) != 0 || len(ge) != 0 {
+	if gb, ge, err := decodeAEDiff(appendAEDiff(nil, nil, nil), aeTop); err != nil || len(gb) != 0 || len(ge) != 0 {
 		t.Fatalf("empty diff: %v %v %v", gb, ge, err)
 	}
 }
@@ -253,12 +253,12 @@ func TestDecodeAEDiffRejectsCorrupt(t *testing.T) {
 	good := appendAEDiff(nil, []int{1, 2}, []kvEntry{{key: "k", ver: 1, val: []byte("v")}})
 	cases := map[string][]byte{
 		"empty input":         {},
-		"bucket out of range": appendAEDiff(nil, []int{aeLeaves}, nil),
+		"bucket out of range": appendAEDiff(nil, []int{aeTop}, nil),
 		"truncated entries":   good[:len(good)-1],
 		"trailing":            append(append([]byte{}, good...), 0),
 	}
 	for name, buf := range cases {
-		if _, _, err := decodeAEDiff(buf, aeLeaves); err == nil {
+		if _, _, err := decodeAEDiff(buf, aeTop); err == nil {
 			t.Errorf("%s: corrupt AE diff accepted", name)
 		}
 	}

@@ -39,6 +39,20 @@ func FuzzDecodeMessage(f *testing.F) {
 		// corpus so mutations explore their payload framing.
 		{Kind: 13, Partition: 5, Epoch: 96, Origin: 2, Value: bytes.Repeat([]byte{0x5A}, 40)},
 		{Kind: 14, Partition: 5, Epoch: 96, Origin: 2, Value: []byte("\x01\x06ae-key\x01\x02av")},
+		// Delta-replication frames (v6 vocabulary). The node-layer
+		// payload encoders are out of reach here, so the blobs are
+		// hand-laid in their wire shapes: a sub-digest request carrying
+		// one top bucket's 64 leaf hashes, its keylist reply (one
+		// sub-bucket, one key/version pair), an ae-fetch key list, and
+		// cursor/begin replies whose Version rides a target watermark
+		// with a transfer-info blob (flags byte 1 + 64 leaves + root, or
+		// the one-byte non-resident form) in the Value.
+		{Kind: 13, Partition: 5, Epoch: 97, Origin: 2, Value: append([]byte{1, 0}, make([]byte, 8*64)...)},
+		{Kind: 13, Status: StatusOK, Partition: 5, Value: []byte{1, 5, 1, 3, 'k', 'e', 'y', 9}},
+		{Kind: 15, Partition: 5, Epoch: 97, Origin: 2, Value: []byte{1, 3, 'k', 'e', 'y'}},
+		{Kind: 15, Status: StatusOK, Partition: 5, Value: []byte{1, 3, 'k', 'e', 'y', 9, 1, 'v'}},
+		{Kind: 11, Status: StatusNotFound, Partition: 3, Version: 1 << 21, Value: append([]byte{1}, make([]byte, 8*64+8)...)},
+		{Kind: 9, Status: StatusOK, Partition: 3, Session: 42, Version: 1 << 21, Value: []byte{0}},
 	}
 	for _, m := range seeds {
 		f.Add(AppendMessage(nil, m))
